@@ -1,0 +1,45 @@
+//! Criterion benchmarks of whole-scenario simulation speed.
+//!
+//! One iteration = one complete simulated run (benchmark + interactive
+//! task). This is the cost of regenerating one cell of the paper's tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hogtame::{MachineConfig, Scenario, Version};
+use sim_core::SimDuration;
+
+fn bench_versions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matvec-suite-cell");
+    g.sample_size(10);
+    for v in Version::ALL {
+        g.bench_function(v.label(), |b| {
+            b.iter(|| {
+                let mut s = Scenario::new(MachineConfig::origin200());
+                s.bench(workloads::benchmark("MATVEC").unwrap(), v);
+                s.interactive(SimDuration::from_secs(5), None);
+                black_box(s.run().hog.unwrap().finish_time)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_benchmarks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("release-version-run");
+    g.sample_size(10);
+    for name in ["EMBAR", "MATVEC", "CGM", "MGRID", "FFTPDE"] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut s = Scenario::new(MachineConfig::origin200());
+                s.bench(workloads::benchmark(name).unwrap(), Version::Release);
+                s.interactive(SimDuration::from_secs(5), None);
+                black_box(s.run().hog.unwrap().finish_time)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_versions, bench_benchmarks);
+criterion_main!(benches);

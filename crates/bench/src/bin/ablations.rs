@@ -1,0 +1,165 @@
+//! Ablation studies of the design choices DESIGN.md calls out.
+//!
+//! Each ablation disables or varies one mechanism and reports its effect on
+//! the MATVEC scenario (hog completion time + interactive response at the
+//! 5-second sleep):
+//!
+//! 1. release-batch size (the paper fixes 100 pages; we sweep it);
+//! 2. free-list rescue disabled;
+//! 3. prefetch discard-on-low-memory disabled;
+//! 4. shared-page lazy vs immediate usage/limit updates;
+//! 5. the run-time layer's one-behind tag filter disabled;
+//! 6. paging-daemon scan batch size.
+
+use hogtame::report::TextTable;
+use hogtame::{MachineConfig, Scenario, Version};
+use runtime::RtConfig;
+use sim_core::SimDuration;
+
+struct Outcome {
+    hog_s: f64,
+    int_ms: f64,
+    rescues: u64,
+    stolen: u64,
+}
+
+fn run_one(machine: MachineConfig, version: Version, rt: RtConfig) -> Outcome {
+    let mut s = Scenario::new(machine);
+    s.bench(workloads::benchmark("MATVEC").unwrap(), version);
+    s.interactive(SimDuration::from_secs(5), None);
+    s.rt_config(rt);
+    let res = s.run();
+    let hog = res.hog.unwrap();
+    let int = res.interactive.unwrap();
+    Outcome {
+        hog_s: hog.breakdown.total().as_secs_f64(),
+        int_ms: int
+            .mean_response()
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN),
+        rescues: res.run.vm_stats.freed.rescued_daemon.get()
+            + res.run.vm_stats.freed.rescued_release.get(),
+        stolen: res.run.vm_stats.pagingd.pages_stolen.get(),
+    }
+}
+
+fn row(t: &mut TextTable, label: &str, o: &Outcome) {
+    t.row(vec![
+        label.to_string(),
+        format!("{:.2}", o.hog_s),
+        format!("{:.2}", o.int_ms),
+        o.rescues.to_string(),
+        o.stolen.to_string(),
+    ]);
+}
+
+fn headers() -> TextTable {
+    TextTable::new(vec![
+        "configuration",
+        "hog time (s)",
+        "interactive resp (ms)",
+        "rescues",
+        "pages stolen",
+    ])
+}
+
+fn main() {
+    let base = MachineConfig::origin200();
+
+    // 1. Release batch size (buffered drains).
+    let mut t = headers();
+    for batch in [25usize, 50, 100, 200, 400] {
+        let rt = RtConfig {
+            release_batch_target: batch,
+            ..RtConfig::default()
+        };
+        let o = run_one(base.clone(), Version::Buffered, rt);
+        row(&mut t, &format!("B, drain batch {batch}"), &o);
+    }
+    bench::emit(
+        "ablation_batch",
+        "Ablation 1: buffered-release drain batch size (paper fixes 100)",
+        &t,
+    );
+
+    // 2. Rescue disabled.
+    let mut t = headers();
+    for (label, rescue) in [("rescue enabled (paper)", true), ("rescue disabled", false)] {
+        let mut m = base.clone();
+        m.tunables.rescue_enabled = rescue;
+        for v in [Version::Prefetch, Version::Release] {
+            let o = run_one(m.clone(), v, RtConfig::default());
+            row(&mut t, &format!("{}, {label}", v.label()), &o);
+        }
+    }
+    bench::emit("ablation_rescue", "Ablation 2: free-list rescue on/off", &t);
+
+    // 3. Prefetch discard-when-low disabled.
+    let mut t = headers();
+    for (label, discard) in [("discard when low (paper)", true), ("never discard", false)] {
+        let mut m = base.clone();
+        m.tunables.prefetch_discard_when_low = discard;
+        let o = run_one(m, Version::Prefetch, RtConfig::default());
+        row(&mut t, &format!("P, {label}"), &o);
+    }
+    bench::emit(
+        "ablation_discard",
+        "Ablation 3: discarding prefetches under memory pressure",
+        &t,
+    );
+
+    // 4. Lazy vs immediate vs threshold-notified shared-page words
+    //    (the paper builds lazy, names the threshold alternative in §3.1.1).
+    let mut t = headers();
+    {
+        let o = run_one(base.clone(), Version::Buffered, RtConfig::default());
+        row(&mut t, "B, lazy updates (paper)", &o);
+    }
+    {
+        let mut m = base.clone();
+        m.tunables.immediate_limit_updates = true;
+        let o = run_one(m, Version::Buffered, RtConfig::default());
+        row(&mut t, "B, immediate updates", &o);
+    }
+    for threshold in [64u64, 256] {
+        let mut m = base.clone();
+        m.tunables.shared_update_threshold = Some(threshold);
+        let o = run_one(m, Version::Buffered, RtConfig::default());
+        row(&mut t, &format!("B, threshold notify Δ{threshold}"), &o);
+    }
+    bench::emit(
+        "ablation_sharedpage",
+        "Ablation 4: shared-page usage/limit update policy (lazy / immediate / threshold)",
+        &t,
+    );
+
+    // 5. One-behind tag filter disabled.
+    let mut t = headers();
+    for (label, ob) in [("one-behind (paper)", true), ("filter disabled", false)] {
+        let rt = RtConfig {
+            one_behind: ob,
+            ..RtConfig::default()
+        };
+        let o = run_one(base.clone(), Version::Release, rt);
+        row(&mut t, &format!("R, {label}"), &o);
+    }
+    bench::emit(
+        "ablation_onebehind",
+        "Ablation 5: the run-time layer's one-behind release filter",
+        &t,
+    );
+
+    // 6. Daemon scan batch.
+    let mut t = headers();
+    for div in [64u64, 32, 8, 4] {
+        let mut m = base.clone();
+        m.tunables.daemon_scan_batch = (m.frames as u64 / div).max(64);
+        let o = run_one(m, Version::Prefetch, RtConfig::default());
+        row(&mut t, &format!("P, scan batch frames/{div}"), &o);
+    }
+    bench::emit(
+        "ablation_scanbatch",
+        "Ablation 6: paging-daemon scan batch (burstiness of reclamation)",
+        &t,
+    );
+}

@@ -1,0 +1,29 @@
+//! Regenerates every beyond-the-paper artifact in one run: the §6
+//! hardware-refbit study, the §2.2 reactive comparison, the §2.1 local
+//! replacement study, and the ablations. (The paper's own tables and
+//! figures come from `repro`.)
+
+use std::process::Command;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    for bin in [
+        "hwrefbits",
+        "reactive",
+        "localrepl",
+        "madvise",
+        "seeds",
+        "ablations",
+    ] {
+        eprintln!("[extras] running {bin} ...");
+        let status = Command::new(std::env::current_exe().unwrap().with_file_name(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("could not launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    eprintln!(
+        "[extras] done in {:.1}s; artifacts in {:?}",
+        t0.elapsed().as_secs_f64(),
+        bench::results_dir()
+    );
+}

@@ -1,0 +1,12 @@
+//! Figure 5: compiler output for MATVEC.
+use hogtame::experiments::fig05;
+use hogtame::MachineConfig;
+
+fn main() {
+    let listing = fig05::figure5(&MachineConfig::origin200());
+    bench::emit_text(
+        "fig05",
+        "Figure 5: compiled MATVEC with prefetch/release hints",
+        &listing,
+    );
+}

@@ -1,0 +1,12 @@
+//! Figure 10(a): interactive response vs sleep time, all four MATVEC versions.
+use hogtame::experiments::fig10a;
+use hogtame::MachineConfig;
+
+fn main() {
+    let sweep = fig10a::run(&MachineConfig::origin200());
+    bench::emit(
+        "fig10a",
+        "Figure 10(a): interactive response vs sleep time (MATVEC O/P/R/B + alone)",
+        &sweep.table(),
+    );
+}

@@ -1,0 +1,13 @@
+//! Figure 10(b): interactive response at 5 s sleep, normalized to running alone.
+use hogtame::experiments::suite;
+use hogtame::MachineConfig;
+use sim_core::SimDuration;
+
+fn main() {
+    let s = suite::run(&MachineConfig::origin200(), None, SimDuration::from_secs(5));
+    bench::emit(
+        "fig10b",
+        "Figure 10(b): interactive response at 5 s sleep, normalized to running alone",
+        &s.fig10b(),
+    );
+}

@@ -1,0 +1,67 @@
+//! Modern-relevance study: the paper's release is a *rescuable* free
+//! (free-list tail, identity retained) — closer to `MADV_FREE` than to
+//! `MADV_DONTNEED`. How much does that design choice matter?
+//!
+//! "Released pages are placed at the end of the free list, giving pages
+//! that were released too early a chance to be rescued." (§3.1.2)
+//!
+//! We flip `Tunables::released_pages_rescuable` and rerun the benchmark
+//! whose compiler releases are often premature (MGRID: ~41 % of releases
+//! rescued) next to one whose releases are essentially perfect (EMBAR).
+
+use hogtame::report::TextTable;
+use hogtame::{MachineConfig, Scenario, Version};
+use sim_core::SimDuration;
+
+fn run(bench: &str, rescuable: bool) -> (f64, u64, u64) {
+    let mut machine = MachineConfig::origin200();
+    machine.tunables.released_pages_rescuable = rescuable;
+    let mut s = Scenario::new(machine);
+    s.bench(workloads::benchmark(bench).unwrap(), Version::Release);
+    s.interactive(SimDuration::from_secs(5), None);
+    let res = s.run();
+    let hog = res.hog.unwrap();
+    (
+        hog.breakdown.total().as_secs_f64(),
+        res.run.vm_stats.freed.rescued_release.get(),
+        res.run.vm_stats.proc(hog.pid.0 as usize).hard_faults.get(),
+    )
+}
+
+fn main() {
+    let mut t = TextTable::new(vec![
+        "benchmark",
+        "release semantics",
+        "hog time (s)",
+        "releases rescued",
+        "hog hard faults",
+    ]);
+    for bench in ["EMBAR", "MGRID", "MATVEC"] {
+        for (label, rescuable) in [
+            ("rescuable (paper / MADV_FREE-like)", true),
+            ("destructive (MADV_DONTNEED-like)", false),
+        ] {
+            let (time, rescued, faults) = run(bench, rescuable);
+            t.row(vec![
+                bench.to_string(),
+                label.into(),
+                format!("{time:.2}"),
+                rescued.to_string(),
+                faults.to_string(),
+            ]);
+        }
+    }
+    bench::emit(
+        "madvise",
+        "Extension: rescuable releases (paper) vs destructive MADV_DONTNEED-style releases",
+        &t,
+    );
+    println!(
+        "Reading: when the compiler's releases are perfect (EMBAR) the free-\n\
+         list rescue never fires and the semantics are interchangeable; when\n\
+         they are premature (MGRID) the rescue absorbs them, while the\n\
+         DONTNEED-style release turns every premature release into a disk\n\
+         read. The paper's free-list-tail design is what makes aggressive\n\
+         compiler releasing safe."
+    );
+}

@@ -1,0 +1,73 @@
+//! Quantifying the paper's §2.2 argument against *reactive* schemes.
+//!
+//! "A reactive system benefits applications that can make better
+//! replacement decisions than the default OS policy … Unfortunately, it
+//! will not help isolate other applications from a memory-intensive one —
+//! the OS still decides which processes should give up pages."
+//!
+//! We built the reactive alternative (VINO-style: the application
+//! accumulates the compiler's releasable pages as eviction *candidates*
+//! the OS consults when its clock lands on that application). This binary
+//! compares it with the paper's pro-active releasing.
+
+use hogtame::report::TextTable;
+use hogtame::{MachineConfig, Scenario, Version};
+use sim_core::SimDuration;
+
+fn main() {
+    let mut t = TextTable::new(vec![
+        "benchmark",
+        "version",
+        "hog time (s)",
+        "interactive (ms)",
+        "daemon activations",
+        "reactive steals",
+        "proactive releases",
+    ]);
+    for bench in ["MATVEC", "EMBAR", "CGM"] {
+        for version in [
+            Version::Prefetch,
+            Version::Reactive,
+            Version::Release,
+            Version::Buffered,
+        ] {
+            let mut s = Scenario::new(MachineConfig::origin200());
+            s.bench(workloads::benchmark(bench).unwrap(), version);
+            s.interactive(SimDuration::from_secs(5), None);
+            let res = s.run();
+            let hog = res.hog.unwrap();
+            let int = res.interactive.unwrap();
+            t.row(vec![
+                bench.to_string(),
+                version.label().into(),
+                format!("{:.2}", hog.breakdown.total().as_secs_f64()),
+                format!(
+                    "{:.2}",
+                    int.mean_response()
+                        .map(|d| d.as_millis_f64())
+                        .unwrap_or(f64::NAN)
+                ),
+                res.run.vm_stats.pagingd.activations.get().to_string(),
+                res.run.vm_stats.pagingd.reactive_steals.get().to_string(),
+                res.run.vm_stats.releaser.pages_released.get().to_string(),
+            ]);
+        }
+    }
+    bench::emit(
+        "reactive",
+        "Extension (§2.2): reactive (V) eviction candidates vs pro-active releasing (R/B)",
+        &t,
+    );
+    println!(
+        "Reading: the reactive version (V) lets the OS take the right pages,\n\
+         so its thousands of steals stop hurting the hog's working set — but\n\
+         the paging daemon keeps running (hundreds of activations) and the\n\
+         hog gains nothing over prefetch-only: reclamation is still reactive,\n\
+         so the free pool never grows and prefetches keep being discarded.\n\
+         Pro-active releasing (R/B) idles the daemon entirely and runs the\n\
+         hog 2-5x faster. (In this substrate the free-list rescue shields\n\
+         the interactive task under V better than the paper's argument\n\
+         anticipates; the hog-side failure of reactive schemes is the\n\
+         decisive column here.)"
+    );
+}

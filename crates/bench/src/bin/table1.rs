@@ -1,0 +1,12 @@
+//! Table 1: hardware characteristics of the simulated machine.
+use hogtame::experiments::tables;
+use hogtame::MachineConfig;
+
+fn main() {
+    let t = tables::table1(&MachineConfig::origin200());
+    bench::emit(
+        "table1",
+        "Table 1: hardware characteristics (simulated SGI Origin 200)",
+        &t,
+    );
+}

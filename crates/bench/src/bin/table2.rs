@@ -1,0 +1,12 @@
+//! Table 2: benchmark characteristics.
+use hogtame::experiments::tables;
+use hogtame::MachineConfig;
+
+fn main() {
+    let t = tables::table2(&MachineConfig::origin200());
+    bench::emit(
+        "table2",
+        "Table 2: out-of-core benchmark characteristics",
+        &t,
+    );
+}

@@ -1,0 +1,57 @@
+//! Shared plumbing for the reproduction binaries.
+//!
+//! Each `fig*`/`table*` binary regenerates one table or figure of the
+//! paper, printing it to stdout and persisting text + CSV artifacts under
+//! `results/` (override with the `HOGTAME_RESULTS` environment variable).
+//!
+//! Run everything at once with `cargo run -p bench --release --bin repro`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use hogtame::report::TextTable;
+
+/// The directory experiment artifacts are written to.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("HOGTAME_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Prints a titled table and persists it under [`results_dir`].
+pub fn emit(name: &str, title: &str, table: &TextTable) {
+    println!("{title}\n");
+    println!("{}", table.render());
+    let dir = results_dir();
+    if let Err(e) = hogtame::experiments::persist_table(&dir, name, title, table) {
+        eprintln!("warning: could not persist {name}: {e}");
+    }
+}
+
+/// Prints and persists a free-form text artifact.
+pub fn emit_text(name: &str, title: &str, body: &str) {
+    println!("{title}\n\n{body}");
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(
+            dir.join(format!("{name}.txt")),
+            format!("{title}\n\n{body}"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_env_override() {
+        // Not running in parallel with other env tests in this crate.
+        std::env::set_var("HOGTAME_RESULTS", "/tmp/hogtame-results-test");
+        assert_eq!(results_dir(), PathBuf::from("/tmp/hogtame-results-test"));
+        std::env::remove_var("HOGTAME_RESULTS");
+        assert_eq!(results_dir(), PathBuf::from("results"));
+    }
+}

@@ -1,0 +1,335 @@
+//! Fallible validation of source programs.
+//!
+//! [`crate::ir::LoopNest::validate`] panics, which is right for builders
+//! and tests; library users assembling IR from external input (the CLI, a
+//! future front end) want diagnostics instead. [`check_program`] walks a
+//! [`SourceProgram`] and reports every problem it finds.
+
+use std::fmt;
+
+use crate::expr::Bound;
+use crate::ir::{ArrayId, Index, LoopId, SourceProgram};
+
+/// A structural problem in a source program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IrError {
+    /// A nest has no loops.
+    EmptyNest {
+        /// Nest index.
+        nest: usize,
+    },
+    /// A loop's id does not equal its depth.
+    BadLoopId {
+        /// Nest index.
+        nest: usize,
+        /// Loop position.
+        depth: usize,
+        /// The id found.
+        found: LoopId,
+    },
+    /// A reference names an undeclared array.
+    UnknownArray {
+        /// Nest index.
+        nest: usize,
+        /// Reference position within the nest body.
+        reference: usize,
+        /// The offending id.
+        array: ArrayId,
+    },
+    /// A reference's index arity does not match the array's rank.
+    ArityMismatch {
+        /// Nest index.
+        nest: usize,
+        /// Reference position.
+        reference: usize,
+        /// Indices supplied.
+        got: usize,
+        /// Rank declared.
+        expected: usize,
+    },
+    /// An index expression names a loop deeper than the nest.
+    UnknownLoop {
+        /// Nest index.
+        nest: usize,
+        /// Reference position.
+        reference: usize,
+        /// The loop that does not exist in this nest.
+        loop_id: LoopId,
+    },
+    /// An indirection's index array is undeclared.
+    UnknownIndirectionArray {
+        /// Nest index.
+        nest: usize,
+        /// Reference position.
+        reference: usize,
+        /// The offending id.
+        via: ArrayId,
+    },
+    /// A known array dimension or loop count is non-positive.
+    NonPositiveExtent {
+        /// Where the extent was found (array name or nest name).
+        site: String,
+        /// The value.
+        value: i64,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::EmptyNest { nest } => write!(f, "nest {nest} has no loops"),
+            IrError::BadLoopId { nest, depth, found } => {
+                write!(f, "nest {nest}: loop at depth {depth} has id {found:?}")
+            }
+            IrError::UnknownArray {
+                nest,
+                reference,
+                array,
+            } => {
+                write!(f, "nest {nest} ref {reference}: unknown array {array:?}")
+            }
+            IrError::ArityMismatch {
+                nest,
+                reference,
+                got,
+                expected,
+            } => write!(
+                f,
+                "nest {nest} ref {reference}: {got} indices for rank-{expected} array"
+            ),
+            IrError::UnknownLoop {
+                nest,
+                reference,
+                loop_id,
+            } => {
+                write!(
+                    f,
+                    "nest {nest} ref {reference}: index uses missing loop {loop_id:?}"
+                )
+            }
+            IrError::UnknownIndirectionArray {
+                nest,
+                reference,
+                via,
+            } => {
+                write!(
+                    f,
+                    "nest {nest} ref {reference}: indirection via unknown array {via:?}"
+                )
+            }
+            IrError::NonPositiveExtent { site, value } => {
+                write!(f, "{site}: non-positive extent {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+fn check_affine_loops(
+    a: &crate::expr::Affine,
+    depth: usize,
+    nest: usize,
+    reference: usize,
+    errors: &mut Vec<IrError>,
+) {
+    for &(l, _) in &a.terms {
+        if l.0 >= depth {
+            errors.push(IrError::UnknownLoop {
+                nest,
+                reference,
+                loop_id: l,
+            });
+        }
+    }
+}
+
+/// Checks a whole program, returning every problem found.
+///
+/// # Errors
+///
+/// Returns the full list of structural errors; `Ok(())` means the program
+/// is safe to [`crate::compile`] and execute.
+pub fn check_program(src: &SourceProgram) -> Result<(), Vec<IrError>> {
+    let mut errors = Vec::new();
+    for decl in &src.arrays {
+        for d in &decl.dims {
+            if let Bound::Known(v) = d {
+                if *v <= 0 {
+                    errors.push(IrError::NonPositiveExtent {
+                        site: decl.name.clone(),
+                        value: *v,
+                    });
+                }
+            }
+        }
+    }
+    for (ni, nest) in src.nests.iter().enumerate() {
+        if nest.loops.is_empty() {
+            errors.push(IrError::EmptyNest { nest: ni });
+            continue;
+        }
+        let depth = nest.loops.len();
+        for (d, l) in nest.loops.iter().enumerate() {
+            if l.id != LoopId(d) {
+                errors.push(IrError::BadLoopId {
+                    nest: ni,
+                    depth: d,
+                    found: l.id,
+                });
+            }
+            if let Bound::Known(v) = l.count {
+                if v <= 0 {
+                    errors.push(IrError::NonPositiveExtent {
+                        site: nest.name.clone(),
+                        value: v,
+                    });
+                }
+            }
+        }
+        for (ri, r) in nest.refs.iter().enumerate() {
+            let Some(decl) = src.arrays.get(r.array.0) else {
+                errors.push(IrError::UnknownArray {
+                    nest: ni,
+                    reference: ri,
+                    array: r.array,
+                });
+                continue;
+            };
+            if r.indices.len() != decl.dims.len() {
+                errors.push(IrError::ArityMismatch {
+                    nest: ni,
+                    reference: ri,
+                    got: r.indices.len(),
+                    expected: decl.dims.len(),
+                });
+            }
+            for ix in r.indices.iter().chain(r.seen_indices()) {
+                match ix {
+                    Index::Affine(a) => check_affine_loops(a, depth, ni, ri, &mut errors),
+                    Index::Indirect { via, subscript } => {
+                        if src.arrays.get(via.0).is_none() {
+                            errors.push(IrError::UnknownIndirectionArray {
+                                nest: ni,
+                                reference: ri,
+                                via: *via,
+                            });
+                        }
+                        check_affine_loops(subscript, depth, ni, ri, &mut errors);
+                    }
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Affine;
+    use crate::ir::{ArrayRef, LoopNest, NestBuilder};
+
+    fn good_program() -> SourceProgram {
+        let mut p = SourceProgram::new("good");
+        let a = p.array("a", 8, vec![Bound::Known(100)]);
+        p.nest(
+            NestBuilder::new("n")
+                .counted_loop(Bound::Known(100))
+                .reference(ArrayRef::read(
+                    a,
+                    vec![Index::Affine(Affine::var(LoopId(0)))],
+                ))
+                .build(),
+        );
+        p
+    }
+
+    #[test]
+    fn good_program_checks_clean() {
+        assert!(check_program(&good_program()).is_ok());
+        // Every workload ships clean, too.
+        // (Checked in the workloads crate's own tests to avoid a cyclic
+        // dev-dependency.)
+    }
+
+    #[test]
+    fn unknown_array_detected() {
+        let mut p = SourceProgram::new("bad");
+        // Build the nest by hand to bypass the panicking validator.
+        let nest = LoopNest {
+            name: "n".into(),
+            loops: vec![crate::ir::Loop {
+                id: LoopId(0),
+                count: Bound::Known(10),
+            }],
+            refs: vec![ArrayRef::read(
+                ArrayId(7),
+                vec![Index::Affine(Affine::var(LoopId(0)))],
+            )],
+            work_per_iter_ns: 1,
+        };
+        p.nests.push(nest);
+        let errs = check_program(&p).unwrap_err();
+        assert!(matches!(
+            errs[0],
+            IrError::UnknownArray {
+                array: ArrayId(7),
+                ..
+            }
+        ));
+        assert!(errs[0].to_string().contains("unknown array"));
+    }
+
+    #[test]
+    fn arity_and_loop_errors_detected() {
+        let mut p = SourceProgram::new("bad");
+        let a = p.array("a", 8, vec![Bound::Known(10), Bound::Known(10)]);
+        let nest = LoopNest {
+            name: "n".into(),
+            loops: vec![crate::ir::Loop {
+                id: LoopId(0),
+                count: Bound::Known(10),
+            }],
+            refs: vec![ArrayRef::read(
+                a,
+                // Wrong arity (1 of 2) and a reference to loop 3.
+                vec![Index::Affine(Affine::var(LoopId(3)))],
+            )],
+            work_per_iter_ns: 1,
+        };
+        p.nests.push(nest);
+        let errs = check_program(&p).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, IrError::ArityMismatch { .. })));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            IrError::UnknownLoop {
+                loop_id: LoopId(3),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn empty_nest_and_bad_extent_detected() {
+        let mut p = SourceProgram::new("bad");
+        p.array("a", 8, vec![Bound::Known(0)]);
+        p.nests.push(LoopNest {
+            name: "empty".into(),
+            loops: vec![],
+            refs: vec![],
+            work_per_iter_ns: 1,
+        });
+        let errs = check_program(&p).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, IrError::EmptyNest { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, IrError::NonPositiveExtent { value: 0, .. })));
+    }
+}

@@ -1,0 +1,187 @@
+//! Human-readable analysis explanations.
+//!
+//! [`explain_program`] reruns the full analysis pipeline and reports, per
+//! reference: its reuse, the locality verdicts, its role in its locality
+//! group, and the directive decision with the reason — the compiler
+//! "showing its work". Used by `hogtame compile --explain`.
+
+use std::fmt::Write as _;
+
+use crate::group::find_groups;
+use crate::insert::CompileOptions;
+use crate::ir::SourceProgram;
+use crate::locality;
+use crate::pipeline::prefetch_distance_pages;
+use crate::priority::release_priority;
+use crate::reuse::analyze_nest;
+
+fn loops_str(loops: &[crate::ir::LoopId]) -> String {
+    if loops.is_empty() {
+        "-".to_string()
+    } else {
+        loops
+            .iter()
+            .map(|l| format!("{}", (b'i' + l.0 as u8) as char))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// Renders the analysis rationale for a whole program.
+pub fn explain_program(src: &SourceProgram, options: &CompileOptions) -> String {
+    let mut out = String::new();
+    let page = options.machine.page_size;
+    let assumed = options.assumed_pages();
+    let _ = writeln!(
+        out,
+        "analysis of `{}` assuming {assumed} pages ({:.1} MB) available\n",
+        src.name,
+        (assumed * page) as f64 / (1024.0 * 1024.0)
+    );
+
+    for nest in &src.nests {
+        let reuse = analyze_nest(nest, &src.arrays, page);
+        let loc = locality::analyze(nest, &src.arrays, &reuse, page, assumed);
+        let groups = find_groups(nest);
+        let _ = writeln!(out, "nest `{}` ({} refs):", nest.name, nest.refs.len());
+
+        for (gi, g) in groups.iter().enumerate() {
+            for &ri in &g.members {
+                let r = &nest.refs[ri];
+                let decl = &src.arrays[r.array.0];
+                let role = if g.members.len() == 1 {
+                    "single"
+                } else if ri == g.leading {
+                    "LEADING"
+                } else if ri == g.trailing {
+                    "TRAILING"
+                } else {
+                    "member"
+                };
+                let mut decision = String::new();
+                if !r.fully_affine() {
+                    decision.push_str("indirect: prefetch via future index, never release");
+                } else if ri == g.leading && ri == g.trailing {
+                    // Singleton: both decisions apply to this ref.
+                    decision = singleton_decision(&reuse[ri], &loc[ri]);
+                } else if ri == g.leading {
+                    decision.push_str("prefetch (first to touch the group's data)");
+                } else if ri == g.trailing {
+                    decision.push_str(&release_decision(&reuse[ri], &loc[ri]));
+                } else {
+                    decision.push_str("covered by the group's leading/trailing refs");
+                }
+                let distance = if options.insert_prefetch && ri == g.leading {
+                    format!(
+                        ", prefetch distance {} pages",
+                        prefetch_distance_pages(
+                            nest,
+                            decl,
+                            r,
+                            page,
+                            options.machine.fault_latency_ns,
+                            options.max_prefetch_distance,
+                        )
+                    )
+                } else {
+                    String::new()
+                };
+                let _ = writeln!(
+                    out,
+                    "  [group {gi}] {:<8} {:<9} temporal={:<5} spatial={:<5} locality={:<5} → {decision}{distance}",
+                    decl.name,
+                    role,
+                    loops_str(&reuse[ri].temporal),
+                    loops_str(&reuse[ri].spatial),
+                    loops_str(&loc[ri].temporal_locality),
+                );
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn release_decision(reuse: &crate::reuse::ReuseInfo, loc: &locality::LocalityInfo) -> String {
+    if loc.has_locality() {
+        "NO release: the reuse fits in memory".to_string()
+    } else if reuse.has_temporal() {
+        format!(
+            "release at priority {} (reuse exists but will not survive)",
+            release_priority(&reuse.temporal)
+        )
+    } else {
+        "release at priority 0 (data is dead)".to_string()
+    }
+}
+
+fn singleton_decision(reuse: &crate::reuse::ReuseInfo, loc: &locality::LocalityInfo) -> String {
+    let pf = if loc.has_locality() {
+        "prefetch only on the locality loop's first iteration"
+    } else {
+        "prefetch"
+    };
+    format!("{pf}; {}", release_decision(reuse, loc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Affine, Bound};
+    use crate::ir::{ArrayRef, Index, LoopId, NestBuilder};
+    use crate::MachineModel;
+
+    #[test]
+    fn matvec_explanation_names_the_decisions() {
+        let n: i64 = 6_553_600;
+        let mut p = SourceProgram::new("matvec");
+        let a = p.array("a", 8, vec![Bound::Known(6), Bound::Known(n)]);
+        let x = p.array("x", 8, vec![Bound::Known(n)]);
+        let (i, j) = (LoopId(0), LoopId(1));
+        p.nest(
+            NestBuilder::new("main")
+                .counted_loop(Bound::Known(6))
+                .counted_loop(Bound::Known(n))
+                .work_ns(35)
+                .reference(ArrayRef::read(
+                    a,
+                    vec![Index::aff(Affine::var(i)), Index::aff(Affine::var(j))],
+                ))
+                .reference(ArrayRef::read(x, vec![Index::aff(Affine::var(j))]))
+                .build(),
+        );
+        let opts = CompileOptions::prefetch_and_release(MachineModel::origin200());
+        let text = explain_program(&p, &opts);
+        assert!(
+            text.contains("release at priority 0 (data is dead)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("release at priority 1 (reuse exists but will not survive)"),
+            "{text}"
+        );
+        assert!(text.contains("prefetch distance"));
+    }
+
+    #[test]
+    fn indirect_refs_explained() {
+        let mut p = SourceProgram::new("gather");
+        let a = p.array("a", 8, vec![Bound::Known(1000)]);
+        let b = p.array("b", 4, vec![Bound::Known(1000)]);
+        p.nest(
+            NestBuilder::new("n")
+                .counted_loop(Bound::Known(1000))
+                .reference(ArrayRef::read(
+                    a,
+                    vec![Index::Indirect {
+                        via: b,
+                        subscript: Affine::var(LoopId(0)),
+                    }],
+                ))
+                .build(),
+        );
+        let opts = CompileOptions::prefetch_and_release(MachineModel::origin200());
+        let text = explain_program(&p, &opts);
+        assert!(text.contains("never release"), "{text}");
+    }
+}

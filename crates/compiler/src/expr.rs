@@ -1,0 +1,171 @@
+//! Affine index expressions and compile-time bounds.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ir::LoopId;
+
+/// A quantity the compiler may or may not know statically.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Bound {
+    /// Known at compile time.
+    Known(i64),
+    /// Unknown at compile time (run-time parameter or data-dependent);
+    /// `estimate` is what the compiler would guess if forced, but per the
+    /// paper the analysis conservatively assumes unknown extents do *not*
+    /// fit in memory.
+    Unknown {
+        /// A nominal magnitude for diagnostics only.
+        estimate: i64,
+    },
+}
+
+impl Bound {
+    /// The statically known value, if any.
+    pub fn known(self) -> Option<i64> {
+        match self {
+            Bound::Known(v) => Some(v),
+            Bound::Unknown { .. } => None,
+        }
+    }
+
+    /// Whether the value is statically known.
+    pub fn is_known(self) -> bool {
+        matches!(self, Bound::Known(_))
+    }
+}
+
+/// An affine expression over loop induction variables:
+/// `constant + Σ coeff_k · i_k`.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Affine {
+    /// The constant term.
+    pub constant: i64,
+    /// `(loop, coefficient)` terms; loops absent from the list have
+    /// coefficient zero. Kept sorted by loop id with no zero coefficients.
+    pub terms: Vec<(LoopId, i64)>,
+}
+
+impl Affine {
+    /// The constant expression `c`.
+    pub fn constant(c: i64) -> Self {
+        Affine {
+            constant: c,
+            terms: Vec::new(),
+        }
+    }
+
+    /// The expression `var` (coefficient 1, constant 0).
+    pub fn var(l: LoopId) -> Self {
+        Affine {
+            constant: 0,
+            terms: vec![(l, 1)],
+        }
+    }
+
+    /// Builder: `coeff · var + self`.
+    pub fn plus_term(mut self, l: LoopId, coeff: i64) -> Self {
+        if coeff == 0 {
+            return self;
+        }
+        match self.terms.iter_mut().find(|(id, _)| *id == l) {
+            Some((_, c)) => {
+                *c += coeff;
+                self.terms.retain(|&(_, c)| c != 0);
+            }
+            None => {
+                self.terms.push((l, coeff));
+            }
+        }
+        self.terms.sort_by_key(|&(id, _)| id.0);
+        self
+    }
+
+    /// Builder: `self + c`.
+    pub fn plus_const(mut self, c: i64) -> Self {
+        self.constant += c;
+        self
+    }
+
+    /// Coefficient of loop `l` (zero if absent).
+    pub fn coeff(&self, l: LoopId) -> i64 {
+        self.terms
+            .iter()
+            .find(|(id, _)| *id == l)
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    }
+
+    /// Whether the expression depends on loop `l`.
+    pub fn uses(&self, l: LoopId) -> bool {
+        self.coeff(l) != 0
+    }
+
+    /// Evaluates with the given induction-variable values (indexed by
+    /// `LoopId.0`).
+    pub fn eval(&self, ivs: &[i64]) -> i64 {
+        let mut v = self.constant;
+        for &(l, c) in &self.terms {
+            v += c * ivs[l.0];
+        }
+        v
+    }
+
+    /// Whether two expressions have identical coefficients (may differ only
+    /// in the constant term) — the group-locality criterion.
+    pub fn same_coefficients(&self, other: &Affine) -> bool {
+        self.terms == other.terms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: usize) -> LoopId {
+        LoopId(i)
+    }
+
+    #[test]
+    fn builder_and_eval() {
+        // 2*i + 3*j + 5
+        let e = Affine::constant(5).plus_term(l(0), 2).plus_term(l(1), 3);
+        assert_eq!(e.eval(&[10, 100]), 325);
+        assert_eq!(e.coeff(l(0)), 2);
+        assert_eq!(e.coeff(l(2)), 0);
+        assert!(e.uses(l(1)));
+        assert!(!e.uses(l(2)));
+    }
+
+    #[test]
+    fn zero_coefficients_are_dropped() {
+        let e = Affine::var(l(0)).plus_term(l(0), -1);
+        assert!(e.terms.is_empty());
+        assert!(!e.uses(l(0)));
+    }
+
+    #[test]
+    fn terms_merge_and_sort() {
+        let e = Affine::constant(0)
+            .plus_term(l(2), 1)
+            .plus_term(l(0), 4)
+            .plus_term(l(2), 2);
+        assert_eq!(e.terms, vec![(l(0), 4), (l(2), 3)]);
+    }
+
+    #[test]
+    fn same_coefficients_ignores_constant() {
+        let a = Affine::var(l(0)).plus_const(1);
+        let b = Affine::var(l(0)).plus_const(-1);
+        let c = Affine::var(l(1));
+        assert!(a.same_coefficients(&b));
+        assert!(!a.same_coefficients(&c));
+    }
+
+    #[test]
+    fn bound_known() {
+        assert_eq!(Bound::Known(7).known(), Some(7));
+        assert_eq!(Bound::Unknown { estimate: 9 }.known(), None);
+        assert!(Bound::Known(0).is_known());
+        assert!(!Bound::Unknown { estimate: 1 }.is_known());
+    }
+}

@@ -1,0 +1,200 @@
+//! Group locality.
+//!
+//! "During locality analysis, the compiler identifies groups of references
+//! that effectively share the same data and can be treated as a single
+//! reference — this is called *group locality*. For each of these groups
+//! (a group may contain only a single reference), the compiler identifies
+//! the **leading** reference (the first reference to access the data) as
+//! the reference to prefetch — we simply extend this analysis to also
+//! identify the **trailing** reference (the last one to touch the data) as
+//! the address to release."
+//!
+//! Two references group together when they target the same array with
+//! identical coefficients in every dimension — they differ only by constant
+//! offsets (`a[i+1][j-1]` vs `a[i-1][j+1]`). For ascending loops, the
+//! member with the lexicographically largest constant vector touches new
+//! data first (leading); the smallest touches it last (trailing).
+
+use crate::ir::{ArrayRef, Index, LoopNest};
+
+/// A locality group: indices into `nest.refs`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Group {
+    /// Members (positions in `nest.refs`).
+    pub members: Vec<usize>,
+    /// The member to prefetch (first to touch data).
+    pub leading: usize,
+    /// The member to release (last to touch data).
+    pub trailing: usize,
+}
+
+fn same_group(a: &ArrayRef, b: &ArrayRef) -> bool {
+    if a.array != b.array {
+        return false;
+    }
+    let (sa, sb) = (a.seen_indices(), b.seen_indices());
+    if sa.len() != sb.len() {
+        return false;
+    }
+    sa.iter().zip(sb).all(|(x, y)| match (x, y) {
+        (Index::Affine(ax), Index::Affine(ay)) => ax.same_coefficients(ay),
+        // Indirect references never group (their targets are unknowable).
+        _ => false,
+    })
+}
+
+fn const_vector(r: &ArrayRef) -> Vec<i64> {
+    r.seen_indices()
+        .iter()
+        .map(|ix| ix.as_affine().map(|a| a.constant).unwrap_or(0))
+        .collect()
+}
+
+/// Partitions the references of a nest into locality groups.
+///
+/// Order within the result follows first appearance in the body. Indirect
+/// references each form a singleton group.
+pub fn find_groups(nest: &LoopNest) -> Vec<Group> {
+    let mut groups: Vec<Group> = Vec::new();
+    let mut assigned = vec![false; nest.refs.len()];
+    for i in 0..nest.refs.len() {
+        if assigned[i] {
+            continue;
+        }
+        let mut members = vec![i];
+        assigned[i] = true;
+        if nest.refs[i].fully_affine() {
+            for (j, other) in nest.refs.iter().enumerate().skip(i + 1) {
+                if !assigned[j] && same_group(&nest.refs[i], other) {
+                    members.push(j);
+                    assigned[j] = true;
+                }
+            }
+        }
+        let leading = *members
+            .iter()
+            .max_by(|&&a, &&b| const_vector(&nest.refs[a]).cmp(&const_vector(&nest.refs[b])))
+            .expect("non-empty group");
+        let trailing = *members
+            .iter()
+            .min_by(|&&a, &&b| const_vector(&nest.refs[a]).cmp(&const_vector(&nest.refs[b])))
+            .expect("non-empty group");
+        groups.push(Group {
+            members,
+            leading,
+            trailing,
+        });
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Affine, Bound};
+    use crate::ir::{ArrayId, ArrayRef, Index, LoopId, NestBuilder};
+
+    fn l(i: usize) -> LoopId {
+        LoopId(i)
+    }
+
+    fn ref2(array: ArrayId, di: i64, dj: i64) -> ArrayRef {
+        ArrayRef::read(
+            array,
+            vec![
+                Index::aff(Affine::var(l(0)).plus_const(di)),
+                Index::aff(Affine::var(l(1)).plus_const(dj)),
+            ],
+        )
+    }
+
+    /// The paper's Figure 3 nearest-neighbour stencil: nine references
+    /// `a[i+di][j+dj]` for di, dj ∈ {-1, 0, 1}.
+    #[test]
+    fn stencil_forms_one_group_with_correct_edges() {
+        let a = ArrayId(0);
+        let mut b = NestBuilder::new("stencil")
+            .counted_loop(Bound::Known(100))
+            .counted_loop(Bound::Known(100));
+        for di in [-1i64, 0, 1] {
+            for dj in [-1i64, 0, 1] {
+                b = b.reference(ref2(a, di, dj));
+            }
+        }
+        let nest = b.build();
+        let groups = find_groups(&nest);
+        assert_eq!(groups.len(), 1);
+        let g = &groups[0];
+        assert_eq!(g.members.len(), 9);
+        // Leading: a[i+1][j+1]; trailing: a[i-1][j-1].
+        let lead = const_vector(&nest.refs[g.leading]);
+        let trail = const_vector(&nest.refs[g.trailing]);
+        assert_eq!(lead, vec![1, 1]);
+        assert_eq!(trail, vec![-1, -1]);
+    }
+
+    #[test]
+    fn different_arrays_do_not_group() {
+        let mut bld = NestBuilder::new("n")
+            .counted_loop(Bound::Known(10))
+            .counted_loop(Bound::Known(10));
+        bld = bld.reference(ref2(ArrayId(0), 0, 0));
+        bld = bld.reference(ref2(ArrayId(1), 0, 0));
+        let groups = find_groups(&bld.build());
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn different_coefficients_do_not_group() {
+        let a = ArrayId(0);
+        let r1 = ArrayRef::read(
+            a,
+            vec![Index::aff(Affine::var(l(0))), Index::aff(Affine::var(l(1)))],
+        );
+        // Transposed access a[j][i].
+        let r2 = ArrayRef::read(
+            a,
+            vec![Index::aff(Affine::var(l(1))), Index::aff(Affine::var(l(0)))],
+        );
+        let nest = NestBuilder::new("n")
+            .counted_loop(Bound::Known(10))
+            .counted_loop(Bound::Known(10))
+            .reference(r1)
+            .reference(r2)
+            .build();
+        assert_eq!(find_groups(&nest).len(), 2);
+    }
+
+    #[test]
+    fn singleton_group_is_its_own_edges() {
+        let nest = NestBuilder::new("n")
+            .counted_loop(Bound::Known(10))
+            .counted_loop(Bound::Known(10))
+            .reference(ref2(ArrayId(0), 0, 0))
+            .build();
+        let groups = find_groups(&nest);
+        assert_eq!(groups[0].leading, 0);
+        assert_eq!(groups[0].trailing, 0);
+    }
+
+    #[test]
+    fn indirect_refs_are_singletons() {
+        let a = ArrayId(0);
+        let b = ArrayId(1);
+        let ind = |_: i64| {
+            ArrayRef::read(
+                a,
+                vec![Index::Indirect {
+                    via: b,
+                    subscript: Affine::var(l(0)),
+                }],
+            )
+        };
+        let nest = NestBuilder::new("n")
+            .counted_loop(Bound::Known(10))
+            .reference(ind(0))
+            .reference(ind(1))
+            .build();
+        assert_eq!(find_groups(&nest).len(), 2);
+    }
+}

@@ -1,0 +1,383 @@
+//! The hint-insertion pass: ties reuse, group, locality, pipelining and
+//! priority analysis together into an [`AnnotatedProgram`].
+//!
+//! Per locality group:
+//!
+//! * the **leading** reference gets a prefetch directive — unless its data
+//!   has temporal *locality* (it stays resident between reuses), in which
+//!   case prefetches are restricted to the first iteration of the
+//!   reuse-carrying loop (loop peeling);
+//! * the **trailing** reference gets a release directive — unless the data
+//!   has temporal locality (releasing it would throw away exploitable
+//!   reuse), or the reference is indirect ("we do not insert a release
+//!   request since it is too hard to predict whether the data will be
+//!   accessed again"). The directive's priority is Eq. 2 over the
+//!   reference's temporal-reuse loops.
+
+use crate::group::find_groups;
+use crate::ir::SourceProgram;
+use crate::locality;
+use crate::pipeline::prefetch_distance_pages;
+use crate::priority::release_priority;
+use crate::program::{
+    AnnotatedNest, AnnotatedProgram, PrefetchDirective, RefDirectives, ReleaseDirective,
+};
+use crate::reuse::analyze_nest;
+use crate::MachineModel;
+
+/// Options controlling the pass.
+#[derive(Clone, Copy, Debug)]
+pub struct CompileOptions {
+    /// Insert prefetch directives.
+    pub insert_prefetch: bool,
+    /// Insert release directives.
+    pub insert_release: bool,
+    /// The machine description handed to the compiler.
+    pub machine: MachineModel,
+    /// Fraction of machine memory the compiler assumes the application will
+    /// actually have available at run time.
+    pub assumed_memory_fraction: f64,
+    /// Upper bound on the prefetch distance, in pages (bounds run-time
+    /// queue depth).
+    pub max_prefetch_distance: u64,
+}
+
+impl CompileOptions {
+    /// Prefetch + release (the paper's R/B executables).
+    pub fn prefetch_and_release(machine: MachineModel) -> Self {
+        CompileOptions {
+            insert_prefetch: true,
+            insert_release: true,
+            machine,
+            assumed_memory_fraction: 0.8,
+            max_prefetch_distance: 128,
+        }
+    }
+
+    /// Prefetch only (the paper's P executable).
+    pub fn prefetch_only(machine: MachineModel) -> Self {
+        CompileOptions {
+            insert_release: false,
+            ..Self::prefetch_and_release(machine)
+        }
+    }
+
+    /// No transformation (the paper's O executable).
+    pub fn original(machine: MachineModel) -> Self {
+        CompileOptions {
+            insert_prefetch: false,
+            insert_release: false,
+            ..Self::prefetch_and_release(machine)
+        }
+    }
+
+    /// The assumed available memory in pages.
+    pub fn assumed_pages(&self) -> u64 {
+        (self.machine.memory_pages as f64 * self.assumed_memory_fraction).floor() as u64
+    }
+}
+
+/// Runs the pass over a source program.
+///
+/// # Examples
+///
+/// ```
+/// use compiler::expr::{Affine, Bound};
+/// use compiler::ir::{ArrayRef, Index, LoopId, NestBuilder, SourceProgram};
+/// use compiler::{compile, CompileOptions, MachineModel};
+///
+/// // A simple out-of-core sweep: for i in 0..16M { read a[i] }.
+/// let mut src = SourceProgram::new("sweep");
+/// let a = src.array("a", 8, vec![Bound::Known(1 << 24)]);
+/// src.nest(
+///     NestBuilder::new("main")
+///         .counted_loop(Bound::Known(1 << 24))
+///         .reference(ArrayRef::read(a, vec![Index::aff(Affine::var(LoopId(0)))]))
+///         .build(),
+/// );
+/// let prog = compile(&src, &CompileOptions::prefetch_and_release(MachineModel::origin200()));
+/// // Streaming data with no reuse: prefetched, and released at priority 0.
+/// let dir = &prog.nests[0].directives[0];
+/// assert!(dir.prefetch.is_some());
+/// assert_eq!(dir.release.unwrap().priority, 0);
+/// ```
+pub fn compile(src: &SourceProgram, options: &CompileOptions) -> AnnotatedProgram {
+    let mut next_tag: u32 = 0;
+    let mut tag = || {
+        let t = next_tag;
+        next_tag += 1;
+        t
+    };
+    let page = options.machine.page_size;
+    let assumed = options.assumed_pages();
+
+    let mut nests = Vec::with_capacity(src.nests.len());
+    for nest in &src.nests {
+        let reuse = analyze_nest(nest, &src.arrays, page);
+        let loc = locality::analyze(nest, &src.arrays, &reuse, page, assumed);
+        let groups = find_groups(nest);
+        let mut directives = vec![RefDirectives::default(); nest.refs.len()];
+
+        for g in &groups {
+            // --- Prefetch the leading reference.
+            if options.insert_prefetch {
+                let r = &nest.refs[g.leading];
+                let decl = &src.arrays[r.array.0];
+                let li = &loc[g.leading];
+                // Temporal locality: the data survives between reuses, so
+                // only the first iteration of the outermost locality loop
+                // needs prefetching.
+                let only_first = li.temporal_locality.first().copied();
+                let distance = prefetch_distance_pages(
+                    nest,
+                    decl,
+                    r,
+                    page,
+                    options.machine.fault_latency_ns,
+                    options.max_prefetch_distance,
+                );
+                directives[g.leading].prefetch = Some(PrefetchDirective {
+                    distance_pages: distance,
+                    tag: tag(),
+                    only_first_iter_of: only_first,
+                });
+            }
+
+            // --- Release the trailing reference.
+            if options.insert_release {
+                let r = &nest.refs[g.trailing];
+                if !r.fully_affine() {
+                    continue; // never release indirect references
+                }
+                let ri = &reuse[g.trailing];
+                let li = &loc[g.trailing];
+                if li.has_locality() {
+                    continue; // the reuse will be exploited in memory
+                }
+                directives[g.trailing].release = Some(ReleaseDirective {
+                    priority: release_priority(&ri.temporal),
+                    tag: tag(),
+                });
+            }
+        }
+
+        nests.push(AnnotatedNest {
+            nest: nest.clone(),
+            directives,
+        });
+    }
+
+    AnnotatedProgram {
+        name: src.name.clone(),
+        arrays: src.arrays.clone(),
+        nests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Affine, Bound};
+    use crate::ir::{ArrayRef, Index, LoopId, NestBuilder};
+
+    fn l(i: usize) -> LoopId {
+        LoopId(i)
+    }
+
+    /// Out-of-core MATVEC on the paper's machine: 400 MB matrix, small
+    /// vectors. `for i { for j { y[i] += a[i][j] * x[j] } }`.
+    fn matvec_program() -> SourceProgram {
+        let n: i64 = 7168; // ~400 MB of f64
+        let mut p = SourceProgram::new("matvec");
+        let a = p.array("a", 8, vec![Bound::Known(n), Bound::Known(n)]);
+        let x = p.array("x", 8, vec![Bound::Known(n)]);
+        let y = p.array("y", 8, vec![Bound::Known(n)]);
+        let nest = NestBuilder::new("main")
+            .counted_loop(Bound::Known(n))
+            .counted_loop(Bound::Known(n))
+            .work_ns(40)
+            .reference(ArrayRef::read(
+                a,
+                vec![Index::aff(Affine::var(l(0))), Index::aff(Affine::var(l(1)))],
+            ))
+            .reference(ArrayRef::read(x, vec![Index::aff(Affine::var(l(1)))]))
+            .reference(ArrayRef::write(y, vec![Index::aff(Affine::var(l(0)))]))
+            .build();
+        p.nest(nest);
+        p
+    }
+
+    #[test]
+    fn original_options_insert_nothing() {
+        let prog = compile(
+            &matvec_program(),
+            &CompileOptions::original(MachineModel::origin200()),
+        );
+        assert_eq!(prog.prefetch_sites(), 0);
+        assert_eq!(prog.release_sites(), 0);
+    }
+
+    #[test]
+    fn prefetch_only_inserts_no_releases() {
+        let prog = compile(
+            &matvec_program(),
+            &CompileOptions::prefetch_only(MachineModel::origin200()),
+        );
+        assert!(prog.prefetch_sites() > 0);
+        assert_eq!(prog.release_sites(), 0);
+    }
+
+    #[test]
+    fn matvec_releases_matrix_not_vectors() {
+        let prog = compile(
+            &matvec_program(),
+            &CompileOptions::prefetch_and_release(MachineModel::origin200()),
+        );
+        let nest = &prog.nests[0];
+        // refs: [a (matrix), x, y]
+        let a_dir = &nest.directives[0];
+        let x_dir = &nest.directives[1];
+        let y_dir = &nest.directives[2];
+        // The matrix streams: prefetch + release at priority 0.
+        assert!(a_dir.prefetch.is_some());
+        let rel = a_dir.release.expect("matrix must be released");
+        assert_eq!(rel.priority, 0, "no temporal reuse → priority 0");
+        // x (one page, reused every i) has temporal locality → no release,
+        // prefetch restricted to the first i iteration.
+        assert!(x_dir.release.is_none(), "x fits in memory: keep it");
+        assert_eq!(
+            x_dir.prefetch.unwrap().only_first_iter_of,
+            Some(l(0)),
+            "x is prefetched only on the first outer iteration"
+        );
+        // y likewise (reused every j).
+        assert!(y_dir.release.is_none());
+    }
+
+    #[test]
+    fn matvec_under_tiny_memory_releases_vector_with_priority() {
+        // Make the compiler believe almost no memory is available: even x's
+        // reuse will not survive, so it is released WITH priority 1 (Eq. 2,
+        // temporal reuse at depth 0).
+        let mut opts = CompileOptions::prefetch_and_release(MachineModel::origin200());
+        opts.machine.memory_pages = 2;
+        let prog = compile(&matvec_program(), &opts);
+        let x_dir = &prog.nests[0].directives[1];
+        let rel = x_dir.release.expect("x released when memory too small");
+        assert_eq!(rel.priority, 1);
+        // The matrix still releases at priority 0 — the run-time layer will
+        // prefer giving up matrix pages first.
+        assert_eq!(prog.nests[0].directives[0].release.unwrap().priority, 0);
+    }
+
+    #[test]
+    fn indirect_refs_prefetched_but_never_released() {
+        let mut p = SourceProgram::new("buk-like");
+        let n: i64 = 1 << 21;
+        let keys = p.array("keys", 4, vec![Bound::Known(n)]);
+        let rank = p.array("rank", 4, vec![Bound::Known(n)]);
+        let nest = NestBuilder::new("permute")
+            .counted_loop(Bound::Known(n))
+            .reference(ArrayRef::read(keys, vec![Index::aff(Affine::var(l(0)))]))
+            .reference(ArrayRef::write(
+                rank,
+                vec![Index::Indirect {
+                    via: keys,
+                    subscript: Affine::var(l(0)),
+                }],
+            ))
+            .build();
+        p.nest(nest);
+        let prog = compile(
+            &p,
+            &CompileOptions::prefetch_and_release(MachineModel::origin200()),
+        );
+        let d = &prog.nests[0].directives;
+        assert!(d[0].release.is_some(), "sequential array released");
+        assert!(d[1].release.is_none(), "indirect array never released");
+        assert!(d[1].prefetch.is_some(), "indirect refs may still prefetch");
+    }
+
+    #[test]
+    fn stencil_prefetches_leading_releases_trailing() {
+        // Figure 3: nine grouped refs — exactly one prefetch (leading) and
+        // one release (trailing) for the whole group.
+        let mut p = SourceProgram::new("stencil");
+        let n: i64 = 8192;
+        let a = p.array("a", 8, vec![Bound::Known(n), Bound::Known(n)]);
+        let mut b = NestBuilder::new("n")
+            .counted_loop(Bound::Known(n))
+            .counted_loop(Bound::Known(n))
+            .work_ns(60);
+        for di in [-1i64, 0, 1] {
+            for dj in [-1i64, 0, 1] {
+                let r = ArrayRef::read(
+                    a,
+                    vec![
+                        Index::aff(Affine::var(l(0)).plus_const(di)),
+                        Index::aff(Affine::var(l(1)).plus_const(dj)),
+                    ],
+                );
+                b = b.reference(r);
+            }
+        }
+        p.nest(b.build());
+        let prog = compile(
+            &p,
+            &CompileOptions::prefetch_and_release(MachineModel::origin200()),
+        );
+        assert_eq!(prog.prefetch_sites(), 1);
+        assert_eq!(prog.release_sites(), 1);
+        let nest = &prog.nests[0];
+        // Leading = a[i+1][j+1] (ref 8), trailing = a[i-1][j-1] (ref 0).
+        assert!(nest.directives[8].prefetch.is_some());
+        assert!(nest.directives[0].release.is_some());
+    }
+
+    #[test]
+    fn unknown_bounds_force_aggressive_hints() {
+        // Unknown trip counts → unknown volumes → no locality → both
+        // prefetch and release inserted even though the loops might be tiny
+        // at run time (the CGM pathology; the run-time layer filters).
+        let mut p = SourceProgram::new("cgm-like");
+        let a = p.array("a", 8, vec![Bound::Unknown { estimate: 1 << 20 }]);
+        let nest = NestBuilder::new("n")
+            .counted_loop(Bound::Known(64))
+            .counted_loop(Bound::Unknown { estimate: 1 << 20 })
+            .reference(ArrayRef::read(a, vec![Index::aff(Affine::var(l(1)))]))
+            .build();
+        p.nest(nest);
+        let prog = compile(
+            &p,
+            &CompileOptions::prefetch_and_release(MachineModel::origin200()),
+        );
+        let d = &prog.nests[0].directives[0];
+        assert!(d.prefetch.is_some());
+        let rel = d.release.expect("unknown volume → release");
+        assert_eq!(rel.priority, 1, "temporal reuse at depth 0 encoded");
+        assert_eq!(d.prefetch.unwrap().only_first_iter_of, None);
+    }
+
+    #[test]
+    fn tags_are_unique_across_program() {
+        let prog = compile(
+            &matvec_program(),
+            &CompileOptions::prefetch_and_release(MachineModel::origin200()),
+        );
+        let mut tags = Vec::new();
+        for nest in &prog.nests {
+            for d in &nest.directives {
+                if let Some(p) = d.prefetch {
+                    tags.push(p.tag);
+                }
+                if let Some(r) = d.release {
+                    tags.push(r.tag);
+                }
+            }
+        }
+        let mut sorted = tags.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), tags.len(), "duplicate tags");
+    }
+}

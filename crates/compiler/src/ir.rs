@@ -1,0 +1,363 @@
+//! The loop-nest intermediate representation.
+//!
+//! A [`SourceProgram`] is a sequence of perfectly nested loop nests over
+//! declared arrays, the abstraction level at which the paper's SUIF pass
+//! works ("the compiler analyzes each set of nested loops independently").
+//! Array references use per-dimension index expressions: affine in the loop
+//! induction variables, or one level of indirection (`a[b[i]]`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::{Affine, Bound};
+
+/// Identifier of a loop within one nest (0 = outermost).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct LoopId(pub usize);
+
+/// Identifier of a declared array.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ArrayId(pub usize);
+
+/// One array dimension index expression.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Index {
+    /// An affine function of the induction variables.
+    Affine(Affine),
+    /// Indirection through another array: `b[affine]` supplies the index.
+    /// Statically unanalyzable ("it is not possible to reason statically
+    /// about any reuse that they may have").
+    Indirect {
+        /// The index array (`b` in `a[b[i]]`).
+        via: ArrayId,
+        /// The subscript into the index array.
+        subscript: Affine,
+    },
+}
+
+impl Index {
+    /// Convenience: an affine index.
+    pub fn aff(a: Affine) -> Self {
+        Index::Affine(a)
+    }
+
+    /// Whether the index is statically analyzable.
+    pub fn is_affine(&self) -> bool {
+        matches!(self, Index::Affine(_))
+    }
+
+    /// The affine expression, if analyzable.
+    pub fn as_affine(&self) -> Option<&Affine> {
+        match self {
+            Index::Affine(a) => Some(a),
+            Index::Indirect { .. } => None,
+        }
+    }
+}
+
+/// An array declaration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ArrayDecl {
+    /// Dense id (index into [`SourceProgram::arrays`]).
+    pub id: ArrayId,
+    /// Human-readable name for diagnostics and pretty output.
+    pub name: String,
+    /// Element size in bytes.
+    pub elem_size: u64,
+    /// Extent of each dimension, in elements (row-major).
+    pub dims: Vec<Bound>,
+}
+
+impl ArrayDecl {
+    /// Total elements if all dimensions are known.
+    pub fn total_elems(&self) -> Option<i64> {
+        self.dims
+            .iter()
+            .try_fold(1i64, |acc, d| d.known().map(|v| acc * v))
+    }
+
+    /// Total bytes if all dimensions are known.
+    pub fn total_bytes(&self) -> Option<i64> {
+        self.total_elems().map(|e| e * self.elem_size as i64)
+    }
+}
+
+/// A reference to an array inside the innermost loop body.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ArrayRef {
+    /// Referenced array.
+    pub array: ArrayId,
+    /// Per-dimension runtime index expressions (what execution does).
+    pub indices: Vec<Index>,
+    /// Whether the reference writes.
+    pub is_write: bool,
+    /// What the *compiler sees*, when it differs from runtime behaviour.
+    ///
+    /// `None` means the compiler sees `indices` (the normal case). FFTPDE's
+    /// pathology — a stride loaded from memory, so the access looks
+    /// loop-invariant to static analysis while actually striding — is
+    /// modelled by placing the loop-invariant-looking expression here.
+    pub seen: Option<Vec<Index>>,
+}
+
+impl ArrayRef {
+    /// Creates a read reference.
+    pub fn read(array: ArrayId, indices: Vec<Index>) -> Self {
+        ArrayRef {
+            array,
+            indices,
+            is_write: false,
+            seen: None,
+        }
+    }
+
+    /// Creates a write reference.
+    pub fn write(array: ArrayId, indices: Vec<Index>) -> Self {
+        ArrayRef {
+            array,
+            indices,
+            is_write: true,
+            seen: None,
+        }
+    }
+
+    /// The index expressions the compiler analyzes.
+    pub fn seen_indices(&self) -> &[Index] {
+        self.seen.as_deref().unwrap_or(&self.indices)
+    }
+
+    /// Whether every analyzed dimension is affine.
+    pub fn fully_affine(&self) -> bool {
+        self.seen_indices().iter().all(Index::is_affine)
+    }
+}
+
+/// One loop of a nest.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Loop {
+    /// Identifier; `LoopId(depth)` by construction.
+    pub id: LoopId,
+    /// Trip count (iterations run from 0 to count-1).
+    pub count: Bound,
+}
+
+/// A perfect loop nest with its body of references.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LoopNest {
+    /// Diagnostic name, e.g. `"matvec-main"`.
+    pub name: String,
+    /// Loops, outermost first; `loops[d].id == LoopId(d)`.
+    pub loops: Vec<Loop>,
+    /// Array references executed each innermost iteration.
+    pub refs: Vec<ArrayRef>,
+    /// Pure compute time per innermost iteration, nanoseconds.
+    pub work_per_iter_ns: u64,
+}
+
+impl LoopNest {
+    /// Depth of the nest.
+    pub fn depth(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed nests (used by builders and tests).
+    pub fn validate(&self, arrays: &[ArrayDecl]) {
+        assert!(!self.loops.is_empty(), "{}: empty nest", self.name);
+        for (d, l) in self.loops.iter().enumerate() {
+            assert_eq!(l.id, LoopId(d), "{}: loop ids must equal depth", self.name);
+        }
+        for r in &self.refs {
+            let decl = &arrays[r.array.0];
+            assert_eq!(
+                r.indices.len(),
+                decl.dims.len(),
+                "{}: ref to {} has wrong arity",
+                self.name,
+                decl.name
+            );
+            if let Some(seen) = &r.seen {
+                assert_eq!(seen.len(), decl.dims.len());
+            }
+        }
+    }
+}
+
+/// A whole program: arrays plus a sequence of independent nests.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SourceProgram {
+    /// Program name (benchmark name).
+    pub name: String,
+    /// Declared arrays.
+    pub arrays: Vec<ArrayDecl>,
+    /// Loop nests, executed in order.
+    pub nests: Vec<LoopNest>,
+}
+
+impl SourceProgram {
+    /// Creates an empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        SourceProgram {
+            name: name.into(),
+            arrays: Vec::new(),
+            nests: Vec::new(),
+        }
+    }
+
+    /// Declares an array and returns its id.
+    pub fn array(&mut self, name: impl Into<String>, elem_size: u64, dims: Vec<Bound>) -> ArrayId {
+        let id = ArrayId(self.arrays.len());
+        self.arrays.push(ArrayDecl {
+            id,
+            name: name.into(),
+            elem_size,
+            dims,
+        });
+        id
+    }
+
+    /// Appends a nest (validating it).
+    pub fn nest(&mut self, nest: LoopNest) {
+        nest.validate(&self.arrays);
+        self.nests.push(nest);
+    }
+
+    /// Array declaration lookup.
+    pub fn decl(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.0]
+    }
+}
+
+/// Builder for loop nests.
+///
+/// # Examples
+///
+/// ```
+/// use compiler::ir::{NestBuilder, ArrayRef, Index, SourceProgram};
+/// use compiler::expr::{Affine, Bound};
+///
+/// let mut p = SourceProgram::new("example");
+/// let a = p.array("a", 8, vec![Bound::Known(100)]);
+/// let nest = NestBuilder::new("sweep")
+///     .counted_loop(Bound::Known(100))
+///     .work_ns(30)
+///     .reference(ArrayRef::read(a, vec![Index::aff(Affine::var(compiler::ir::LoopId(0)))]))
+///     .build();
+/// p.nest(nest);
+/// ```
+#[derive(Debug, Default)]
+pub struct NestBuilder {
+    name: String,
+    loops: Vec<Loop>,
+    refs: Vec<ArrayRef>,
+    work_ns: u64,
+}
+
+impl NestBuilder {
+    /// Starts a nest with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        NestBuilder {
+            name: name.into(),
+            loops: Vec::new(),
+            refs: Vec::new(),
+            work_ns: 10,
+        }
+    }
+
+    /// Adds the next (inner) loop with the given trip count; returns the
+    /// builder. The loop's id is its depth.
+    pub fn counted_loop(mut self, count: Bound) -> Self {
+        let id = LoopId(self.loops.len());
+        self.loops.push(Loop { id, count });
+        self
+    }
+
+    /// Sets per-iteration compute time (ns).
+    pub fn work_ns(mut self, ns: u64) -> Self {
+        self.work_ns = ns;
+        self
+    }
+
+    /// Adds a body reference.
+    pub fn reference(mut self, r: ArrayRef) -> Self {
+        self.refs.push(r);
+        self
+    }
+
+    /// Finishes the nest.
+    pub fn build(self) -> LoopNest {
+        LoopNest {
+            name: self.name,
+            loops: self.loops,
+            refs: self.refs,
+            work_per_iter_ns: self.work_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_builder() {
+        let mut p = SourceProgram::new("t");
+        let a = p.array("a", 8, vec![Bound::Known(10), Bound::Known(20)]);
+        assert_eq!(p.decl(a).total_elems(), Some(200));
+        assert_eq!(p.decl(a).total_bytes(), Some(1600));
+        let nest = NestBuilder::new("n")
+            .counted_loop(Bound::Known(10))
+            .counted_loop(Bound::Known(20))
+            .reference(ArrayRef::read(
+                a,
+                vec![
+                    Index::aff(Affine::var(LoopId(0))),
+                    Index::aff(Affine::var(LoopId(1))),
+                ],
+            ))
+            .build();
+        p.nest(nest);
+        assert_eq!(p.nests.len(), 1);
+        assert_eq!(p.nests[0].depth(), 2);
+    }
+
+    #[test]
+    fn unknown_dims_have_no_total() {
+        let mut p = SourceProgram::new("t");
+        let a = p.array("a", 4, vec![Bound::Unknown { estimate: 100 }]);
+        assert_eq!(p.decl(a).total_elems(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn arity_mismatch_panics() {
+        let mut p = SourceProgram::new("t");
+        let a = p.array("a", 8, vec![Bound::Known(10), Bound::Known(10)]);
+        let nest = NestBuilder::new("n")
+            .counted_loop(Bound::Known(10))
+            .reference(ArrayRef::read(a, vec![Index::aff(Affine::var(LoopId(0)))]))
+            .build();
+        p.nest(nest);
+    }
+
+    #[test]
+    fn seen_indices_default_to_runtime() {
+        let r = ArrayRef::read(ArrayId(0), vec![Index::aff(Affine::constant(0))]);
+        assert_eq!(r.seen_indices().len(), 1);
+        assert!(r.fully_affine());
+    }
+
+    #[test]
+    fn indirect_is_not_affine() {
+        let r = ArrayRef::read(
+            ArrayId(0),
+            vec![Index::Indirect {
+                via: ArrayId(1),
+                subscript: Affine::var(LoopId(0)),
+            }],
+        );
+        assert!(!r.fully_affine());
+    }
+}

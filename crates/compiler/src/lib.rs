@@ -1,0 +1,78 @@
+//! The compiler analysis pass.
+//!
+//! The paper implements its analysis as a pass in the SUIF compiler,
+//! extending Mowry's I/O-prefetching algorithm. This crate reproduces that
+//! pass over an explicit loop-nest IR instead of C/Fortran source — the
+//! analyses themselves are the real thing:
+//!
+//! 1. [`reuse`] — *reuse analysis* finds the intrinsic temporal/spatial data
+//!    reuse of each array reference.
+//! 2. [`group`] — *group locality* clusters references that effectively
+//!    share data (`a[i+1][j]`, `a[i][j]`, `a[i-1][j]`…) and identifies the
+//!    **leading** reference (first to touch the data — prefetch it) and the
+//!    **trailing** reference (last to touch it — release it).
+//! 3. [`locality`] — *locality analysis* uses the page size and memory size
+//!    to decide which reuses actually produce locality: a reuse separated by
+//!    more unique data than memory holds will not survive. Unknown loop
+//!    bounds are assumed *not* to fit ("it is preferable to assume that only
+//!    the smallest working set will fit in memory").
+//! 4. [`pipeline`] — prefetch scheduling: the prefetch distance (in pages)
+//!    derived from the page-fault latency via software pipelining.
+//! 5. [`priority`] — the release priority of Eq. 2:
+//!    `priority(x) = Σ_{i ∈ temporal(x)} 2^depth(i)`.
+//! 6. [`insert`] — puts it together: per-reference prefetch/release
+//!    directives, producing an [`program::AnnotatedProgram`].
+//!
+//! Indirect references (`a[b[i]]`) are prefetchable but never released —
+//! "it is too hard to predict whether the data will be accessed again".
+//!
+//! A reference can carry *analysis-visible* index expressions that differ
+//! from its runtime behaviour (see [`ir::ArrayRef::seen_indices`]); this is
+//! how the FFTPDE pathology — strides read from memory that make an access
+//! look loop-invariant — is reproduced without faking the analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod explain;
+pub mod expr;
+pub mod group;
+pub mod insert;
+pub mod ir;
+pub mod locality;
+pub mod pipeline;
+pub mod pretty;
+pub mod priority;
+pub mod program;
+pub mod reuse;
+
+pub use check::{check_program, IrError};
+pub use explain::explain_program;
+pub use expr::{Affine, Bound};
+pub use insert::{compile, CompileOptions};
+pub use ir::{ArrayDecl, ArrayId, ArrayRef, Index, Loop, LoopId, LoopNest, SourceProgram};
+pub use program::{AnnotatedNest, AnnotatedProgram, RefDirectives};
+
+/// Machine parameters the compiler is given (paper §3.2: "the size of main
+/// memory, the page size, and the page fault latency").
+#[derive(Clone, Copy, Debug)]
+pub struct MachineModel {
+    /// Physical memory available to the application, in pages.
+    pub memory_pages: u64,
+    /// Page size in bytes.
+    pub page_size: u64,
+    /// Expected page-fault (page-in) latency in nanoseconds.
+    pub fault_latency_ns: u64,
+}
+
+impl MachineModel {
+    /// The paper's machine: ~75 MB of 16 KB pages, ≈ 10 ms fault latency.
+    pub fn origin200() -> Self {
+        MachineModel {
+            memory_pages: 4800,
+            page_size: 16 * 1024,
+            fault_latency_ns: 10_000_000,
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Locality analysis.
+//!
+//! Reuse only turns into *locality* if the reused page survives in memory
+//! between the two accesses. The compiler decides survival volumetrically:
+//! temporal reuse carried by loop `ℓ` spans one full iteration of `ℓ`
+//! (everything inside it), so it produces locality iff the number of unique
+//! pages the whole nest touches during that iteration fits in the memory
+//! the compiler assumes is available.
+//!
+//! Unknown loop bounds make the volume unknown; following the paper
+//! ("it is preferable to assume that only the smallest working set will fit
+//! in memory"), unknown volumes are assumed **not** to fit.
+
+use crate::ir::{ArrayDecl, ArrayRef, LoopId, LoopNest};
+use crate::reuse::ReuseInfo;
+
+/// Locality decisions for one reference.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LocalityInfo {
+    /// Temporal-reuse loops whose reuse the memory will retain (no release;
+    /// prefetch only needed on the first iteration).
+    pub temporal_locality: Vec<LoopId>,
+    /// Temporal-reuse loops whose intervening volume exceeds memory: the
+    /// reuse exists but will not survive (release *with* priority).
+    pub temporal_no_locality: Vec<LoopId>,
+}
+
+impl LocalityInfo {
+    /// Whether any reuse will actually be exploited in memory.
+    pub fn has_locality(&self) -> bool {
+        !self.temporal_locality.is_empty()
+    }
+}
+
+/// Unique pages touched by reference `r` during one iteration of the loop at
+/// `depth` (i.e. a full execution of all deeper loops). `None` if unknown
+/// (unknown bounds or indirect reference).
+///
+/// The estimate is the bounding box of the index expressions over the inner
+/// loops, converted to pages row-major: full rows for every outer dimension,
+/// byte-extent of the last dimension rounded up to pages.
+pub fn footprint_pages(
+    nest: &LoopNest,
+    decl: &ArrayDecl,
+    r: &ArrayRef,
+    depth: usize,
+    page_size: u64,
+) -> Option<u64> {
+    if !r.fully_affine() {
+        return None;
+    }
+    let indices = r.seen_indices();
+    let mut extents: Vec<u64> = Vec::with_capacity(indices.len());
+    for ix in indices {
+        let a = ix.as_affine().expect("checked affine");
+        let mut extent: u64 = 1;
+        for l in &nest.loops {
+            if l.id.0 <= depth {
+                continue;
+            }
+            let c = a.coeff(l.id).unsigned_abs();
+            if c == 0 {
+                continue;
+            }
+            let trip = l.count.known()?;
+            if trip <= 0 {
+                continue;
+            }
+            extent = extent.saturating_add(c.saturating_mul(trip as u64 - 1));
+        }
+        extents.push(extent);
+    }
+    // Row-major: outer dims multiply whole "rows"; the last dim converts to
+    // pages by byte extent.
+    let last = *extents.last().unwrap_or(&1);
+    let rows: u64 = extents[..extents.len().saturating_sub(1)]
+        .iter()
+        .try_fold(1u64, |acc, &e| acc.checked_mul(e))?;
+    let last_pages = (last.saturating_mul(decl.elem_size))
+        .div_ceil(page_size)
+        .max(1);
+    rows.checked_mul(last_pages)
+}
+
+/// Unique pages the whole nest touches during one iteration of the loop at
+/// `depth`. `None` if any reference's footprint is unknown.
+pub fn nest_volume_pages(
+    nest: &LoopNest,
+    arrays: &[ArrayDecl],
+    depth: usize,
+    page_size: u64,
+) -> Option<u64> {
+    let mut total: u64 = 0;
+    for r in &nest.refs {
+        total = total.saturating_add(footprint_pages(
+            nest,
+            &arrays[r.array.0],
+            r,
+            depth,
+            page_size,
+        )?);
+    }
+    Some(total)
+}
+
+/// Runs locality analysis for every reference of a nest.
+///
+/// `assumed_pages` is the amount of memory the compiler assumes will be
+/// available to the application at run time.
+pub fn analyze(
+    nest: &LoopNest,
+    arrays: &[ArrayDecl],
+    reuse: &[ReuseInfo],
+    page_size: u64,
+    assumed_pages: u64,
+) -> Vec<LocalityInfo> {
+    // Precompute per-depth nest volumes (shared by all refs).
+    let volumes: Vec<Option<u64>> = (0..nest.depth())
+        .map(|d| nest_volume_pages(nest, arrays, d, page_size))
+        .collect();
+    reuse
+        .iter()
+        .map(|info| {
+            let mut out = LocalityInfo::default();
+            for &l in &info.temporal {
+                match volumes[l.0] {
+                    Some(v) if v <= assumed_pages => out.temporal_locality.push(l),
+                    _ => out.temporal_no_locality.push(l),
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Affine, Bound};
+    use crate::ir::{ArrayRef, Index, NestBuilder, SourceProgram};
+    use crate::reuse::analyze_nest;
+
+    const PAGE: u64 = 16 * 1024;
+
+    fn l(i: usize) -> LoopId {
+        LoopId(i)
+    }
+
+    /// MATVEC: `for i in N { for j in N { y[i] += a[i][j] * x[j] } }`.
+    fn matvec(n: i64) -> (SourceProgram, crate::ir::LoopNest) {
+        let mut p = SourceProgram::new("matvec");
+        let a = p.array("a", 8, vec![Bound::Known(n), Bound::Known(n)]);
+        let x = p.array("x", 8, vec![Bound::Known(n)]);
+        let y = p.array("y", 8, vec![Bound::Known(n)]);
+        let nest = NestBuilder::new("main")
+            .counted_loop(Bound::Known(n))
+            .counted_loop(Bound::Known(n))
+            .reference(ArrayRef::read(
+                a,
+                vec![Index::aff(Affine::var(l(0))), Index::aff(Affine::var(l(1)))],
+            ))
+            .reference(ArrayRef::read(x, vec![Index::aff(Affine::var(l(1)))]))
+            .reference(ArrayRef::write(y, vec![Index::aff(Affine::var(l(0)))]))
+            .build();
+        (p, nest)
+    }
+
+    #[test]
+    fn footprint_of_matrix_row_walk() {
+        let (p, nest) = matvec(2048);
+        // One iteration of i (depth 0): a[i][*] touches one row of 2048
+        // 8-byte elements = 16 KB = 1 page.
+        let fp = footprint_pages(&nest, &p.arrays[0], &nest.refs[0], 0, PAGE).unwrap();
+        assert_eq!(fp, 1);
+        // One innermost iteration (depth 1): a single element = 1 page.
+        let fp = footprint_pages(&nest, &p.arrays[0], &nest.refs[0], 1, PAGE).unwrap();
+        assert_eq!(fp, 1);
+    }
+
+    #[test]
+    fn footprint_of_vector_sweep() {
+        let (p, nest) = matvec(2048);
+        // x[j] during one i-iteration: whole vector, 16 KB = 1 page... no:
+        // 2048 × 8 = 16 KB exactly = 1 page.
+        let fp = footprint_pages(&nest, &p.arrays[1], &nest.refs[1], 0, PAGE).unwrap();
+        assert_eq!(fp, 1);
+    }
+
+    #[test]
+    fn vector_reuse_fits_matrix_does_not_dominate() {
+        // Big matrix, small memory: x's temporal reuse in i spans a volume
+        // of (one matrix row + the whole x vector + one y element); with
+        // enough assumed pages that fits, so x has locality.
+        let (p, nest) = matvec(8192);
+        let reuse = analyze_nest(&nest, &p.arrays, PAGE);
+        let loc = analyze(&nest, &p.arrays, &reuse, PAGE, 64);
+        // refs: [a, x, y]
+        assert!(loc[1].temporal_locality.contains(&l(0)), "x fits");
+        assert!(
+            loc[2].temporal_locality.contains(&l(1)),
+            "y reused immediately"
+        );
+        assert!(
+            loc[0].temporal_locality.is_empty(),
+            "a has no temporal reuse"
+        );
+    }
+
+    #[test]
+    fn reuse_without_locality_when_memory_small() {
+        // Tiny assumed memory: even x's reuse volume exceeds it.
+        let (p, nest) = matvec(8192);
+        let reuse = analyze_nest(&nest, &p.arrays, PAGE);
+        let loc = analyze(&nest, &p.arrays, &reuse, PAGE, 2);
+        assert!(loc[1].temporal_locality.is_empty());
+        assert_eq!(loc[1].temporal_no_locality, vec![l(0)]);
+        assert!(!loc[1].has_locality());
+    }
+
+    #[test]
+    fn unknown_bounds_assume_no_locality() {
+        let mut p = SourceProgram::new("t");
+        let a = p.array("a", 8, vec![Bound::Unknown { estimate: 1000 }]);
+        let x = p.array("x", 8, vec![Bound::Known(16)]);
+        let nest = NestBuilder::new("n")
+            .counted_loop(Bound::Known(100))
+            .counted_loop(Bound::Unknown { estimate: 1000 })
+            .reference(ArrayRef::read(a, vec![Index::aff(Affine::var(l(1)))]))
+            .reference(ArrayRef::read(x, vec![Index::aff(Affine::constant(0))]))
+            .build();
+        let reuse = analyze_nest(&nest, &p.arrays, PAGE);
+        // x[0] has temporal reuse in both loops, but the unknown inner trip
+        // count makes the i-volume unknown → no locality at depth 0.
+        let loc = analyze(&nest, &p.arrays, &reuse, PAGE, 1_000_000);
+        assert!(loc[1].temporal_no_locality.contains(&l(0)));
+        // Depth 1 volume is known (one element each) → locality at j.
+        assert!(loc[1].temporal_locality.contains(&l(1)));
+    }
+
+    #[test]
+    fn indirect_ref_makes_volume_unknown() {
+        let mut p = SourceProgram::new("t");
+        let a = p.array("a", 8, vec![Bound::Known(1000)]);
+        let b = p.array("b", 4, vec![Bound::Known(1000)]);
+        let nest = NestBuilder::new("n")
+            .counted_loop(Bound::Known(1000))
+            .reference(ArrayRef::read(
+                a,
+                vec![Index::Indirect {
+                    via: b,
+                    subscript: Affine::var(l(0)),
+                }],
+            ))
+            .build();
+        assert_eq!(nest_volume_pages(&nest, &p.arrays, 0, PAGE), None);
+    }
+
+    #[test]
+    fn stencil_three_row_working_set() {
+        // The paper's Figure 3 example: holding three rows exploits the
+        // temporal reuse along i. With assumed memory ≥ 3 rows the group's
+        // i-reuse has locality; with less it does not.
+        let mut p = SourceProgram::new("stencil");
+        let n: i64 = 4096; // row = 32 KB = 2 pages
+        let a = p.array("a", 8, vec![Bound::Known(n), Bound::Known(n)]);
+        let mut b = NestBuilder::new("n")
+            .counted_loop(Bound::Known(n))
+            .counted_loop(Bound::Known(n));
+        for di in [-1i64, 0, 1] {
+            for dj in [-1i64, 0, 1] {
+                b = b.reference(ArrayRef::read(
+                    a,
+                    vec![
+                        Index::aff(Affine::var(l(0)).plus_const(di)),
+                        Index::aff(Affine::var(l(1)).plus_const(dj)),
+                    ],
+                ));
+            }
+        }
+        let nest = b.build();
+        let reuse = analyze_nest(&nest, &p.arrays, PAGE);
+        // a[i+1][j] (di=1) has no temporal reuse per se (i and j both appear),
+        // but the di=-1..1 rows give each ref spatial+group reuse; temporal
+        // reuse per individual ref is empty here, so the locality decision
+        // shows up at the group level (tested in insert.rs). Volume check:
+        // one i-iteration touches 9 bounding boxes of ~1 row each.
+        let vol = nest_volume_pages(&nest, &p.arrays, 0, PAGE).unwrap();
+        assert!(vol >= 9, "nine refs, each ≥ one row of 2 pages: {vol}");
+        let _ = reuse;
+    }
+}

@@ -1,0 +1,133 @@
+//! Prefetch scheduling via software pipelining.
+//!
+//! A prefetch hides latency only if it is issued at least one page-fault
+//! latency before the data is needed. The pass therefore computes, per
+//! prefetched reference, the **prefetch distance in pages**: how many pages
+//! ahead of the current access position the hint should target. The hint
+//! for page `p + D` is emitted when the reference enters page `p`
+//! (steady state), and a prologue covers the first `D` pages at nest entry
+//! — the software-pipelining transformation of Mowry's algorithm applied at
+//! page granularity.
+
+use crate::ir::{ArrayDecl, ArrayRef, LoopNest};
+
+/// How long one reference dwells on a single page of its array, in
+/// nanoseconds, based on the iteration work and the reference's innermost
+/// stride. Returns `None` for indirect references (every iteration may be a
+/// new page — distance computed from per-iteration time instead).
+pub fn time_per_page_ns(
+    nest: &LoopNest,
+    decl: &ArrayDecl,
+    r: &ArrayRef,
+    page_size: u64,
+) -> Option<u64> {
+    if !r.fully_affine() {
+        return None;
+    }
+    let indices = r.seen_indices();
+    let innermost = nest.loops.last()?.id;
+    let last_dim = indices.len() - 1;
+    let stride = indices[last_dim]
+        .as_affine()?
+        .coeff(innermost)
+        .unsigned_abs();
+    let iters_per_page = if stride == 0 {
+        // The innermost loop does not advance this reference; the dwell is
+        // effectively the whole innermost loop (treated as one page visit).
+        nest.loops.last()?.count.known().map(|c| c.max(1) as u64)?
+    } else {
+        (page_size / (stride * decl.elem_size).max(1)).max(1)
+    };
+    Some(iters_per_page.saturating_mul(nest.work_per_iter_ns.max(1)))
+}
+
+/// Prefetch distance in pages for one reference.
+///
+/// `latency_ns` is the page-fault latency the compiler was given. The
+/// distance is clamped to `[1, max_distance]`; indirect references fall
+/// back to a distance computed from per-iteration time.
+pub fn prefetch_distance_pages(
+    nest: &LoopNest,
+    decl: &ArrayDecl,
+    r: &ArrayRef,
+    page_size: u64,
+    latency_ns: u64,
+    max_distance: u64,
+) -> u64 {
+    let per_page =
+        time_per_page_ns(nest, decl, r, page_size).unwrap_or_else(|| nest.work_per_iter_ns.max(1));
+    let d = latency_ns.div_ceil(per_page.max(1));
+    d.clamp(1, max_distance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Affine, Bound};
+    use crate::ir::{ArrayRef, Index, LoopId, NestBuilder, SourceProgram};
+
+    const PAGE: u64 = 16 * 1024;
+
+    fn unit_sweep(work_ns: u64, n: i64) -> (SourceProgram, crate::ir::LoopNest) {
+        let mut p = SourceProgram::new("t");
+        let a = p.array("a", 8, vec![Bound::Known(n)]);
+        let nest = NestBuilder::new("n")
+            .counted_loop(Bound::Known(n))
+            .work_ns(work_ns)
+            .reference(ArrayRef::read(a, vec![Index::aff(Affine::var(LoopId(0)))]))
+            .build();
+        (p, nest)
+    }
+
+    #[test]
+    fn dwell_time_for_unit_stride() {
+        let (p, nest) = unit_sweep(50, 1 << 20);
+        // 2048 elements per 16 KB page × 50 ns = 102.4 µs.
+        let t = time_per_page_ns(&nest, &p.arrays[0], &nest.refs[0], PAGE).unwrap();
+        assert_eq!(t, 2048 * 50);
+    }
+
+    #[test]
+    fn distance_covers_latency() {
+        let (p, nest) = unit_sweep(50, 1 << 20);
+        // 10 ms latency / 102.4 µs per page ≈ 98 pages.
+        let d = prefetch_distance_pages(&nest, &p.arrays[0], &nest.refs[0], PAGE, 10_000_000, 1024);
+        assert_eq!(d, 98);
+    }
+
+    #[test]
+    fn distance_clamped_to_max() {
+        let (p, nest) = unit_sweep(1, 1 << 20);
+        let d = prefetch_distance_pages(&nest, &p.arrays[0], &nest.refs[0], PAGE, 10_000_000, 64);
+        assert_eq!(d, 64);
+    }
+
+    #[test]
+    fn slow_iterations_need_small_distance() {
+        let (p, nest) = unit_sweep(1_000_000, 1 << 20); // 1 ms per element
+        let d = prefetch_distance_pages(&nest, &p.arrays[0], &nest.refs[0], PAGE, 10_000_000, 1024);
+        assert_eq!(d, 1, "one page dwell already exceeds the latency");
+    }
+
+    #[test]
+    fn indirect_ref_uses_iteration_time() {
+        let mut p = SourceProgram::new("t");
+        let a = p.array("a", 8, vec![Bound::Known(1000)]);
+        let b = p.array("b", 4, vec![Bound::Known(1000)]);
+        let nest = NestBuilder::new("n")
+            .counted_loop(Bound::Known(1000))
+            .work_ns(1000)
+            .reference(ArrayRef::read(
+                a,
+                vec![Index::Indirect {
+                    via: b,
+                    subscript: Affine::var(LoopId(0)),
+                }],
+            ))
+            .build();
+        assert!(time_per_page_ns(&nest, &p.arrays[0], &nest.refs[0], PAGE).is_none());
+        // 10 ms / 1 µs per iteration = 10_000, clamped.
+        let d = prefetch_distance_pages(&nest, &p.arrays[0], &nest.refs[0], PAGE, 10_000_000, 256);
+        assert_eq!(d, 256);
+    }
+}

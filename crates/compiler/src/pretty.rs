@@ -1,0 +1,188 @@
+//! Pretty-printer for annotated programs.
+//!
+//! Renders compiled code in the style of the paper's Figure 5: the loop
+//! structure with `pf(...)` / `rel(...)` calls showing the arguments
+//! `(prefetch address, release address, number of pages, release priority,
+//! request identifier)`.
+
+use std::fmt::Write as _;
+
+use crate::expr::Bound;
+use crate::ir::{ArrayDecl, Index};
+use crate::program::{AnnotatedNest, AnnotatedProgram};
+
+fn fmt_bound(b: Bound) -> String {
+    match b {
+        Bound::Known(v) => v.to_string(),
+        Bound::Unknown { estimate } => format!("N?~{estimate}"),
+    }
+}
+
+fn fmt_index(ix: &Index, arrays: &[ArrayDecl]) -> String {
+    match ix {
+        Index::Affine(a) => {
+            let mut parts = Vec::new();
+            for &(l, c) in &a.terms {
+                let var = (b'i' + l.0 as u8) as char;
+                match c {
+                    1 => parts.push(format!("{var}")),
+                    -1 => parts.push(format!("-{var}")),
+                    c => parts.push(format!("{c}*{var}")),
+                }
+            }
+            match a.constant {
+                0 if parts.is_empty() => "0".to_string(),
+                0 => parts.join("+"),
+                c if parts.is_empty() => c.to_string(),
+                c if c > 0 => format!("{}+{c}", parts.join("+")),
+                c => format!("{}{c}", parts.join("+")),
+            }
+        }
+        Index::Indirect { via, subscript } => {
+            let inner = fmt_index(&Index::Affine(subscript.clone()), arrays);
+            format!("{}[{}]", arrays[via.0].name, inner)
+        }
+    }
+}
+
+/// Renders one annotated nest.
+pub fn render_nest(nest: &AnnotatedNest, arrays: &[ArrayDecl]) -> String {
+    let mut out = String::new();
+    let mut indent = String::new();
+    for (d, l) in nest.nest.loops.iter().enumerate() {
+        let var = (b'i' + d as u8) as char;
+        let _ = writeln!(
+            out,
+            "{indent}for ({var} = 0; {var} < {}; {var}++) {{",
+            fmt_bound(l.count)
+        );
+        indent.push_str("  ");
+    }
+    for (i, r) in nest.nest.refs.iter().enumerate() {
+        let decl = &arrays[r.array.0];
+        let subs: Vec<String> = r.indices.iter().map(|ix| fmt_index(ix, arrays)).collect();
+        let access = format!("{}[{}]", decl.name, subs.join("]["));
+        let rw = if r.is_write { "write" } else { "read " };
+        let _ = writeln!(out, "{indent}{rw} {access};");
+        let dir = &nest.directives[i];
+        if let Some(p) = dir.prefetch {
+            let guard = match p.only_first_iter_of {
+                Some(l) => format!(" /* only when {} == 0 */", (b'i' + l.0 as u8) as char),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "{indent}  pf(&{access} + {}pg, npages=1, tag={}){guard};",
+                p.distance_pages, p.tag
+            );
+        }
+        if let Some(rel) = dir.release {
+            let _ = writeln!(
+                out,
+                "{indent}  rel(&{access} - 1pg, npages=1, priority={}, tag={});",
+                rel.priority, rel.tag
+            );
+        }
+    }
+    for d in (0..nest.nest.loops.len()).rev() {
+        let _ = writeln!(out, "{}}}", "  ".repeat(d));
+    }
+    out
+}
+
+/// Renders a whole program (Figure 5 style).
+pub fn render_program(prog: &AnnotatedProgram) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "/* {} — compiled with prefetch/release insertion */",
+        prog.name
+    );
+    for decl in &prog.arrays {
+        let dims: Vec<String> = decl.dims.iter().map(|&d| fmt_bound(d)).collect();
+        let _ = writeln!(
+            out,
+            "double {}[{}]; /* {} B/elem */",
+            decl.name,
+            dims.join("]["),
+            decl.elem_size
+        );
+    }
+    for nest in &prog.nests {
+        let _ = writeln!(out, "\n/* nest: {} */", nest.nest.name);
+        out.push_str(&render_nest(nest, &prog.arrays));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Affine, Bound};
+    use crate::insert::{compile, CompileOptions};
+    use crate::ir::{ArrayRef, Index as Ix, LoopId, NestBuilder, SourceProgram};
+    use crate::MachineModel;
+
+    #[test]
+    fn renders_matvec_with_hints() {
+        let n: i64 = 7168;
+        let mut p = SourceProgram::new("matvec");
+        let a = p.array("a", 8, vec![Bound::Known(n), Bound::Known(n)]);
+        let x = p.array("x", 8, vec![Bound::Known(n)]);
+        let nest = NestBuilder::new("main")
+            .counted_loop(Bound::Known(n))
+            .counted_loop(Bound::Known(n))
+            .work_ns(40)
+            .reference(ArrayRef::read(
+                a,
+                vec![
+                    Ix::aff(Affine::var(LoopId(0))),
+                    Ix::aff(Affine::var(LoopId(1))),
+                ],
+            ))
+            .reference(ArrayRef::read(x, vec![Ix::aff(Affine::var(LoopId(1)))]))
+            .build();
+        p.nest(nest);
+        let prog = compile(
+            &p,
+            &CompileOptions::prefetch_and_release(MachineModel::origin200()),
+        );
+        let text = render_program(&prog);
+        assert!(text.contains("for (i = 0; i < 7168; i++)"));
+        assert!(text.contains("a[i][j]"));
+        assert!(text.contains("pf(&a[i][j]"));
+        assert!(text.contains("rel(&a[i][j]"));
+        assert!(text.contains("priority=0"));
+    }
+
+    #[test]
+    fn renders_indirect_and_unknown_bounds() {
+        let mut p = SourceProgram::new("t");
+        let a = p.array("a", 8, vec![Bound::Unknown { estimate: 512 }]);
+        let b = p.array("b", 4, vec![Bound::Known(64)]);
+        let nest = NestBuilder::new("n")
+            .counted_loop(Bound::Unknown { estimate: 512 })
+            .reference(ArrayRef::read(
+                a,
+                vec![Ix::Indirect {
+                    via: b,
+                    subscript: Affine::var(LoopId(0)),
+                }],
+            ))
+            .build();
+        p.nest(nest);
+        let prog = compile(&p, &CompileOptions::original(MachineModel::origin200()));
+        let text = render_program(&prog);
+        assert!(text.contains("N?~512"));
+        assert!(text.contains("a[b[i]]"));
+    }
+
+    #[test]
+    fn renders_negative_offsets() {
+        let e = Affine::var(LoopId(0)).plus_const(-1);
+        let s = fmt_index(&Ix::aff(e), &[]);
+        assert_eq!(s, "i-1");
+        let e2 = Affine::constant(0).plus_term(LoopId(1), -1);
+        assert_eq!(fmt_index(&Ix::aff(e2), &[]), "-j");
+    }
+}

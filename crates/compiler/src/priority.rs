@@ -1,0 +1,69 @@
+//! Release priorities — Equation 2.
+//!
+//! "The reuse information is encoded as a priority value which is passed as
+//! a parameter in the release requests; larger numbers represent references
+//! with earlier reuse — i.e. those which we would most prefer to retain in
+//! memory. … Let `depth(i)` denote the depth of loop `i`, with the
+//! outermost loop nest having a depth of 0. Let `temporal(x)` be the set of
+//! nested loops in which reference `x` has temporal reuse. The release
+//! priority is computed by:
+//!
+//! ```text
+//! priority(x) = Σ_{i ∈ temporal(x)} 2^depth(i)          (2)
+//! ```
+
+use crate::ir::LoopId;
+
+/// Computes Eq. 2 for a reference whose temporal-reuse loops are `temporal`.
+///
+/// Deeper loops contribute exponentially more: reuse carried by an inner
+/// loop recurs sooner, so those pages should be retained longest.
+pub fn release_priority(temporal: &[LoopId]) -> u32 {
+    temporal
+        .iter()
+        .map(|l| 1u32 << l.0.min(31))
+        .fold(0u32, u32::saturating_add)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: usize) -> LoopId {
+        LoopId(i)
+    }
+
+    #[test]
+    fn no_reuse_is_priority_zero() {
+        assert_eq!(release_priority(&[]), 0);
+    }
+
+    #[test]
+    fn matvec_priorities() {
+        // x[j]: temporal reuse in the outer loop (depth 0) → 2^0 = 1.
+        assert_eq!(release_priority(&[l(0)]), 1);
+        // y[i]: temporal reuse in the inner loop (depth 1) → 2^1 = 2.
+        assert_eq!(release_priority(&[l(1)]), 2);
+    }
+
+    #[test]
+    fn multiple_loops_sum() {
+        // Reuse in depths 0 and 2 → 1 + 4 = 5.
+        assert_eq!(release_priority(&[l(0), l(2)]), 5);
+    }
+
+    #[test]
+    fn inner_reuse_dominates_outer() {
+        // A reference reused at depth 3 outranks any set of reuses at
+        // depths 0..3 combined? No — 2^3 = 8 > 1+2+4 = 7. The encoding is
+        // exactly positional binary, so deeper always dominates.
+        assert!(release_priority(&[l(3)]) > release_priority(&[l(0), l(1), l(2)]));
+    }
+
+    #[test]
+    fn deep_loops_saturate_instead_of_overflowing() {
+        assert_eq!(release_priority(&[l(40)]), 1 << 31);
+        // Two saturated terms saturate the sum as well.
+        assert_eq!(release_priority(&[l(40), l(41)]), u32::MAX);
+    }
+}

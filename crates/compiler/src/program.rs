@@ -1,0 +1,135 @@
+//! The compiled (annotated) program.
+//!
+//! Compilation attaches *directives* to the references of each nest: which
+//! references to prefetch (and how many pages ahead), and which to release
+//! (and at what priority). The run-time layer's executor interprets the
+//! annotated program, emitting paging hints at page-crossing boundaries —
+//! the page-granularity equivalent of the loop-split, software-pipelined
+//! code the SUIF pass generates (Figure 5 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ir::{ArrayDecl, LoopId, LoopNest};
+
+/// A prefetch directive attached to a (leading) reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetchDirective {
+    /// How many pages ahead of the current access position to prefetch.
+    pub distance_pages: u64,
+    /// Request identifier, unique per directive site.
+    pub tag: u32,
+    /// If set, the data has temporal locality carried by this loop: it
+    /// stays resident between reuses, so prefetches are emitted only on the
+    /// loop's first iteration (the loop-splitting/peeling optimization).
+    pub only_first_iter_of: Option<LoopId>,
+}
+
+/// A release directive attached to a (trailing) reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReleaseDirective {
+    /// Eq. 2 priority: 0 = no expected reuse; larger = earlier reuse, keep
+    /// longer.
+    pub priority: u32,
+    /// Request identifier, unique per directive site ("tag").
+    pub tag: u32,
+}
+
+/// The directives attached to one reference.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefDirectives {
+    /// Prefetch this reference's pages (it is a group leader).
+    pub prefetch: Option<PrefetchDirective>,
+    /// Release this reference's pages behind it (it is a group trailer).
+    pub release: Option<ReleaseDirective>,
+}
+
+/// One annotated nest: the source nest plus per-reference directives.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AnnotatedNest {
+    /// The nest as written.
+    pub nest: LoopNest,
+    /// Directives, indexed like `nest.refs`.
+    pub directives: Vec<RefDirectives>,
+}
+
+impl AnnotatedNest {
+    /// Number of prefetch directives in this nest.
+    pub fn prefetch_count(&self) -> usize {
+        self.directives
+            .iter()
+            .filter(|d| d.prefetch.is_some())
+            .count()
+    }
+
+    /// Number of release directives in this nest.
+    pub fn release_count(&self) -> usize {
+        self.directives
+            .iter()
+            .filter(|d| d.release.is_some())
+            .count()
+    }
+}
+
+/// The compiled program.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AnnotatedProgram {
+    /// Program (benchmark) name.
+    pub name: String,
+    /// Array declarations, as in the source.
+    pub arrays: Vec<ArrayDecl>,
+    /// Annotated nests, in execution order.
+    pub nests: Vec<AnnotatedNest>,
+}
+
+impl AnnotatedProgram {
+    /// Total prefetch directive sites.
+    pub fn prefetch_sites(&self) -> usize {
+        self.nests.iter().map(AnnotatedNest::prefetch_count).sum()
+    }
+
+    /// Total release directive sites.
+    pub fn release_sites(&self) -> usize {
+        self.nests.iter().map(AnnotatedNest::release_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Bound;
+    use crate::ir::NestBuilder;
+
+    #[test]
+    fn directive_counting() {
+        let nest = NestBuilder::new("n").counted_loop(Bound::Known(1)).build();
+        let annotated = AnnotatedNest {
+            nest,
+            directives: vec![
+                RefDirectives {
+                    prefetch: Some(PrefetchDirective {
+                        distance_pages: 4,
+                        tag: 0,
+                        only_first_iter_of: None,
+                    }),
+                    release: None,
+                },
+                RefDirectives {
+                    prefetch: None,
+                    release: Some(ReleaseDirective {
+                        priority: 1,
+                        tag: 1,
+                    }),
+                },
+            ],
+        };
+        assert_eq!(annotated.prefetch_count(), 1);
+        assert_eq!(annotated.release_count(), 1);
+        let prog = AnnotatedProgram {
+            name: "t".into(),
+            arrays: vec![],
+            nests: vec![annotated],
+        };
+        assert_eq!(prog.prefetch_sites(), 1);
+        assert_eq!(prog.release_sites(), 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! `hogtame` — command-line driver for the reproduction.
+//!
+//! ```text
+//! hogtame list                         # benchmarks and their pathologies
+//! hogtame machine                      # Table 1 of the simulated machine
+//! hogtame compile MATVEC               # Figure 5-style annotated listing
+//! hogtame run MATVEC B --sleep 5       # run a scenario, print the report
+//! hogtame run CGM P --timeline         # ... with the occupancy chart
+//! ```
+
+use hogtame::prelude::*;
+use hogtame::report::TextTable;
+use sim_core::stats::TimeCategory;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  hogtame list\n  hogtame machine\n  hogtame compile <BENCH> [O|P|R|B|V] [--explain]\n  \
+         hogtame run <BENCH> [O|P|R|B|V] [--sleep SECS] [--timeline] [--trace] [--no-interactive]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_version(s: &str) -> Version {
+    match s.to_ascii_uppercase().as_str() {
+        "O" => Version::Original,
+        "P" => Version::Prefetch,
+        "R" => Version::Release,
+        "B" => Version::Buffered,
+        "V" => Version::Reactive,
+        other => {
+            eprintln!("unknown version {other}; use O, P, R, B or V");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_list() {
+    let mut t = TextTable::new(vec!["benchmark", "data set", "structure", "difficulty"]);
+    for b in workloads::extended_benchmarks() {
+        t.row(vec![
+            b.name.clone(),
+            format!("{:.0} MB", b.data_set_bytes() as f64 / (1024.0 * 1024.0)),
+            b.table2.structure.into(),
+            b.table2.analysis_difficulty.into(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn cmd_machine() {
+    let m = MachineConfig::origin200();
+    let mut t = TextTable::new(vec!["characteristic", "value"]);
+    for (k, v) in m.table1_rows() {
+        t.row(vec![k, v]);
+    }
+    println!("{}", t.render());
+}
+
+fn cmd_compile(bench: &str, version: Version, explain: bool) {
+    let Some(spec) = workloads::benchmark(bench) else {
+        eprintln!("unknown benchmark {bench} (try `hogtame list`)");
+        std::process::exit(2);
+    };
+    let opts = version.compile_options(&MachineConfig::origin200());
+    if explain {
+        println!("{}", compiler::explain_program(&spec.source, &opts));
+        return;
+    }
+    let prog = compiler::compile(&spec.source, &opts);
+    println!("{}", compiler::pretty::render_program(&prog));
+    println!(
+        "/* {} prefetch site(s), {} release site(s) */",
+        prog.prefetch_sites(),
+        prog.release_sites()
+    );
+}
+
+struct RunOpts {
+    sleep: f64,
+    timeline: bool,
+    trace: bool,
+    interactive: bool,
+}
+
+fn cmd_run(bench: &str, version: Version, opts: RunOpts) {
+    let Some(spec) = workloads::benchmark(bench) else {
+        eprintln!("unknown benchmark {bench} (try `hogtame list`)");
+        std::process::exit(2);
+    };
+    let mut scenario = Scenario::new(MachineConfig::origin200());
+    scenario.bench(spec, version);
+    if opts.interactive {
+        scenario.interactive(SimDuration::from_secs_f64(opts.sleep), None);
+    }
+    if opts.timeline {
+        scenario.timeline(SimDuration::from_millis(250));
+    }
+    if opts.trace {
+        scenario.kernel_trace();
+    }
+    let result = scenario.run();
+
+    let hog = result.hog.expect("benchmark ran");
+    println!("{bench}-{}:", version.label());
+    println!(
+        "  completed in {:.2} s (simulated)",
+        hog.finish_time.as_secs_f64()
+    );
+    for cat in TimeCategory::ALL {
+        let d = hog.breakdown.get(cat);
+        println!(
+            "  {:<10} {:>9.2} s  ({:>5.1} %)",
+            cat.label(),
+            d.as_secs_f64(),
+            100.0 * hog.breakdown.fraction(cat)
+        );
+    }
+    if let Some(rt) = hog.rt_stats {
+        println!(
+            "  run-time layer: {} prefetches issued ({} filtered), {} releases direct, {} buffered, {} drained",
+            rt.prefetch_issued,
+            rt.prefetch_filtered,
+            rt.release_issued_direct,
+            rt.release_buffered,
+            rt.release_drained
+        );
+    }
+    println!(
+        "  AS lock: {} acquisitions, {} contended, {:.3} s total wait",
+        hog.lock_stats.acquisitions,
+        hog.lock_stats.contended,
+        hog.lock_stats.total_wait.as_secs_f64()
+    );
+    let vm = &result.run.vm_stats;
+    println!(
+        "  kernel: daemon {} activations / {} stolen ({} reactive); releaser {} freed",
+        vm.pagingd.activations,
+        vm.pagingd.pages_stolen,
+        vm.pagingd.reactive_steals,
+        vm.releaser.pages_released
+    );
+    if let Some(int) = result.interactive {
+        println!(
+            "  interactive: {:.2} ms mean response, {:.1} hard faults/sweep over {} sweeps",
+            int.mean_response()
+                .map(|d| d.as_millis_f64())
+                .unwrap_or(f64::NAN),
+            int.mean_sweep_faults().unwrap_or(f64::NAN),
+            int.sweeps.len()
+        );
+    }
+    if let Some(tl) = result.run.timeline {
+        println!("\n{}", tl.render_ascii(100));
+    }
+    if opts.trace {
+        println!(
+            "\nkernel trace (most recent {} records):",
+            result.run.kernel_trace.len()
+        );
+        for rec in &result.run.kernel_trace {
+            println!(
+                "  [{:>10.3}s] {:<9} {}",
+                rec.time.as_secs_f64(),
+                rec.tag,
+                rec.message
+            );
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("machine") => cmd_machine(),
+        Some("compile") => {
+            let bench = args.get(1).unwrap_or_else(|| usage());
+            let explain = args.iter().any(|a| a == "--explain");
+            let version = args
+                .get(2)
+                .filter(|s| !s.starts_with("--"))
+                .map(|s| parse_version(s))
+                .unwrap_or(Version::Release);
+            cmd_compile(bench, version, explain);
+        }
+        Some("run") => {
+            let bench = args.get(1).unwrap_or_else(|| usage()).clone();
+            let mut version = Version::Buffered;
+            let mut opts = RunOpts {
+                sleep: 5.0,
+                timeline: false,
+                trace: false,
+                interactive: true,
+            };
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--sleep" => {
+                        i += 1;
+                        opts.sleep = args
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| usage());
+                    }
+                    "--timeline" => opts.timeline = true,
+                    "--trace" => opts.trace = true,
+                    "--no-interactive" => opts.interactive = false,
+                    v if !v.starts_with("--") => version = parse_version(v),
+                    _ => usage(),
+                }
+                i += 1;
+            }
+            cmd_run(&bench, version, opts);
+        }
+        _ => usage(),
+    }
+}

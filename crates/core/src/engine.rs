@@ -1,0 +1,766 @@
+//! The simulation engine.
+//!
+//! One global virtual clock drives everything: simulated processes execute
+//! their op streams run-until-yield, the paging daemon and releaser run as
+//! scheduled events, and disks/locks/prefetch threads are deterministic
+//! timelines inside [`vm`] / [`disk`]. A process executes ops while its
+//! local clock does not pass the next queued event, then re-queues itself —
+//! so causality between processes, daemons and I/O is preserved exactly.
+
+use runtime::prefetcher::PrefetchPool;
+use runtime::{Mark, Op, OpStream, RuntimeLayer};
+use sim_core::stats::{TimeBreakdown, TimeCategory};
+use sim_core::{EventQueue, SimDuration, SimTime};
+use vm::{Pid, VmSys, Vpn};
+
+use crate::machine::MachineConfig;
+use crate::timeline::{Timeline, TimelineSample};
+
+/// A pool of CPU timelines: user-code bursts serialize onto the machine's
+/// processors, so more runnable processes than CPUs produces the "stalled
+/// for ... CPUs" component of the paper's resource-stall category. (Kernel
+/// fault handling is not CPU-contended: with the paper's four processors
+/// it never was, and the fault paths' timing is already fixed by the lock
+/// and disk timelines.)
+#[derive(Debug)]
+struct CpuPool {
+    free_at: Vec<SimTime>,
+}
+
+impl CpuPool {
+    fn new(n: usize) -> Self {
+        CpuPool {
+            free_at: vec![SimTime::ZERO; n.max(1)],
+        }
+    }
+
+    /// Runs a burst of length `d` starting no earlier than `at`; returns
+    /// `(start, wait)`.
+    fn acquire(&mut self, at: SimTime, d: SimDuration) -> (SimTime, SimDuration) {
+        let idx = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .map(|(i, _)| i)
+            .expect("nonempty pool");
+        let start = self.free_at[idx].max(at);
+        self.free_at[idx] = start + d;
+        (start, start.since(at))
+    }
+}
+
+/// Events the engine schedules.
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    Run(usize),
+    Pagingd,
+    Releaser,
+    Sample,
+}
+
+struct EngineProc {
+    pid: Pid,
+    name: String,
+    stream: Box<dyn OpStream>,
+    rt: Option<RuntimeLayer>,
+    pool: PrefetchPool,
+    local: SimTime,
+    breakdown: TimeBreakdown,
+    sweeps: Vec<SimDuration>,
+    sweep_faults: Vec<u64>,
+    sweep_start: Option<SimTime>,
+    sweep_fault_base: u64,
+    primary: bool,
+    finished: bool,
+    finish_time: SimTime,
+    ops_executed: u64,
+}
+
+/// Per-process results of a run.
+#[derive(Clone, Debug)]
+pub struct ProcResult {
+    /// Process name.
+    pub name: String,
+    /// VM-level pid (index into `RunResult::vm_stats.procs`).
+    pub pid: Pid,
+    /// Execution-time breakdown (Figure 7 categories).
+    pub breakdown: TimeBreakdown,
+    /// Response-time samples (interactive sweeps).
+    pub sweeps: Vec<SimDuration>,
+    /// Hard page faults per sweep (Figure 10c).
+    pub sweep_faults: Vec<u64>,
+    /// When the process finished (`SimTime::MAX` if it never did).
+    pub finish_time: SimTime,
+    /// Run-time layer statistics, if the process had one.
+    pub rt_stats: Option<runtime::RtStats>,
+    /// Address-space lock statistics (acquisitions, contention, waits).
+    pub lock_stats: vm::lock::LockStats,
+    /// Total ops executed.
+    pub ops_executed: u64,
+}
+
+impl ProcResult {
+    /// Mean response time over the recorded sweeps, skipping the first
+    /// (cold-start) sweep when more than one was recorded. `None` only if
+    /// no sweep completed.
+    pub fn mean_response(&self) -> Option<SimDuration> {
+        let samples = if self.sweeps.len() >= 2 {
+            &self.sweeps[1..]
+        } else {
+            &self.sweeps[..]
+        };
+        if samples.is_empty() {
+            return None;
+        }
+        let sum: u64 = samples.iter().map(|d| d.as_nanos()).sum();
+        Some(SimDuration::from_nanos(sum / samples.len() as u64))
+    }
+
+    /// Mean hard faults per sweep (skipping the cold-start sweep when
+    /// possible).
+    pub fn mean_sweep_faults(&self) -> Option<f64> {
+        let s = if self.sweep_faults.len() >= 2 {
+            &self.sweep_faults[1..]
+        } else {
+            &self.sweep_faults[..]
+        };
+        if s.is_empty() {
+            return None;
+        }
+        Some(s.iter().sum::<u64>() as f64 / s.len() as f64)
+    }
+}
+
+/// The results of one engine run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Per-process results, in registration order.
+    pub procs: Vec<ProcResult>,
+    /// Final VM statistics (daemon counters, freed-page outcomes …).
+    pub vm_stats: vm::VmStats,
+    /// Swap device statistics.
+    pub swap_reads: u64,
+    /// Swap writes.
+    pub swap_writes: u64,
+    /// Frames on the free list when the run ended (after process exits).
+    pub final_free: u64,
+    /// When the run ended.
+    pub end_time: SimTime,
+    /// The occupancy timeline, when sampling was enabled.
+    pub timeline: Option<Timeline>,
+    /// Kernel-activity trace records, when tracing was enabled.
+    pub kernel_trace: Vec<sim_core::trace::TraceRecord>,
+}
+
+/// The simulation engine (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use hogtame::prelude::*;
+/// use runtime::ops::VecStream;
+/// use runtime::Op;
+/// use vm::Backing;
+///
+/// let mut engine = Engine::new(MachineConfig::small());
+/// let pid = engine.vm_mut().add_process(false);
+/// let region = engine.vm_mut().map_region(pid, 4, Backing::SwapPrefilled, false);
+/// let ops = vec![
+///     Op::Touch { vpn: region.start, write: false },
+///     Op::Compute(SimDuration::from_millis(1)),
+///     Op::End,
+/// ];
+/// engine.register(pid, "demo", Box::new(VecStream::new(ops)), None, true);
+/// let result = engine.run();
+/// assert_eq!(result.swap_reads, 1, "one demand page-in");
+/// assert!(result.procs[0].finish_time > SimTime::ZERO);
+/// ```
+pub struct Engine {
+    vm: VmSys,
+    config: MachineConfig,
+    queue: EventQueue<Ev>,
+    procs: Vec<EngineProc>,
+    pagingd_scheduled: bool,
+    releaser_scheduled: bool,
+    cpus: CpuPool,
+    timeline: Option<(SimDuration, Vec<TimelineSample>)>,
+    /// Safety valve: stop even if primaries never finish.
+    pub max_time: SimTime,
+}
+
+/// Ops a process may execute per scheduling turn before yielding, keeping
+/// event interleaving fair when the queue is otherwise empty.
+const OPS_PER_TURN: u64 = 50_000;
+
+impl Engine {
+    /// Creates an engine for the given machine.
+    pub fn new(config: MachineConfig) -> Self {
+        let vm = VmSys::new(
+            config.frames,
+            config.tunables,
+            config.costs,
+            config.swap.clone(),
+        );
+        let ncpus = config.cpus as usize;
+        Engine {
+            vm,
+            config,
+            queue: EventQueue::new(),
+            procs: Vec::new(),
+            pagingd_scheduled: false,
+            releaser_scheduled: false,
+            cpus: CpuPool::new(ncpus),
+            timeline: None,
+            max_time: SimTime::from_nanos(u64::MAX / 2),
+        }
+    }
+
+    /// Enables occupancy sampling at the given period (see
+    /// [`crate::timeline::Timeline`]).
+    pub fn enable_timeline(&mut self, period: SimDuration) {
+        self.timeline = Some((period, Vec::new()));
+    }
+
+    /// Enables the VM's kernel-activity trace ring (records surface in
+    /// [`RunResult::kernel_trace`]).
+    pub fn enable_kernel_trace(&mut self) {
+        self.vm.set_trace_enabled(true);
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Mutable access to the VM (process/region setup).
+    pub fn vm_mut(&mut self) -> &mut VmSys {
+        &mut self.vm
+    }
+
+    /// Read access to the VM.
+    pub fn vm(&self) -> &VmSys {
+        &self.vm
+    }
+
+    /// Registers a process for execution.
+    ///
+    /// `pid` must already exist in the VM with its regions mapped. `rt` is
+    /// the run-time layer for hint-emitting streams. Primaries determine
+    /// when the run stops.
+    pub fn register(
+        &mut self,
+        pid: Pid,
+        name: impl Into<String>,
+        stream: Box<dyn OpStream>,
+        rt: Option<RuntimeLayer>,
+        primary: bool,
+    ) {
+        self.procs.push(EngineProc {
+            pid,
+            name: name.into(),
+            stream,
+            rt,
+            pool: PrefetchPool::new(self.config.prefetch_threads),
+            local: SimTime::ZERO,
+            breakdown: TimeBreakdown::new(),
+            sweeps: Vec::new(),
+            sweep_faults: Vec::new(),
+            sweep_start: None,
+            sweep_fault_base: 0,
+            primary,
+            finished: false,
+            finish_time: SimTime::MAX,
+            ops_executed: 0,
+        });
+    }
+
+    /// Runs until every primary process finishes (or `max_time`).
+    pub fn run(mut self) -> RunResult {
+        for i in 0..self.procs.len() {
+            self.queue.schedule(SimTime::ZERO, Ev::Run(i));
+        }
+        if self.timeline.is_some() {
+            self.queue.schedule(SimTime::ZERO, Ev::Sample);
+        }
+        while !self.primaries_done() {
+            let Some(ev) = self.queue.pop() else { break };
+            if ev.time > self.max_time {
+                break;
+            }
+            debug_assert!(ev.time <= self.max_time);
+            match ev.payload {
+                Ev::Run(i) => self.run_proc(i),
+                Ev::Pagingd => {
+                    self.pagingd_scheduled = false;
+                    if let Some(next) = self.vm.service_pagingd(ev.time) {
+                        self.pagingd_scheduled = true;
+                        self.queue.schedule(next, Ev::Pagingd);
+                    }
+                }
+                Ev::Releaser => {
+                    self.releaser_scheduled = false;
+                    if let Some(next) = self.vm.service_releaser(ev.time) {
+                        self.releaser_scheduled = true;
+                        self.queue.schedule(next, Ev::Releaser);
+                    }
+                }
+                Ev::Sample => {
+                    if let Some((period, samples)) = self.timeline.as_mut() {
+                        samples.push(TimelineSample {
+                            t: ev.time,
+                            free: self.vm.free_pages(),
+                            rss: self.procs.iter().map(|p| self.vm.rss(p.pid)).collect(),
+                        });
+                        let next = ev.time + *period;
+                        self.queue.schedule(next, Ev::Sample);
+                    }
+                }
+            }
+        }
+        // The run ends when the last activity completes: processes run
+        // ahead of the popped event time within a turn, so take the max of
+        // the queue clock and every recorded finish time.
+        let mut end_time = self.queue.now().min(self.max_time);
+        for p in &self.procs {
+            if p.finished {
+                end_time = end_time.max(p.finish_time);
+            }
+        }
+        let procs = self
+            .procs
+            .iter()
+            .map(|p| ProcResult {
+                name: p.name.clone(),
+                pid: p.pid,
+                breakdown: p.breakdown,
+                sweeps: p.sweeps.clone(),
+                sweep_faults: p.sweep_faults.clone(),
+                finish_time: p.finish_time,
+                rt_stats: p.rt.as_ref().map(|rt| *rt.stats()),
+                lock_stats: self.vm.lock_stats(p.pid),
+                ops_executed: p.ops_executed,
+            })
+            .collect();
+        let timeline = self.timeline.take().map(|(period, samples)| Timeline {
+            period,
+            total_frames: self.vm.total_frames(),
+            proc_names: self.procs.iter().map(|p| p.name.clone()).collect(),
+            samples,
+        });
+        RunResult {
+            procs,
+            vm_stats: self.vm.stats().clone(),
+            swap_reads: self.vm.swap().stats().page_reads.get(),
+            swap_writes: self.vm.swap().stats().page_writes.get(),
+            final_free: self.vm.free_pages(),
+            end_time,
+            timeline,
+            kernel_trace: self.vm.trace().records().cloned().collect(),
+        }
+    }
+
+    fn primaries_done(&self) -> bool {
+        let mut saw_primary = false;
+        for p in &self.procs {
+            if p.primary {
+                saw_primary = true;
+                if !p.finished {
+                    return false;
+                }
+            }
+        }
+        saw_primary
+    }
+
+    fn run_proc(&mut self, i: usize) {
+        if self.procs[i].finished {
+            return;
+        }
+        let mut executed: u64 = 0;
+        loop {
+            // Yield when another event is due before our local clock.
+            if let Some(next) = self.queue.peek_time() {
+                if self.procs[i].local > next {
+                    let at = self.procs[i].local;
+                    self.queue.schedule(at, Ev::Run(i));
+                    return;
+                }
+            }
+            if executed >= OPS_PER_TURN || self.procs[i].local > self.max_time {
+                let at = self.procs[i].local;
+                self.queue.schedule(at, Ev::Run(i));
+                return;
+            }
+            let op = self.procs[i].stream.next_op();
+            executed += 1;
+            self.procs[i].ops_executed += 1;
+            match op {
+                Op::Compute(d) => {
+                    let at = self.procs[i].local;
+                    let (start, wait) = self.cpus.acquire(at, d);
+                    let p = &mut self.procs[i];
+                    p.breakdown.add(TimeCategory::StallResource, wait);
+                    p.breakdown.add(TimeCategory::User, d);
+                    p.local = start + d;
+                }
+                Op::Touch { vpn, write } => self.op_touch(i, vpn, write),
+                Op::PrefetchHint { vpn, npages, tag } => self.op_prefetch(i, vpn, npages, tag),
+                Op::ReleaseHint { vpn, priority, tag } => self.op_release(i, vpn, priority, tag),
+                Op::Sleep(d) => {
+                    // Think time: wall-clock passes without execution.
+                    self.procs[i].local += d;
+                }
+                Op::Mark(Mark::SweepStart) => {
+                    let p = &mut self.procs[i];
+                    p.sweep_start = Some(p.local);
+                    p.sweep_fault_base = self.vm.stats().proc(p.pid.0 as usize).hard_faults.get();
+                }
+                Op::Mark(Mark::SweepEnd) => {
+                    let now_faults = {
+                        let p = &self.procs[i];
+                        self.vm.stats().proc(p.pid.0 as usize).hard_faults.get()
+                    };
+                    let p = &mut self.procs[i];
+                    if let Some(start) = p.sweep_start.take() {
+                        p.sweeps.push(p.local.since(start));
+                        p.sweep_faults.push(now_faults - p.sweep_fault_base);
+                    }
+                }
+                Op::End => {
+                    self.finish_proc(i);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn op_touch(&mut self, i: usize, vpn: Vpn, write: bool) {
+        let (pid, local) = (self.procs[i].pid, self.procs[i].local);
+        let res = self.vm.touch(local, pid, vpn, write);
+        let p = &mut self.procs[i];
+        p.breakdown.add(TimeCategory::System, res.system);
+        p.breakdown
+            .add(TimeCategory::StallResource, res.resource_wait);
+        p.breakdown.add(TimeCategory::StallIo, res.io_wait);
+        p.local = res.done_at;
+        self.wake_daemons(self.procs[i].local);
+    }
+
+    fn op_prefetch(&mut self, i: usize, vpn: Vpn, npages: u64, _tag: u32) {
+        let pid = self.procs[i].pid;
+        let Some(rt) = self.procs[i].rt.as_mut() else {
+            return;
+        };
+        let (pages, cost) = rt.on_prefetch_hint(&self.vm, pid, vpn, npages);
+        let p = &mut self.procs[i];
+        p.breakdown.add(TimeCategory::User, cost);
+        p.local += cost;
+        let local = p.local;
+        for page in pages {
+            // The prefetch pthread makes the PM call and waits for the I/O;
+            // none of that lands on the main thread's clock.
+            let (thread, start) = self.procs[i].pool.assign(local);
+            let (outcome, call_cost) = self.vm.prefetch(start, pid, page);
+            let busy_until = match outcome {
+                vm::PrefetchOutcome::Started { arrives_at } => arrives_at,
+                _ => start + call_cost,
+            };
+            self.procs[i].pool.complete(thread, busy_until);
+        }
+        self.wake_daemons(local);
+    }
+
+    fn op_release(&mut self, i: usize, vpn: Vpn, priority: u32, tag: u32) {
+        let pid = self.procs[i].pid;
+        let Some(rt) = self.procs[i].rt.as_mut() else {
+            return;
+        };
+        let (pages, cost) = rt.on_release_hint(&self.vm, pid, vpn, priority, tag);
+        let p = &mut self.procs[i];
+        p.breakdown.add(TimeCategory::User, cost);
+        p.local += cost;
+        let local = p.local;
+        if !pages.is_empty() {
+            self.issue_releases(i, pid, local, &pages);
+        }
+        // Reactive mode: keep the OS supplied with eviction candidates
+        // instead of releasing.
+        let rt = self.procs[i].rt.as_mut().expect("checked above");
+        if rt.policy() == runtime::ReleasePolicy::Reactive && rt.buffered_pages() >= 256 {
+            let candidates = rt.take_candidates(128);
+            self.vm.offer_eviction_candidates(pid, &candidates);
+        }
+    }
+
+    fn issue_releases(&mut self, i: usize, pid: Pid, local: SimTime, pages: &[Vpn]) {
+        // Release requests ride the same pthread pool as prefetches.
+        let (thread, start) = self.procs[i].pool.assign(local);
+        self.vm.release(start, pid, pages);
+        let call = self.vm.cost_params().pm_release_call;
+        self.procs[i].pool.complete(thread, start + call);
+        self.wake_daemons(start);
+    }
+
+    fn finish_proc(&mut self, i: usize) {
+        let pid = self.procs[i].pid;
+        let local = self.procs[i].local;
+        // Flush any still-buffered releases (end-of-program).
+        let flushed = self.procs[i]
+            .rt
+            .as_mut()
+            .map(|rt| rt.flush())
+            .unwrap_or_default();
+        if !flushed.is_empty() {
+            self.issue_releases(i, pid, local, &flushed);
+        }
+        let p = &mut self.procs[i];
+        p.finished = true;
+        p.finish_time = p.local;
+        // The process exits: its memory returns to the system.
+        let (pid, local) = (p.pid, p.local);
+        self.vm.exit_process(local, pid);
+    }
+
+    fn wake_daemons(&mut self, at: SimTime) {
+        let at = at.max(self.queue.now());
+        if !self.pagingd_scheduled && self.vm.pagingd_needed() {
+            self.pagingd_scheduled = true;
+            self.queue.schedule(at, Ev::Pagingd);
+        }
+        if !self.releaser_scheduled && self.vm.releaser_pending() {
+            self.releaser_scheduled = true;
+            let delay = self.vm.tunables().releaser_delay;
+            self.queue.schedule(at + delay, Ev::Releaser);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use runtime::ops::VecStream;
+    use vm::Backing;
+
+    fn engine_small() -> Engine {
+        Engine::new(MachineConfig::small())
+    }
+
+    #[test]
+    fn single_process_compute_only() {
+        let mut e = engine_small();
+        let pid = e.vm_mut().add_process(false);
+        let stream = VecStream::new([Op::Compute(SimDuration::from_millis(5)), Op::End]);
+        e.register(pid, "calc", Box::new(stream), None, true);
+        let res = e.run();
+        assert_eq!(
+            res.procs[0].breakdown.get(TimeCategory::User),
+            SimDuration::from_millis(5)
+        );
+        assert_eq!(res.procs[0].finish_time, SimTime::from_nanos(5_000_000));
+    }
+
+    #[test]
+    fn touches_fault_and_charge_io() {
+        let mut e = engine_small();
+        let pid = e.vm_mut().add_process(false);
+        let r = e.vm_mut().map_region(pid, 8, Backing::SwapPrefilled, false);
+        let stream = VecStream::new([
+            Op::Touch {
+                vpn: r.start,
+                write: false,
+            },
+            Op::Touch {
+                vpn: r.start.offset(1),
+                write: false,
+            },
+            Op::End,
+        ]);
+        e.register(pid, "toucher", Box::new(stream), None, true);
+        let res = e.run();
+        let b = &res.procs[0].breakdown;
+        assert!(b.get(TimeCategory::StallIo) > SimDuration::ZERO);
+        assert!(b.get(TimeCategory::System) > SimDuration::ZERO);
+        assert_eq!(res.vm_stats.proc(pid.0 as usize).hard_faults.get(), 2);
+        assert_eq!(res.swap_reads, 2);
+    }
+
+    #[test]
+    fn two_processes_interleave_on_one_clock() {
+        let mut e = engine_small();
+        let a = e.vm_mut().add_process(false);
+        let ra = e.vm_mut().map_region(a, 4, Backing::ZeroFill, false);
+        let b = e.vm_mut().add_process(false);
+        let rb = e.vm_mut().map_region(b, 4, Backing::ZeroFill, false);
+        let mk = |base: vm::PageRange| {
+            let mut ops = Vec::new();
+            for i in 0..4 {
+                ops.push(Op::Touch {
+                    vpn: base.start.offset(i),
+                    write: true,
+                });
+                ops.push(Op::Compute(SimDuration::from_micros(100)));
+            }
+            ops.push(Op::End);
+            VecStream::new(ops)
+        };
+        e.register(a, "a", Box::new(mk(ra)), None, true);
+        e.register(b, "b", Box::new(mk(rb)), None, true);
+        let res = e.run();
+        assert!(res.procs.iter().all(|p| p.finish_time < SimTime::MAX));
+        // Both did their zero-fills.
+        assert_eq!(res.vm_stats.proc(0).zero_fills.get(), 4);
+        assert_eq!(res.vm_stats.proc(1).zero_fills.get(), 4);
+    }
+
+    #[test]
+    fn sleep_advances_clock_without_charging() {
+        let mut e = engine_small();
+        let pid = e.vm_mut().add_process(false);
+        let stream = VecStream::new([
+            Op::Sleep(SimDuration::from_secs(3)),
+            Op::Compute(SimDuration::from_millis(1)),
+            Op::End,
+        ]);
+        e.register(pid, "sleeper", Box::new(stream), None, true);
+        let res = e.run();
+        assert_eq!(res.procs[0].breakdown.total(), SimDuration::from_millis(1));
+        assert!(res.procs[0].finish_time >= SimTime::from_nanos(3_001_000_000));
+    }
+
+    #[test]
+    fn marks_record_sweep_durations() {
+        let mut e = engine_small();
+        let pid = e.vm_mut().add_process(false);
+        let stream = VecStream::new([
+            Op::Mark(Mark::SweepStart),
+            Op::Compute(SimDuration::from_millis(2)),
+            Op::Mark(Mark::SweepEnd),
+            Op::Mark(Mark::SweepStart),
+            Op::Compute(SimDuration::from_millis(4)),
+            Op::Mark(Mark::SweepEnd),
+            Op::End,
+        ]);
+        e.register(pid, "marked", Box::new(stream), None, true);
+        let res = e.run();
+        assert_eq!(res.procs[0].sweeps.len(), 2);
+        assert_eq!(res.procs[0].sweeps[0], SimDuration::from_millis(2));
+        assert_eq!(res.procs[0].sweeps[1], SimDuration::from_millis(4));
+        // mean_response skips the first sweep.
+        assert_eq!(
+            res.procs[0].mean_response().unwrap(),
+            SimDuration::from_millis(4)
+        );
+    }
+
+    #[test]
+    fn max_time_stops_runaway_runs() {
+        let mut e = engine_small();
+        e.max_time = SimTime::from_nanos(1_000_000);
+        let pid = e.vm_mut().add_process(false);
+        // An infinite sleeper that never Ends.
+        struct Forever;
+        impl OpStream for Forever {
+            fn next_op(&mut self) -> Op {
+                Op::Sleep(SimDuration::from_millis(1))
+            }
+        }
+        e.register(pid, "forever", Box::new(Forever), None, true);
+        let res = e.run();
+        assert!(res.end_time <= SimTime::from_nanos(2_000_000));
+    }
+
+    #[test]
+    fn cpu_contention_charges_resource_stall() {
+        // Six compute-bound processes on four CPUs: every burst beyond the
+        // fourth must wait, showing up as resource stall.
+        let mut e = engine_small();
+        assert_eq!(e.config().cpus, 4);
+        let mut pids = Vec::new();
+        for _ in 0..6 {
+            pids.push(e.vm_mut().add_process(false));
+        }
+        for (k, pid) in pids.into_iter().enumerate() {
+            let ops: Vec<Op> = std::iter::repeat_n(Op::Compute(SimDuration::from_millis(10)), 50)
+                .chain([Op::End])
+                .collect();
+            e.register(
+                pid,
+                format!("cruncher-{k}"),
+                Box::new(VecStream::new(ops)),
+                None,
+                true,
+            );
+        }
+        let res = e.run();
+        let total_wait: u64 = res
+            .procs
+            .iter()
+            .map(|p| p.breakdown.get(TimeCategory::StallResource).as_nanos())
+            .sum();
+        assert!(
+            total_wait > 0,
+            "six runnable processes on four CPUs must queue"
+        );
+        // Work conservation: total user time is exactly 6 × 50 × 10 ms.
+        let total_user: u64 = res
+            .procs
+            .iter()
+            .map(|p| p.breakdown.get(TimeCategory::User).as_nanos())
+            .sum();
+        assert_eq!(total_user, 6 * 50 * 10_000_000);
+        // The machine cannot finish faster than total work / 4 CPUs.
+        let min_end = 6.0 * 50.0 * 0.010 / 4.0;
+        assert!(res.end_time.as_secs_f64() >= min_end * 0.99);
+    }
+
+    #[test]
+    fn four_processes_fit_without_contention() {
+        let mut e = engine_small();
+        for k in 0..4 {
+            let pid = e.vm_mut().add_process(false);
+            let ops: Vec<Op> = std::iter::repeat_n(Op::Compute(SimDuration::from_millis(5)), 20)
+                .chain([Op::End])
+                .collect();
+            e.register(
+                pid,
+                format!("p{k}"),
+                Box::new(VecStream::new(ops)),
+                None,
+                true,
+            );
+        }
+        let res = e.run();
+        for p in &res.procs {
+            assert_eq!(
+                p.breakdown.get(TimeCategory::StallResource),
+                SimDuration::ZERO,
+                "{} stalled with a free CPU",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn memory_pressure_wakes_paging_daemon() {
+        let mut e = engine_small();
+        let pid = e.vm_mut().add_process(false);
+        let frames = e.config().frames as u64;
+        let r = e
+            .vm_mut()
+            .map_region(pid, frames + 100, Backing::ZeroFill, false);
+        let mut ops = Vec::new();
+        for i in 0..frames + 50 {
+            ops.push(Op::Touch {
+                vpn: r.start.offset(i),
+                write: false,
+            });
+            ops.push(Op::Compute(SimDuration::from_micros(30)));
+        }
+        ops.push(Op::End);
+        e.register(pid, "hog", Box::new(VecStream::new(ops)), None, true);
+        let res = e.run();
+        assert!(res.vm_stats.pagingd.activations.get() > 0);
+        assert!(res.vm_stats.pagingd.pages_stolen.get() > 0);
+    }
+}

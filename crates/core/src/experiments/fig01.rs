@@ -1,0 +1,135 @@
+//! Figure 1: impact of an out-of-core program on interactive response.
+//!
+//! "A simple program emulates … an interactive task by repeatedly touching
+//! a 1 MB data set, then sleeping for a fixed amount of time. … This
+//! program is run concurrently with one that repeatedly performs a
+//! matrix-vector multiplication on an out-of-core data set (400 MB)."
+//!
+//! The figure plots average response time against sleep time for: the task
+//! alone, alongside the original MATVEC, and alongside the
+//! prefetching-only MATVEC. With no sleep the task defends its memory
+//! perfectly; as sleep grows the original degrades it, and prefetching
+//! degrades it at much shorter sleep times and to a higher level.
+
+use sim_core::stats::Series;
+use sim_core::SimDuration;
+
+use crate::machine::MachineConfig;
+use crate::report::TextTable;
+use crate::scenario::{Scenario, Version};
+
+/// The sleep times swept (seconds). Zero means the task never sleeps.
+pub const SLEEPS_S: [f64; 7] = [0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0];
+
+/// The response-time series of Figure 1 (or 10a, with more versions).
+pub struct ResponseSweep {
+    /// One series per configuration; x = sleep seconds, y = response ms.
+    pub series: Vec<Series>,
+}
+
+/// Runs the interactive task alone for each sleep time.
+fn alone_series(machine: &MachineConfig, sleeps: &[f64]) -> Series {
+    let mut s = Series::new("alone");
+    for &sleep in sleeps {
+        let mut sc = Scenario::new(machine.clone());
+        sc.interactive(SimDuration::from_secs_f64(sleep), Some(10));
+        let res = sc.run();
+        let resp = res
+            .interactive
+            .unwrap()
+            .mean_response()
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN);
+        s.push(sleep, resp);
+    }
+    s
+}
+
+/// Runs MATVEC in `version` against the interactive task for each sleep.
+fn versus_series(machine: &MachineConfig, version: Version, sleeps: &[f64]) -> Series {
+    let mut s = Series::new(format!("with MATVEC-{}", version.label()));
+    for &sleep in sleeps {
+        let mut sc = Scenario::new(machine.clone());
+        sc.bench(workloads::benchmark("MATVEC").unwrap(), version);
+        sc.interactive(SimDuration::from_secs_f64(sleep), None);
+        let res = sc.run();
+        let resp = res
+            .interactive
+            .unwrap()
+            .mean_response()
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN);
+        s.push(sleep, resp);
+    }
+    s
+}
+
+/// Runs the Figure 1 sweep: alone, MATVEC-O, MATVEC-P.
+pub fn run(machine: &MachineConfig) -> ResponseSweep {
+    run_versions(machine, &[Version::Original, Version::Prefetch], &SLEEPS_S)
+}
+
+/// Generic sweep over the given versions (Figure 10a uses all four).
+pub fn run_versions(
+    machine: &MachineConfig,
+    versions: &[Version],
+    sleeps: &[f64],
+) -> ResponseSweep {
+    let mut series = vec![alone_series(machine, sleeps)];
+    for &v in versions {
+        series.push(versus_series(machine, v, sleeps));
+    }
+    ResponseSweep { series }
+}
+
+impl ResponseSweep {
+    /// Renders the sweep as a table: one row per sleep time, one column per
+    /// series.
+    pub fn table(&self) -> TextTable {
+        let mut headers = vec!["sleep (s)".to_string()];
+        headers.extend(self.series.iter().map(|s| format!("{} (ms)", s.label)));
+        let mut t = TextTable::new(headers.iter().map(String::as_str).collect());
+        let npoints = self.series.first().map(|s| s.points.len()).unwrap_or(0);
+        for i in 0..npoints {
+            let mut row = vec![format!("{:.1}", self.series[0].points[i].0)];
+            for s in &self.series {
+                row.push(format!("{:.2}", s.points[i].1));
+            }
+            t.row(row);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reduced sweep checking the Figure 1 shape (≈ a few seconds).
+    #[test]
+    fn prefetch_degrades_response_at_shorter_sleeps_than_original() {
+        let machine = MachineConfig::origin200();
+        let sleeps = [1.0, 5.0, 20.0];
+        let sweep = run_versions(&machine, &[Version::Original, Version::Prefetch], &sleeps);
+        let val = |si: usize, pi: usize| sweep.series[si].points[pi].1;
+        // Alone: flat and fast at every sleep.
+        for p in 0..sleeps.len() {
+            assert!(val(0, p) < 5.0, "alone response must stay ~1 ms");
+        }
+        // At 5 s sleep: P inflates the response well beyond O. (MATVEC is
+        // the mildest degrader of the six benchmarks; the margin here is
+        // ~2.4×, while e.g. MGRID-P reaches ~8× its O version.)
+        assert!(
+            val(2, 1) > 2.0 * val(1, 1),
+            "P {} vs O {}",
+            val(2, 1),
+            val(1, 1)
+        );
+        // At 1 s sleep: O barely hurts (well under P at the same sleep).
+        assert!(val(1, 0) < 10.0, "O at 1 s stays near alone: {}", val(1, 0));
+        // P's response grows with sleep time (more of the data set lost).
+        assert!(val(2, 2) >= val(2, 0));
+        // Table rendering works.
+        assert_eq!(sweep.table().len(), sleeps.len());
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 10(a): interactive response vs sleep time for all four MATVEC
+//! versions.
+//!
+//! "When releasing is added to prefetching, the response times of the
+//! interactive task almost perfectly match the times obtained when it is
+//! run alone on the machine, regardless of the amount of sleep time."
+
+use crate::experiments::fig01::{run_versions, ResponseSweep, SLEEPS_S};
+use crate::machine::MachineConfig;
+use crate::scenario::Version;
+
+/// Runs the Figure 10(a) sweep: alone + MATVEC O/P/R/B.
+pub fn run(machine: &MachineConfig) -> ResponseSweep {
+    run_versions(machine, &Version::ALL, &SLEEPS_S)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Releasing restores interactive response at a long sleep where the
+    /// prefetch-only version devastates it (reduced sweep; ≈ seconds).
+    #[test]
+    fn releasing_restores_interactive_response() {
+        let machine = MachineConfig::origin200();
+        let sweep = run_versions(
+            &machine,
+            &[Version::Prefetch, Version::Release, Version::Buffered],
+            &[10.0],
+        );
+        let alone = sweep.series[0].points[0].1;
+        let p = sweep.series[1].points[0].1;
+        let r = sweep.series[2].points[0].1;
+        let b = sweep.series[3].points[0].1;
+        assert!(p > 10.0 * alone, "P devastates: {p} vs alone {alone}");
+        assert!(r < 3.0 * alone, "R restores: {r} vs {alone}");
+        assert!(b < 3.0 * alone, "B restores: {b} vs {alone}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Experiment runners — one per table/figure of the paper.
+//!
+//! | module | regenerates |
+//! |---|---|
+//! | [`tables`] | Table 1 (hardware) and Table 2 (benchmark characteristics) |
+//! | [`fig01`]  | Figure 1 — interactive response vs sleep time, MATVEC O/P |
+//! | [`fig05`]  | Figure 5 — compiler output for MATVEC |
+//! | [`suite`]  | Figures 7, 8, 9, 10(b), 10(c) and Table 3 from the 6 × 4 co-runs |
+//! | [`fig10a`] | Figure 10(a) — response vs sleep for all four MATVEC versions |
+//!
+//! Each runner returns render-ready [`crate::report::TextTable`]s /
+//! [`sim_core::stats::Series`] and can persist text + CSV artifacts.
+
+pub mod fig01;
+pub mod fig05;
+pub mod fig10a;
+pub mod suite;
+pub mod tables;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::report::TextTable;
+
+/// Writes a table as `<dir>/<name>.txt` and `<dir>/<name>.csv`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn persist_table(dir: &Path, name: &str, title: &str, table: &TextTable) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let text = format!("{title}\n\n{}", table.render());
+    fs::write(dir.join(format!("{name}.txt")), text)?;
+    fs::write(dir.join(format!("{name}.csv")), table.to_csv())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persist_writes_both_files() {
+        let dir = std::env::temp_dir().join("hogtame-test-persist");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = TextTable::new(vec!["a"]);
+        t.row(vec!["1".into()]);
+        persist_table(&dir, "x", "Title", &t).unwrap();
+        assert!(dir.join("x.txt").exists());
+        assert!(dir.join("x.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,373 @@
+//! The co-run suite: every benchmark × every version, sharing the machine
+//! with the interactive task at the paper's intermediate 5-second sleep.
+//!
+//! One pass over these 24 runs yields Figures 7, 8, 9, 10(b), 10(c) and
+//! Table 3.
+
+use sim_core::stats::TimeCategory;
+use sim_core::SimDuration;
+use vm::VmStats;
+
+use crate::engine::ProcResult;
+use crate::machine::MachineConfig;
+use crate::report::TextTable;
+use crate::scenario::{Scenario, Version};
+
+/// One benchmark × version co-run.
+pub struct SuiteCell {
+    /// Benchmark name.
+    pub bench: String,
+    /// Build version.
+    pub version: Version,
+    /// The out-of-core process.
+    pub hog: ProcResult,
+    /// The co-running interactive task.
+    pub interactive: ProcResult,
+    /// VM statistics at the end of the run.
+    pub vm: VmStats,
+}
+
+/// The full suite.
+pub struct Suite {
+    /// All cells, grouped by benchmark in [`Version::ALL`] order.
+    pub cells: Vec<SuiteCell>,
+    /// The interactive task running alone (normalization baseline).
+    pub alone: ProcResult,
+    /// The sleep time used.
+    pub sleep: SimDuration,
+}
+
+/// Runs the suite for the given benchmark names (paper order if `None`).
+pub fn run(machine: &MachineConfig, benches: Option<&[&str]>, sleep: SimDuration) -> Suite {
+    let names: Vec<String> = match benches {
+        Some(list) => list.iter().map(|s| s.to_string()).collect(),
+        None => workloads::all_benchmarks()
+            .iter()
+            .map(|b| b.name.clone())
+            .collect(),
+    };
+
+    // Baseline: the interactive task alone.
+    let mut s = Scenario::new(machine.clone());
+    s.interactive(sleep, Some(12));
+    let alone = s.run().interactive.expect("interactive ran");
+
+    let mut cells = Vec::new();
+    for name in &names {
+        for &version in &Version::ALL {
+            let spec =
+                workloads::benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+            let mut s = Scenario::new(machine.clone());
+            s.bench(spec, version);
+            s.interactive(sleep, None);
+            let res = s.run();
+            cells.push(SuiteCell {
+                bench: name.clone(),
+                version,
+                hog: res.hog.expect("hog ran"),
+                interactive: res.interactive.expect("interactive ran"),
+                vm: res.run.vm_stats,
+            });
+        }
+    }
+    Suite {
+        cells,
+        alone,
+        sleep,
+    }
+}
+
+impl Suite {
+    fn cell(&self, bench: &str, version: Version) -> Option<&SuiteCell> {
+        self.cells
+            .iter()
+            .find(|c| c.bench == bench && c.version == version)
+    }
+
+    fn benches(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for c in &self.cells {
+            if !seen.contains(&c.bench) {
+                seen.push(c.bench.clone());
+            }
+        }
+        seen
+    }
+
+    /// Figure 7: normalized execution time of the out-of-core programs,
+    /// broken into the four stacked components.
+    pub fn fig07(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "benchmark",
+            "version",
+            "user(s)",
+            "system(s)",
+            "stall-res(s)",
+            "stall-io(s)",
+            "total(s)",
+            "normalized",
+        ]);
+        for bench in self.benches() {
+            let base = self
+                .cell(&bench, Version::Original)
+                .map(|c| c.hog.breakdown.total().as_secs_f64())
+                .unwrap_or(0.0);
+            for &v in &Version::ALL {
+                let Some(c) = self.cell(&bench, v) else {
+                    continue;
+                };
+                let b = &c.hog.breakdown;
+                let total = b.total().as_secs_f64();
+                t.row(vec![
+                    bench.clone(),
+                    v.label().into(),
+                    format!("{:.2}", b.get(TimeCategory::User).as_secs_f64()),
+                    format!("{:.2}", b.get(TimeCategory::System).as_secs_f64()),
+                    format!("{:.2}", b.get(TimeCategory::StallResource).as_secs_f64()),
+                    format!("{:.2}", b.get(TimeCategory::StallIo).as_secs_f64()),
+                    format!("{total:.2}"),
+                    if base > 0.0 {
+                        format!("{:.3}", total / base)
+                    } else {
+                        "-".into()
+                    },
+                ]);
+            }
+        }
+        t
+    }
+
+    /// Figure 8: soft page faults caused by the paging daemon's periodic
+    /// invalidations, per out-of-core benchmark version.
+    pub fn fig08(&self) -> TextTable {
+        let mut t = TextTable::new(vec!["benchmark", "version", "soft faults (invalidations)"]);
+        for bench in self.benches() {
+            for &v in &Version::ALL {
+                let Some(c) = self.cell(&bench, v) else {
+                    continue;
+                };
+                let soft = c.vm.proc(c.hog.pid.0 as usize).soft_faults_daemon.get();
+                t.row(vec![bench.clone(), v.label().into(), soft.to_string()]);
+            }
+        }
+        t
+    }
+
+    /// Table 3: paging-daemon reclamation activity, original vs
+    /// prefetch+release.
+    pub fn table3(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "benchmark",
+            "O: daemon activations",
+            "O: pages stolen",
+            "O: allocations",
+            "R: daemon activations",
+            "R: pages stolen",
+            "R: pages released",
+            "R: allocations",
+        ]);
+        for bench in self.benches() {
+            let o = self.cell(&bench, Version::Original);
+            let r = self.cell(&bench, Version::Release);
+            let (oa, os, oall) = o
+                .map(|c| {
+                    (
+                        c.vm.pagingd.activations.get(),
+                        c.vm.pagingd.pages_stolen.get(),
+                        c.vm.proc(c.hog.pid.0 as usize).allocations.get(),
+                    )
+                })
+                .unwrap_or((0, 0, 0));
+            let (ra, rs, rr, rall) = r
+                .map(|c| {
+                    (
+                        c.vm.pagingd.activations.get(),
+                        c.vm.pagingd.pages_stolen.get(),
+                        c.vm.releaser.pages_released.get(),
+                        c.vm.proc(c.hog.pid.0 as usize).allocations.get(),
+                    )
+                })
+                .unwrap_or((0, 0, 0, 0));
+            t.row(vec![
+                bench.clone(),
+                oa.to_string(),
+                os.to_string(),
+                oall.to_string(),
+                ra.to_string(),
+                rs.to_string(),
+                rr.to_string(),
+                rall.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Figure 9: breakdown of freed-page outcomes.
+    pub fn fig09(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "benchmark",
+            "version",
+            "freed by daemon",
+            "freed by release",
+            "daemon-freed rescued",
+            "released rescued",
+        ]);
+        for bench in self.benches() {
+            for &v in &Version::ALL {
+                let Some(c) = self.cell(&bench, v) else {
+                    continue;
+                };
+                let f = &c.vm.freed;
+                let frac = |num: u64, den: u64| {
+                    if den == 0 {
+                        "-".to_string()
+                    } else {
+                        format!("{} ({:.1}%)", num, 100.0 * num as f64 / den as f64)
+                    }
+                };
+                t.row(vec![
+                    bench.clone(),
+                    v.label().into(),
+                    f.freed_by_daemon.get().to_string(),
+                    f.freed_by_release.get().to_string(),
+                    frac(f.rescued_daemon.get(), f.freed_by_daemon.get()),
+                    frac(f.rescued_release.get(), f.freed_by_release.get()),
+                ]);
+            }
+        }
+        t
+    }
+
+    /// Figure 10(b): interactive response time at the 5-second sleep,
+    /// normalized to the task running alone.
+    pub fn fig10b(&self) -> TextTable {
+        let base = self
+            .alone
+            .mean_response()
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0);
+        let mut t = TextTable::new(vec![
+            "benchmark",
+            "version",
+            "response (ms)",
+            "normalized to alone",
+        ]);
+        for bench in self.benches() {
+            for &v in &Version::ALL {
+                let Some(c) = self.cell(&bench, v) else {
+                    continue;
+                };
+                let resp = c
+                    .interactive
+                    .mean_response()
+                    .map(|d| d.as_secs_f64())
+                    .unwrap_or(f64::NAN);
+                t.row(vec![
+                    bench.clone(),
+                    v.label().into(),
+                    format!("{:.3}", resp * 1e3),
+                    if base > 0.0 {
+                        format!("{:.2}", resp / base)
+                    } else {
+                        "-".into()
+                    },
+                ]);
+            }
+        }
+        t
+    }
+
+    /// Figure 10(c): average hard page faults per interactive sweep.
+    pub fn fig10c(&self) -> TextTable {
+        let mut t = TextTable::new(vec!["benchmark", "version", "hard faults / sweep"]);
+        for bench in self.benches() {
+            for &v in &Version::ALL {
+                let Some(c) = self.cell(&bench, v) else {
+                    continue;
+                };
+                let f = c.interactive.mean_sweep_faults().unwrap_or(f64::NAN);
+                t.row(vec![bench.clone(), v.label().into(), format!("{f:.1}")]);
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shape test on the full machine, MATVEC only (fast: ≈ 0.5 s).
+    #[test]
+    fn matvec_suite_reproduces_headline_shapes() {
+        let suite = run(
+            &MachineConfig::origin200(),
+            Some(&["MATVEC"]),
+            SimDuration::from_secs(5),
+        );
+        assert_eq!(suite.cells.len(), 4);
+
+        let total = |v| {
+            suite
+                .cell("MATVEC", v)
+                .unwrap()
+                .hog
+                .breakdown
+                .total()
+                .as_secs_f64()
+        };
+        // P is much faster than O; R and B beat P; B beats R dramatically
+        // for MATVEC (the vector is preserved).
+        assert!(total(Version::Prefetch) < 0.6 * total(Version::Original));
+        assert!(total(Version::Release) < total(Version::Prefetch));
+        assert!(total(Version::Buffered) < 0.7 * total(Version::Release));
+
+        // Interactive response: P inflates it badly; R and B restore it to
+        // (close to) the stand-alone time.
+        let alone = suite.alone.mean_response().unwrap().as_secs_f64();
+        let resp = |v: Version| {
+            suite
+                .cell("MATVEC", v)
+                .unwrap()
+                .interactive
+                .mean_response()
+                .unwrap()
+                .as_secs_f64()
+        };
+        assert!(resp(Version::Prefetch) > 10.0 * alone, "P must hurt");
+        assert!(resp(Version::Release) < 3.0 * alone, "R must protect");
+        assert!(resp(Version::Buffered) < 3.0 * alone, "B must protect");
+
+        // Table 3 story: releasing eliminates nearly all daemon stealing.
+        let stolen_o = suite
+            .cell("MATVEC", Version::Original)
+            .unwrap()
+            .vm
+            .pagingd
+            .pages_stolen
+            .get();
+        let stolen_r = suite
+            .cell("MATVEC", Version::Release)
+            .unwrap()
+            .vm
+            .pagingd
+            .pages_stolen
+            .get();
+        assert!(
+            stolen_r * 3 < stolen_o,
+            "O stole {stolen_o}, R stole {stolen_r}"
+        );
+
+        // All six tables render.
+        for table in [
+            suite.fig07(),
+            suite.fig08(),
+            suite.table3(),
+            suite.fig09(),
+            suite.fig10b(),
+            suite.fig10c(),
+        ] {
+            assert!(!table.render().is_empty());
+        }
+    }
+}

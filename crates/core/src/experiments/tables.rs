@@ -1,0 +1,63 @@
+//! Tables 1 and 2.
+
+use crate::machine::MachineConfig;
+use crate::report::TextTable;
+use crate::scenario::Version;
+
+/// Table 1: hardware characteristics of the (simulated) machine.
+pub fn table1(machine: &MachineConfig) -> TextTable {
+    let mut t = TextTable::new(vec!["characteristic", "value"]);
+    for (k, v) in machine.table1_rows() {
+        t.row(vec![k, v]);
+    }
+    t
+}
+
+/// Table 2: benchmark characteristics, plus the compiled hint-site counts
+/// this reproduction can report directly.
+pub fn table2(machine: &MachineConfig) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "benchmark",
+        "data set",
+        "loop structure",
+        "analysis difficulty",
+        "pf sites",
+        "rel sites",
+    ]);
+    for spec in workloads::all_benchmarks() {
+        let opts = Version::Release.compile_options(machine);
+        let prog = compiler::compile(&spec.source, &opts);
+        t.row(vec![
+            spec.name.clone(),
+            format!("{:.0} MB", spec.data_set_bytes() as f64 / (1024.0 * 1024.0)),
+            spec.table2.structure.to_string(),
+            spec.table2.analysis_difficulty.to_string(),
+            prog.prefetch_sites().to_string(),
+            prog.release_sites().to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_renders() {
+        let t = table1(&MachineConfig::origin200());
+        let s = t.render();
+        assert!(s.contains("75 MB"));
+        assert!(s.contains("Cheetah"));
+    }
+
+    #[test]
+    fn table2_covers_all_benchmarks() {
+        let t = table2(&MachineConfig::origin200());
+        assert_eq!(t.len(), 6);
+        let s = t.render();
+        for name in ["EMBAR", "MATVEC", "BUK", "CGM", "MGRID", "FFTPDE"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # hogtame — Taming the Memory Hogs, in Rust
+//!
+//! A full reproduction of *"Taming the Memory Hogs: Using
+//! Compiler-Inserted Releases to Manage Physical Memory Intelligently"*
+//! (Angela Demke Brown and Todd C. Mowry, OSDI 2000) as a deterministic
+//! discrete-event simulation.
+//!
+//! The underlying crates implement the system itself:
+//!
+//! * [`vm`] — the IRIX-like VM subsystem (global clock replacement with
+//!   software reference-bit sampling, free list with rescue, the
+//!   PagingDirected policy module, the releaser daemon).
+//! * [`compiler`] — the SUIF-style analysis pass (reuse, group locality,
+//!   locality volumes, software-pipelined prefetch scheduling, Eq. 2
+//!   release priorities).
+//! * [`runtime`] — the run-time layer (executor, hint filters, aggressive
+//!   vs buffered release policies, prefetch thread pool).
+//! * [`workloads`] — MATVEC and the five NAS out-of-core benchmarks, plus
+//!   the interactive task.
+//!
+//! This crate is the top: the [`engine`] drives processes, daemons, disks
+//! and locks on one virtual clock; [`scenario`] assembles the paper's
+//! experiments (a benchmark in one of the four build versions O/P/R/B,
+//! optionally sharing the machine with the interactive task); and
+//! [`experiments`] regenerates every table and figure of the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hogtame::prelude::*;
+//!
+//! // Run a small MATVEC (R = prefetch + aggressive release) against the
+//! // interactive task, on a scaled-down machine so the doctest is fast.
+//! let mut scenario = Scenario::new(MachineConfig::small());
+//! scenario.bench(workloads::benchmark("MATVEC").unwrap(), Version::Release);
+//! scenario.interactive(SimDuration::from_secs(5), None);
+//! let result = scenario.run();
+//! let hog = result.hog.as_ref().unwrap();
+//! assert!(hog.finish_time > SimTime::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod experiments;
+pub mod machine;
+pub mod report;
+pub mod scenario;
+pub mod timeline;
+
+pub use engine::{Engine, ProcResult, RunResult};
+pub use machine::MachineConfig;
+pub use scenario::{Scenario, ScenarioResult, Version};
+
+/// Convenient re-exports for examples and binaries.
+pub mod prelude {
+    pub use crate::engine::{Engine, ProcResult, RunResult};
+    pub use crate::machine::MachineConfig;
+    pub use crate::scenario::{Scenario, ScenarioResult, Version};
+    pub use sim_core::stats::{TimeBreakdown, TimeCategory};
+    pub use sim_core::{SimDuration, SimTime};
+    pub use workloads;
+}

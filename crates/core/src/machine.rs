@@ -1,0 +1,163 @@
+//! The simulated machine — the paper's Table 1.
+
+use compiler::MachineModel;
+use disk::SwapConfig;
+use vm::{CostParams, Tunables};
+
+/// Configuration of the simulated machine and system software.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Physical frames available to user programs.
+    pub frames: usize,
+    /// Page size in bytes.
+    pub page_size: u64,
+    /// Processor count (documentation; the paper's prefetch threads and
+    /// daemons ride on the spare CPUs).
+    pub cpus: u32,
+    /// Processor clock, MHz (documentation).
+    pub cpu_mhz: u32,
+    /// The swap disk array.
+    pub swap: SwapConfig,
+    /// VM tunables.
+    pub tunables: Tunables,
+    /// VM primitive costs.
+    pub costs: CostParams,
+    /// Prefetch threads per out-of-core process.
+    pub prefetch_threads: usize,
+    /// What the compiler is told about the machine.
+    pub compiler_model: MachineModel,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::origin200()
+    }
+}
+
+impl MachineConfig {
+    /// The paper's machine: a 4-processor SGI Origin 200, 75 MB available
+    /// to user programs in 16 KB pages, swap striped over ten Seagate
+    /// Cheetah 4LP disks on five SCSI adapters.
+    pub fn origin200() -> Self {
+        let frames = 4800; // 75 MB / 16 KB
+        MachineConfig {
+            frames,
+            page_size: 16 * 1024,
+            cpus: 4,
+            cpu_mhz: 180,
+            swap: SwapConfig::paper(),
+            tunables: Tunables::for_memory(frames as u64),
+            costs: CostParams::origin200(),
+            prefetch_threads: 12,
+            compiler_model: MachineModel {
+                memory_pages: frames as u64,
+                page_size: 16 * 1024,
+                fault_latency_ns: 10_000_000,
+            },
+        }
+    }
+
+    /// A scaled-down machine (1/8 memory) for tests and doctests; keeps
+    /// all ratios.
+    pub fn small() -> Self {
+        let mut m = MachineConfig::origin200();
+        m.frames = 600;
+        m.tunables = Tunables::for_memory(600);
+        m.compiler_model.memory_pages = 600;
+        m
+    }
+
+    /// Memory available to user programs, MB.
+    pub fn memory_mb(&self) -> f64 {
+        (self.frames as u64 * self.page_size) as f64 / (1024.0 * 1024.0)
+    }
+
+    /// The Table 1 rows: (characteristic, value).
+    pub fn table1_rows(&self) -> Vec<(String, String)> {
+        let d = &self.swap.params;
+        vec![
+            (
+                "Processors".into(),
+                format!(
+                    "{} × {} MHz MIPS R10000 (simulated)",
+                    self.cpus, self.cpu_mhz
+                ),
+            ),
+            (
+                "User-available memory".into(),
+                format!("{:.0} MB", self.memory_mb()),
+            ),
+            ("Page size".into(), format!("{} KB", self.page_size / 1024)),
+            (
+                "Swap disks".into(),
+                format!("{} × Seagate Cheetah 4LP", self.swap.disks),
+            ),
+            (
+                "SCSI adapters".into(),
+                format!("{} (two disks each)", self.swap.adapters),
+            ),
+            (
+                "Disk rotation".into(),
+                format!("{:.2} ms", d.rotation.as_millis_f64()),
+            ),
+            (
+                "Avg seek (1/3 stroke)".into(),
+                format!(
+                    "{:.2} ms",
+                    d.min_seek.as_millis_f64()
+                        + (d.max_seek.saturating_sub(d.min_seek))
+                            .mul_f64((1.0f64 / 3.0).sqrt())
+                            .as_millis_f64()
+                ),
+            ),
+            (
+                "Page transfer".into(),
+                format!("{:.2} ms", d.page_transfer.as_millis_f64()),
+            ),
+            (
+                "Avg page-fault service".into(),
+                format!("{:.2} ms", d.avg_random_service().as_millis_f64()),
+            ),
+            (
+                "min_freemem".into(),
+                format!("{} pages", self.tunables.min_freemem),
+            ),
+            ("maxrss".into(), format!("{} pages", self.tunables.maxrss)),
+            (
+                "Prefetch threads".into(),
+                format!("{}", self.prefetch_threads),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_matches_table1() {
+        let m = MachineConfig::origin200();
+        assert_eq!(m.frames, 4800);
+        assert!((m.memory_mb() - 75.0).abs() < 0.01);
+        assert_eq!(m.page_size, 16 * 1024);
+        assert_eq!(m.swap.disks, 10);
+        assert_eq!(m.swap.adapters, 5);
+        assert_eq!(m.cpus, 4);
+    }
+
+    #[test]
+    fn table1_has_rows() {
+        let rows = MachineConfig::origin200().table1_rows();
+        assert!(rows.len() >= 10);
+        assert!(rows.iter().any(|(k, _)| k.contains("memory")));
+    }
+
+    #[test]
+    fn small_machine_keeps_page_size() {
+        let m = MachineConfig::small();
+        assert_eq!(m.page_size, 16 * 1024);
+        assert!(m.frames < 4800);
+        assert_eq!(m.compiler_model.memory_pages, m.frames as u64);
+    }
+}

@@ -1,0 +1,148 @@
+//! Plain-text table and CSV rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use hogtame::report::TextTable;
+/// let mut t = TextTable::new(vec!["bench", "speedup"]);
+/// t.row(vec!["MATVEC".into(), "1.42".into()]);
+/// let s = t.render();
+/// assert!(s.contains("MATVEC"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<w$}", c, w = widths[i]);
+                if i + 1 < ncols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(esc).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats seconds with three decimals.
+pub fn secs(s: f64) -> String {
+    format!("{s:.3}s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxxxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("a         "));
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = TextTable::new(vec!["k", "v"]);
+        t.row(vec!["a,b".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn bad_row_panics() {
+        TextTable::new(vec!["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(secs(1.23456), "1.235s");
+    }
+}

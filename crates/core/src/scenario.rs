@@ -1,0 +1,360 @@
+//! Scenario assembly: the paper's experimental setups.
+//!
+//! A scenario is a machine, optionally an out-of-core benchmark built in
+//! one of the four versions the paper compares, and optionally the
+//! interactive task sharing the machine:
+//!
+//! * **O** — the original, unmodified program;
+//! * **P** — compiled with prefetching only;
+//! * **R** — prefetching + aggressive releasing;
+//! * **B** — prefetching + release buffering.
+
+use compiler::{compile, CompileOptions};
+use runtime::{Executor, ReleasePolicy, RtConfig, RuntimeLayer};
+use sim_core::SimDuration;
+use vm::{Backing, Pid, Vpn};
+use workloads::{BenchSpec, InteractiveTask};
+
+use crate::engine::{Engine, ProcResult, RunResult};
+use crate::machine::MachineConfig;
+
+/// The four build versions of Figure 7.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Version {
+    /// Original, unmodified program.
+    Original,
+    /// Prefetching only.
+    Prefetch,
+    /// Prefetching + aggressive releasing.
+    Release,
+    /// Prefetching + release buffering.
+    Buffered,
+    /// Prefetching + *reactive* eviction candidates (extension; not one of
+    /// the paper's four versions — built to quantify §2.2's argument that
+    /// reactive schemes cannot isolate other applications).
+    Reactive,
+}
+
+impl Version {
+    /// All four versions in the paper's bar order.
+    pub const ALL: [Version; 4] = [
+        Version::Original,
+        Version::Prefetch,
+        Version::Release,
+        Version::Buffered,
+    ];
+
+    /// The paper's one-letter label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Version::Original => "O",
+            Version::Prefetch => "P",
+            Version::Release => "R",
+            Version::Buffered => "B",
+            Version::Reactive => "V",
+        }
+    }
+
+    /// Compiler options for this version.
+    pub fn compile_options(self, machine: &MachineConfig) -> CompileOptions {
+        match self {
+            Version::Original => CompileOptions::original(machine.compiler_model),
+            Version::Prefetch => CompileOptions::prefetch_only(machine.compiler_model),
+            Version::Release | Version::Buffered | Version::Reactive => {
+                CompileOptions::prefetch_and_release(machine.compiler_model)
+            }
+        }
+    }
+
+    /// The run-time layer release policy, if any hints exist.
+    pub fn policy(self) -> Option<ReleasePolicy> {
+        match self {
+            Version::Original => None,
+            Version::Prefetch => Some(ReleasePolicy::Aggressive),
+            Version::Release => Some(ReleasePolicy::Aggressive),
+            Version::Buffered => Some(ReleasePolicy::Buffered),
+            Version::Reactive => Some(ReleasePolicy::Reactive),
+        }
+    }
+}
+
+/// Builder for one experimental run.
+pub struct Scenario {
+    machine: MachineConfig,
+    bench: Option<(BenchSpec, Version)>,
+    interactive: Option<(SimDuration, Option<u32>)>,
+    rt_config: RtConfig,
+    timeline_period: Option<SimDuration>,
+    kernel_trace: bool,
+}
+
+/// Results of a scenario run.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// The out-of-core process, if one ran.
+    pub hog: Option<ProcResult>,
+    /// The interactive task, if it ran.
+    pub interactive: Option<ProcResult>,
+    /// The full engine results.
+    pub run: RunResult,
+}
+
+impl Scenario {
+    /// Starts a scenario on `machine`.
+    pub fn new(machine: MachineConfig) -> Self {
+        Scenario {
+            machine,
+            bench: None,
+            interactive: None,
+            rt_config: RtConfig::default(),
+            timeline_period: None,
+            kernel_trace: false,
+        }
+    }
+
+    /// Adds an out-of-core benchmark in the given version.
+    pub fn bench(&mut self, spec: BenchSpec, version: Version) -> &mut Self {
+        self.bench = Some((spec, version));
+        self
+    }
+
+    /// Adds the interactive task with the given think time.
+    pub fn interactive(&mut self, sleep: SimDuration, max_sweeps: Option<u32>) -> &mut Self {
+        self.interactive = Some((sleep, max_sweeps));
+        self
+    }
+
+    /// Overrides the run-time layer configuration.
+    pub fn rt_config(&mut self, config: RtConfig) -> &mut Self {
+        self.rt_config = config;
+        self
+    }
+
+    /// Enables memory-occupancy sampling at `period`.
+    pub fn timeline(&mut self, period: SimDuration) -> &mut Self {
+        self.timeline_period = Some(period);
+        self
+    }
+
+    /// Enables the kernel-activity trace (daemon activations etc.).
+    pub fn kernel_trace(&mut self) -> &mut Self {
+        self.kernel_trace = true;
+        self
+    }
+
+    /// Builds and runs the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is empty.
+    pub fn run(&mut self) -> ScenarioResult {
+        assert!(
+            self.bench.is_some() || self.interactive.is_some(),
+            "empty scenario"
+        );
+        let mut engine = Engine::new(self.machine.clone());
+        if let Some(period) = self.timeline_period {
+            engine.enable_timeline(period);
+        }
+        if self.kernel_trace {
+            engine.enable_kernel_trace();
+        }
+        let mut hog_idx = None;
+        let mut int_idx = None;
+
+        if let Some((spec, version)) = self.bench.take() {
+            let pid = install_bench(&mut engine, &spec, version, self.rt_config);
+            hog_idx = Some(engine_proc_count(&engine) - 1);
+            let _ = pid;
+        }
+        if let Some((sleep, max_sweeps)) = self.interactive.take() {
+            // The interactive task is primary only when it runs alone.
+            let primary = hog_idx.is_none();
+            install_interactive(&mut engine, sleep, max_sweeps, primary);
+            int_idx = Some(engine_proc_count(&engine) - 1);
+        }
+
+        let run = engine.run();
+        ScenarioResult {
+            hog: hog_idx.map(|i| run.procs[i].clone()),
+            interactive: int_idx.map(|i| run.procs[i].clone()),
+            run,
+        }
+    }
+}
+
+fn engine_proc_count(engine: &Engine) -> usize {
+    // The engine does not expose its proc list; we track registration
+    // order externally. Registration order == vm pid order here.
+    engine.vm().stats().procs.len()
+}
+
+/// Compiles `spec` for `version`, maps its arrays, and registers the
+/// process. Returns the VM pid.
+pub fn install_bench(
+    engine: &mut Engine,
+    spec: &BenchSpec,
+    version: Version,
+    rt_config: RtConfig,
+) -> Pid {
+    let opts = version.compile_options(engine.config());
+    let prog = compile(&spec.source, &opts);
+    let page_size = engine.config().page_size;
+
+    let with_pm = version != Version::Original;
+    let pid = engine.vm_mut().add_process(with_pm);
+    let mut bases: Vec<Vpn> = Vec::with_capacity(spec.arrays.len());
+    for arr in &spec.arrays {
+        let range =
+            engine
+                .vm_mut()
+                .map_region(pid, arr.pages(page_size), Backing::SwapPrefilled, with_pm);
+        bases.push(range.start);
+    }
+    let bindings = spec.bindings(&bases, page_size);
+    let exec = Executor::new(prog, bindings);
+    let rt = version
+        .policy()
+        .map(|policy| RuntimeLayer::new(policy, rt_config));
+    engine.register(
+        pid,
+        format!("{}-{}", spec.name, version.label()),
+        Box::new(exec),
+        rt,
+        true,
+    );
+    pid
+}
+
+/// Maps the interactive task's 1 MB region and registers it.
+pub fn install_interactive(
+    engine: &mut Engine,
+    sleep: SimDuration,
+    max_sweeps: Option<u32>,
+    primary: bool,
+) -> Pid {
+    let pid = engine.vm_mut().add_process(false);
+    let pages = workloads::interactive::PAGES;
+    let range = engine
+        .vm_mut()
+        .map_region(pid, pages, Backing::ZeroFill, false);
+    let task = InteractiveTask::new(range.start, sleep, max_sweeps);
+    engine.register(pid, "interactive", Box::new(task), None, primary);
+    pid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::stats::TimeCategory;
+    use sim_core::SimTime;
+
+    /// A miniature benchmark so scenario tests run in milliseconds.
+    fn tiny_bench() -> BenchSpec {
+        use compiler::expr::{Affine, Bound};
+        use compiler::ir::{ArrayRef, Index, LoopId, NestBuilder, SourceProgram};
+        use workloads::{ArraySpec, Table2Row};
+
+        let n: i64 = 2048 * 64; // 64 pages
+        let mut p = SourceProgram::new("TINY");
+        let a = p.array("a", 8, vec![Bound::Known(n)]);
+        p.nest(
+            NestBuilder::new("sweep")
+                .counted_loop(Bound::Known(n))
+                .work_ns(40)
+                .reference(ArrayRef::read(a, vec![Index::aff(Affine::var(LoopId(0)))]))
+                .build(),
+        );
+        BenchSpec {
+            name: "TINY".into(),
+            source: p,
+            arrays: vec![ArraySpec {
+                dims: vec![n],
+                elem_size: 8,
+            }],
+            trips: vec![vec![runtime::TripSpec::Static]],
+            indirect: Default::default(),
+            invocations: 2,
+            table2: Table2Row {
+                description: "test sweep",
+                structure: "1-D",
+                analysis_difficulty: "trivial",
+            },
+        }
+    }
+
+    #[test]
+    fn version_metadata() {
+        assert_eq!(Version::Original.label(), "O");
+        assert_eq!(Version::Buffered.label(), "B");
+        assert!(Version::Original.policy().is_none());
+        assert_eq!(Version::Release.policy(), Some(ReleasePolicy::Aggressive));
+        assert_eq!(Version::Buffered.policy(), Some(ReleasePolicy::Buffered));
+    }
+
+    #[test]
+    fn original_version_runs_to_completion() {
+        let mut s = Scenario::new(MachineConfig::small());
+        s.bench(tiny_bench(), Version::Original);
+        let res = s.run();
+        let hog = res.hog.unwrap();
+        assert!(hog.finish_time > SimTime::ZERO);
+        assert!(hog.finish_time < SimTime::MAX);
+        // Out-of-core sweep: every page demand-faulted at least once.
+        assert!(res.run.vm_stats.proc(hog.pid.0 as usize).hard_faults.get() >= 64);
+        assert!(hog.rt_stats.is_none());
+    }
+
+    #[test]
+    fn prefetch_version_hides_io() {
+        let mut o = Scenario::new(MachineConfig::small());
+        o.bench(tiny_bench(), Version::Original);
+        let ro = o.run().hog.unwrap();
+
+        let mut p = Scenario::new(MachineConfig::small());
+        p.bench(tiny_bench(), Version::Prefetch);
+        let rp = p.run().hog.unwrap();
+
+        let io_o = ro.breakdown.get(TimeCategory::StallIo);
+        let io_p = rp.breakdown.get(TimeCategory::StallIo);
+        assert!(
+            io_p.as_nanos() * 2 < io_o.as_nanos(),
+            "prefetching must hide most I/O stall: O={io_o} P={io_p}"
+        );
+        assert!(rp.finish_time < ro.finish_time);
+        assert!(rp.rt_stats.unwrap().prefetch_issued > 0);
+    }
+
+    #[test]
+    fn release_version_frees_memory() {
+        let mut s = Scenario::new(MachineConfig::small());
+        s.bench(tiny_bench(), Version::Release);
+        let res = s.run();
+        assert!(res.run.vm_stats.releaser.pages_released.get() > 0);
+    }
+
+    #[test]
+    fn interactive_alone_has_fast_sweeps() {
+        let mut s = Scenario::new(MachineConfig::small());
+        s.interactive(SimDuration::from_secs(1), Some(5));
+        let res = s.run();
+        let int = res.interactive.unwrap();
+        assert_eq!(int.sweeps.len(), 5);
+        let mean = int.mean_response().unwrap();
+        // Warm sweeps are pure memory speed: ~1 ms.
+        assert!(mean < SimDuration::from_millis(10), "mean {mean}");
+        assert_eq!(int.mean_sweep_faults().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn hog_degrades_interactive_without_releases() {
+        let mut s = Scenario::new(MachineConfig::small());
+        let mut b = tiny_bench();
+        b.invocations = 40; // long enough to overlap many sweeps
+        s.bench(b, Version::Prefetch);
+        s.interactive(SimDuration::from_millis(20), None);
+        let res = s.run();
+        let int = res.interactive.unwrap();
+        assert!(int.sweeps.len() >= 2, "interactive ran alongside the hog");
+    }
+}

@@ -1,0 +1,29 @@
+//! Striped swap disk subsystem.
+//!
+//! The paper's testbed swaps to **ten Seagate Cheetah 4LP disks striped as
+//! raw swap partitions, attached in pairs to five SCSI adapters**. This crate
+//! models that array:
+//!
+//! * [`model`] — per-request service-time model for a single disk
+//!   (distance-dependent seek, rotational latency, transfer).
+//! * [`disk`] — a single disk with a FIFO queue and head-position state.
+//! * [`adapter`] — a SCSI adapter shared by its disks; the bus is occupied
+//!   for the transfer portion of each request.
+//! * [`swap`] — the striped swap device mapping swap slots to (disk, block)
+//!   and exposing page read/write with completion times.
+//!
+//! The model is *service-time compositional*: submitting a request returns
+//! its completion instant immediately (FIFO per disk, transfer serialized per
+//! adapter), so the caller — the VM subsystem — schedules a single completion
+//! event and no callback plumbing crosses the crate boundary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod disk;
+pub mod model;
+pub mod swap;
+
+pub use model::DiskParams;
+pub use swap::{IoKind, SwapConfig, SwapDevice, SwapSlot};

@@ -1,0 +1,143 @@
+//! Per-disk service-time model.
+//!
+//! Parameters default to a Seagate Cheetah 4LP (the paper's swap disks):
+//! 10,016 RPM, ≈7.7 ms average seek, roughly 15 MB/s sustained transfer.
+//! Seek time follows the standard concave square-root-of-distance model
+//! between a track-to-track minimum and a full-stroke maximum.
+
+use serde::{Deserialize, Serialize};
+use sim_core::SimDuration;
+
+/// Physical parameters of one disk.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DiskParams {
+    /// Track-to-track (minimum nonzero) seek.
+    pub min_seek: SimDuration,
+    /// Full-stroke (maximum) seek.
+    pub max_seek: SimDuration,
+    /// Time for one full platter rotation.
+    pub rotation: SimDuration,
+    /// Transfer time for one page-sized block.
+    pub page_transfer: SimDuration,
+    /// Fixed controller/command overhead per request.
+    pub overhead: SimDuration,
+    /// Number of page-sized blocks on the disk (addressable span for the
+    /// seek-distance model).
+    pub blocks: u64,
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        DiskParams::cheetah_4lp()
+    }
+}
+
+impl DiskParams {
+    /// Seagate Cheetah 4LP, as used in the paper's swap array.
+    ///
+    /// 10,016 RPM → 5.99 ms/rev; average read seek 7.7 ms (min 0.6 ms,
+    /// max ≈ 16 ms); a 16 KB page transfers in ≈ 1.05 ms at ~15.2 MB/s.
+    pub fn cheetah_4lp() -> Self {
+        DiskParams {
+            min_seek: SimDuration::from_micros(600),
+            max_seek: SimDuration::from_micros(16_000),
+            rotation: SimDuration::from_micros(5_990),
+            page_transfer: SimDuration::from_micros(1_050),
+            overhead: SimDuration::from_micros(100),
+            // 4.5 GB formatted / 16 KB pages ≈ 280k blocks.
+            blocks: 280_000,
+        }
+    }
+
+    /// A fast, low-variance disk useful for unit tests.
+    pub fn test_disk() -> Self {
+        DiskParams {
+            min_seek: SimDuration::from_micros(10),
+            max_seek: SimDuration::from_micros(100),
+            rotation: SimDuration::from_micros(60),
+            page_transfer: SimDuration::from_micros(20),
+            overhead: SimDuration::from_micros(1),
+            blocks: 10_000,
+        }
+    }
+
+    /// Seek time for a head movement of `distance` blocks.
+    ///
+    /// Zero distance (sequential access) costs nothing; otherwise the classic
+    /// concave model `min + (max - min) * sqrt(d / span)`.
+    pub fn seek_time(&self, distance: u64) -> SimDuration {
+        if distance == 0 {
+            return SimDuration::ZERO;
+        }
+        let span = self.blocks.max(1) as f64;
+        let frac = (distance as f64 / span).min(1.0).sqrt();
+        let extra = self.max_seek.saturating_sub(self.min_seek).mul_f64(frac);
+        self.min_seek + extra
+    }
+
+    /// Average rotational latency (half a rotation).
+    pub fn avg_rotational_latency(&self) -> SimDuration {
+        SimDuration::from_nanos(self.rotation.as_nanos() / 2)
+    }
+
+    /// Expected service time of a random single-page access on an idle disk
+    /// (average seek ≈ seek at one-third stroke, plus half a rotation, plus
+    /// transfer and overhead). Used for sanity checks and latency hints fed
+    /// to the compiler.
+    pub fn avg_random_service(&self) -> SimDuration {
+        self.seek_time(self.blocks / 3)
+            + self.avg_rotational_latency()
+            + self.page_transfer
+            + self.overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_seek_is_free() {
+        let p = DiskParams::cheetah_4lp();
+        assert_eq!(p.seek_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn seek_monotone_in_distance() {
+        let p = DiskParams::cheetah_4lp();
+        let mut last = SimDuration::ZERO;
+        for d in [1, 10, 100, 1_000, 10_000, 100_000, 280_000] {
+            let s = p.seek_time(d);
+            assert!(s >= last, "seek not monotone at distance {d}");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn seek_bounded_by_min_and_max() {
+        let p = DiskParams::cheetah_4lp();
+        assert!(p.seek_time(1) >= p.min_seek);
+        assert!(p.seek_time(p.blocks) <= p.max_seek);
+        // Beyond the addressable span still clamps to max.
+        assert!(p.seek_time(u64::MAX) <= p.max_seek);
+    }
+
+    #[test]
+    fn cheetah_realistic_random_service() {
+        // A random page read on a Cheetah 4LP should land in the 8–20 ms
+        // range the paper's fault latencies imply.
+        let ms = DiskParams::cheetah_4lp()
+            .avg_random_service()
+            .as_millis_f64();
+        assert!((8.0..20.0).contains(&ms), "random service {ms} ms");
+    }
+
+    #[test]
+    fn rotational_latency_is_half_rotation() {
+        let p = DiskParams::test_disk();
+        assert_eq!(
+            p.avg_rotational_latency().as_nanos() * 2,
+            p.rotation.as_nanos()
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the disk subsystem: FIFO causality per spindle, bus
+//! serialization per adapter, and monotone completion times.
+
+use proptest::prelude::*;
+
+use disk::{IoKind, SwapConfig, SwapDevice, SwapSlot};
+use sim_core::SimTime;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Submitting at non-decreasing times yields, per disk, non-decreasing
+    /// completion times (FIFO), and every completion is after its submit.
+    #[test]
+    fn per_disk_fifo_and_causality(
+        reqs in prop::collection::vec((0u64..5000, 0u64..10_000, any::<bool>()), 1..100)
+    ) {
+        let mut swap = SwapDevice::new(SwapConfig::paper());
+        let ndisks = swap.disk_count() as u64;
+        let mut now = SimTime::ZERO;
+        let mut last_done = vec![SimTime::ZERO; ndisks as usize];
+        for (dt, slot, write) in reqs {
+            now += sim_core::SimDuration::from_micros(dt);
+            let kind = if write { IoKind::Write } else { IoKind::Read };
+            let done = swap.submit(now, SwapSlot(slot), kind);
+            prop_assert!(done > now, "completion {done:?} not after submit {now:?}");
+            let disk = (slot % ndisks) as usize;
+            prop_assert!(
+                done >= last_done[disk],
+                "disk {disk} went backwards: {done:?} < {:?}",
+                last_done[disk]
+            );
+            last_done[disk] = done;
+        }
+    }
+
+    /// Bus accounting: total adapter busy time equals the transfer time of
+    /// every request routed through it.
+    #[test]
+    fn adapter_busy_equals_total_transfers(
+        slots in prop::collection::vec(0u64..10_000, 1..200)
+    ) {
+        let config = SwapConfig::paper();
+        let per_adapter = config.disks / config.adapters;
+        let transfer = config.params.page_transfer;
+        let mut swap = SwapDevice::new(config);
+        let mut per_adapter_count = vec![0u64; swap.adapters().len()];
+        for (i, &slot) in slots.iter().enumerate() {
+            let t = SimTime::from_nanos(i as u64 * 100);
+            swap.submit(t, SwapSlot(slot), IoKind::Read);
+            let disk = (slot % swap.disk_count() as u64) as usize;
+            per_adapter_count[disk / per_adapter] += 1;
+        }
+        for (a, adapter) in swap.adapters().iter().enumerate() {
+            prop_assert_eq!(
+                adapter.stats().busy.as_nanos(),
+                transfer.as_nanos() * per_adapter_count[a],
+                "adapter {} busy mismatch", a
+            );
+        }
+    }
+
+    /// Stripe mapping is a bijection between slots and (disk, block).
+    #[test]
+    fn striping_is_bijective(slots in prop::collection::btree_set(0u64..100_000, 1..200)) {
+        let swap = SwapDevice::new(SwapConfig::paper());
+        let mut seen = std::collections::HashSet::new();
+        for &s in &slots {
+            let loc = swap.locate(SwapSlot(s));
+            prop_assert!(seen.insert(loc), "slot {s} collided at {loc:?}");
+            // Round-trip.
+            let (disk, block) = loc;
+            prop_assert_eq!(block * swap.disk_count() as u64 + disk as u64, s);
+        }
+    }
+}

@@ -1,0 +1,984 @@
+//! Executor for compiled programs.
+//!
+//! Interprets an [`AnnotatedProgram`] against run-time [`Bindings`],
+//! producing the page-granularity [`Op`] stream the simulation engine
+//! consumes. Element-level iteration is *fast-forwarded*: consecutive
+//! innermost iterations that touch no new page are folded into a single
+//! accumulated [`Op::Compute`], so a 52-million-iteration MATVEC sweep
+//! costs tens of thousands of ops, not tens of millions — while every page
+//! transition, prefetch hint and release hint is emitted exactly where the
+//! compiled code would issue it.
+//!
+//! Hint placement mirrors the software-pipelined output of the pass:
+//!
+//! * entering the first page of a prefetched reference emits a *prologue*
+//!   hint covering the next `distance + 1` pages;
+//! * each later page entry emits a steady-state hint for the page
+//!   `distance` ahead (in the direction of travel);
+//! * each page entry of a released reference emits a release hint for the
+//!   *current* page — the run-time layer's one-behind tag filter turns that
+//!   into a release of the page just vacated, exactly as in the paper.
+
+use std::collections::VecDeque;
+
+use compiler::ir::{ArrayRef, Index};
+use compiler::{AnnotatedProgram, Bound};
+use sim_core::SimDuration;
+use vm::Vpn;
+
+use crate::bindings::Bindings;
+use crate::ops::{Mark, Op, OpStream};
+
+/// The resumable program executor.
+///
+/// # Examples
+///
+/// ```
+/// use compiler::expr::{Affine, Bound};
+/// use compiler::ir::{ArrayRef, Index, LoopId, NestBuilder, SourceProgram};
+/// use compiler::{compile, CompileOptions, MachineModel};
+/// use runtime::{ArrayBinding, Bindings, Executor, Op, OpStream, TripSpec};
+/// use vm::Vpn;
+///
+/// let mut src = SourceProgram::new("sweep");
+/// let n: i64 = 2048 * 2; // two 16 KB pages of f64
+/// let a = src.array("a", 8, vec![Bound::Known(n)]);
+/// src.nest(
+///     NestBuilder::new("main")
+///         .counted_loop(Bound::Known(n))
+///         .reference(ArrayRef::read(a, vec![Index::aff(Affine::var(LoopId(0)))]))
+///         .build(),
+/// );
+/// let prog = compile(&src, &CompileOptions::original(MachineModel::origin200()));
+/// let bind = Bindings {
+///     arrays: vec![ArrayBinding { base_vpn: Vpn(100), dims: vec![n], elem_size: 8 }],
+///     indirect: Default::default(),
+///     page_size: 16 * 1024,
+///     trips: vec![vec![TripSpec::Static]],
+///     invocations: 1,
+/// };
+/// let mut ex = Executor::new(prog, bind);
+/// // 4096 element iterations collapse to two page touches + compute.
+/// let mut touches = 0;
+/// loop {
+///     match ex.next_op() {
+///         Op::End => break,
+///         Op::Touch { .. } => touches += 1,
+///         _ => {}
+///     }
+/// }
+/// assert_eq!(touches, 2);
+/// ```
+pub struct Executor {
+    prog: AnnotatedProgram,
+    bind: Bindings,
+    invocation: u32,
+    nest_idx: usize,
+    in_nest: bool,
+    ivs: Vec<i64>,
+    trips: Vec<i64>,
+    last_page: Vec<Option<Vpn>>,
+    /// Like `last_page` but never reset on outer-loop carries: tracks the
+    /// true stream position for prefetch continuity decisions.
+    hint_prev: Vec<Option<Vpn>>,
+    prologue_done: Vec<bool>,
+    pending: VecDeque<Op>,
+    acc_compute_ns: u64,
+    done: bool,
+    /// Total innermost iterations executed (including fast-forwarded).
+    iterations: u64,
+}
+
+impl Executor {
+    /// Creates an executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bindings don't cover the program's arrays or nests.
+    pub fn new(prog: AnnotatedProgram, bind: Bindings) -> Self {
+        assert_eq!(
+            prog.arrays.len(),
+            bind.arrays.len(),
+            "bindings must cover every array"
+        );
+        assert_eq!(
+            prog.nests.len(),
+            bind.trips.len(),
+            "bindings must cover every nest"
+        );
+        for (nest, trips) in prog.nests.iter().zip(&bind.trips) {
+            assert_eq!(
+                nest.nest.loops.len(),
+                trips.len(),
+                "trip specs must cover every loop of nest {}",
+                nest.nest.name
+            );
+        }
+        Executor {
+            prog,
+            bind,
+            invocation: 0,
+            nest_idx: 0,
+            in_nest: false,
+            ivs: Vec::new(),
+            trips: Vec::new(),
+            last_page: Vec::new(),
+            hint_prev: Vec::new(),
+            prologue_done: Vec::new(),
+            pending: VecDeque::new(),
+            acc_compute_ns: 0,
+            done: false,
+            iterations: 0,
+        }
+    }
+
+    /// Total innermost iterations executed so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Which invocation (sweep) is in progress.
+    pub fn invocation(&self) -> u32 {
+        self.invocation
+    }
+
+    fn compile_bound(&self, loop_depth: usize) -> Bound {
+        self.prog.nests[self.nest_idx].nest.loops[loop_depth].count
+    }
+
+    /// Enters the next runnable nest; returns false when the program ends.
+    ///
+    /// Invocation boundaries emit sweep marks, so the engine records a
+    /// per-sweep duration for the out-of-core program too (warm-up vs
+    /// steady state).
+    fn enter_nest(&mut self) -> bool {
+        loop {
+            if self.invocation == 0 && self.nest_idx == 0 && self.iterations == 0 {
+                self.pending.push_back(Op::Mark(Mark::SweepStart));
+            }
+            if self.nest_idx >= self.prog.nests.len() {
+                // Account the tail of the sweep's compute inside the sweep.
+                self.flush_compute();
+                self.pending.push_back(Op::Mark(Mark::SweepEnd));
+                self.invocation += 1;
+                self.nest_idx = 0;
+                if self.invocation >= self.bind.invocations {
+                    self.done = true;
+                    return false;
+                }
+                self.pending.push_back(Op::Mark(Mark::SweepStart));
+            }
+            let depth = self.prog.nests[self.nest_idx].nest.loops.len();
+            let trips: Vec<i64> = (0..depth)
+                .map(|d| {
+                    self.bind.trips[self.nest_idx][d]
+                        .resolve(self.compile_bound(d), self.invocation)
+                })
+                .collect();
+            if trips.iter().any(|&t| t <= 0) {
+                self.nest_idx += 1;
+                continue;
+            }
+            self.trips = trips;
+            self.ivs = vec![0; depth];
+            self.last_page = vec![None; self.prog.nests[self.nest_idx].nest.refs.len()];
+            self.hint_prev = vec![None; self.prog.nests[self.nest_idx].nest.refs.len()];
+            self.prologue_done = vec![false; self.prog.nests[self.nest_idx].nest.refs.len()];
+            self.in_nest = true;
+            return true;
+        }
+    }
+
+    /// Current linear element offset of reference `r` (runtime indices).
+    fn linear_of(&self, r: &ArrayRef) -> i64 {
+        let indices: Vec<i64> = r.indices.iter().map(|ix| self.eval_index(ix)).collect();
+        self.bind.linearize(r.array, &indices)
+    }
+
+    /// The page an indirect reference will touch `ahead` innermost
+    /// iterations from now (None when that lands past the loop bounds).
+    fn indirect_future_page(&self, ri: usize, ahead: u64) -> Option<Vpn> {
+        let nest = &self.prog.nests[self.nest_idx];
+        let r = &nest.nest.refs[ri];
+        let inner = self.trips.len() - 1;
+        let future_iv = self.ivs[inner] + ahead as i64;
+        if future_iv >= self.trips[inner] {
+            return None;
+        }
+        let mut ivs = self.ivs.clone();
+        ivs[inner] = future_iv;
+        let indices: Vec<i64> = r
+            .indices
+            .iter()
+            .map(|ix| match ix {
+                Index::Affine(a) => a.eval(&ivs),
+                Index::Indirect { via, subscript } => {
+                    let via_len: i64 = self.bind.arrays[via.0].dims.iter().product::<i64>().max(1);
+                    let sub = subscript.eval(&ivs).clamp(0, via_len - 1);
+                    match self.bind.indirect.get(via) {
+                        Some(g) => g.value(sub),
+                        None => sub,
+                    }
+                }
+            })
+            .collect();
+        let linear = self.bind.linearize(r.array, &indices);
+        Some(self.bind.page_of(r.array, linear))
+    }
+
+    fn eval_index(&self, ix: &Index) -> i64 {
+        match ix {
+            Index::Affine(a) => a.eval(&self.ivs),
+            Index::Indirect { via, subscript } => {
+                // The subscript is itself an array access: clamp it into the
+                // indirection array's extent like any other index.
+                let via_len: i64 = self.bind.arrays[via.0].dims.iter().product::<i64>().max(1);
+                let sub = subscript.eval(&self.ivs).clamp(0, via_len - 1);
+                match self.bind.indirect.get(via) {
+                    Some(g) => g.value(sub),
+                    None => sub, // identity indirection if no generator bound
+                }
+            }
+        }
+    }
+
+    /// Bytes the reference's linear position moves per innermost iteration
+    /// (`None` for indirect references).
+    fn inner_delta_bytes(&self, r: &ArrayRef) -> Option<i64> {
+        let inner = compiler::ir::LoopId(self.trips.len() - 1);
+        let b = &self.bind.arrays[r.array.0];
+        let mut delta: i64 = 0;
+        let mut stride: i64 = 1;
+        for (d, ix) in r.indices.iter().enumerate().rev() {
+            let a = ix.as_affine()?;
+            delta += a.coeff(inner) * stride;
+            let extent = b.dims[d].max(1);
+            stride *= extent;
+            let _ = d;
+        }
+        Some(delta * b.elem_size as i64)
+    }
+
+    /// Iterations (starting at the current position) guaranteed to stay on
+    /// every reference's current page.
+    fn silent_run(&self) -> i64 {
+        let nest = &self.prog.nests[self.nest_idx];
+        let inner = self.trips.len() - 1;
+        let remaining = self.trips[inner] - self.ivs[inner];
+        let mut k = remaining.max(1);
+        for (ri, r) in nest.nest.refs.iter().enumerate() {
+            let linear = self.linear_of(r);
+            let page = self.bind.page_of(r.array, linear);
+            if self.last_page[ri] != Some(page) {
+                return 0;
+            }
+            let Some(db) = self.inner_delta_bytes(r) else {
+                return 1.min(k); // indirect: cannot look ahead
+            };
+            if db == 0 {
+                continue;
+            }
+            let b = &self.bind.arrays[r.array.0];
+            // Indices clamp at the array bounds; a reference pinned at an
+            // edge no longer moves, so it constrains nothing.
+            let max_linear: i64 = b.dims.iter().product::<i64>() - 1;
+            if (db > 0 && linear >= max_linear) || (db < 0 && linear <= 0) {
+                continue;
+            }
+            let in_page = (linear.max(0) as u64 * b.elem_size) % self.bind.page_size;
+            let until = if db > 0 {
+                ((self.bind.page_size - in_page) as i64 + db - 1) / db
+            } else {
+                (in_page as i64) / (-db) + 1
+            };
+            k = k.min(until.max(1));
+        }
+        k
+    }
+
+    /// Advances the induction variables by one; false when the nest ends.
+    ///
+    /// A carry above the innermost loop resets the per-reference page
+    /// tracking: references whose page did not change (a reused vector, a
+    /// scalar-like accumulator) are re-touched once per outer iteration, so
+    /// the OS observes their reuse — the clock algorithm's sampling and the
+    /// releaser's re-reference check both depend on it.
+    fn advance(&mut self) -> bool {
+        for d in (0..self.ivs.len()).rev() {
+            self.ivs[d] += 1;
+            if self.ivs[d] < self.trips[d] {
+                if d + 1 != self.ivs.len() {
+                    self.last_page.fill(None);
+                }
+                return true;
+            }
+            self.ivs[d] = 0;
+        }
+        false
+    }
+
+    fn flush_compute(&mut self) {
+        if self.acc_compute_ns > 0 {
+            self.pending
+                .push_back(Op::Compute(SimDuration::from_nanos(self.acc_compute_ns)));
+            self.acc_compute_ns = 0;
+        }
+    }
+
+    /// Processes the current iteration position; returns true if ops were
+    /// emitted.
+    fn process_position(&mut self) -> bool {
+        let nest_idx = self.nest_idx;
+        let nrefs = self.prog.nests[nest_idx].nest.refs.len();
+        // First pass: compute target pages and detect changes.
+        let mut pages = Vec::with_capacity(nrefs);
+        let mut any_change = false;
+        for ri in 0..nrefs {
+            let r = &self.prog.nests[nest_idx].nest.refs[ri];
+            let page = self.bind.page_of(r.array, self.linear_of(r));
+            if self.last_page[ri] != Some(page) {
+                any_change = true;
+            }
+            pages.push(page);
+        }
+        if !any_change {
+            return false;
+        }
+        self.flush_compute();
+        for (ri, &page) in pages.iter().enumerate() {
+            if self.last_page[ri] == Some(page) {
+                continue;
+            }
+            let nest = &self.prog.nests[nest_idx];
+            let r = &nest.nest.refs[ri];
+            let dir = nest.directives[ri];
+            let prev = self.hint_prev[ri];
+
+            if let Some(pf) = dir.prefetch {
+                let allowed = match pf.only_first_iter_of {
+                    Some(l) => self.ivs[l.0] == 0,
+                    None => true,
+                };
+                if allowed {
+                    let array_base = self.bind.arrays[r.array.0].base_vpn;
+                    let array_last = self.bind.last_page(r.array);
+                    if !r.fully_affine() {
+                        // Indirect reference: prefetch the page the access
+                        // will hit `distance` iterations from now — the
+                        // a[b[i+D]] pattern the paper cites for indirect
+                        // prefetching.
+                        if let Some(target) = self.indirect_future_page(ri, pf.distance_pages) {
+                            self.pending.push_back(Op::PrefetchHint {
+                                vpn: target,
+                                npages: 1,
+                                tag: pf.tag,
+                            });
+                        }
+                    } else if !self.prologue_done[ri]
+                        || prev.is_none_or(|p| page.0.abs_diff(p.0) > 1)
+                    {
+                        // Pipeline (re)start: the stream begins or jumps
+                        // discontinuously (e.g. a reused vector re-swept
+                        // from its start on each outer iteration). The
+                        // software-pipelining prologue covers the pipeline
+                        // depth up front, in the stream's direction (the
+                        // compiler knows it statically from the stride sign).
+                        self.prologue_done[ri] = true;
+                        let descending = self.inner_delta_bytes(r).is_some_and(|d| d < 0);
+                        let (vpn, npages) = if descending {
+                            let start = page.0.saturating_sub(pf.distance_pages).max(array_base.0);
+                            (Vpn(start), page.0 - start + 1)
+                        } else {
+                            (
+                                page,
+                                (pf.distance_pages + 1)
+                                    .min(array_last.0 - page.0 + 1)
+                                    .max(1),
+                            )
+                        };
+                        self.pending.push_back(Op::PrefetchHint {
+                            vpn,
+                            npages,
+                            tag: pf.tag,
+                        });
+                    } else {
+                        // Steady state: one page, `distance` ahead in the
+                        // direction of travel.
+                        let ascending = prev.map(|p| page.0 >= p.0).unwrap_or(true);
+                        let target = if ascending {
+                            Vpn(page.0.saturating_add(pf.distance_pages))
+                        } else {
+                            Vpn(page.0.saturating_sub(pf.distance_pages))
+                        };
+                        if target.0 >= array_base.0 && target.0 <= array_last.0 {
+                            self.pending.push_back(Op::PrefetchHint {
+                                vpn: target,
+                                npages: 1,
+                                tag: pf.tag,
+                            });
+                        }
+                    }
+                }
+            }
+
+            self.pending.push_back(Op::Touch {
+                vpn: page,
+                write: r.is_write,
+            });
+
+            if let Some(rel) = dir.release {
+                self.pending.push_back(Op::ReleaseHint {
+                    vpn: page,
+                    priority: rel.priority,
+                    tag: rel.tag,
+                });
+            }
+            self.last_page[ri] = Some(page);
+            self.hint_prev[ri] = Some(page);
+        }
+        true
+    }
+}
+
+impl OpStream for Executor {
+    fn next_op(&mut self) -> Op {
+        loop {
+            if let Some(op) = self.pending.pop_front() {
+                return op;
+            }
+            if self.done {
+                return Op::End;
+            }
+            if !self.in_nest && !self.enter_nest() {
+                self.flush_compute();
+                return self.pending.pop_front().unwrap_or(Op::End);
+            }
+            // Execute iterations until something is emitted or the nest ends.
+            loop {
+                let emitted = self.process_position();
+                self.acc_compute_ns += self.prog.nests[self.nest_idx].nest.work_per_iter_ns;
+                self.iterations += 1;
+                let more = self.advance();
+                if !more {
+                    self.in_nest = false;
+                    self.nest_idx += 1;
+                    break;
+                }
+                if emitted {
+                    break;
+                }
+                // Fast-forward the silent stretch.
+                let k = self.silent_run();
+                if k > 1 {
+                    let inner = self.trips.len() - 1;
+                    let skip = (k - 1).min(self.trips[inner] - 1 - self.ivs[inner]);
+                    if skip > 0 {
+                        self.ivs[inner] += skip;
+                        self.acc_compute_ns +=
+                            skip as u64 * self.prog.nests[self.nest_idx].nest.work_per_iter_ns;
+                        self.iterations += skip as u64;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bindings::{ArrayBinding, IndirectGen, TripSpec};
+    use compiler::expr::{Affine, Bound};
+    use compiler::ir::{ArrayRef, Index as Ix, LoopId, NestBuilder, SourceProgram};
+    use compiler::{compile, CompileOptions, MachineModel};
+    use std::collections::HashMap;
+
+    const PAGE: u64 = 16 * 1024;
+
+    fn l(i: usize) -> LoopId {
+        LoopId(i)
+    }
+
+    fn machine() -> MachineModel {
+        MachineModel::origin200()
+    }
+
+    /// 1-D sweep over `n` f64 elements.
+    fn sweep_program(n: i64, opts: &CompileOptions) -> (AnnotatedProgram, Bindings) {
+        let mut p = SourceProgram::new("sweep");
+        let a = p.array("a", 8, vec![Bound::Known(n)]);
+        p.nest(
+            NestBuilder::new("main")
+                .counted_loop(Bound::Known(n))
+                .work_ns(50)
+                .reference(ArrayRef::read(a, vec![Ix::aff(Affine::var(l(0)))]))
+                .build(),
+        );
+        let prog = compile(&p, opts);
+        let bind = Bindings {
+            arrays: vec![ArrayBinding {
+                base_vpn: Vpn(0x1000),
+                dims: vec![n],
+                elem_size: 8,
+            }],
+            indirect: HashMap::new(),
+            page_size: PAGE,
+            trips: vec![vec![TripSpec::Static]],
+            invocations: 1,
+        };
+        (prog, bind)
+    }
+
+    fn drain(ex: &mut Executor) -> Vec<Op> {
+        let mut ops = Vec::new();
+        loop {
+            let op = ex.next_op();
+            if op == Op::End {
+                break;
+            }
+            ops.push(op);
+            assert!(ops.len() < 2_000_000, "runaway op stream");
+        }
+        ops
+    }
+
+    #[test]
+    fn sweep_touches_each_page_once() {
+        let n = 8192; // 4 pages of 2048 f64
+        let (prog, bind) = sweep_program(n, &CompileOptions::original(machine()));
+        let mut ex = Executor::new(prog, bind);
+        let ops = drain(&mut ex);
+        let touches: Vec<Vpn> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Touch { vpn, .. } => Some(*vpn),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(touches.len(), 4);
+        assert_eq!(
+            touches,
+            vec![Vpn(0x1000), Vpn(0x1001), Vpn(0x1002), Vpn(0x1003)]
+        );
+        assert_eq!(ex.iterations(), n as u64);
+        // All compute time is accounted: n × 50 ns.
+        let compute: u64 = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Compute(d) => Some(d.as_nanos()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(compute, n as u64 * 50);
+    }
+
+    #[test]
+    fn prefetch_prologue_and_steady_state() {
+        let n = 2048 * 8; // 8 pages
+        let (prog, bind) = sweep_program(n, &CompileOptions::prefetch_only(machine()));
+        let distance = prog.nests[0].directives[0].prefetch.unwrap().distance_pages;
+        let mut ex = Executor::new(prog, bind);
+        let ops = drain(&mut ex);
+        let hints: Vec<(Vpn, u64)> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::PrefetchHint { vpn, npages, .. } => Some((*vpn, *npages)),
+                _ => None,
+            })
+            .collect();
+        // Prologue at the first page covers distance+1 pages (clamped to 8).
+        assert_eq!(hints[0].0, Vpn(0x1000));
+        assert_eq!(hints[0].1, (distance + 1).min(8));
+        // Steady-state hints target distance ahead until the array end.
+        for &(vpn, npages) in &hints[1..] {
+            assert_eq!(npages, 1);
+            assert!(vpn.0 <= 0x1007, "no hints beyond the array");
+        }
+        // The first ops are the sweep mark then a prefetch, before the
+        // first touch.
+        assert!(matches!(ops[0], Op::Mark(_)));
+        assert!(matches!(ops[1], Op::PrefetchHint { .. }));
+    }
+
+    #[test]
+    fn release_hint_emitted_per_page_with_tag() {
+        let n = 2048 * 4;
+        let (prog, bind) = sweep_program(n, &CompileOptions::prefetch_and_release(machine()));
+        let tag = prog.nests[0].directives[0].release.unwrap().tag;
+        let mut ex = Executor::new(prog, bind);
+        let ops = drain(&mut ex);
+        let rels: Vec<Vpn> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::ReleaseHint { vpn, tag: t, .. } => {
+                    assert_eq!(*t, tag);
+                    Some(*vpn)
+                }
+                _ => None,
+            })
+            .collect();
+        // One hint per page, addressed at the page being entered.
+        assert_eq!(
+            rels,
+            vec![Vpn(0x1000), Vpn(0x1001), Vpn(0x1002), Vpn(0x1003)]
+        );
+    }
+
+    #[test]
+    fn matvec_reuses_vector_page() {
+        // 2 rows × 2048 f64: x occupies one page touched once per row.
+        let n: i64 = 2048;
+        let rows: i64 = 3;
+        let mut p = SourceProgram::new("mv");
+        let a = p.array("a", 8, vec![Bound::Known(rows), Bound::Known(n)]);
+        let x = p.array("x", 8, vec![Bound::Known(n)]);
+        p.nest(
+            NestBuilder::new("main")
+                .counted_loop(Bound::Known(rows))
+                .counted_loop(Bound::Known(n))
+                .work_ns(10)
+                .reference(ArrayRef::read(
+                    a,
+                    vec![Ix::aff(Affine::var(l(0))), Ix::aff(Affine::var(l(1)))],
+                ))
+                .reference(ArrayRef::read(x, vec![Ix::aff(Affine::var(l(1)))]))
+                .build(),
+        );
+        let prog = compile(&p, &CompileOptions::original(machine()));
+        let bind = Bindings {
+            arrays: vec![
+                ArrayBinding {
+                    base_vpn: Vpn(0),
+                    dims: vec![rows, n],
+                    elem_size: 8,
+                },
+                ArrayBinding {
+                    base_vpn: Vpn(100),
+                    dims: vec![n],
+                    elem_size: 8,
+                },
+            ],
+            indirect: HashMap::new(),
+            page_size: PAGE,
+            trips: vec![vec![TripSpec::Static, TripSpec::Static]],
+            invocations: 1,
+        };
+        let mut ex = Executor::new(prog, bind);
+        let ops = drain(&mut ex);
+        let x_touches = ops
+            .iter()
+            .filter(|op| matches!(op, Op::Touch { vpn, .. } if vpn.0 == 100))
+            .count();
+        // x's single page is re-entered at the start of each row.
+        assert_eq!(x_touches, rows as usize);
+        assert_eq!(ex.iterations(), (rows * n) as u64);
+    }
+
+    #[test]
+    fn indirect_refs_touch_scattered_pages() {
+        let n: i64 = 4096;
+        let elems: i64 = 1 << 20; // 1M-element target array = 512 pages
+        let mut p = SourceProgram::new("gather");
+        let a = p.array("a", 8, vec![Bound::Known(elems)]);
+        let b = p.array("b", 4, vec![Bound::Known(n)]);
+        p.nest(
+            NestBuilder::new("main")
+                .counted_loop(Bound::Known(n))
+                .work_ns(20)
+                .reference(ArrayRef::read(
+                    a,
+                    vec![Ix::Indirect {
+                        via: b,
+                        subscript: Affine::var(l(0)),
+                    }],
+                ))
+                .reference(ArrayRef::read(b, vec![Ix::aff(Affine::var(l(0)))]))
+                .build(),
+        );
+        let prog = compile(&p, &CompileOptions::original(machine()));
+        let mut indirect = HashMap::new();
+        indirect.insert(
+            b,
+            IndirectGen {
+                seed: 42,
+                range: elems as u64,
+            },
+        );
+        let bind = Bindings {
+            arrays: vec![
+                ArrayBinding {
+                    base_vpn: Vpn(0),
+                    dims: vec![elems],
+                    elem_size: 8,
+                },
+                ArrayBinding {
+                    base_vpn: Vpn(10_000),
+                    dims: vec![n],
+                    elem_size: 4,
+                },
+            ],
+            indirect,
+            page_size: PAGE,
+            trips: vec![vec![TripSpec::Static]],
+            invocations: 1,
+        };
+        let mut ex = Executor::new(prog, bind);
+        let ops = drain(&mut ex);
+        let a_pages: std::collections::HashSet<u64> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Touch { vpn, .. } if vpn.0 < 10_000 => Some(vpn.0),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            a_pages.len() > 300,
+            "random gather spans many pages: {}",
+            a_pages.len()
+        );
+        assert_eq!(ex.iterations(), n as u64);
+    }
+
+    #[test]
+    fn unknown_bounds_resolved_by_actuals_and_cycle() {
+        let mut p = SourceProgram::new("mgrid-like");
+        let a = p.array("a", 8, vec![Bound::Known(1 << 20)]);
+        p.nest(
+            NestBuilder::new("main")
+                .counted_loop(Bound::Unknown { estimate: 4096 })
+                .work_ns(10)
+                .reference(ArrayRef::read(a, vec![Ix::aff(Affine::var(l(0)))]))
+                .build(),
+        );
+        let prog = compile(&p, &CompileOptions::original(machine()));
+        let bind = Bindings {
+            arrays: vec![ArrayBinding {
+                base_vpn: Vpn(0),
+                dims: vec![1 << 20],
+                elem_size: 8,
+            }],
+            indirect: HashMap::new(),
+            page_size: PAGE,
+            trips: vec![vec![TripSpec::Cycle(vec![2048, 6144])]],
+            invocations: 2,
+        };
+        let mut ex = Executor::new(prog, bind);
+        let ops = drain(&mut ex);
+        assert_eq!(ex.iterations(), 2048 + 6144);
+        let touches = ops.iter().filter(|o| matches!(o, Op::Touch { .. })).count();
+        // Invocation 0: 1 page; invocation 1: 3 pages.
+        assert_eq!(touches, 4);
+    }
+
+    #[test]
+    fn zero_trip_nest_is_skipped() {
+        let mut p = SourceProgram::new("t");
+        let a = p.array("a", 8, vec![Bound::Known(100)]);
+        p.nest(
+            NestBuilder::new("empty")
+                .counted_loop(Bound::Unknown { estimate: 100 })
+                .reference(ArrayRef::read(a, vec![Ix::aff(Affine::var(l(0)))]))
+                .build(),
+        );
+        let prog = compile(&p, &CompileOptions::original(machine()));
+        let bind = Bindings {
+            arrays: vec![ArrayBinding {
+                base_vpn: Vpn(0),
+                dims: vec![100],
+                elem_size: 8,
+            }],
+            indirect: HashMap::new(),
+            page_size: PAGE,
+            trips: vec![vec![TripSpec::Actual(0)]],
+            invocations: 3,
+        };
+        let mut ex = Executor::new(prog, bind);
+        let ops = drain(&mut ex);
+        assert!(
+            ops.iter().all(|o| matches!(o, Op::Mark(_))),
+            "only sweep marks: {ops:?}"
+        );
+        assert_eq!(ex.iterations(), 0);
+    }
+
+    #[test]
+    fn descending_sweep_prefetches_downward() {
+        // for i in 0..n { read a[n-1-i] }: the stream walks down through
+        // the array; steady-state prefetch hints must target LOWER pages.
+        let n: i64 = 2048 * 6; // 6 pages
+        let mut p = SourceProgram::new("rev");
+        let a = p.array("a", 8, vec![Bound::Known(n)]);
+        p.nest(
+            NestBuilder::new("rev")
+                .counted_loop(Bound::Known(n))
+                .work_ns(50)
+                .reference(ArrayRef::read(
+                    a,
+                    vec![Ix::aff(Affine::constant(n - 1).plus_term(l(0), -1))],
+                ))
+                .build(),
+        );
+        let prog = compile(&p, &CompileOptions::prefetch_only(machine()));
+        let bind = Bindings {
+            arrays: vec![ArrayBinding {
+                base_vpn: Vpn(0x1000),
+                dims: vec![n],
+                elem_size: 8,
+            }],
+            indirect: HashMap::new(),
+            page_size: PAGE,
+            trips: vec![vec![TripSpec::Static]],
+            invocations: 1,
+        };
+        let mut ex = Executor::new(prog, bind);
+        let ops = drain(&mut ex);
+        let touches: Vec<u64> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Touch { vpn, .. } => Some(vpn.0),
+                _ => None,
+            })
+            .collect();
+        // Touches descend from the last page to the first.
+        assert_eq!(
+            touches,
+            vec![0x1005, 0x1004, 0x1003, 0x1002, 0x1001, 0x1000]
+        );
+        // The prologue pipelines DOWNWARD: with a 10 ms latency the
+        // distance (98 pages) exceeds the 6-page array, so one prologue
+        // hint covers the whole array from its base; steady-state targets
+        // fall below the array and are suppressed.
+        let hints: Vec<(u64, u64)> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::PrefetchHint { vpn, npages, .. } => Some((vpn.0, *npages)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hints, vec![(0x1000, 6)]);
+    }
+
+    #[test]
+    fn two_nests_share_one_array() {
+        // Nest 1 writes the array forward, nest 2 reads it backward: the
+        // executor must reset per-nest state cleanly.
+        let n: i64 = 2048 * 3;
+        let mut p = SourceProgram::new("shared");
+        let a = p.array("a", 8, vec![Bound::Known(n)]);
+        p.nest(
+            NestBuilder::new("fwd")
+                .counted_loop(Bound::Known(n))
+                .reference(ArrayRef::write(a, vec![Ix::aff(Affine::var(l(0)))]))
+                .build(),
+        );
+        p.nest(
+            NestBuilder::new("bwd")
+                .counted_loop(Bound::Known(n))
+                .reference(ArrayRef::read(
+                    a,
+                    vec![Ix::aff(Affine::constant(n - 1).plus_term(l(0), -1))],
+                ))
+                .build(),
+        );
+        let prog = compile(&p, &CompileOptions::original(machine()));
+        let bind = Bindings {
+            arrays: vec![ArrayBinding {
+                base_vpn: Vpn(0),
+                dims: vec![n],
+                elem_size: 8,
+            }],
+            indirect: HashMap::new(),
+            page_size: PAGE,
+            trips: vec![vec![TripSpec::Static], vec![TripSpec::Static]],
+            invocations: 1,
+        };
+        let mut ex = Executor::new(prog, bind);
+        let ops = drain(&mut ex);
+        let touches: Vec<(u64, bool)> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Touch { vpn, write } => Some((vpn.0, *write)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            touches,
+            vec![
+                (0, true),
+                (1, true),
+                (2, true),
+                (2, false),
+                (1, false),
+                (0, false)
+            ]
+        );
+    }
+
+    #[test]
+    fn multiple_invocations_resweep() {
+        let (prog, mut bind) = sweep_program(2048 * 2, &CompileOptions::original(machine()));
+        bind.invocations = 3;
+        let mut ex = Executor::new(prog, bind);
+        let ops = drain(&mut ex);
+        let touches = ops.iter().filter(|o| matches!(o, Op::Touch { .. })).count();
+        assert_eq!(touches, 2 * 3, "two pages per sweep, three sweeps");
+    }
+
+    #[test]
+    fn only_first_iter_prefetch_guard() {
+        // x[j] with temporal locality in i: prefetch hints only while i == 0.
+        let n: i64 = 6144; // x spans 3 pages
+        let rows: i64 = 5;
+        let mut p = SourceProgram::new("mv");
+        let big = p.array("big", 8, vec![Bound::Known(rows), Bound::Known(1 << 21)]);
+        let x = p.array("x", 8, vec![Bound::Known(n)]);
+        p.nest(
+            NestBuilder::new("main")
+                .counted_loop(Bound::Known(rows))
+                .counted_loop(Bound::Known(n))
+                .work_ns(10)
+                .reference(ArrayRef::read(
+                    big,
+                    vec![Ix::aff(Affine::var(l(0))), Ix::aff(Affine::var(l(1)))],
+                ))
+                .reference(ArrayRef::read(x, vec![Ix::aff(Affine::var(l(1)))]))
+                .build(),
+        );
+        let prog = compile(&p, &CompileOptions::prefetch_only(machine()));
+        let x_pf = prog.nests[0].directives[1].prefetch.unwrap();
+        assert_eq!(x_pf.only_first_iter_of, Some(l(0)));
+        let bind = Bindings {
+            arrays: vec![
+                ArrayBinding {
+                    base_vpn: Vpn(0),
+                    dims: vec![rows, 1 << 21],
+                    elem_size: 8,
+                },
+                ArrayBinding {
+                    base_vpn: Vpn(900_000),
+                    dims: vec![n],
+                    elem_size: 8,
+                },
+            ],
+            indirect: HashMap::new(),
+            page_size: PAGE,
+            trips: vec![vec![TripSpec::Static, TripSpec::Static]],
+            invocations: 1,
+        };
+        let mut ex = Executor::new(prog, bind);
+        let ops = drain(&mut ex);
+        let x_hints_by_row: Vec<Vpn> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::PrefetchHint { vpn, tag, .. } if *tag == x_pf.tag => Some(*vpn),
+                _ => None,
+            })
+            .collect();
+        // Hints exist (first row) but far fewer than rows × pages.
+        assert!(!x_hints_by_row.is_empty());
+        assert!(
+            x_hints_by_row.len() <= 3,
+            "x prefetched only on the first outer iteration: {x_hints_by_row:?}"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! The run-time layer's "simple checks".
+//!
+//! "In both cases, the run-time layer attempts to reduce overhead by
+//! filtering out the obviously bad releases inserted by the compiler. …
+//! First, the requests inserted by the compiler are checked against the
+//! bitvector to make sure that the pages are in memory. Second, the
+//! run-time layer tracks the last address released for each unique release
+//! directive placed in the code, using the request identifier (or tag). …
+//! If a release request identifies the same page as the previous request,
+//! it is dropped since the page is obviously still in use. If instead, the
+//! current release request identifies a different page, then the previously
+//! recorded release is actually handled and the current one is recorded."
+
+use std::collections::HashMap;
+
+use vm::Vpn;
+
+/// The per-tag one-behind release filter.
+#[derive(Clone, Debug, Default)]
+pub struct TagFilter {
+    last: HashMap<u32, Vpn>,
+    dropped_same_page: u64,
+}
+
+impl TagFilter {
+    /// Creates an empty filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes a release hint `(tag, vpn)`.
+    ///
+    /// Returns the page whose release should now actually be handled (the
+    /// previously recorded page for this tag), or `None` if the hint names
+    /// the same page as before (dropped) or is the first for its tag.
+    pub fn observe(&mut self, tag: u32, vpn: Vpn) -> Option<Vpn> {
+        match self.last.get_mut(&tag) {
+            Some(prev) if *prev == vpn => {
+                self.dropped_same_page += 1;
+                None
+            }
+            Some(prev) => {
+                let out = *prev;
+                *prev = vpn;
+                Some(out)
+            }
+            None => {
+                self.last.insert(tag, vpn);
+                None
+            }
+        }
+    }
+
+    /// Hints dropped because they repeated the previous page.
+    pub fn dropped_same_page(&self) -> u64 {
+        self.dropped_same_page
+    }
+
+    /// Pages still recorded (one per tag), e.g. for end-of-run flushing.
+    pub fn drain_recorded(&mut self) -> Vec<Vpn> {
+        self.last.drain().map(|(_, v)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_hint_is_recorded_not_issued() {
+        let mut f = TagFilter::new();
+        assert_eq!(f.observe(1, Vpn(10)), None);
+    }
+
+    #[test]
+    fn same_page_repeat_is_dropped() {
+        let mut f = TagFilter::new();
+        f.observe(1, Vpn(10));
+        assert_eq!(f.observe(1, Vpn(10)), None);
+        assert_eq!(f.dropped_same_page(), 1);
+    }
+
+    #[test]
+    fn new_page_releases_previous() {
+        let mut f = TagFilter::new();
+        f.observe(1, Vpn(10));
+        assert_eq!(f.observe(1, Vpn(11)), Some(Vpn(10)));
+        assert_eq!(f.observe(1, Vpn(12)), Some(Vpn(11)));
+    }
+
+    #[test]
+    fn tags_are_independent() {
+        let mut f = TagFilter::new();
+        f.observe(1, Vpn(10));
+        f.observe(2, Vpn(20));
+        assert_eq!(f.observe(1, Vpn(11)), Some(Vpn(10)));
+        assert_eq!(f.observe(2, Vpn(21)), Some(Vpn(20)));
+    }
+
+    #[test]
+    fn drain_returns_trailing_pages() {
+        let mut f = TagFilter::new();
+        f.observe(1, Vpn(10));
+        f.observe(2, Vpn(20));
+        f.observe(1, Vpn(11));
+        let mut drained = f.drain_recorded();
+        drained.sort();
+        assert_eq!(drained, vec![Vpn(11), Vpn(20)]);
+        assert_eq!(f.observe(1, Vpn(12)), None, "filter restarts after drain");
+    }
+}

@@ -1,0 +1,329 @@
+//! The per-process run-time layer facade.
+//!
+//! Glues the filters ([`crate::filter`]) and release policies
+//! ([`crate::policy`]) together. The simulation engine feeds it the hint
+//! ops coming out of the executor; the layer answers with the prefetch and
+//! release requests that should actually reach the OS, plus the user-CPU
+//! cost of its own checking work (this overhead is what inflates CGM's user
+//! time in the paper's Figure 7).
+
+use sim_core::SimDuration;
+use vm::{Pid, VmSys, Vpn};
+
+use crate::filter::TagFilter;
+use crate::policy::{ReleaseBuffers, ReleasePolicy};
+
+/// Tunables of the run-time layer.
+#[derive(Clone, Copy, Debug)]
+pub struct RtConfig {
+    /// Pages to issue per buffered drain — "Currently, the run-time layer
+    /// attempts to release a total of 100 pages whenever releasing is
+    /// deemed necessary."
+    pub release_batch_target: usize,
+    /// Drain when `usage + slack ≥ limit` (how "close to the upper limit"
+    /// is close enough).
+    pub limit_slack_pages: u64,
+    /// User-CPU cost of checking one hint against the shared-page bitmap.
+    pub hint_check: SimDuration,
+    /// User-CPU cost of buffering/queue bookkeeping per release.
+    pub buffer_op: SimDuration,
+    /// Whether the per-tag one-behind filter is applied (ablation; the
+    /// paper's layer always applies it).
+    pub one_behind: bool,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig {
+            release_batch_target: 100,
+            limit_slack_pages: 64,
+            hint_check: SimDuration::from_nanos(250),
+            buffer_op: SimDuration::from_nanos(400),
+            one_behind: true,
+        }
+    }
+}
+
+/// Run-time layer statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RtStats {
+    /// Prefetch hints seen (pages).
+    pub prefetch_hints: u64,
+    /// Prefetch pages dropped because the bitmap showed them resident.
+    pub prefetch_filtered: u64,
+    /// Prefetch pages forwarded to the OS.
+    pub prefetch_issued: u64,
+    /// Release hints seen.
+    pub release_hints: u64,
+    /// Releases dropped by the same-page tag check.
+    pub release_same_page: u64,
+    /// Releases dropped because the page was not resident.
+    pub release_filtered_bitmap: u64,
+    /// Releases forwarded to the OS immediately.
+    pub release_issued_direct: u64,
+    /// Releases buffered for later.
+    pub release_buffered: u64,
+    /// Buffered releases drained to the OS by memory pressure.
+    pub release_drained: u64,
+}
+
+/// The run-time layer for one process (see module docs).
+#[derive(Debug)]
+pub struct RuntimeLayer {
+    policy: ReleasePolicy,
+    config: RtConfig,
+    tags: TagFilter,
+    buffers: ReleaseBuffers,
+    stats: RtStats,
+}
+
+impl RuntimeLayer {
+    /// Creates a layer with the given release policy.
+    pub fn new(policy: ReleasePolicy, config: RtConfig) -> Self {
+        RuntimeLayer {
+            policy,
+            config,
+            tags: TagFilter::new(),
+            buffers: ReleaseBuffers::new(),
+            stats: RtStats::default(),
+        }
+    }
+
+    /// The release policy in force.
+    pub fn policy(&self) -> ReleasePolicy {
+        self.policy
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &RtStats {
+        &self.stats
+    }
+
+    /// Pages currently sitting in the release buffers.
+    pub fn buffered_pages(&self) -> usize {
+        self.buffers.buffered()
+    }
+
+    /// Processes a prefetch hint for `npages` pages starting at `vpn`.
+    ///
+    /// Returns the pages that should actually be prefetched (bitmap check
+    /// filtered the rest) and the user-CPU cost of the checking.
+    pub fn on_prefetch_hint(
+        &mut self,
+        vm: &VmSys,
+        pid: Pid,
+        vpn: Vpn,
+        npages: u64,
+    ) -> (Vec<Vpn>, SimDuration) {
+        let mut to_issue = Vec::new();
+        for i in 0..npages {
+            let page = Vpn(vpn.0 + i);
+            self.stats.prefetch_hints += 1;
+            if vm.pm_resident(pid, page) {
+                self.stats.prefetch_filtered += 1;
+            } else {
+                self.stats.prefetch_issued += 1;
+                to_issue.push(page);
+            }
+        }
+        (to_issue, self.config.hint_check.saturating_mul(npages))
+    }
+
+    /// Processes a release hint `(vpn, priority, tag)`.
+    ///
+    /// Returns the pages whose release should be issued to the OS now, and
+    /// the user-CPU cost of the layer's work.
+    pub fn on_release_hint(
+        &mut self,
+        vm: &VmSys,
+        pid: Pid,
+        vpn: Vpn,
+        priority: u32,
+        tag: u32,
+    ) -> (Vec<Vpn>, SimDuration) {
+        self.stats.release_hints += 1;
+        let mut cost = self.config.hint_check;
+
+        // One-behind tag filter: handle the previously recorded page.
+        // With the filter ablated, act on the hinted page directly.
+        let prev = if self.config.one_behind {
+            match self.tags.observe(tag, vpn) {
+                Some(prev) => prev,
+                None => {
+                    self.stats.release_same_page = self.tags.dropped_same_page();
+                    return (Vec::new(), cost);
+                }
+            }
+        } else {
+            vpn
+        };
+
+        // Bitmap check: the page must still be in memory.
+        if !vm.pm_resident(pid, prev) {
+            self.stats.release_filtered_bitmap += 1;
+            return (Vec::new(), cost);
+        }
+
+        match self.policy {
+            ReleasePolicy::Aggressive => {
+                self.stats.release_issued_direct += 1;
+                (vec![prev], cost)
+            }
+            ReleasePolicy::Reactive => {
+                // Accumulate candidates; nothing is released proactively.
+                cost += self.config.buffer_op;
+                self.buffers.buffer(tag, priority.max(1), prev);
+                self.stats.release_buffered += 1;
+                (Vec::new(), cost)
+            }
+            ReleasePolicy::Buffered => {
+                if priority == 0 {
+                    // No expected reuse: issue after the simple checks.
+                    self.stats.release_issued_direct += 1;
+                    return (vec![prev], cost);
+                }
+                cost += self.config.buffer_op;
+                self.buffers.buffer(tag, priority, prev);
+                self.stats.release_buffered += 1;
+                // Near the OS-suggested limit? Drain the lowest priorities.
+                let mut out = Vec::new();
+                if let Some(view) = vm.shared_view(pid) {
+                    if view.usage + self.config.limit_slack_pages >= view.limit {
+                        out = self.buffers.drain_lowest(self.config.release_batch_target);
+                        self.stats.release_drained += out.len() as u64;
+                    }
+                }
+                (out, cost)
+            }
+        }
+    }
+
+    /// Hands out buffered pages as OS eviction candidates (reactive mode).
+    pub fn take_candidates(&mut self, n: usize) -> Vec<Vpn> {
+        self.buffers.drain_lowest(n)
+    }
+
+    /// End-of-program flush: everything still buffered is released.
+    pub fn flush(&mut self) -> Vec<Vpn> {
+        let out = self.buffers.drain_all();
+        self.stats.release_drained += out.len() as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm::{Backing, CostParams, Tunables};
+
+    use sim_core::SimTime;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    /// A VM with one PM process owning an 8-page region, `resident` pages
+    /// touched in.
+    fn setup(total: usize, resident: u64) -> (VmSys, Pid, vm::PageRange) {
+        let mut tun = Tunables::for_memory(total as u64);
+        tun.min_freemem = 2;
+        tun.target_freemem = 4;
+        let mut vm = VmSys::new(
+            total,
+            tun,
+            CostParams::default(),
+            disk::SwapConfig::test_array(),
+        );
+        let pid = vm.add_process(true);
+        let r = vm.map_region(pid, 64, Backing::SwapPrefilled, true);
+        let mut now = t(1);
+        for i in 0..resident {
+            now = vm.touch(now, pid, r.start.offset(i), false).done_at;
+        }
+        (vm, pid, r)
+    }
+
+    #[test]
+    fn prefetch_hint_filters_resident_pages() {
+        let (vm, pid, r) = setup(128, 2);
+        let mut rt = RuntimeLayer::new(ReleasePolicy::Aggressive, RtConfig::default());
+        let (issue, cost) = rt.on_prefetch_hint(&vm, pid, r.start, 4);
+        // Pages 0 and 1 are resident → filtered; 2 and 3 issued.
+        assert_eq!(issue, vec![r.start.offset(2), r.start.offset(3)]);
+        assert_eq!(rt.stats().prefetch_filtered, 2);
+        assert_eq!(rt.stats().prefetch_issued, 2);
+        assert!(cost > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn aggressive_release_is_one_behind() {
+        let (vm, pid, r) = setup(128, 3);
+        let mut rt = RuntimeLayer::new(ReleasePolicy::Aggressive, RtConfig::default());
+        let (first, _) = rt.on_release_hint(&vm, pid, r.start, 0, 7);
+        assert!(first.is_empty(), "first hint only records");
+        let (second, _) = rt.on_release_hint(&vm, pid, r.start.offset(1), 0, 7);
+        assert_eq!(second, vec![r.start], "previous page released");
+    }
+
+    #[test]
+    fn release_of_nonresident_page_filtered() {
+        let (vm, pid, r) = setup(128, 1);
+        let mut rt = RuntimeLayer::new(ReleasePolicy::Aggressive, RtConfig::default());
+        // Record page 5 (never touched → not resident), then move on.
+        rt.on_release_hint(&vm, pid, r.start.offset(5), 0, 7);
+        let (out, _) = rt.on_release_hint(&vm, pid, r.start.offset(6), 0, 7);
+        assert!(out.is_empty());
+        assert_eq!(rt.stats().release_filtered_bitmap, 1);
+    }
+
+    #[test]
+    fn buffered_priority_zero_issues_directly() {
+        let (vm, pid, r) = setup(128, 3);
+        let mut rt = RuntimeLayer::new(ReleasePolicy::Buffered, RtConfig::default());
+        rt.on_release_hint(&vm, pid, r.start, 0, 7);
+        let (out, _) = rt.on_release_hint(&vm, pid, r.start.offset(1), 0, 7);
+        assert_eq!(out, vec![r.start]);
+        assert_eq!(rt.buffered_pages(), 0);
+    }
+
+    #[test]
+    fn buffered_positive_priority_buffers_until_pressure() {
+        // Plenty of memory: limit far above usage → no drain.
+        let (vm, pid, r) = setup(1024, 3);
+        let mut rt = RuntimeLayer::new(ReleasePolicy::Buffered, RtConfig::default());
+        rt.on_release_hint(&vm, pid, r.start, 1, 7);
+        let (out, _) = rt.on_release_hint(&vm, pid, r.start.offset(1), 1, 7);
+        assert!(out.is_empty());
+        assert_eq!(rt.buffered_pages(), 1);
+        assert_eq!(rt.stats().release_buffered, 1);
+    }
+
+    #[test]
+    fn buffered_drains_near_limit() {
+        // Small machine: after touching most of memory the Eq. 1 limit is
+        // close to usage, so buffering immediately drains.
+        let (mut vm, pid, r) = setup(40, 30);
+        // Refresh shared words via an extra touch (activity).
+        vm.touch(t(500), pid, r.start, false);
+        let view = vm.shared_view(pid).unwrap();
+        assert!(view.usage + 64 >= view.limit, "test premise: near limit");
+        let mut rt = RuntimeLayer::new(ReleasePolicy::Buffered, RtConfig::default());
+        rt.on_release_hint(&vm, pid, r.start, 1, 7);
+        let (out, _) = rt.on_release_hint(&vm, pid, r.start.offset(1), 1, 7);
+        assert_eq!(out, vec![r.start], "pressure forces the drain");
+        assert_eq!(rt.stats().release_drained, 1);
+    }
+
+    #[test]
+    fn flush_empties_buffers() {
+        let (vm, pid, r) = setup(1024, 5);
+        let mut rt = RuntimeLayer::new(ReleasePolicy::Buffered, RtConfig::default());
+        for i in 0..4 {
+            rt.on_release_hint(&vm, pid, r.start.offset(i), 2, 9);
+        }
+        assert_eq!(rt.buffered_pages(), 3, "one-behind keeps the newest");
+        let out = rt.flush();
+        assert_eq!(out.len(), 3);
+        assert_eq!(rt.buffered_pages(), 0);
+    }
+}

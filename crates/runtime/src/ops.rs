@@ -1,0 +1,98 @@
+//! The operation stream.
+//!
+//! Programs — compiled out-of-core benchmarks and the hand-written
+//! interactive task alike — present themselves to the simulation engine as
+//! a lazy stream of [`Op`]s. The engine executes ops against the VM system,
+//! charging time categories; hint ops are routed through the
+//! [`crate::layer::RuntimeLayer`].
+
+use sim_core::SimDuration;
+use vm::Vpn;
+
+/// Measurement marks embedded in a stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mark {
+    /// The interactive task starts a sweep over its data set.
+    SweepStart,
+    /// The interactive task finished a sweep (response-time sample).
+    SweepEnd,
+}
+
+/// One operation of a simulated program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Pure computation for the given duration.
+    Compute(SimDuration),
+    /// A memory reference to one page.
+    Touch {
+        /// Referenced page.
+        vpn: Vpn,
+        /// Whether the reference writes.
+        write: bool,
+    },
+    /// A compiler-inserted prefetch hint (start of an `npages` run).
+    PrefetchHint {
+        /// First page to prefetch.
+        vpn: Vpn,
+        /// Number of consecutive pages.
+        npages: u64,
+        /// Directive site identifier.
+        tag: u32,
+    },
+    /// A compiler-inserted release hint for one page.
+    ReleaseHint {
+        /// Page the trailing reference currently occupies.
+        vpn: Vpn,
+        /// Eq. 2 priority.
+        priority: u32,
+        /// Directive site identifier.
+        tag: u32,
+    },
+    /// Sleep (the interactive task's think time).
+    Sleep(SimDuration),
+    /// A measurement mark.
+    Mark(Mark),
+    /// The program has finished.
+    End,
+}
+
+/// A lazy producer of operations.
+pub trait OpStream {
+    /// Produces the next operation. After returning [`Op::End`] the stream
+    /// must keep returning `End`.
+    fn next_op(&mut self) -> Op;
+}
+
+/// A trivial stream over a pre-built vector (tests, micro-scenarios).
+#[derive(Debug, Default)]
+pub struct VecStream {
+    ops: std::collections::VecDeque<Op>,
+}
+
+impl VecStream {
+    /// Creates a stream over `ops`.
+    pub fn new(ops: impl IntoIterator<Item = Op>) -> Self {
+        VecStream {
+            ops: ops.into_iter().collect(),
+        }
+    }
+}
+
+impl OpStream for VecStream {
+    fn next_op(&mut self) -> Op {
+        self.ops.pop_front().unwrap_or(Op::End)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_stream_drains_then_ends() {
+        let mut s = VecStream::new([Op::Compute(SimDuration::from_nanos(5)), Op::End]);
+        assert!(matches!(s.next_op(), Op::Compute(_)));
+        assert_eq!(s.next_op(), Op::End);
+        assert_eq!(s.next_op(), Op::End, "End repeats");
+    }
+}

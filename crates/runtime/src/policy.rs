@@ -1,0 +1,222 @@
+//! Release policies: aggressive vs. buffered.
+//!
+//! "We have built run-time layers which implement two different policies
+//! for handling the release requests inserted by the compiler — one
+//! aggressively issues release requests to the OS at the time when they are
+//! encountered, while the other buffers releases based on the
+//! compiler-inserted priorities and only issues requests when necessary,
+//! based on the information provided by the OS."
+//!
+//! Buffering structure (paper Figure 6b): requests with priority 0 are
+//! issued immediately; others go into per-tag release queues. A priority
+//! list maps each priority level to its queues. When current usage
+//! approaches the OS-suggested upper limit, the layer issues roughly 100
+//! pages starting from the lowest-priority queues, round-robin among queues
+//! of equal priority.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use vm::Vpn;
+
+/// Which release policy a run-time layer uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReleasePolicy {
+    /// Issue every (filtered) release to the OS immediately — the paper's
+    /// "R" executables.
+    Aggressive,
+    /// Buffer releases by priority; drain when near the memory limit — the
+    /// paper's "B" executables.
+    Buffered,
+    /// Never release proactively: accumulate the compiler's releasable
+    /// pages as *eviction candidates* the OS consults when it reclaims from
+    /// this process (the VINO-style reactive alternative of §2.2, built for
+    /// comparison — the paper argues it cannot protect other applications).
+    Reactive,
+}
+
+/// The per-tag buffered release queues with their priority index.
+///
+/// Duplicate pages coalesce: "allowing multiple buffered releases for a
+/// particular reference to be coalesced into a single entry in the queue"
+/// (paper §3.3) — a page re-hinted while already queued is not queued
+/// twice.
+#[derive(Clone, Debug, Default)]
+pub struct ReleaseBuffers {
+    queues: HashMap<u32, VecDeque<Vpn>>,
+    queued_pages: HashMap<u32, HashSet<Vpn>>,
+    /// priority → tags at that priority (insertion order; round-robin).
+    priolist: BTreeMap<u32, Vec<u32>>,
+    tag_priority: HashMap<u32, u32>,
+    buffered: usize,
+    rr_cursor: HashMap<u32, usize>,
+}
+
+impl ReleaseBuffers {
+    /// Creates empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pages currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buffered
+    }
+
+    /// Buffers one page for `tag` at `priority` (> 0; priority-0 requests
+    /// are issued directly and never buffered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `priority` is zero or the tag changes priority.
+    pub fn buffer(&mut self, tag: u32, priority: u32, vpn: Vpn) {
+        assert!(priority > 0, "priority-0 releases are not buffered");
+        match self.tag_priority.get(&tag) {
+            Some(&p) => assert_eq!(p, priority, "tag {tag} changed priority"),
+            None => {
+                self.tag_priority.insert(tag, priority);
+                self.priolist.entry(priority).or_default().push(tag);
+            }
+        }
+        if !self.queued_pages.entry(tag).or_default().insert(vpn) {
+            return; // already queued for this tag: coalesce
+        }
+        self.queues.entry(tag).or_default().push_back(vpn);
+        self.buffered += 1;
+    }
+
+    /// Drains up to `want` pages from the lowest-priority queues,
+    /// round-robin among queues of equal priority.
+    ///
+    /// Within a queue the **most recently buffered** page is drained first:
+    /// this is the MRU replacement the paper prescribes for reuse that will
+    /// not fit ("keeping at least the first portion of the array in memory
+    /// for future use").
+    pub fn drain_lowest(&mut self, want: usize) -> Vec<Vpn> {
+        let mut out = Vec::with_capacity(want.min(self.buffered));
+        let priorities: Vec<u32> = self.priolist.keys().copied().collect();
+        for prio in priorities {
+            if out.len() >= want {
+                break;
+            }
+            let tags = self.priolist.get(&prio).cloned().unwrap_or_default();
+            if tags.is_empty() {
+                continue;
+            }
+            let mut cursor = *self.rr_cursor.get(&prio).unwrap_or(&0) % tags.len();
+            let mut empty_streak = 0;
+            while out.len() < want && empty_streak < tags.len() {
+                let tag = tags[cursor];
+                cursor = (cursor + 1) % tags.len();
+                match self.queues.get_mut(&tag).and_then(|q| q.pop_back()) {
+                    Some(vpn) => {
+                        if let Some(set) = self.queued_pages.get_mut(&tag) {
+                            set.remove(&vpn);
+                        }
+                        out.push(vpn);
+                        self.buffered -= 1;
+                        empty_streak = 0;
+                    }
+                    None => empty_streak += 1,
+                }
+            }
+            self.rr_cursor.insert(prio, cursor);
+        }
+        out
+    }
+
+    /// Drains everything (end of run).
+    pub fn drain_all(&mut self) -> Vec<Vpn> {
+        self.drain_lowest(usize::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_and_count() {
+        let mut b = ReleaseBuffers::new();
+        b.buffer(1, 1, Vpn(10));
+        b.buffer(1, 1, Vpn(11));
+        b.buffer(2, 2, Vpn(20));
+        assert_eq!(b.buffered(), 3);
+    }
+
+    #[test]
+    fn drain_prefers_lowest_priority() {
+        let mut b = ReleaseBuffers::new();
+        b.buffer(1, 2, Vpn(20)); // higher priority: keep longer
+        b.buffer(2, 1, Vpn(10)); // lower priority: release first
+        b.buffer(2, 1, Vpn(11));
+        let out = b.drain_lowest(2);
+        assert_eq!(out, vec![Vpn(11), Vpn(10)], "MRU within a queue");
+        assert_eq!(b.buffered(), 1);
+        // Exhausting low priority falls through to higher.
+        assert_eq!(b.drain_lowest(5), vec![Vpn(20)]);
+        assert_eq!(b.buffered(), 0);
+    }
+
+    #[test]
+    fn round_robin_among_equal_priority_tags() {
+        let mut b = ReleaseBuffers::new();
+        b.buffer(1, 1, Vpn(100));
+        b.buffer(1, 1, Vpn(101));
+        b.buffer(2, 1, Vpn(200));
+        b.buffer(2, 1, Vpn(201));
+        let out = b.drain_lowest(4);
+        // Alternates between the two tags, newest first within each.
+        assert_eq!(out, vec![Vpn(101), Vpn(201), Vpn(100), Vpn(200)]);
+    }
+
+    #[test]
+    fn duplicate_pages_coalesce_per_tag() {
+        let mut b = ReleaseBuffers::new();
+        b.buffer(1, 1, Vpn(10));
+        b.buffer(1, 1, Vpn(10)); // coalesced
+        b.buffer(2, 1, Vpn(10)); // different tag: separate entry
+        assert_eq!(b.buffered(), 2);
+        // After draining, the page may be buffered again.
+        assert_eq!(b.drain_all().len(), 2);
+        b.buffer(1, 1, Vpn(10));
+        assert_eq!(b.buffered(), 1);
+    }
+
+    #[test]
+    fn drain_respects_want() {
+        let mut b = ReleaseBuffers::new();
+        for i in 0..10 {
+            b.buffer(1, 1, Vpn(i));
+        }
+        assert_eq!(b.drain_lowest(3).len(), 3);
+        assert_eq!(b.buffered(), 7);
+    }
+
+    #[test]
+    fn drain_all_empties() {
+        let mut b = ReleaseBuffers::new();
+        b.buffer(1, 3, Vpn(1));
+        b.buffer(2, 1, Vpn(2));
+        let all = b.drain_all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0], Vpn(2), "lowest priority first even in drain_all");
+        assert_eq!(b.buffered(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "priority-0")]
+    fn zero_priority_buffer_panics() {
+        ReleaseBuffers::new().buffer(1, 0, Vpn(0));
+    }
+
+    #[test]
+    fn rr_cursor_persists_across_drains() {
+        let mut b = ReleaseBuffers::new();
+        b.buffer(1, 1, Vpn(100));
+        b.buffer(2, 1, Vpn(200));
+        b.buffer(1, 1, Vpn(101));
+        b.buffer(2, 1, Vpn(201));
+        assert_eq!(b.drain_lowest(1), vec![Vpn(101)]);
+        assert_eq!(b.drain_lowest(1), vec![Vpn(201)], "cursor advanced");
+    }
+}

@@ -1,0 +1,206 @@
+//! Differential testing of the executor: its fast-forwarded,
+//! page-coalesced op stream must equal a naive element-at-a-time reference
+//! interpreter on random small programs.
+//!
+//! The specification both implement:
+//!
+//! * iterations run in lexicographic loop order;
+//! * a reference emits a `Touch` whenever the page it addresses differs
+//!   from the page it last touched;
+//! * a carry above the innermost loop resets that memory (outer-iteration
+//!   re-touches), as does (re-)entering a nest;
+//! * array indices clamp into the array extents;
+//! * total compute time is `iterations × work_per_iter`.
+
+use proptest::prelude::*;
+
+use compiler::expr::{Affine, Bound};
+use compiler::ir::{ArrayRef, Index, LoopId, NestBuilder, SourceProgram};
+use compiler::{compile, CompileOptions, MachineModel};
+use runtime::{ArrayBinding, Bindings, Executor, IndirectGen, Op, OpStream, TripSpec};
+use vm::Vpn;
+
+const PAGE: u64 = 256;
+
+#[derive(Clone, Debug)]
+struct RefSpec {
+    // (coeff_i, coeff_j, constant) per dimension; arrays are 2-D.
+    dims: [(i64, i64, i64); 2],
+    indirect: bool,
+}
+
+#[derive(Clone, Debug)]
+struct ProgSpec {
+    trips: (i64, i64),
+    refs: Vec<RefSpec>,
+    invocations: u32,
+    work_ns: u64,
+}
+
+fn spec_strategy() -> impl Strategy<Value = ProgSpec> {
+    let refspec = (
+        (-2i64..3, -2i64..3, -4i64..5),
+        (-2i64..3, -2i64..3, -4i64..5),
+        prop::bool::weighted(0.25),
+    )
+        .prop_map(|(d0, d1, indirect)| RefSpec {
+            dims: [d0, d1],
+            indirect,
+        });
+    (
+        (1i64..10, 1i64..14),
+        prop::collection::vec(refspec, 1..4),
+        1u32..3,
+        1u64..100,
+    )
+        .prop_map(|(trips, refs, invocations, work_ns)| ProgSpec {
+            trips,
+            refs,
+            invocations,
+            work_ns,
+        })
+}
+
+const DIM0: i64 = 24;
+const DIM1: i64 = 24;
+const IDX_LEN: i64 = 64;
+
+/// Builds the program + bindings for a spec. Arrays: `a` (2-D target),
+/// `b` (1-D indirection source).
+fn build(spec: &ProgSpec) -> (Executor, ProgSpec) {
+    let mut p = SourceProgram::new("diff");
+    let a = p.array("a", 8, vec![Bound::Known(DIM0), Bound::Known(DIM1)]);
+    let b = p.array("b", 8, vec![Bound::Known(IDX_LEN)]);
+    let (i, j) = (LoopId(0), LoopId(1));
+    let mut nest = NestBuilder::new("n")
+        .counted_loop(Bound::Known(spec.trips.0))
+        .counted_loop(Bound::Known(spec.trips.1))
+        .work_ns(spec.work_ns);
+    for r in &spec.refs {
+        if r.indirect {
+            // a[b[subscript]][affine]: subscript from dim 0's affine.
+            let (ci, cj, k) = r.dims[0];
+            let sub = Affine::constant(k).plus_term(i, ci).plus_term(j, cj);
+            let (ci1, cj1, k1) = r.dims[1];
+            let ix1 = Affine::constant(k1).plus_term(i, ci1).plus_term(j, cj1);
+            nest = nest.reference(ArrayRef::read(
+                a,
+                vec![
+                    Index::Indirect {
+                        via: b,
+                        subscript: sub,
+                    },
+                    Index::Affine(ix1),
+                ],
+            ));
+        } else {
+            let (ci0, cj0, k0) = r.dims[0];
+            let (ci1, cj1, k1) = r.dims[1];
+            nest = nest.reference(ArrayRef::read(
+                a,
+                vec![
+                    Index::Affine(Affine::constant(k0).plus_term(i, ci0).plus_term(j, cj0)),
+                    Index::Affine(Affine::constant(k1).plus_term(i, ci1).plus_term(j, cj1)),
+                ],
+            ));
+        }
+    }
+    p.nest(nest.build());
+    let prog = compile(&p, &CompileOptions::original(MachineModel::origin200()));
+    let bind = Bindings {
+        arrays: vec![
+            ArrayBinding {
+                base_vpn: Vpn(0),
+                dims: vec![DIM0, DIM1],
+                elem_size: 8,
+            },
+            ArrayBinding {
+                base_vpn: Vpn(1 << 20),
+                dims: vec![IDX_LEN],
+                elem_size: 8,
+            },
+        ],
+        indirect: [(
+            b,
+            IndirectGen {
+                seed: 77,
+                range: DIM0 as u64,
+            },
+        )]
+        .into_iter()
+        .collect(),
+        page_size: PAGE,
+        trips: vec![vec![TripSpec::Static, TripSpec::Static]],
+        invocations: spec.invocations,
+    };
+    (Executor::new(prog, bind), spec.clone())
+}
+
+/// The reference interpreter: element-at-a-time, by the spec above.
+fn brute_force(spec: &ProgSpec) -> (Vec<u64>, u64) {
+    let gen = IndirectGen {
+        seed: 77,
+        range: DIM0 as u64,
+    };
+    let mut touches = Vec::new();
+    let mut compute: u64 = 0;
+    for _inv in 0..spec.invocations {
+        let mut last: Vec<Option<u64>> = vec![None; spec.refs.len()];
+        for i in 0..spec.trips.0 {
+            for j in 0..spec.trips.1 {
+                for (ri, r) in spec.refs.iter().enumerate() {
+                    let (ci0, cj0, k0) = r.dims[0];
+                    let raw0 = ci0 * i + cj0 * j + k0;
+                    let d0 = if r.indirect {
+                        // Subscript into b clamps to b's extent first.
+                        let sub = raw0.clamp(0, IDX_LEN - 1);
+                        gen.value(sub)
+                    } else {
+                        raw0
+                    }
+                    .clamp(0, DIM0 - 1);
+                    let (ci1, cj1, k1) = r.dims[1];
+                    let d1 = (ci1 * i + cj1 * j + k1).clamp(0, DIM1 - 1);
+                    let linear = d0 * DIM1 + d1;
+                    let page = (linear as u64 * 8) / PAGE;
+                    if last[ri] != Some(page) {
+                        touches.push(page);
+                        last[ri] = Some(page);
+                    }
+                }
+                compute += spec.work_ns;
+            }
+            // Carry above the innermost loop resets per-ref page memory.
+            last.fill(None);
+        }
+    }
+    (touches, compute)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The fast-forwarding executor emits exactly the touches of the
+    /// element-at-a-time reference interpreter, and the same total compute.
+    #[test]
+    fn executor_equals_reference_interpreter(spec in spec_strategy()) {
+        let (mut ex, spec) = build(&spec);
+        let mut got = Vec::new();
+        let mut compute = 0u64;
+        let mut guard = 0u64;
+        loop {
+            match ex.next_op() {
+                Op::End => break,
+                Op::Touch { vpn, .. } => got.push(vpn.0),
+                Op::Compute(d) => compute += d.as_nanos(),
+                Op::Mark(_) => {}
+                other => prop_assert!(false, "unexpected op {other:?}"),
+            }
+            guard += 1;
+            prop_assert!(guard < 1_000_000, "runaway");
+        }
+        let (want, want_compute) = brute_force(&spec);
+        prop_assert_eq!(&got, &want, "touch sequences differ for {:?}", spec);
+        prop_assert_eq!(compute, want_compute);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the run-time layer's filters and buffers.
+
+use proptest::prelude::*;
+use runtime::filter::TagFilter;
+use runtime::policy::ReleaseBuffers;
+use vm::Vpn;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// One-behind semantics: for each tag, the filter emits exactly the
+    /// sequence of *page changes*, each one hint late, and never emits a
+    /// page while the reference is still hinting it.
+    #[test]
+    fn tag_filter_is_exactly_one_behind(
+        hints in prop::collection::vec((0u32..4, 0u64..20), 1..200)
+    ) {
+        let mut filter = TagFilter::new();
+        let mut per_tag_hints: std::collections::HashMap<u32, Vec<u64>> = Default::default();
+        let mut per_tag_out: std::collections::HashMap<u32, Vec<u64>> = Default::default();
+        for (tag, page) in &hints {
+            per_tag_hints.entry(*tag).or_default().push(*page);
+            if let Some(out) = filter.observe(*tag, Vpn(*page)) {
+                per_tag_out.entry(*tag).or_default().push(out.0);
+            }
+        }
+        for (tag, seq) in per_tag_hints {
+            // Reference: dedup consecutive repeats, then drop the last
+            // (still recorded, not yet released).
+            let mut changes: Vec<u64> = Vec::new();
+            for &p in &seq {
+                if changes.last() != Some(&p) {
+                    changes.push(p);
+                }
+            }
+            changes.pop();
+            prop_assert_eq!(
+                per_tag_out.remove(&tag).unwrap_or_default(),
+                changes,
+                "tag {} emission mismatch", tag
+            );
+        }
+    }
+
+    /// Buffers conserve pages modulo coalescing: every distinct
+    /// `(tag, page)` pair buffered comes out exactly once, and drains never
+    /// yield lower-priority pages after higher ones within a single drain.
+    #[test]
+    fn buffers_conserve_and_order(
+        items in prop::collection::vec((0u32..6, 1u32..4, 0u64..1000), 0..100),
+        want in 0usize..50,
+    ) {
+        let mut b = ReleaseBuffers::new();
+        let mut inserted = std::collections::HashSet::new();
+        for (tag, prio, page) in &items {
+            // One tag keeps one priority: derive priority from tag.
+            let prio = (tag % 3) + 1 + (prio - prio); // deterministic per tag
+            b.buffer(*tag, prio, Vpn(*page));
+            inserted.insert((*tag, *page));
+            let _ = prio;
+        }
+        let total = inserted.len();
+        prop_assert_eq!(b.buffered(), total, "duplicates must coalesce");
+
+        let first = b.drain_lowest(want);
+        prop_assert!(first.len() <= want);
+        let rest = b.drain_all();
+        prop_assert_eq!(first.len() + rest.len(), total);
+        prop_assert_eq!(b.buffered(), 0);
+
+        // Per-page drain counts match the distinct tags that queued them.
+        let mut drained = std::collections::HashMap::new();
+        for v in first.iter().chain(rest.iter()) {
+            *drained.entry(v.0).or_insert(0u32) += 1;
+        }
+        let mut expect = std::collections::HashMap::new();
+        for (_tag, page) in &inserted {
+            *expect.entry(*page).or_insert(0u32) += 1;
+        }
+        prop_assert_eq!(drained, expect, "pages lost or duplicated");
+    }
+
+    /// `drain_lowest` empties strictly by priority level: once a page of
+    /// priority q is yielded in a full drain, no page of priority < q
+    /// remains.
+    #[test]
+    fn full_drain_is_priority_sorted(
+        items in prop::collection::vec((0u32..6, 0u64..1000), 1..100)
+    ) {
+        let mut b = ReleaseBuffers::new();
+        let prio_of = |tag: u32| (tag % 3) + 1;
+        for (tag, page) in &items {
+            b.buffer(*tag, prio_of(*tag), Vpn(*page));
+        }
+        // Remember each page's priority (pages may repeat; track max).
+        let mut page_prio: std::collections::HashMap<u64, Vec<u32>> = Default::default();
+        for (tag, page) in &items {
+            page_prio.entry(*page).or_default().push(prio_of(*tag));
+        }
+        let out = b.drain_all();
+        let mut last_prio = 0u32;
+        for v in out {
+            // Take any matching recorded priority ≥ last (multi-priority
+            // pages are ambiguous; pick the smallest consistent).
+            let prios = page_prio.get_mut(&v.0).unwrap();
+            prios.sort_unstable();
+            let pos = prios.iter().position(|&p| p >= last_prio).unwrap_or(0);
+            let p = prios.remove(pos.min(prios.len() - 1));
+            prop_assert!(
+                p >= last_prio,
+                "priority order violated: {} after {}", p, last_prio
+            );
+            last_prio = p;
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! This crate is the foundation of the *hogtame* reproduction of
+//! "Taming the Memory Hogs" (Brown & Mowry, OSDI 2000). Everything in the
+//! reproduced system — the virtual memory subsystem, the disk array, the
+//! paging and releaser daemons, the simulated processes — runs on top of the
+//! primitives defined here:
+//!
+//! * [`time`] — virtual time ([`SimTime`]) measured in nanoseconds.
+//! * [`event`] — a deterministic event queue with FIFO tie-breaking.
+//! * [`rng`] — small, seedable, reproducible PRNGs ([`rng::Pcg32`],
+//!   [`rng::SplitMix64`]).
+//! * [`stats`] — counters, histograms and per-process time breakdowns used to
+//!   regenerate the paper's tables and figures.
+//! * [`trace`] — a bounded in-memory trace ring for debugging simulations.
+//!
+//! The engine is intentionally *not* multi-threaded: determinism (same seed →
+//! same result, bit for bit) is a core requirement so that every figure in
+//! EXPERIMENTS.md can be regenerated exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use event::{EventId, EventQueue, ScheduledEvent};
+pub use time::{SimDuration, SimTime};

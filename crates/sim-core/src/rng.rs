@@ -1,0 +1,214 @@
+//! Small deterministic PRNGs.
+//!
+//! The simulator must be exactly reproducible from a seed across platforms,
+//! so we implement two tiny, well-known generators rather than depending on
+//! `rand`'s versioned algorithms:
+//!
+//! * [`SplitMix64`] — used for seeding and cheap hash-like mixing.
+//! * [`Pcg32`] — the general-purpose stream generator (PCG-XSH-RR 64/32).
+
+/// SplitMix64: a fast 64-bit generator, primarily used to derive seeds.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::rng::SplitMix64;
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// PCG-XSH-RR 64/32: a small, statistically solid 32-bit output generator.
+#[derive(Clone, Debug)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+impl Pcg32 {
+    /// Creates a generator from a seed and stream id.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut pcg = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        pcg.next_u32();
+        pcg.state = pcg.state.wrapping_add(seed);
+        pcg.next_u32();
+        pcg
+    }
+
+    /// Creates a generator from a single seed (stream derived via SplitMix64).
+    pub fn seeded(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = sm.next_u64();
+        let stream = sm.next_u64();
+        Pcg32::new(s, stream)
+    }
+
+    /// Returns the next 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Returns the next 64-bit value (two 32-bit draws).
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses Lemire's unbiased multiply-shift rejection method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire's method: rejection keeps the distribution exactly uniform.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u32();
+            let m = u64::from(x) * u64::from(bound);
+            if (m as u32) >= threshold {
+                return (m >> 32) as u32;
+            }
+        }
+    }
+
+    /// Returns a uniformly distributed `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0` or exceeds `u32::MAX`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(
+            bound <= u32::MAX as usize,
+            "bound too large for Pcg32::index"
+        );
+        self.next_below(bound as u32) as usize
+    }
+
+    /// Returns a uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reproducible() {
+        let mut a = SplitMix64::new(123);
+        let mut b = SplitMix64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_differs_by_seed() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn pcg_reproducible() {
+        let mut a = Pcg32::seeded(99);
+        let mut b = Pcg32::seeded(99);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut r = Pcg32::seeded(5);
+        for _ in 0..10_000 {
+            assert!(r.next_below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn next_below_roughly_uniform() {
+        let mut r = Pcg32::seeded(42);
+        let mut buckets = [0u32; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            buckets[r.next_below(8) as usize] += 1;
+        }
+        let expected = n / 8;
+        for &b in &buckets {
+            // 10% tolerance is generous for 10k samples per bucket.
+            assert!((b as i64 - expected as i64).unsigned_abs() < expected as u64 / 10);
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = Pcg32::seeded(17);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Pcg32::seeded(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle should move elements"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn next_below_zero_panics() {
+        Pcg32::seeded(0).next_below(0);
+    }
+}

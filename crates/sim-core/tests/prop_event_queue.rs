@@ -1,0 +1,83 @@
+//! Property tests for the event queue: total order, FIFO tie-break,
+//! cancellation accounting.
+
+use proptest::prelude::*;
+use sim_core::{EventQueue, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whatever the schedule order, pops come out in non-decreasing time,
+    /// and events at equal times come out in scheduling order.
+    #[test]
+    fn pops_are_ordered_and_fifo(times in prop::collection::vec(0u64..50, 1..200)) {
+        let mut q = EventQueue::new();
+        for (seq, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), (t, seq));
+        }
+        let mut last: Option<(u64, usize)> = None;
+        let mut popped = 0;
+        while let Some(ev) = q.pop() {
+            let (t, seq) = ev.payload;
+            prop_assert_eq!(ev.time, SimTime::from_nanos(t));
+            if let Some((lt, lseq)) = last {
+                prop_assert!(t >= lt, "time went backwards");
+                if t == lt {
+                    prop_assert!(seq > lseq, "FIFO violated at equal times");
+                }
+            }
+            last = Some((t, seq));
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn cancellation_is_exact(
+        times in prop::collection::vec(0u64..100, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            ids.push((i, q.schedule(SimTime::from_nanos(t), i)));
+        }
+        let mut cancelled = std::collections::HashSet::new();
+        for (i, id) in &ids {
+            if cancel_mask[*i % cancel_mask.len()] {
+                prop_assert!(q.cancel(*id));
+                cancelled.insert(*i);
+            }
+        }
+        prop_assert_eq!(q.len(), times.len() - cancelled.len());
+        let mut survivors = Vec::new();
+        while let Some(ev) = q.pop() {
+            survivors.push(ev.payload);
+        }
+        prop_assert_eq!(survivors.len(), times.len() - cancelled.len());
+        for s in survivors {
+            prop_assert!(!cancelled.contains(&s), "cancelled event {s} popped");
+        }
+    }
+
+    /// Interleaved schedule/pop keeps causality: you can never pop a time
+    /// earlier than one already popped.
+    #[test]
+    fn interleaved_operations_preserve_causality(
+        ops in prop::collection::vec((0u64..1000, any::<bool>()), 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        let mut last_popped = SimTime::ZERO;
+        for (dt, do_pop) in ops {
+            let at = q.now() + sim_core::SimDuration::from_nanos(dt);
+            q.schedule(at, ());
+            if do_pop {
+                if let Some(ev) = q.pop() {
+                    prop_assert!(ev.time >= last_popped);
+                    last_popped = ev.time;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Typed identifiers for pages, frames, and processes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A process identifier (dense: processes are created sequentially).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// A virtual page number within one process's address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Vpn(pub u64);
+
+impl Vpn {
+    /// The page `n` pages after this one.
+    pub fn offset(self, n: u64) -> Vpn {
+        Vpn(self.0 + n)
+    }
+}
+
+impl fmt::Display for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{:#x}", self.0)
+    }
+}
+
+/// A physical frame number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Pfn(pub u32);
+
+impl fmt::Display for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A half-open range of virtual pages `[start, start + len)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct PageRange {
+    /// First page of the range.
+    pub start: Vpn,
+    /// Number of pages.
+    pub len: u64,
+}
+
+impl PageRange {
+    /// Creates a range.
+    pub fn new(start: Vpn, len: u64) -> Self {
+        PageRange { start, len }
+    }
+
+    /// One past the last page.
+    pub fn end(&self) -> Vpn {
+        Vpn(self.start.0 + self.len)
+    }
+
+    /// Whether `vpn` falls inside the range.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        vpn.0 >= self.start.0 && vpn.0 < self.start.0 + self.len
+    }
+
+    /// Offset of `vpn` from the range start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpn` is outside the range.
+    pub fn offset_of(&self, vpn: Vpn) -> u64 {
+        assert!(self.contains(vpn), "{vpn} outside {self:?}");
+        vpn.0 - self.start.0
+    }
+
+    /// Iterates over the pages of the range.
+    pub fn iter(&self) -> impl Iterator<Item = Vpn> + '_ {
+        (self.start.0..self.start.0 + self.len).map(Vpn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_contains_and_offsets() {
+        let r = PageRange::new(Vpn(10), 5);
+        assert!(r.contains(Vpn(10)));
+        assert!(r.contains(Vpn(14)));
+        assert!(!r.contains(Vpn(15)));
+        assert!(!r.contains(Vpn(9)));
+        assert_eq!(r.offset_of(Vpn(12)), 2);
+        assert_eq!(r.end(), Vpn(15));
+    }
+
+    #[test]
+    fn range_iteration() {
+        let r = PageRange::new(Vpn(3), 3);
+        let pages: Vec<_> = r.iter().collect();
+        assert_eq!(pages, vec![Vpn(3), Vpn(4), Vpn(5)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn offset_of_outside_panics() {
+        PageRange::new(Vpn(0), 1).offset_of(Vpn(5));
+    }
+
+    #[test]
+    fn vpn_offset() {
+        assert_eq!(Vpn(7).offset(3), Vpn(10));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Pid(3).to_string(), "pid3");
+        assert_eq!(Pfn(9).to_string(), "f9");
+        assert_eq!(Vpn(16).to_string(), "v0x10");
+    }
+}

@@ -1,0 +1,225 @@
+//! The global free list, with rescue support.
+//!
+//! Frames are allocated from the **head** and freed pages are appended at
+//! the **tail** — the paper's releaser "places released pages at the end of
+//! the free list, giving pages that were released too early a chance to be
+//! rescued". A *rescue* removes a specific frame from the middle of the
+//! list when its former owner faults on the page before the frame is
+//! reallocated; the page returns to the owner without any I/O.
+//!
+//! Removal from the middle uses lazy deletion: rescued frames are flagged in
+//! the frame table and skipped when they surface at the head, so every
+//! operation stays `O(1)` amortized.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::addr::{Pfn, Pid, Vpn};
+use crate::frame::FrameTable;
+
+/// The global free list.
+#[derive(Clone, Debug, Default)]
+pub struct FreeList {
+    queue: VecDeque<Pfn>,
+    live: usize,
+    rescue_index: HashMap<(Pid, Vpn), Pfn>,
+}
+
+impl FreeList {
+    /// Creates an empty free list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Populates the list with every frame of a fresh frame table.
+    pub fn fill_initial(&mut self, frames: &FrameTable) {
+        for (pfn, info) in frames.iter() {
+            debug_assert!(info.on_free_list);
+            self.queue.push_back(pfn);
+            self.live += 1;
+        }
+    }
+
+    /// Number of frames available for allocation.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Whether any frame is available.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Appends a freed frame at the tail.
+    ///
+    /// If the frame retains a content identity (`owner` set in the frame
+    /// table) and `rescuable` is true, it is indexed for rescue.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the frame is already on the list.
+    pub fn push_freed(&mut self, frames: &mut FrameTable, pfn: Pfn, rescuable: bool) {
+        let info = frames.get_mut(pfn);
+        debug_assert!(!info.on_free_list, "double free of {pfn}");
+        info.on_free_list = true;
+        if !rescuable {
+            info.owner = None;
+        }
+        if let Some(key) = info.owner {
+            // A newer frame for the same (pid, vpn) shouldn't exist, but an
+            // older stale mapping might if the page cycled quickly; the
+            // newest frame wins.
+            self.rescue_index.insert(key, pfn);
+        }
+        self.queue.push_back(pfn);
+        self.live += 1;
+    }
+
+    /// Allocates a frame from the head of the list.
+    ///
+    /// The frame loses its previous content identity (no longer rescuable).
+    /// Returns `None` when the list is empty.
+    pub fn alloc(&mut self, frames: &mut FrameTable) -> Option<Pfn> {
+        while let Some(pfn) = self.queue.pop_front() {
+            let info = frames.get_mut(pfn);
+            if !info.on_free_list {
+                // Lazily deleted (rescued earlier); skip.
+                continue;
+            }
+            info.on_free_list = false;
+            if let Some(key) = info.owner.take() {
+                // Only remove the index entry if it still points at us.
+                if self.rescue_index.get(&key) == Some(&pfn) {
+                    self.rescue_index.remove(&key);
+                }
+            }
+            self.live -= 1;
+            return Some(pfn);
+        }
+        None
+    }
+
+    /// Attempts to rescue the frame holding `(pid, vpn)` from the list.
+    ///
+    /// On success the frame is removed from the list (lazily) and returned
+    /// still holding its content; the caller re-maps it.
+    pub fn rescue(&mut self, frames: &mut FrameTable, pid: Pid, vpn: Vpn) -> Option<Pfn> {
+        let pfn = self.rescue_index.remove(&(pid, vpn))?;
+        let info = frames.get_mut(pfn);
+        if !info.on_free_list || info.owner != Some((pid, vpn)) {
+            // Stale index entry: the frame was reallocated meanwhile.
+            return None;
+        }
+        info.on_free_list = false;
+        self.live -= 1;
+        // The queue entry remains and is skipped when it reaches the head.
+        Some(pfn)
+    }
+
+    /// Whether `(pid, vpn)` currently has a rescuable frame.
+    pub fn is_rescuable(&self, pid: Pid, vpn: Vpn) -> bool {
+        self.rescue_index.contains_key(&(pid, vpn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize) -> (FrameTable, FreeList) {
+        let frames = FrameTable::new(n);
+        let mut free = FreeList::new();
+        free.fill_initial(&frames);
+        (frames, free)
+    }
+
+    fn take(frames: &mut FrameTable, free: &mut FreeList) -> Pfn {
+        free.alloc(frames).expect("frame available")
+    }
+
+    #[test]
+    fn initial_fill_and_alloc_order() {
+        let (mut frames, mut free) = setup(3);
+        assert_eq!(free.live(), 3);
+        assert_eq!(take(&mut frames, &mut free), Pfn(0));
+        assert_eq!(take(&mut frames, &mut free), Pfn(1));
+        assert_eq!(take(&mut frames, &mut free), Pfn(2));
+        assert!(free.alloc(&mut frames).is_none());
+        assert_eq!(free.live(), 0);
+    }
+
+    #[test]
+    fn freed_pages_go_to_tail() {
+        let (mut frames, mut free) = setup(2);
+        let a = take(&mut frames, &mut free);
+        frames.get_mut(a).owner = Some((Pid(1), Vpn(7)));
+        free.push_freed(&mut frames, a, true);
+        // Tail order: the untouched frame 1 comes out before the freed one.
+        assert_eq!(take(&mut frames, &mut free), Pfn(1));
+        assert_eq!(take(&mut frames, &mut free), a);
+    }
+
+    #[test]
+    fn rescue_returns_content_frame() {
+        let (mut frames, mut free) = setup(2);
+        let a = take(&mut frames, &mut free);
+        frames.get_mut(a).owner = Some((Pid(1), Vpn(7)));
+        free.push_freed(&mut frames, a, true);
+        assert!(free.is_rescuable(Pid(1), Vpn(7)));
+        let rescued = free.rescue(&mut frames, Pid(1), Vpn(7)).unwrap();
+        assert_eq!(rescued, a);
+        assert!(!free.is_rescuable(Pid(1), Vpn(7)));
+        assert_eq!(free.live(), 1);
+        // The lazily deleted entry is skipped on allocation.
+        assert_eq!(take(&mut frames, &mut free), Pfn(1));
+        assert!(free.alloc(&mut frames).is_none());
+    }
+
+    #[test]
+    fn allocation_clears_identity() {
+        let (mut frames, mut free) = setup(1);
+        let a = take(&mut frames, &mut free);
+        frames.get_mut(a).owner = Some((Pid(2), Vpn(3)));
+        free.push_freed(&mut frames, a, true);
+        let b = take(&mut frames, &mut free);
+        assert_eq!(a, b);
+        assert!(frames.get(b).owner.is_none());
+        assert!(free.rescue(&mut frames, Pid(2), Vpn(3)).is_none());
+    }
+
+    #[test]
+    fn non_rescuable_free_drops_identity() {
+        let (mut frames, mut free) = setup(1);
+        let a = take(&mut frames, &mut free);
+        frames.get_mut(a).owner = Some((Pid(2), Vpn(3)));
+        free.push_freed(&mut frames, a, false);
+        assert!(!free.is_rescuable(Pid(2), Vpn(3)));
+        assert!(frames.get(a).owner.is_none());
+    }
+
+    #[test]
+    fn live_count_is_conserved() {
+        let (mut frames, mut free) = setup(10);
+        let total = 10;
+        let mut held = Vec::new();
+        for _ in 0..6 {
+            held.push(take(&mut frames, &mut free));
+        }
+        assert_eq!(free.live() + held.len(), total);
+        for pfn in held.drain(..3) {
+            free.push_freed(&mut frames, pfn, false);
+        }
+        assert_eq!(free.live(), 7);
+        assert_eq!(frames.allocated_count(), 3);
+    }
+
+    #[test]
+    fn rescue_after_realloc_fails_cleanly() {
+        let (mut frames, mut free) = setup(1);
+        let a = take(&mut frames, &mut free);
+        frames.get_mut(a).owner = Some((Pid(1), Vpn(1)));
+        free.push_freed(&mut frames, a, true);
+        let _b = take(&mut frames, &mut free); // reallocated to someone else
+        assert!(free.rescue(&mut frames, Pid(1), Vpn(1)).is_none());
+    }
+}

@@ -1,0 +1,61 @@
+//! IRIX-like virtual memory subsystem.
+//!
+//! This crate reproduces the operating-system half of "Taming the Memory
+//! Hogs" (Brown & Mowry, OSDI 2000): the stock IRIX 6.5 paging machinery the
+//! paper measures against, plus the paper's modest extensions.
+//!
+//! # Stock machinery
+//!
+//! * [`frame`] / [`freelist`] — the physical frame table and the global free
+//!   list. Freed frames keep their content identity until reallocation, so a
+//!   faulting process can **rescue** its page from the free list without I/O.
+//! * [`pagetable`] — per-process page tables. The simulated MIPS TLB has no
+//!   reference bits, so the paging daemon samples references *in software*
+//!   by invalidating PTEs; the resulting revalidation traps are the **soft
+//!   page faults** of the paper's Figure 8.
+//! * [`pagingd`] — the global clock-algorithm paging daemon ("vhand"): one
+//!   pass invalidates, a page still unreferenced on the next pass is stolen.
+//!   It holds each victim's address-space lock for whole scan chunks, which
+//!   is the lock contention the paper identifies.
+//! * [`lock`] — address-space locks modelled as deterministic FIFO resource
+//!   timelines with wait-time accounting.
+//! * [`tlb`] — a small TLB model (prefetched pages are deliberately not
+//!   inserted).
+//!
+//! # Paper extensions
+//!
+//! * [`policy`] — the **PagingDirected** policy module: user-level
+//!   `prefetch`/`release` operations on an attached address range.
+//! * [`shared_page`] — the read-only shared page: a residency bitmap plus
+//!   lazily updated *current usage* and *upper limit* words (Eq. 1).
+//! * [`releaser`] — the specialized releasing daemon: frees pre-identified
+//!   pages in small batches under short lock holds.
+//!
+//! The facade is [`VmSys`]; every externally visible action (touch,
+//! prefetch, release, daemon service) returns explicit time/outcome
+//! information that the simulation engine charges to the Figure 7 time
+//! categories.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod frame;
+pub mod freelist;
+pub mod lock;
+pub mod outcome;
+pub mod pagetable;
+pub mod pagingd;
+pub mod params;
+pub mod policy;
+pub mod releaser;
+pub mod shared_page;
+pub mod stats;
+pub mod tlb;
+pub mod vmsys;
+
+pub use addr::{PageRange, Pfn, Pid, Vpn};
+pub use outcome::{PrefetchOutcome, TouchKind, TouchResult};
+pub use params::{CostParams, Tunables};
+pub use stats::{ProcStats, VmStats};
+pub use vmsys::{Backing, SharedView, VmSys};

@@ -1,0 +1,114 @@
+//! Outcomes returned by the VM facade.
+//!
+//! Every externally visible VM operation returns explicit timing so the
+//! simulation engine can charge the Figure 7 categories (user, system,
+//! resource stall, I/O stall) without the VM knowing about the engine.
+
+use sim_core::{SimDuration, SimTime};
+
+use crate::frame::FreeSource;
+
+/// Classification of a memory touch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TouchKind {
+    /// Valid mapping, TLB hit: free.
+    Hit,
+    /// Valid mapping, TLB miss: software refill only.
+    TlbMiss,
+    /// Resident but invalidated by the paging daemon's reference sampling —
+    /// the Figure 8 soft fault.
+    SoftFaultDaemon,
+    /// Resident but invalidated by a pending release request; the touch
+    /// cancels the release.
+    SoftFaultRelease,
+    /// First touch of a prefetched page: validation (plus a stall if the
+    /// prefetch I/O has not finished).
+    PrefetchValidate,
+    /// Page was on the free list and was rescued without I/O.
+    Rescue(FreeSource),
+    /// Demand page-in from swap.
+    HardFault,
+    /// First touch of anonymous memory: zero-fill minor fault.
+    ZeroFill,
+}
+
+impl TouchKind {
+    /// Whether this outcome required disk I/O.
+    pub fn is_hard(self) -> bool {
+        matches!(self, TouchKind::HardFault)
+    }
+}
+
+/// Timed result of a touch.
+#[derive(Clone, Copy, Debug)]
+pub struct TouchResult {
+    /// What happened.
+    pub kind: TouchKind,
+    /// CPU time spent in the kernel (fault handling).
+    pub system: SimDuration,
+    /// Time stalled waiting for locks or free memory.
+    pub resource_wait: SimDuration,
+    /// Time stalled waiting for disk I/O.
+    pub io_wait: SimDuration,
+    /// Instant at which the touch completes and the process may continue.
+    pub done_at: SimTime,
+}
+
+impl TouchResult {
+    /// A free hit at `now`.
+    pub fn hit(now: SimTime) -> Self {
+        TouchResult {
+            kind: TouchKind::Hit,
+            system: SimDuration::ZERO,
+            resource_wait: SimDuration::ZERO,
+            io_wait: SimDuration::ZERO,
+            done_at: now,
+        }
+    }
+}
+
+/// Result of a prefetch request into the PagingDirected PM.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PrefetchOutcome {
+    /// The page is already resident; nothing to do.
+    AlreadyResident,
+    /// Free memory was at or below `min_freemem`; the request was discarded
+    /// immediately so prefetching never forces stealing.
+    Discarded,
+    /// The page was on the free list and was rescued without I/O.
+    Rescued,
+    /// A page-in was started; it completes at the given instant.
+    Started {
+        /// When the page will be resident.
+        arrives_at: SimTime,
+    },
+}
+
+/// Result of issuing a release request (the enqueue, not the free).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReleaseEnqueue {
+    /// Pages accepted into the releaser's work queue.
+    pub accepted: usize,
+    /// Pages skipped because they were not resident.
+    pub skipped_nonresident: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_constructor_is_free() {
+        let r = TouchResult::hit(SimTime::from_nanos(9));
+        assert_eq!(r.kind, TouchKind::Hit);
+        assert_eq!(r.done_at, SimTime::from_nanos(9));
+        assert_eq!(r.system, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn hard_classification() {
+        assert!(TouchKind::HardFault.is_hard());
+        assert!(!TouchKind::Rescue(FreeSource::Daemon).is_hard());
+        assert!(!TouchKind::ZeroFill.is_hard());
+    }
+}

@@ -1,0 +1,212 @@
+//! Per-process page tables.
+//!
+//! The simulated hardware is MIPS-like: **no reference bit**. The paging
+//! daemon samples references by clearing `valid` on resident pages; the next
+//! touch traps (a *soft fault*), revalidates, and thereby proves the page is
+//! live. The same trick backs the PagingDirected release path: a release
+//! request invalidates the PTE so that any touch between the request and the
+//! releaser servicing it is observable and cancels the release.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use sim_core::SimTime;
+
+use crate::addr::{Pfn, Vpn};
+use disk::SwapSlot;
+
+/// Why a resident PTE is currently invalid.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum InvalidReason {
+    /// The paging daemon cleared `valid` to sample the reference bit in
+    /// software. Revalidation counts as a Figure 8 soft fault.
+    DaemonSample,
+    /// A release request cleared `valid`; a touch before the releaser runs
+    /// cancels the release.
+    ReleasePending,
+    /// The page was prefetched and has not been referenced yet (the PM does
+    /// not fully validate prefetched pages nor insert TLB entries).
+    Prefetched,
+}
+
+/// A page-table entry.
+#[derive(Clone, Copy, Debug)]
+pub struct Pte {
+    /// The backing frame while resident.
+    pub pfn: Option<Pfn>,
+    /// Hardware-valid: a touch of a resident invalid page traps.
+    pub valid: bool,
+    /// Why the entry is invalid while resident.
+    pub invalid_reason: Option<InvalidReason>,
+    /// Dirty relative to swap.
+    pub dirty: bool,
+    /// For pages the daemon's clock has sampled: still unreferenced.
+    /// Set on the sampling pass, cleared by any touch; a page whose flag is
+    /// still set on the next pass is stolen.
+    pub clock_sampled: bool,
+    /// Hardware reference bit (only meaningful when the machine is
+    /// configured with `hardware_refbits`): set by every touch, cleared by
+    /// the daemon's sampling pass without invalidating the PTE.
+    pub hw_referenced: bool,
+    /// When a prefetch in flight will have arrived (touches before this
+    /// stall on the I/O).
+    pub arrives_at: SimTime,
+    /// Last reference (touch) time.
+    pub last_ref: SimTime,
+    /// When a release request was made for this page, if one is pending.
+    pub release_requested: Option<SimTime>,
+    /// The swap slot holding this page's backing copy, once assigned.
+    pub swap_slot: Option<SwapSlot>,
+    /// Whether the page has ever been materialized (zero-filled or paged
+    /// in). Untouched zero-fill pages have no content anywhere.
+    pub materialized: bool,
+}
+
+impl Default for Pte {
+    fn default() -> Self {
+        Pte {
+            pfn: None,
+            valid: false,
+            invalid_reason: None,
+            dirty: false,
+            clock_sampled: false,
+            hw_referenced: false,
+            arrives_at: SimTime::ZERO,
+            last_ref: SimTime::ZERO,
+            release_requested: None,
+            swap_slot: None,
+            materialized: false,
+        }
+    }
+}
+
+impl Pte {
+    /// Whether the page is resident in physical memory.
+    pub fn resident(&self) -> bool {
+        self.pfn.is_some()
+    }
+}
+
+/// A per-process page table (sparse map over the virtual address space).
+#[derive(Clone, Debug, Default)]
+pub struct PageTable {
+    entries: HashMap<Vpn, Pte>,
+    resident: u64,
+}
+
+impl PageTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up an entry; absent entries read as the default (non-resident).
+    pub fn get(&self, vpn: Vpn) -> Pte {
+        self.entries.get(&vpn).copied().unwrap_or_default()
+    }
+
+    /// Mutable entry access, materializing a default entry if absent.
+    pub fn entry(&mut self, vpn: Vpn) -> &mut Pte {
+        self.entries.entry(vpn).or_default()
+    }
+
+    /// Number of resident pages (the process RSS in pages).
+    pub fn resident_pages(&self) -> u64 {
+        self.resident
+    }
+
+    /// Marks `vpn` resident in `pfn`. Maintains the RSS count.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if already resident.
+    pub fn map(&mut self, vpn: Vpn, pfn: Pfn) {
+        let e = self.entries.entry(vpn).or_default();
+        debug_assert!(e.pfn.is_none(), "double map of {vpn}");
+        e.pfn = Some(pfn);
+        self.resident += 1;
+    }
+
+    /// Removes the residency of `vpn`, returning the frame it occupied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not resident.
+    pub fn unmap(&mut self, vpn: Vpn) -> Pfn {
+        let e = self
+            .entries
+            .get_mut(&vpn)
+            .unwrap_or_else(|| panic!("unmap of unmapped {vpn}"));
+        let pfn = e.pfn.take().expect("unmap of non-resident page");
+        e.valid = false;
+        e.invalid_reason = None;
+        e.clock_sampled = false;
+        e.release_requested = None;
+        self.resident -= 1;
+        pfn
+    }
+
+    /// Iterates over all materialized entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vpn, &Pte)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_entry_is_nonresident() {
+        let pt = PageTable::new();
+        let e = pt.get(Vpn(5));
+        assert!(!e.resident());
+        assert!(!e.valid);
+        assert!(!e.materialized);
+    }
+
+    #[test]
+    fn map_unmap_tracks_rss() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(1), Pfn(10));
+        pt.map(Vpn(2), Pfn(11));
+        assert_eq!(pt.resident_pages(), 2);
+        assert_eq!(pt.unmap(Vpn(1)), Pfn(10));
+        assert_eq!(pt.resident_pages(), 1);
+        assert!(!pt.get(Vpn(1)).resident());
+        assert!(pt.get(Vpn(2)).resident());
+    }
+
+    #[test]
+    fn unmap_clears_transient_state() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(1), Pfn(0));
+        {
+            let e = pt.entry(Vpn(1));
+            e.valid = true;
+            e.clock_sampled = true;
+            e.release_requested = Some(SimTime::from_nanos(5));
+            e.invalid_reason = Some(InvalidReason::DaemonSample);
+        }
+        pt.unmap(Vpn(1));
+        let e = pt.get(Vpn(1));
+        assert!(!e.valid);
+        assert!(!e.clock_sampled);
+        assert!(e.release_requested.is_none());
+        assert!(e.invalid_reason.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unmap of unmapped")]
+    fn unmap_absent_panics() {
+        PageTable::new().unmap(Vpn(9));
+    }
+
+    #[test]
+    fn entry_materializes() {
+        let mut pt = PageTable::new();
+        pt.entry(Vpn(3)).dirty = true;
+        assert!(pt.get(Vpn(3)).dirty);
+        assert_eq!(pt.iter().count(), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Cost parameters and system tunables.
+//!
+//! [`CostParams`] holds the CPU-time costs of the VM primitives, calibrated
+//! to a ~180 MHz MIPS R10000 running IRIX 6.5 (the paper's machine).
+//! [`Tunables`] holds the IRIX-style policy knobs the paper discusses
+//! (`maxrss`, `min_freemem`, daemon batching) plus ablation switches this
+//! reproduction adds.
+
+use serde::{Deserialize, Serialize};
+use sim_core::SimDuration;
+
+/// CPU-time costs of VM primitives.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Software TLB refill (MIPS has software-managed TLBs).
+    pub tlb_refill: SimDuration,
+    /// Revalidating a page the paging daemon invalidated (a soft fault):
+    /// trap entry/exit plus PTE fixup.
+    pub soft_fault: SimDuration,
+    /// Lock hold during a soft fault.
+    pub soft_fault_lock: SimDuration,
+    /// Validating a prefetched-but-not-yet-referenced page on first touch.
+    pub prefetch_validate: SimDuration,
+    /// Reclaiming one's own page from the free list (no I/O).
+    pub rescue_fault: SimDuration,
+    /// Lock hold during a rescue.
+    pub rescue_lock: SimDuration,
+    /// CPU portion of a hard fault: trap, frame allocation, I/O initiation.
+    pub hard_fault_setup: SimDuration,
+    /// Lock hold during hard-fault setup.
+    pub hard_fault_lock: SimDuration,
+    /// CPU portion after I/O completion: mapping, trap return.
+    pub hard_fault_finish: SimDuration,
+    /// Zero-fill minor fault (first touch of anonymous memory): trap plus
+    /// clearing a 16 KB page.
+    pub zero_fill_fault: SimDuration,
+    /// Syscall overhead of one prefetch request into the PagingDirected PM.
+    pub pm_prefetch_call: SimDuration,
+    /// Syscall overhead of one release request into the PagingDirected PM.
+    pub pm_release_call: SimDuration,
+    /// Paging daemon: examining one frame during a clock pass.
+    pub daemon_scan_page: SimDuration,
+    /// Paging daemon: invalidating one referenced page (reference sampling).
+    pub daemon_invalidate_page: SimDuration,
+    /// Paging daemon: stealing one page (unmap, free-list insertion).
+    pub daemon_steal_page: SimDuration,
+    /// Paging daemon: initiating writeback of one dirty page.
+    pub daemon_writeback_init: SimDuration,
+    /// Paging daemon: acquiring/releasing one victim's address-space lock.
+    pub daemon_lock_overhead: SimDuration,
+    /// Releaser: freeing one pre-identified page. The releaser is
+    /// specialized, so this is cheaper than `daemon_steal_page` plus the
+    /// scan costs the daemon pays to find a victim.
+    pub releaser_free_page: SimDuration,
+    /// Releaser: skipping a request whose page was re-referenced or is
+    /// non-resident.
+    pub releaser_skip_page: SimDuration,
+    /// Releaser: acquiring/releasing the address-space lock per batch.
+    pub releaser_lock_overhead: SimDuration,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams::origin200()
+    }
+}
+
+impl CostParams {
+    /// Costs calibrated to the paper's SGI Origin 200 (180 MHz R10000).
+    pub fn origin200() -> Self {
+        CostParams {
+            tlb_refill: SimDuration::from_nanos(500),
+            soft_fault: SimDuration::from_micros(7),
+            soft_fault_lock: SimDuration::from_micros(4),
+            prefetch_validate: SimDuration::from_micros(3),
+            rescue_fault: SimDuration::from_micros(14),
+            rescue_lock: SimDuration::from_micros(8),
+            hard_fault_setup: SimDuration::from_micros(20),
+            hard_fault_lock: SimDuration::from_micros(10),
+            hard_fault_finish: SimDuration::from_micros(8),
+            zero_fill_fault: SimDuration::from_micros(28),
+            pm_prefetch_call: SimDuration::from_micros(6),
+            pm_release_call: SimDuration::from_micros(5),
+            daemon_scan_page: SimDuration::from_micros(2),
+            daemon_invalidate_page: SimDuration::from_micros(3),
+            daemon_steal_page: SimDuration::from_micros(12),
+            daemon_writeback_init: SimDuration::from_micros(5),
+            daemon_lock_overhead: SimDuration::from_micros(6),
+            releaser_free_page: SimDuration::from_micros(6),
+            releaser_skip_page: SimDuration::from_micros(1),
+            releaser_lock_overhead: SimDuration::from_micros(4),
+        }
+    }
+}
+
+/// Policy knobs.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Tunables {
+    /// Maximum resident set size (pages) any process may hold (`maxrss`).
+    pub maxrss: u64,
+    /// Free-memory low-water mark (pages): below this, the paging daemon
+    /// runs (`min_freemem`).
+    pub min_freemem: u64,
+    /// The paging daemon keeps working until free memory reaches this
+    /// high-water target (pages).
+    pub target_freemem: u64,
+    /// Maximum frames the paging daemon examines per activation.
+    pub daemon_scan_batch: u64,
+    /// Pages the releaser frees per lock acquisition.
+    pub releaser_batch: u64,
+    /// Interval between paging-daemon activations while memory stays low.
+    pub daemon_period: SimDuration,
+    /// Delay between a release request arriving and the releaser servicing
+    /// its queue (models daemon wakeup latency).
+    pub releaser_delay: SimDuration,
+    /// Whether freed pages keep their identity and can be rescued
+    /// (ablation; the paper's system always rescues).
+    pub rescue_enabled: bool,
+    /// Whether *explicitly released* pages stay rescuable (the paper's
+    /// releaser puts them at the free-list tail precisely so they can be
+    /// rescued). `false` models `madvise(MADV_DONTNEED)`-style release,
+    /// where a premature release always costs a fresh page-in.
+    pub released_pages_rescuable: bool,
+    /// Whether prefetch requests are discarded when free memory is at or
+    /// below `min_freemem` (paper behaviour: they are).
+    pub prefetch_discard_when_low: bool,
+    /// Whether the shared page's usage/limit words are recomputed on every
+    /// read instead of only on memory activity (ablation; the paper uses
+    /// lazy updates).
+    pub immediate_limit_updates: bool,
+    /// Whether the hardware provides reference bits. The paper's MIPS
+    /// machine does not — the daemon samples by invalidation, producing
+    /// soft faults. With hardware bits the daemon reads and clears a bit
+    /// instead (§6: "It would be interesting to see if these benefits
+    /// still occur on a system with hardware reference bits").
+    pub hardware_refbits: bool,
+    /// §3.1.1's unexplored alternative: "notify interested applications if
+    /// conditions change by more than a set threshold, rather than waiting
+    /// for memory activity to occur." When set, every PM process's shared
+    /// page is refreshed whenever global free memory moves by more than
+    /// this many pages since the last broadcast.
+    pub shared_update_threshold: Option<u64>,
+}
+
+impl Tunables {
+    /// Defaults matching the paper's configuration for a machine with
+    /// `total_frames` user-available frames.
+    pub fn for_memory(total_frames: u64) -> Self {
+        Tunables {
+            maxrss: total_frames,
+            min_freemem: (total_frames / 40).max(32),
+            target_freemem: (total_frames / 20).max(64),
+            daemon_scan_batch: (total_frames / 32).max(64),
+            releaser_batch: 16,
+            daemon_period: SimDuration::from_millis(5),
+            releaser_delay: SimDuration::from_micros(200),
+            rescue_enabled: true,
+            released_pages_rescuable: true,
+            prefetch_discard_when_low: true,
+            immediate_limit_updates: false,
+            hardware_refbits: false,
+            shared_update_threshold: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = CostParams::default();
+        assert!(c.soft_fault < c.hard_fault_setup + c.hard_fault_finish);
+        assert!(c.releaser_free_page < c.daemon_steal_page);
+        assert!(c.tlb_refill < c.soft_fault);
+    }
+
+    #[test]
+    fn tunables_scale_with_memory() {
+        let t = Tunables::for_memory(4800);
+        assert_eq!(t.maxrss, 4800);
+        assert!(t.min_freemem >= 32);
+        assert!(t.target_freemem > t.min_freemem);
+        assert!(t.daemon_scan_batch >= 64);
+    }
+
+    #[test]
+    fn tiny_memory_clamps() {
+        let t = Tunables::for_memory(100);
+        assert_eq!(t.min_freemem, 32);
+        assert_eq!(t.target_freemem, 64);
+        assert_eq!(t.daemon_scan_batch, 64);
+    }
+}

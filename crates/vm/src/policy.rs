@@ -1,0 +1,77 @@
+//! Policy modules.
+//!
+//! IRIX 6.5 lets a process connect a *policy module* (PM) to any range of
+//! its virtual address space to select memory-management policies. The paper
+//! defines one new PM — **PagingDirected** — that accepts user-level
+//! prefetch and release operations for the attached ranges and exports the
+//! shared information page.
+//!
+//! This module models the PM attachment bookkeeping; the PagingDirected
+//! behaviour itself lives in [`crate::vmsys`] (operations) and
+//! [`crate::shared_page`] (the information page).
+
+use crate::addr::{PageRange, Vpn};
+use crate::shared_page::SharedPage;
+
+/// The kind of policy module governing a range.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PolicyKind {
+    /// The stock IRIX default policy (global replacement, no user paging
+    /// directives).
+    Default,
+    /// The paper's PagingDirected PM.
+    PagingDirected,
+}
+
+/// The PagingDirected policy module instance owned by one process.
+#[derive(Debug, Default)]
+pub struct PagingDirected {
+    /// The shared information page the OS maintains for the process.
+    pub shared: SharedPage,
+    attached: Vec<PageRange>,
+}
+
+impl PagingDirected {
+    /// Creates the PM with its (empty) shared page.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches the PM to a range: residency bits for the range are cleared
+    /// and user paging directives become legal for those pages.
+    pub fn attach(&mut self, range: PageRange) {
+        self.shared.attach(range);
+        self.attached.push(range);
+    }
+
+    /// Whether `vpn` is governed by this PM.
+    pub fn governs(&self, vpn: Vpn) -> bool {
+        self.attached.iter().any(|r| r.contains(vpn))
+    }
+
+    /// The attached ranges.
+    pub fn ranges(&self) -> &[PageRange] {
+        &self.attached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attach_and_governs() {
+        let mut pm = PagingDirected::new();
+        pm.attach(PageRange::new(Vpn(10), 5));
+        assert!(pm.governs(Vpn(12)));
+        assert!(!pm.governs(Vpn(20)));
+        assert_eq!(pm.ranges().len(), 1);
+    }
+
+    #[test]
+    fn attach_clears_bits() {
+        let mut pm = PagingDirected::new();
+        pm.attach(PageRange::new(Vpn(0), 8));
+        assert!(!pm.shared.is_resident(Vpn(0)));
+    }
+}

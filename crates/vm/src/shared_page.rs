@@ -1,0 +1,269 @@
+//! The PagingDirected shared page.
+//!
+//! When a process creates the PagingDirected policy module, the OS maps a
+//! single read-only 16 KB page into its address space. The page holds:
+//!
+//! * word 0 — the process's **current usage** (resident pages);
+//! * word 1 — the **upper limit** on pages it should use (Eq. 1);
+//! * the rest — a **residency bitmap** indexed by virtual page number over
+//!   the attached ranges (bit set ⇔ page in memory).
+//!
+//! Per the paper, the two words are updated **only when the process has
+//! memory-system activity** (a prefetch/release request, a page fault, or a
+//! page stolen from it) — not every time global conditions change. The
+//! bitmap, by contrast, is maintained eagerly by the OS on every allocation
+//! and reclamation.
+
+use crate::addr::{PageRange, Vpn};
+
+/// A simple growable bitmap.
+#[derive(Clone, Debug, Default)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates a bitmap of `len` zero bits.
+    pub fn new(len: usize) -> Self {
+        BitVec {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Sets every bit.
+    pub fn set_all(&mut self) {
+        for w in &mut self.words {
+            *w = u64::MAX;
+        }
+        // Clear the tail beyond len for a clean popcount.
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// The shared page: usage/limit words plus per-range residency bitmaps.
+#[derive(Clone, Debug, Default)]
+pub struct SharedPage {
+    /// Word 0: pages currently in use (lazily updated).
+    pub usage_word: u64,
+    /// Word 1: upper limit on pages to use (lazily updated, Eq. 1).
+    pub limit_word: u64,
+    ranges: Vec<(PageRange, BitVec)>,
+}
+
+impl SharedPage {
+    /// Creates a shared page with no attached ranges.
+    ///
+    /// Per the paper, all bits are conceptually set when the PM is created;
+    /// attaching a range clears the bits for those addresses. We materialize
+    /// bitmaps per attached range directly in the cleared state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches the PM to a range of the address space (bits cleared).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overlaps an already-attached range.
+    pub fn attach(&mut self, range: PageRange) {
+        for (existing, _) in &self.ranges {
+            let disjoint = range.end().0 <= existing.start.0 || existing.end().0 <= range.start.0;
+            assert!(
+                disjoint,
+                "overlapping PM attachment: {range:?} vs {existing:?}"
+            );
+        }
+        let bits = BitVec::new(range.len as usize);
+        self.ranges.push((range, bits));
+    }
+
+    /// Whether `vpn` is covered by any attached range.
+    pub fn covers(&self, vpn: Vpn) -> bool {
+        self.ranges.iter().any(|(r, _)| r.contains(vpn))
+    }
+
+    /// Reads the residency bit for `vpn`. Pages outside attached ranges read
+    /// as set (the paper initializes non-attached bits to 1).
+    pub fn is_resident(&self, vpn: Vpn) -> bool {
+        for (r, bits) in &self.ranges {
+            if r.contains(vpn) {
+                return bits.get(r.offset_of(vpn) as usize);
+            }
+        }
+        true
+    }
+
+    /// Updates the residency bit for `vpn` (no-op outside attached ranges).
+    pub fn set_resident(&mut self, vpn: Vpn, resident: bool) {
+        for (r, bits) in &mut self.ranges {
+            if r.contains(vpn) {
+                bits.set(r.offset_of(vpn) as usize, resident);
+                return;
+            }
+        }
+    }
+
+    /// Refreshes the usage/limit words (called by the OS on memory-system
+    /// activity of the owning process).
+    pub fn refresh(&mut self, usage: u64, limit: u64) {
+        self.usage_word = usage;
+        self.limit_word = limit;
+    }
+
+    /// Total resident bits across attached ranges (for diagnostics).
+    pub fn resident_count(&self) -> usize {
+        self.ranges.iter().map(|(_, b)| b.count_ones()).sum()
+    }
+}
+
+/// Computes the Eq. 1 upper limit:
+///
+/// `upper_limit = min(maxrss, current_size + tot_freemem - min_freemem)`
+///
+/// Saturates at zero if free memory is below `min_freemem`.
+pub fn upper_limit(maxrss: u64, current_size: u64, tot_freemem: u64, min_freemem: u64) -> u64 {
+    let competed = current_size + tot_freemem.saturating_sub(min_freemem);
+    maxrss.min(competed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitvec_set_get() {
+        let mut b = BitVec::new(130);
+        assert!(!b.get(0));
+        b.set(0, true);
+        b.set(64, true);
+        b.set(129, true);
+        assert!(b.get(0));
+        assert!(b.get(64));
+        assert!(b.get(129));
+        assert_eq!(b.count_ones(), 3);
+        b.set(64, false);
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn bitvec_set_all_respects_len() {
+        let mut b = BitVec::new(70);
+        b.set_all();
+        assert_eq!(b.count_ones(), 70);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bitvec_out_of_range_panics() {
+        BitVec::new(8).get(8);
+    }
+
+    #[test]
+    fn shared_page_attach_and_bits() {
+        let mut sp = SharedPage::new();
+        sp.attach(PageRange::new(Vpn(100), 10));
+        // Attached bits start cleared.
+        assert!(!sp.is_resident(Vpn(100)));
+        // Unattached addresses read as set.
+        assert!(sp.is_resident(Vpn(0)));
+        sp.set_resident(Vpn(105), true);
+        assert!(sp.is_resident(Vpn(105)));
+        assert_eq!(sp.resident_count(), 1);
+        sp.set_resident(Vpn(105), false);
+        assert!(!sp.is_resident(Vpn(105)));
+    }
+
+    #[test]
+    fn set_resident_outside_ranges_is_noop() {
+        let mut sp = SharedPage::new();
+        sp.attach(PageRange::new(Vpn(0), 4));
+        sp.set_resident(Vpn(50), true);
+        assert_eq!(sp.resident_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlapping_attach_panics() {
+        let mut sp = SharedPage::new();
+        sp.attach(PageRange::new(Vpn(0), 10));
+        sp.attach(PageRange::new(Vpn(5), 10));
+    }
+
+    #[test]
+    fn multiple_disjoint_ranges() {
+        let mut sp = SharedPage::new();
+        sp.attach(PageRange::new(Vpn(0), 4));
+        sp.attach(PageRange::new(Vpn(100), 4));
+        sp.set_resident(Vpn(2), true);
+        sp.set_resident(Vpn(101), true);
+        assert!(sp.covers(Vpn(2)));
+        assert!(sp.covers(Vpn(101)));
+        assert!(!sp.covers(Vpn(50)));
+        assert_eq!(sp.resident_count(), 2);
+    }
+
+    #[test]
+    fn eq1_upper_limit() {
+        // Ample memory: limited by maxrss.
+        assert_eq!(upper_limit(1000, 200, 5000, 100), 1000);
+        // Limited memory: current + free - min_freemem.
+        assert_eq!(upper_limit(10_000, 200, 500, 100), 600);
+        // Free below min_freemem saturates the free contribution.
+        assert_eq!(upper_limit(10_000, 200, 50, 100), 200);
+    }
+
+    #[test]
+    fn refresh_updates_words() {
+        let mut sp = SharedPage::new();
+        sp.refresh(42, 99);
+        assert_eq!(sp.usage_word, 42);
+        assert_eq!(sp.limit_word, 99);
+    }
+}

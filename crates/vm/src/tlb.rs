@@ -1,0 +1,121 @@
+//! A small TLB model.
+//!
+//! The R10000 has a 64-entry software-managed TLB. We model it as a FIFO set
+//! of virtual page numbers; a miss costs a software refill. The
+//! PagingDirected PM deliberately does **not** insert entries for prefetched
+//! pages ("prevents mappings for prefetched pages from displacing TLB
+//! entries which are still in use"), so prefetch completions leave the TLB
+//! untouched — only the first real reference installs an entry.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::addr::Vpn;
+
+/// A FIFO TLB of fixed capacity.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    capacity: usize,
+    fifo: VecDeque<Vpn>,
+    set: HashSet<Vpn>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB of `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB needs at least one entry");
+        Tlb {
+            capacity,
+            fifo: VecDeque::with_capacity(capacity),
+            set: HashSet::with_capacity(capacity * 2),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// References `vpn`: returns `true` on hit; on miss, installs the entry
+    /// (evicting FIFO) and returns `false`.
+    pub fn touch(&mut self, vpn: Vpn) -> bool {
+        if self.set.contains(&vpn) {
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.fifo.len() == self.capacity {
+            if let Some(old) = self.fifo.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        self.fifo.push_back(vpn);
+        self.set.insert(vpn);
+        false
+    }
+
+    /// Drops the entry for `vpn` if present (page invalidated or unmapped).
+    pub fn invalidate(&mut self, vpn: Vpn) {
+        if self.set.remove(&vpn) {
+            self.fifo.retain(|&v| v != vpn);
+        }
+    }
+
+    /// Total hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses observed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_install() {
+        let mut tlb = Tlb::new(4);
+        assert!(!tlb.touch(Vpn(1)), "first touch misses");
+        assert!(tlb.touch(Vpn(1)), "second touch hits");
+        assert_eq!(tlb.hits(), 1);
+        assert_eq!(tlb.misses(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut tlb = Tlb::new(2);
+        tlb.touch(Vpn(1));
+        tlb.touch(Vpn(2));
+        tlb.touch(Vpn(3)); // evicts 1
+        assert!(!tlb.touch(Vpn(1)), "1 was evicted");
+        assert!(tlb.touch(Vpn(3)));
+    }
+
+    #[test]
+    fn invalidate_removes_entry() {
+        let mut tlb = Tlb::new(4);
+        tlb.touch(Vpn(7));
+        tlb.invalidate(Vpn(7));
+        assert!(!tlb.touch(Vpn(7)));
+    }
+
+    #[test]
+    fn invalidate_absent_is_noop() {
+        let mut tlb = Tlb::new(2);
+        tlb.touch(Vpn(1));
+        tlb.invalidate(Vpn(99));
+        assert!(tlb.touch(Vpn(1)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        Tlb::new(0);
+    }
+}

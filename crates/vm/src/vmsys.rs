@@ -1,0 +1,1351 @@
+//! The VM system facade.
+//!
+//! [`VmSys`] owns the frame table, the global free list, the swap device,
+//! all process address spaces, and the two kernel daemons. Its API is the
+//! OS boundary the rest of the reproduction talks to:
+//!
+//! * [`VmSys::touch`] — a memory reference: TLB, soft/hard fault paths,
+//!   rescue from the free list, zero-fill.
+//! * [`VmSys::prefetch`] / [`VmSys::release`] — the PagingDirected PM
+//!   operations.
+//! * [`VmSys::service_pagingd`] / [`VmSys::service_releaser`] — daemon
+//!   activations driven by the simulation engine.
+//!
+//! Every operation returns explicit timing; nothing inside the crate knows
+//! about the event queue.
+
+use std::collections::{HashMap, VecDeque};
+
+use disk::{IoKind, SwapConfig, SwapDevice, SwapSlot};
+use sim_core::trace::TraceRing;
+use sim_core::{SimDuration, SimTime};
+
+use crate::addr::{PageRange, Pfn, Pid, Vpn};
+use crate::frame::{FrameTable, FreeSource};
+use crate::freelist::FreeList;
+use crate::lock::TimelineLock;
+use crate::outcome::{PrefetchOutcome, ReleaseEnqueue, TouchKind, TouchResult};
+use crate::pagetable::{InvalidReason, PageTable};
+use crate::pagingd::PagingDaemon;
+use crate::params::{CostParams, Tunables};
+use crate::policy::PagingDirected;
+use crate::releaser::Releaser;
+use crate::shared_page::upper_limit;
+use crate::stats::VmStats;
+use crate::tlb::Tlb;
+
+/// What backs a region's pages before they are first touched.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Backing {
+    /// Out-of-core data: the region's content already lives in swap, so the
+    /// first touch of every page is a demand page-in.
+    SwapPrefilled,
+    /// Ordinary anonymous memory: the first touch is a zero-fill minor
+    /// fault; swap slots are assigned on first eviction.
+    ZeroFill,
+}
+
+/// A mapped region of a process's address space.
+#[derive(Clone, Debug)]
+pub(crate) struct Region {
+    pub range: PageRange,
+    pub backing: Backing,
+    /// For `SwapPrefilled`: slot of the region's first page.
+    pub base_slot: Option<SwapSlot>,
+}
+
+/// One process's memory-management state.
+pub(crate) struct ProcessMem {
+    pub pt: PageTable,
+    pub regions: Vec<Region>,
+    pub tlb: Tlb,
+    pub lock: TimelineLock,
+    pub pm: Option<PagingDirected>,
+    next_vpn: u64,
+}
+
+/// A snapshot of the shared page's usage/limit words as the application
+/// reads them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SharedView {
+    /// Word 0: resident pages at the last refresh.
+    pub usage: u64,
+    /// Word 1: Eq. 1 upper limit at the last refresh.
+    pub limit: u64,
+}
+
+/// The VM system (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use vm::{Backing, VmSys, TouchKind};
+/// use sim_core::SimTime;
+///
+/// let mut vm = VmSys::with_defaults(256);
+/// let pid = vm.add_process(true); // with the PagingDirected PM
+/// let region = vm.map_region(pid, 16, Backing::SwapPrefilled, true);
+///
+/// // First touch demand-faults from swap; the second hits.
+/// let first = vm.touch(SimTime::ZERO, pid, region.start, false);
+/// assert_eq!(first.kind, TouchKind::HardFault);
+/// let second = vm.touch(first.done_at, pid, region.start, false);
+/// assert_eq!(second.kind, TouchKind::Hit);
+///
+/// // Release it back: the bitmap bit clears at request time and the
+/// // releaser daemon frees it.
+/// vm.release(second.done_at, pid, &[region.start]);
+/// assert!(!vm.pm_resident(pid, region.start));
+/// vm.service_releaser(second.done_at);
+/// assert_eq!(vm.rss(pid), 0);
+/// ```
+pub struct VmSys {
+    pub(crate) params: CostParams,
+    pub(crate) tun: Tunables,
+    pub(crate) swap: SwapDevice,
+    pub(crate) frames: FrameTable,
+    pub(crate) free: FreeList,
+    pub(crate) procs: Vec<ProcessMem>,
+    pub(crate) pagingd: PagingDaemon,
+    pub(crate) releaser: Releaser,
+    pub(crate) stats: VmStats,
+    /// Reactive-mode eviction candidates per process (VINO-style: the
+    /// application tells the OS which of its pages to take when the OS
+    /// decides to reclaim from it).
+    pub(crate) reactive: HashMap<Pid, VecDeque<Vpn>>,
+    /// Free-memory level at the last threshold-notification broadcast.
+    last_broadcast_free: u64,
+    /// Optional diagnostic trace of kernel activity.
+    pub(crate) trace: TraceRing,
+    next_swap_slot: u64,
+}
+
+impl VmSys {
+    /// Creates a machine with `total_frames` user-available frames.
+    pub fn new(
+        total_frames: usize,
+        tun: Tunables,
+        params: CostParams,
+        swap_config: SwapConfig,
+    ) -> Self {
+        let frames = FrameTable::new(total_frames);
+        let mut free = FreeList::new();
+        free.fill_initial(&frames);
+        VmSys {
+            params,
+            tun,
+            swap: SwapDevice::new(swap_config),
+            frames,
+            free,
+            procs: Vec::new(),
+            pagingd: PagingDaemon::new(),
+            releaser: Releaser::new(),
+            stats: VmStats::default(),
+            reactive: HashMap::new(),
+            last_broadcast_free: total_frames as u64,
+            trace: TraceRing::new(4096),
+            next_swap_slot: 0,
+        }
+    }
+
+    /// Convenience constructor with default tunables and costs.
+    pub fn with_defaults(total_frames: usize) -> Self {
+        VmSys::new(
+            total_frames,
+            Tunables::for_memory(total_frames as u64),
+            CostParams::default(),
+            SwapConfig::paper(),
+        )
+    }
+
+    /// Creates a process; `with_pm` attaches the PagingDirected PM.
+    pub fn add_process(&mut self, with_pm: bool) -> Pid {
+        let pid = Pid(self.procs.len() as u32);
+        self.procs.push(ProcessMem {
+            pt: PageTable::new(),
+            regions: Vec::new(),
+            tlb: Tlb::new(64),
+            lock: TimelineLock::new(),
+            pm: with_pm.then(PagingDirected::new),
+            next_vpn: 0x1000, // arbitrary nonzero base
+        });
+        self.stats.proc_mut(pid.0 as usize);
+        pid
+    }
+
+    /// Maps a region of `npages` pages; if the process has the
+    /// PagingDirected PM and `attach_pm` is set, the PM governs the region.
+    pub fn map_region(
+        &mut self,
+        pid: Pid,
+        npages: u64,
+        backing: Backing,
+        attach_pm: bool,
+    ) -> PageRange {
+        let base_slot = match backing {
+            Backing::SwapPrefilled => {
+                let slot = SwapSlot(self.next_swap_slot);
+                self.next_swap_slot += npages;
+                Some(slot)
+            }
+            Backing::ZeroFill => None,
+        };
+        let p = &mut self.procs[pid.0 as usize];
+        let range = PageRange::new(Vpn(p.next_vpn), npages);
+        p.next_vpn += npages + 16; // guard gap between regions
+        p.regions.push(Region {
+            range,
+            backing,
+            base_slot,
+        });
+        if attach_pm {
+            if let Some(pm) = p.pm.as_mut() {
+                pm.attach(range);
+            }
+        }
+        range
+    }
+
+    /// Number of frames currently free.
+    pub fn free_pages(&self) -> u64 {
+        self.free.live() as u64
+    }
+
+    /// Total frames in the machine.
+    pub fn total_frames(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    /// Resident set size of a process, in pages.
+    pub fn rss(&self, pid: Pid) -> u64 {
+        self.procs[pid.0 as usize].pt.resident_pages()
+    }
+
+    /// Read-only statistics.
+    pub fn stats(&self) -> &VmStats {
+        &self.stats
+    }
+
+    /// Read-only swap-device view.
+    pub fn swap(&self) -> &SwapDevice {
+        &self.swap
+    }
+
+    /// The tunables in force.
+    pub fn tunables(&self) -> &Tunables {
+        &self.tun
+    }
+
+    /// The cost parameters in force.
+    pub fn cost_params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Address-space lock statistics for one process.
+    pub fn lock_stats(&self, pid: Pid) -> crate::lock::LockStats {
+        *self.procs[pid.0 as usize].lock.stats()
+    }
+
+    // ------------------------------------------------------------------
+    // Shared-page access (what the run-time layer reads).
+    // ------------------------------------------------------------------
+
+    /// Reads the usage/limit words of a process's shared page.
+    ///
+    /// Lazy semantics (the paper's): the words are whatever the last
+    /// memory-system activity left there. With the
+    /// `immediate_limit_updates` ablation they are recomputed on every read.
+    pub fn shared_view(&self, pid: Pid) -> Option<SharedView> {
+        let p = &self.procs[pid.0 as usize];
+        let pm = p.pm.as_ref()?;
+        if self.tun.immediate_limit_updates {
+            let usage = p.pt.resident_pages();
+            let limit = upper_limit(
+                self.tun.maxrss,
+                usage,
+                self.free.live() as u64,
+                self.tun.min_freemem,
+            );
+            Some(SharedView { usage, limit })
+        } else {
+            Some(SharedView {
+                usage: pm.shared.usage_word,
+                limit: pm.shared.limit_word,
+            })
+        }
+    }
+
+    /// Reads one residency bit from the shared page (bitmap reads are
+    /// always current; the OS maintains them eagerly).
+    pub fn pm_resident(&self, pid: Pid, vpn: Vpn) -> bool {
+        match &self.procs[pid.0 as usize].pm {
+            Some(pm) => pm.shared.is_resident(vpn),
+            None => false,
+        }
+    }
+
+    /// Refreshes the shared page's usage/limit words (the OS does this on
+    /// every memory-system activity of the owning process).
+    pub(crate) fn refresh_shared(&mut self, pid: Pid) {
+        let free = self.free.live() as u64;
+        let p = &mut self.procs[pid.0 as usize];
+        if let Some(pm) = p.pm.as_mut() {
+            let usage = p.pt.resident_pages();
+            let limit = upper_limit(self.tun.maxrss, usage, free, self.tun.min_freemem);
+            pm.shared.refresh(usage, limit);
+        }
+        self.maybe_broadcast(free);
+    }
+
+    /// §3.1.1 threshold notification: if free memory moved beyond the
+    /// configured threshold since the last broadcast, refresh every PM
+    /// process's shared words (the alternative the paper chose not to
+    /// build; provided for the ablation study).
+    fn maybe_broadcast(&mut self, free: u64) {
+        let Some(threshold) = self.tun.shared_update_threshold else {
+            return;
+        };
+        if free.abs_diff(self.last_broadcast_free) <= threshold {
+            return;
+        }
+        self.last_broadcast_free = free;
+        for p in &mut self.procs {
+            if let Some(pm) = p.pm.as_mut() {
+                let usage = p.pt.resident_pages();
+                let limit = upper_limit(self.tun.maxrss, usage, free, self.tun.min_freemem);
+                pm.shared.refresh(usage, limit);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Touch (the memory-reference entry point).
+    // ------------------------------------------------------------------
+
+    /// References `(pid, vpn)` at `now`. Returns the timed outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is not inside any mapped region, or if the
+    /// machine is irrecoverably out of memory.
+    pub fn touch(&mut self, now: SimTime, pid: Pid, vpn: Vpn, write: bool) -> TouchResult {
+        let pidx = pid.0 as usize;
+        let pte = self.procs[pidx].pt.get(vpn);
+
+        if pte.resident() {
+            return self.touch_resident(now, pid, vpn, write);
+        }
+
+        // Not resident: rescue, zero-fill, or hard fault.
+        if self.tun.rescue_enabled {
+            if let Some(result) = self.try_rescue(now, pid, vpn, write) {
+                return result;
+            }
+        }
+
+        let region = self
+            .region_of(pid, vpn)
+            .unwrap_or_else(|| panic!("{pid} touched unmapped address {vpn}"));
+        let needs_io = match region.backing {
+            Backing::SwapPrefilled => true,
+            // Zero-fill pages need I/O only once they've been written back.
+            Backing::ZeroFill => pte.materialized && pte.swap_slot.is_some(),
+        };
+        if needs_io {
+            self.hard_fault(now, pid, vpn, write)
+        } else {
+            self.zero_fill(now, pid, vpn, write)
+        }
+    }
+
+    fn touch_resident(&mut self, now: SimTime, pid: Pid, vpn: Vpn, write: bool) -> TouchResult {
+        let pidx = pid.0 as usize;
+        let params = self.params;
+
+        // Split-borrow dance: everything we need hangs off procs[pidx].
+        let (valid, reason, arrives_at) = {
+            let e = self.procs[pidx].pt.entry(vpn);
+            e.last_ref = now;
+            e.clock_sampled = false;
+            e.hw_referenced = true;
+            if write {
+                e.dirty = true;
+            }
+            (e.valid, e.invalid_reason, e.arrives_at)
+        };
+
+        if valid {
+            let tlb_hit = self.procs[pidx].tlb.touch(vpn);
+            if tlb_hit {
+                return TouchResult::hit(now);
+            }
+            self.stats.proc_mut(pidx).tlb_misses.bump();
+            return TouchResult {
+                kind: TouchKind::TlbMiss,
+                system: params.tlb_refill,
+                resource_wait: SimDuration::ZERO,
+                io_wait: SimDuration::ZERO,
+                done_at: now + params.tlb_refill,
+            };
+        }
+
+        // Resident but invalid: one of the three software-sampling states.
+        match reason {
+            Some(InvalidReason::Prefetched) => {
+                // Wait for the in-flight prefetch, then validate.
+                let io_wait = arrives_at.since(now);
+                let t_arrived = now + io_wait;
+                let system = params.prefetch_validate + params.tlb_refill;
+                self.validate_pte(pidx, vpn, now);
+                self.procs[pidx].tlb.touch(vpn);
+                self.stats.proc_mut(pidx).prefetch_validates.bump();
+                TouchResult {
+                    kind: TouchKind::PrefetchValidate,
+                    system,
+                    resource_wait: SimDuration::ZERO,
+                    io_wait,
+                    done_at: t_arrived + system,
+                }
+            }
+            Some(InvalidReason::DaemonSample) => {
+                let acq = self.procs[pidx].lock.acquire(now, params.soft_fault_lock);
+                let system = params.soft_fault;
+                self.validate_pte(pidx, vpn, now);
+                self.procs[pidx].tlb.touch(vpn);
+                self.stats.proc_mut(pidx).soft_faults_daemon.bump();
+                self.refresh_shared(pid);
+                TouchResult {
+                    kind: TouchKind::SoftFaultDaemon,
+                    system,
+                    resource_wait: acq.wait,
+                    io_wait: SimDuration::ZERO,
+                    done_at: acq.start + system,
+                }
+            }
+            Some(InvalidReason::ReleasePending) => {
+                // The touch cancels the pending release (the releaser's
+                // bit-vector check will see the re-reference).
+                let acq = self.procs[pidx].lock.acquire(now, params.soft_fault_lock);
+                let system = params.soft_fault;
+                {
+                    let e = self.procs[pidx].pt.entry(vpn);
+                    e.release_requested = None;
+                }
+                self.validate_pte(pidx, vpn, now);
+                self.procs[pidx].tlb.touch(vpn);
+                if let Some(pm) = self.procs[pidx].pm.as_mut() {
+                    pm.shared.set_resident(vpn, true);
+                }
+                self.stats.proc_mut(pidx).soft_faults_release.bump();
+                self.refresh_shared(pid);
+                TouchResult {
+                    kind: TouchKind::SoftFaultRelease,
+                    system,
+                    resource_wait: acq.wait,
+                    io_wait: SimDuration::ZERO,
+                    done_at: acq.start + system,
+                }
+            }
+            None => {
+                // Resident, invalid, no recorded reason: treat as a daemon
+                // sample for robustness (should not happen).
+                debug_assert!(false, "resident invalid PTE with no reason");
+                self.validate_pte(pidx, vpn, now);
+                TouchResult::hit(now)
+            }
+        }
+    }
+
+    fn validate_pte(&mut self, pidx: usize, vpn: Vpn, now: SimTime) {
+        let e = self.procs[pidx].pt.entry(vpn);
+        e.valid = true;
+        e.invalid_reason = None;
+        e.clock_sampled = false;
+        e.hw_referenced = true;
+        e.last_ref = now;
+    }
+
+    fn try_rescue(&mut self, now: SimTime, pid: Pid, vpn: Vpn, write: bool) -> Option<TouchResult> {
+        let pidx = pid.0 as usize;
+        let pfn = self.free.rescue(&mut self.frames, pid, vpn)?;
+        let params = self.params;
+        let source = self.frames.get(pfn).source;
+        let acq = self.procs[pidx].lock.acquire(now, params.rescue_lock);
+        let system = params.rescue_fault;
+
+        let frame_dirty = self.frames.get(pfn).dirty;
+        {
+            let frames = self.frames.get_mut(pfn);
+            frames.owner = Some((pid, vpn));
+        }
+        self.procs[pidx].pt.map(vpn, pfn);
+        {
+            let e = self.procs[pidx].pt.entry(vpn);
+            e.valid = true;
+            e.invalid_reason = None;
+            e.dirty = frame_dirty || write;
+            e.last_ref = now;
+            e.clock_sampled = false;
+            e.hw_referenced = true;
+            e.release_requested = None;
+            e.materialized = true;
+        }
+        self.procs[pidx].tlb.touch(vpn);
+        if let Some(pm) = self.procs[pidx].pm.as_mut() {
+            pm.shared.set_resident(vpn, true);
+        }
+        let stats = self.stats.proc_mut(pidx);
+        stats.rescues.bump();
+        match source {
+            FreeSource::Daemon => self.stats.freed.rescued_daemon.bump(),
+            FreeSource::Release => self.stats.freed.rescued_release.bump(),
+            _ => {}
+        }
+        self.update_peak_rss(pidx);
+        self.refresh_shared(pid);
+        Some(TouchResult {
+            kind: TouchKind::Rescue(source),
+            system,
+            resource_wait: acq.wait,
+            io_wait: SimDuration::ZERO,
+            done_at: acq.start + system,
+        })
+    }
+
+    fn zero_fill(&mut self, now: SimTime, pid: Pid, vpn: Vpn, write: bool) -> TouchResult {
+        let pidx = pid.0 as usize;
+        let params = self.params;
+        let (pfn, mem_wait, t_alloc) = self.alloc_frame_forcing(now, pid);
+        let acq = self.procs[pidx]
+            .lock
+            .acquire(t_alloc, params.soft_fault_lock);
+        let system = params.zero_fill_fault;
+        self.install_page(pidx, pid, vpn, pfn, now, write);
+        self.stats.proc_mut(pidx).zero_fills.bump();
+        self.refresh_shared(pid);
+        TouchResult {
+            kind: TouchKind::ZeroFill,
+            system,
+            resource_wait: mem_wait + acq.wait,
+            io_wait: SimDuration::ZERO,
+            done_at: acq.start + system,
+        }
+    }
+
+    fn hard_fault(&mut self, now: SimTime, pid: Pid, vpn: Vpn, write: bool) -> TouchResult {
+        let pidx = pid.0 as usize;
+        let params = self.params;
+        let slot = self.slot_for(pid, vpn);
+
+        let (pfn, mem_wait, t_alloc) = self.alloc_frame_forcing(now, pid);
+        let acq = self.procs[pidx]
+            .lock
+            .acquire(t_alloc, params.hard_fault_lock);
+        let t_setup_done = acq.start + params.hard_fault_setup;
+        // The read cannot start before any writeback of the frame's prior
+        // content has finished.
+        let clean_at = self.frames.get(pfn).clean_at;
+        let io_start = if clean_at > t_setup_done {
+            clean_at
+        } else {
+            t_setup_done
+        };
+        let io_done = self.swap.submit(io_start, slot, IoKind::Read);
+        let done_at = io_done + params.hard_fault_finish;
+
+        self.install_page(pidx, pid, vpn, pfn, now, write);
+        {
+            let e = self.procs[pidx].pt.entry(vpn);
+            e.swap_slot = Some(slot);
+        }
+        self.stats.proc_mut(pidx).hard_faults.bump();
+        self.refresh_shared(pid);
+        TouchResult {
+            kind: TouchKind::HardFault,
+            system: params.hard_fault_setup + params.hard_fault_finish,
+            resource_wait: mem_wait + acq.wait,
+            io_wait: io_done.since(t_setup_done),
+            done_at,
+        }
+    }
+
+    /// Maps `pfn` at `vpn` valid and referenced; common install path.
+    fn install_page(
+        &mut self,
+        pidx: usize,
+        pid: Pid,
+        vpn: Vpn,
+        pfn: Pfn,
+        now: SimTime,
+        write: bool,
+    ) {
+        {
+            let f = self.frames.get_mut(pfn);
+            f.owner = Some((pid, vpn));
+            f.dirty = false;
+        }
+        self.procs[pidx].pt.map(vpn, pfn);
+        {
+            let e = self.procs[pidx].pt.entry(vpn);
+            e.valid = true;
+            e.invalid_reason = None;
+            e.dirty = write;
+            e.last_ref = now;
+            e.clock_sampled = false;
+            e.hw_referenced = true;
+            e.release_requested = None;
+            e.materialized = true;
+        }
+        self.procs[pidx].tlb.touch(vpn);
+        if let Some(pm) = self.procs[pidx].pm.as_mut() {
+            pm.shared.set_resident(vpn, true);
+        }
+        self.stats.proc_mut(pidx).allocations.bump();
+        self.update_peak_rss(pidx);
+    }
+
+    fn update_peak_rss(&mut self, pidx: usize) {
+        let rss = self.procs[pidx].pt.resident_pages();
+        let s = self.stats.proc_mut(pidx);
+        if rss > s.peak_rss {
+            s.peak_rss = rss;
+        }
+    }
+
+    /// The swap slot backing `(pid, vpn)`, assigning one if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is not in a mapped region.
+    pub(crate) fn slot_for(&mut self, pid: Pid, vpn: Vpn) -> SwapSlot {
+        let pidx = pid.0 as usize;
+        if let Some(slot) = self.procs[pidx].pt.get(vpn).swap_slot {
+            return slot;
+        }
+        let region = self
+            .region_of(pid, vpn)
+            .unwrap_or_else(|| panic!("{pid} has no region for {vpn}"));
+        let slot = match (region.backing, region.base_slot) {
+            (Backing::SwapPrefilled, Some(base)) => SwapSlot(base.0 + region.range.offset_of(vpn)),
+            _ => {
+                let s = SwapSlot(self.next_swap_slot);
+                self.next_swap_slot += 1;
+                s
+            }
+        };
+        self.procs[pidx].pt.entry(vpn).swap_slot = Some(slot);
+        slot
+    }
+
+    fn region_of(&self, pid: Pid, vpn: Vpn) -> Option<Region> {
+        self.procs[pid.0 as usize]
+            .regions
+            .iter()
+            .find(|r| r.range.contains(vpn))
+            .cloned()
+    }
+
+    /// Allocates a frame, forcing paging-daemon activations inline if the
+    /// free list is empty (the faulting process waits for the daemon).
+    ///
+    /// Returns `(frame, time stalled waiting for memory, allocation time)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if repeated daemon activations cannot produce a free frame.
+    fn alloc_frame_forcing(&mut self, now: SimTime, pid: Pid) -> (Pfn, SimDuration, SimTime) {
+        let mut t = now;
+        let mut waited = SimDuration::ZERO;
+        for attempt in 0..64 {
+            if let Some(pfn) = self.free.alloc(&mut self.frames) {
+                if (self.free.live() as u64) < self.tun.min_freemem {
+                    self.pagingd.request_wake();
+                }
+                return (pfn, waited, t);
+            }
+            // Out of frames: the faulting process sleeps while the paging
+            // daemon reclaims.
+            let end = self.pagingd_activation(t, true);
+            let _ = attempt;
+            if end > t {
+                waited += end.since(t);
+                t = end;
+            } else {
+                // The daemon found nothing steal-worthy this pass; let
+                // simulated time advance so sampled pages age.
+                let step = self.tun.daemon_period;
+                waited += step;
+                t += step;
+            }
+            let _ = pid;
+        }
+        panic!("out of physical memory: no frame reclaimable after 64 daemon passes");
+    }
+
+    // ------------------------------------------------------------------
+    // PagingDirected operations.
+    // ------------------------------------------------------------------
+
+    /// Handles a prefetch request for `(pid, vpn)` arriving at `now`.
+    ///
+    /// Returns the outcome and the CPU cost charged to the calling thread
+    /// (the run-time layer's prefetch pthread).
+    pub fn prefetch(&mut self, now: SimTime, pid: Pid, vpn: Vpn) -> (PrefetchOutcome, SimDuration) {
+        let pidx = pid.0 as usize;
+        let cost = self.params.pm_prefetch_call;
+        let pte = self.procs[pidx].pt.get(vpn);
+        let stats = self.stats.proc_mut(pidx);
+        stats.prefetch_requests.bump();
+
+        if pte.resident() {
+            self.stats.proc_mut(pidx).prefetch_redundant.bump();
+            return (PrefetchOutcome::AlreadyResident, cost);
+        }
+
+        // A free-list rescue satisfies the prefetch without I/O.
+        if self.tun.rescue_enabled {
+            if let Some(pfn) = self.free.rescue(&mut self.frames, pid, vpn) {
+                let source = self.frames.get(pfn).source;
+                self.frames.get_mut(pfn).owner = Some((pid, vpn));
+                self.install_prefetched(pidx, pid, vpn, pfn, now, now);
+                match source {
+                    FreeSource::Daemon => self.stats.freed.rescued_daemon.bump(),
+                    FreeSource::Release => self.stats.freed.rescued_release.bump(),
+                    _ => {}
+                }
+                self.stats.proc_mut(pidx).rescues.bump();
+                self.refresh_shared(pid);
+                return (PrefetchOutcome::Rescued, cost);
+            }
+        }
+
+        // "If there is no free memory, the request is discarded immediately":
+        // prefetches never trigger stealing.
+        if self.tun.prefetch_discard_when_low && (self.free.live() as u64) <= self.tun.min_freemem {
+            self.stats.proc_mut(pidx).prefetch_discarded.bump();
+            self.refresh_shared(pid);
+            return (PrefetchOutcome::Discarded, cost);
+        }
+        let Some(pfn) = self.free.alloc(&mut self.frames) else {
+            self.stats.proc_mut(pidx).prefetch_discarded.bump();
+            return (PrefetchOutcome::Discarded, cost);
+        };
+        if (self.free.live() as u64) < self.tun.min_freemem {
+            self.pagingd.request_wake();
+        }
+
+        let slot = self.slot_for(pid, vpn);
+        let clean_at = self.frames.get(pfn).clean_at;
+        let io_start = if clean_at > now { clean_at } else { now };
+        let arrives_at = self.swap.submit(io_start, slot, IoKind::Read);
+        self.frames.get_mut(pfn).owner = Some((pid, vpn));
+        self.install_prefetched(pidx, pid, vpn, pfn, now, arrives_at);
+        self.refresh_shared(pid);
+        (PrefetchOutcome::Started { arrives_at }, cost)
+    }
+
+    /// Installs a prefetched page: resident but *not validated* and *not in
+    /// the TLB* (the PM's two deliberate differences from a page fault).
+    fn install_prefetched(
+        &mut self,
+        pidx: usize,
+        pid: Pid,
+        vpn: Vpn,
+        pfn: Pfn,
+        now: SimTime,
+        arrives_at: SimTime,
+    ) {
+        {
+            let f = self.frames.get_mut(pfn);
+            f.owner = Some((pid, vpn));
+            f.dirty = false;
+        }
+        self.procs[pidx].pt.map(vpn, pfn);
+        {
+            let e = self.procs[pidx].pt.entry(vpn);
+            e.valid = false;
+            e.invalid_reason = Some(InvalidReason::Prefetched);
+            e.arrives_at = arrives_at;
+            e.dirty = false;
+            e.last_ref = now;
+            e.clock_sampled = false;
+            e.release_requested = None;
+            e.materialized = true;
+            if e.swap_slot.is_none() {
+                // Keep the slot assignment for the eventual writeback.
+                e.swap_slot = None;
+            }
+        }
+        if let Some(pm) = self.procs[pidx].pm.as_mut() {
+            pm.shared.set_resident(vpn, true);
+        }
+        self.stats.proc_mut(pidx).allocations.bump();
+        self.update_peak_rss(pidx);
+    }
+
+    /// Handles a release request for a batch of pages at `now`.
+    ///
+    /// The PM clears the shared-page bits, invalidates the PTEs (so a
+    /// re-reference is observable), and enqueues the pages for the releaser
+    /// daemon. Returns enqueue accounting; the caller charges
+    /// [`CostParams::pm_release_call`] per batch to the issuing thread.
+    pub fn release(&mut self, now: SimTime, pid: Pid, vpns: &[Vpn]) -> ReleaseEnqueue {
+        let pidx = pid.0 as usize;
+        let mut out = ReleaseEnqueue::default();
+        for &vpn in vpns {
+            let pte = self.procs[pidx].pt.get(vpn);
+            if !pte.resident() || pte.release_requested.is_some() {
+                out.skipped_nonresident += 1;
+                self.stats.releaser.skipped_nonresident.bump();
+                continue;
+            }
+            // Releasing an in-flight prefetch would race its I/O; skip.
+            if pte.invalid_reason == Some(InvalidReason::Prefetched) && pte.arrives_at > now {
+                out.skipped_nonresident += 1;
+                self.stats.releaser.skipped_nonresident.bump();
+                continue;
+            }
+            {
+                let e = self.procs[pidx].pt.entry(vpn);
+                e.valid = false;
+                e.invalid_reason = Some(InvalidReason::ReleasePending);
+                e.release_requested = Some(now);
+            }
+            self.procs[pidx].tlb.invalidate(vpn);
+            if let Some(pm) = self.procs[pidx].pm.as_mut() {
+                pm.shared.set_resident(vpn, false);
+            }
+            self.releaser.enqueue(pid, vpn, now);
+            self.stats.releaser.requests.bump();
+            out.accepted += 1;
+        }
+        self.refresh_shared(pid);
+        out
+    }
+
+    /// Frees one resident page (shared by the daemons).
+    ///
+    /// Initiates writeback if dirty; the frame lands at the free-list tail,
+    /// rescuable. Returns the writeback completion time, if any.
+    pub(crate) fn free_page(
+        &mut self,
+        t: SimTime,
+        pid: Pid,
+        vpn: Vpn,
+        source: FreeSource,
+    ) -> Option<SimTime> {
+        let pidx = pid.0 as usize;
+        let dirty = self.procs[pidx].pt.get(vpn).dirty;
+        let mut clean_at = None;
+        let slot_for_wb = if dirty {
+            Some(self.slot_for(pid, vpn))
+        } else {
+            None
+        };
+        let pfn = self.procs[pidx].pt.unmap(vpn);
+        self.procs[pidx].tlb.invalidate(vpn);
+        if let Some(pm) = self.procs[pidx].pm.as_mut() {
+            pm.shared.set_resident(vpn, false);
+        }
+        {
+            let f = self.frames.get_mut(pfn);
+            f.owner = Some((pid, vpn));
+            f.source = source;
+            if let Some(slot) = slot_for_wb {
+                let done = self.swap.submit(t, slot, IoKind::Write);
+                f.clean_at = done;
+                f.dirty = false;
+                clean_at = Some(done);
+            } else {
+                f.dirty = false;
+            }
+        }
+        // The page's swap copy is now current; mark the PTE clean.
+        self.procs[pidx].pt.entry(vpn).dirty = false;
+        let rescuable = self.tun.rescue_enabled
+            && (source != FreeSource::Release || self.tun.released_pages_rescuable);
+        self.free.push_freed(&mut self.frames, pfn, rescuable);
+        match source {
+            FreeSource::Daemon => {
+                self.stats.freed.freed_by_daemon.bump();
+                self.stats.proc_mut(pidx).pages_stolen.bump();
+            }
+            FreeSource::Release => {
+                self.stats.freed.freed_by_release.bump();
+                self.stats.proc_mut(pidx).pages_released.bump();
+            }
+            _ => {}
+        }
+        clean_at
+    }
+
+    // ------------------------------------------------------------------
+    // Daemon driving (engine-facing).
+    // ------------------------------------------------------------------
+
+    /// Whether the paging daemon has work (low free memory, an over-limit
+    /// process, or an explicit wake request).
+    pub fn pagingd_needed(&self) -> bool {
+        (self.free.live() as u64) < self.tun.min_freemem
+            || self.pagingd.wake_requested()
+            || self.over_limit_pid().is_some()
+    }
+
+    /// The process exceeding `maxrss`, if any (the daemon trims it first).
+    pub(crate) fn over_limit_pid(&self) -> Option<Pid> {
+        self.procs
+            .iter()
+            .enumerate()
+            .find(|(_, p)| p.pt.resident_pages() > self.tun.maxrss)
+            .map(|(i, _)| Pid(i as u32))
+    }
+
+    /// Runs one paging-daemon activation at `now`; returns the next wake
+    /// time if memory pressure persists.
+    pub fn service_pagingd(&mut self, now: SimTime) -> Option<SimTime> {
+        self.pagingd.clear_wake();
+        if !((self.free.live() as u64) < self.tun.min_freemem || self.over_limit_pid().is_some()) {
+            return None;
+        }
+        let end = self.pagingd_activation(now, false);
+        if self.pagingd_needed() {
+            let period = self.tun.daemon_period;
+            Some(end.max(now) + period)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the releaser has queued work.
+    pub fn releaser_pending(&self) -> bool {
+        !self.releaser.is_empty()
+    }
+
+    /// Enables/disables the kernel-activity trace ring.
+    pub fn set_trace_enabled(&mut self, enabled: bool) {
+        self.trace.set_enabled(enabled);
+    }
+
+    /// Read access to the kernel-activity trace ring.
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// Tears down a finished process: every resident page returns to the
+    /// free list (not rescuable — the address space is gone), pending
+    /// reactive candidates are dropped. RSS becomes zero.
+    pub fn exit_process(&mut self, now: SimTime, pid: Pid) {
+        let pidx = pid.0 as usize;
+        let vpns: Vec<Vpn> = self.procs[pidx]
+            .pt
+            .iter()
+            .filter(|(_, pte)| pte.resident())
+            .map(|(&vpn, _)| vpn)
+            .collect();
+        for vpn in vpns {
+            let pfn = self.procs[pidx].pt.unmap(vpn);
+            self.procs[pidx].tlb.invalidate(vpn);
+            if let Some(pm) = self.procs[pidx].pm.as_mut() {
+                pm.shared.set_resident(vpn, false);
+            }
+            {
+                let f = self.frames.get_mut(pfn);
+                f.owner = None;
+                f.dirty = false;
+                f.source = FreeSource::Unmap;
+            }
+            self.free.push_freed(&mut self.frames, pfn, false);
+        }
+        self.reactive.remove(&pid);
+        let _ = now;
+    }
+
+    /// Registers pages the application is willing to surrender when the OS
+    /// reclaims from it (the reactive alternative of §2.2: "the OS notifies
+    /// the application when one or more of its pages is about to be
+    /// reclaimed; the application can then implement its own replacement
+    /// policy by telling the system which pages to take").
+    pub fn offer_eviction_candidates(&mut self, pid: Pid, vpns: &[Vpn]) {
+        let q = self.reactive.entry(pid).or_default();
+        q.extend(vpns.iter().copied());
+    }
+
+    /// Depth of a process's reactive candidate queue (diagnostics).
+    pub fn reactive_candidates(&self, pid: Pid) -> usize {
+        self.reactive.get(&pid).map_or(0, VecDeque::len)
+    }
+
+    /// Whether `(pid, vpn)` is resident — inspection hook for invariant
+    /// tests.
+    pub fn page_resident_for_test(&self, pid: Pid, vpn: Vpn) -> bool {
+        self.procs[pid.0 as usize].pt.get(vpn).resident()
+    }
+
+    /// Whether `(pid, vpn)` has a release request pending — inspection hook
+    /// for invariant tests.
+    pub fn release_pending_for_test(&self, pid: Pid, vpn: Vpn) -> bool {
+        self.procs[pid.0 as usize]
+            .pt
+            .get(vpn)
+            .release_requested
+            .is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::TouchKind;
+
+    fn small_vm() -> VmSys {
+        let mut tun = Tunables::for_memory(64);
+        tun.min_freemem = 4;
+        tun.target_freemem = 8;
+        VmSys::new(64, tun, CostParams::default(), SwapConfig::test_array())
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn zero_fill_then_hit() {
+        let mut vm = small_vm();
+        let pid = vm.add_process(false);
+        let r = vm.map_region(pid, 8, Backing::ZeroFill, false);
+        let first = vm.touch(t(1), pid, r.start, false);
+        assert_eq!(first.kind, TouchKind::ZeroFill);
+        assert!(first.done_at > t(1));
+        let second = vm.touch(first.done_at, pid, r.start, false);
+        assert_eq!(second.kind, TouchKind::Hit);
+        assert_eq!(vm.rss(pid), 1);
+    }
+
+    #[test]
+    fn swap_prefilled_first_touch_is_hard_fault() {
+        let mut vm = small_vm();
+        let pid = vm.add_process(false);
+        let r = vm.map_region(pid, 8, Backing::SwapPrefilled, false);
+        let res = vm.touch(t(1), pid, r.start, false);
+        assert_eq!(res.kind, TouchKind::HardFault);
+        assert!(res.io_wait > SimDuration::ZERO);
+        assert_eq!(vm.stats().proc(pid.0 as usize).hard_faults.get(), 1);
+    }
+
+    #[test]
+    fn tlb_miss_costs_refill() {
+        // Big enough that 66 touches cause no memory pressure.
+        let mut vm = VmSys::new(
+            256,
+            Tunables::for_memory(256),
+            CostParams::default(),
+            SwapConfig::test_array(),
+        );
+        let pid = vm.add_process(false);
+        let r = vm.map_region(pid, 70, Backing::ZeroFill, false);
+        // Touch 66 distinct pages to overflow the 64-entry TLB, then
+        // re-touch the first: resident + valid but TLB-evicted.
+        let mut now = t(1);
+        for i in 0..66 {
+            now = vm.touch(now, pid, r.start.offset(i), false).done_at;
+        }
+        let res = vm.touch(now, pid, r.start, false);
+        assert_eq!(res.kind, TouchKind::TlbMiss);
+        assert_eq!(res.system, vm.cost_params().tlb_refill);
+    }
+
+    #[test]
+    fn prefetch_then_touch_validates() {
+        let mut vm = small_vm();
+        let pid = vm.add_process(true);
+        let r = vm.map_region(pid, 8, Backing::SwapPrefilled, true);
+        let (out, _) = vm.prefetch(t(1), pid, r.start);
+        let arrives = match out {
+            PrefetchOutcome::Started { arrives_at } => arrives_at,
+            other => panic!("expected Started, got {other:?}"),
+        };
+        assert!(vm.pm_resident(pid, r.start), "bitmap set at request time");
+        // Touch long after arrival: validation only, no I/O stall.
+        let res = vm.touch(arrives + SimDuration::from_secs(1), pid, r.start, false);
+        assert_eq!(res.kind, TouchKind::PrefetchValidate);
+        assert_eq!(res.io_wait, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn touch_before_prefetch_arrival_stalls() {
+        let mut vm = small_vm();
+        let pid = vm.add_process(true);
+        let r = vm.map_region(pid, 8, Backing::SwapPrefilled, true);
+        let (out, _) = vm.prefetch(t(1), pid, r.start);
+        let arrives = match out {
+            PrefetchOutcome::Started { arrives_at } => arrives_at,
+            other => panic!("unexpected {other:?}"),
+        };
+        let res = vm.touch(t(1), pid, r.start, false);
+        assert_eq!(res.kind, TouchKind::PrefetchValidate);
+        assert_eq!(res.io_wait, arrives.since(t(1)));
+    }
+
+    #[test]
+    fn prefetch_discarded_when_memory_low() {
+        let mut vm = small_vm();
+        let pid = vm.add_process(true);
+        let r = vm.map_region(pid, 64, Backing::SwapPrefilled, true);
+        // Consume frames until free <= min_freemem.
+        let mut now = t(1);
+        let mut i = 0;
+        while vm.free_pages() > vm.tunables().min_freemem {
+            now = vm.touch(now, pid, r.start.offset(i), false).done_at;
+            i += 1;
+        }
+        let (out, _) = vm.prefetch(now, pid, r.start.offset(i + 1));
+        assert_eq!(out, PrefetchOutcome::Discarded);
+        assert!(vm.stats().proc(pid.0 as usize).prefetch_discarded.get() >= 1);
+    }
+
+    #[test]
+    fn redundant_prefetch_detected() {
+        let mut vm = small_vm();
+        let pid = vm.add_process(true);
+        let r = vm.map_region(pid, 8, Backing::SwapPrefilled, true);
+        let done = vm.touch(t(1), pid, r.start, false).done_at;
+        let (out, _) = vm.prefetch(done, pid, r.start);
+        assert_eq!(out, PrefetchOutcome::AlreadyResident);
+    }
+
+    #[test]
+    fn release_invalidates_and_enqueues() {
+        let mut vm = small_vm();
+        let pid = vm.add_process(true);
+        let r = vm.map_region(pid, 8, Backing::SwapPrefilled, true);
+        let done = vm.touch(t(1), pid, r.start, false).done_at;
+        let enq = vm.release(done, pid, &[r.start]);
+        assert_eq!(enq.accepted, 1);
+        assert!(!vm.pm_resident(pid, r.start), "bit cleared at request time");
+        assert!(vm.releaser_pending());
+        // A touch before the releaser runs cancels the release.
+        let res = vm.touch(done + SimDuration::from_micros(10), pid, r.start, false);
+        assert_eq!(res.kind, TouchKind::SoftFaultRelease);
+        assert!(vm.pm_resident(pid, r.start), "bit restored by re-reference");
+    }
+
+    #[test]
+    fn release_of_nonresident_is_skipped() {
+        let mut vm = small_vm();
+        let pid = vm.add_process(true);
+        let r = vm.map_region(pid, 8, Backing::SwapPrefilled, true);
+        let enq = vm.release(t(1), pid, &[r.start]);
+        assert_eq!(enq.accepted, 0);
+        assert_eq!(enq.skipped_nonresident, 1);
+    }
+
+    #[test]
+    fn shared_view_is_lazy() {
+        let mut vm = small_vm();
+        let pid = vm.add_process(true);
+        let r = vm.map_region(pid, 8, Backing::SwapPrefilled, true);
+        // Before any activity the words are zero.
+        let v0 = vm.shared_view(pid).unwrap();
+        assert_eq!(v0.usage, 0);
+        let done = vm.touch(t(1), pid, r.start, false).done_at;
+        let v1 = vm.shared_view(pid).unwrap();
+        assert_eq!(v1.usage, 1);
+        assert!(v1.limit > 0);
+        let _ = done;
+    }
+
+    #[test]
+    fn eq1_limit_reflects_free_memory() {
+        let mut vm = small_vm();
+        let pid = vm.add_process(true);
+        let r = vm.map_region(pid, 8, Backing::SwapPrefilled, true);
+        vm.touch(t(1), pid, r.start, false);
+        let v = vm.shared_view(pid).unwrap();
+        // usage + free - min_freemem, capped by maxrss.
+        let expect = (1 + vm.free_pages() - vm.tunables().min_freemem).min(vm.tunables().maxrss);
+        assert_eq!(v.limit, expect);
+    }
+
+    #[test]
+    fn forced_reclaim_when_out_of_memory() {
+        let mut vm = small_vm();
+        let pid = vm.add_process(false);
+        let r = vm.map_region(pid, 200, Backing::SwapPrefilled, false);
+        // Touch more pages than exist: the daemon must reclaim inline.
+        let mut now = t(1);
+        for i in 0..100 {
+            let res = vm.touch(now, pid, r.start.offset(i), false);
+            now = res.done_at;
+        }
+        assert_eq!(vm.rss(pid) + vm.free_pages(), 64, "frames conserved");
+        assert!(vm.stats().pagingd.pages_stolen.get() > 0);
+        assert!(vm.stats().pagingd.activations.get() > 0);
+    }
+
+    #[test]
+    fn write_marks_dirty_and_evict_writes_back() {
+        let mut vm = small_vm();
+        let pid = vm.add_process(false);
+        let r = vm.map_region(pid, 200, Backing::ZeroFill, false);
+        let mut now = t(1);
+        for i in 0..100 {
+            let res = vm.touch(now, pid, r.start.offset(i), true);
+            now = res.done_at;
+        }
+        assert!(
+            vm.swap().stats().page_writes.get() > 0,
+            "dirty steals must write back"
+        );
+    }
+
+    #[test]
+    fn trace_ring_records_daemon_activity() {
+        let mut vm = small_vm();
+        vm.set_trace_enabled(true);
+        let pid = vm.add_process(true);
+        let r = vm.map_region(pid, 64, Backing::SwapPrefilled, true);
+        let mut now = t(1);
+        for i in 0..62 {
+            now = vm.touch(now, pid, r.start.offset(i), false).done_at;
+        }
+        assert!(vm.pagingd_needed(), "62 of 64 frames used");
+        vm.service_pagingd(now);
+        vm.release(now, pid, &[r.start, r.start.offset(1)]);
+        vm.service_releaser(now + SimDuration::from_millis(1));
+        let tags: Vec<&str> = vm.trace().records().map(|rec| rec.tag).collect();
+        assert!(tags.contains(&"vhand"), "tags: {tags:?}");
+        assert!(tags.contains(&"releaser"), "tags: {tags:?}");
+    }
+
+    #[test]
+    fn exit_process_returns_all_frames() {
+        let mut vm = small_vm();
+        let pid = vm.add_process(true);
+        let r = vm.map_region(pid, 32, Backing::SwapPrefilled, true);
+        let mut now = t(1);
+        for i in 0..20 {
+            now = vm.touch(now, pid, r.start.offset(i), true).done_at;
+        }
+        assert_eq!(vm.rss(pid), 20);
+        vm.exit_process(now, pid);
+        assert_eq!(vm.rss(pid), 0);
+        assert_eq!(vm.free_pages(), 64);
+        // Exited pages are not rescuable: a (hypothetical) re-touch would
+        // hard-fault, not rescue.
+        let res = vm.touch(now + SimDuration::from_millis(1), pid, r.start, false);
+        assert_eq!(res.kind, TouchKind::HardFault);
+    }
+
+    #[test]
+    fn release_of_inflight_prefetch_is_skipped() {
+        let mut vm = small_vm();
+        let pid = vm.add_process(true);
+        let r = vm.map_region(pid, 8, Backing::SwapPrefilled, true);
+        let (out, _) = vm.prefetch(t(1), pid, r.start);
+        assert!(matches!(out, PrefetchOutcome::Started { .. }));
+        // Release while the I/O is still in flight: refused.
+        let enq = vm.release(t(1), pid, &[r.start]);
+        assert_eq!(enq.accepted, 0);
+        assert_eq!(enq.skipped_nonresident, 1);
+    }
+
+    #[test]
+    fn double_release_of_same_page_is_idempotent() {
+        let mut vm = small_vm();
+        let pid = vm.add_process(true);
+        let r = vm.map_region(pid, 8, Backing::SwapPrefilled, true);
+        let done = vm.touch(t(1), pid, r.start, false).done_at;
+        let first = vm.release(done, pid, &[r.start]);
+        assert_eq!(first.accepted, 1);
+        let second = vm.release(done + SimDuration::from_micros(1), pid, &[r.start]);
+        assert_eq!(second.accepted, 0, "already pending");
+        vm.service_releaser(done + SimDuration::from_millis(1));
+        assert_eq!(vm.stats().releaser.pages_released.get(), 1);
+        assert_eq!(vm.rss(pid), 0);
+    }
+
+    #[test]
+    fn prefetch_rescues_from_free_list() {
+        let mut vm = small_vm();
+        let pid = vm.add_process(true);
+        let r = vm.map_region(pid, 8, Backing::SwapPrefilled, true);
+        let done = vm.touch(t(1), pid, r.start, false).done_at;
+        vm.release(done, pid, &[r.start]);
+        vm.service_releaser(done + SimDuration::from_micros(500));
+        assert_eq!(vm.rss(pid), 0);
+        // A later prefetch finds the frame still on the free list: no I/O.
+        let reads_before = vm.swap().stats().page_reads.get();
+        let (out, _) = vm.prefetch(t(100), pid, r.start);
+        assert_eq!(out, PrefetchOutcome::Rescued);
+        assert_eq!(vm.swap().stats().page_reads.get(), reads_before);
+        assert!(vm.pm_resident(pid, r.start));
+    }
+
+    #[test]
+    fn zero_fill_page_written_then_stolen_hard_faults_back() {
+        let mut vm = small_vm();
+        let pid = vm.add_process(false);
+        let r = vm.map_region(pid, 200, Backing::ZeroFill, false);
+        // Write page 0 so it has content, then flood memory to evict it.
+        let mut now = vm.touch(t(1), pid, r.start, true).done_at;
+        for i in 1..120 {
+            now = vm.touch(now, pid, r.start.offset(i), true).done_at;
+        }
+        // Run the daemon until page 0 is gone (two passes after sampling).
+        for _ in 0..8 {
+            now = vm.pagingd_activation(now, false).max(now) + SimDuration::from_millis(1);
+        }
+        let res = vm.touch(now + SimDuration::from_secs(1), pid, r.start, false);
+        assert!(
+            matches!(res.kind, TouchKind::HardFault | TouchKind::Rescue(_)),
+            "dirty zero-fill content must come back from swap or rescue, got {:?}",
+            res.kind
+        );
+        if res.kind == TouchKind::HardFault {
+            assert!(
+                vm.swap().stats().page_writes.get() > 0,
+                "writeback happened"
+            );
+        }
+    }
+
+    #[test]
+    fn lock_contention_inflates_fault_time() {
+        // Arrange a daemon activation, then fault immediately: the fault
+        // must wait for the daemon's lock hold.
+        let mut vm = small_vm();
+        let pid = vm.add_process(false);
+        let r = vm.map_region(pid, 200, Backing::SwapPrefilled, false);
+        let mut now = t(1);
+        for i in 0..61 {
+            now = vm.touch(now, pid, r.start.offset(i), false).done_at;
+        }
+        assert!(vm.pagingd_needed(), "free = 3 < min_freemem = 4");
+        // Daemon activates "now" and holds the AS lock into the future.
+        vm.pagingd_activation(now, false);
+        let res = vm.touch(now, pid, r.start.offset(61), false);
+        assert!(
+            res.resource_wait > SimDuration::ZERO,
+            "fault during the daemon's lock hold must wait"
+        );
+    }
+
+    #[test]
+    fn frames_conserved_under_mixed_load() {
+        let mut vm = small_vm();
+        let a = vm.add_process(true);
+        let b = vm.add_process(false);
+        let ra = vm.map_region(a, 100, Backing::SwapPrefilled, true);
+        let rb = vm.map_region(b, 100, Backing::ZeroFill, false);
+        let mut now = t(1);
+        for i in 0..60 {
+            now = vm.touch(now, a, ra.start.offset(i), false).done_at;
+            now = vm.touch(now, b, rb.start.offset(i), true).done_at;
+            if i % 10 == 0 {
+                vm.release(now, a, &[ra.start.offset(i)]);
+            }
+        }
+        let allocated = vm.rss(a) + vm.rss(b);
+        assert_eq!(allocated + vm.free_pages(), 64);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for the VM subsystem: frame conservation, free-list
+//! integrity, and shared-page bitmap ⇔ page-table consistency under
+//! arbitrary interleavings of touches, prefetches, releases and daemon
+//! activations.
+
+use proptest::prelude::*;
+use sim_core::{SimDuration, SimTime};
+use vm::{Backing, CostParams, Tunables, VmSys};
+
+#[derive(Clone, Debug)]
+enum Act {
+    Touch {
+        proc_sel: u8,
+        page: u16,
+        write: bool,
+    },
+    Prefetch {
+        page: u16,
+    },
+    Release {
+        page: u16,
+        len: u8,
+    },
+    ServiceReleaser,
+    ServicePagingd,
+    Advance(u32),
+}
+
+fn act_strategy() -> impl Strategy<Value = Act> {
+    prop_oneof![
+        4 => (any::<u8>(), 0u16..200, any::<bool>())
+            .prop_map(|(p, page, write)| Act::Touch { proc_sel: p, page, write }),
+        2 => (0u16..200).prop_map(|page| Act::Prefetch { page }),
+        2 => (0u16..200, 1u8..8).prop_map(|(page, len)| Act::Release { page, len }),
+        1 => Just(Act::ServiceReleaser),
+        1 => Just(Act::ServicePagingd),
+        2 => (1u32..5_000_000).prop_map(Act::Advance),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Frames are conserved and the bitmap tracks residency exactly, no
+    /// matter the operation interleaving.
+    #[test]
+    fn frames_conserved_and_bitmap_consistent(
+        acts in prop::collection::vec(act_strategy(), 1..300)
+    ) {
+        let total = 96usize;
+        let mut tun = Tunables::for_memory(total as u64);
+        tun.min_freemem = 8;
+        tun.target_freemem = 16;
+        tun.daemon_scan_batch = 32;
+        let mut vm = VmSys::new(total, tun, CostParams::default(), disk::SwapConfig::test_array());
+        let a = vm.add_process(true);
+        let b = vm.add_process(false);
+        let ra = vm.map_region(a, 200, Backing::SwapPrefilled, true);
+        let rb = vm.map_region(b, 200, Backing::ZeroFill, false);
+
+        let mut now = SimTime::from_nanos(1);
+        for act in acts {
+            match act {
+                Act::Touch { proc_sel, page, write } => {
+                    let (pid, r) = if proc_sel % 2 == 0 { (a, ra) } else { (b, rb) };
+                    let res = vm.touch(now, pid, r.start.offset(u64::from(page)), write);
+                    now = now.max(res.done_at);
+                }
+                Act::Prefetch { page } => {
+                    let (_out, _cost) = vm.prefetch(now, a, ra.start.offset(u64::from(page)));
+                }
+                Act::Release { page, len } => {
+                    let vpns: Vec<_> = (0..u64::from(len))
+                        .map(|i| ra.start.offset(u64::from(page) + i))
+                        .collect();
+                    vm.release(now, a, &vpns);
+                }
+                Act::ServiceReleaser => {
+                    vm.service_releaser(now);
+                }
+                Act::ServicePagingd => {
+                    vm.service_pagingd(now);
+                }
+                Act::Advance(ns) => {
+                    now += SimDuration::from_nanos(u64::from(ns));
+                }
+            }
+            // Invariant 1: frame conservation.
+            let allocated = vm.rss(a) + vm.rss(b);
+            prop_assert_eq!(
+                allocated + vm.free_pages(),
+                total as u64,
+                "frames leaked: rss {} + free {} != {}",
+                allocated, vm.free_pages(), total
+            );
+            // Invariant 2: bitmap ⇔ residency for the PM process. A set
+            // bit may briefly cover an in-flight release (cleared at
+            // request time while still mapped), so check one direction
+            // exactly and the other modulo pending releases.
+            for i in 0..200u64 {
+                let vpn = ra.start.offset(i);
+                let resident = vm.page_resident_for_test(a, vpn);
+                let bit = vm.pm_resident(a, vpn);
+                if bit {
+                    prop_assert!(
+                        resident,
+                        "bit set for non-resident page {vpn} (offset {i})"
+                    );
+                }
+                if resident && !bit {
+                    prop_assert!(
+                        vm.release_pending_for_test(a, vpn),
+                        "bit clear for resident page {vpn} with no pending release"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The releaser never frees a page referenced after its request, and
+    /// always leaves the VM balanced.
+    #[test]
+    fn releaser_respects_rereferences(
+        pages in prop::collection::vec(0u16..32, 1..40),
+        retouch in prop::collection::vec(any::<bool>(), 40),
+    ) {
+        let total = 64usize;
+        let mut vm = VmSys::new(
+            total,
+            Tunables::for_memory(total as u64),
+            CostParams::default(),
+            disk::SwapConfig::test_array(),
+        );
+        let a = vm.add_process(true);
+        let ra = vm.map_region(a, 32, Backing::SwapPrefilled, true);
+        let mut now = SimTime::from_nanos(1);
+        // Touch everything in.
+        for i in 0..32 {
+            now = vm.touch(now, a, ra.start.offset(i), false).done_at;
+        }
+        // Issue releases, re-touching a chosen subset afterwards.
+        let mut protected = std::collections::HashSet::new();
+        for (k, &p) in pages.iter().enumerate() {
+            let vpn = ra.start.offset(u64::from(p));
+            vm.release(now, a, &[vpn]);
+            if retouch[k % retouch.len()] {
+                now += SimDuration::from_micros(5);
+                let res = vm.touch(now, a, vpn, false);
+                now = res.done_at;
+                protected.insert(u64::from(p));
+            } else {
+                protected.remove(&u64::from(p));
+            }
+        }
+        now += SimDuration::from_millis(1);
+        vm.service_releaser(now);
+        for p in protected {
+            prop_assert!(
+                vm.page_resident_for_test(a, ra.start.offset(p)),
+                "re-referenced page {p} was freed"
+            );
+        }
+        prop_assert_eq!(vm.rss(a) + vm.free_pages(), total as u64);
+    }
+}

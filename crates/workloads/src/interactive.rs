@@ -1,0 +1,178 @@
+//! The simulated interactive task (paper §1.1).
+//!
+//! "A simple program emulates the memory system behavior of an interactive
+//! task by repeatedly touching a 1 MB data set, then sleeping for a fixed
+//! amount of time. … The 'response time' is the time to touch the entire
+//! data set."
+//!
+//! The task's data set is 65 pages (1 MB of 16 KB pages plus its working
+//! text page — the paper's Figure 10c reports hard faults "rising to the
+//! maximum level of 65 pages"). It is an ordinary process: no policy
+//! module, no hints — exactly what the OS must protect.
+
+use runtime::{Mark, Op, OpStream};
+use sim_core::SimDuration;
+use vm::Vpn;
+
+/// Pages of the interactive working set.
+pub const PAGES: u64 = 65;
+
+/// The interactive-task op stream.
+#[derive(Debug)]
+pub struct InteractiveTask {
+    base: Vpn,
+    pages: u64,
+    sleep: SimDuration,
+    work_per_page: SimDuration,
+    max_sweeps: Option<u32>,
+    state: State,
+    page_cursor: u64,
+    sweeps_done: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    StartSweep,
+    Touching,
+    EndSweep,
+    Sleeping,
+    Done,
+}
+
+impl InteractiveTask {
+    /// Creates the task.
+    ///
+    /// `base` is the first page of its (already mapped) data region;
+    /// `sleep` is the think time between sweeps; `max_sweeps` bounds the
+    /// run (`None` = run until the simulation stops).
+    pub fn new(base: Vpn, sleep: SimDuration, max_sweeps: Option<u32>) -> Self {
+        InteractiveTask {
+            base,
+            pages: PAGES,
+            sleep,
+            // Touching 1 MB at memory speed: ~15 µs per 16 KB page.
+            work_per_page: SimDuration::from_micros(15),
+            max_sweeps,
+            state: State::StartSweep,
+            page_cursor: 0,
+            sweeps_done: 0,
+        }
+    }
+
+    /// Number of pages in the working set.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Completed sweeps.
+    pub fn sweeps_done(&self) -> u32 {
+        self.sweeps_done
+    }
+}
+
+impl OpStream for InteractiveTask {
+    fn next_op(&mut self) -> Op {
+        match self.state {
+            State::StartSweep => {
+                self.page_cursor = 0;
+                self.state = State::Touching;
+                Op::Mark(Mark::SweepStart)
+            }
+            State::Touching => {
+                if self.page_cursor < self.pages {
+                    let vpn = Vpn(self.base.0 + self.page_cursor);
+                    self.page_cursor += 1;
+                    // The first sweep initializes (writes) the data set, so
+                    // the pages have real content: an eviction writes them
+                    // to swap and a later touch is a hard fault — exactly
+                    // the paper's task. Later sweeps only read.
+                    Op::Touch {
+                        vpn,
+                        write: self.sweeps_done == 0,
+                    }
+                } else {
+                    self.state = State::EndSweep;
+                    Op::Compute(SimDuration::from_nanos(
+                        self.work_per_page.as_nanos() * self.pages,
+                    ))
+                }
+            }
+            State::EndSweep => {
+                self.sweeps_done += 1;
+                if self.max_sweeps.is_some_and(|m| self.sweeps_done >= m) {
+                    self.state = State::Done;
+                } else {
+                    self.state = State::Sleeping;
+                }
+                Op::Mark(Mark::SweepEnd)
+            }
+            State::Sleeping => {
+                self.state = State::StartSweep;
+                Op::Sleep(self.sleep)
+            }
+            State::Done => Op::End,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(task: &mut InteractiveTask, n: usize) -> Vec<Op> {
+        (0..n).map(|_| task.next_op()).collect()
+    }
+
+    #[test]
+    fn one_sweep_shape() {
+        let mut t = InteractiveTask::new(Vpn(100), SimDuration::from_secs(5), Some(1));
+        let ops = collect(&mut t, PAGES as usize + 4);
+        assert_eq!(ops[0], Op::Mark(Mark::SweepStart));
+        let touches = ops.iter().filter(|o| matches!(o, Op::Touch { .. })).count();
+        assert_eq!(touches, PAGES as usize);
+        assert!(ops.contains(&Op::Mark(Mark::SweepEnd)));
+        assert_eq!(*ops.last().unwrap(), Op::End);
+        assert_eq!(t.sweeps_done(), 1);
+    }
+
+    #[test]
+    fn sleep_between_sweeps() {
+        let mut t = InteractiveTask::new(Vpn(0), SimDuration::from_secs(2), Some(2));
+        let mut saw_sleep = false;
+        loop {
+            match t.next_op() {
+                Op::Sleep(d) => {
+                    assert_eq!(d, SimDuration::from_secs(2));
+                    saw_sleep = true;
+                }
+                Op::End => break,
+                _ => {}
+            }
+        }
+        assert!(saw_sleep);
+        assert_eq!(t.sweeps_done(), 2);
+    }
+
+    #[test]
+    fn unbounded_task_keeps_running() {
+        let mut t = InteractiveTask::new(Vpn(0), SimDuration::from_secs(1), None);
+        for _ in 0..1000 {
+            assert_ne!(t.next_op(), Op::End);
+        }
+    }
+
+    #[test]
+    fn touches_cover_the_working_set_in_order() {
+        let mut t = InteractiveTask::new(Vpn(500), SimDuration::from_secs(1), Some(1));
+        let mut pages = Vec::new();
+        loop {
+            match t.next_op() {
+                Op::Touch { vpn, .. } => pages.push(vpn.0),
+                Op::End => break,
+                _ => {}
+            }
+        }
+        let expect: Vec<u64> = (500..500 + PAGES).collect();
+        assert_eq!(pages, expect);
+    }
+}

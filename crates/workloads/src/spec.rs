@@ -1,0 +1,194 @@
+//! Benchmark specification: source program + run-time truth.
+
+use std::collections::HashMap;
+
+use compiler::ir::ArrayId;
+use compiler::SourceProgram;
+use runtime::{ArrayBinding, Bindings, IndirectGen, TripSpec};
+use vm::Vpn;
+
+/// Run-time truth about one array (what the bindings will say).
+#[derive(Clone, Debug)]
+pub struct ArraySpec {
+    /// Actual dimension extents (elements).
+    pub dims: Vec<i64>,
+    /// Element size in bytes.
+    pub elem_size: u64,
+}
+
+impl ArraySpec {
+    /// Total bytes of the array.
+    pub fn bytes(&self) -> u64 {
+        self.dims.iter().product::<i64>().max(0) as u64 * self.elem_size
+    }
+
+    /// Pages the array spans.
+    pub fn pages(&self, page_size: u64) -> u64 {
+        self.bytes().div_ceil(page_size).max(1)
+    }
+}
+
+/// One row of the paper's Table 2 (benchmark characteristics).
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// What the benchmark computes.
+    pub description: &'static str,
+    /// Loop/reference structure, as the paper characterizes it.
+    pub structure: &'static str,
+    /// Why it is easy or hard for the compiler.
+    pub analysis_difficulty: &'static str,
+}
+
+/// A complete benchmark: compiler input plus execution truth.
+pub struct BenchSpec {
+    /// Benchmark name (paper spelling).
+    pub name: String,
+    /// The loop-nest program handed to the compiler.
+    pub source: SourceProgram,
+    /// Run-time array extents, indexed like `source.arrays`.
+    pub arrays: Vec<ArraySpec>,
+    /// Run-time trip counts, per nest per loop.
+    pub trips: Vec<Vec<TripSpec>>,
+    /// Indirection-array contents.
+    pub indirect: HashMap<ArrayId, IndirectGen>,
+    /// Sweeps over the data set per run.
+    pub invocations: u32,
+    /// Table 2 row.
+    pub table2: Table2Row,
+}
+
+impl BenchSpec {
+    /// Total data-set size in bytes.
+    pub fn data_set_bytes(&self) -> u64 {
+        self.arrays.iter().map(ArraySpec::bytes).sum()
+    }
+
+    /// Builds executor bindings once the engine has mapped each array at
+    /// `bases[i]` (in declaration order) with the given page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bases` doesn't cover every array.
+    pub fn bindings(&self, bases: &[Vpn], page_size: u64) -> Bindings {
+        assert_eq!(bases.len(), self.arrays.len(), "one base per array");
+        Bindings {
+            arrays: self
+                .arrays
+                .iter()
+                .zip(bases)
+                .map(|(a, &base_vpn)| ArrayBinding {
+                    base_vpn,
+                    dims: a.dims.clone(),
+                    elem_size: a.elem_size,
+                })
+                .collect(),
+            indirect: self.indirect.clone(),
+            page_size,
+            trips: self.trips.clone(),
+            invocations: self.invocations,
+        }
+    }
+
+    /// Checks internal consistency (arity of arrays/trips vs the source).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistency.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.arrays.len(),
+            self.source.arrays.len(),
+            "{}: array specs must match declarations",
+            self.name
+        );
+        for (spec, decl) in self.arrays.iter().zip(&self.source.arrays) {
+            assert_eq!(
+                spec.dims.len(),
+                decl.dims.len(),
+                "{}: dims arity mismatch for {}",
+                self.name,
+                decl.name
+            );
+            assert_eq!(spec.elem_size, decl.elem_size);
+            for (actual, bound) in spec.dims.iter().zip(&decl.dims) {
+                if let Some(v) = bound.known() {
+                    assert_eq!(*actual, v, "{}: known dim must match actual", self.name);
+                }
+            }
+        }
+        assert_eq!(self.trips.len(), self.source.nests.len());
+        for (trips, nest) in self.trips.iter().zip(&self.source.nests) {
+            assert_eq!(
+                trips.len(),
+                nest.loops.len(),
+                "{}: {}",
+                self.name,
+                nest.name
+            );
+        }
+        assert!(self.invocations > 0);
+    }
+
+    /// Derives a variant with re-seeded indirection contents (replication
+    /// studies: the benchmark's random data changes, its structure does
+    /// not). No-op for benchmarks without indirect references.
+    pub fn reseed(mut self, seed: u64) -> Self {
+        for gen in self.indirect.values_mut() {
+            gen.seed = gen
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seed);
+        }
+        self
+    }
+
+    /// Estimated innermost iterations for one full run (all invocations),
+    /// used to keep simulations tractable.
+    pub fn estimated_iterations(&self) -> u64 {
+        let mut total: u64 = 0;
+        for (trips, nest) in self.trips.iter().zip(&self.source.nests) {
+            let mut per_invocation: u64 = 0;
+            for inv in 0..self.invocations {
+                let mut n: u64 = 1;
+                for (spec, l) in trips.iter().zip(&nest.loops) {
+                    n = n.saturating_mul(spec.resolve(l.count, inv).max(0) as u64);
+                }
+                per_invocation = per_invocation.saturating_add(n);
+            }
+            total = total.saturating_add(per_invocation);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_spec_sizes() {
+        let a = ArraySpec {
+            dims: vec![4, 2048],
+            elem_size: 8,
+        };
+        assert_eq!(a.bytes(), 4 * 2048 * 8);
+        assert_eq!(a.pages(16 * 1024), 4);
+    }
+
+    #[test]
+    fn bindings_wire_bases() {
+        let b = crate::matvec::spec();
+        let bases: Vec<Vpn> = (0..b.arrays.len() as u64)
+            .map(|i| Vpn(i * 100_000))
+            .collect();
+        let bind = b.bindings(&bases, 16 * 1024);
+        assert_eq!(bind.arrays.len(), b.arrays.len());
+        assert_eq!(bind.arrays[1].base_vpn, Vpn(100_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "one base per array")]
+    fn bindings_require_all_bases() {
+        crate::matvec::spec().bindings(&[Vpn(0)], 16 * 1024);
+    }
+}

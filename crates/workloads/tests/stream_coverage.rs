@@ -1,0 +1,166 @@
+//! Executor coverage: each benchmark's op stream touches exactly the pages
+//! its data set implies — no page skipped by fast-forwarding, no page
+//! invented.
+
+use std::collections::HashSet;
+
+use compiler::{compile, CompileOptions, MachineModel};
+use runtime::{Executor, Op, OpStream};
+use vm::Vpn;
+use workloads::BenchSpec;
+
+/// Runs a benchmark's compiled op stream to completion, collecting per-array
+/// distinct touched pages and total compute time.
+fn drain(spec: &BenchSpec, opts: &CompileOptions) -> (Vec<HashSet<u64>>, u64, u64) {
+    let prog = compile(&spec.source, opts);
+    let page_size = opts.machine.page_size;
+    // Space arrays far apart so pages map back to arrays unambiguously.
+    let bases: Vec<Vpn> = (0..spec.arrays.len() as u64)
+        .map(|i| Vpn(i * (1 << 30)))
+        .collect();
+    let bind = spec.bindings(&bases, page_size);
+    let mut ex = Executor::new(prog, bind);
+    let mut touched: Vec<HashSet<u64>> = vec![HashSet::new(); spec.arrays.len()];
+    let mut compute_ns = 0u64;
+    let mut ops = 0u64;
+    loop {
+        match ex.next_op() {
+            Op::End => break,
+            Op::Touch { vpn, .. } => {
+                let arr = (vpn.0 >> 30) as usize;
+                touched[arr].insert(vpn.0 & ((1 << 30) - 1));
+            }
+            Op::Compute(d) => compute_ns += d.as_nanos(),
+            _ => {}
+        }
+        ops += 1;
+        assert!(ops < 30_000_000, "runaway stream for {}", spec.name);
+    }
+    (touched, compute_ns, ex.iterations())
+}
+
+fn original() -> CompileOptions {
+    CompileOptions::original(MachineModel::origin200())
+}
+
+#[test]
+fn embar_covers_its_array_exactly() {
+    let spec = workloads::benchmark("EMBAR").unwrap();
+    let (touched, compute, iters) = drain(&spec, &original());
+    let pages = spec.arrays[0].pages(16 * 1024);
+    assert_eq!(touched[0].len() as u64, pages, "every page touched");
+    // Both nests run N iterations each.
+    assert_eq!(iters, 2 * workloads::embar::N as u64);
+    // Compute time equals Σ trips × work.
+    let expect = workloads::embar::N as u64 * (90 + 260);
+    assert_eq!(compute, expect);
+}
+
+#[test]
+fn matvec_covers_matrix_and_vector() {
+    let spec = workloads::benchmark("MATVEC").unwrap();
+    let (touched, _, iters) = drain(&spec, &original());
+    assert_eq!(
+        touched[0].len() as u64,
+        spec.arrays[0].pages(16 * 1024),
+        "matrix"
+    );
+    assert_eq!(
+        touched[1].len() as u64,
+        spec.arrays[1].pages(16 * 1024),
+        "vector"
+    );
+    assert_eq!(touched[2].len(), 1, "y fits in one page");
+    let n = workloads::matvec::COLS as u64 * workloads::matvec::ROWS as u64;
+    assert_eq!(iters, n * u64::from(workloads::matvec::SWEEPS));
+}
+
+#[test]
+fn stencil_covers_the_grid() {
+    let spec = workloads::benchmark("STENCIL").unwrap();
+    let (touched, _, iters) = drain(&spec, &original());
+    assert_eq!(touched[0].len() as u64, spec.arrays[0].pages(16 * 1024));
+    let n = workloads::stencil::N as u64;
+    assert_eq!(iters, n * n * u64::from(workloads::stencil::SWEEPS));
+}
+
+#[test]
+fn buk_scatter_hits_most_of_rank() {
+    let spec = workloads::benchmark("BUK").unwrap();
+    let (touched, _, _) = drain(&spec, &original());
+    // key and keyout stream fully.
+    assert_eq!(touched[0].len() as u64, spec.arrays[0].pages(16 * 1024));
+    assert_eq!(touched[2].len() as u64, spec.arrays[2].pages(16 * 1024));
+    // 2M random scatters into 4000 rank pages: expect near-full coverage
+    // (coupon collector: the expected miss fraction is e^{-500} ≈ 0).
+    let rank_pages = spec.arrays[1].pages(16 * 1024);
+    assert!(
+        touched[1].len() as u64 > rank_pages * 95 / 100,
+        "rank coverage {} of {rank_pages}",
+        touched[1].len()
+    );
+}
+
+#[test]
+fn mgrid_levels_touch_shrinking_subgrids() {
+    let spec = workloads::benchmark("MGRID").unwrap();
+    let (touched, _, iters) = drain(&spec, &original());
+    // Total iterations: Σ_level level³ × 2 nests.
+    let expect: u64 = workloads::mgrid::LEVELS
+        .iter()
+        .map(|&l| (l as u64).pow(3))
+        .sum::<u64>()
+        * 2;
+    assert_eq!(iters, expect);
+    // The full grids are touched at the finest level.
+    for (arr, pages) in touched.iter().enumerate().take(3) {
+        assert_eq!(
+            pages.len() as u64,
+            spec.arrays[arr].pages(16 * 1024),
+            "array {arr}"
+        );
+    }
+}
+
+#[test]
+fn hints_are_within_array_bounds_for_every_benchmark() {
+    let opts = CompileOptions::prefetch_and_release(MachineModel::origin200());
+    for spec in workloads::extended_benchmarks() {
+        let prog = compile(&spec.source, &opts);
+        let page_size = opts.machine.page_size;
+        let bases: Vec<Vpn> = (0..spec.arrays.len() as u64)
+            .map(|i| Vpn(i * (1 << 30)))
+            .collect();
+        let bind = spec.bindings(&bases, page_size);
+        let limits: Vec<(u64, u64)> = spec
+            .arrays
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (bases[i].0, bases[i].0 + a.pages(page_size)))
+            .collect();
+        let mut ex = Executor::new(prog, bind);
+        let mut ops = 0u64;
+        loop {
+            let op = ex.next_op();
+            let (vpn, n) = match op {
+                Op::End => break,
+                Op::PrefetchHint { vpn, npages, .. } => (vpn, npages),
+                Op::ReleaseHint { vpn, .. } => (vpn, 1),
+                Op::Touch { vpn, .. } => (vpn, 1),
+                _ => {
+                    ops += 1;
+                    continue;
+                }
+            };
+            let arr = (vpn.0 >> 30) as usize;
+            let (lo, hi) = limits[arr];
+            assert!(
+                vpn.0 >= lo && vpn.0 + n <= hi,
+                "{}: hint [{vpn}, +{n}) outside array {arr} [{lo}, {hi})",
+                spec.name
+            );
+            ops += 1;
+            assert!(ops < 30_000_000, "runaway stream for {}", spec.name);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Explore the compiler pass on the paper's Figure 3 stencil.
+//!
+//! Builds the nearest-neighbour averaging nest from the paper's §2.4
+//! example, runs reuse/group/locality analysis under different memory
+//! assumptions, and prints the resulting annotated code — showing how the
+//! working-set decision moves the prefetch/release points.
+//!
+//! ```sh
+//! cargo run -p hogtame --release --example compiler_explorer
+//! ```
+
+use compiler::expr::{Affine, Bound};
+use compiler::ir::{ArrayRef, Index, LoopId, NestBuilder, SourceProgram};
+use compiler::pretty::render_program;
+use compiler::{compile, CompileOptions, MachineModel};
+
+/// The paper's Figure 3 source:
+/// `a[i][j] = (a[i±1][j±1] … ) / 9.0`.
+fn stencil(n: i64) -> SourceProgram {
+    let mut p = SourceProgram::new("fig3-stencil");
+    let a = p.array("a", 8, vec![Bound::Known(n), Bound::Known(n)]);
+    let (i, j) = (LoopId(0), LoopId(1));
+    let mut nest = NestBuilder::new("average")
+        .counted_loop(Bound::Known(n))
+        .counted_loop(Bound::Known(n))
+        .work_ns(60);
+    for di in [-1i64, 0, 1] {
+        for dj in [-1i64, 0, 1] {
+            nest = nest.reference(ArrayRef::read(
+                a,
+                vec![
+                    Index::aff(Affine::var(i).plus_const(di)),
+                    Index::aff(Affine::var(j).plus_const(dj)),
+                ],
+            ));
+        }
+    }
+    nest = nest.reference(ArrayRef::write(
+        a,
+        vec![Index::aff(Affine::var(i)), Index::aff(Affine::var(j))],
+    ));
+    p.nest(nest.build());
+    p
+}
+
+fn main() {
+    // 64k × 64k doubles: each row is 512 KB = 32 pages; three rows = 96
+    // pages. The matrix itself is 32 GB — hopelessly out of core.
+    let n: i64 = 65_536;
+    let src = stencil(n);
+
+    println!(
+        "=== source structure: {} refs form the Figure 3 group ===\n",
+        10
+    );
+
+    // Case 1: plenty of memory assumed — three rows fit, so the compiler
+    // keeps the second-level working set: prefetch the leading corner,
+    // release the trailing corner, nothing else.
+    let roomy = MachineModel {
+        memory_pages: 4800,
+        page_size: 16 * 1024,
+        fault_latency_ns: 10_000_000,
+    };
+    let prog = compile(&src, &CompileOptions::prefetch_and_release(roomy));
+    println!("--- assuming 75 MB available (three rows fit) ---");
+    println!("{}", render_program(&prog));
+
+    // Case 2: almost no memory assumed — even three rows will not survive,
+    // so releases carry the group's temporal-reuse priority and prefetching
+    // cannot be limited to first iterations.
+    let tight = MachineModel {
+        memory_pages: 8,
+        page_size: 16 * 1024,
+        fault_latency_ns: 10_000_000,
+    };
+    let prog = compile(&src, &CompileOptions::prefetch_and_release(tight));
+    println!("--- assuming only 8 pages available (smallest working set) ---");
+    println!("{}", render_program(&prog));
+
+    println!(
+        "The paper's rule: \"it is preferable to assume that only the\n\
+         smallest working set will fit in memory\" — over-estimating\n\
+         retention misses both prefetch and release opportunities."
+    );
+}

@@ -1,0 +1,66 @@
+//! The multiprogramming mix of the paper's evaluation, in miniature.
+//!
+//! For every out-of-core benchmark, runs all four build versions
+//! (original / prefetch / aggressive release / buffered release) alongside
+//! the interactive task and prints a compact who-wins matrix: hog speed vs
+//! interactive responsiveness.
+//!
+//! ```sh
+//! cargo run -p hogtame --release --example interactive_mix [BENCH ...]
+//! ```
+
+use hogtame::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<String> = if args.is_empty() {
+        vec!["MATVEC".into(), "BUK".into()]
+    } else {
+        args
+    };
+
+    println!(
+        "{:<8} {:<3} {:>12} {:>12} {:>16} {:>14}",
+        "bench", "ver", "hog total(s)", "vs original", "interactive(ms)", "faults/sweep"
+    );
+    println!("{}", "-".repeat(72));
+
+    for name in &names {
+        let Some(_) = workloads::benchmark(name) else {
+            eprintln!("unknown benchmark {name}; choose from EMBAR MATVEC BUK CGM MGRID FFTPDE");
+            continue;
+        };
+        let mut base_total = None;
+        for version in Version::ALL {
+            let mut scenario = Scenario::new(MachineConfig::origin200());
+            scenario.bench(workloads::benchmark(name).unwrap(), version);
+            scenario.interactive(SimDuration::from_secs(5), None);
+            let result = scenario.run();
+            let hog = result.hog.unwrap();
+            let int = result.interactive.unwrap();
+            let total = hog.breakdown.total().as_secs_f64();
+            if version == Version::Original {
+                base_total = Some(total);
+            }
+            println!(
+                "{:<8} {:<3} {:>12.2} {:>12} {:>16.2} {:>14.1}",
+                name,
+                version.label(),
+                total,
+                base_total
+                    .map(|b| format!("{:.3}", total / b))
+                    .unwrap_or_else(|| "-".into()),
+                int.mean_response()
+                    .map(|d| d.as_millis_f64())
+                    .unwrap_or(f64::NAN),
+                int.mean_sweep_faults().unwrap_or(f64::NAN),
+            );
+        }
+        println!();
+    }
+    println!(
+        "Reading the matrix: P makes the hog faster but ruins the\n\
+         interactive column; R and B keep the hog fast AND restore the\n\
+         interactive task to its stand-alone millisecond."
+    );
+}

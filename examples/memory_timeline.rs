@@ -1,0 +1,39 @@
+//! Watch the machine's memory over time.
+//!
+//! Samples occupancy during a MATVEC + interactive run and renders ASCII
+//! area charts for two versions — making the paper's story visible: under
+//! prefetch-only the free pool collapses and the daemon's sawtooth appears;
+//! with buffered releasing the pool stays healthy and the vector's 3 200
+//! pages sit resident.
+//!
+//! ```sh
+//! cargo run -p hogtame --release --example memory_timeline
+//! ```
+
+use hogtame::prelude::*;
+
+fn chart(version: Version) {
+    let mut scenario = Scenario::new(MachineConfig::origin200());
+    scenario.bench(workloads::benchmark("MATVEC").unwrap(), version);
+    scenario.interactive(SimDuration::from_secs(5), None);
+    scenario.timeline(SimDuration::from_millis(250));
+    let result = scenario.run();
+    let tl = result.run.timeline.expect("timeline enabled");
+    println!("=== MATVEC-{} ===", version.label());
+    println!("{}", tl.render_ascii(100));
+    println!(
+        "min free: {} frames | hog peak RSS: {} frames\n",
+        tl.min_free(),
+        tl.max_rss(0)
+    );
+}
+
+fn main() {
+    chart(Version::Prefetch);
+    chart(Version::Buffered);
+    println!(
+        "Under P the free row pins to 0-1 tenths (the daemon scrambles to\n\
+         keep up); under B the hog's RSS plateaus at the retained vector\n\
+         plus a streaming window, and free memory never collapses."
+    );
+}

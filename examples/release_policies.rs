@@ -1,0 +1,52 @@
+//! Aggressive vs buffered releasing on MATVEC — the paper's §4.3 story.
+//!
+//! Under aggressive releasing, the compiler's hints throw away the 52 MB
+//! vector every row, and the application fights the releaser to get it
+//! back. The buffered layer holds the vector's priority-1 releases in
+//! queues and only drains them under real memory pressure, so the vector
+//! stays resident and only the streaming matrix is given back.
+//!
+//! ```sh
+//! cargo run -p hogtame --release --example release_policies
+//! ```
+
+use hogtame::prelude::*;
+
+fn run(version: Version) -> (hogtame::ProcResult, vm::VmStats) {
+    let mut scenario = Scenario::new(MachineConfig::origin200());
+    scenario.bench(workloads::benchmark("MATVEC").unwrap(), version);
+    scenario.interactive(SimDuration::from_secs(5), None);
+    let res = scenario.run();
+    (res.hog.unwrap(), res.run.vm_stats)
+}
+
+fn main() {
+    println!("MATVEC with the two release policies (paper §4.3):\n");
+    for version in [Version::Release, Version::Buffered] {
+        let (hog, vm) = run(version);
+        let rt = hog.rt_stats.unwrap();
+        let label = match version {
+            Version::Release => "aggressive (R)",
+            Version::Buffered => "buffered  (B)",
+            _ => unreachable!(),
+        };
+        println!("{label}:");
+        println!(
+            "  completion            {:>9.2} s",
+            hog.finish_time.as_secs_f64()
+        );
+        println!("  releases issued       {:>9}", vm.releaser.pages_released);
+        println!("  released then rescued {:>9}", vm.freed.rescued_release);
+        println!(
+            "  releases buffered     {:>9}   drained under pressure {:>8}",
+            rt.release_buffered, rt.release_drained
+        );
+        println!("  prefetch I/O issued   {:>9} pages\n", rt.prefetch_issued);
+    }
+    println!(
+        "The buffered layer issues roughly half the releases and half the\n\
+         prefetch I/O: the vector's priority-1 releases sit in the queues\n\
+         and the vector never leaves memory, while the matrix's priority-0\n\
+         releases flow straight to the OS."
+    );
+}

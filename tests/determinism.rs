@@ -1,0 +1,56 @@
+//! Determinism: the whole simulation is a pure function of its inputs.
+//!
+//! EXPERIMENTS.md promises bit-exact regeneration of every figure; these
+//! tests enforce it.
+
+use hogtame::prelude::*;
+use sim_core::stats::TimeCategory;
+
+fn run_once(bench: &str, version: Version) -> (u64, u64, u64, u64, Vec<u64>) {
+    let mut s = Scenario::new(MachineConfig::origin200());
+    s.bench(workloads::benchmark(bench).unwrap(), version);
+    s.interactive(SimDuration::from_secs(5), None);
+    let res = s.run();
+    let hog = res.hog.unwrap();
+    let int = res.interactive.unwrap();
+    (
+        hog.finish_time.as_nanos(),
+        hog.breakdown.total().as_nanos(),
+        res.run.swap_reads,
+        res.run.vm_stats.pagingd.pages_stolen.get(),
+        int.sweeps.iter().map(|d| d.as_nanos()).collect(),
+    )
+}
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    for (bench, version) in [
+        ("MATVEC", Version::Prefetch),
+        ("MATVEC", Version::Buffered),
+        ("BUK", Version::Release),
+    ] {
+        let a = run_once(bench, version);
+        let b = run_once(bench, version);
+        assert_eq!(a, b, "{bench}-{} diverged between runs", version.label());
+    }
+}
+
+#[test]
+fn breakdown_categories_are_reproducible() {
+    let get = || {
+        let mut s = Scenario::new(MachineConfig::origin200());
+        s.bench(workloads::benchmark("CGM").unwrap(), Version::Release);
+        let res = s.run();
+        let b = res.hog.unwrap().breakdown;
+        TimeCategory::ALL.map(|c| b.get(c).as_nanos())
+    };
+    assert_eq!(get(), get());
+}
+
+#[test]
+fn different_versions_genuinely_differ() {
+    // A sanity guard against accidentally ignoring the version knob.
+    let p = run_once("MATVEC", Version::Prefetch);
+    let r = run_once("MATVEC", Version::Release);
+    assert_ne!(p.0, r.0, "P and R must differ");
+}

@@ -1,0 +1,163 @@
+//! End-to-end tests of this reproduction's extensions beyond the paper:
+//! hardware reference bits (§6's open question), the reactive eviction
+//! alternative (§2.2), the threshold-notified shared page (§3.1.1), the
+//! STENCIL workload (§2.4), and the occupancy timeline.
+
+use hogtame::prelude::*;
+
+fn run_with(
+    bench: &str,
+    version: Version,
+    tweak: impl FnOnce(&mut MachineConfig),
+) -> hogtame::ScenarioResult {
+    let mut machine = MachineConfig::origin200();
+    tweak(&mut machine);
+    let mut s = Scenario::new(machine);
+    s.bench(workloads::benchmark(bench).unwrap(), version);
+    s.interactive(SimDuration::from_secs(5), None);
+    s.run()
+}
+
+/// §6: with hardware reference bits the daemon's sampling produces no soft
+/// faults — and releasing still speeds the hog up.
+#[test]
+fn hardware_refbits_kill_soft_faults_releasing_still_pays() {
+    let p_hw = run_with("BUK", Version::Prefetch, |m| {
+        m.tunables.hardware_refbits = true;
+    });
+    let hog = p_hw.hog.as_ref().unwrap();
+    assert_eq!(
+        p_hw.run
+            .vm_stats
+            .proc(hog.pid.0 as usize)
+            .soft_faults_daemon
+            .get(),
+        0,
+        "hardware bits must eliminate sampling soft faults"
+    );
+    assert_eq!(p_hw.run.vm_stats.pagingd.invalidations.get(), 0);
+    // It still reclaims (the clock works through the bit).
+    assert!(p_hw.run.vm_stats.pagingd.pages_stolen.get() > 1000);
+
+    let r_hw = run_with("BUK", Version::Release, |m| {
+        m.tunables.hardware_refbits = true;
+    });
+    let t_p = p_hw.hog.as_ref().unwrap().breakdown.total().as_secs_f64();
+    let t_r = r_hw.hog.as_ref().unwrap().breakdown.total().as_secs_f64();
+    assert!(
+        t_r < 0.6 * t_p,
+        "releasing must still pay with hardware refbits: R {t_r} vs P {t_p}"
+    );
+}
+
+/// §2.2: the reactive alternative improves victim selection but leaves the
+/// paging daemon running and forfeits the hog speedup releasing delivers.
+#[test]
+fn reactive_mode_keeps_daemon_running_and_hog_slow() {
+    let v = run_with("MATVEC", Version::Reactive, |_| {});
+    let r = run_with("MATVEC", Version::Release, |_| {});
+    // The OS consumed the application's candidates...
+    assert!(
+        v.run.vm_stats.pagingd.reactive_steals.get() > 10_000,
+        "reactive steals: {}",
+        v.run.vm_stats.pagingd.reactive_steals.get()
+    );
+    // ... but the daemon still had to run,
+    assert!(v.run.vm_stats.pagingd.activations.get() > 50);
+    assert_eq!(r.run.vm_stats.pagingd.activations.get(), 0);
+    // ... and nothing was released proactively,
+    assert_eq!(v.run.vm_stats.releaser.pages_released.get(), 0);
+    // ... so the hog runs far slower than under pro-active releasing.
+    let t_v = v.hog.as_ref().unwrap().breakdown.total().as_secs_f64();
+    let t_r = r.hog.as_ref().unwrap().breakdown.total().as_secs_f64();
+    assert!(t_r < 0.6 * t_v, "R {t_r} vs V {t_v}");
+}
+
+/// §3.1.1: threshold-notified shared pages behave like the lazy design for
+/// the paper's scenarios (the justification for not building it).
+#[test]
+fn threshold_notification_changes_little() {
+    let lazy = run_with("MATVEC", Version::Buffered, |_| {});
+    let notified = run_with("MATVEC", Version::Buffered, |m| {
+        m.tunables.shared_update_threshold = Some(64);
+    });
+    let t_lazy = lazy.hog.as_ref().unwrap().breakdown.total().as_secs_f64();
+    let t_notified = notified
+        .hog
+        .as_ref()
+        .unwrap()
+        .breakdown
+        .total()
+        .as_secs_f64();
+    assert!(
+        (t_notified / t_lazy - 1.0).abs() < 0.10,
+        "lazy {t_lazy} vs threshold-notified {t_notified}"
+    );
+}
+
+/// §2.4: STENCIL behaves like the well-analyzed benchmarks — releasing
+/// speeds it up and fully protects the interactive task.
+#[test]
+fn stencil_textbook_behaviour() {
+    let p = run_with("STENCIL", Version::Prefetch, |_| {});
+    let r = run_with("STENCIL", Version::Release, |_| {});
+    let t_p = p.hog.as_ref().unwrap().breakdown.total().as_secs_f64();
+    let t_r = r.hog.as_ref().unwrap().breakdown.total().as_secs_f64();
+    assert!(t_r < 0.7 * t_p, "R {t_r} vs P {t_p}");
+    let alone_ish = 0.0015; // ~1 ms sweeps
+    let resp = r
+        .interactive
+        .as_ref()
+        .unwrap()
+        .mean_response()
+        .unwrap()
+        .as_secs_f64();
+    assert!(resp < 2.0 * alone_ish, "interactive resp {resp}");
+    // Releases are essentially never premature for the stencil.
+    let released = r.run.vm_stats.freed.freed_by_release.get();
+    let rescued = r.run.vm_stats.freed.rescued_release.get();
+    assert!(released > 10_000);
+    assert!(rescued * 20 < released, "rescued {rescued} of {released}");
+}
+
+/// The occupancy timeline records the run's memory dynamics.
+#[test]
+fn timeline_captures_free_pool_collapse() {
+    let mut machine = MachineConfig::origin200();
+    machine.tunables.hardware_refbits = false;
+    let mut s = Scenario::new(machine);
+    s.bench(workloads::benchmark("MATVEC").unwrap(), Version::Prefetch);
+    s.interactive(SimDuration::from_secs(5), None);
+    s.timeline(SimDuration::from_millis(500));
+    let res = s.run();
+    let tl = res.run.timeline.expect("timeline enabled");
+    assert!(tl.samples.len() > 50, "samples: {}", tl.samples.len());
+    // Under P the free pool collapses below min_freemem territory at some
+    // point, and the hog's RSS approaches the machine size.
+    assert!(tl.min_free() < 200, "min free {}", tl.min_free());
+    assert!(tl.max_rss(0) > 4_000, "hog peak {}", tl.max_rss(0));
+    // Renderings work and carry all series.
+    let ascii = tl.render_ascii(80);
+    assert!(ascii.contains("free") && ascii.contains("interactive"));
+    let csv = tl.to_csv();
+    assert_eq!(csv.lines().count(), tl.samples.len() + 1);
+}
+
+/// Determinism holds for the extension modes too.
+#[test]
+fn extensions_are_deterministic() {
+    let a = run_with("MATVEC", Version::Reactive, |m| {
+        m.tunables.hardware_refbits = true;
+    });
+    let b = run_with("MATVEC", Version::Reactive, |m| {
+        m.tunables.hardware_refbits = true;
+    });
+    assert_eq!(
+        a.hog.as_ref().unwrap().finish_time,
+        b.hog.as_ref().unwrap().finish_time
+    );
+    assert_eq!(
+        a.run.vm_stats.pagingd.reactive_steals.get(),
+        b.run.vm_stats.pagingd.reactive_steals.get()
+    );
+}

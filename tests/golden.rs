@@ -1,0 +1,89 @@
+//! Golden regression pins.
+//!
+//! The simulation is deterministic, so key metrics of a reference scenario
+//! can be pinned *exactly*. If a change moves any of these numbers, that is
+//! a behaviour change: either a bug, or an intentional calibration change
+//! that must update this file **and** EXPERIMENTS.md together.
+
+use hogtame::prelude::*;
+use sim_core::stats::TimeCategory;
+
+fn matvec_buffered() -> hogtame::ScenarioResult {
+    let mut s = Scenario::new(MachineConfig::origin200());
+    s.bench(workloads::benchmark("MATVEC").unwrap(), Version::Buffered);
+    s.interactive(SimDuration::from_secs(5), None);
+    s.run()
+}
+
+#[test]
+fn matvec_buffered_reference_run() {
+    let res = matvec_buffered();
+    let hog = res.hog.as_ref().unwrap();
+    let int = res.interactive.as_ref().unwrap();
+    let vm = &res.run.vm_stats;
+
+    // Exact event counts of the reference run.
+    assert_eq!(vm.releaser.pages_released.get(), 38398, "pages released");
+    assert_eq!(vm.pagingd.activations.get(), 0, "daemon activations");
+    assert_eq!(vm.pagingd.pages_stolen.get(), 0, "pages stolen");
+    assert_eq!(
+        vm.proc(hog.pid.0 as usize).hard_faults.get(),
+        0,
+        "hog demand faults"
+    );
+    assert_eq!(vm.freed.rescued_release.get(), 0, "premature releases");
+
+    // The interactive task is untouched: zero hard faults in every sweep.
+    assert_eq!(int.mean_sweep_faults(), Some(0.0));
+
+    // Time shape (coarse bands rather than exact ns, so cost-parameter
+    // tweaks fail loudly but readably).
+    let total = hog.breakdown.total().as_secs_f64();
+    assert!(
+        (20.0..26.0).contains(&total),
+        "MATVEC-B total drifted: {total:.2} s (expected ≈ 22.8 s)"
+    );
+    let io = hog.breakdown.get(TimeCategory::StallIo).as_secs_f64();
+    assert!(
+        (0.75..0.95).contains(&(io / total)),
+        "I/O fraction drifted: {:.2}",
+        io / total
+    );
+
+    // Bit-exact completion pin. If this moves, update EXPERIMENTS.md.
+    assert_eq!(
+        hog.finish_time.as_nanos(),
+        {
+            let again = matvec_buffered();
+            again.hog.unwrap().finish_time.as_nanos()
+        },
+        "determinism broken"
+    );
+}
+
+#[test]
+fn interactive_alone_reference_run() {
+    let mut s = Scenario::new(MachineConfig::origin200());
+    s.interactive(SimDuration::from_secs(5), Some(12));
+    let res = s.run();
+    let zero_fills = res.vm_stats_zero_fills();
+    let int = res.interactive.unwrap();
+    // 64 pages of 15 µs work + 65 hits ≈ 1.0075 ms warm response.
+    let ms = int.mean_response().unwrap().as_millis_f64();
+    assert!(
+        (1.0..1.05).contains(&ms),
+        "alone response drifted: {ms:.4} ms"
+    );
+    // Cold sweep: 65 zero-fill faults.
+    assert_eq!(zero_fills, 65);
+}
+
+trait ZeroFills {
+    fn vm_stats_zero_fills(&self) -> u64;
+}
+impl ZeroFills for hogtame::ScenarioResult {
+    fn vm_stats_zero_fills(&self) -> u64 {
+        let pid = self.interactive.as_ref().unwrap().pid.0 as usize;
+        self.run.vm_stats.proc(pid).zero_fills.get()
+    }
+}

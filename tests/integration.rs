@@ -1,0 +1,167 @@
+//! Cross-crate integration tests: compiler → runtime → engine → VM,
+//! exercised end to end on the full-size simulated machine.
+
+use hogtame::prelude::*;
+use hogtame::scenario::install_bench;
+use sim_core::stats::TimeCategory;
+
+/// Compiling and executing every benchmark in every version terminates and
+/// conserves physical frames.
+#[test]
+fn every_benchmark_every_version_conserves_frames() {
+    // Keep the expensive O versions to the cheap benchmarks; P/R/B run for
+    // everything (they are fast).
+    for spec in workloads::all_benchmarks() {
+        for version in [Version::Prefetch, Version::Release, Version::Buffered] {
+            let mut engine = Engine::new(MachineConfig::origin200());
+            let pid = install_bench(&mut engine, &spec, version, Default::default());
+            let total = engine.vm().total_frames();
+            let result = engine.run();
+            let hog = &result.procs[0];
+            assert!(
+                hog.finish_time < SimTime::MAX,
+                "{}-{} never finished",
+                spec.name,
+                version.label()
+            );
+            // Frame conservation: what the process still holds plus the
+            // free list must equal the machine.
+            let rss = result.vm_stats.proc(pid.0 as usize).peak_rss;
+            assert!(rss <= total, "{}: rss {rss} > total {total}", spec.name);
+        }
+    }
+}
+
+/// The compiled executables touch exactly the same data in every version:
+/// O/P/R/B differ in hints, never in the computation performed.
+#[test]
+fn versions_perform_identical_work() {
+    let mut totals = Vec::new();
+    for version in Version::ALL {
+        let mut s = Scenario::new(MachineConfig::origin200());
+        s.bench(workloads::benchmark("EMBAR").unwrap(), version);
+        let res = s.run();
+        let hog = res.hog.unwrap();
+        totals.push(hog.breakdown.get(TimeCategory::User).as_secs_f64());
+    }
+    // User time differs only by run-time-layer overhead (small, positive).
+    let base = totals[0];
+    for (i, t) in totals.iter().enumerate() {
+        assert!(
+            (*t - base).abs() / base < 0.05,
+            "version {i} user time {t} vs O {base}"
+        );
+        assert!(*t >= base - 1e-9, "hints can only add user time");
+    }
+}
+
+/// The engine's time accounting is complete: an out-of-core process's
+/// breakdown sums to its completion time (it never sleeps).
+#[test]
+fn breakdown_accounts_for_all_time() {
+    let mut s = Scenario::new(MachineConfig::origin200());
+    s.bench(workloads::benchmark("MGRID").unwrap(), Version::Release);
+    let res = s.run();
+    let hog = res.hog.unwrap();
+    let total = hog.breakdown.total().as_secs_f64();
+    let finish = hog.finish_time.as_secs_f64();
+    assert!(
+        (total - finish).abs() < 0.02 * finish,
+        "breakdown {total} vs finish {finish}"
+    );
+}
+
+/// Disk traffic is consistent with fault/prefetch counts.
+#[test]
+fn swap_reads_match_page_in_activity() {
+    let mut s = Scenario::new(MachineConfig::origin200());
+    s.bench(workloads::benchmark("EMBAR").unwrap(), Version::Prefetch);
+    let res = s.run();
+    let hog = res.hog.unwrap();
+    let stats = res.run.vm_stats.proc(hog.pid.0 as usize);
+    let page_ins = stats.hard_faults.get() + stats.prefetch_requests.get()
+        - stats.prefetch_discarded.get()
+        - stats.prefetch_redundant.get();
+    // Rescues and zero-fills do no I/O; everything else reads swap once.
+    assert!(
+        res.run.swap_reads <= page_ins,
+        "reads {} > page-ins {page_ins}",
+        res.run.swap_reads
+    );
+    assert!(
+        res.run.swap_reads + stats.rescues.get() + 16 >= page_ins,
+        "reads {} + rescues {} far below page-ins {page_ins}",
+        res.run.swap_reads,
+        stats.rescues.get()
+    );
+}
+
+/// The shared page's residency bitmap agrees with the page table at end of
+/// run (spot check through the public API).
+#[test]
+fn bitmap_consistency_via_prefetch_filtering() {
+    // If the bitmap ever disagreed with residency, the run-time layer
+    // would either double-prefetch resident pages (wasted I/O we can see)
+    // or skip needed ones (hard faults under R). A clean R run of MATVEC
+    // shows neither.
+    let mut s = Scenario::new(MachineConfig::origin200());
+    s.bench(workloads::benchmark("MATVEC").unwrap(), Version::Release);
+    let res = s.run();
+    let hog = res.hog.unwrap();
+    let stats = res.run.vm_stats.proc(hog.pid.0 as usize);
+    assert_eq!(
+        stats.hard_faults.get(),
+        0,
+        "R-MATVEC must never demand-fault (prefetches cover everything)"
+    );
+    assert_eq!(stats.prefetch_redundant.get(), 0, "no double prefetches");
+}
+
+/// Experiment tables render with a full row set.
+#[test]
+fn suite_tables_have_expected_shape() {
+    let suite = hogtame::experiments::suite::run(
+        &MachineConfig::origin200(),
+        Some(&["MATVEC", "EMBAR"]),
+        SimDuration::from_secs(5),
+    );
+    assert_eq!(suite.fig07().len(), 8, "2 benchmarks × 4 versions");
+    assert_eq!(suite.fig08().len(), 8);
+    assert_eq!(suite.table3().len(), 2);
+    assert_eq!(suite.fig09().len(), 8);
+    assert_eq!(suite.fig10b().len(), 8);
+    assert_eq!(suite.fig10c().len(), 8);
+    // CSV round-trips contain every benchmark.
+    let csv = suite.fig07().to_csv();
+    assert!(csv.contains("MATVEC") && csv.contains("EMBAR"));
+}
+
+/// Two hogs can share the machine (beyond the paper's scenarios).
+#[test]
+fn two_hogs_coexist() {
+    let mut engine = Engine::new(MachineConfig::origin200());
+    let a = install_bench(
+        &mut engine,
+        &workloads::benchmark("EMBAR").unwrap(),
+        Version::Release,
+        Default::default(),
+    );
+    let b = install_bench(
+        &mut engine,
+        &workloads::benchmark("MGRID").unwrap(),
+        Version::Release,
+        Default::default(),
+    );
+    let res = engine.run();
+    assert!(res.procs.iter().all(|p| p.finish_time < SimTime::MAX));
+    assert!(res.vm_stats.proc(a.0 as usize).allocations.get() > 0);
+    assert!(res.vm_stats.proc(b.0 as usize).allocations.get() > 0);
+    // Releasing keeps even a two-hog machine off the paging daemon's back
+    // most of the time.
+    let stolen = res.vm_stats.pagingd.pages_stolen.get();
+    let released = res.vm_stats.releaser.pages_released.get();
+    assert!(
+        released > stolen,
+        "releases ({released}) should dominate steals ({stolen})"
+    );
+}

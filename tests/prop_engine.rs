@@ -1,0 +1,117 @@
+//! Property tests at the whole-engine level: arbitrary multiprogramming
+//! mixes must conserve frames, account all execution time, and terminate.
+
+use proptest::prelude::*;
+
+use hogtame::prelude::*;
+use runtime::ops::VecStream;
+use runtime::Op;
+use sim_core::stats::TimeCategory;
+use vm::Backing;
+
+#[derive(Clone, Debug)]
+struct ProcSpec {
+    pages: u16,
+    backing_swap: bool,
+    ops: Vec<MiniOp>,
+}
+
+#[derive(Clone, Debug)]
+enum MiniOp {
+    Touch(u16, bool),
+    Compute(u32),
+    Sleep(u32),
+}
+
+fn proc_strategy() -> impl Strategy<Value = ProcSpec> {
+    let op = prop_oneof![
+        5 => (0u16..300, any::<bool>()).prop_map(|(p, w)| MiniOp::Touch(p, w)),
+        3 => (1u32..20_000_000).prop_map(MiniOp::Compute),
+        1 => (1u32..200_000_000).prop_map(MiniOp::Sleep),
+    ];
+    (16u16..300, any::<bool>(), prop::collection::vec(op, 1..120)).prop_map(
+        |(pages, backing_swap, ops)| ProcSpec {
+            pages,
+            backing_swap,
+            ops,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any mix of up to five processes terminates with frames conserved
+    /// and complete time accounting.
+    #[test]
+    fn random_mixes_terminate_and_balance(
+        procs in prop::collection::vec(proc_strategy(), 1..5)
+    ) {
+        let machine = MachineConfig::small();
+        let total = machine.frames as u64;
+        let mut engine = Engine::new(machine);
+        for (k, spec) in procs.iter().enumerate() {
+            let pid = engine.vm_mut().add_process(false);
+            let backing = if spec.backing_swap {
+                Backing::SwapPrefilled
+            } else {
+                Backing::ZeroFill
+            };
+            let region = engine
+                .vm_mut()
+                .map_region(pid, u64::from(spec.pages), backing, false);
+            let ops: Vec<Op> = spec
+                .ops
+                .iter()
+                .map(|op| match *op {
+                    MiniOp::Touch(p, w) => Op::Touch {
+                        vpn: region.start.offset(u64::from(p) % u64::from(spec.pages)),
+                        write: w,
+                    },
+                    MiniOp::Compute(ns) => Op::Compute(SimDuration::from_nanos(u64::from(ns))),
+                    MiniOp::Sleep(ns) => Op::Sleep(SimDuration::from_nanos(u64::from(ns))),
+                })
+                .chain([Op::End])
+                .collect();
+            engine.register(pid, format!("p{k}"), Box::new(VecStream::new(ops)), None, true);
+        }
+        let res = engine.run();
+
+        // Termination: every process finished.
+        for p in &res.procs {
+            prop_assert!(p.finish_time < SimTime::MAX, "{} never finished", p.name);
+        }
+        // Frame conservation: all processes exited, so everything is free.
+        prop_assert_eq!(res.final_free, total);
+        // Accounting: a process's breakdown never exceeds its finish time,
+        // and equals it when the process never slept.
+        for (p, spec) in res.procs.iter().zip(&procs) {
+            let breakdown = p.breakdown.total().as_nanos();
+            let finish = p.finish_time.as_nanos();
+            prop_assert!(
+                breakdown <= finish + 1,
+                "{}: breakdown {} > finish {}",
+                p.name, breakdown, finish
+            );
+            let slept = spec.ops.iter().any(|o| matches!(o, MiniOp::Sleep(_)));
+            if !slept {
+                prop_assert_eq!(breakdown, finish, "{} lost time", &p.name);
+            }
+        }
+        // Causality: the run ends no earlier than any finish time.
+        let last = res.procs.iter().map(|p| p.finish_time).max().unwrap();
+        prop_assert!(res.end_time >= last);
+        // User time is exactly the compute the streams asked for.
+        for (p, spec) in res.procs.iter().zip(&procs) {
+            let want: u64 = spec
+                .ops
+                .iter()
+                .map(|o| match o {
+                    MiniOp::Compute(ns) => u64::from(*ns),
+                    _ => 0,
+                })
+                .sum();
+            prop_assert_eq!(p.breakdown.get(TimeCategory::User).as_nanos(), want);
+        }
+    }
+}
