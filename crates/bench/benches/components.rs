@@ -1,48 +1,42 @@
-//! Criterion micro-benchmarks of the core library components.
+//! Micro-benchmarks of the core library components.
 //!
 //! These measure the *simulator's own* performance (events/sec, fault-path
 //! cost, compiler pass time) — the foundation that makes regenerating the
-//! paper's figures take seconds instead of hours.
+//! paper's figures take seconds instead of hours. Self-timed via
+//! [`bench::micro`]; run with `cargo bench -p bench --bench components`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use bench::micro::bench;
 use sim_core::rng::Pcg32;
 use sim_core::{EventQueue, SimTime};
 use vm::{Backing, CostParams, Tunables, VmSys};
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event-queue");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("schedule+pop 10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            let mut rng = Pcg32::seeded(1);
-            for i in 0..10_000u64 {
-                q.schedule(SimTime::from_nanos(u64::from(rng.next_u32()) + i), i);
-            }
-            let mut sum = 0u64;
-            while let Some(ev) = q.pop() {
-                sum = sum.wrapping_add(ev.payload);
-            }
-            black_box(sum)
-        })
-    });
-    g.finish();
-}
-
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("pcg32 next_below", |b| {
-        let mut rng = Pcg32::seeded(7);
-        b.iter(|| black_box(rng.next_below(4800)))
+fn bench_event_queue() {
+    bench("event-queue schedule+pop 10k", || {
+        let mut q = EventQueue::new();
+        let mut rng = Pcg32::seeded(1);
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_nanos(u64::from(rng.next_u32()) + i), i);
+        }
+        let mut sum = 0u64;
+        while let Some(ev) = q.pop() {
+            sum = sum.wrapping_add(ev.payload);
+        }
+        black_box(sum);
     });
 }
 
-fn bench_touch_paths(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vm-touch");
+fn bench_rng() {
+    let mut rng = Pcg32::seeded(7);
+    bench("pcg32 next_below", || {
+        black_box(rng.next_below(4800));
+    });
+}
 
+fn bench_touch_paths() {
     // Warm hit path: repeated touches of resident, valid pages.
-    g.bench_function("hit", |b| {
+    {
         let mut vm = VmSys::new(
             256,
             Tunables::for_memory(256),
@@ -56,15 +50,15 @@ fn bench_touch_paths(c: &mut Criterion) {
             now = vm.touch(now, pid, r.start.offset(i), false).done_at;
         }
         let mut i = 0u64;
-        b.iter(|| {
+        bench("vm-touch hit", || {
             let res = vm.touch(now, pid, r.start.offset(i % 32), false);
             i += 1;
-            black_box(res.kind)
-        })
-    });
+            black_box(res.kind);
+        });
+    }
 
     // Hard-fault path including daemon-forced reclaim (steady-state churn).
-    g.bench_function("hard-fault-churn", |b| {
+    {
         let mut vm = VmSys::new(
             256,
             Tunables::for_memory(256),
@@ -75,58 +69,55 @@ fn bench_touch_paths(c: &mut Criterion) {
         let r = vm.map_region(pid, 100_000, Backing::SwapPrefilled, false);
         let mut now = SimTime::from_nanos(1);
         let mut i = 0u64;
-        b.iter(|| {
+        bench("vm-touch hard-fault-churn", || {
             let res = vm.touch(now, pid, r.start.offset(i % 100_000), false);
             now = res.done_at;
             i += 1;
             if vm.pagingd_needed() {
                 vm.service_pagingd(now);
             }
-            black_box(res.kind)
-        })
-    });
-    g.finish();
+            black_box(res.kind);
+        });
+    }
 }
 
-fn bench_freelist(c: &mut Criterion) {
+fn bench_freelist() {
     use vm::frame::FrameTable;
     use vm::freelist::FreeList;
     use vm::{Pid, Vpn};
-    c.bench_function("freelist alloc/free/rescue cycle", |b| {
-        let mut frames = FrameTable::new(4800);
-        let mut free = FreeList::new();
-        free.fill_initial(&frames);
-        let mut i = 0u64;
-        b.iter(|| {
-            let pfn = free.alloc(&mut frames).expect("frame");
-            frames.get_mut(pfn).owner = Some((Pid(0), Vpn(i)));
-            free.push_freed(&mut frames, pfn, true);
-            if i.is_multiple_of(3) {
-                black_box(free.rescue(&mut frames, Pid(0), Vpn(i)));
-                frames.get_mut(pfn).owner = None;
-                free.push_freed(&mut frames, pfn, false);
-            }
-            i += 1;
-        })
+    let mut frames = FrameTable::new(4800);
+    let mut free = FreeList::new();
+    free.fill_initial(&frames);
+    let mut i = 0u64;
+    bench("freelist alloc/free/rescue cycle", || {
+        let pfn = free.alloc(&mut frames).expect("frame");
+        frames.get_mut(pfn).owner = Some((Pid(0), Vpn(i)));
+        free.push_freed(&mut frames, pfn, true);
+        if i.is_multiple_of(3) {
+            black_box(free.rescue(&mut frames, Pid(0), Vpn(i)));
+            frames.get_mut(pfn).owner = None;
+            free.push_freed(&mut frames, pfn, false);
+        }
+        i += 1;
     });
 }
 
-fn bench_runtime_filters(c: &mut Criterion) {
+fn bench_runtime_filters() {
     use runtime::filter::TagFilter;
     use runtime::policy::ReleaseBuffers;
     use vm::Vpn;
-    c.bench_function("tag-filter observe", |b| {
+    {
         let mut f = TagFilter::new();
         let mut i = 0u64;
-        b.iter(|| {
+        bench("tag-filter observe", || {
             black_box(f.observe((i % 8) as u32, Vpn(i / 2)));
             i += 1;
-        })
-    });
-    c.bench_function("release-buffers buffer+drain", |b| {
+        });
+    }
+    {
         let mut buf = ReleaseBuffers::new();
         let mut i = 0u64;
-        b.iter(|| {
+        bench("release-buffers buffer+drain", || {
             // A tag's priority is fixed (compiler-assigned); derive it
             // from the tag.
             let tag = (i % 4) as u32;
@@ -135,58 +126,49 @@ fn bench_runtime_filters(c: &mut Criterion) {
                 black_box(buf.drain_lowest(100));
             }
             i += 1;
-        })
-    });
+        });
+    }
 }
 
-fn bench_compiler_pass(c: &mut Criterion) {
+fn bench_compiler_pass() {
     use compiler::{compile, CompileOptions, MachineModel};
-    c.bench_function("compile all six benchmarks", |b| {
-        let specs = workloads::all_benchmarks();
-        let opts = CompileOptions::prefetch_and_release(MachineModel::origin200());
-        b.iter(|| {
-            for s in &specs {
-                black_box(compile(&s.source, &opts));
-            }
-        })
+    let specs = workloads::all_benchmarks();
+    let opts = CompileOptions::prefetch_and_release(MachineModel::origin200());
+    bench("compile all six benchmarks", || {
+        for s in &specs {
+            black_box(compile(&s.source, &opts));
+        }
     });
 }
 
-fn bench_executor(c: &mut Criterion) {
+fn bench_executor() {
     use runtime::{Executor, OpStream};
-    let mut g = c.benchmark_group("executor");
-    g.bench_function("matvec ops", |b| {
-        let spec = workloads::benchmark("MATVEC").unwrap();
-        let opts =
-            compiler::CompileOptions::prefetch_and_release(compiler::MachineModel::origin200());
-        let prog = compiler::compile(&spec.source, &opts);
-        let bases: Vec<vm::Vpn> = (0..spec.arrays.len() as u64)
-            .map(|i| vm::Vpn(0x1000 + i * 0x100_0000))
-            .collect();
-        let bind = spec.bindings(&bases, 16 * 1024);
-        b.iter(|| {
-            let mut ex = Executor::new(prog.clone(), bind.clone());
-            let mut n = 0u64;
-            for _ in 0..20_000 {
-                if ex.next_op() == runtime::Op::End {
-                    break;
-                }
-                n += 1;
+    let spec = workloads::benchmark("MATVEC").unwrap();
+    let opts = compiler::CompileOptions::prefetch_and_release(compiler::MachineModel::origin200());
+    let prog = compiler::compile(&spec.source, &opts);
+    let bases: Vec<vm::Vpn> = (0..spec.arrays.len() as u64)
+        .map(|i| vm::Vpn(0x1000 + i * 0x100_0000))
+        .collect();
+    let bind = spec.bindings(&bases, 16 * 1024);
+    bench("executor matvec 20k ops", || {
+        let mut ex = Executor::new(prog.clone(), bind.clone());
+        let mut n = 0u64;
+        for _ in 0..20_000 {
+            if ex.next_op() == runtime::Op::End {
+                break;
             }
-            black_box(n)
-        })
+            n += 1;
+        }
+        black_box(n);
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_rng,
-    bench_touch_paths,
-    bench_freelist,
-    bench_runtime_filters,
-    bench_compiler_pass,
-    bench_executor
-);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_rng();
+    bench_touch_paths();
+    bench_freelist();
+    bench_runtime_filters();
+    bench_compiler_pass();
+    bench_executor();
+}

@@ -1,45 +1,39 @@
-//! Criterion benchmarks of whole-scenario simulation speed.
+//! Benchmarks of whole-scenario simulation speed.
 //!
 //! One iteration = one complete simulated run (benchmark + interactive
 //! task). This is the cost of regenerating one cell of the paper's tables.
+//! Self-timed via [`bench::micro`]; run with
+//! `cargo bench -p bench --bench scenarios`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use bench::micro::bench_n;
 use hogtame::{MachineConfig, Scenario, Version};
 use sim_core::SimDuration;
 
-fn bench_versions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("matvec-suite-cell");
-    g.sample_size(10);
+fn bench_versions() {
     for v in Version::ALL {
-        g.bench_function(v.label(), |b| {
-            b.iter(|| {
-                let mut s = Scenario::new(MachineConfig::origin200());
-                s.bench(workloads::benchmark("MATVEC").unwrap(), v);
-                s.interactive(SimDuration::from_secs(5), None);
-                black_box(s.run().hog.unwrap().finish_time)
-            })
+        bench_n(&format!("matvec-suite-cell {}", v.label()), 3, || {
+            let mut s = Scenario::new(MachineConfig::origin200());
+            s.bench(workloads::benchmark("MATVEC").unwrap(), v);
+            s.interactive(SimDuration::from_secs(5), None);
+            black_box(s.run().hog.unwrap().finish_time);
         });
     }
-    g.finish();
 }
 
-fn bench_benchmarks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("release-version-run");
-    g.sample_size(10);
+fn bench_benchmarks() {
     for name in ["EMBAR", "MATVEC", "CGM", "MGRID", "FFTPDE"] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut s = Scenario::new(MachineConfig::origin200());
-                s.bench(workloads::benchmark(name).unwrap(), Version::Release);
-                s.interactive(SimDuration::from_secs(5), None);
-                black_box(s.run().hog.unwrap().finish_time)
-            })
+        bench_n(&format!("release-version-run {name}"), 3, || {
+            let mut s = Scenario::new(MachineConfig::origin200());
+            s.bench(workloads::benchmark(name).unwrap(), Version::Release);
+            s.interactive(SimDuration::from_secs(5), None);
+            black_box(s.run().hog.unwrap().finish_time);
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_versions, bench_benchmarks);
-criterion_main!(benches);
+fn main() {
+    bench_versions();
+    bench_benchmarks();
+}

@@ -3,11 +3,12 @@ use hogtame::experiments::suite;
 use hogtame::MachineConfig;
 use sim_core::SimDuration;
 
-fn main() {
-    let s = suite::run(&MachineConfig::origin200(), None, SimDuration::from_secs(5));
+fn main() -> Result<(), suite::SuiteError> {
+    let s = suite::run(&MachineConfig::origin200(), None, SimDuration::from_secs(5))?;
     bench::emit(
         "fig10b",
         "Figure 10(b): interactive response at 5 s sleep, normalized to running alone",
         &s.fig10b(),
     );
+    Ok(())
 }

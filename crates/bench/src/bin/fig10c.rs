@@ -3,11 +3,12 @@ use hogtame::experiments::suite;
 use hogtame::MachineConfig;
 use sim_core::SimDuration;
 
-fn main() {
-    let s = suite::run(&MachineConfig::origin200(), None, SimDuration::from_secs(5));
+fn main() -> Result<(), suite::SuiteError> {
+    let s = suite::run(&MachineConfig::origin200(), None, SimDuration::from_secs(5))?;
     bench::emit(
         "fig10c",
         "Figure 10(c): interactive hard page faults per sweep",
         &s.fig10c(),
     );
+    Ok(())
 }

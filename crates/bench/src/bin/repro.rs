@@ -3,7 +3,7 @@ use hogtame::experiments::{fig01, fig05, fig10a, suite, tables};
 use hogtame::MachineConfig;
 use sim_core::SimDuration;
 
-fn main() {
+fn main() -> Result<(), suite::SuiteError> {
     let machine = MachineConfig::origin200();
     let t0 = std::time::Instant::now();
 
@@ -24,7 +24,7 @@ fn main() {
     );
 
     eprintln!("[repro] running the 6×4 co-run suite ...");
-    let s = suite::run(&machine, None, SimDuration::from_secs(5));
+    let s = suite::run(&machine, None, SimDuration::from_secs(5))?;
     bench::emit(
         "fig07",
         "Figure 7: normalized execution time of the out-of-core applications",
@@ -74,4 +74,5 @@ fn main() {
         t0.elapsed().as_secs_f64(),
         bench::results_dir()
     );
+    Ok(())
 }

@@ -3,11 +3,12 @@ use hogtame::experiments::suite;
 use hogtame::MachineConfig;
 use sim_core::SimDuration;
 
-fn main() {
-    let s = suite::run(&MachineConfig::origin200(), None, SimDuration::from_secs(5));
+fn main() -> Result<(), suite::SuiteError> {
+    let s = suite::run(&MachineConfig::origin200(), None, SimDuration::from_secs(5))?;
     bench::emit(
         "table3",
         "Table 3: page reclamation activity (original vs prefetch+release)",
         &s.table3(),
     );
+    Ok(())
 }

@@ -1,11 +1,9 @@
 //! Affine index expressions and compile-time bounds.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ir::LoopId;
 
 /// A quantity the compiler may or may not know statically.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Bound {
     /// Known at compile time.
     Known(i64),
@@ -36,7 +34,7 @@ impl Bound {
 
 /// An affine expression over loop induction variables:
 /// `constant + Σ coeff_k · i_k`.
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Affine {
     /// The constant term.
     pub constant: i64,

@@ -6,20 +6,18 @@
 //! Array references use per-dimension index expressions: affine in the loop
 //! induction variables, or one level of indirection (`a[b[i]]`).
 
-use serde::{Deserialize, Serialize};
-
 use crate::expr::{Affine, Bound};
 
 /// Identifier of a loop within one nest (0 = outermost).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct LoopId(pub usize);
 
 /// Identifier of a declared array.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ArrayId(pub usize);
 
 /// One array dimension index expression.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Index {
     /// An affine function of the induction variables.
     Affine(Affine),
@@ -55,7 +53,7 @@ impl Index {
 }
 
 /// An array declaration.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ArrayDecl {
     /// Dense id (index into [`SourceProgram::arrays`]).
     pub id: ArrayId,
@@ -82,7 +80,7 @@ impl ArrayDecl {
 }
 
 /// A reference to an array inside the innermost loop body.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ArrayRef {
     /// Referenced array.
     pub array: ArrayId,
@@ -132,7 +130,7 @@ impl ArrayRef {
 }
 
 /// One loop of a nest.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Loop {
     /// Identifier; `LoopId(depth)` by construction.
     pub id: LoopId,
@@ -141,7 +139,7 @@ pub struct Loop {
 }
 
 /// A perfect loop nest with its body of references.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LoopNest {
     /// Diagnostic name, e.g. `"matvec-main"`.
     pub name: String,
@@ -186,7 +184,7 @@ impl LoopNest {
 }
 
 /// A whole program: arrays plus a sequence of independent nests.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SourceProgram {
     /// Program name (benchmark name).
     pub name: String,

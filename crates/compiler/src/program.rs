@@ -7,12 +7,10 @@
 //! the page-granularity equivalent of the loop-split, software-pipelined
 //! code the SUIF pass generates (Figure 5 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 use crate::ir::{ArrayDecl, LoopId, LoopNest};
 
 /// A prefetch directive attached to a (leading) reference.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PrefetchDirective {
     /// How many pages ahead of the current access position to prefetch.
     pub distance_pages: u64,
@@ -25,7 +23,7 @@ pub struct PrefetchDirective {
 }
 
 /// A release directive attached to a (trailing) reference.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ReleaseDirective {
     /// Eq. 2 priority: 0 = no expected reuse; larger = earlier reuse, keep
     /// longer.
@@ -35,7 +33,7 @@ pub struct ReleaseDirective {
 }
 
 /// The directives attached to one reference.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RefDirectives {
     /// Prefetch this reference's pages (it is a group leader).
     pub prefetch: Option<PrefetchDirective>,
@@ -44,7 +42,7 @@ pub struct RefDirectives {
 }
 
 /// One annotated nest: the source nest plus per-reference directives.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AnnotatedNest {
     /// The nest as written.
     pub nest: LoopNest,
@@ -71,7 +69,7 @@ impl AnnotatedNest {
 }
 
 /// The compiled program.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AnnotatedProgram {
     /// Program (benchmark) name.
     pub name: String,

@@ -1,7 +1,8 @@
 //! Property tests for the compiler analyses, checked against brute-force
 //! reference interpreters on small random affine nests.
 
-use proptest::prelude::*;
+use sim_core::check::{self, run_cases};
+use sim_core::rng::Pcg32;
 
 use compiler::expr::{Affine, Bound};
 use compiler::ir::{ArrayDecl, ArrayId, ArrayRef, Index, LoopId, LoopNest, NestBuilder};
@@ -14,39 +15,49 @@ const PAGE: u64 = 256; // tiny pages keep brute force cheap
 /// Per-reference coefficients: index d = ci·i + cj·j + k for two dims.
 type RefCoeffs = (i64, i64, i64, i64, i64, i64);
 
+fn small(rng: &mut Pcg32, lo: i64, hi: i64) -> i64 {
+    lo + i64::from(rng.next_below((hi - lo) as u32))
+}
+
 /// A random 2-deep nest over a 2-D array with small coefficients.
-fn nest_strategy() -> impl Strategy<Value = (LoopNest, ArrayDecl, Vec<RefCoeffs>)> {
-    let trip0 = 1i64..12;
-    let trip1 = 1i64..12;
-    // Per ref: (c0_i, c0_j, k0, c1_i, c1_j, k1): index d = ci*i + cj*j + k.
-    let refs = prop::collection::vec(
-        (-2i64..3, -2i64..3, -3i64..4, -2i64..3, -2i64..3, -3i64..4),
-        1..4,
-    );
-    (trip0, trip1, refs).prop_map(|(t0, t1, coeffs)| {
-        let decl = ArrayDecl {
-            id: ArrayId(0),
-            name: "a".into(),
-            elem_size: 8,
-            dims: vec![Bound::Known(64), Bound::Known(64)],
-        };
-        let mut b = NestBuilder::new("rand")
-            .counted_loop(Bound::Known(t0))
-            .counted_loop(Bound::Known(t1));
-        for &(ci0, cj0, k0, ci1, cj1, k1) in &coeffs {
-            let ix0 = Affine::constant(k0)
-                .plus_term(LoopId(0), ci0)
-                .plus_term(LoopId(1), cj0);
-            let ix1 = Affine::constant(k1)
-                .plus_term(LoopId(0), ci1)
-                .plus_term(LoopId(1), cj1);
-            b = b.reference(ArrayRef::read(
-                ArrayId(0),
-                vec![Index::aff(ix0), Index::aff(ix1)],
-            ));
-        }
-        (b.build(), decl, coeffs)
-    })
+fn random_nest(rng: &mut Pcg32) -> (LoopNest, ArrayDecl, Vec<RefCoeffs>) {
+    let t0 = small(rng, 1, 12);
+    let t1 = small(rng, 1, 12);
+    let nrefs = check::int_in(rng, 1, 4);
+    let coeffs: Vec<RefCoeffs> = (0..nrefs)
+        .map(|_| {
+            (
+                small(rng, -2, 3),
+                small(rng, -2, 3),
+                small(rng, -3, 4),
+                small(rng, -2, 3),
+                small(rng, -2, 3),
+                small(rng, -3, 4),
+            )
+        })
+        .collect();
+    let decl = ArrayDecl {
+        id: ArrayId(0),
+        name: "a".into(),
+        elem_size: 8,
+        dims: vec![Bound::Known(64), Bound::Known(64)],
+    };
+    let mut b = NestBuilder::new("rand")
+        .counted_loop(Bound::Known(t0))
+        .counted_loop(Bound::Known(t1));
+    for &(ci0, cj0, k0, ci1, cj1, k1) in &coeffs {
+        let ix0 = Affine::constant(k0)
+            .plus_term(LoopId(0), ci0)
+            .plus_term(LoopId(1), cj0);
+        let ix1 = Affine::constant(k1)
+            .plus_term(LoopId(0), ci1)
+            .plus_term(LoopId(1), cj1);
+        b = b.reference(ArrayRef::read(
+            ArrayId(0),
+            vec![Index::aff(ix0), Index::aff(ix1)],
+        ));
+    }
+    (b.build(), decl, coeffs)
 }
 
 /// Brute-force: the element a reference touches at (i, j), clamped like
@@ -57,14 +68,13 @@ fn element_at(c: RefCoeffs, i: i64, j: i64) -> (i64, i64) {
     (d0, d1)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Temporal reuse per the analysis ⇔ the reference truly touches the
-    /// same element across consecutive iterations of the loop (brute force
-    /// over all iterations).
-    #[test]
-    fn temporal_reuse_matches_brute_force((nest, decl, coeffs) in nest_strategy()) {
+/// Temporal reuse per the analysis ⇔ the reference truly touches the
+/// same element across consecutive iterations of the loop (brute force
+/// over all iterations).
+#[test]
+fn temporal_reuse_matches_brute_force() {
+    run_cases(0x7E3904A1, 256, |rng| {
+        let (nest, decl, coeffs) = random_nest(rng);
         let t0 = nest.loops[0].count.known().unwrap();
         let t1 = nest.loops[1].count.known().unwrap();
         for (ri, &c) in coeffs.iter().enumerate() {
@@ -72,28 +82,31 @@ proptest! {
             // Analysis says: temporal in loop L ⇔ coefficients of L all 0.
             let says_i = info.temporal.contains(&LoopId(0));
             let says_j = info.temporal.contains(&LoopId(1));
-            prop_assert_eq!(says_i, c.0 == 0 && c.3 == 0);
-            prop_assert_eq!(says_j, c.1 == 0 && c.4 == 0);
+            assert_eq!(says_i, c.0 == 0 && c.3 == 0);
+            assert_eq!(says_j, c.1 == 0 && c.4 == 0);
             // Brute-force check (unclamped interior): when the analysis
             // claims temporal reuse in j, consecutive j iterations touch
             // the same element everywhere.
             if says_j && t1 >= 2 {
                 for i in 0..t0 {
                     for j in 1..t1 {
-                        prop_assert_eq!(element_at(c, i, j), element_at(c, i, j - 1));
+                        assert_eq!(element_at(c, i, j), element_at(c, i, j - 1));
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    /// The footprint estimate bounds the distinct pages the reference
-    /// touches during one outer iteration to within the alignment slack:
-    /// the estimate is alignment-unaware, and every last-dimension run can
-    /// straddle one extra page boundary, so `actual ≤ rows × (last_pages
-    /// + 1) ≤ 2 × footprint`.
-    #[test]
-    fn footprint_bounds_distinct_pages((nest, decl, coeffs) in nest_strategy()) {
+/// The footprint estimate bounds the distinct pages the reference
+/// touches during one outer iteration to within the alignment slack:
+/// the estimate is alignment-unaware, and every last-dimension run can
+/// straddle one extra page boundary, so `actual ≤ rows × (last_pages
+/// + 1) ≤ 2 × footprint`.
+#[test]
+fn footprint_bounds_distinct_pages() {
+    run_cases(0xF007941, 256, |rng| {
+        let (nest, decl, coeffs) = random_nest(rng);
         let t0 = nest.loops[0].count.known().unwrap();
         let t1 = nest.loops[1].count.known().unwrap();
         for (ri, &c) in coeffs.iter().enumerate() {
@@ -107,30 +120,35 @@ proptest! {
                     let linear = d0 * 64 + d1;
                     pages.insert((linear * 8) as u64 / PAGE);
                 }
-                prop_assert!(
+                assert!(
                     pages.len() as u64 <= 2 * fp,
                     "ref {ri} at i={i}: {} distinct pages > 2 × footprint {fp}",
                     pages.len()
                 );
             }
         }
-    }
+    });
+}
 
-    /// Eq. 2 is monotone: adding a reuse loop never lowers the priority,
-    /// and a deeper singleton always outranks any strictly-shallower set.
-    #[test]
-    fn priority_encoding_is_positional(depths in prop::collection::btree_set(0usize..16, 0..6)) {
+/// Eq. 2 is monotone: adding a reuse loop never lowers the priority,
+/// and a deeper singleton always outranks any strictly-shallower set.
+#[test]
+fn priority_encoding_is_positional() {
+    run_cases(0x34107174, 256, |rng| {
+        let n = check::int_in(rng, 0, 6);
+        let depths: std::collections::BTreeSet<usize> =
+            (0..n).map(|_| check::int_in(rng, 0, 16) as usize).collect();
         let loops: Vec<LoopId> = depths.iter().map(|&d| LoopId(d)).collect();
         let p = release_priority(&loops);
         // Monotone under extension.
         if let Some(&maxd) = depths.iter().max() {
             let mut extended = loops.clone();
             extended.push(LoopId(maxd + 1));
-            prop_assert!(release_priority(&extended) > p);
+            assert!(release_priority(&extended) > p);
             // A single deeper loop dominates the whole set.
-            prop_assert!(release_priority(&[LoopId(maxd + 1)]) > p);
+            assert!(release_priority(&[LoopId(maxd + 1)]) > p);
         } else {
-            prop_assert_eq!(p, 0);
+            assert_eq!(p, 0);
         }
-    }
+    });
 }

@@ -9,6 +9,8 @@
 
 use runtime::prefetcher::PrefetchPool;
 use runtime::{Mark, Op, OpStream, RuntimeLayer};
+use sim_core::fault::{FaultDomain, FaultKind, FaultLog, FaultPlan};
+use sim_core::rng::Pcg32;
 use sim_core::stats::{TimeBreakdown, TimeCategory};
 use sim_core::{EventQueue, SimDuration, SimTime};
 use vm::{Pid, VmSys, Vpn};
@@ -57,6 +59,8 @@ enum Ev {
     Pagingd,
     Releaser,
     Sample,
+    /// Fault injection: the upper memory limit shrinks at this instant.
+    Shrink,
 }
 
 struct EngineProc {
@@ -151,6 +155,9 @@ pub struct RunResult {
     pub timeline: Option<Timeline>,
     /// Kernel-activity trace records, when tracing was enabled.
     pub kernel_trace: Vec<sim_core::trace::TraceRecord>,
+    /// Every fault injected and degradation transition taken, merged
+    /// across the engine, the swap array, and each run-time layer.
+    pub fault_log: FaultLog,
 }
 
 /// The simulation engine (see module docs).
@@ -185,6 +192,9 @@ pub struct Engine {
     releaser_scheduled: bool,
     cpus: CpuPool,
     timeline: Option<(SimDuration, Vec<TimelineSample>)>,
+    faults: FaultPlan,
+    daemon_rng: Option<Pcg32>,
+    fault_log: FaultLog,
     /// Safety valve: stop even if primaries never finish.
     pub max_time: SimTime,
 }
@@ -212,8 +222,31 @@ impl Engine {
             releaser_scheduled: false,
             cpus: CpuPool::new(ncpus),
             timeline: None,
+            faults: FaultPlan::default(),
+            daemon_rng: None,
+            fault_log: FaultLog::default(),
             max_time: SimTime::from_nanos(u64::MAX / 2),
         }
+    }
+
+    /// Installs a fault plan. Must be called before [`Engine::register`]
+    /// so hint-emitting processes get their per-process fault streams; the
+    /// swap array and daemon scheduling are armed immediately.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+        if plan.io.any() {
+            self.vm
+                .swap_mut()
+                .arm_faults(plan.io, plan.rng_for(FaultDomain::Io));
+        }
+        if plan.daemons.any() {
+            self.daemon_rng = Some(plan.rng_for(FaultDomain::Daemons));
+        }
+    }
+
+    /// The fault plan in force (default: no faults).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Enables occupancy sampling at the given period (see
@@ -253,9 +286,19 @@ impl Engine {
         pid: Pid,
         name: impl Into<String>,
         stream: Box<dyn OpStream>,
-        rt: Option<RuntimeLayer>,
+        mut rt: Option<RuntimeLayer>,
         primary: bool,
     ) {
+        if self.faults.hints.any() {
+            if let Some(rt) = rt.as_mut() {
+                // Each process perturbs its hint stream from its own RNG
+                // stream, so adding a process never shifts another's draws.
+                rt.arm_faults(
+                    self.faults.hints,
+                    self.faults.stream_rng(FaultDomain::Hints, u64::from(pid.0)),
+                );
+            }
+        }
         self.procs.push(EngineProc {
             pid,
             name: name.into(),
@@ -283,6 +326,9 @@ impl Engine {
         if self.timeline.is_some() {
             self.queue.schedule(SimTime::ZERO, Ev::Sample);
         }
+        if let Some(at) = self.faults.daemons.shrink_limit_at {
+            self.queue.schedule(at, Ev::Shrink);
+        }
         while !self.primaries_done() {
             let Some(ev) = self.queue.pop() else { break };
             if ev.time > self.max_time {
@@ -295,6 +341,7 @@ impl Engine {
                     self.pagingd_scheduled = false;
                     if let Some(next) = self.vm.service_pagingd(ev.time) {
                         self.pagingd_scheduled = true;
+                        let next = next + self.pagingd_fault_delay(ev.time);
                         self.queue.schedule(next, Ev::Pagingd);
                     }
                 }
@@ -302,8 +349,16 @@ impl Engine {
                     self.releaser_scheduled = false;
                     if let Some(next) = self.vm.service_releaser(ev.time) {
                         self.releaser_scheduled = true;
+                        let next = next + self.releaser_fault_delay(ev.time);
                         self.queue.schedule(next, Ev::Releaser);
                     }
+                }
+                Ev::Shrink => {
+                    let frac = self.faults.daemons.shrink_to_frac;
+                    let (from, to) = self.vm.shrink_limit(frac);
+                    self.fault_log
+                        .record(ev.time, FaultKind::LimitShrunk { from, to });
+                    self.wake_daemons(ev.time);
                 }
                 Ev::Sample => {
                     if let Some((period, samples)) = self.timeline.as_mut() {
@@ -342,11 +397,27 @@ impl Engine {
                 ops_executed: p.ops_executed,
             })
             .collect();
+        let mut fault_log = self.fault_log.clone();
+        fault_log.merge(self.vm.swap().fault_log());
+        for p in &self.procs {
+            if let Some(rt) = &p.rt {
+                fault_log.merge(rt.fault_log());
+            }
+        }
+        // Degradation transitions (and the limit shrink) annotate the
+        // occupancy timeline so plots show *when* the system backed off.
+        let marks: Vec<_> = fault_log
+            .events()
+            .iter()
+            .filter(|e| e.kind.is_transition() || matches!(e.kind, FaultKind::LimitShrunk { .. }))
+            .copied()
+            .collect();
         let timeline = self.timeline.take().map(|(period, samples)| Timeline {
             period,
             total_frames: self.vm.total_frames(),
             proc_names: self.procs.iter().map(|p| p.name.clone()).collect(),
             samples,
+            marks: marks.clone(),
         });
         RunResult {
             procs,
@@ -357,6 +428,7 @@ impl Engine {
             end_time,
             timeline,
             kernel_trace: self.vm.trace().records().cloned().collect(),
+            fault_log,
         }
     }
 
@@ -407,6 +479,7 @@ impl Engine {
                 Op::Touch { vpn, write } => self.op_touch(i, vpn, write),
                 Op::PrefetchHint { vpn, npages, tag } => self.op_prefetch(i, vpn, npages, tag),
                 Op::ReleaseHint { vpn, priority, tag } => self.op_release(i, vpn, priority, tag),
+                Op::RetireTag { tag } => self.op_retire_tag(i, tag),
                 Op::Sleep(d) => {
                     // Think time: wall-clock passes without execution.
                     self.procs[i].local += d;
@@ -444,15 +517,20 @@ impl Engine {
             .add(TimeCategory::StallResource, res.resource_wait);
         p.breakdown.add(TimeCategory::StallIo, res.io_wait);
         p.local = res.done_at;
+        // Hint-effectiveness feedback: a cancelled release or free-list
+        // rescue here charges a misfire to the hinting tag.
+        if let Some(rt) = self.procs[i].rt.as_mut() {
+            rt.note_touch_outcome(vpn, res.kind);
+        }
         self.wake_daemons(self.procs[i].local);
     }
 
-    fn op_prefetch(&mut self, i: usize, vpn: Vpn, npages: u64, _tag: u32) {
-        let pid = self.procs[i].pid;
+    fn op_prefetch(&mut self, i: usize, vpn: Vpn, npages: u64, tag: u32) {
+        let (pid, now) = (self.procs[i].pid, self.procs[i].local);
         let Some(rt) = self.procs[i].rt.as_mut() else {
             return;
         };
-        let (pages, cost) = rt.on_prefetch_hint(&self.vm, pid, vpn, npages);
+        let (pages, cost) = rt.on_prefetch_hint(&self.vm, pid, now, vpn, npages, tag);
         let p = &mut self.procs[i];
         p.breakdown.add(TimeCategory::User, cost);
         p.local += cost;
@@ -467,16 +545,20 @@ impl Engine {
                 _ => start + call_cost,
             };
             self.procs[i].pool.complete(thread, busy_until);
+            let already = matches!(outcome, vm::PrefetchOutcome::AlreadyResident);
+            if let Some(rt) = self.procs[i].rt.as_mut() {
+                rt.note_prefetch_outcome(page, already);
+            }
         }
         self.wake_daemons(local);
     }
 
     fn op_release(&mut self, i: usize, vpn: Vpn, priority: u32, tag: u32) {
-        let pid = self.procs[i].pid;
+        let (pid, now) = (self.procs[i].pid, self.procs[i].local);
         let Some(rt) = self.procs[i].rt.as_mut() else {
             return;
         };
-        let (pages, cost) = rt.on_release_hint(&self.vm, pid, vpn, priority, tag);
+        let (pages, cost) = rt.on_release_hint(&self.vm, pid, now, vpn, priority, tag);
         let p = &mut self.procs[i];
         p.breakdown.add(TimeCategory::User, cost);
         p.local += cost;
@@ -490,6 +572,28 @@ impl Engine {
         if rt.policy() == runtime::ReleasePolicy::Reactive && rt.buffered_pages() >= 256 {
             let candidates = rt.take_candidates(128);
             self.vm.offer_eviction_candidates(pid, &candidates);
+        }
+        // Graceful degradation: hints the health monitor suppressed serve
+        // as reactive eviction candidates regardless of policy.
+        let rt = self.procs[i].rt.as_mut().expect("checked above");
+        if rt.degraded_pages() >= 128 {
+            let candidates = rt.take_degraded(128);
+            self.vm.offer_eviction_candidates(pid, &candidates);
+        }
+    }
+
+    fn op_retire_tag(&mut self, i: usize, tag: u32) {
+        let (pid, now) = (self.procs[i].pid, self.procs[i].local);
+        let Some(rt) = self.procs[i].rt.as_mut() else {
+            return;
+        };
+        let (pages, cost) = rt.on_retire_tag(&self.vm, pid, now, tag);
+        let p = &mut self.procs[i];
+        p.breakdown.add(TimeCategory::User, cost);
+        p.local += cost;
+        let local = p.local;
+        if !pages.is_empty() {
+            self.issue_releases(i, pid, local, &pages);
         }
     }
 
@@ -526,13 +630,70 @@ impl Engine {
         let at = at.max(self.queue.now());
         if !self.pagingd_scheduled && self.vm.pagingd_needed() {
             self.pagingd_scheduled = true;
-            self.queue.schedule(at, Ev::Pagingd);
+            let skew = self.pagingd_fault_delay(at);
+            self.queue.schedule(at + skew, Ev::Pagingd);
         }
         if !self.releaser_scheduled && self.vm.releaser_pending() {
             self.releaser_scheduled = true;
             let delay = self.vm.tunables().releaser_delay;
-            self.queue.schedule(at + delay, Ev::Releaser);
+            let jitter = self.releaser_fault_delay(at);
+            self.queue.schedule(at + delay + jitter, Ev::Releaser);
         }
+    }
+
+    /// Fault injection: extra delay for one releaser wakeup — uniform
+    /// jitter in `[0, releaser_jitter]`, or, with probability
+    /// `releaser_stall`, a stall of four jitter windows after which the
+    /// queued work is serviced in one burst.
+    fn releaser_fault_delay(&mut self, now: SimTime) -> SimDuration {
+        let f = self.faults.daemons;
+        let Some(rng) = self.daemon_rng.as_mut() else {
+            return SimDuration::ZERO;
+        };
+        if f.releaser_jitter == SimDuration::ZERO && f.releaser_stall == 0.0 {
+            return SimDuration::ZERO;
+        }
+        let stall = f.releaser_stall > 0.0 && rng.next_f64() < f.releaser_stall;
+        let window = if f.releaser_jitter > SimDuration::ZERO {
+            f.releaser_jitter
+        } else {
+            self.vm.tunables().releaser_delay
+        };
+        let extra = if stall {
+            window.saturating_mul(4)
+        } else if f.releaser_jitter > SimDuration::ZERO {
+            SimDuration::from_nanos(rng.next_u64() % (f.releaser_jitter.as_nanos() + 1))
+        } else {
+            SimDuration::ZERO
+        };
+        if extra > SimDuration::ZERO {
+            self.fault_log.record(
+                now,
+                FaultKind::ReleaserJitter {
+                    delay: extra,
+                    stall,
+                },
+            );
+        }
+        extra
+    }
+
+    /// Fault injection: uniform extra skew in `[0, pagingd_skew]` for one
+    /// paging-daemon wakeup.
+    fn pagingd_fault_delay(&mut self, now: SimTime) -> SimDuration {
+        let skew = self.faults.daemons.pagingd_skew;
+        let Some(rng) = self.daemon_rng.as_mut() else {
+            return SimDuration::ZERO;
+        };
+        if skew == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        let extra = SimDuration::from_nanos(rng.next_u64() % (skew.as_nanos() + 1));
+        if extra > SimDuration::ZERO {
+            self.fault_log
+                .record(now, FaultKind::PagingdSkew { delay: extra });
+        }
+        extra
     }
 }
 
@@ -739,6 +900,72 @@ mod tests {
                 p.name
             );
         }
+    }
+
+    #[test]
+    fn shrink_fault_fires_and_is_logged() {
+        use sim_core::fault::{DaemonFaults, FaultPlan};
+        let mut e = engine_small();
+        e.set_fault_plan(FaultPlan {
+            seed: 5,
+            daemons: DaemonFaults {
+                shrink_limit_at: Some(SimTime::from_nanos(1_000_000)),
+                shrink_to_frac: 0.5,
+                ..DaemonFaults::default()
+            },
+            ..FaultPlan::default()
+        });
+        let old_limit = e.vm().tunables().maxrss;
+        let pid = e.vm_mut().add_process(false);
+        let stream = VecStream::new([Op::Compute(SimDuration::from_millis(5)), Op::End]);
+        e.register(pid, "calc", Box::new(stream), None, true);
+        let res = e.run();
+        assert_eq!(res.fault_log.count("limit_shrunk"), 1);
+        let shrunk = res.fault_log.events().iter().any(|ev| {
+            matches!(ev.kind, FaultKind::LimitShrunk { from, to }
+                if from == old_limit && to < from)
+        });
+        assert!(shrunk, "log: {}", res.fault_log.summary());
+    }
+
+    #[test]
+    fn daemon_jitter_draws_are_seed_reproducible() {
+        use sim_core::fault::{DaemonFaults, FaultPlan};
+        let run = || {
+            let mut e = engine_small();
+            e.set_fault_plan(FaultPlan {
+                seed: 11,
+                daemons: DaemonFaults {
+                    releaser_jitter: SimDuration::from_micros(500),
+                    releaser_stall: 0.25,
+                    pagingd_skew: SimDuration::from_micros(200),
+                    ..DaemonFaults::default()
+                },
+                ..FaultPlan::default()
+            });
+            let pid = e.vm_mut().add_process(false);
+            let frames = e.config().frames as u64;
+            let r = e
+                .vm_mut()
+                .map_region(pid, frames + 100, Backing::ZeroFill, false);
+            let mut ops = Vec::new();
+            for i in 0..frames + 50 {
+                ops.push(Op::Touch {
+                    vpn: r.start.offset(i),
+                    write: false,
+                });
+                ops.push(Op::Compute(SimDuration::from_micros(30)));
+            }
+            ops.push(Op::End);
+            e.register(pid, "hog", Box::new(VecStream::new(ops)), None, true);
+            let res = e.run();
+            (res.end_time, res.fault_log.summary())
+        };
+        let (end1, log1) = run();
+        let (end2, log2) = run();
+        assert_eq!(end1, end2, "jittered runs must reproduce exactly");
+        assert_eq!(log1, log2);
+        assert!(log1.contains("pagingd_skew"), "skew injected: {log1}");
     }
 
     #[test]

@@ -37,8 +37,43 @@ pub struct Suite {
     pub sleep: SimDuration,
 }
 
+/// Why the suite could not be assembled.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SuiteError {
+    /// A requested benchmark name is not in the workload registry.
+    UnknownBenchmark(String),
+    /// A scenario finished without producing the expected process result.
+    ProcessMissing {
+        /// The benchmark being co-run (`"alone"` for the baseline run).
+        bench: String,
+        /// Which process result was missing (`"hog"` or `"interactive"`).
+        role: &'static str,
+    },
+}
+
+impl std::fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuiteError::UnknownBenchmark(name) => write!(f, "unknown benchmark {name}"),
+            SuiteError::ProcessMissing { bench, role } => {
+                write!(f, "{bench} run produced no {role} result")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
 /// Runs the suite for the given benchmark names (paper order if `None`).
-pub fn run(machine: &MachineConfig, benches: Option<&[&str]>, sleep: SimDuration) -> Suite {
+///
+/// Fails with [`SuiteError::UnknownBenchmark`] if a requested name is not
+/// registered, or [`SuiteError::ProcessMissing`] if a scenario completes
+/// without the expected process results.
+pub fn run(
+    machine: &MachineConfig,
+    benches: Option<&[&str]>,
+    sleep: SimDuration,
+) -> Result<Suite, SuiteError> {
     let names: Vec<String> = match benches {
         Some(list) => list.iter().map(|s| s.to_string()).collect(),
         None => workloads::all_benchmarks()
@@ -50,13 +85,16 @@ pub fn run(machine: &MachineConfig, benches: Option<&[&str]>, sleep: SimDuration
     // Baseline: the interactive task alone.
     let mut s = Scenario::new(machine.clone());
     s.interactive(sleep, Some(12));
-    let alone = s.run().interactive.expect("interactive ran");
+    let alone = s.run().interactive.ok_or(SuiteError::ProcessMissing {
+        bench: String::from("alone"),
+        role: "interactive",
+    })?;
 
     let mut cells = Vec::new();
     for name in &names {
         for &version in &Version::ALL {
-            let spec =
-                workloads::benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+            let spec = workloads::benchmark(name)
+                .ok_or_else(|| SuiteError::UnknownBenchmark(name.clone()))?;
             let mut s = Scenario::new(machine.clone());
             s.bench(spec, version);
             s.interactive(sleep, None);
@@ -64,17 +102,23 @@ pub fn run(machine: &MachineConfig, benches: Option<&[&str]>, sleep: SimDuration
             cells.push(SuiteCell {
                 bench: name.clone(),
                 version,
-                hog: res.hog.expect("hog ran"),
-                interactive: res.interactive.expect("interactive ran"),
+                hog: res.hog.ok_or_else(|| SuiteError::ProcessMissing {
+                    bench: name.clone(),
+                    role: "hog",
+                })?,
+                interactive: res.interactive.ok_or_else(|| SuiteError::ProcessMissing {
+                    bench: name.clone(),
+                    role: "interactive",
+                })?,
                 vm: res.run.vm_stats,
             });
         }
     }
-    Suite {
+    Ok(Suite {
         cells,
         alone,
         sleep,
-    }
+    })
 }
 
 impl Suite {
@@ -297,6 +341,19 @@ impl Suite {
 mod tests {
     use super::*;
 
+    #[test]
+    fn unknown_benchmark_is_a_typed_error() {
+        let err = match run(
+            &MachineConfig::small(),
+            Some(&["NO-SUCH-BENCH"]),
+            SimDuration::from_secs(1),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("expected an unknown-benchmark error"),
+        };
+        assert_eq!(err, SuiteError::UnknownBenchmark("NO-SUCH-BENCH".into()));
+    }
+
     /// Shape test on the full machine, MATVEC only (fast: ≈ 0.5 s).
     #[test]
     fn matvec_suite_reproduces_headline_shapes() {
@@ -304,7 +361,8 @@ mod tests {
             &MachineConfig::origin200(),
             Some(&["MATVEC"]),
             SimDuration::from_secs(5),
-        );
+        )
+        .expect("suite runs");
         assert_eq!(suite.cells.len(), 4);
 
         let total = |v| {

@@ -58,6 +58,8 @@ pub mod prelude {
     pub use crate::engine::{Engine, ProcResult, RunResult};
     pub use crate::machine::MachineConfig;
     pub use crate::scenario::{Scenario, ScenarioResult, Version};
+    pub use runtime::HealthConfig;
+    pub use sim_core::fault::{DaemonFaults, FaultKind, FaultLog, FaultPlan, HintFaults, IoFaults};
     pub use sim_core::stats::{TimeBreakdown, TimeCategory};
     pub use sim_core::{SimDuration, SimTime};
     pub use workloads;

@@ -11,6 +11,7 @@
 
 use compiler::{compile, CompileOptions};
 use runtime::{Executor, ReleasePolicy, RtConfig, RuntimeLayer};
+use sim_core::fault::FaultPlan;
 use sim_core::SimDuration;
 use vm::{Backing, Pid, Vpn};
 use workloads::{BenchSpec, InteractiveTask};
@@ -86,6 +87,7 @@ pub struct Scenario {
     rt_config: RtConfig,
     timeline_period: Option<SimDuration>,
     kernel_trace: bool,
+    fault_plan: FaultPlan,
 }
 
 /// Results of a scenario run.
@@ -109,6 +111,7 @@ impl Scenario {
             rt_config: RtConfig::default(),
             timeline_period: None,
             kernel_trace: false,
+            fault_plan: FaultPlan::default(),
         }
     }
 
@@ -142,6 +145,12 @@ impl Scenario {
         self
     }
 
+    /// Installs a seeded fault-injection plan for the run.
+    pub fn fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.fault_plan = plan;
+        self
+    }
+
     /// Builds and runs the scenario.
     ///
     /// # Panics
@@ -158,6 +167,11 @@ impl Scenario {
         }
         if self.kernel_trace {
             engine.enable_kernel_trace();
+        }
+        // Before registration: hint-emitting layers draw their per-process
+        // fault streams at registration time.
+        if self.fault_plan.any() {
+            engine.set_fault_plan(self.fault_plan);
         }
         let mut hog_idx = None;
         let mut int_idx = None;
@@ -344,6 +358,27 @@ mod tests {
         // Warm sweeps are pure memory speed: ~1 ms.
         assert!(mean < SimDuration::from_millis(10), "mean {mean}");
         assert_eq!(int.mean_sweep_faults().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn poisoned_hints_still_complete_and_are_logged() {
+        use sim_core::fault::HintFaults;
+        let mut s = Scenario::new(MachineConfig::small());
+        s.bench(tiny_bench(), Version::Release);
+        s.fault_plan(FaultPlan {
+            seed: 3,
+            hints: HintFaults::poisoned(0.5),
+            ..FaultPlan::default()
+        });
+        let res = s.run();
+        let hog = res.hog.unwrap();
+        assert!(hog.finish_time < SimTime::MAX, "run completes under faults");
+        assert!(
+            res.run.fault_log.count("hint_dropped") > 0,
+            "faults recorded: {}",
+            res.run.fault_log.summary()
+        );
+        assert!(hog.rt_stats.unwrap().hints_dropped > 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! holding the pool steady, the interactive task's 65 pages appearing and
 //! vanishing.
 
+use sim_core::fault::FaultEvent;
 use sim_core::{SimDuration, SimTime};
 
 /// A labelled accessor extracting one series value from a sample.
@@ -34,6 +35,9 @@ pub struct Timeline {
     pub proc_names: Vec<String>,
     /// The samples, in time order.
     pub samples: Vec<TimelineSample>,
+    /// Degradation transitions and mid-run limit changes, in time order,
+    /// annotating when the system backed off (or recovered).
+    pub marks: Vec<FaultEvent>,
 }
 
 impl Timeline {
@@ -90,6 +94,15 @@ impl Timeline {
             t_end.as_secs_f64(),
             self.total_frames
         );
+        for m in &self.marks {
+            let _ = writeln!(
+                out,
+                "{:<label_w$} ! t={:.3}s {}",
+                "",
+                m.at.as_secs_f64(),
+                m.kind.name()
+            );
+        }
         out
     }
 
@@ -143,6 +156,7 @@ mod tests {
                     rss: vec![i, i / 10],
                 })
                 .collect(),
+            marks: vec![],
         }
     }
 
@@ -179,7 +193,19 @@ mod tests {
             total_frames: 10,
             proc_names: vec![],
             samples: vec![],
+            marks: vec![],
         };
         assert_eq!(t.render_ascii(40), "(no samples)");
+    }
+
+    #[test]
+    fn marks_annotate_the_chart() {
+        let mut t = tl();
+        t.marks.push(FaultEvent {
+            at: SimTime::from_nanos(250_000_000),
+            kind: sim_core::fault::FaultKind::StreamDisabled { disabled_tags: 4 },
+        });
+        let s = t.render_ascii(40);
+        assert!(s.contains("stream_disabled"), "mark rendered: {s}");
     }
 }

@@ -6,12 +6,11 @@
 //! serialize. This is the property that makes a 10-disk / 5-adapter array
 //! behave differently from ten fully independent disks.
 
-use serde::{Deserialize, Serialize};
 use sim_core::stats::Counter;
 use sim_core::{SimDuration, SimTime};
 
 /// Aggregate statistics for one adapter.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct AdapterStats {
     /// Requests whose transfer had to wait for the bus.
     pub bus_conflicts: Counter,

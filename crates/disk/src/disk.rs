@@ -1,13 +1,12 @@
 //! A single disk with FIFO service and head-position state.
 
-use serde::{Deserialize, Serialize};
 use sim_core::stats::{Counter, Histogram};
 use sim_core::{SimDuration, SimTime};
 
 use crate::model::DiskParams;
 
 /// Aggregate statistics for one disk.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct DiskStats {
     /// Completed read requests.
     pub reads: Counter,

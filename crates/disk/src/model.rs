@@ -5,11 +5,10 @@
 //! Seek time follows the standard concave square-root-of-distance model
 //! between a track-to-track minimum and a full-stroke maximum.
 
-use serde::{Deserialize, Serialize};
 use sim_core::SimDuration;
 
 /// Physical parameters of one disk.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct DiskParams {
     /// Track-to-track (minimum nonzero) seek.
     pub min_seek: SimDuration,

@@ -6,7 +6,8 @@
 //! fan out across all spindles, which is what lets prefetching overlap many
 //! page-ins — the effect the paper's prefetch results depend on.
 
-use serde::{Deserialize, Serialize};
+use sim_core::fault::{FaultKind, FaultLog, IoFaults};
+use sim_core::rng::Pcg32;
 use sim_core::stats::{Counter, Histogram};
 use sim_core::{SimDuration, SimTime};
 
@@ -15,11 +16,11 @@ use crate::disk::Disk;
 use crate::model::DiskParams;
 
 /// A swap slot: an index into the striped swap space, one page per slot.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct SwapSlot(pub u64);
 
 /// Read or write.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum IoKind {
     /// Page-in from swap.
     Read,
@@ -28,7 +29,7 @@ pub enum IoKind {
 }
 
 /// Configuration of the swap array.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SwapConfig {
     /// Number of disks in the stripe.
     pub disks: usize,
@@ -66,12 +67,16 @@ impl SwapConfig {
 }
 
 /// Aggregate swap-device statistics.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SwapStats {
     /// Completed page reads.
     pub page_reads: Counter,
     /// Completed page writes.
     pub page_writes: Counter,
+    /// Transient failures retried (fault injection).
+    pub transient_retries: Counter,
+    /// Requests that hit the injected slow tail.
+    pub tail_delays: Counter,
 }
 
 /// The striped swap device.
@@ -93,6 +98,9 @@ pub struct SwapDevice {
     disks_per_adapter: usize,
     stats: SwapStats,
     latency_hist: Histogram,
+    faults: IoFaults,
+    fault_rng: Option<Pcg32>,
+    fault_log: FaultLog,
 }
 
 impl SwapDevice {
@@ -118,7 +126,23 @@ impl SwapDevice {
             disks_per_adapter: config.disks / config.adapters,
             stats: SwapStats::default(),
             latency_hist: Histogram::new(),
+            faults: IoFaults::default(),
+            fault_rng: None,
+            fault_log: FaultLog::default(),
         }
+    }
+
+    /// Arms deterministic I/O fault injection: transient errors with
+    /// bounded retry + exponential backoff, and slow-I/O tail latencies.
+    /// All randomness comes from `rng`, so a faulty run replays exactly.
+    pub fn arm_faults(&mut self, faults: IoFaults, rng: Pcg32) {
+        self.faults = faults;
+        self.fault_rng = faults.any().then_some(rng);
+    }
+
+    /// The faults injected so far (empty when faults are not armed).
+    pub fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
     }
 
     /// Number of disks in the stripe.
@@ -135,8 +159,65 @@ impl SwapDevice {
     /// Submits a one-page request at `now`; returns its completion instant.
     ///
     /// FIFO per disk; the transfer phase arbitrates for the owning adapter's
-    /// bus.
+    /// bus. When fault injection is armed, the request may be delayed by a
+    /// tail latency and/or transparently retried after transient failures
+    /// (exponential backoff, bounded by [`IoFaults::max_retries`]); the
+    /// returned completion includes all injected latency.
     pub fn submit(&mut self, now: SimTime, slot: SwapSlot, kind: IoKind) -> SimTime {
+        // Draw all fault decisions up front so the mechanical path below
+        // stays borrow-free, and so the number of RNG draws per request is
+        // a pure function of the fault plan (determinism across layers).
+        let mut tail = false;
+        let mut failures = 0u32;
+        if let Some(rng) = self.fault_rng.as_mut() {
+            if self.faults.tail > 0.0 {
+                tail = rng.next_f64() < self.faults.tail;
+            }
+            while failures < self.faults.max_retries
+                && self.faults.transient > 0.0
+                && rng.next_f64() < self.faults.transient
+            {
+                failures += 1;
+            }
+        }
+
+        let mut start = now;
+        if tail {
+            let factor = u64::from(self.faults.tail_factor.max(2));
+            let extra = self.disks[0]
+                .params()
+                .avg_random_service()
+                .saturating_mul(factor - 1);
+            self.stats.tail_delays.bump();
+            self.fault_log.record(
+                now,
+                FaultKind::IoTail {
+                    factor: self.faults.tail_factor,
+                },
+            );
+            start += extra;
+        }
+        let mut completion = self.submit_mech(start, slot, kind);
+        let mut backoff = self.faults.backoff;
+        for attempt in 1..=failures {
+            self.stats.transient_retries.bump();
+            self.fault_log
+                .record(completion, FaultKind::IoTransient { attempt, backoff });
+            let retry_at = completion + backoff;
+            completion = self.submit_mech(retry_at, slot, kind);
+            backoff = backoff + backoff;
+        }
+        match kind {
+            IoKind::Read => self.stats.page_reads.bump(),
+            IoKind::Write => self.stats.page_writes.bump(),
+        }
+        self.latency_hist.record(completion.since(now));
+        completion
+    }
+
+    /// One pass through the disk + adapter mechanics (no fault handling,
+    /// no device-level stats — retries re-enter here).
+    fn submit_mech(&mut self, now: SimTime, slot: SwapSlot, kind: IoKind) -> SimTime {
         let (disk_idx, block) = self.locate(slot);
         let adapter_idx = disk_idx / self.disks_per_adapter;
         let disk = &mut self.disks[disk_idx];
@@ -146,12 +227,7 @@ impl SwapDevice {
         let (transfer_start, completion) =
             self.adapters[adapter_idx].arbitrate(mech_ready, transfer);
         disk.commit(now, block, kind == IoKind::Write, queue_start, completion);
-        match kind {
-            IoKind::Read => self.stats.page_reads.bump(),
-            IoKind::Write => self.stats.page_writes.bump(),
-        }
         let _ = transfer_start;
-        self.latency_hist.record(completion.since(now));
         completion
     }
 
@@ -253,6 +329,66 @@ mod tests {
             adapters: 2,
             params: DiskParams::test_disk(),
         });
+    }
+
+    #[test]
+    fn armed_faults_add_latency_and_log() {
+        let mut clean = SwapDevice::new(SwapConfig::test_array());
+        let mut faulty = SwapDevice::new(SwapConfig::test_array());
+        faulty.arm_faults(
+            IoFaults {
+                transient: 1.0, // every request fails until retries cap
+                max_retries: 2,
+                backoff: SimDuration::from_millis(1),
+                tail: 1.0,
+                tail_factor: 4,
+            },
+            Pcg32::seeded(5),
+        );
+        let base = clean.submit(SimTime::ZERO, SwapSlot(0), IoKind::Read);
+        let slow = faulty.submit(SimTime::ZERO, SwapSlot(0), IoKind::Read);
+        assert!(
+            slow > base,
+            "faults must cost latency: {slow:?} vs {base:?}"
+        );
+        assert_eq!(faulty.stats().transient_retries.get(), 2);
+        assert_eq!(faulty.stats().tail_delays.get(), 1);
+        assert_eq!(faulty.fault_log().count("io_transient"), 2);
+        assert_eq!(faulty.fault_log().count("io_tail"), 1);
+        // Logical read counted once despite the retries.
+        assert_eq!(faulty.stats().page_reads.get(), 1);
+    }
+
+    #[test]
+    fn fault_injection_is_reproducible() {
+        let run = || {
+            let mut swap = SwapDevice::new(SwapConfig::test_array());
+            swap.arm_faults(IoFaults::flaky(0.3), Pcg32::seeded(11));
+            let mut out = Vec::new();
+            for s in 0..50u64 {
+                out.push(
+                    swap.submit(SimTime::from_nanos(s * 10_000), SwapSlot(s), IoKind::Read)
+                        .as_nanos(),
+                );
+            }
+            (out, swap.fault_log().total())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_fault_plan_changes_nothing() {
+        let mut a = SwapDevice::new(SwapConfig::test_array());
+        let mut b = SwapDevice::new(SwapConfig::test_array());
+        b.arm_faults(IoFaults::default(), Pcg32::seeded(1));
+        for s in 0..20u64 {
+            let t = SimTime::from_nanos(s * 5000);
+            assert_eq!(
+                a.submit(t, SwapSlot(s), IoKind::Write),
+                b.submit(t, SwapSlot(s), IoKind::Write)
+            );
+        }
+        assert_eq!(b.fault_log().total(), 0);
     }
 
     #[test]

@@ -1,20 +1,26 @@
 //! Property tests for the disk subsystem: FIFO causality per spindle, bus
 //! serialization per adapter, and monotone completion times.
 
-use proptest::prelude::*;
+use sim_core::check::{self, run_cases};
 
 use disk::{IoKind, SwapConfig, SwapDevice, SwapSlot};
 use sim_core::SimTime;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Submitting at non-decreasing times yields, per disk, non-decreasing
-    /// completion times (FIFO), and every completion is after its submit.
-    #[test]
-    fn per_disk_fifo_and_causality(
-        reqs in prop::collection::vec((0u64..5000, 0u64..10_000, any::<bool>()), 1..100)
-    ) {
+/// Submitting at non-decreasing times yields, per disk, non-decreasing
+/// completion times (FIFO), and every completion is after its submit.
+#[test]
+fn per_disk_fifo_and_causality() {
+    run_cases(0xD15C0, 128, |rng| {
+        let n = check::int_in(rng, 1, 100);
+        let reqs: Vec<(u64, u64, bool)> = (0..n)
+            .map(|_| {
+                (
+                    check::int_in(rng, 0, 5000),
+                    check::int_in(rng, 0, 10_000),
+                    check::flip(rng),
+                )
+            })
+            .collect();
         let mut swap = SwapDevice::new(SwapConfig::paper());
         let ndisks = swap.disk_count() as u64;
         let mut now = SimTime::ZERO;
@@ -23,23 +29,24 @@ proptest! {
             now += sim_core::SimDuration::from_micros(dt);
             let kind = if write { IoKind::Write } else { IoKind::Read };
             let done = swap.submit(now, SwapSlot(slot), kind);
-            prop_assert!(done > now, "completion {done:?} not after submit {now:?}");
+            assert!(done > now, "completion {done:?} not after submit {now:?}");
             let disk = (slot % ndisks) as usize;
-            prop_assert!(
+            assert!(
                 done >= last_done[disk],
                 "disk {disk} went backwards: {done:?} < {:?}",
                 last_done[disk]
             );
             last_done[disk] = done;
         }
-    }
+    });
+}
 
-    /// Bus accounting: total adapter busy time equals the transfer time of
-    /// every request routed through it.
-    #[test]
-    fn adapter_busy_equals_total_transfers(
-        slots in prop::collection::vec(0u64..10_000, 1..200)
-    ) {
+/// Bus accounting: total adapter busy time equals the transfer time of
+/// every request routed through it.
+#[test]
+fn adapter_busy_equals_total_transfers() {
+    run_cases(0xADA57E4, 128, |rng| {
+        let slots = check::vec_of_ints(rng, 1, 200, 0, 10_000);
         let config = SwapConfig::paper();
         let per_adapter = config.disks / config.adapters;
         let transfer = config.params.page_transfer;
@@ -52,25 +59,30 @@ proptest! {
             per_adapter_count[disk / per_adapter] += 1;
         }
         for (a, adapter) in swap.adapters().iter().enumerate() {
-            prop_assert_eq!(
+            assert_eq!(
                 adapter.stats().busy.as_nanos(),
                 transfer.as_nanos() * per_adapter_count[a],
-                "adapter {} busy mismatch", a
+                "adapter {a} busy mismatch"
             );
         }
-    }
+    });
+}
 
-    /// Stripe mapping is a bijection between slots and (disk, block).
-    #[test]
-    fn striping_is_bijective(slots in prop::collection::btree_set(0u64..100_000, 1..200)) {
+/// Stripe mapping is a bijection between slots and (disk, block).
+#[test]
+fn striping_is_bijective() {
+    run_cases(0x57417E, 128, |rng| {
+        let slots: std::collections::BTreeSet<u64> = check::vec_of_ints(rng, 1, 200, 0, 100_000)
+            .into_iter()
+            .collect();
         let swap = SwapDevice::new(SwapConfig::paper());
         let mut seen = std::collections::HashSet::new();
         for &s in &slots {
             let loc = swap.locate(SwapSlot(s));
-            prop_assert!(seen.insert(loc), "slot {s} collided at {loc:?}");
+            assert!(seen.insert(loc), "slot {s} collided at {loc:?}");
             // Round-trip.
             let (disk, block) = loc;
-            prop_assert_eq!(block * swap.disk_count() as u64 + disk as u64, s);
+            assert_eq!(block * swap.disk_count() as u64 + disk as u64, s);
         }
-    }
+    });
 }

@@ -460,6 +460,20 @@ impl OpStream for Executor {
                 self.iterations += 1;
                 let more = self.advance();
                 if !more {
+                    // The nest is over: its release-directive tags go out
+                    // of scope. Retiring them lets the run-time layer
+                    // flush each tag's trailing one-behind page and drop
+                    // the filter entry (which would otherwise leak one
+                    // slot per directive across a long multi-phase run).
+                    let mut retired: Vec<u32> = Vec::new();
+                    for dir in &self.prog.nests[self.nest_idx].directives {
+                        if let Some(rel) = dir.release {
+                            if !retired.contains(&rel.tag) {
+                                retired.push(rel.tag);
+                                self.pending.push_back(Op::RetireTag { tag: rel.tag });
+                            }
+                        }
+                    }
                     self.in_nest = false;
                     self.nest_idx += 1;
                     break;

@@ -60,6 +60,30 @@ impl TagFilter {
     pub fn drain_recorded(&mut self) -> Vec<Vpn> {
         self.last.drain().map(|(_, v)| v).collect()
     }
+
+    /// Retires one tag, returning its trailing recorded page (if any) so
+    /// the caller can flush it.
+    ///
+    /// A release directive's tag is scoped to its loop nest: once the
+    /// executor leaves the nest, the tag will never hint again, so keeping
+    /// its entry would leak one slot per retired tag over a long
+    /// multi-phase run. The executor calls this on nest exit.
+    pub fn retire_tag(&mut self, tag: u32) -> Option<Vpn> {
+        self.last.remove(&tag)
+    }
+
+    /// Retires every listed tag, collecting their trailing pages.
+    pub fn retire_tags(&mut self, tags: impl IntoIterator<Item = u32>) -> Vec<Vpn> {
+        tags.into_iter()
+            .filter_map(|t| self.retire_tag(t))
+            .collect()
+    }
+
+    /// Number of tags currently tracked (bounded by live nests, not by
+    /// run length, once retirement is wired in).
+    pub fn tracked_tags(&self) -> usize {
+        self.last.len()
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +119,34 @@ mod tests {
         f.observe(2, Vpn(20));
         assert_eq!(f.observe(1, Vpn(11)), Some(Vpn(10)));
         assert_eq!(f.observe(2, Vpn(21)), Some(Vpn(20)));
+    }
+
+    #[test]
+    fn retire_tag_evicts_entry_and_returns_trailing_page() {
+        let mut f = TagFilter::new();
+        f.observe(1, Vpn(10));
+        f.observe(2, Vpn(20));
+        assert_eq!(f.tracked_tags(), 2);
+        assert_eq!(f.retire_tag(1), Some(Vpn(10)));
+        assert_eq!(f.tracked_tags(), 1, "retired tag no longer tracked");
+        assert_eq!(f.retire_tag(1), None, "retire is idempotent");
+        // The tag restarts cleanly if it ever reappears.
+        assert_eq!(f.observe(1, Vpn(30)), None);
+        assert_eq!(f.observe(1, Vpn(31)), Some(Vpn(30)));
+    }
+
+    #[test]
+    fn retirement_bounds_tracked_tags_across_phases() {
+        // Regression: without eviction, one entry leaked per retired tag,
+        // growing the filter without bound over a multi-phase run.
+        let mut f = TagFilter::new();
+        for phase in 0..1000u32 {
+            f.observe(phase, Vpn(u64::from(phase)));
+            f.observe(phase, Vpn(u64::from(phase) + 1));
+            let flushed = f.retire_tags([phase]);
+            assert_eq!(flushed, vec![Vpn(u64::from(phase) + 1)]);
+        }
+        assert_eq!(f.tracked_tags(), 0, "retired tags must not accumulate");
     }
 
     #[test]

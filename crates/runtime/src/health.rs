@@ -1,0 +1,346 @@
+//! The hint health monitor.
+//!
+//! The paper's degradation story — wrong hints decay toward stock
+//! reactive paging — is enforced here. Each directive tag accumulates
+//! effectiveness evidence: a release cancelled by a re-reference, a
+//! released page rescued back off the free list, or a prefetch of an
+//! already-resident page is a **misfire** (the hint cost kernel work and
+//! bought nothing). When a tag's misfire rate over a sliding window
+//! crosses the disable threshold, the monitor reverts that tag to
+//! reactive paging: its release hints become mere eviction *candidates*
+//! and its prefetch hints are dropped. After a probation quota of
+//! suppressed hints the tag is retried under a stricter threshold
+//! (hysteresis), so a tag flapping around the boundary settles disabled.
+//! If enough tags are individually disabled the whole stream is declared
+//! untrustworthy and every hint degrades until tags recover.
+//!
+//! The monitor is pure bookkeeping: it draws no randomness and adds no
+//! simulated time, so enabling it with a healthy hint stream leaves a
+//! run's timing unchanged until the first suppression.
+
+use std::collections::HashMap;
+
+use sim_core::fault::{FaultKind, FaultLog};
+use sim_core::SimTime;
+
+/// Thresholds of the hysteresis state machine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HealthConfig {
+    /// Hints per evaluation window; the misfire rate is assessed each
+    /// time a tag accumulates this many hints.
+    pub window: u32,
+    /// Misfire rate at which an enabled tag is disabled.
+    pub disable_threshold: f64,
+    /// Misfire rate at which a *probationary* tag is re-disabled. Lower
+    /// than `disable_threshold`: a tag must prove itself cleaner than the
+    /// bar that tripped it.
+    pub enable_threshold: f64,
+    /// Suppressed hints a disabled tag sits out before probation retries
+    /// it.
+    pub probation: u32,
+    /// Number of individually disabled tags at which the whole stream
+    /// reverts to reactive paging.
+    pub stream_disable_tags: usize,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            window: 64,
+            disable_threshold: 0.5,
+            enable_threshold: 0.25,
+            probation: 256,
+            stream_disable_tags: 4,
+        }
+    }
+}
+
+/// Why a hint counted against its tag.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Misfire {
+    /// A released page was re-referenced before the releaser freed it
+    /// (the `SoftFaultRelease` outcome).
+    CancelledRelease,
+    /// A released page was freed and then rescued back from the free
+    /// list — released too early.
+    RescuedRelease,
+    /// A prefetch reached the OS for a page that was already resident.
+    UselessPrefetch,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TagState {
+    Enabled,
+    Disabled { suppressed: u32 },
+    Probation,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TagHealth {
+    state: TagState,
+    hints: u32,
+    misfires: u32,
+}
+
+impl Default for TagHealth {
+    fn default() -> Self {
+        TagHealth {
+            state: TagState::Enabled,
+            hints: 0,
+            misfires: 0,
+        }
+    }
+}
+
+/// Aggregate monitor counters (exposed through run results).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthStats {
+    /// Hints suppressed (tag or stream disabled).
+    pub suppressed: u64,
+    /// Misfires attributed to a tag.
+    pub misfires: u64,
+    /// Tag-disable transitions taken.
+    pub tag_disables: u64,
+    /// Probation retries granted.
+    pub tag_probations: u64,
+    /// Stream-disable transitions taken.
+    pub stream_disables: u64,
+}
+
+/// Per-tag effectiveness tracking with hysteresis (see module docs).
+#[derive(Clone, Debug, Default)]
+pub struct HintHealth {
+    config: HealthConfig,
+    tags: HashMap<u32, TagHealth>,
+    disabled: usize,
+    stream_down: bool,
+    stats: HealthStats,
+}
+
+impl HintHealth {
+    /// Creates a monitor with the given thresholds.
+    pub fn new(config: HealthConfig) -> Self {
+        HintHealth {
+            config,
+            ..HintHealth::default()
+        }
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> &HealthStats {
+        &self.stats
+    }
+
+    /// Whether the whole stream is currently reverted to reactive paging.
+    pub fn stream_degraded(&self) -> bool {
+        self.stream_down
+    }
+
+    /// Whether a specific tag is currently suppressed (without counting a
+    /// hint).
+    pub fn tag_degraded(&self, tag: u32) -> bool {
+        self.stream_down
+            || matches!(
+                self.tags.get(&tag).map(|t| t.state),
+                Some(TagState::Disabled { .. })
+            )
+    }
+
+    /// Observes one hint for `tag`; returns `true` if the hint may be
+    /// acted on, `false` if it must degrade to reactive behavior.
+    /// Transitions are recorded into `log` at `now`.
+    pub fn on_hint(&mut self, tag: u32, now: SimTime, log: &mut FaultLog) -> bool {
+        let cfg = self.config;
+        let t = self.tags.entry(tag).or_default();
+
+        if let TagState::Disabled { suppressed } = t.state {
+            let suppressed = suppressed + 1;
+            if suppressed >= cfg.probation {
+                t.state = TagState::Probation;
+                t.hints = 0;
+                t.misfires = 0;
+                self.disabled -= 1;
+                self.stats.tag_probations += 1;
+                log.record(now, FaultKind::TagProbation { tag });
+                if self.stream_down && self.disabled < cfg.stream_disable_tags {
+                    self.stream_down = false;
+                    log.record(now, FaultKind::StreamRestored);
+                }
+            } else {
+                t.state = TagState::Disabled { suppressed };
+            }
+            self.stats.suppressed += 1;
+            return false;
+        }
+
+        // Evaluate the window.
+        t.hints += 1;
+        if t.hints >= cfg.window {
+            let rate = f64::from(t.misfires) / f64::from(t.hints);
+            let threshold = if t.state == TagState::Probation {
+                cfg.enable_threshold
+            } else {
+                cfg.disable_threshold
+            };
+            if rate >= threshold {
+                let (misfires, window) = (t.misfires, t.hints);
+                t.state = TagState::Disabled { suppressed: 0 };
+                self.disabled += 1;
+                self.stats.tag_disables += 1;
+                log.record(
+                    now,
+                    FaultKind::TagDisabled {
+                        tag,
+                        misfires,
+                        window,
+                    },
+                );
+                if !self.stream_down && self.disabled >= cfg.stream_disable_tags {
+                    self.stream_down = true;
+                    self.stats.stream_disables += 1;
+                    log.record(
+                        now,
+                        FaultKind::StreamDisabled {
+                            disabled_tags: self.disabled,
+                        },
+                    );
+                }
+                self.stats.suppressed += 1;
+                return false;
+            }
+            t.state = TagState::Enabled; // probation served clean
+            t.hints = 0;
+            t.misfires = 0;
+        }
+
+        if self.stream_down {
+            self.stats.suppressed += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Attributes one misfire to `tag`. Disabled tags take no further
+    /// blame (their hints are already suppressed; late feedback from
+    /// earlier hints must not push probation further away).
+    pub fn on_misfire(&mut self, tag: u32, _kind: Misfire) {
+        let t = self.tags.entry(tag).or_default();
+        if matches!(t.state, TagState::Disabled { .. }) {
+            return;
+        }
+        t.misfires += 1;
+        self.stats.misfires += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig {
+            window: 4,
+            disable_threshold: 0.5,
+            enable_threshold: 0.25,
+            probation: 3,
+            stream_disable_tags: 2,
+        }
+    }
+
+    fn log() -> FaultLog {
+        FaultLog::default()
+    }
+
+    /// Runs `n` hints with `m` misfires each window through tag 7.
+    fn window(h: &mut HintHealth, log: &mut FaultLog, tag: u32, misfires: u32) -> Vec<bool> {
+        (0..4)
+            .map(|i| {
+                if i < misfires {
+                    h.on_misfire(tag, Misfire::CancelledRelease);
+                }
+                h.on_hint(tag, SimTime::ZERO, log)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn healthy_tag_stays_enabled() {
+        let mut h = HintHealth::new(cfg());
+        let mut l = log();
+        for _ in 0..10 {
+            assert!(window(&mut h, &mut l, 7, 0).iter().all(|&ok| ok));
+        }
+        assert!(!h.tag_degraded(7));
+        assert_eq!(h.stats().tag_disables, 0);
+        assert_eq!(l.total(), 0, "no transitions for a healthy tag");
+    }
+
+    #[test]
+    fn misfiring_tag_disables_then_probation_then_reenables() {
+        let mut h = HintHealth::new(cfg());
+        let mut l = log();
+        // Window of 4 with 3 misfires: rate 0.75 ≥ 0.5 → disabled on the
+        // 4th hint.
+        let verdicts = window(&mut h, &mut l, 7, 3);
+        assert_eq!(verdicts, vec![true, true, true, false]);
+        assert!(h.tag_degraded(7));
+        assert_eq!(l.count("tag_disabled"), 1);
+
+        // Probation after 3 suppressed hints; the 3rd grants probation
+        // but still suppresses.
+        assert!(!h.on_hint(7, SimTime::ZERO, &mut l));
+        assert!(!h.on_hint(7, SimTime::ZERO, &mut l));
+        assert!(!h.on_hint(7, SimTime::ZERO, &mut l));
+        assert_eq!(l.count("tag_probation"), 1);
+        assert!(!h.tag_degraded(7));
+
+        // A clean probation window restores full service.
+        assert!(window(&mut h, &mut l, 7, 0).iter().all(|&ok| ok));
+        assert_eq!(h.stats().tag_probations, 1);
+    }
+
+    #[test]
+    fn probation_uses_stricter_threshold() {
+        let mut h = HintHealth::new(cfg());
+        let mut l = log();
+        window(&mut h, &mut l, 7, 3); // disable
+        for _ in 0..3 {
+            h.on_hint(7, SimTime::ZERO, &mut l); // serve probation
+        }
+        // 1 misfire in 4 = 0.25 ≥ enable_threshold → re-disabled, even
+        // though 0.25 < disable_threshold.
+        let verdicts = window(&mut h, &mut l, 7, 1);
+        assert!(!verdicts[3]);
+        assert_eq!(l.count("tag_disabled"), 2);
+    }
+
+    #[test]
+    fn enough_bad_tags_disable_the_stream() {
+        let mut h = HintHealth::new(cfg());
+        let mut l = log();
+        window(&mut h, &mut l, 1, 4);
+        assert!(!h.stream_degraded());
+        window(&mut h, &mut l, 2, 4);
+        assert!(h.stream_degraded(), "2 disabled tags trip the stream");
+        assert_eq!(l.count("stream_disabled"), 1);
+        // A healthy third tag is suppressed too.
+        assert!(!h.on_hint(3, SimTime::ZERO, &mut l));
+        assert!(h.tag_degraded(3));
+        // One tag recovering restores the stream.
+        for _ in 0..3 {
+            h.on_hint(1, SimTime::ZERO, &mut l);
+        }
+        assert!(!h.stream_degraded());
+        assert_eq!(l.count("stream_restored"), 1);
+    }
+
+    #[test]
+    fn disabled_tags_take_no_late_blame() {
+        let mut h = HintHealth::new(cfg());
+        let mut l = log();
+        window(&mut h, &mut l, 7, 4);
+        let before = h.stats().misfires;
+        h.on_misfire(7, Misfire::RescuedRelease);
+        assert_eq!(h.stats().misfires, before, "late feedback ignored");
+    }
+}

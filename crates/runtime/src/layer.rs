@@ -6,12 +6,35 @@
 //! release requests that should actually reach the OS, plus the user-CPU
 //! cost of its own checking work (this overhead is what inflates CGM's user
 //! time in the paper's Figure 7).
+//!
+//! Two robustness mechanisms wrap the hint path:
+//!
+//! * **Fault injection** ([`sim_core::fault::HintFaults`], armed via
+//!   [`RuntimeLayer::arm_faults`]) perturbs the incoming stream *before*
+//!   the layer's own filters — hints can be dropped, delayed behind the
+//!   next hint, duplicated, or mis-tagged, and shared-page bitmap reads
+//!   can be served from a stale cache. All draws come from the plan's
+//!   per-process RNG stream, so faulty runs stay seed-reproducible.
+//! * **The hint health monitor** ([`crate::health`]) watches per-tag
+//!   effectiveness feedback from the VM (cancelled releases, free-list
+//!   rescues, already-resident prefetches) and degrades misbehaving tags
+//!   — or the whole stream — to reactive paging: suppressed release hints
+//!   become mere eviction candidates and suppressed prefetches fall back
+//!   to demand faulting.
 
-use sim_core::SimDuration;
+use std::collections::{HashMap, VecDeque};
+
+use sim_core::fault::{FaultKind, FaultLog, HintFaults};
+use sim_core::rng::Pcg32;
+use sim_core::{SimDuration, SimTime};
 use vm::{Pid, VmSys, Vpn};
 
 use crate::filter::TagFilter;
+use crate::health::{HealthConfig, HealthStats, HintHealth, Misfire};
 use crate::policy::{ReleaseBuffers, ReleasePolicy};
+
+/// Cap on queued reactive eviction candidates produced by degradation.
+const DEGRADED_CAP: usize = 4096;
 
 /// Tunables of the run-time layer.
 #[derive(Clone, Copy, Debug)]
@@ -30,6 +53,9 @@ pub struct RtConfig {
     /// Whether the per-tag one-behind filter is applied (ablation; the
     /// paper's layer always applies it).
     pub one_behind: bool,
+    /// Hint health monitoring thresholds; `None` disables the monitor
+    /// (hints are trusted unconditionally, as in the paper's baseline).
+    pub health: Option<HealthConfig>,
 }
 
 impl Default for RtConfig {
@@ -40,6 +66,7 @@ impl Default for RtConfig {
             hint_check: SimDuration::from_nanos(250),
             buffer_op: SimDuration::from_nanos(400),
             one_behind: true,
+            health: None,
         }
     }
 }
@@ -65,6 +92,26 @@ pub struct RtStats {
     pub release_buffered: u64,
     /// Buffered releases drained to the OS by memory pressure.
     pub release_drained: u64,
+    /// Hints the fault layer dropped before the filters saw them.
+    pub hints_dropped: u64,
+    /// Hints the fault layer held back behind the next hint.
+    pub hints_delayed: u64,
+    /// Hints the fault layer delivered twice.
+    pub hints_duplicated: u64,
+    /// Hints whose tag the fault layer rewrote.
+    pub hints_mistagged: u64,
+    /// Bitmap reads served from the stale cache with a wrong value.
+    pub stale_reads: u64,
+    /// Hints the health monitor degraded to reactive behavior.
+    pub hints_suppressed: u64,
+    /// Releases cancelled by a re-reference (misfire feedback).
+    pub misfires_cancelled: u64,
+    /// Released pages rescued back off the free list (misfire feedback).
+    pub misfires_rescued: u64,
+    /// Prefetches that reached the OS already resident (misfire feedback).
+    pub misfires_useless_prefetch: u64,
+    /// Directive tags retired on loop-nest exit.
+    pub tags_retired: u64,
 }
 
 /// The run-time layer for one process (see module docs).
@@ -75,6 +122,21 @@ pub struct RuntimeLayer {
     tags: TagFilter,
     buffers: ReleaseBuffers,
     stats: RtStats,
+    health: Option<HintHealth>,
+    faults: HintFaults,
+    fault_rng: Option<Pcg32>,
+    fault_log: FaultLog,
+    delayed_release: VecDeque<(Vpn, u32, u32)>,
+    delayed_prefetch: VecDeque<(Vpn, u64, u32)>,
+    /// Stale shared-bitmap cache: page → (sampled at, resident then).
+    stale: HashMap<Vpn, (SimTime, bool)>,
+    /// Pages whose release was issued/buffered, by responsible tag, so VM
+    /// feedback (cancellation, rescue) can be attributed for health.
+    release_tags: HashMap<Vpn, u32>,
+    /// Pages whose prefetch was issued, by responsible tag.
+    prefetch_tags: HashMap<Vpn, u32>,
+    /// Suppressed release hints, kept as reactive eviction candidates.
+    degraded: VecDeque<Vpn>,
 }
 
 impl RuntimeLayer {
@@ -86,6 +148,16 @@ impl RuntimeLayer {
             tags: TagFilter::new(),
             buffers: ReleaseBuffers::new(),
             stats: RtStats::default(),
+            health: config.health.map(HintHealth::new),
+            faults: HintFaults::default(),
+            fault_rng: None,
+            fault_log: FaultLog::default(),
+            delayed_release: VecDeque::new(),
+            delayed_prefetch: VecDeque::new(),
+            stale: HashMap::new(),
+            release_tags: HashMap::new(),
+            prefetch_tags: HashMap::new(),
+            degraded: VecDeque::new(),
         }
     }
 
@@ -99,9 +171,26 @@ impl RuntimeLayer {
         &self.stats
     }
 
+    /// Health-monitor counters, if the monitor is enabled.
+    pub fn health_stats(&self) -> Option<&HealthStats> {
+        self.health.as_ref().map(|h| h.stats())
+    }
+
+    /// Faults injected and degradation transitions taken so far.
+    pub fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
+    }
+
     /// Pages currently sitting in the release buffers.
     pub fn buffered_pages(&self) -> usize {
         self.buffers.buffered()
+    }
+
+    /// Arms hint-stream fault injection with the per-process RNG stream
+    /// derived from a [`sim_core::fault::FaultPlan`].
+    pub fn arm_faults(&mut self, faults: HintFaults, rng: Pcg32) {
+        self.faults = faults;
+        self.fault_rng = Some(rng);
     }
 
     /// Processes a prefetch hint for `npages` pages starting at `vpn`.
@@ -112,21 +201,25 @@ impl RuntimeLayer {
         &mut self,
         vm: &VmSys,
         pid: Pid,
+        now: SimTime,
         vpn: Vpn,
         npages: u64,
+        tag: u32,
     ) -> (Vec<Vpn>, SimDuration) {
         let mut to_issue = Vec::new();
-        for i in 0..npages {
-            let page = Vpn(vpn.0 + i);
-            self.stats.prefetch_hints += 1;
-            if vm.pm_resident(pid, page) {
-                self.stats.prefetch_filtered += 1;
-            } else {
-                self.stats.prefetch_issued += 1;
-                to_issue.push(page);
-            }
+        let mut cost = SimDuration::ZERO;
+        // Deliver hints the fault layer held back, ahead of this one.
+        while let Some((v, n, t)) = self.delayed_prefetch.pop_front() {
+            let (mut o, c) = self.prefetch_core(vm, pid, now, v, n, t);
+            to_issue.append(&mut o);
+            cost += c;
         }
-        (to_issue, self.config.hint_check.saturating_mul(npages))
+        for (v, n, t) in self.perturb(now, vpn, npages, tag, false) {
+            let (mut o, c) = self.prefetch_core(vm, pid, now, v, n, t);
+            to_issue.append(&mut o);
+            cost += c;
+        }
+        (to_issue, cost)
     }
 
     /// Processes a release hint `(vpn, priority, tag)`.
@@ -137,12 +230,259 @@ impl RuntimeLayer {
         &mut self,
         vm: &VmSys,
         pid: Pid,
+        now: SimTime,
+        vpn: Vpn,
+        priority: u32,
+        tag: u32,
+    ) -> (Vec<Vpn>, SimDuration) {
+        let mut out = Vec::new();
+        let mut cost = SimDuration::ZERO;
+        while let Some((v, p, t)) = self.delayed_release.pop_front() {
+            let (mut o, c) = self.release_core(vm, pid, now, v, p, t);
+            out.append(&mut o);
+            cost += c;
+        }
+        for (v, p, t) in self.perturb(now, vpn, u64::from(priority), tag, true) {
+            let (mut o, c) = self.release_core(vm, pid, now, v, p as u32, t);
+            out.append(&mut o);
+            cost += c;
+        }
+        (out, cost)
+    }
+
+    /// Retires directive `tag` on loop-nest exit: evicts its one-behind
+    /// filter entry and handles the trailing recorded page through the
+    /// policy (the nest is over, so no further reuse is expected).
+    pub fn on_retire_tag(
+        &mut self,
+        vm: &VmSys,
+        pid: Pid,
+        now: SimTime,
+        tag: u32,
+    ) -> (Vec<Vpn>, SimDuration) {
+        self.stats.tags_retired += 1;
+        let Some(trailing) = self.tags.retire_tag(tag) else {
+            return (Vec::new(), SimDuration::ZERO);
+        };
+        let cost = self.config.hint_check;
+        if self.health.as_ref().is_some_and(|h| h.tag_degraded(tag)) {
+            self.push_degraded(trailing);
+            return (Vec::new(), cost);
+        }
+        if !self.resident(vm, pid, now, trailing) {
+            self.stats.release_filtered_bitmap += 1;
+            return (Vec::new(), cost);
+        }
+        self.release_tags.insert(trailing, tag);
+        match self.policy {
+            ReleasePolicy::Reactive => {
+                self.buffers.buffer(tag, 1, trailing);
+                self.stats.release_buffered += 1;
+                (Vec::new(), cost + self.config.buffer_op)
+            }
+            _ => {
+                self.stats.release_issued_direct += 1;
+                (vec![trailing], cost)
+            }
+        }
+    }
+
+    /// Feedback from the VM about a touch on `vpn`: attributes release
+    /// misfires (cancellations, free-list rescues) to the hinting tag.
+    pub fn note_touch_outcome(&mut self, vpn: Vpn, kind: vm::TouchKind) {
+        use vm::frame::FreeSource;
+        use vm::TouchKind;
+        let misfire = match kind {
+            TouchKind::SoftFaultRelease => Some(Misfire::CancelledRelease),
+            TouchKind::Rescue(FreeSource::Release) => Some(Misfire::RescuedRelease),
+            TouchKind::HardFault | TouchKind::Rescue(_) => None,
+            _ => return,
+        };
+        let Some(tag) = self.release_tags.remove(&vpn) else {
+            return;
+        };
+        match misfire {
+            Some(Misfire::CancelledRelease) => self.stats.misfires_cancelled += 1,
+            Some(Misfire::RescuedRelease) => self.stats.misfires_rescued += 1,
+            _ => {}
+        }
+        if let (Some(h), Some(m)) = (self.health.as_mut(), misfire) {
+            h.on_misfire(tag, m);
+        }
+    }
+
+    /// Feedback from the VM about an issued prefetch: an already-resident
+    /// outcome is a useless-prefetch misfire for the hinting tag.
+    pub fn note_prefetch_outcome(&mut self, vpn: Vpn, already_resident: bool) {
+        let Some(tag) = self.prefetch_tags.remove(&vpn) else {
+            return;
+        };
+        if already_resident {
+            self.stats.misfires_useless_prefetch += 1;
+            if let Some(h) = self.health.as_mut() {
+                h.on_misfire(tag, Misfire::UselessPrefetch);
+            }
+        }
+    }
+
+    /// Hands out buffered pages as OS eviction candidates (reactive mode).
+    pub fn take_candidates(&mut self, n: usize) -> Vec<Vpn> {
+        self.buffers.drain_lowest(n)
+    }
+
+    /// Suppressed release hints waiting to serve as reactive candidates.
+    pub fn degraded_pages(&self) -> usize {
+        self.degraded.len()
+    }
+
+    /// Hands out degraded-hint pages as OS eviction candidates.
+    pub fn take_degraded(&mut self, n: usize) -> Vec<Vpn> {
+        let n = n.min(self.degraded.len());
+        self.degraded.drain(..n).collect()
+    }
+
+    /// End-of-program flush: everything still buffered is released.
+    pub fn flush(&mut self) -> Vec<Vpn> {
+        let out = self.buffers.drain_all();
+        self.stats.release_drained += out.len() as u64;
+        out
+    }
+
+    /// Applies the fault front end to one hint, returning the copies to
+    /// actually process (0 = dropped or delayed, 2 = duplicated). The
+    /// third tuple slot is npages for prefetches, priority for releases.
+    fn perturb(
+        &mut self,
+        now: SimTime,
+        vpn: Vpn,
+        extra: u64,
+        tag: u32,
+        is_release: bool,
+    ) -> Vec<(Vpn, u64, u32)> {
+        let Some(mut rng) = self.fault_rng.take() else {
+            return vec![(vpn, extra, tag)];
+        };
+        let f = self.faults;
+        let mut out = Vec::new();
+        let mut tag = tag;
+        // Fixed draw order keeps the stream identical across policies.
+        let dropped = f.drop > 0.0 && rng.next_f64() < f.drop;
+        let delayed = f.delay > 0.0 && rng.next_f64() < f.delay;
+        let duplicated = f.duplicate > 0.0 && rng.next_f64() < f.duplicate;
+        let mistagged = f.mistag > 0.0 && rng.next_f64() < f.mistag;
+        if mistagged {
+            let to = tag.wrapping_add(1 + rng.next_below(7));
+            self.fault_log
+                .record(now, FaultKind::HintMistagged { from: tag, to });
+            self.stats.hints_mistagged += 1;
+            tag = to;
+        }
+        if dropped {
+            self.fault_log.record(now, FaultKind::HintDropped { tag });
+            self.stats.hints_dropped += 1;
+        } else if delayed {
+            self.fault_log.record(now, FaultKind::HintDelayed { tag });
+            self.stats.hints_delayed += 1;
+            if is_release {
+                self.delayed_release.push_back((vpn, extra as u32, tag));
+            } else {
+                self.delayed_prefetch.push_back((vpn, extra, tag));
+            }
+        } else {
+            out.push((vpn, extra, tag));
+            if duplicated {
+                self.fault_log
+                    .record(now, FaultKind::HintDuplicated { tag });
+                self.stats.hints_duplicated += 1;
+                out.push((vpn, extra, tag));
+            }
+        }
+        self.fault_rng = Some(rng);
+        out
+    }
+
+    /// Shared-page bitmap read, through the stale cache when the fault
+    /// plan configures a staleness window.
+    fn resident(&mut self, vm: &VmSys, pid: Pid, now: SimTime, vpn: Vpn) -> bool {
+        let window = self.faults.stale_shared_window;
+        if window == SimDuration::ZERO {
+            return vm.pm_resident(pid, vpn);
+        }
+        if let Some(&(at, cached)) = self.stale.get(&vpn) {
+            if now < at + window {
+                if cached != vm.pm_resident(pid, vpn) {
+                    self.fault_log
+                        .record(now, FaultKind::StaleSharedRead { age: now - at });
+                    self.stats.stale_reads += 1;
+                }
+                return cached;
+            }
+        }
+        let live = vm.pm_resident(pid, vpn);
+        self.stale.insert(vpn, (now, live));
+        live
+    }
+
+    fn push_degraded(&mut self, vpn: Vpn) {
+        self.degraded.push_back(vpn);
+        if self.degraded.len() > DEGRADED_CAP {
+            self.degraded.pop_front();
+        }
+    }
+
+    fn prefetch_core(
+        &mut self,
+        vm: &VmSys,
+        pid: Pid,
+        now: SimTime,
+        vpn: Vpn,
+        npages: u64,
+        tag: u32,
+    ) -> (Vec<Vpn>, SimDuration) {
+        let cost = self.config.hint_check.saturating_mul(npages);
+        self.stats.prefetch_hints += npages;
+        if let Some(h) = self.health.as_mut() {
+            if !h.on_hint(tag, now, &mut self.fault_log) {
+                // Degraded: fall back to demand faulting.
+                self.stats.hints_suppressed += 1;
+                return (Vec::new(), cost);
+            }
+        }
+        let mut to_issue = Vec::new();
+        for i in 0..npages {
+            let page = Vpn(vpn.0 + i);
+            if self.resident(vm, pid, now, page) {
+                self.stats.prefetch_filtered += 1;
+            } else {
+                self.stats.prefetch_issued += 1;
+                self.prefetch_tags.insert(page, tag);
+                to_issue.push(page);
+            }
+        }
+        (to_issue, cost)
+    }
+
+    fn release_core(
+        &mut self,
+        vm: &VmSys,
+        pid: Pid,
+        now: SimTime,
         vpn: Vpn,
         priority: u32,
         tag: u32,
     ) -> (Vec<Vpn>, SimDuration) {
         self.stats.release_hints += 1;
         let mut cost = self.config.hint_check;
+
+        if let Some(h) = self.health.as_mut() {
+            if !h.on_hint(tag, now, &mut self.fault_log) {
+                // Degraded: the page becomes a reactive eviction
+                // candidate instead of a trusted release.
+                self.stats.hints_suppressed += 1;
+                self.push_degraded(vpn);
+                return (Vec::new(), cost);
+            }
+        }
 
         // One-behind tag filter: handle the previously recorded page.
         // With the filter ablated, act on the hinted page directly.
@@ -159,11 +499,12 @@ impl RuntimeLayer {
         };
 
         // Bitmap check: the page must still be in memory.
-        if !vm.pm_resident(pid, prev) {
+        if !self.resident(vm, pid, now, prev) {
             self.stats.release_filtered_bitmap += 1;
             return (Vec::new(), cost);
         }
 
+        self.release_tags.insert(prev, tag);
         match self.policy {
             ReleasePolicy::Aggressive => {
                 self.stats.release_issued_direct += 1;
@@ -197,26 +538,12 @@ impl RuntimeLayer {
             }
         }
     }
-
-    /// Hands out buffered pages as OS eviction candidates (reactive mode).
-    pub fn take_candidates(&mut self, n: usize) -> Vec<Vpn> {
-        self.buffers.drain_lowest(n)
-    }
-
-    /// End-of-program flush: everything still buffered is released.
-    pub fn flush(&mut self) -> Vec<Vpn> {
-        let out = self.buffers.drain_all();
-        self.stats.release_drained += out.len() as u64;
-        out
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use vm::{Backing, CostParams, Tunables};
-
-    use sim_core::SimTime;
 
     fn t(ms: u64) -> SimTime {
         SimTime::from_nanos(ms * 1_000_000)
@@ -243,11 +570,15 @@ mod tests {
         (vm, pid, r)
     }
 
+    fn hint_rng() -> Pcg32 {
+        sim_core::fault::FaultPlan::seeded(42).rng_for(sim_core::fault::FaultDomain::Hints)
+    }
+
     #[test]
     fn prefetch_hint_filters_resident_pages() {
         let (vm, pid, r) = setup(128, 2);
         let mut rt = RuntimeLayer::new(ReleasePolicy::Aggressive, RtConfig::default());
-        let (issue, cost) = rt.on_prefetch_hint(&vm, pid, r.start, 4);
+        let (issue, cost) = rt.on_prefetch_hint(&vm, pid, t(2), r.start, 4, 0);
         // Pages 0 and 1 are resident → filtered; 2 and 3 issued.
         assert_eq!(issue, vec![r.start.offset(2), r.start.offset(3)]);
         assert_eq!(rt.stats().prefetch_filtered, 2);
@@ -259,9 +590,9 @@ mod tests {
     fn aggressive_release_is_one_behind() {
         let (vm, pid, r) = setup(128, 3);
         let mut rt = RuntimeLayer::new(ReleasePolicy::Aggressive, RtConfig::default());
-        let (first, _) = rt.on_release_hint(&vm, pid, r.start, 0, 7);
+        let (first, _) = rt.on_release_hint(&vm, pid, t(2), r.start, 0, 7);
         assert!(first.is_empty(), "first hint only records");
-        let (second, _) = rt.on_release_hint(&vm, pid, r.start.offset(1), 0, 7);
+        let (second, _) = rt.on_release_hint(&vm, pid, t(2), r.start.offset(1), 0, 7);
         assert_eq!(second, vec![r.start], "previous page released");
     }
 
@@ -270,8 +601,8 @@ mod tests {
         let (vm, pid, r) = setup(128, 1);
         let mut rt = RuntimeLayer::new(ReleasePolicy::Aggressive, RtConfig::default());
         // Record page 5 (never touched → not resident), then move on.
-        rt.on_release_hint(&vm, pid, r.start.offset(5), 0, 7);
-        let (out, _) = rt.on_release_hint(&vm, pid, r.start.offset(6), 0, 7);
+        rt.on_release_hint(&vm, pid, t(2), r.start.offset(5), 0, 7);
+        let (out, _) = rt.on_release_hint(&vm, pid, t(2), r.start.offset(6), 0, 7);
         assert!(out.is_empty());
         assert_eq!(rt.stats().release_filtered_bitmap, 1);
     }
@@ -280,8 +611,8 @@ mod tests {
     fn buffered_priority_zero_issues_directly() {
         let (vm, pid, r) = setup(128, 3);
         let mut rt = RuntimeLayer::new(ReleasePolicy::Buffered, RtConfig::default());
-        rt.on_release_hint(&vm, pid, r.start, 0, 7);
-        let (out, _) = rt.on_release_hint(&vm, pid, r.start.offset(1), 0, 7);
+        rt.on_release_hint(&vm, pid, t(2), r.start, 0, 7);
+        let (out, _) = rt.on_release_hint(&vm, pid, t(2), r.start.offset(1), 0, 7);
         assert_eq!(out, vec![r.start]);
         assert_eq!(rt.buffered_pages(), 0);
     }
@@ -291,8 +622,8 @@ mod tests {
         // Plenty of memory: limit far above usage → no drain.
         let (vm, pid, r) = setup(1024, 3);
         let mut rt = RuntimeLayer::new(ReleasePolicy::Buffered, RtConfig::default());
-        rt.on_release_hint(&vm, pid, r.start, 1, 7);
-        let (out, _) = rt.on_release_hint(&vm, pid, r.start.offset(1), 1, 7);
+        rt.on_release_hint(&vm, pid, t(2), r.start, 1, 7);
+        let (out, _) = rt.on_release_hint(&vm, pid, t(2), r.start.offset(1), 1, 7);
         assert!(out.is_empty());
         assert_eq!(rt.buffered_pages(), 1);
         assert_eq!(rt.stats().release_buffered, 1);
@@ -308,8 +639,8 @@ mod tests {
         let view = vm.shared_view(pid).unwrap();
         assert!(view.usage + 64 >= view.limit, "test premise: near limit");
         let mut rt = RuntimeLayer::new(ReleasePolicy::Buffered, RtConfig::default());
-        rt.on_release_hint(&vm, pid, r.start, 1, 7);
-        let (out, _) = rt.on_release_hint(&vm, pid, r.start.offset(1), 1, 7);
+        rt.on_release_hint(&vm, pid, t(500), r.start, 1, 7);
+        let (out, _) = rt.on_release_hint(&vm, pid, t(500), r.start.offset(1), 1, 7);
         assert_eq!(out, vec![r.start], "pressure forces the drain");
         assert_eq!(rt.stats().release_drained, 1);
     }
@@ -319,11 +650,168 @@ mod tests {
         let (vm, pid, r) = setup(1024, 5);
         let mut rt = RuntimeLayer::new(ReleasePolicy::Buffered, RtConfig::default());
         for i in 0..4 {
-            rt.on_release_hint(&vm, pid, r.start.offset(i), 2, 9);
+            rt.on_release_hint(&vm, pid, t(2), r.start.offset(i), 2, 9);
         }
         assert_eq!(rt.buffered_pages(), 3, "one-behind keeps the newest");
         let out = rt.flush();
         assert_eq!(out.len(), 3);
         assert_eq!(rt.buffered_pages(), 0);
+    }
+
+    #[test]
+    fn dropped_hints_never_reach_the_filters() {
+        let (vm, pid, r) = setup(128, 8);
+        let mut rt = RuntimeLayer::new(ReleasePolicy::Aggressive, RtConfig::default());
+        rt.arm_faults(
+            HintFaults {
+                drop: 1.0,
+                ..HintFaults::default()
+            },
+            hint_rng(),
+        );
+        for i in 0..4 {
+            let (out, _) = rt.on_release_hint(&vm, pid, t(2), r.start.offset(i), 0, 7);
+            assert!(out.is_empty());
+        }
+        assert_eq!(rt.stats().hints_dropped, 4);
+        assert_eq!(rt.stats().release_hints, 0, "filters never saw them");
+        assert_eq!(rt.fault_log().count("hint_dropped"), 4);
+    }
+
+    #[test]
+    fn delayed_hint_arrives_before_the_next_one() {
+        let (vm, pid, r) = setup(128, 8);
+        let mut rt = RuntimeLayer::new(ReleasePolicy::Aggressive, RtConfig::default());
+        // Delay every hint: hint N is processed when hint N+1 arrives.
+        rt.arm_faults(
+            HintFaults {
+                delay: 1.0,
+                ..HintFaults::default()
+            },
+            hint_rng(),
+        );
+        let (out, _) = rt.on_release_hint(&vm, pid, t(2), r.start, 0, 7);
+        assert!(out.is_empty(), "first hint held back");
+        assert_eq!(rt.stats().release_hints, 0);
+        let (out, _) = rt.on_release_hint(&vm, pid, t(3), r.start.offset(1), 0, 7);
+        assert!(out.is_empty(), "held-back hint only records in the filter");
+        assert_eq!(rt.stats().release_hints, 1, "delayed hint was delivered");
+        let (out, _) = rt.on_release_hint(&vm, pid, t(4), r.start.offset(2), 0, 7);
+        assert_eq!(out, vec![r.start], "one-behind runs over the late stream");
+        assert_eq!(rt.stats().hints_delayed, 3);
+    }
+
+    #[test]
+    fn duplicated_hint_is_processed_twice() {
+        let (vm, pid, r) = setup(128, 8);
+        let mut rt = RuntimeLayer::new(ReleasePolicy::Aggressive, RtConfig::default());
+        rt.arm_faults(
+            HintFaults {
+                duplicate: 1.0,
+                ..HintFaults::default()
+            },
+            hint_rng(),
+        );
+        rt.on_release_hint(&vm, pid, t(2), r.start, 0, 7);
+        assert_eq!(rt.stats().release_hints, 2);
+        assert_eq!(rt.stats().hints_duplicated, 1);
+        // The duplicate names the same page, so the one-behind same-page
+        // check absorbs it — the fault costs work, not correctness.
+        assert_eq!(rt.stats().release_same_page, 1);
+    }
+
+    #[test]
+    fn mistagged_hint_lands_on_another_tag() {
+        let (vm, pid, r) = setup(128, 8);
+        let mut rt = RuntimeLayer::new(ReleasePolicy::Aggressive, RtConfig::default());
+        rt.arm_faults(
+            HintFaults {
+                mistag: 1.0,
+                ..HintFaults::default()
+            },
+            hint_rng(),
+        );
+        rt.on_release_hint(&vm, pid, t(2), r.start, 0, 7);
+        assert_eq!(rt.stats().hints_mistagged, 1);
+        assert_eq!(rt.fault_log().count("hint_mistagged"), 1);
+        let tracked = rt.tags.tracked_tags();
+        assert_eq!(tracked, 1, "hint recorded under the rewritten tag");
+        assert_eq!(rt.tags.retire_tag(7), None, "original tag untouched");
+    }
+
+    #[test]
+    fn stale_bitmap_read_serves_old_value_inside_window() {
+        let (mut vm, pid, r) = setup(128, 1);
+        let mut rt = RuntimeLayer::new(ReleasePolicy::Aggressive, RtConfig::default());
+        rt.config.one_behind = false; // act on the hinted page directly
+        rt.arm_faults(
+            HintFaults {
+                stale_shared_window: SimDuration::from_millis(100),
+                ..HintFaults::default()
+            },
+            hint_rng(),
+        );
+        let page = r.start.offset(5);
+        // First read caches "not resident" and filters the release.
+        let (out, _) = rt.on_release_hint(&vm, pid, t(2), page, 0, 7);
+        assert!(out.is_empty());
+        // The page becomes resident, but the cache still says otherwise.
+        vm.touch(t(3), pid, page, false);
+        assert!(vm.pm_resident(pid, page));
+        let (out, _) = rt.on_release_hint(&vm, pid, t(4), page, 0, 7);
+        assert!(out.is_empty(), "stale cache suppressed the release");
+        assert_eq!(rt.stats().stale_reads, 1);
+        assert_eq!(rt.fault_log().count("stale_shared_read"), 1);
+        // Past the window the cache refreshes and the release goes out.
+        let (out, _) = rt.on_release_hint(&vm, pid, t(200), page, 0, 7);
+        assert_eq!(out, vec![page]);
+    }
+
+    #[test]
+    fn misfire_feedback_degrades_tag_to_reactive_candidates() {
+        let (vm, pid, r) = setup(128, 16);
+        let mut cfg = RtConfig {
+            health: Some(HealthConfig {
+                window: 4,
+                disable_threshold: 0.5,
+                enable_threshold: 0.25,
+                probation: 100,
+                stream_disable_tags: 8,
+            }),
+            ..RtConfig::default()
+        };
+        cfg.one_behind = false;
+        let mut rt = RuntimeLayer::new(ReleasePolicy::Aggressive, cfg);
+        // Every issued release gets cancelled by a re-reference.
+        for i in 0..4 {
+            let (out, _) = rt.on_release_hint(&vm, pid, t(2), r.start.offset(i), 0, 7);
+            if !out.is_empty() {
+                rt.note_touch_outcome(out[0], vm::TouchKind::SoftFaultRelease);
+            }
+        }
+        assert!(rt.fault_log().count("tag_disabled") == 1, "tag 7 disabled");
+        assert_eq!(rt.stats().misfires_cancelled, 3, "3 hints before disable");
+        // Further hints for the tag become reactive candidates.
+        let before = rt.degraded_pages();
+        let (out, _) = rt.on_release_hint(&vm, pid, t(3), r.start.offset(9), 0, 7);
+        assert!(out.is_empty());
+        assert_eq!(rt.degraded_pages(), before + 1);
+        assert_eq!(rt.take_degraded(10).pop(), Some(r.start.offset(9)));
+    }
+
+    #[test]
+    fn retire_tag_flushes_trailing_page() {
+        let (vm, pid, r) = setup(128, 4);
+        let mut rt = RuntimeLayer::new(ReleasePolicy::Aggressive, RtConfig::default());
+        rt.on_release_hint(&vm, pid, t(2), r.start, 0, 7);
+        rt.on_release_hint(&vm, pid, t(2), r.start.offset(1), 0, 7);
+        // Tag 7's filter still holds page 1; nest exit flushes it.
+        let (out, cost) = rt.on_retire_tag(&vm, pid, t(3), 7);
+        assert_eq!(out, vec![r.start.offset(1)]);
+        assert!(cost > SimDuration::ZERO);
+        assert_eq!(rt.stats().tags_retired, 1);
+        // Idempotent: the tag is gone.
+        let (out, _) = rt.on_retire_tag(&vm, pid, t(3), 7);
+        assert!(out.is_empty());
     }
 }

@@ -31,6 +31,7 @@
 pub mod bindings;
 pub mod exec;
 pub mod filter;
+pub mod health;
 pub mod layer;
 pub mod ops;
 pub mod policy;
@@ -38,6 +39,7 @@ pub mod prefetcher;
 
 pub use bindings::{ArrayBinding, Bindings, IndirectGen, TripSpec};
 pub use exec::Executor;
+pub use health::{HealthConfig, HealthStats, HintHealth};
 pub use layer::{RtConfig, RtStats, RuntimeLayer};
 pub use ops::{Mark, Op, OpStream};
 pub use policy::ReleasePolicy;

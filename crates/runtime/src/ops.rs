@@ -48,6 +48,13 @@ pub enum Op {
         /// Directive site identifier.
         tag: u32,
     },
+    /// A release directive's tag goes out of scope (its loop nest was
+    /// exited): the run-time layer must retire the tag's one-behind filter
+    /// entry and flush its trailing recorded page.
+    RetireTag {
+        /// Directive site identifier leaving scope.
+        tag: u32,
+    },
     /// Sleep (the interactive task's think time).
     Sleep(SimDuration),
     /// A measurement mark.

@@ -12,7 +12,8 @@
 //! * array indices clamp into the array extents;
 //! * total compute time is `iterations × work_per_iter`.
 
-use proptest::prelude::*;
+use sim_core::check::{self, run_cases};
+use sim_core::rng::Pcg32;
 
 use compiler::expr::{Affine, Bound};
 use compiler::ir::{ArrayRef, Index, LoopId, NestBuilder, SourceProgram};
@@ -37,28 +38,28 @@ struct ProgSpec {
     work_ns: u64,
 }
 
-fn spec_strategy() -> impl Strategy<Value = ProgSpec> {
-    let refspec = (
-        (-2i64..3, -2i64..3, -4i64..5),
-        (-2i64..3, -2i64..3, -4i64..5),
-        prop::bool::weighted(0.25),
-    )
-        .prop_map(|(d0, d1, indirect)| RefSpec {
-            dims: [d0, d1],
-            indirect,
-        });
-    (
-        (1i64..10, 1i64..14),
-        prop::collection::vec(refspec, 1..4),
-        1u32..3,
-        1u64..100,
-    )
-        .prop_map(|(trips, refs, invocations, work_ns)| ProgSpec {
-            trips,
-            refs,
-            invocations,
-            work_ns,
+fn small(rng: &mut Pcg32, lo: i64, hi: i64) -> i64 {
+    lo + i64::from(rng.next_below((hi - lo) as u32))
+}
+
+fn random_spec(rng: &mut Pcg32) -> ProgSpec {
+    let trips = (small(rng, 1, 10), small(rng, 1, 14));
+    let nrefs = check::int_in(rng, 1, 4);
+    let refs = (0..nrefs)
+        .map(|_| RefSpec {
+            dims: [
+                (small(rng, -2, 3), small(rng, -2, 3), small(rng, -4, 5)),
+                (small(rng, -2, 3), small(rng, -2, 3), small(rng, -4, 5)),
+            ],
+            indirect: check::chance(rng, 0.25),
         })
+        .collect();
+    ProgSpec {
+        trips,
+        refs,
+        invocations: check::int_in(rng, 1, 3) as u32,
+        work_ns: check::int_in(rng, 1, 100),
+    }
 }
 
 const DIM0: i64 = 24;
@@ -177,13 +178,12 @@ fn brute_force(spec: &ProgSpec) -> (Vec<u64>, u64) {
     (touches, compute)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The fast-forwarding executor emits exactly the touches of the
-    /// element-at-a-time reference interpreter, and the same total compute.
-    #[test]
-    fn executor_equals_reference_interpreter(spec in spec_strategy()) {
+/// The fast-forwarding executor emits exactly the touches of the
+/// element-at-a-time reference interpreter, and the same total compute.
+#[test]
+fn executor_equals_reference_interpreter() {
+    run_cases(0xD1FF, 256, |rng| {
+        let spec = random_spec(rng);
         let (mut ex, spec) = build(&spec);
         let mut got = Vec::new();
         let mut compute = 0u64;
@@ -194,13 +194,13 @@ proptest! {
                 Op::Touch { vpn, .. } => got.push(vpn.0),
                 Op::Compute(d) => compute += d.as_nanos(),
                 Op::Mark(_) => {}
-                other => prop_assert!(false, "unexpected op {other:?}"),
+                other => panic!("unexpected op {other:?}"),
             }
             guard += 1;
-            prop_assert!(guard < 1_000_000, "runaway");
+            assert!(guard < 1_000_000, "runaway");
         }
         let (want, want_compute) = brute_force(&spec);
-        prop_assert_eq!(&got, &want, "touch sequences differ for {:?}", spec);
-        prop_assert_eq!(compute, want_compute);
-    }
+        assert_eq!(&got, &want, "touch sequences differ for {spec:?}");
+        assert_eq!(compute, want_compute);
+    });
 }

@@ -1,20 +1,20 @@
 //! Property tests for the run-time layer's filters and buffers.
 
-use proptest::prelude::*;
 use runtime::filter::TagFilter;
 use runtime::policy::ReleaseBuffers;
+use sim_core::check::{self, run_cases};
 use vm::Vpn;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// One-behind semantics: for each tag, the filter emits exactly the
-    /// sequence of *page changes*, each one hint late, and never emits a
-    /// page while the reference is still hinting it.
-    #[test]
-    fn tag_filter_is_exactly_one_behind(
-        hints in prop::collection::vec((0u32..4, 0u64..20), 1..200)
-    ) {
+/// One-behind semantics: for each tag, the filter emits exactly the
+/// sequence of *page changes*, each one hint late, and never emits a
+/// page while the reference is still hinting it.
+#[test]
+fn tag_filter_is_exactly_one_behind() {
+    run_cases(0x7A9F117E4, 256, |rng| {
+        let n = check::int_in(rng, 1, 200);
+        let hints: Vec<(u32, u64)> = (0..n)
+            .map(|_| (rng.next_below(4), check::int_in(rng, 0, 20)))
+            .collect();
         let mut filter = TagFilter::new();
         let mut per_tag_hints: std::collections::HashMap<u32, Vec<u64>> = Default::default();
         let mut per_tag_out: std::collections::HashMap<u32, Vec<u64>> = Default::default();
@@ -34,39 +34,42 @@ proptest! {
                 }
             }
             changes.pop();
-            prop_assert_eq!(
+            assert_eq!(
                 per_tag_out.remove(&tag).unwrap_or_default(),
                 changes,
-                "tag {} emission mismatch", tag
+                "tag {tag} emission mismatch"
             );
         }
-    }
+    });
+}
 
-    /// Buffers conserve pages modulo coalescing: every distinct
-    /// `(tag, page)` pair buffered comes out exactly once, and drains never
-    /// yield lower-priority pages after higher ones within a single drain.
-    #[test]
-    fn buffers_conserve_and_order(
-        items in prop::collection::vec((0u32..6, 1u32..4, 0u64..1000), 0..100),
-        want in 0usize..50,
-    ) {
+/// Buffers conserve pages modulo coalescing: every distinct
+/// `(tag, page)` pair buffered comes out exactly once, and drains never
+/// yield lower-priority pages after higher ones within a single drain.
+#[test]
+fn buffers_conserve_and_order() {
+    run_cases(0xB0FFE45, 256, |rng| {
+        let n = check::int_in(rng, 0, 100);
+        let items: Vec<(u32, u64)> = (0..n)
+            .map(|_| (rng.next_below(6), check::int_in(rng, 0, 1000)))
+            .collect();
+        let want = check::int_in(rng, 0, 50) as usize;
         let mut b = ReleaseBuffers::new();
         let mut inserted = std::collections::HashSet::new();
-        for (tag, prio, page) in &items {
+        for (tag, page) in &items {
             // One tag keeps one priority: derive priority from tag.
-            let prio = (tag % 3) + 1 + (prio - prio); // deterministic per tag
+            let prio = (tag % 3) + 1;
             b.buffer(*tag, prio, Vpn(*page));
             inserted.insert((*tag, *page));
-            let _ = prio;
         }
         let total = inserted.len();
-        prop_assert_eq!(b.buffered(), total, "duplicates must coalesce");
+        assert_eq!(b.buffered(), total, "duplicates must coalesce");
 
         let first = b.drain_lowest(want);
-        prop_assert!(first.len() <= want);
+        assert!(first.len() <= want);
         let rest = b.drain_all();
-        prop_assert_eq!(first.len() + rest.len(), total);
-        prop_assert_eq!(b.buffered(), 0);
+        assert_eq!(first.len() + rest.len(), total);
+        assert_eq!(b.buffered(), 0);
 
         // Per-page drain counts match the distinct tags that queued them.
         let mut drained = std::collections::HashMap::new();
@@ -77,16 +80,20 @@ proptest! {
         for (_tag, page) in &inserted {
             *expect.entry(*page).or_insert(0u32) += 1;
         }
-        prop_assert_eq!(drained, expect, "pages lost or duplicated");
-    }
+        assert_eq!(drained, expect, "pages lost or duplicated");
+    });
+}
 
-    /// `drain_lowest` empties strictly by priority level: once a page of
-    /// priority q is yielded in a full drain, no page of priority < q
-    /// remains.
-    #[test]
-    fn full_drain_is_priority_sorted(
-        items in prop::collection::vec((0u32..6, 0u64..1000), 1..100)
-    ) {
+/// `drain_lowest` empties strictly by priority level: once a page of
+/// priority q is yielded in a full drain, no page of priority < q
+/// remains.
+#[test]
+fn full_drain_is_priority_sorted() {
+    run_cases(0xD4A19, 256, |rng| {
+        let n = check::int_in(rng, 1, 100);
+        let items: Vec<(u32, u64)> = (0..n)
+            .map(|_| (rng.next_below(6), check::int_in(rng, 0, 1000)))
+            .collect();
         let mut b = ReleaseBuffers::new();
         let prio_of = |tag: u32| (tag % 3) + 1;
         for (tag, page) in &items {
@@ -106,11 +113,11 @@ proptest! {
             prios.sort_unstable();
             let pos = prios.iter().position(|&p| p >= last_prio).unwrap_or(0);
             let p = prios.remove(pos.min(prios.len() - 1));
-            prop_assert!(
+            assert!(
                 p >= last_prio,
-                "priority order violated: {} after {}", p, last_prio
+                "priority order violated: {p} after {last_prio}"
             );
             last_prio = p;
         }
-    }
+    });
 }

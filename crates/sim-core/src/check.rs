@@ -1,0 +1,94 @@
+//! A minimal deterministic property-test harness.
+//!
+//! The workspace builds offline, so there is no external property-testing
+//! framework. This module provides the small slice we need: run a closure
+//! over many pseudo-random cases drawn from the crate's own seeded
+//! [`Pcg32`], and on failure report which case died so the run can be
+//! reproduced exactly (the harness is deterministic — case `k` of a given
+//! seed is always the same input).
+
+use crate::rng::{Pcg32, SplitMix64};
+
+/// Runs `body` for `cases` deterministic pseudo-random cases.
+///
+/// Each case receives its own [`Pcg32`] derived from `seed` and the case
+/// index, so cases are independent and individually reproducible. On a
+/// panic inside `body`, the failing case index and seed are printed before
+/// the panic is propagated (the test still fails normally).
+pub fn run_cases(seed: u64, cases: u32, mut body: impl FnMut(&mut Pcg32)) {
+    for case in 0..cases {
+        let mut mix = SplitMix64::new(seed ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = Pcg32::new(mix.next_u64(), mix.next_u64());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!("property failed at case {case} of seed {seed:#x}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Uniform integer in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if the range is empty or wider than `u32::MAX`.
+pub fn int_in(rng: &mut Pcg32, lo: u64, hi: u64) -> u64 {
+    assert!(lo < hi, "empty range {lo}..{hi}");
+    let width = hi - lo;
+    assert!(width <= u64::from(u32::MAX), "range too wide");
+    lo + u64::from(rng.next_below(width as u32))
+}
+
+/// A fair coin flip.
+pub fn flip(rng: &mut Pcg32) -> bool {
+    rng.next_below(2) == 1
+}
+
+/// True with probability `p`.
+pub fn chance(rng: &mut Pcg32, p: f64) -> bool {
+    rng.next_f64() < p
+}
+
+/// A vector of `int_in(lo, hi)` values with a length in `[min_len, max_len)`.
+pub fn vec_of_ints(rng: &mut Pcg32, min_len: usize, max_len: usize, lo: u64, hi: u64) -> Vec<u64> {
+    let len = int_in(rng, min_len as u64, max_len as u64) as usize;
+    (0..len).map(|_| int_in(rng, lo, hi)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        run_cases(42, 10, |rng| a.push(rng.next_u64()));
+        run_cases(42, 10, |rng| b.push(rng.next_u64()));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn int_in_respects_bounds() {
+        run_cases(7, 50, |rng| {
+            let v = int_in(rng, 10, 20);
+            assert!((10..20).contains(&v));
+        });
+    }
+
+    #[test]
+    fn vec_of_ints_respects_len() {
+        run_cases(9, 20, |rng| {
+            let v = vec_of_ints(rng, 1, 5, 0, 100);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_propagate() {
+        run_cases(1, 3, |_| panic!("boom"));
+    }
+}

@@ -21,7 +21,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;

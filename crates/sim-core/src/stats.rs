@@ -8,8 +8,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::{SimDuration, SimTime};
 
 /// The four execution-time components of Figure 7.
@@ -17,7 +15,7 @@ use crate::time::{SimDuration, SimTime};
 /// From bottom to top of the paper's stacked bars: user code, system code
 /// (primarily page-fault handling), stall for unavailable resources (memory,
 /// memory-system locks, CPUs), and stall waiting for I/O.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TimeCategory {
     /// Executing user code (includes run-time layer overhead).
     User,
@@ -51,7 +49,7 @@ impl TimeCategory {
 }
 
 /// Accumulated per-process execution time, split by [`TimeCategory`].
-#[derive(Clone, Copy, Default, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Default, Debug)]
 pub struct TimeBreakdown {
     user: u64,
     system: u64,
@@ -132,7 +130,7 @@ impl fmt::Display for TimeBreakdown {
 }
 
 /// A simple monotonically increasing event counter.
-#[derive(Clone, Copy, Default, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -167,7 +165,7 @@ impl fmt::Display for Counter {
 ///
 /// Bucket `i` covers durations in `[2^i, 2^(i+1))` nanoseconds; bucket 0 also
 /// absorbs zero.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -257,7 +255,7 @@ impl Histogram {
 }
 
 /// A labelled (x, y) series, used for response-time sweeps (Figures 1, 10a).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Series {
     /// Series label, e.g. "prefetch-only".
     pub label: String,
@@ -287,7 +285,7 @@ impl Series {
 
 /// A running summary of f64 samples: count, mean, min, max and (Welford)
 /// standard deviation. Used by replication studies reporting spreads.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Summary {
     count: u64,
     mean: f64,

@@ -2,10 +2,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A process identifier (dense: processes are created sequentially).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Pid(pub u32);
 
 impl fmt::Display for Pid {
@@ -15,7 +13,7 @@ impl fmt::Display for Pid {
 }
 
 /// A virtual page number within one process's address space.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Vpn(pub u64);
 
 impl Vpn {
@@ -32,7 +30,7 @@ impl fmt::Display for Vpn {
 }
 
 /// A physical frame number.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Pfn(pub u32);
 
 impl fmt::Display for Pfn {
@@ -42,7 +40,7 @@ impl fmt::Display for Pfn {
 }
 
 /// A half-open range of virtual pages `[start, start + len)`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct PageRange {
     /// First page of the range.
     pub start: Vpn,

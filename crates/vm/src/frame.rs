@@ -1,13 +1,12 @@
 //! The physical frame table.
 
-use serde::{Deserialize, Serialize};
 use sim_core::SimTime;
 
 use crate::addr::{Pfn, Pid, Vpn};
 
 /// Who put a frame on the free list. Distinguishing the two sources is what
 /// lets us regenerate the paper's Figure 9 (freed-page outcome breakdown).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FreeSource {
     /// Never used since boot (initial pool).
     Initial,

@@ -56,6 +56,7 @@ pub mod vmsys;
 
 pub use addr::{PageRange, Pfn, Pid, Vpn};
 pub use outcome::{PrefetchOutcome, TouchKind, TouchResult};
+pub use pagetable::PageTableError;
 pub use params::{CostParams, Tunables};
 pub use stats::{ProcStats, VmStats};
-pub use vmsys::{Backing, SharedView, VmSys};
+pub use vmsys::{Backing, SharedView, VmError, VmSys};

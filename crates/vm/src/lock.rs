@@ -11,12 +11,11 @@
 //! page faults for that address space cannot be serviced and the faulting
 //! process accumulates "stalled for resources" time.
 
-use serde::{Deserialize, Serialize};
 use sim_core::stats::Counter;
 use sim_core::{SimDuration, SimTime};
 
 /// Aggregate lock statistics.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct LockStats {
     /// Number of acquisitions.
     pub acquisitions: Counter,

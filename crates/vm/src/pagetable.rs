@@ -9,14 +9,13 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 use sim_core::SimTime;
 
 use crate::addr::{Pfn, Vpn};
 use disk::SwapSlot;
 
 /// Why a resident PTE is currently invalid.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum InvalidReason {
     /// The paging daemon cleared `valid` to sample the reference bit in
     /// software. Revalidation counts as a Figure 8 soft fault.
@@ -87,6 +86,28 @@ impl Pte {
     }
 }
 
+/// Why a page-table operation could not be performed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PageTableError {
+    /// The page has no entry at all.
+    Unmapped(Vpn),
+    /// The page has an entry but no backing frame.
+    NotResident(Vpn),
+}
+
+impl std::fmt::Display for PageTableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageTableError::Unmapped(vpn) => write!(f, "unmap of unmapped {vpn}"),
+            PageTableError::NotResident(vpn) => {
+                write!(f, "unmap of non-resident page {vpn}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PageTableError {}
+
 /// A per-process page table (sparse map over the virtual address space).
 #[derive(Clone, Debug, Default)]
 pub struct PageTable {
@@ -131,19 +152,26 @@ impl PageTable {
     ///
     /// # Panics
     ///
-    /// Panics if the page is not resident.
+    /// Panics if the page is not resident; use [`PageTable::try_unmap`] on
+    /// paths where that is a recoverable condition.
     pub fn unmap(&mut self, vpn: Vpn) -> Pfn {
+        self.try_unmap(vpn).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PageTable::unmap`]: removes the residency of `vpn`,
+    /// returning the frame it occupied, or the reason it could not.
+    pub fn try_unmap(&mut self, vpn: Vpn) -> Result<Pfn, PageTableError> {
         let e = self
             .entries
             .get_mut(&vpn)
-            .unwrap_or_else(|| panic!("unmap of unmapped {vpn}"));
-        let pfn = e.pfn.take().expect("unmap of non-resident page");
+            .ok_or(PageTableError::Unmapped(vpn))?;
+        let pfn = e.pfn.take().ok_or(PageTableError::NotResident(vpn))?;
         e.valid = false;
         e.invalid_reason = None;
         e.clock_sampled = false;
         e.release_requested = None;
         self.resident -= 1;
-        pfn
+        Ok(pfn)
     }
 
     /// Iterates over all materialized entries.
@@ -200,6 +228,20 @@ mod tests {
     #[should_panic(expected = "unmap of unmapped")]
     fn unmap_absent_panics() {
         PageTable::new().unmap(Vpn(9));
+    }
+
+    #[test]
+    fn try_unmap_reports_typed_errors() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.try_unmap(Vpn(9)), Err(PageTableError::Unmapped(Vpn(9))));
+        pt.entry(Vpn(9)).dirty = true; // materialized but not resident
+        assert_eq!(
+            pt.try_unmap(Vpn(9)),
+            Err(PageTableError::NotResident(Vpn(9)))
+        );
+        pt.map(Vpn(9), Pfn(3));
+        assert_eq!(pt.try_unmap(Vpn(9)), Ok(Pfn(3)));
+        assert_eq!(pt.resident_pages(), 0);
     }
 
     #[test]

@@ -6,11 +6,10 @@
 //! (`maxrss`, `min_freemem`, daemon batching) plus ablation switches this
 //! reproduction adds.
 
-use serde::{Deserialize, Serialize};
 use sim_core::SimDuration;
 
 /// CPU-time costs of VM primitives.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CostParams {
     /// Software TLB refill (MIPS has software-managed TLBs).
     pub tlb_refill: SimDuration,
@@ -94,7 +93,7 @@ impl CostParams {
 }
 
 /// Policy knobs.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Tunables {
     /// Maximum resident set size (pages) any process may hold (`maxrss`).
     pub maxrss: u64,

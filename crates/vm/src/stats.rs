@@ -1,11 +1,10 @@
 //! VM statistics, organized around the paper's evaluation.
 
-use serde::{Deserialize, Serialize};
 use sim_core::stats::Counter;
 use sim_core::SimDuration;
 
 /// Paging daemon ("vhand") statistics — Table 3 and Figure 8 inputs.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct PagingdStats {
     /// Activations ("number of times the paging daemon needs to operate").
     pub activations: Counter,
@@ -26,7 +25,7 @@ pub struct PagingdStats {
 }
 
 /// Releaser daemon statistics.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ReleaserStats {
     /// Service activations.
     pub activations: Counter,
@@ -46,7 +45,7 @@ pub struct ReleaserStats {
 }
 
 /// Freed-page outcome accounting for Figure 9.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct FreedPageStats {
     /// Pages freed by the paging daemon.
     pub freed_by_daemon: Counter,
@@ -59,7 +58,7 @@ pub struct FreedPageStats {
 }
 
 /// Per-process statistics.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ProcStats {
     /// Soft faults caused by daemon reference sampling (Figure 8).
     pub soft_faults_daemon: Counter,
@@ -93,7 +92,7 @@ pub struct ProcStats {
 }
 
 /// All VM statistics.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct VmStats {
     /// Paging daemon counters.
     pub pagingd: PagingdStats,

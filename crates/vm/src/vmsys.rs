@@ -64,6 +64,43 @@ pub(crate) struct ProcessMem {
     next_vpn: u64,
 }
 
+/// Why a VM operation could not be completed.
+///
+/// Only genuinely unrecoverable conditions surface here; the panicking
+/// wrappers ([`VmSys::touch`]) keep hot-path call sites unchanged while
+/// `try_` variants let embedders handle the failure themselves.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VmError {
+    /// The address lies outside every mapped region of the process.
+    UnmappedAddress {
+        /// The faulting process.
+        pid: Pid,
+        /// The unmapped page.
+        vpn: Vpn,
+    },
+    /// Repeated paging-daemon activations could not reclaim a frame.
+    OutOfMemory {
+        /// The process whose allocation could not be satisfied.
+        pid: Pid,
+    },
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::UnmappedAddress { pid, vpn } => {
+                write!(f, "{pid} touched unmapped address {vpn}")
+            }
+            VmError::OutOfMemory { pid } => write!(
+                f,
+                "out of physical memory: no frame reclaimable for {pid} after 64 daemon passes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
 /// A snapshot of the shared page's usage/limit words as the application
 /// reads them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -231,6 +268,11 @@ impl VmSys {
         &self.swap
     }
 
+    /// Mutable swap-device access (e.g. to arm I/O fault injection).
+    pub fn swap_mut(&mut self) -> &mut SwapDevice {
+        &mut self.swap
+    }
+
     /// The tunables in force.
     pub fn tunables(&self) -> &Tunables {
         &self.tun
@@ -239,6 +281,23 @@ impl VmSys {
     /// The cost parameters in force.
     pub fn cost_params(&self) -> &CostParams {
         &self.params
+    }
+
+    /// Shrinks the per-process upper memory limit (`maxrss`) to `frac` of
+    /// its current value — fault injection's hostile memory hog claiming
+    /// the machine mid-run. The paging daemon will trim over-limit
+    /// processes on its next activation; the shared-page limit words pick
+    /// the new value up on their next refresh, exactly as a real
+    /// `setrlimit` would be observed lazily. Returns `(old, new)` limits
+    /// in pages.
+    pub fn shrink_limit(&mut self, frac: f64) -> (u64, u64) {
+        let old = self.tun.maxrss;
+        let floor = (self.tun.target_freemem.max(16)).min(old);
+        let new = ((old as f64 * frac.clamp(0.0, 1.0)) as u64).max(floor);
+        self.tun.maxrss = new;
+        // The daemon must notice newly over-limit processes promptly.
+        self.pagingd.request_wake();
+        (old, new)
     }
 
     /// Address-space lock statistics for one process.
@@ -327,25 +386,41 @@ impl VmSys {
     /// # Panics
     ///
     /// Panics if the address is not inside any mapped region, or if the
-    /// machine is irrecoverably out of memory.
+    /// machine is irrecoverably out of memory; use [`VmSys::try_touch`] on
+    /// paths where either is a recoverable condition.
     pub fn touch(&mut self, now: SimTime, pid: Pid, vpn: Vpn, write: bool) -> TouchResult {
+        self.try_touch(now, pid, vpn, write)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`VmSys::touch`]: references `(pid, vpn)` at `now`,
+    /// returning the timed outcome or the reason the reference is
+    /// unserviceable ([`VmError::UnmappedAddress`],
+    /// [`VmError::OutOfMemory`]).
+    pub fn try_touch(
+        &mut self,
+        now: SimTime,
+        pid: Pid,
+        vpn: Vpn,
+        write: bool,
+    ) -> Result<TouchResult, VmError> {
         let pidx = pid.0 as usize;
         let pte = self.procs[pidx].pt.get(vpn);
 
         if pte.resident() {
-            return self.touch_resident(now, pid, vpn, write);
+            return Ok(self.touch_resident(now, pid, vpn, write));
         }
 
         // Not resident: rescue, zero-fill, or hard fault.
         if self.tun.rescue_enabled {
             if let Some(result) = self.try_rescue(now, pid, vpn, write) {
-                return result;
+                return Ok(result);
             }
         }
 
         let region = self
             .region_of(pid, vpn)
-            .unwrap_or_else(|| panic!("{pid} touched unmapped address {vpn}"));
+            .ok_or(VmError::UnmappedAddress { pid, vpn })?;
         let needs_io = match region.backing {
             Backing::SwapPrefilled => true,
             // Zero-fill pages need I/O only once they've been written back.
@@ -512,10 +587,16 @@ impl VmSys {
         })
     }
 
-    fn zero_fill(&mut self, now: SimTime, pid: Pid, vpn: Vpn, write: bool) -> TouchResult {
+    fn zero_fill(
+        &mut self,
+        now: SimTime,
+        pid: Pid,
+        vpn: Vpn,
+        write: bool,
+    ) -> Result<TouchResult, VmError> {
         let pidx = pid.0 as usize;
         let params = self.params;
-        let (pfn, mem_wait, t_alloc) = self.alloc_frame_forcing(now, pid);
+        let (pfn, mem_wait, t_alloc) = self.alloc_frame_forcing(now, pid)?;
         let acq = self.procs[pidx]
             .lock
             .acquire(t_alloc, params.soft_fault_lock);
@@ -523,21 +604,27 @@ impl VmSys {
         self.install_page(pidx, pid, vpn, pfn, now, write);
         self.stats.proc_mut(pidx).zero_fills.bump();
         self.refresh_shared(pid);
-        TouchResult {
+        Ok(TouchResult {
             kind: TouchKind::ZeroFill,
             system,
             resource_wait: mem_wait + acq.wait,
             io_wait: SimDuration::ZERO,
             done_at: acq.start + system,
-        }
+        })
     }
 
-    fn hard_fault(&mut self, now: SimTime, pid: Pid, vpn: Vpn, write: bool) -> TouchResult {
+    fn hard_fault(
+        &mut self,
+        now: SimTime,
+        pid: Pid,
+        vpn: Vpn,
+        write: bool,
+    ) -> Result<TouchResult, VmError> {
         let pidx = pid.0 as usize;
         let params = self.params;
-        let slot = self.slot_for(pid, vpn);
+        let slot = self.try_slot_for(pid, vpn)?;
 
-        let (pfn, mem_wait, t_alloc) = self.alloc_frame_forcing(now, pid);
+        let (pfn, mem_wait, t_alloc) = self.alloc_frame_forcing(now, pid)?;
         let acq = self.procs[pidx]
             .lock
             .acquire(t_alloc, params.hard_fault_lock);
@@ -560,13 +647,13 @@ impl VmSys {
         }
         self.stats.proc_mut(pidx).hard_faults.bump();
         self.refresh_shared(pid);
-        TouchResult {
+        Ok(TouchResult {
             kind: TouchKind::HardFault,
             system: params.hard_fault_setup + params.hard_fault_finish,
             resource_wait: mem_wait + acq.wait,
             io_wait: io_done.since(t_setup_done),
             done_at,
-        }
+        })
     }
 
     /// Maps `pfn` at `vpn` valid and referenced; common install path.
@@ -618,13 +705,19 @@ impl VmSys {
     ///
     /// Panics if the address is not in a mapped region.
     pub(crate) fn slot_for(&mut self, pid: Pid, vpn: Vpn) -> SwapSlot {
+        self.try_slot_for(pid, vpn)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`VmSys::slot_for`].
+    fn try_slot_for(&mut self, pid: Pid, vpn: Vpn) -> Result<SwapSlot, VmError> {
         let pidx = pid.0 as usize;
         if let Some(slot) = self.procs[pidx].pt.get(vpn).swap_slot {
-            return slot;
+            return Ok(slot);
         }
         let region = self
             .region_of(pid, vpn)
-            .unwrap_or_else(|| panic!("{pid} has no region for {vpn}"));
+            .ok_or(VmError::UnmappedAddress { pid, vpn })?;
         let slot = match (region.backing, region.base_slot) {
             (Backing::SwapPrefilled, Some(base)) => SwapSlot(base.0 + region.range.offset_of(vpn)),
             _ => {
@@ -634,7 +727,7 @@ impl VmSys {
             }
         };
         self.procs[pidx].pt.entry(vpn).swap_slot = Some(slot);
-        slot
+        Ok(slot)
     }
 
     fn region_of(&self, pid: Pid, vpn: Vpn) -> Option<Region> {
@@ -648,25 +741,26 @@ impl VmSys {
     /// Allocates a frame, forcing paging-daemon activations inline if the
     /// free list is empty (the faulting process waits for the daemon).
     ///
-    /// Returns `(frame, time stalled waiting for memory, allocation time)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if repeated daemon activations cannot produce a free frame.
-    fn alloc_frame_forcing(&mut self, now: SimTime, pid: Pid) -> (Pfn, SimDuration, SimTime) {
+    /// Returns `(frame, time stalled waiting for memory, allocation time)`,
+    /// or [`VmError::OutOfMemory`] if repeated daemon activations cannot
+    /// produce a free frame.
+    fn alloc_frame_forcing(
+        &mut self,
+        now: SimTime,
+        pid: Pid,
+    ) -> Result<(Pfn, SimDuration, SimTime), VmError> {
         let mut t = now;
         let mut waited = SimDuration::ZERO;
-        for attempt in 0..64 {
+        for _attempt in 0..64 {
             if let Some(pfn) = self.free.alloc(&mut self.frames) {
                 if (self.free.live() as u64) < self.tun.min_freemem {
                     self.pagingd.request_wake();
                 }
-                return (pfn, waited, t);
+                return Ok((pfn, waited, t));
             }
             // Out of frames: the faulting process sleeps while the paging
             // daemon reclaims.
             let end = self.pagingd_activation(t, true);
-            let _ = attempt;
             if end > t {
                 waited += end.since(t);
                 t = end;
@@ -677,9 +771,8 @@ impl VmSys {
                 waited += step;
                 t += step;
             }
-            let _ = pid;
         }
-        panic!("out of physical memory: no frame reclaimable after 64 daemon passes");
+        Err(VmError::OutOfMemory { pid })
     }
 
     // ------------------------------------------------------------------
@@ -1006,6 +1099,27 @@ mod tests {
 
     fn t(ms: u64) -> SimTime {
         SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn try_touch_reports_unmapped_addresses() {
+        let mut vm = small_vm();
+        let pid = vm.add_process(false);
+        let r = vm.map_region(pid, 8, Backing::ZeroFill, false);
+        let bogus = r.start.offset(1_000_000);
+        assert_eq!(
+            vm.try_touch(t(1), pid, bogus, false).unwrap_err(),
+            VmError::UnmappedAddress { pid, vpn: bogus }
+        );
+        assert!(vm.try_touch(t(1), pid, r.start, false).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "touched unmapped address")]
+    fn touch_unmapped_panics() {
+        let mut vm = small_vm();
+        let pid = vm.add_process(false);
+        vm.touch(t(1), pid, Vpn(u64::MAX), false);
     }
 
     #[test]

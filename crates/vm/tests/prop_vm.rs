@@ -3,7 +3,8 @@
 //! arbitrary interleavings of touches, prefetches, releases and daemon
 //! activations.
 
-use proptest::prelude::*;
+use sim_core::check::{self, run_cases};
+use sim_core::rng::Pcg32;
 use sim_core::{SimDuration, SimTime};
 use vm::{Backing, CostParams, Tunables, VmSys};
 
@@ -26,33 +27,46 @@ enum Act {
     Advance(u32),
 }
 
-fn act_strategy() -> impl Strategy<Value = Act> {
-    prop_oneof![
-        4 => (any::<u8>(), 0u16..200, any::<bool>())
-            .prop_map(|(p, page, write)| Act::Touch { proc_sel: p, page, write }),
-        2 => (0u16..200).prop_map(|page| Act::Prefetch { page }),
-        2 => (0u16..200, 1u8..8).prop_map(|(page, len)| Act::Release { page, len }),
-        1 => Just(Act::ServiceReleaser),
-        1 => Just(Act::ServicePagingd),
-        2 => (1u32..5_000_000).prop_map(Act::Advance),
-    ]
+fn random_act(rng: &mut Pcg32) -> Act {
+    // Weights mirror the old strategy: touch 4, prefetch 2, release 2,
+    // service-releaser 1, service-pagingd 1, advance 2.
+    match rng.next_below(12) {
+        0..=3 => Act::Touch {
+            proc_sel: rng.next_below(256) as u8,
+            page: check::int_in(rng, 0, 200) as u16,
+            write: check::flip(rng),
+        },
+        4..=5 => Act::Prefetch {
+            page: check::int_in(rng, 0, 200) as u16,
+        },
+        6..=7 => Act::Release {
+            page: check::int_in(rng, 0, 200) as u16,
+            len: check::int_in(rng, 1, 8) as u8,
+        },
+        8 => Act::ServiceReleaser,
+        9 => Act::ServicePagingd,
+        _ => Act::Advance(check::int_in(rng, 1, 5_000_000) as u32),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Frames are conserved and the bitmap tracks residency exactly, no
-    /// matter the operation interleaving.
-    #[test]
-    fn frames_conserved_and_bitmap_consistent(
-        acts in prop::collection::vec(act_strategy(), 1..300)
-    ) {
+/// Frames are conserved and the bitmap tracks residency exactly, no
+/// matter the operation interleaving.
+#[test]
+fn frames_conserved_and_bitmap_consistent() {
+    run_cases(0xF4A3E5, 64, |rng| {
+        let n = check::int_in(rng, 1, 300);
+        let acts: Vec<Act> = (0..n).map(|_| random_act(rng)).collect();
         let total = 96usize;
         let mut tun = Tunables::for_memory(total as u64);
         tun.min_freemem = 8;
         tun.target_freemem = 16;
         tun.daemon_scan_batch = 32;
-        let mut vm = VmSys::new(total, tun, CostParams::default(), disk::SwapConfig::test_array());
+        let mut vm = VmSys::new(
+            total,
+            tun,
+            CostParams::default(),
+            disk::SwapConfig::test_array(),
+        );
         let a = vm.add_process(true);
         let b = vm.add_process(false);
         let ra = vm.map_region(a, 200, Backing::SwapPrefilled, true);
@@ -61,7 +75,11 @@ proptest! {
         let mut now = SimTime::from_nanos(1);
         for act in acts {
             match act {
-                Act::Touch { proc_sel, page, write } => {
+                Act::Touch {
+                    proc_sel,
+                    page,
+                    write,
+                } => {
                     let (pid, r) = if proc_sel % 2 == 0 { (a, ra) } else { (b, rb) };
                     let res = vm.touch(now, pid, r.start.offset(u64::from(page)), write);
                     now = now.max(res.done_at);
@@ -87,11 +105,13 @@ proptest! {
             }
             // Invariant 1: frame conservation.
             let allocated = vm.rss(a) + vm.rss(b);
-            prop_assert_eq!(
+            assert_eq!(
                 allocated + vm.free_pages(),
                 total as u64,
                 "frames leaked: rss {} + free {} != {}",
-                allocated, vm.free_pages(), total
+                allocated,
+                vm.free_pages(),
+                total
             );
             // Invariant 2: bitmap ⇔ residency for the PM process. A set
             // bit may briefly cover an in-flight release (cleared at
@@ -102,28 +122,26 @@ proptest! {
                 let resident = vm.page_resident_for_test(a, vpn);
                 let bit = vm.pm_resident(a, vpn);
                 if bit {
-                    prop_assert!(
-                        resident,
-                        "bit set for non-resident page {vpn} (offset {i})"
-                    );
+                    assert!(resident, "bit set for non-resident page {vpn} (offset {i})");
                 }
                 if resident && !bit {
-                    prop_assert!(
+                    assert!(
                         vm.release_pending_for_test(a, vpn),
                         "bit clear for resident page {vpn} with no pending release"
                     );
                 }
             }
         }
-    }
+    });
+}
 
-    /// The releaser never frees a page referenced after its request, and
-    /// always leaves the VM balanced.
-    #[test]
-    fn releaser_respects_rereferences(
-        pages in prop::collection::vec(0u16..32, 1..40),
-        retouch in prop::collection::vec(any::<bool>(), 40),
-    ) {
+/// The releaser never frees a page referenced after its request, and
+/// always leaves the VM balanced.
+#[test]
+fn releaser_respects_rereferences() {
+    run_cases(0x4E7011C4, 64, |rng| {
+        let pages = check::vec_of_ints(rng, 1, 40, 0, 32);
+        let retouch: Vec<bool> = (0..40).map(|_| check::flip(rng)).collect();
         let total = 64usize;
         let mut vm = VmSys::new(
             total,
@@ -141,25 +159,25 @@ proptest! {
         // Issue releases, re-touching a chosen subset afterwards.
         let mut protected = std::collections::HashSet::new();
         for (k, &p) in pages.iter().enumerate() {
-            let vpn = ra.start.offset(u64::from(p));
+            let vpn = ra.start.offset(p);
             vm.release(now, a, &[vpn]);
             if retouch[k % retouch.len()] {
                 now += SimDuration::from_micros(5);
                 let res = vm.touch(now, a, vpn, false);
                 now = res.done_at;
-                protected.insert(u64::from(p));
+                protected.insert(p);
             } else {
-                protected.remove(&u64::from(p));
+                protected.remove(&p);
             }
         }
         now += SimDuration::from_millis(1);
         vm.service_releaser(now);
         for p in protected {
-            prop_assert!(
+            assert!(
                 vm.page_resident_for_test(a, ra.start.offset(p)),
                 "re-referenced page {p} was freed"
             );
         }
-        prop_assert_eq!(vm.rss(a) + vm.free_pages(), total as u64);
-    }
+        assert_eq!(vm.rss(a) + vm.free_pages(), total as u64);
+    });
 }

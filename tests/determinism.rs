@@ -48,6 +48,44 @@ fn breakdown_categories_are_reproducible() {
 }
 
 #[test]
+fn faulted_runs_are_bit_identical() {
+    // A run with every fault class armed is still a pure function of the
+    // seed: same plan, same metrics, same fault log, byte for byte.
+    let plan = FaultPlan {
+        seed: 7,
+        hints: HintFaults::poisoned(0.3),
+        daemons: DaemonFaults {
+            releaser_jitter: SimDuration::from_micros(200),
+            releaser_stall: 0.1,
+            pagingd_skew: SimDuration::from_micros(100),
+            shrink_limit_at: Some(SimTime::from_nanos(2_000_000_000)),
+            shrink_to_frac: 0.75,
+        },
+        io: IoFaults::flaky(0.05),
+    };
+    let run = || {
+        let mut s = Scenario::new(MachineConfig::origin200());
+        s.bench(workloads::benchmark("MATVEC").unwrap(), Version::Buffered);
+        s.interactive(SimDuration::from_secs(5), None);
+        s.fault_plan(plan);
+        let res = s.run();
+        let hog = res.hog.unwrap();
+        let int = res.interactive.unwrap();
+        (
+            hog.finish_time.as_nanos(),
+            hog.breakdown.total().as_nanos(),
+            res.run.swap_reads,
+            res.run.fault_log.total(),
+            res.run.fault_log.summary(),
+            int.sweeps.iter().map(|d| d.as_nanos()).collect::<Vec<_>>(),
+        )
+    };
+    let a = run();
+    assert!(a.3 > 0, "the plan must actually inject faults: {}", a.4);
+    assert_eq!(a, run(), "faulted run diverged between executions");
+}
+
+#[test]
 fn different_versions_genuinely_differ() {
     // A sanity guard against accidentally ignoring the version knob.
     let p = run_once("MATVEC", Version::Prefetch);

@@ -124,7 +124,8 @@ fn suite_tables_have_expected_shape() {
         &MachineConfig::origin200(),
         Some(&["MATVEC", "EMBAR"]),
         SimDuration::from_secs(5),
-    );
+    )
+    .expect("suite runs");
     assert_eq!(suite.fig07().len(), 8, "2 benchmarks × 4 versions");
     assert_eq!(suite.fig08().len(), 8);
     assert_eq!(suite.table3().len(), 2);

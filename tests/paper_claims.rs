@@ -238,7 +238,8 @@ fn soft_faults_collapse_with_releasing() {
         &MachineConfig::origin200(),
         Some(&["BUK"]),
         SimDuration::from_secs(5),
-    );
+    )
+    .expect("suite runs");
     let soft = |v: Version| {
         let c = suite.cells.iter().find(|c| c.version == v).unwrap();
         c.vm.proc(c.hog.pid.0 as usize).soft_faults_daemon.get()

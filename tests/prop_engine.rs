@@ -1,13 +1,17 @@
 //! Property tests at the whole-engine level: arbitrary multiprogramming
-//! mixes must conserve frames, account all execution time, and terminate.
-
-use proptest::prelude::*;
+//! mixes must conserve frames, account all execution time, and terminate —
+//! plus the robustness invariants the fault-injection work leans on:
+//! the tag filter never emits the page a reference still occupies, and a
+//! release cancelled by re-reference never frees a resident page.
 
 use hogtame::prelude::*;
+use runtime::filter::TagFilter;
 use runtime::ops::VecStream;
 use runtime::Op;
+use sim_core::check::{self, run_cases};
+use sim_core::rng::Pcg32;
 use sim_core::stats::TimeCategory;
-use vm::Backing;
+use vm::{Backing, CostParams, Tunables, VmSys};
 
 #[derive(Clone, Debug)]
 struct ProcSpec {
@@ -23,30 +27,32 @@ enum MiniOp {
     Sleep(u32),
 }
 
-fn proc_strategy() -> impl Strategy<Value = ProcSpec> {
-    let op = prop_oneof![
-        5 => (0u16..300, any::<bool>()).prop_map(|(p, w)| MiniOp::Touch(p, w)),
-        3 => (1u32..20_000_000).prop_map(MiniOp::Compute),
-        1 => (1u32..200_000_000).prop_map(MiniOp::Sleep),
-    ];
-    (16u16..300, any::<bool>(), prop::collection::vec(op, 1..120)).prop_map(
-        |(pages, backing_swap, ops)| ProcSpec {
-            pages,
-            backing_swap,
-            ops,
-        },
-    )
+fn random_proc(rng: &mut Pcg32) -> ProcSpec {
+    let pages = check::int_in(rng, 16, 300) as u16;
+    let backing_swap = check::flip(rng);
+    let n = check::int_in(rng, 1, 120);
+    let ops = (0..n)
+        .map(|_| match rng.next_below(9) {
+            // Weights mirror the old strategy: touch 5, compute 3, sleep 1.
+            0..=4 => MiniOp::Touch(check::int_in(rng, 0, 300) as u16, check::flip(rng)),
+            5..=7 => MiniOp::Compute(check::int_in(rng, 1, 20_000_000) as u32),
+            _ => MiniOp::Sleep(check::int_in(rng, 1, 200_000_000) as u32),
+        })
+        .collect();
+    ProcSpec {
+        pages,
+        backing_swap,
+        ops,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any mix of up to five processes terminates with frames conserved
-    /// and complete time accounting.
-    #[test]
-    fn random_mixes_terminate_and_balance(
-        procs in prop::collection::vec(proc_strategy(), 1..5)
-    ) {
+/// Any mix of up to five processes terminates with frames conserved
+/// and complete time accounting.
+#[test]
+fn random_mixes_terminate_and_balance() {
+    run_cases(0xE9914E, 48, |rng| {
+        let nprocs = check::int_in(rng, 1, 5);
+        let procs: Vec<ProcSpec> = (0..nprocs).map(|_| random_proc(rng)).collect();
         let machine = MachineConfig::small();
         let total = machine.frames as u64;
         let mut engine = Engine::new(machine);
@@ -73,34 +79,42 @@ proptest! {
                 })
                 .chain([Op::End])
                 .collect();
-            engine.register(pid, format!("p{k}"), Box::new(VecStream::new(ops)), None, true);
+            engine.register(
+                pid,
+                format!("p{k}"),
+                Box::new(VecStream::new(ops)),
+                None,
+                true,
+            );
         }
         let res = engine.run();
 
         // Termination: every process finished.
         for p in &res.procs {
-            prop_assert!(p.finish_time < SimTime::MAX, "{} never finished", p.name);
+            assert!(p.finish_time < SimTime::MAX, "{} never finished", p.name);
         }
         // Frame conservation: all processes exited, so everything is free.
-        prop_assert_eq!(res.final_free, total);
+        assert_eq!(res.final_free, total);
         // Accounting: a process's breakdown never exceeds its finish time,
         // and equals it when the process never slept.
         for (p, spec) in res.procs.iter().zip(&procs) {
             let breakdown = p.breakdown.total().as_nanos();
             let finish = p.finish_time.as_nanos();
-            prop_assert!(
+            assert!(
                 breakdown <= finish + 1,
                 "{}: breakdown {} > finish {}",
-                p.name, breakdown, finish
+                p.name,
+                breakdown,
+                finish
             );
             let slept = spec.ops.iter().any(|o| matches!(o, MiniOp::Sleep(_)));
             if !slept {
-                prop_assert_eq!(breakdown, finish, "{} lost time", &p.name);
+                assert_eq!(breakdown, finish, "{} lost time", &p.name);
             }
         }
         // Causality: the run ends no earlier than any finish time.
         let last = res.procs.iter().map(|p| p.finish_time).max().unwrap();
-        prop_assert!(res.end_time >= last);
+        assert!(res.end_time >= last);
         // User time is exactly the compute the streams asked for.
         for (p, spec) in res.procs.iter().zip(&procs) {
             let want: u64 = spec
@@ -111,7 +125,112 @@ proptest! {
                     _ => 0,
                 })
                 .sum();
-            prop_assert_eq!(p.breakdown.get(TimeCategory::User).as_nanos(), want);
+            assert_eq!(p.breakdown.get(TimeCategory::User).as_nanos(), want);
         }
-    }
+    });
+}
+
+/// Robustness invariant (a): per tag, the one-behind filter never emits
+/// the same page twice in a row — the page a reference still occupies is
+/// never released out from under it, no matter the hint sequence (even
+/// an adversarial one produced by fault injection).
+#[test]
+fn tag_filter_never_repeats_a_page_per_tag() {
+    run_cases(0x7A9FE4, 128, |rng| {
+        let mut filter = TagFilter::new();
+        let mut last_emitted: std::collections::HashMap<u32, u64> = Default::default();
+        let n = check::int_in(rng, 1, 400);
+        for _ in 0..n {
+            let tag = rng.next_below(6);
+            // Small page universe maximizes repeats and ping-pongs.
+            let page = check::int_in(rng, 0, 8);
+            if let Some(out) = filter.observe(tag, vm::Vpn(page)) {
+                if let Some(&prev) = last_emitted.get(&tag) {
+                    assert_ne!(out.0, prev, "tag {tag} emitted page {prev} twice in a row");
+                }
+                assert_ne!(out.0, page, "emitted the page currently being hinted");
+                last_emitted.insert(tag, out.0);
+            }
+            // Occasionally retire the tag (nest exit) — emission history
+            // resets with it, so the invariant is per nest lifetime.
+            if check::chance(rng, 0.02) {
+                filter.retire_tag(tag);
+                last_emitted.remove(&tag);
+            }
+        }
+    });
+}
+
+/// Robustness invariant (b): a release cancelled by re-reference never
+/// frees a resident page. Whatever interleaving of release requests,
+/// cancelling touches, and releaser activations occurs, a page whose
+/// release was cancelled (touched after the request) is still resident
+/// after the releaser runs — and the freed-page books stay balanced.
+#[test]
+fn cancelled_release_never_frees_resident_page() {
+    run_cases(0xCA9CE1F4EE, 96, |rng| {
+        let total = 128usize;
+        let npages = 48u64;
+        let mut vm = VmSys::new(
+            total,
+            Tunables::for_memory(total as u64),
+            CostParams::default(),
+            disk::SwapConfig::test_array(),
+        );
+        let pid = vm.add_process(true);
+        let region = vm.map_region(pid, npages, Backing::SwapPrefilled, true);
+        let mut now = SimTime::from_nanos(1);
+        for i in 0..npages {
+            now = vm.touch(now, pid, region.start.offset(i), false).done_at;
+        }
+        // Pages whose most recent release request has been cancelled by a
+        // later touch (and not re-requested since).
+        let mut cancelled = std::collections::HashSet::new();
+        let steps = check::int_in(rng, 1, 120);
+        for _ in 0..steps {
+            let page = check::int_in(rng, 0, npages);
+            let vpn = region.start.offset(page);
+            match rng.next_below(4) {
+                0 => {
+                    vm.release(now, pid, &[vpn]);
+                    cancelled.remove(&page);
+                }
+                1 => {
+                    let res = vm.touch(now, pid, vpn, check::flip(rng));
+                    now = res.done_at;
+                    if vm.release_pending_for_test(pid, vpn)
+                        || res.kind == vm::TouchKind::SoftFaultRelease
+                    {
+                        // Touch raced an outstanding request: cancelled.
+                    }
+                    if res.kind == vm::TouchKind::SoftFaultRelease {
+                        cancelled.insert(page);
+                    }
+                }
+                2 => {
+                    vm.service_releaser(now);
+                }
+                _ => now += SimDuration::from_micros(check::int_in(rng, 1, 500)),
+            }
+            // The invariant, checked continuously: cancelled pages stay
+            // resident across releaser activations.
+            for &p in &cancelled {
+                assert!(
+                    vm.page_resident_for_test(pid, region.start.offset(p)),
+                    "cancelled release freed resident page {p}"
+                );
+            }
+            assert_eq!(vm.rss(pid) + vm.free_pages(), total as u64);
+        }
+        // Final drain: even after the releaser fully catches up, no
+        // cancelled page has been freed.
+        now += SimDuration::from_millis(10);
+        vm.service_releaser(now);
+        for &p in &cancelled {
+            assert!(
+                vm.page_resident_for_test(pid, region.start.offset(p)),
+                "cancelled release freed page {p} on final drain"
+            );
+        }
+    });
 }
