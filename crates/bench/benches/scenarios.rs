@@ -8,16 +8,20 @@
 use std::hint::black_box;
 
 use bench::micro::bench_n;
-use hogtame::{MachineConfig, Scenario, Version};
+use hogtame::{MachineConfig, RunRequest, Version};
 use sim_core::SimDuration;
+
+fn cell(name: &str, version: Version) -> RunRequest {
+    RunRequest::on(MachineConfig::origin200())
+        .bench(name, version)
+        .interactive(SimDuration::from_secs(5), None)
+}
 
 fn bench_versions() {
     for v in Version::ALL {
         bench_n(&format!("matvec-suite-cell {}", v.label()), 3, || {
-            let mut s = Scenario::new(MachineConfig::origin200());
-            s.bench(workloads::benchmark("MATVEC").unwrap(), v);
-            s.interactive(SimDuration::from_secs(5), None);
-            black_box(s.run().hog.unwrap().finish_time);
+            let res = cell("MATVEC", v).run().expect("MATVEC is registered");
+            black_box(res.hog.unwrap().finish_time);
         });
     }
 }
@@ -25,10 +29,10 @@ fn bench_versions() {
 fn bench_benchmarks() {
     for name in ["EMBAR", "MATVEC", "CGM", "MGRID", "FFTPDE"] {
         bench_n(&format!("release-version-run {name}"), 3, || {
-            let mut s = Scenario::new(MachineConfig::origin200());
-            s.bench(workloads::benchmark(name).unwrap(), Version::Release);
-            s.interactive(SimDuration::from_secs(5), None);
-            black_box(s.run().hog.unwrap().finish_time);
+            let res = cell(name, Version::Release)
+                .run()
+                .expect("benchmark is registered");
+            black_box(res.hog.unwrap().finish_time);
         });
     }
 }

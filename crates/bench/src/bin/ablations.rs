@@ -11,10 +11,8 @@
 //! 5. the run-time layer's one-behind tag filter disabled;
 //! 6. paging-daemon scan batch size.
 
-use hogtame::report::TextTable;
-use hogtame::{MachineConfig, Scenario, Version};
+use hogtame::prelude::*;
 use runtime::RtConfig;
-use sim_core::SimDuration;
 
 struct Outcome {
     hog_s: f64,
@@ -24,11 +22,12 @@ struct Outcome {
 }
 
 fn run_one(machine: MachineConfig, version: Version, rt: RtConfig) -> Outcome {
-    let mut s = Scenario::new(machine);
-    s.bench(workloads::benchmark("MATVEC").unwrap(), version);
-    s.interactive(SimDuration::from_secs(5), None);
-    s.rt_config(rt);
-    let res = s.run();
+    let res = RunRequest::on(machine)
+        .bench("MATVEC", version)
+        .interactive(SimDuration::from_secs(5), None)
+        .rt_config(rt)
+        .run()
+        .expect("MATVEC is registered");
     let hog = res.hog.unwrap();
     let int = res.interactive.unwrap();
     Outcome {
@@ -76,11 +75,11 @@ fn main() {
         let o = run_one(base.clone(), Version::Buffered, rt);
         row(&mut t, &format!("B, drain batch {batch}"), &o);
     }
-    bench::emit(
+    Artifact::new(
         "ablation_batch",
         "Ablation 1: buffered-release drain batch size (paper fixes 100)",
-        &t,
-    );
+    )
+    .table(&t);
 
     // 2. Rescue disabled.
     let mut t = headers();
@@ -92,7 +91,7 @@ fn main() {
             row(&mut t, &format!("{}, {label}", v.label()), &o);
         }
     }
-    bench::emit("ablation_rescue", "Ablation 2: free-list rescue on/off", &t);
+    Artifact::new("ablation_rescue", "Ablation 2: free-list rescue on/off").table(&t);
 
     // 3. Prefetch discard-when-low disabled.
     let mut t = headers();
@@ -102,11 +101,11 @@ fn main() {
         let o = run_one(m, Version::Prefetch, RtConfig::default());
         row(&mut t, &format!("P, {label}"), &o);
     }
-    bench::emit(
+    Artifact::new(
         "ablation_discard",
         "Ablation 3: discarding prefetches under memory pressure",
-        &t,
-    );
+    )
+    .table(&t);
 
     // 4. Lazy vs immediate vs threshold-notified shared-page words
     //    (the paper builds lazy, names the threshold alternative in §3.1.1).
@@ -127,11 +126,11 @@ fn main() {
         let o = run_one(m, Version::Buffered, RtConfig::default());
         row(&mut t, &format!("B, threshold notify Δ{threshold}"), &o);
     }
-    bench::emit(
+    Artifact::new(
         "ablation_sharedpage",
         "Ablation 4: shared-page usage/limit update policy (lazy / immediate / threshold)",
-        &t,
-    );
+    )
+    .table(&t);
 
     // 5. One-behind tag filter disabled.
     let mut t = headers();
@@ -143,11 +142,11 @@ fn main() {
         let o = run_one(base.clone(), Version::Release, rt);
         row(&mut t, &format!("R, {label}"), &o);
     }
-    bench::emit(
+    Artifact::new(
         "ablation_onebehind",
         "Ablation 5: the run-time layer's one-behind release filter",
-        &t,
-    );
+    )
+    .table(&t);
 
     // 6. Daemon scan batch.
     let mut t = headers();
@@ -157,9 +156,9 @@ fn main() {
         let o = run_one(m, Version::Prefetch, RtConfig::default());
         row(&mut t, &format!("P, scan batch frames/{div}"), &o);
     }
-    bench::emit(
+    Artifact::new(
         "ablation_scanbatch",
         "Ablation 6: paging-daemon scan batch (burstiness of reclamation)",
-        &t,
-    );
+    )
+    .table(&t);
 }

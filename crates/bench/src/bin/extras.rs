@@ -24,6 +24,6 @@ fn main() {
     eprintln!(
         "[extras] done in {:.1}s; artifacts in {:?}",
         t0.elapsed().as_secs_f64(),
-        bench::results_dir()
+        hogtame::results_dir()
     );
 }

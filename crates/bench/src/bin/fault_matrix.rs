@@ -7,7 +7,6 @@
 //! poisoned, graceful degradation converges wall-clock to the no-hints
 //! baseline within 5%.
 use hogtame::prelude::*;
-use hogtame::report::TextTable;
 
 const SEED: u64 = 11;
 const RATES: [f64; 4] = [0.0, 0.1, 0.5, 1.0];
@@ -21,21 +20,21 @@ struct Cell {
 }
 
 fn run_cell(version: Version, rate: f64) -> Cell {
-    let mut s = Scenario::new(MachineConfig::origin200());
-    s.bench(workloads::benchmark("MATVEC").unwrap(), version);
-    s.interactive(SimDuration::from_secs(5), None);
-    s.rt_config(runtime::RtConfig {
-        health: Some(HealthConfig::default()),
-        ..runtime::RtConfig::default()
-    });
+    let mut req = RunRequest::on(MachineConfig::origin200())
+        .bench("MATVEC", version)
+        .interactive(SimDuration::from_secs(5), None)
+        .rt_config(runtime::RtConfig {
+            health: Some(HealthConfig::default()),
+            ..runtime::RtConfig::default()
+        });
     if rate > 0.0 {
-        s.fault_plan(FaultPlan {
+        req = req.fault_plan(FaultPlan {
             seed: SEED,
             hints: HintFaults::poisoned(rate),
             ..FaultPlan::default()
         });
     }
-    let res = s.run();
+    let res = req.run().expect("MATVEC is registered");
     let hog = res.hog.unwrap();
     let rt = hog.rt_stats;
     Cell {
@@ -90,11 +89,11 @@ fn main() {
         "-".into(),
         "-".into(),
     ]);
-    bench::emit(
+    Artifact::new(
         "fault_matrix",
         "Fault matrix: hint-poisoning rate × version (MATVEC, seeded faults, health monitor on)",
-        &t,
-    );
+    )
+    .table(&t);
 
     // Seed reproducibility: the same plan twice is bit-identical.
     let a = run_cell(Version::Buffered, 0.5);

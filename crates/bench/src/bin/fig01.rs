@@ -1,12 +1,12 @@
 //! Figure 1: interactive response vs sleep time (alone, MATVEC-O, MATVEC-P).
 use hogtame::experiments::fig01;
-use hogtame::MachineConfig;
+use hogtame::prelude::*;
 
 fn main() {
     let sweep = fig01::run(&MachineConfig::origin200());
-    bench::emit(
+    Artifact::new(
         "fig01",
         "Figure 1: interactive response time vs sleep time (MATVEC original & prefetch-only)",
-        &sweep.table(),
-    );
+    )
+    .table(&sweep.table());
 }

@@ -1,12 +1,11 @@
 //! Figure 5: compiler output for MATVEC.
 use hogtame::experiments::fig05;
-use hogtame::MachineConfig;
+use hogtame::prelude::*;
 
 fn main() {
-    let listing = fig05::figure5(&MachineConfig::origin200());
-    bench::emit_text(
+    Artifact::new(
         "fig05",
         "Figure 5: compiled MATVEC with prefetch/release hints",
-        &listing,
-    );
+    )
+    .text(&fig05::figure5(&MachineConfig::origin200()));
 }

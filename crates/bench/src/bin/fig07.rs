@@ -1,14 +1,8 @@
 //! Figure 7: normalized execution time of the out-of-core applications.
-use hogtame::experiments::suite;
-use hogtame::MachineConfig;
-use sim_core::SimDuration;
+use hogtame::prelude::*;
 
-fn main() -> Result<(), suite::SuiteError> {
-    let s = suite::run(&MachineConfig::origin200(), None, SimDuration::from_secs(5))?;
-    bench::emit(
-        "fig07",
-        "Figure 7: normalized execution time of the out-of-core applications",
-        &s.fig07(),
-    );
+fn main() -> Result<(), SuiteError> {
+    SuiteHandle::obtain(&MachineConfig::origin200(), None, SimDuration::from_secs(5))?
+        .emit("fig07");
     Ok(())
 }

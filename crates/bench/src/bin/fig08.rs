@@ -1,14 +1,8 @@
 //! Figure 8: soft page faults caused by paging-daemon invalidations.
-use hogtame::experiments::suite;
-use hogtame::MachineConfig;
-use sim_core::SimDuration;
+use hogtame::prelude::*;
 
-fn main() -> Result<(), suite::SuiteError> {
-    let s = suite::run(&MachineConfig::origin200(), None, SimDuration::from_secs(5))?;
-    bench::emit(
-        "fig08",
-        "Figure 8: soft page faults caused by paging-daemon invalidations",
-        &s.fig08(),
-    );
+fn main() -> Result<(), SuiteError> {
+    SuiteHandle::obtain(&MachineConfig::origin200(), None, SimDuration::from_secs(5))?
+        .emit("fig08");
     Ok(())
 }

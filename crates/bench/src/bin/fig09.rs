@@ -1,14 +1,8 @@
 //! Figure 9: breakdown of outcomes for freed pages.
-use hogtame::experiments::suite;
-use hogtame::MachineConfig;
-use sim_core::SimDuration;
+use hogtame::prelude::*;
 
-fn main() -> Result<(), suite::SuiteError> {
-    let s = suite::run(&MachineConfig::origin200(), None, SimDuration::from_secs(5))?;
-    bench::emit(
-        "fig09",
-        "Figure 9: breakdown of outcomes for freed pages",
-        &s.fig09(),
-    );
+fn main() -> Result<(), SuiteError> {
+    SuiteHandle::obtain(&MachineConfig::origin200(), None, SimDuration::from_secs(5))?
+        .emit("fig09");
     Ok(())
 }

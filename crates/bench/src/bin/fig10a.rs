@@ -1,12 +1,12 @@
 //! Figure 10(a): interactive response vs sleep time, all four MATVEC versions.
 use hogtame::experiments::fig10a;
-use hogtame::MachineConfig;
+use hogtame::prelude::*;
 
 fn main() {
     let sweep = fig10a::run(&MachineConfig::origin200());
-    bench::emit(
+    Artifact::new(
         "fig10a",
         "Figure 10(a): interactive response vs sleep time (MATVEC O/P/R/B + alone)",
-        &sweep.table(),
-    );
+    )
+    .table(&sweep.table());
 }

@@ -1,14 +1,8 @@
 //! Figure 10(b): interactive response at 5 s sleep, normalized to running alone.
-use hogtame::experiments::suite;
-use hogtame::MachineConfig;
-use sim_core::SimDuration;
+use hogtame::prelude::*;
 
-fn main() -> Result<(), suite::SuiteError> {
-    let s = suite::run(&MachineConfig::origin200(), None, SimDuration::from_secs(5))?;
-    bench::emit(
-        "fig10b",
-        "Figure 10(b): interactive response at 5 s sleep, normalized to running alone",
-        &s.fig10b(),
-    );
+fn main() -> Result<(), SuiteError> {
+    SuiteHandle::obtain(&MachineConfig::origin200(), None, SimDuration::from_secs(5))?
+        .emit("fig10b");
     Ok(())
 }

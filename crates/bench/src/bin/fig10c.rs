@@ -1,14 +1,8 @@
 //! Figure 10(c): interactive hard page faults per sweep.
-use hogtame::experiments::suite;
-use hogtame::MachineConfig;
-use sim_core::SimDuration;
+use hogtame::prelude::*;
 
-fn main() -> Result<(), suite::SuiteError> {
-    let s = suite::run(&MachineConfig::origin200(), None, SimDuration::from_secs(5))?;
-    bench::emit(
-        "fig10c",
-        "Figure 10(c): interactive hard page faults per sweep",
-        &s.fig10c(),
-    );
+fn main() -> Result<(), SuiteError> {
+    SuiteHandle::obtain(&MachineConfig::origin200(), None, SimDuration::from_secs(5))?
+        .emit("fig10c");
     Ok(())
 }

@@ -12,9 +12,7 @@
 //! sampling's soft faults (and their lock traffic) vanish. The question:
 //! does releasing still pay?
 
-use hogtame::report::TextTable;
-use hogtame::{MachineConfig, Scenario, Version};
-use sim_core::SimDuration;
+use hogtame::prelude::*;
 
 struct Row {
     hog_s: f64,
@@ -26,10 +24,11 @@ struct Row {
 fn run(bench: &str, version: Version, hw: bool) -> Row {
     let mut machine = MachineConfig::origin200();
     machine.tunables.hardware_refbits = hw;
-    let mut s = Scenario::new(machine);
-    s.bench(workloads::benchmark(bench).unwrap(), version);
-    s.interactive(SimDuration::from_secs(5), None);
-    let res = s.run();
+    let res = RunRequest::on(machine)
+        .bench(bench, version)
+        .interactive(SimDuration::from_secs(5), None)
+        .run()
+        .expect("benchmark is registered");
     let hog = res.hog.unwrap();
     Row {
         hog_s: hog.breakdown.total().as_secs_f64(),
@@ -75,11 +74,11 @@ fn main() {
             }
         }
     }
-    bench::emit(
+    Artifact::new(
         "hwrefbits",
         "Extension (§6): software reference-bit sampling vs hardware reference bits",
-        &t,
-    );
+    )
+    .table(&t);
     println!(
         "Reading: hardware bits eliminate soft faults entirely, yet releasing\n\
          still pays — the hog avoids steal/refault churn and the interactive\n\

@@ -12,21 +12,18 @@
 //! describes: the interactive task is protected, but the hog pays even
 //! when it could have used the idle memory.
 
-use hogtame::report::TextTable;
-use hogtame::{MachineConfig, Scenario, Version};
-use sim_core::SimDuration;
+use hogtame::prelude::*;
 
 fn run(bench: &str, version: Version, maxrss: Option<u64>, with_interactive: bool) -> (f64, f64) {
     let mut machine = MachineConfig::origin200();
     if let Some(cap) = maxrss {
         machine.tunables.maxrss = cap;
     }
-    let mut s = Scenario::new(machine);
-    s.bench(workloads::benchmark(bench).unwrap(), version);
+    let mut req = RunRequest::on(machine).bench(bench, version);
     if with_interactive {
-        s.interactive(SimDuration::from_secs(5), None);
+        req = req.interactive(SimDuration::from_secs(5), None);
     }
-    let res = s.run();
+    let res = req.run().expect("benchmark is registered");
     let hog = res.hog.unwrap().breakdown.total().as_secs_f64();
     let int = res
         .interactive
@@ -69,11 +66,11 @@ fn main() {
             format!("{int:.2}"),
             format!("{alone:.2}"),
         ]);
-        bench::emit(
-            &format!("localrepl_{}", bench.to_lowercase()),
-            &format!("Extension (§2.1): local replacement (maxrss caps) vs releasing — {bench}-P"),
-            &t,
-        );
+        Artifact::new(
+            format!("localrepl_{}", bench.to_lowercase()),
+            format!("Extension (§2.1): local replacement (maxrss caps) vs releasing — {bench}-P"),
+        )
+        .table(&t);
     }
     println!(
         "Reading: a cap protects the interactive task, and for a pure stream\n\

@@ -9,17 +9,16 @@
 //! whose compiler releases are often premature (MGRID: ~41 % of releases
 //! rescued) next to one whose releases are essentially perfect (EMBAR).
 
-use hogtame::report::TextTable;
-use hogtame::{MachineConfig, Scenario, Version};
-use sim_core::SimDuration;
+use hogtame::prelude::*;
 
 fn run(bench: &str, rescuable: bool) -> (f64, u64, u64) {
     let mut machine = MachineConfig::origin200();
     machine.tunables.released_pages_rescuable = rescuable;
-    let mut s = Scenario::new(machine);
-    s.bench(workloads::benchmark(bench).unwrap(), Version::Release);
-    s.interactive(SimDuration::from_secs(5), None);
-    let res = s.run();
+    let res = RunRequest::on(machine)
+        .bench(bench, Version::Release)
+        .interactive(SimDuration::from_secs(5), None)
+        .run()
+        .expect("benchmark is registered");
     let hog = res.hog.unwrap();
     (
         hog.breakdown.total().as_secs_f64(),
@@ -51,11 +50,11 @@ fn main() {
             ]);
         }
     }
-    bench::emit(
+    Artifact::new(
         "madvise",
         "Extension: rescuable releases (paper) vs destructive MADV_DONTNEED-style releases",
-        &t,
-    );
+    )
+    .table(&t);
     println!(
         "Reading: when the compiler's releases are perfect (EMBAR) the free-\n\
          list rescue never fires and the semantics are interchangeable; when\n\

@@ -10,9 +10,7 @@
 //! the OS consults when its clock lands on that application). This binary
 //! compares it with the paper's pro-active releasing.
 
-use hogtame::report::TextTable;
-use hogtame::{MachineConfig, Scenario, Version};
-use sim_core::SimDuration;
+use hogtame::prelude::*;
 
 fn main() {
     let mut t = TextTable::new(vec![
@@ -31,10 +29,11 @@ fn main() {
             Version::Release,
             Version::Buffered,
         ] {
-            let mut s = Scenario::new(MachineConfig::origin200());
-            s.bench(workloads::benchmark(bench).unwrap(), version);
-            s.interactive(SimDuration::from_secs(5), None);
-            let res = s.run();
+            let res = RunRequest::on(MachineConfig::origin200())
+                .bench(bench, version)
+                .interactive(SimDuration::from_secs(5), None)
+                .run()
+                .expect("benchmark is registered");
             let hog = res.hog.unwrap();
             let int = res.interactive.unwrap();
             t.row(vec![
@@ -53,11 +52,11 @@ fn main() {
             ]);
         }
     }
-    bench::emit(
+    Artifact::new(
         "reactive",
         "Extension (§2.2): reactive (V) eviction candidates vs pro-active releasing (R/B)",
-        &t,
-    );
+    )
+    .table(&t);
     println!(
         "Reading: the reactive version (V) lets the OS take the right pages,\n\
          so its thousands of steals stop hurting the hog's working set — but\n\

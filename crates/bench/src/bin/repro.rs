@@ -1,78 +1,67 @@
 //! Regenerates every table and figure of the paper in one run.
-use hogtame::experiments::{fig01, fig05, fig10a, suite, tables};
-use hogtame::MachineConfig;
-use sim_core::SimDuration;
+//!
+//! Environment knobs:
+//!
+//! * `HOGTAME_JOBS` — worker count for the parallel executor (defaults to
+//!   the machine's available parallelism).
+//! * `HOGTAME_MACHINE=small` — run on the scaled-down machine with MATVEC
+//!   only (the CI smoke configuration).
+//! * `HOGTAME_RESULTS` — artifact directory (default `results/`).
+//! * `HOGTAME_CACHE=0` — disable the on-disk suite cache.
+use hogtame::experiments::{fig01, fig05, fig10a, tables};
+use hogtame::prelude::*;
 
-fn main() -> Result<(), suite::SuiteError> {
-    let machine = MachineConfig::origin200();
+fn main() -> Result<(), SuiteError> {
+    let small = std::env::var("HOGTAME_MACHINE").is_ok_and(|v| v.eq_ignore_ascii_case("small"));
+    let machine = if small {
+        MachineConfig::small()
+    } else {
+        MachineConfig::origin200()
+    };
+    let benches: Option<&[&str]> = if small { Some(&["MATVEC"]) } else { None };
+    let jobs = exec::jobs();
     let t0 = std::time::Instant::now();
 
-    bench::emit(
+    Artifact::new(
         "table1",
         "Table 1: hardware characteristics (simulated SGI Origin 200)",
-        &tables::table1(&machine),
-    );
-    bench::emit(
-        "table2",
-        "Table 2: out-of-core benchmark characteristics",
-        &tables::table2(&machine),
-    );
-    bench::emit_text(
+    )
+    .table(&tables::table1(&machine));
+    Artifact::new("table2", "Table 2: out-of-core benchmark characteristics")
+        .table(&tables::table2(&machine));
+    Artifact::new(
         "fig05",
         "Figure 5: compiled MATVEC with prefetch/release hints",
-        &fig05::figure5(&machine),
-    );
+    )
+    .text(&fig05::figure5(&machine));
 
-    eprintln!("[repro] running the 6×4 co-run suite ...");
-    let s = suite::run(&machine, None, SimDuration::from_secs(5))?;
-    bench::emit(
-        "fig07",
-        "Figure 7: normalized execution time of the out-of-core applications",
-        &s.fig07(),
-    );
-    bench::emit(
-        "fig08",
-        "Figure 8: soft page faults caused by paging-daemon invalidations",
-        &s.fig08(),
-    );
-    bench::emit(
-        "table3",
-        "Table 3: page reclamation activity (original vs prefetch+release)",
-        &s.table3(),
-    );
-    bench::emit(
-        "fig09",
-        "Figure 9: breakdown of outcomes for freed pages",
-        &s.fig09(),
-    );
-    bench::emit(
-        "fig10b",
-        "Figure 10(b): interactive response at 5 s sleep, normalized to running alone",
-        &s.fig10b(),
-    );
-    bench::emit(
-        "fig10c",
-        "Figure 10(c): interactive hard page faults per sweep",
-        &s.fig10c(),
-    );
+    eprintln!("[repro] running the co-run suite on {jobs} worker(s) ...");
+    let suite = SuiteHandle::obtain(&machine, benches, SimDuration::from_secs(5))?;
+    if suite.from_cache() {
+        eprintln!(
+            "[repro] suite satisfied from cache entry {:016x}",
+            suite.key()
+        );
+    }
+    suite.emit_all();
 
     eprintln!("[repro] running the Figure 1 sleep sweep ...");
-    bench::emit(
+    Artifact::new(
         "fig01",
         "Figure 1: interactive response time vs sleep time (MATVEC original & prefetch-only)",
-        &fig01::run(&machine).table(),
-    );
+    )
+    .table(&fig01::run(&machine).table());
     eprintln!("[repro] running the Figure 10(a) sleep sweep ...");
-    bench::emit(
+    Artifact::new(
         "fig10a",
         "Figure 10(a): interactive response vs sleep time (MATVEC O/P/R/B + alone)",
-        &fig10a::run(&machine).table(),
-    );
+    )
+    .table(&fig10a::run(&machine).table());
 
     eprintln!(
-        "[repro] done in {:.1}s; artifacts in {:?}",
+        "[repro] done in {:.1}s on {jobs} worker(s); artifacts in {:?}",
         t0.elapsed().as_secs_f64(),
-        bench::results_dir()
+        results_dir()
     );
     Ok(())
 }

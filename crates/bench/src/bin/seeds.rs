@@ -5,14 +5,33 @@
 //! re-run each cell with independently re-seeded random data (BUK's keys,
 //! CGM's column indices) and report the spread. Structure-only benchmarks
 //! are bit-stable by construction, so only the indirect ones appear here.
+//! The whole (benchmark × version × seed) grid goes through the parallel
+//! executor; results come back by index, so the table is identical at any
+//! worker count.
 
-use hogtame::report::TextTable;
-use hogtame::{MachineConfig, Scenario, Version};
+use hogtame::prelude::*;
 use sim_core::stats::Summary;
-use sim_core::SimDuration;
+
+const SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
+const BENCHES: [&str; 2] = ["BUK", "CGM"];
+const VERSIONS: [Version; 2] = [Version::Prefetch, Version::Release];
 
 fn main() {
-    let seeds: [u64; 5] = [1, 2, 3, 4, 5];
+    let mut reqs = Vec::new();
+    for bench in BENCHES {
+        for version in VERSIONS {
+            for &seed in &SEEDS {
+                reqs.push(
+                    RunRequest::on(MachineConfig::origin200())
+                        .bench(bench, version)
+                        .interactive(SimDuration::from_secs(5), None)
+                        .reseed(seed),
+                );
+            }
+        }
+    }
+    let mut outcomes = exec::run_all(reqs).into_iter();
+
     let mut t = TextTable::new(vec![
         "benchmark",
         "version",
@@ -20,16 +39,15 @@ fn main() {
         "spread",
         "interactive min..max (ms)",
     ]);
-    for bench in ["BUK", "CGM"] {
-        for version in [Version::Prefetch, Version::Release] {
+    for bench in BENCHES {
+        for version in VERSIONS {
             let mut hogs = Summary::new();
             let mut ints = Summary::new();
-            for &seed in &seeds {
-                let spec = workloads::benchmark(bench).unwrap().reseed(seed);
-                let mut s = Scenario::new(MachineConfig::origin200());
-                s.bench(spec, version);
-                s.interactive(SimDuration::from_secs(5), None);
-                let res = s.run();
+            for _ in SEEDS {
+                let res = outcomes
+                    .next()
+                    .expect("one outcome per grid cell")
+                    .expect("BUK and CGM are registered");
                 hogs.add(res.hog.unwrap().breakdown.total().as_secs_f64());
                 if let Some(d) = res.interactive.unwrap().mean_response() {
                     ints.add(d.as_millis_f64());
@@ -44,11 +62,11 @@ fn main() {
             ]);
         }
     }
-    bench::emit(
+    Artifact::new(
         "seeds",
         "Replication: headline results across 5 indirection-data seeds",
-        &t,
-    );
+    )
+    .table(&t);
     println!(
         "Reading: the R-vs-P ordering holds for every seed; spreads of a few\n\
          percent on the hog and wider on the (fault-count-quantized)\n\

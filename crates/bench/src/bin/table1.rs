@@ -1,12 +1,11 @@
 //! Table 1: hardware characteristics of the simulated machine.
 use hogtame::experiments::tables;
-use hogtame::MachineConfig;
+use hogtame::prelude::*;
 
 fn main() {
-    let t = tables::table1(&MachineConfig::origin200());
-    bench::emit(
+    Artifact::new(
         "table1",
         "Table 1: hardware characteristics (simulated SGI Origin 200)",
-        &t,
-    );
+    )
+    .table(&tables::table1(&MachineConfig::origin200()));
 }

@@ -1,12 +1,8 @@
 //! Table 2: benchmark characteristics.
 use hogtame::experiments::tables;
-use hogtame::MachineConfig;
+use hogtame::prelude::*;
 
 fn main() {
-    let t = tables::table2(&MachineConfig::origin200());
-    bench::emit(
-        "table2",
-        "Table 2: out-of-core benchmark characteristics",
-        &t,
-    );
+    Artifact::new("table2", "Table 2: out-of-core benchmark characteristics")
+        .table(&tables::table2(&MachineConfig::origin200()));
 }

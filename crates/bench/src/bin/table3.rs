@@ -1,14 +1,8 @@
 //! Table 3: page reclamation activity (original vs prefetch+release).
-use hogtame::experiments::suite;
-use hogtame::MachineConfig;
-use sim_core::SimDuration;
+use hogtame::prelude::*;
 
-fn main() -> Result<(), suite::SuiteError> {
-    let s = suite::run(&MachineConfig::origin200(), None, SimDuration::from_secs(5))?;
-    bench::emit(
-        "table3",
-        "Table 3: page reclamation activity (original vs prefetch+release)",
-        &s.table3(),
-    );
+fn main() -> Result<(), SuiteError> {
+    SuiteHandle::obtain(&MachineConfig::origin200(), None, SimDuration::from_secs(5))?
+        .emit("table3");
     Ok(())
 }

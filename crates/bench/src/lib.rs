@@ -12,34 +12,24 @@
 use std::path::PathBuf;
 
 use hogtame::report::TextTable;
+use hogtame::Artifact;
 
 /// The directory experiment artifacts are written to.
+#[deprecated(note = "use `hogtame::results_dir`")]
 pub fn results_dir() -> PathBuf {
-    std::env::var_os("HOGTAME_RESULTS")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"))
+    hogtame::results_dir()
 }
 
-/// Prints a titled table and persists it under [`results_dir`].
+/// Prints a titled table and persists it under the results directory.
+#[deprecated(note = "use `hogtame::Artifact`")]
 pub fn emit(name: &str, title: &str, table: &TextTable) {
-    println!("{title}\n");
-    println!("{}", table.render());
-    let dir = results_dir();
-    if let Err(e) = hogtame::experiments::persist_table(&dir, name, title, table) {
-        eprintln!("warning: could not persist {name}: {e}");
-    }
+    Artifact::new(name, title).table(table);
 }
 
 /// Prints and persists a free-form text artifact.
+#[deprecated(note = "use `hogtame::Artifact`")]
 pub fn emit_text(name: &str, title: &str, body: &str) {
-    println!("{title}\n\n{body}");
-    let dir = results_dir();
-    if std::fs::create_dir_all(&dir).is_ok() {
-        let _ = std::fs::write(
-            dir.join(format!("{name}.txt")),
-            format!("{title}\n\n{body}"),
-        );
-    }
+    Artifact::new(name, title).text(body);
 }
 
 /// A minimal self-timing micro-benchmark harness.
@@ -104,6 +94,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(deprecated)]
     fn results_dir_env_override() {
         // Not running in parallel with other env tests in this crate.
         std::env::set_var("HOGTAME_RESULTS", "/tmp/hogtame-results-test");

@@ -9,8 +9,6 @@
 //! ```
 
 use hogtame::prelude::*;
-use hogtame::report::TextTable;
-use sim_core::stats::TimeCategory;
 
 fn usage() -> ! {
     eprintln!(
@@ -83,22 +81,27 @@ struct RunOpts {
 }
 
 fn cmd_run(bench: &str, version: Version, opts: RunOpts) {
-    let Some(spec) = workloads::benchmark(bench) else {
-        eprintln!("unknown benchmark {bench} (try `hogtame list`)");
-        std::process::exit(2);
-    };
-    let mut scenario = Scenario::new(MachineConfig::origin200());
-    scenario.bench(spec, version);
+    let mut request = RunRequest::on(MachineConfig::origin200()).bench(bench, version);
     if opts.interactive {
-        scenario.interactive(SimDuration::from_secs_f64(opts.sleep), None);
+        request = request.interactive(SimDuration::from_secs_f64(opts.sleep), None);
     }
     if opts.timeline {
-        scenario.timeline(SimDuration::from_millis(250));
+        request = request.timeline(SimDuration::from_millis(250));
     }
     if opts.trace {
-        scenario.kernel_trace();
+        request = request.kernel_trace();
     }
-    let result = scenario.run();
+    let result = match request.run() {
+        Ok(result) => result,
+        Err(RunError::UnknownBenchmark(_)) => {
+            eprintln!("unknown benchmark {bench} (try `hogtame list`)");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
 
     let hog = result.hog.expect("benchmark ran");
     println!("{bench}-{}:", version.label());

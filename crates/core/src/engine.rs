@@ -229,10 +229,33 @@ impl Engine {
         }
     }
 
-    /// Installs a fault plan. Must be called before [`Engine::register`]
-    /// so hint-emitting processes get their per-process fault streams; the
-    /// swap array and daemon scheduling are armed immediately.
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+    /// Installs a fault plan, chainably. Must be applied before
+    /// [`Engine::register`] so hint-emitting processes get their
+    /// per-process fault streams; the swap array and daemon scheduling are
+    /// armed immediately.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.apply_fault_plan(plan);
+        self
+    }
+
+    /// Enables occupancy sampling at the given period, chainably (see
+    /// [`crate::timeline::Timeline`]).
+    #[must_use]
+    pub fn with_timeline(mut self, period: SimDuration) -> Self {
+        self.timeline = Some((period, Vec::new()));
+        self
+    }
+
+    /// Enables the VM's kernel-activity trace ring, chainably (records
+    /// surface in [`RunResult::kernel_trace`]).
+    #[must_use]
+    pub fn with_kernel_trace(mut self) -> Self {
+        self.vm.set_trace_enabled(true);
+        self
+    }
+
+    fn apply_fault_plan(&mut self, plan: FaultPlan) {
         self.faults = plan;
         if plan.io.any() {
             self.vm
@@ -244,19 +267,25 @@ impl Engine {
         }
     }
 
+    /// Installs a fault plan (non-chainable shim).
+    #[deprecated(note = "use the chainable `Engine::with_fault_plan`")]
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.apply_fault_plan(plan);
+    }
+
     /// The fault plan in force (default: no faults).
     pub fn fault_plan(&self) -> &FaultPlan {
         &self.faults
     }
 
-    /// Enables occupancy sampling at the given period (see
-    /// [`crate::timeline::Timeline`]).
+    /// Enables occupancy sampling (non-chainable shim).
+    #[deprecated(note = "use the chainable `Engine::with_timeline`")]
     pub fn enable_timeline(&mut self, period: SimDuration) {
         self.timeline = Some((period, Vec::new()));
     }
 
-    /// Enables the VM's kernel-activity trace ring (records surface in
-    /// [`RunResult::kernel_trace`]).
+    /// Enables the kernel-activity trace (non-chainable shim).
+    #[deprecated(note = "use the chainable `Engine::with_kernel_trace`")]
     pub fn enable_kernel_trace(&mut self) {
         self.vm.set_trace_enabled(true);
     }
@@ -905,8 +934,7 @@ mod tests {
     #[test]
     fn shrink_fault_fires_and_is_logged() {
         use sim_core::fault::{DaemonFaults, FaultPlan};
-        let mut e = engine_small();
-        e.set_fault_plan(FaultPlan {
+        let mut e = engine_small().with_fault_plan(FaultPlan {
             seed: 5,
             daemons: DaemonFaults {
                 shrink_limit_at: Some(SimTime::from_nanos(1_000_000)),
@@ -932,8 +960,7 @@ mod tests {
     fn daemon_jitter_draws_are_seed_reproducible() {
         use sim_core::fault::{DaemonFaults, FaultPlan};
         let run = || {
-            let mut e = engine_small();
-            e.set_fault_plan(FaultPlan {
+            let mut e = engine_small().with_fault_plan(FaultPlan {
                 seed: 11,
                 daemons: DaemonFaults {
                     releaser_jitter: SimDuration::from_micros(500),
@@ -966,6 +993,26 @@ mod tests {
         assert_eq!(end1, end2, "jittered runs must reproduce exactly");
         assert_eq!(log1, log2);
         assert!(log1.contains("pagingd_skew"), "skew injected: {log1}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setter_shims_still_work() {
+        use sim_core::fault::{FaultPlan, IoFaults};
+        let mut e = engine_small();
+        e.set_fault_plan(FaultPlan {
+            seed: 3,
+            io: IoFaults::flaky(0.2),
+            ..FaultPlan::default()
+        });
+        e.enable_timeline(SimDuration::from_millis(1));
+        e.enable_kernel_trace();
+        assert_eq!(e.fault_plan().seed, 3);
+        let pid = e.vm_mut().add_process(false);
+        let stream = VecStream::new([Op::Compute(SimDuration::from_millis(5)), Op::End]);
+        e.register(pid, "calc", Box::new(stream), None, true);
+        let res = e.run();
+        assert!(res.timeline.is_some(), "shim enabled the timeline");
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! The deterministic parallel experiment executor.
+//!
+//! Every figure and table in the paper is an embarrassingly parallel grid
+//! of independent simulated runs. This module drains a queue of
+//! fully-specified [`RunRequest`]s with a pool of worker threads —
+//! std-only, no dependencies — and returns the results **by request
+//! index, never by completion order**.
+//!
+//! # Determinism
+//!
+//! Each request carries everything its run reads (machine, workload,
+//! seeds, fault plan), and each execution builds a private engine, so a
+//! run's result is a pure function of its descriptor: scheduling cannot
+//! leak between runs. Parallel output is therefore bit-identical to the
+//! serial order — `tests/parallel_exec.rs` asserts the full suite renders
+//! byte-identical CSV at 1 worker and at N workers.
+//!
+//! # Worker count
+//!
+//! [`jobs`] resolves the pool size: the `HOGTAME_JOBS` environment
+//! variable when set (minimum 1), otherwise
+//! [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::request::{RunError, RunOutcome, RunRequest};
+
+/// Resolves the worker-pool size from the environment: `HOGTAME_JOBS` if
+/// set and parseable (clamped to ≥ 1), else the machine's available
+/// parallelism, else 1.
+pub fn jobs() -> usize {
+    if let Some(v) = std::env::var_os("HOGTAME_JOBS") {
+        if let Some(n) = v.to_str().and_then(|s| s.trim().parse::<usize>().ok()) {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Executes every request on the default worker count ([`jobs`]).
+/// `results[i]` is the outcome of `requests[i]`.
+pub fn run_all(requests: Vec<RunRequest>) -> Vec<Result<RunOutcome, RunError>> {
+    run_all_with(requests, jobs())
+}
+
+/// Executes every request on a pool of exactly `jobs` workers (1 = the
+/// serial reference order). `results[i]` is the outcome of `requests[i]`,
+/// regardless of which worker ran it or when it finished.
+pub fn run_all_with(requests: Vec<RunRequest>, jobs: usize) -> Vec<Result<RunOutcome, RunError>> {
+    let n = requests.len();
+    if jobs <= 1 || n <= 1 {
+        return requests.iter().map(RunRequest::run).collect();
+    }
+    // Work queue: a shared cursor over take-once slots. Workers claim the
+    // next index, run without holding any lock, and park the result in the
+    // slot of the same index.
+    let work: Vec<Mutex<Option<RunRequest>>> =
+        requests.into_iter().map(|r| Mutex::new(Some(r))).collect();
+    let results: Vec<Mutex<Option<Result<RunOutcome, RunError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let req = work[i]
+                    .lock()
+                    .expect("request slot poisoned")
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let out = req.run();
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("scope joined every worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use crate::scenario::Version;
+    use sim_core::SimDuration;
+
+    /// A cheap grid with a distinguishable outcome per index.
+    fn grid() -> Vec<RunRequest> {
+        (1..=4u32)
+            .map(|k| {
+                RunRequest::on(MachineConfig::small())
+                    .interactive(SimDuration::from_millis(50), Some(k))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_come_back_by_request_index() {
+        for jobs in [1, 2, 8] {
+            let outs = run_all_with(grid(), jobs);
+            for (i, out) in outs.iter().enumerate() {
+                let sweeps = out
+                    .as_ref()
+                    .unwrap()
+                    .interactive
+                    .as_ref()
+                    .unwrap()
+                    .sweeps
+                    .len();
+                assert_eq!(sweeps, i + 1, "slot {i} holds request {i} ({jobs} jobs)");
+            }
+        }
+    }
+
+    #[test]
+    fn errors_stay_in_their_slot() {
+        let mut reqs = grid();
+        reqs.insert(
+            1,
+            RunRequest::on(MachineConfig::small()).bench("BOGUS", Version::Original),
+        );
+        let outs = run_all_with(reqs, 3);
+        assert_eq!(
+            outs[1].as_ref().unwrap_err(),
+            &RunError::UnknownBenchmark("BOGUS".into())
+        );
+        assert!(outs[0].is_ok() && outs[2].is_ok());
+    }
+
+    #[test]
+    fn empty_and_singleton_grids() {
+        assert!(run_all_with(Vec::new(), 4).is_empty());
+        let outs = run_all_with(grid()[..1].to_vec(), 4);
+        assert_eq!(outs.len(), 1);
+        assert!(outs[0].is_ok());
+    }
+
+    #[test]
+    fn more_workers_than_work_is_fine() {
+        let outs = run_all_with(grid(), 64);
+        assert_eq!(outs.len(), 4);
+        assert!(outs.iter().all(Result::is_ok));
+    }
+}

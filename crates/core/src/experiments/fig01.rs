@@ -14,9 +14,11 @@
 use sim_core::stats::Series;
 use sim_core::SimDuration;
 
+use crate::exec;
 use crate::machine::MachineConfig;
 use crate::report::TextTable;
-use crate::scenario::{Scenario, Version};
+use crate::request::{RunOutcome, RunRequest};
+use crate::scenario::Version;
 
 /// The sleep times swept (seconds). Zero means the task never sleeps.
 pub const SLEEPS_S: [f64; 7] = [0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0];
@@ -27,58 +29,67 @@ pub struct ResponseSweep {
     pub series: Vec<Series>,
 }
 
-/// Runs the interactive task alone for each sleep time.
-fn alone_series(machine: &MachineConfig, sleeps: &[f64]) -> Series {
-    let mut s = Series::new("alone");
-    for &sleep in sleeps {
-        let mut sc = Scenario::new(machine.clone());
-        sc.interactive(SimDuration::from_secs_f64(sleep), Some(10));
-        let res = sc.run();
-        let resp = res
-            .interactive
-            .unwrap()
-            .mean_response()
-            .map(|d| d.as_millis_f64())
-            .unwrap_or(f64::NAN);
-        s.push(sleep, resp);
-    }
-    s
-}
-
-/// Runs MATVEC in `version` against the interactive task for each sleep.
-fn versus_series(machine: &MachineConfig, version: Version, sleeps: &[f64]) -> Series {
-    let mut s = Series::new(format!("with MATVEC-{}", version.label()));
-    for &sleep in sleeps {
-        let mut sc = Scenario::new(machine.clone());
-        sc.bench(workloads::benchmark("MATVEC").unwrap(), version);
-        sc.interactive(SimDuration::from_secs_f64(sleep), None);
-        let res = sc.run();
-        let resp = res
-            .interactive
-            .unwrap()
-            .mean_response()
-            .map(|d| d.as_millis_f64())
-            .unwrap_or(f64::NAN);
-        s.push(sleep, resp);
-    }
-    s
-}
-
 /// Runs the Figure 1 sweep: alone, MATVEC-O, MATVEC-P.
 pub fn run(machine: &MachineConfig) -> ResponseSweep {
     run_versions(machine, &[Version::Original, Version::Prefetch], &SLEEPS_S)
 }
 
 /// Generic sweep over the given versions (Figure 10a uses all four).
+///
+/// The sweep expands into one request per (series, sleep) point — series-
+/// major, alone first — and drains through the parallel executor; results
+/// come back by index, so the series are identical at any worker count.
 pub fn run_versions(
     machine: &MachineConfig,
     versions: &[Version],
     sleeps: &[f64],
 ) -> ResponseSweep {
-    let mut series = vec![alone_series(machine, sleeps)];
-    for &v in versions {
-        series.push(versus_series(machine, v, sleeps));
+    let mut reqs = Vec::with_capacity((1 + versions.len()) * sleeps.len());
+    for &sleep in sleeps {
+        reqs.push(
+            RunRequest::on(machine.clone())
+                .interactive(SimDuration::from_secs_f64(sleep), Some(10)),
+        );
     }
+    for &v in versions {
+        for &sleep in sleeps {
+            reqs.push(
+                RunRequest::on(machine.clone())
+                    .bench("MATVEC", v)
+                    .interactive(SimDuration::from_secs_f64(sleep), None),
+            );
+        }
+    }
+    let outcomes = exec::run_all(reqs);
+
+    let response_ms = |out: &Result<RunOutcome, _>| {
+        out.as_ref()
+            .expect("MATVEC is registered")
+            .interactive
+            .as_ref()
+            .expect("every sweep request runs the interactive task")
+            .mean_response()
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(f64::NAN)
+    };
+
+    let mut labels = vec![String::from("alone")];
+    labels.extend(
+        versions
+            .iter()
+            .map(|v| format!("with MATVEC-{}", v.label())),
+    );
+    let series = labels
+        .into_iter()
+        .enumerate()
+        .map(|(si, label)| {
+            let mut s = Series::new(label);
+            for (pi, &sleep) in sleeps.iter().enumerate() {
+                s.push(sleep, response_ms(&outcomes[si * sleeps.len() + pi]));
+            }
+            s
+        })
+        .collect();
     ResponseSweep { series }
 }
 

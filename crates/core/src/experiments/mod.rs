@@ -17,10 +17,10 @@ pub mod fig10a;
 pub mod suite;
 pub mod tables;
 
-use std::fs;
 use std::io;
 use std::path::Path;
 
+use crate::artifact::Artifact;
 use crate::report::TextTable;
 
 /// Writes a table as `<dir>/<name>.txt` and `<dir>/<name>.csv`.
@@ -28,12 +28,9 @@ use crate::report::TextTable;
 /// # Errors
 ///
 /// Propagates filesystem errors.
+#[deprecated(note = "use `Artifact` (see `hogtame::prelude`)")]
 pub fn persist_table(dir: &Path, name: &str, title: &str, table: &TextTable) -> io::Result<()> {
-    fs::create_dir_all(dir)?;
-    let text = format!("{title}\n\n{}", table.render());
-    fs::write(dir.join(format!("{name}.txt")), text)?;
-    fs::write(dir.join(format!("{name}.csv")), table.to_csv())?;
-    Ok(())
+    Artifact::new(name, title).in_dir(dir).write_table(table)
 }
 
 #[cfg(test)]
@@ -41,7 +38,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn persist_writes_both_files() {
+    #[allow(deprecated)]
+    fn persist_shim_writes_both_files() {
         let dir = std::env::temp_dir().join("hogtame-test-persist");
         let _ = std::fs::remove_dir_all(&dir);
         let mut t = TextTable::new(vec!["a"]);

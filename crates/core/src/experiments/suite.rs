@@ -2,16 +2,31 @@
 //! with the interactive task at the paper's intermediate 5-second sleep.
 //!
 //! One pass over these 24 runs yields Figures 7, 8, 9, 10(b), 10(c) and
-//! Table 3.
+//! Table 3. The pass is expanded into a grid of [`RunRequest`]s and
+//! drained by the parallel executor ([`crate::exec`]); because each
+//! request is fully self-contained, the suite is bit-identical at any
+//! worker count.
+//!
+//! Because six different binaries (plus `repro`) all consume the same
+//! pass, [`SuiteHandle`] memoizes it: the tables are computed once and
+//! cached on disk under `results/.cache/<fingerprint>/`, keyed by a
+//! stable fingerprint of the request grid. Any change to the machine,
+//! benchmark list, sleep time, or request semantics changes the key.
 
+use std::path::Path;
+
+use sim_core::fingerprint::Fnv1a;
 use sim_core::stats::TimeCategory;
 use sim_core::SimDuration;
 use vm::VmStats;
 
+use crate::artifact::{self, Artifact};
 use crate::engine::ProcResult;
+use crate::exec;
 use crate::machine::MachineConfig;
 use crate::report::TextTable;
-use crate::scenario::{Scenario, Version};
+use crate::request::{RunError, RunRequest};
+use crate::scenario::Version;
 
 /// One benchmark × version co-run.
 pub struct SuiteCell {
@@ -64,41 +79,119 @@ impl std::fmt::Display for SuiteError {
 
 impl std::error::Error for SuiteError {}
 
-/// Runs the suite for the given benchmark names (paper order if `None`).
+/// The artifact `(name, title)` of every table the suite produces, in
+/// emission order. [`Suite::table`] and [`SuiteHandle::table`] accept the
+/// names.
+pub const SUITE_TABLES: [(&str, &str); 6] = [
+    (
+        "fig07",
+        "Figure 7: normalized execution time of the out-of-core applications",
+    ),
+    (
+        "fig08",
+        "Figure 8: soft page faults caused by paging-daemon invalidations",
+    ),
+    (
+        "table3",
+        "Table 3: page reclamation activity (original vs prefetch+release)",
+    ),
+    ("fig09", "Figure 9: breakdown of outcomes for freed pages"),
+    (
+        "fig10b",
+        "Figure 10(b): interactive response at 5 s sleep, normalized to running alone",
+    ),
+    (
+        "fig10c",
+        "Figure 10(c): interactive hard page faults per sweep",
+    ),
+];
+
+/// Resolves the benchmark list: the caller's, or the paper's six.
+fn names(benches: Option<&[&str]>) -> Vec<String> {
+    match benches {
+        Some(list) => list.iter().map(|s| s.to_string()).collect(),
+        None => workloads::all_benchmarks()
+            .iter()
+            .map(|b| b.name.clone())
+            .collect(),
+    }
+}
+
+/// Expands the suite into its request grid: the alone baseline first, then
+/// every benchmark × version cell in paper order.
+fn grid(machine: &MachineConfig, names: &[String], sleep: SimDuration) -> Vec<RunRequest> {
+    let mut reqs = Vec::with_capacity(1 + names.len() * Version::ALL.len());
+    reqs.push(RunRequest::on(machine.clone()).interactive(sleep, Some(12)));
+    for name in names {
+        for &version in &Version::ALL {
+            reqs.push(
+                RunRequest::on(machine.clone())
+                    .bench(name.clone(), version)
+                    .interactive(sleep, None),
+            );
+        }
+    }
+    reqs
+}
+
+/// The stable fingerprint of a request grid — the artifact-cache key.
+fn grid_key(reqs: &[RunRequest]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_str("suite/v1");
+    h.write_u64(reqs.len() as u64);
+    for r in reqs {
+        r.feed(&mut h);
+    }
+    h.finish()
+}
+
+/// Runs the suite for the given benchmark names (paper order if `None`),
+/// on the default worker count ([`exec::jobs`]).
 ///
 /// Fails with [`SuiteError::UnknownBenchmark`] if a requested name is not
-/// registered, or [`SuiteError::ProcessMissing`] if a scenario completes
+/// registered, or [`SuiteError::ProcessMissing`] if a run completes
 /// without the expected process results.
 pub fn run(
     machine: &MachineConfig,
     benches: Option<&[&str]>,
     sleep: SimDuration,
 ) -> Result<Suite, SuiteError> {
-    let names: Vec<String> = match benches {
-        Some(list) => list.iter().map(|s| s.to_string()).collect(),
-        None => workloads::all_benchmarks()
-            .iter()
-            .map(|b| b.name.clone())
-            .collect(),
-    };
+    run_with_jobs(machine, benches, sleep, exec::jobs())
+}
 
-    // Baseline: the interactive task alone.
-    let mut s = Scenario::new(machine.clone());
-    s.interactive(sleep, Some(12));
-    let alone = s.run().interactive.ok_or(SuiteError::ProcessMissing {
-        bench: String::from("alone"),
-        role: "interactive",
-    })?;
+/// [`run`], on a pool of exactly `jobs` workers (1 = the serial reference
+/// order; results are bit-identical at any count).
+pub fn run_with_jobs(
+    machine: &MachineConfig,
+    benches: Option<&[&str]>,
+    sleep: SimDuration,
+    jobs: usize,
+) -> Result<Suite, SuiteError> {
+    let names = names(benches);
+    let mut outcomes = exec::run_all_with(grid(machine, &names, sleep), jobs).into_iter();
+
+    let baseline = outcomes.next().expect("grid holds the baseline");
+    let alone = baseline
+        .map_err(|e| match e {
+            RunError::UnknownBenchmark(n) => SuiteError::UnknownBenchmark(n),
+            RunError::Empty => unreachable!("baseline request has the interactive task"),
+        })?
+        .interactive
+        .ok_or(SuiteError::ProcessMissing {
+            bench: String::from("alone"),
+            role: "interactive",
+        })?;
 
     let mut cells = Vec::new();
     for name in &names {
         for &version in &Version::ALL {
-            let spec = workloads::benchmark(name)
-                .ok_or_else(|| SuiteError::UnknownBenchmark(name.clone()))?;
-            let mut s = Scenario::new(machine.clone());
-            s.bench(spec, version);
-            s.interactive(sleep, None);
-            let res = s.run();
+            let res = outcomes
+                .next()
+                .expect("grid holds one request per cell")
+                .map_err(|e| match e {
+                    RunError::UnknownBenchmark(n) => SuiteError::UnknownBenchmark(n),
+                    RunError::Empty => unreachable!("cell requests name a benchmark"),
+                })?;
             cells.push(SuiteCell {
                 bench: name.clone(),
                 version,
@@ -121,6 +214,117 @@ pub fn run(
     })
 }
 
+/// The memoized suite: the six tables of one suite pass, computed at most
+/// once per process and cached on disk across processes.
+///
+/// `fig07`, `fig08`, `fig09`, `fig10b`, `fig10c`, `table3` and `repro`
+/// all obtain the same handle; whichever runs first pays for the 25
+/// simulated runs, the rest load six CSV files.
+pub struct SuiteHandle {
+    tables: Vec<TextTable>,
+    from_cache: bool,
+    key: u64,
+}
+
+impl SuiteHandle {
+    /// Obtains the suite tables, consulting the default on-disk cache
+    /// (under [`artifact::cache_dir`], unless `HOGTAME_CACHE` disables it)
+    /// and running on the default worker count on a miss.
+    pub fn obtain(
+        machine: &MachineConfig,
+        benches: Option<&[&str]>,
+        sleep: SimDuration,
+    ) -> Result<Self, SuiteError> {
+        let cache = artifact::cache_enabled().then(artifact::cache_dir);
+        Self::obtain_in(cache.as_deref(), machine, benches, sleep, exec::jobs())
+    }
+
+    /// [`SuiteHandle::obtain`] with every knob explicit: the cache
+    /// directory (`None` disables caching entirely) and the worker count.
+    pub fn obtain_in(
+        cache: Option<&Path>,
+        machine: &MachineConfig,
+        benches: Option<&[&str]>,
+        sleep: SimDuration,
+        jobs: usize,
+    ) -> Result<Self, SuiteError> {
+        let names = names(benches);
+        let reqs = grid(machine, &names, sleep);
+        let key = grid_key(&reqs);
+        let table_names: Vec<&str> = SUITE_TABLES.iter().map(|(n, _)| *n).collect();
+
+        if let Some(cache) = cache {
+            if let Some(tables) = artifact::cache_load(cache, key, &table_names) {
+                return Ok(SuiteHandle {
+                    tables,
+                    from_cache: true,
+                    key,
+                });
+            }
+        }
+
+        let suite = run_with_jobs(machine, benches, sleep, jobs)?;
+        let tables: Vec<TextTable> = table_names
+            .iter()
+            .map(|n| suite.table(n).expect("SUITE_TABLES names are exhaustive"))
+            .collect();
+        if let Some(cache) = cache {
+            let manifest = format!(
+                "suite grid fingerprint {key:016x}\nbenches: {names:?}\nsleep: {}\nruns: {}\n",
+                suite.sleep,
+                reqs.len(),
+            );
+            let entries: Vec<(&str, &TextTable)> =
+                table_names.iter().copied().zip(tables.iter()).collect();
+            if let Err(e) = artifact::cache_store(cache, key, &manifest, &entries) {
+                eprintln!("warning: could not cache suite {key:016x}: {e}");
+            }
+        }
+        Ok(SuiteHandle {
+            tables,
+            from_cache: false,
+            key,
+        })
+    }
+
+    /// Whether this handle was satisfied from the on-disk cache.
+    pub fn from_cache(&self) -> bool {
+        self.from_cache
+    }
+
+    /// The grid fingerprint keying the cache entry.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The table registered under `name` in [`SUITE_TABLES`].
+    pub fn table(&self, name: &str) -> Option<&TextTable> {
+        SUITE_TABLES
+            .iter()
+            .position(|(n, _)| *n == name)
+            .map(|i| &self.tables[i])
+    }
+
+    /// Emits (prints + persists) the named table. Returns `false` for an
+    /// unknown name.
+    pub fn emit(&self, name: &str) -> bool {
+        match SUITE_TABLES.iter().position(|(n, _)| *n == name) {
+            Some(i) => {
+                Artifact::new(name, SUITE_TABLES[i].1).table(&self.tables[i]);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Emits every suite table in [`SUITE_TABLES`] order.
+    pub fn emit_all(&self) {
+        for (name, _) in SUITE_TABLES {
+            self.emit(name);
+        }
+    }
+}
+
 impl Suite {
     fn cell(&self, bench: &str, version: Version) -> Option<&SuiteCell> {
         self.cells
@@ -136,6 +340,19 @@ impl Suite {
             }
         }
         seen
+    }
+
+    /// The table registered under `name` in [`SUITE_TABLES`].
+    pub fn table(&self, name: &str) -> Option<TextTable> {
+        match name {
+            "fig07" => Some(self.fig07()),
+            "fig08" => Some(self.fig08()),
+            "table3" => Some(self.table3()),
+            "fig09" => Some(self.fig09()),
+            "fig10b" => Some(self.fig10b()),
+            "fig10c" => Some(self.fig10c()),
+            _ => None,
+        }
     }
 
     /// Figure 7: normalized execution time of the out-of-core programs,
@@ -354,6 +571,28 @@ mod tests {
         assert_eq!(err, SuiteError::UnknownBenchmark("NO-SUCH-BENCH".into()));
     }
 
+    #[test]
+    fn grid_key_is_stable_and_input_sensitive() {
+        let m = MachineConfig::small();
+        let names = vec![String::from("MATVEC")];
+        let key = |n: &[String], sleep| grid_key(&grid(&m, n, sleep));
+        let base = key(&names, SimDuration::from_secs(5));
+        assert_eq!(base, key(&names, SimDuration::from_secs(5)));
+        assert_ne!(base, key(&names, SimDuration::from_secs(4)));
+        assert_ne!(
+            base,
+            key(&[String::from("EMBAR")], SimDuration::from_secs(5))
+        );
+        assert_ne!(
+            base,
+            grid_key(&grid(
+                &MachineConfig::origin200(),
+                &names,
+                SimDuration::from_secs(5)
+            ))
+        );
+    }
+
     /// Shape test on the full machine, MATVEC only (fast: ≈ 0.5 s).
     #[test]
     fn matvec_suite_reproduces_headline_shapes() {
@@ -416,16 +655,37 @@ mod tests {
             "O stole {stolen_o}, R stole {stolen_r}"
         );
 
-        // All six tables render.
-        for table in [
-            suite.fig07(),
-            suite.fig08(),
-            suite.table3(),
-            suite.fig09(),
-            suite.fig10b(),
-            suite.fig10c(),
-        ] {
-            assert!(!table.render().is_empty());
+        // All six tables render, and `table(name)` reaches each.
+        for (name, _) in SUITE_TABLES {
+            assert!(!suite.table(name).unwrap().render().is_empty());
         }
+        assert!(suite.table("nope").is_none());
+    }
+
+    /// The handle memoizes: a second obtain with the same grid loads from
+    /// the cache and renders identical tables.
+    #[test]
+    fn suite_handle_memoizes_on_disk() {
+        let cache =
+            std::env::temp_dir().join(format!("hogtame-suite-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&cache);
+        let m = MachineConfig::small();
+        let sleep = SimDuration::from_secs(1);
+        let first =
+            SuiteHandle::obtain_in(Some(&cache), &m, Some(&["MATVEC"]), sleep, 2).expect("runs");
+        assert!(!first.from_cache());
+        let second =
+            SuiteHandle::obtain_in(Some(&cache), &m, Some(&["MATVEC"]), sleep, 2).expect("loads");
+        assert!(second.from_cache());
+        assert_eq!(first.key(), second.key());
+        for (name, _) in SUITE_TABLES {
+            assert_eq!(
+                first.table(name).unwrap().to_csv(),
+                second.table(name).unwrap().to_csv(),
+                "{name} must round-trip through the cache"
+            );
+        }
+        assert!(first.table("nope").is_none());
+        let _ = std::fs::remove_dir_all(&cache);
     }
 }

@@ -19,10 +19,12 @@
 //!   the interactive task.
 //!
 //! This crate is the top: the [`engine`] drives processes, daemons, disks
-//! and locks on one virtual clock; [`scenario`] assembles the paper's
+//! and locks on one virtual clock; [`request`] describes the paper's
 //! experiments (a benchmark in one of the four build versions O/P/R/B,
-//! optionally sharing the machine with the interactive task); and
-//! [`experiments`] regenerates every table and figure of the paper.
+//! optionally sharing the machine with the interactive task); [`exec`]
+//! drains request grids with a deterministic parallel worker pool; and
+//! [`experiments`] regenerates every table and figure of the paper,
+//! persisting results through the [`artifact`] sink.
 //!
 //! # Quickstart
 //!
@@ -31,33 +33,51 @@
 //!
 //! // Run a small MATVEC (R = prefetch + aggressive release) against the
 //! // interactive task, on a scaled-down machine so the doctest is fast.
-//! let mut scenario = Scenario::new(MachineConfig::small());
-//! scenario.bench(workloads::benchmark("MATVEC").unwrap(), Version::Release);
-//! scenario.interactive(SimDuration::from_secs(5), None);
-//! let result = scenario.run();
-//! let hog = result.hog.as_ref().unwrap();
+//! let outcome = RunRequest::on(MachineConfig::small())
+//!     .bench("MATVEC", Version::Release)
+//!     .interactive(SimDuration::from_secs(5), None)
+//!     .run()
+//!     .expect("MATVEC is registered");
+//! let hog = outcome.hog.as_ref().unwrap();
 //! assert!(hog.finish_time > SimTime::ZERO);
 //! ```
+//!
+//! Whole grids of runs execute in parallel — and bit-identically to any
+//! serial order — through [`exec::run_all`]; see `tests/parallel_exec.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod engine;
+pub mod exec;
 pub mod experiments;
 pub mod machine;
 pub mod report;
+pub mod request;
 pub mod scenario;
 pub mod timeline;
 
+pub use artifact::{results_dir, Artifact};
 pub use engine::{Engine, ProcResult, RunResult};
 pub use machine::MachineConfig;
-pub use scenario::{Scenario, ScenarioResult, Version};
+pub use request::{RunError, RunOutcome, RunRequest};
+pub use scenario::Version;
+#[allow(deprecated)]
+pub use scenario::{Scenario, ScenarioResult};
 
 /// Convenient re-exports for examples and binaries.
 pub mod prelude {
+    pub use crate::artifact::{results_dir, Artifact};
     pub use crate::engine::{Engine, ProcResult, RunResult};
+    pub use crate::exec;
+    pub use crate::experiments::suite::{Suite, SuiteError, SuiteHandle, SUITE_TABLES};
     pub use crate::machine::MachineConfig;
-    pub use crate::scenario::{Scenario, ScenarioResult, Version};
+    pub use crate::report::TextTable;
+    pub use crate::request::{RunError, RunOutcome, RunRequest};
+    pub use crate::scenario::Version;
+    #[allow(deprecated)]
+    pub use crate::scenario::{Scenario, ScenarioResult};
     pub use runtime::HealthConfig;
     pub use sim_core::fault::{DaemonFaults, FaultKind, FaultLog, FaultPlan, HintFaults, IoFaults};
     pub use sim_core::stats::{TimeBreakdown, TimeCategory};

@@ -1,0 +1,365 @@
+//! The unified run-description API.
+//!
+//! Every experiment in this reproduction — a paper figure cell, an
+//! ablation point, a fault-matrix entry — is one *fully-specified,
+//! self-contained* run: a machine, optionally an out-of-core benchmark in
+//! one of the build versions, optionally the interactive task, plus
+//! run-time-layer tunables, observation toggles and a seeded fault plan.
+//! [`RunRequest`] is the value that carries all of it.
+//!
+//! Because a request captures *everything* the simulation reads (the
+//! engine is a pure function of its inputs — see `tests/determinism.rs`),
+//! requests can be executed in any order, on any thread, and produce
+//! bit-identical results. That property is what the parallel executor in
+//! [`crate::exec`] builds on: experiment runners expand their grids into
+//! `Vec<RunRequest>` and hand them over; results come back by request
+//! index, never by completion order.
+//!
+//! # Examples
+//!
+//! ```
+//! use hogtame::prelude::*;
+//!
+//! let outcome = RunRequest::on(MachineConfig::small())
+//!     .bench("MATVEC", Version::Buffered)
+//!     .interactive(SimDuration::from_secs(5), None)
+//!     .run()
+//!     .expect("MATVEC is registered");
+//! assert!(outcome.hog.unwrap().finish_time > SimTime::ZERO);
+//! ```
+
+use runtime::RtConfig;
+use sim_core::fault::FaultPlan;
+use sim_core::fingerprint::{Fingerprint, Fnv1a};
+use sim_core::SimDuration;
+use workloads::BenchSpec;
+
+use crate::engine::{Engine, ProcResult, RunResult};
+use crate::machine::MachineConfig;
+use crate::scenario::{install_bench, install_interactive, Version};
+
+/// Why a [`RunRequest`] could not be executed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RunError {
+    /// The requested benchmark name is not in the workload registry.
+    UnknownBenchmark(String),
+    /// The request named neither a benchmark nor the interactive task.
+    Empty,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::UnknownBenchmark(name) => write!(f, "unknown benchmark {name}"),
+            RunError::Empty => write!(f, "empty run request (no benchmark, no interactive task)"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The benchmark a request runs: a registry name (resolved at run time,
+/// fingerprint-stable) or a caller-supplied spec.
+#[derive(Clone, Debug)]
+enum BenchSel {
+    Named(String),
+    Spec(Box<BenchSpec>),
+}
+
+/// A fully-specified experimental run (see module docs).
+#[derive(Clone, Debug)]
+pub struct RunRequest {
+    machine: MachineConfig,
+    bench: Option<(BenchSel, Version)>,
+    interactive: Option<(SimDuration, Option<u32>)>,
+    rt_config: RtConfig,
+    timeline: Option<SimDuration>,
+    kernel_trace: bool,
+    fault_plan: FaultPlan,
+    reseed: Option<u64>,
+}
+
+/// Results of executing one [`RunRequest`].
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The out-of-core process, if one ran.
+    pub hog: Option<ProcResult>,
+    /// The interactive task, if it ran.
+    pub interactive: Option<ProcResult>,
+    /// The full engine results.
+    pub run: RunResult,
+}
+
+impl RunRequest {
+    /// Starts a request on `machine`.
+    pub fn on(machine: MachineConfig) -> Self {
+        RunRequest {
+            machine,
+            bench: None,
+            interactive: None,
+            rt_config: RtConfig::default(),
+            timeline: None,
+            kernel_trace: false,
+            fault_plan: FaultPlan::default(),
+            reseed: None,
+        }
+    }
+
+    /// Adds a registry benchmark by name, in the given build version. The
+    /// name is resolved when the request runs; an unknown name surfaces as
+    /// [`RunError::UnknownBenchmark`].
+    #[must_use]
+    pub fn bench(mut self, name: impl Into<String>, version: Version) -> Self {
+        self.bench = Some((BenchSel::Named(name.into()), version));
+        self
+    }
+
+    /// Adds a caller-built benchmark spec (custom workloads, tests).
+    #[must_use]
+    pub fn bench_spec(mut self, spec: BenchSpec, version: Version) -> Self {
+        self.bench = Some((BenchSel::Spec(Box::new(spec)), version));
+        self
+    }
+
+    /// Adds the interactive task with the given think time and optional
+    /// sweep limit.
+    #[must_use]
+    pub fn interactive(mut self, sleep: SimDuration, max_sweeps: Option<u32>) -> Self {
+        self.interactive = Some((sleep, max_sweeps));
+        self
+    }
+
+    /// Overrides the run-time layer configuration.
+    #[must_use]
+    pub fn rt_config(mut self, config: RtConfig) -> Self {
+        self.rt_config = config;
+        self
+    }
+
+    /// Enables memory-occupancy sampling at `period`.
+    #[must_use]
+    pub fn timeline(mut self, period: SimDuration) -> Self {
+        self.timeline = Some(period);
+        self
+    }
+
+    /// Enables the kernel-activity trace (daemon activations etc.).
+    #[must_use]
+    pub fn kernel_trace(mut self) -> Self {
+        self.kernel_trace = true;
+        self
+    }
+
+    /// Installs a seeded fault-injection plan for the run.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Re-seeds the benchmark's indirection-array contents (replication
+    /// studies). No-op for benchmarks without indirect references.
+    #[must_use]
+    pub fn reseed(mut self, seed: u64) -> Self {
+        self.reseed = Some(seed);
+        self
+    }
+
+    /// The machine this request runs on.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Executes the request. Borrows `self` so the executor can run the
+    /// same request value from a queue without consuming it; every
+    /// execution builds a fresh engine, which is what makes repeated and
+    /// concurrent runs bit-identical.
+    pub fn run(&self) -> Result<RunOutcome, RunError> {
+        if self.bench.is_none() && self.interactive.is_none() {
+            return Err(RunError::Empty);
+        }
+        let mut engine = Engine::new(self.machine.clone());
+        if let Some(period) = self.timeline {
+            engine = engine.with_timeline(period);
+        }
+        if self.kernel_trace {
+            engine = engine.with_kernel_trace();
+        }
+        // Before registration: hint-emitting layers draw their per-process
+        // fault streams at registration time.
+        if self.fault_plan.any() {
+            engine = engine.with_fault_plan(self.fault_plan);
+        }
+        let mut hog_idx = None;
+        let mut int_idx = None;
+
+        if let Some((sel, version)) = &self.bench {
+            let spec = match sel {
+                BenchSel::Named(name) => workloads::benchmark(name)
+                    .ok_or_else(|| RunError::UnknownBenchmark(name.clone()))?,
+                BenchSel::Spec(spec) => (**spec).clone(),
+            };
+            let spec = match self.reseed {
+                Some(seed) => spec.reseed(seed),
+                None => spec,
+            };
+            install_bench(&mut engine, &spec, *version, self.rt_config);
+            hog_idx = Some(0usize);
+        }
+        if let Some((sleep, max_sweeps)) = self.interactive {
+            // The interactive task is primary only when it runs alone.
+            let primary = hog_idx.is_none();
+            install_interactive(&mut engine, sleep, max_sweeps, primary);
+            int_idx = Some(hog_idx.map_or(0, |_| 1));
+        }
+
+        let run = engine.run();
+        Ok(RunOutcome {
+            hog: hog_idx.map(|i| run.procs[i].clone()),
+            interactive: int_idx.map(|i| run.procs[i].clone()),
+            run,
+        })
+    }
+
+    /// Feeds a canonical encoding of the request into `h` — the basis of
+    /// the on-disk artifact-cache keys (see [`crate::experiments::suite`]).
+    /// Two requests that would simulate identically fingerprint
+    /// identically; any field that could change the results is included.
+    pub fn feed(&self, h: &mut Fnv1a) {
+        h.write_str("run_request/v1");
+        // MachineConfig holds only plain scalar/struct fields, so its
+        // `Debug` rendering is a deterministic value encoding (no
+        // randomized map iteration anywhere in it).
+        h.write_str(&format!("{:?}", self.machine));
+        match &self.bench {
+            None => h.write_str("no-bench"),
+            Some((sel, version)) => {
+                h.write_str(version.label());
+                match sel {
+                    BenchSel::Named(name) => {
+                        h.write_str("named");
+                        h.write_str(name);
+                    }
+                    BenchSel::Spec(spec) => {
+                        // Custom specs are fingerprinted structurally but
+                        // approximately; the artifact cache only ever keys
+                        // registry names, custom specs just need inequality
+                        // with high probability.
+                        h.write_str("spec");
+                        h.write_str(&spec.name);
+                        h.write_u64(spec.data_set_bytes());
+                        h.write_u64(spec.estimated_iterations());
+                        h.write_u64(u64::from(spec.invocations));
+                    }
+                }
+            }
+        }
+        match self.interactive {
+            None => h.write_str("no-interactive"),
+            Some((sleep, max_sweeps)) => {
+                h.write_str("interactive");
+                sleep.feed(h);
+                h.write_u64(max_sweeps.map_or(u64::MAX, u64::from));
+            }
+        }
+        h.write_str(&format!("{:?}", self.rt_config));
+        match self.timeline {
+            None => h.write_bool(false),
+            Some(p) => {
+                h.write_bool(true);
+                p.feed(h);
+            }
+        }
+        h.write_bool(self.kernel_trace);
+        self.fault_plan.feed(h);
+        h.write_u64(self.reseed.map_or(u64::MAX, |s| s));
+    }
+
+    /// The 64-bit fingerprint of this request alone.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        self.feed(&mut h);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimTime;
+
+    #[test]
+    fn empty_request_is_a_typed_error() {
+        let err = RunRequest::on(MachineConfig::small()).run().unwrap_err();
+        assert_eq!(err, RunError::Empty);
+    }
+
+    #[test]
+    fn unknown_benchmark_is_a_typed_error() {
+        let err = RunRequest::on(MachineConfig::small())
+            .bench("NO-SUCH-BENCH", Version::Original)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, RunError::UnknownBenchmark("NO-SUCH-BENCH".into()));
+    }
+
+    #[test]
+    fn interactive_alone_runs() {
+        let outcome = RunRequest::on(MachineConfig::small())
+            .interactive(SimDuration::from_secs(1), Some(5))
+            .run()
+            .unwrap();
+        let int = outcome.interactive.unwrap();
+        assert_eq!(int.sweeps.len(), 5);
+        assert!(outcome.hog.is_none());
+    }
+
+    #[test]
+    fn rerunning_one_request_is_bit_identical() {
+        let req = RunRequest::on(MachineConfig::small())
+            .bench("MATVEC", Version::Release)
+            .interactive(SimDuration::from_secs(1), None);
+        let a = req.run().unwrap();
+        let b = req.run().unwrap();
+        let key = |o: &RunOutcome| {
+            (
+                o.hog.as_ref().unwrap().finish_time,
+                o.run.swap_reads,
+                o.run.vm_stats.releaser.pages_released.get(),
+            )
+        };
+        assert_eq!(key(&a), key(&b));
+        assert!(a.hog.unwrap().finish_time < SimTime::MAX);
+    }
+
+    #[test]
+    fn fingerprint_separates_every_axis() {
+        let base = || {
+            RunRequest::on(MachineConfig::small())
+                .bench("MATVEC", Version::Release)
+                .interactive(SimDuration::from_secs(5), None)
+        };
+        let fp = base().fingerprint();
+        assert_eq!(fp, base().fingerprint(), "fingerprint is stable");
+        let variants = [
+            base().bench("MATVEC", Version::Buffered),
+            base().bench("EMBAR", Version::Release),
+            base().interactive(SimDuration::from_secs(4), None),
+            base().interactive(SimDuration::from_secs(5), Some(12)),
+            base().timeline(SimDuration::from_millis(250)),
+            base().kernel_trace(),
+            base().reseed(7),
+            base().fault_plan(FaultPlan {
+                seed: 1,
+                hints: sim_core::fault::HintFaults::poisoned(0.5),
+                ..FaultPlan::default()
+            }),
+            RunRequest::on(MachineConfig::origin200())
+                .bench("MATVEC", Version::Release)
+                .interactive(SimDuration::from_secs(5), None),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(fp, v.fingerprint(), "variant {i} must change the key");
+        }
+    }
+}

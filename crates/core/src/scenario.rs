@@ -1,13 +1,17 @@
-//! Scenario assembly: the paper's experimental setups.
+//! Build versions and process installation for the paper's experiments.
 //!
-//! A scenario is a machine, optionally an out-of-core benchmark built in
-//! one of the four versions the paper compares, and optionally the
-//! interactive task sharing the machine:
+//! The paper compares four builds of each out-of-core program:
 //!
 //! * **O** — the original, unmodified program;
 //! * **P** — compiled with prefetching only;
 //! * **R** — prefetching + aggressive releasing;
 //! * **B** — prefetching + release buffering.
+//!
+//! [`Version`] carries that choice; [`install_bench`] /
+//! [`install_interactive`] map compiled workloads into an [`Engine`].
+//! Describing and running a whole experiment is the job of
+//! [`crate::request::RunRequest`] — the legacy [`Scenario`] builder
+//! remains as a deprecated shim over it.
 
 use compiler::{compile, CompileOptions};
 use runtime::{Executor, ReleasePolicy, RtConfig, RuntimeLayer};
@@ -16,8 +20,9 @@ use sim_core::SimDuration;
 use vm::{Backing, Pid, Vpn};
 use workloads::{BenchSpec, InteractiveTask};
 
-use crate::engine::{Engine, ProcResult, RunResult};
+use crate::engine::Engine;
 use crate::machine::MachineConfig;
+use crate::request::{RunOutcome, RunRequest};
 
 /// The four build versions of Figure 7.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -79,75 +84,59 @@ impl Version {
     }
 }
 
-/// Builder for one experimental run.
+/// Builder for one experimental run (legacy shim over [`RunRequest`]).
+#[deprecated(note = "use `RunRequest` (see `hogtame::prelude`) — \
+                     chainable, executor-ready, and error-typed")]
 pub struct Scenario {
-    machine: MachineConfig,
-    bench: Option<(BenchSpec, Version)>,
-    interactive: Option<(SimDuration, Option<u32>)>,
-    rt_config: RtConfig,
-    timeline_period: Option<SimDuration>,
-    kernel_trace: bool,
-    fault_plan: FaultPlan,
+    req: RunRequest,
 }
 
-/// Results of a scenario run.
-#[derive(Debug)]
-pub struct ScenarioResult {
-    /// The out-of-core process, if one ran.
-    pub hog: Option<ProcResult>,
-    /// The interactive task, if it ran.
-    pub interactive: Option<ProcResult>,
-    /// The full engine results.
-    pub run: RunResult,
-}
+/// Results of a scenario run (the same value [`RunRequest::run`] returns).
+#[deprecated(note = "use `RunOutcome`")]
+pub type ScenarioResult = RunOutcome;
 
+#[allow(deprecated)]
 impl Scenario {
     /// Starts a scenario on `machine`.
     pub fn new(machine: MachineConfig) -> Self {
         Scenario {
-            machine,
-            bench: None,
-            interactive: None,
-            rt_config: RtConfig::default(),
-            timeline_period: None,
-            kernel_trace: false,
-            fault_plan: FaultPlan::default(),
+            req: RunRequest::on(machine),
         }
     }
 
     /// Adds an out-of-core benchmark in the given version.
     pub fn bench(&mut self, spec: BenchSpec, version: Version) -> &mut Self {
-        self.bench = Some((spec, version));
+        self.req = self.req.clone().bench_spec(spec, version);
         self
     }
 
     /// Adds the interactive task with the given think time.
     pub fn interactive(&mut self, sleep: SimDuration, max_sweeps: Option<u32>) -> &mut Self {
-        self.interactive = Some((sleep, max_sweeps));
+        self.req = self.req.clone().interactive(sleep, max_sweeps);
         self
     }
 
     /// Overrides the run-time layer configuration.
     pub fn rt_config(&mut self, config: RtConfig) -> &mut Self {
-        self.rt_config = config;
+        self.req = self.req.clone().rt_config(config);
         self
     }
 
     /// Enables memory-occupancy sampling at `period`.
     pub fn timeline(&mut self, period: SimDuration) -> &mut Self {
-        self.timeline_period = Some(period);
+        self.req = self.req.clone().timeline(period);
         self
     }
 
     /// Enables the kernel-activity trace (daemon activations etc.).
     pub fn kernel_trace(&mut self) -> &mut Self {
-        self.kernel_trace = true;
+        self.req = self.req.clone().kernel_trace();
         self
     }
 
     /// Installs a seeded fault-injection plan for the run.
     pub fn fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
-        self.fault_plan = plan;
+        self.req = self.req.clone().fault_plan(plan);
         self
     }
 
@@ -156,51 +145,9 @@ impl Scenario {
     /// # Panics
     ///
     /// Panics if the scenario is empty.
-    pub fn run(&mut self) -> ScenarioResult {
-        assert!(
-            self.bench.is_some() || self.interactive.is_some(),
-            "empty scenario"
-        );
-        let mut engine = Engine::new(self.machine.clone());
-        if let Some(period) = self.timeline_period {
-            engine.enable_timeline(period);
-        }
-        if self.kernel_trace {
-            engine.enable_kernel_trace();
-        }
-        // Before registration: hint-emitting layers draw their per-process
-        // fault streams at registration time.
-        if self.fault_plan.any() {
-            engine.set_fault_plan(self.fault_plan);
-        }
-        let mut hog_idx = None;
-        let mut int_idx = None;
-
-        if let Some((spec, version)) = self.bench.take() {
-            let pid = install_bench(&mut engine, &spec, version, self.rt_config);
-            hog_idx = Some(engine_proc_count(&engine) - 1);
-            let _ = pid;
-        }
-        if let Some((sleep, max_sweeps)) = self.interactive.take() {
-            // The interactive task is primary only when it runs alone.
-            let primary = hog_idx.is_none();
-            install_interactive(&mut engine, sleep, max_sweeps, primary);
-            int_idx = Some(engine_proc_count(&engine) - 1);
-        }
-
-        let run = engine.run();
-        ScenarioResult {
-            hog: hog_idx.map(|i| run.procs[i].clone()),
-            interactive: int_idx.map(|i| run.procs[i].clone()),
-            run,
-        }
+    pub fn run(&mut self) -> RunOutcome {
+        self.req.run().expect("empty scenario")
     }
-}
-
-fn engine_proc_count(engine: &Engine) -> usize {
-    // The engine does not expose its proc list; we track registration
-    // order externally. Registration order == vm pid order here.
-    engine.vm().stats().procs.len()
 }
 
 /// Compiles `spec` for `version`, maps its arrays, and registers the
@@ -264,7 +211,7 @@ mod tests {
     use sim_core::SimTime;
 
     /// A miniature benchmark so scenario tests run in milliseconds.
-    fn tiny_bench() -> BenchSpec {
+    pub(crate) fn tiny_bench() -> BenchSpec {
         use compiler::expr::{Affine, Bound};
         use compiler::ir::{ArrayRef, Index, LoopId, NestBuilder, SourceProgram};
         use workloads::{ArraySpec, Table2Row};
@@ -297,6 +244,10 @@ mod tests {
         }
     }
 
+    fn request(version: Version) -> RunRequest {
+        RunRequest::on(MachineConfig::small()).bench_spec(tiny_bench(), version)
+    }
+
     #[test]
     fn version_metadata() {
         assert_eq!(Version::Original.label(), "O");
@@ -308,9 +259,7 @@ mod tests {
 
     #[test]
     fn original_version_runs_to_completion() {
-        let mut s = Scenario::new(MachineConfig::small());
-        s.bench(tiny_bench(), Version::Original);
-        let res = s.run();
+        let res = request(Version::Original).run().unwrap();
         let hog = res.hog.unwrap();
         assert!(hog.finish_time > SimTime::ZERO);
         assert!(hog.finish_time < SimTime::MAX);
@@ -321,13 +270,8 @@ mod tests {
 
     #[test]
     fn prefetch_version_hides_io() {
-        let mut o = Scenario::new(MachineConfig::small());
-        o.bench(tiny_bench(), Version::Original);
-        let ro = o.run().hog.unwrap();
-
-        let mut p = Scenario::new(MachineConfig::small());
-        p.bench(tiny_bench(), Version::Prefetch);
-        let rp = p.run().hog.unwrap();
+        let ro = request(Version::Original).run().unwrap().hog.unwrap();
+        let rp = request(Version::Prefetch).run().unwrap().hog.unwrap();
 
         let io_o = ro.breakdown.get(TimeCategory::StallIo);
         let io_p = rp.breakdown.get(TimeCategory::StallIo);
@@ -341,17 +285,16 @@ mod tests {
 
     #[test]
     fn release_version_frees_memory() {
-        let mut s = Scenario::new(MachineConfig::small());
-        s.bench(tiny_bench(), Version::Release);
-        let res = s.run();
+        let res = request(Version::Release).run().unwrap();
         assert!(res.run.vm_stats.releaser.pages_released.get() > 0);
     }
 
     #[test]
     fn interactive_alone_has_fast_sweeps() {
-        let mut s = Scenario::new(MachineConfig::small());
-        s.interactive(SimDuration::from_secs(1), Some(5));
-        let res = s.run();
+        let res = RunRequest::on(MachineConfig::small())
+            .interactive(SimDuration::from_secs(1), Some(5))
+            .run()
+            .unwrap();
         let int = res.interactive.unwrap();
         assert_eq!(int.sweeps.len(), 5);
         let mean = int.mean_response().unwrap();
@@ -363,14 +306,14 @@ mod tests {
     #[test]
     fn poisoned_hints_still_complete_and_are_logged() {
         use sim_core::fault::HintFaults;
-        let mut s = Scenario::new(MachineConfig::small());
-        s.bench(tiny_bench(), Version::Release);
-        s.fault_plan(FaultPlan {
-            seed: 3,
-            hints: HintFaults::poisoned(0.5),
-            ..FaultPlan::default()
-        });
-        let res = s.run();
+        let res = request(Version::Release)
+            .fault_plan(FaultPlan {
+                seed: 3,
+                hints: HintFaults::poisoned(0.5),
+                ..FaultPlan::default()
+            })
+            .run()
+            .unwrap();
         let hog = res.hog.unwrap();
         assert!(hog.finish_time < SimTime::MAX, "run completes under faults");
         assert!(
@@ -383,13 +326,40 @@ mod tests {
 
     #[test]
     fn hog_degrades_interactive_without_releases() {
-        let mut s = Scenario::new(MachineConfig::small());
         let mut b = tiny_bench();
         b.invocations = 40; // long enough to overlap many sweeps
-        s.bench(b, Version::Prefetch);
-        s.interactive(SimDuration::from_millis(20), None);
-        let res = s.run();
+        let res = RunRequest::on(MachineConfig::small())
+            .bench_spec(b, Version::Prefetch)
+            .interactive(SimDuration::from_millis(20), None)
+            .run()
+            .unwrap();
         let int = res.interactive.unwrap();
         assert!(int.sweeps.len() >= 2, "interactive ran alongside the hog");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_scenario_shim_matches_run_request() {
+        let mut s = Scenario::new(MachineConfig::small());
+        s.bench(tiny_bench(), Version::Release);
+        s.interactive(SimDuration::from_secs(1), None);
+        let shim = s.run();
+        let direct = RunRequest::on(MachineConfig::small())
+            .bench_spec(tiny_bench(), Version::Release)
+            .interactive(SimDuration::from_secs(1), None)
+            .run()
+            .unwrap();
+        assert_eq!(
+            shim.hog.unwrap().finish_time,
+            direct.hog.unwrap().finish_time,
+            "shim and RunRequest are the same simulation"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "empty scenario")]
+    fn empty_scenario_still_panics() {
+        Scenario::new(MachineConfig::small()).run();
     }
 }

@@ -24,6 +24,7 @@
 pub mod check;
 pub mod event;
 pub mod fault;
+pub mod fingerprint;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -40,6 +40,7 @@ pub struct Table2Row {
 }
 
 /// A complete benchmark: compiler input plus execution truth.
+#[derive(Clone, Debug)]
 pub struct BenchSpec {
     /// Benchmark name (paper spelling).
     pub name: String,

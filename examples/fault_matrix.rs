@@ -13,16 +13,17 @@
 
 use hogtame::prelude::*;
 
-fn run(plan: FaultPlan) -> ScenarioResult {
-    let mut s = Scenario::new(MachineConfig::small());
-    s.bench(workloads::benchmark("MATVEC").unwrap(), Version::Release);
-    s.rt_config(runtime::RtConfig {
-        health: Some(HealthConfig::default()),
-        ..runtime::RtConfig::default()
-    });
-    s.timeline(SimDuration::from_millis(50));
-    s.fault_plan(plan);
-    s.run()
+fn run(plan: FaultPlan) -> RunOutcome {
+    RunRequest::on(MachineConfig::small())
+        .bench("MATVEC", Version::Release)
+        .rt_config(runtime::RtConfig {
+            health: Some(HealthConfig::default()),
+            ..runtime::RtConfig::default()
+        })
+        .timeline(SimDuration::from_millis(50))
+        .fault_plan(plan)
+        .run()
+        .expect("MATVEC is registered")
 }
 
 fn main() {

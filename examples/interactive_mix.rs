@@ -26,16 +26,24 @@ fn main() {
     println!("{}", "-".repeat(72));
 
     for name in &names {
-        let Some(_) = workloads::benchmark(name) else {
+        // All four versions of one benchmark are independent runs: expand
+        // them into a request grid and drain it through the executor.
+        let grid: Vec<RunRequest> = Version::ALL
+            .iter()
+            .map(|&version| {
+                RunRequest::on(MachineConfig::origin200())
+                    .bench(name.clone(), version)
+                    .interactive(SimDuration::from_secs(5), None)
+            })
+            .collect();
+        let outcomes = exec::run_all(grid);
+        if outcomes.iter().any(|o| o.is_err()) {
             eprintln!("unknown benchmark {name}; choose from EMBAR MATVEC BUK CGM MGRID FFTPDE");
             continue;
-        };
+        }
         let mut base_total = None;
-        for version in Version::ALL {
-            let mut scenario = Scenario::new(MachineConfig::origin200());
-            scenario.bench(workloads::benchmark(name).unwrap(), version);
-            scenario.interactive(SimDuration::from_secs(5), None);
-            let result = scenario.run();
+        for (version, outcome) in Version::ALL.into_iter().zip(outcomes) {
+            let result = outcome.expect("checked above");
             let hog = result.hog.unwrap();
             let int = result.interactive.unwrap();
             let total = hog.breakdown.total().as_secs_f64();

@@ -13,11 +13,12 @@
 use hogtame::prelude::*;
 
 fn chart(version: Version) {
-    let mut scenario = Scenario::new(MachineConfig::origin200());
-    scenario.bench(workloads::benchmark("MATVEC").unwrap(), version);
-    scenario.interactive(SimDuration::from_secs(5), None);
-    scenario.timeline(SimDuration::from_millis(250));
-    let result = scenario.run();
+    let result = RunRequest::on(MachineConfig::origin200())
+        .bench("MATVEC", version)
+        .interactive(SimDuration::from_secs(5), None)
+        .timeline(SimDuration::from_millis(250))
+        .run()
+        .expect("MATVEC is registered");
     let tl = result.run.timeline.expect("timeline enabled");
     println!("=== MATVEC-{} ===", version.label());
     println!("{}", tl.render_ascii(100));

@@ -9,7 +9,6 @@
 //! ```
 
 use hogtame::prelude::*;
-use sim_core::stats::TimeCategory;
 
 fn main() {
     let machine = MachineConfig::origin200();
@@ -23,10 +22,11 @@ fn main() {
     // MATVEC compiled with prefetching + release buffering (the paper's
     // best version), sharing the machine with an interactive task that
     // sleeps five seconds between 1 MB sweeps.
-    let mut scenario = Scenario::new(machine);
-    scenario.bench(workloads::benchmark("MATVEC").unwrap(), Version::Buffered);
-    scenario.interactive(SimDuration::from_secs(5), None);
-    let result = scenario.run();
+    let result = RunRequest::on(machine)
+        .bench("MATVEC", Version::Buffered)
+        .interactive(SimDuration::from_secs(5), None)
+        .run()
+        .expect("MATVEC is registered");
 
     let hog = result.hog.expect("benchmark ran");
     println!("out-of-core MATVEC (prefetch + buffered release):");

@@ -13,10 +13,11 @@
 use hogtame::prelude::*;
 
 fn run(version: Version) -> (hogtame::ProcResult, vm::VmStats) {
-    let mut scenario = Scenario::new(MachineConfig::origin200());
-    scenario.bench(workloads::benchmark("MATVEC").unwrap(), version);
-    scenario.interactive(SimDuration::from_secs(5), None);
-    let res = scenario.run();
+    let res = RunRequest::on(MachineConfig::origin200())
+        .bench("MATVEC", version)
+        .interactive(SimDuration::from_secs(5), None)
+        .run()
+        .expect("MATVEC is registered");
     (res.hog.unwrap(), res.run.vm_stats)
 }
 

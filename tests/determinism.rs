@@ -7,10 +7,11 @@ use hogtame::prelude::*;
 use sim_core::stats::TimeCategory;
 
 fn run_once(bench: &str, version: Version) -> (u64, u64, u64, u64, Vec<u64>) {
-    let mut s = Scenario::new(MachineConfig::origin200());
-    s.bench(workloads::benchmark(bench).unwrap(), version);
-    s.interactive(SimDuration::from_secs(5), None);
-    let res = s.run();
+    let res = RunRequest::on(MachineConfig::origin200())
+        .bench(bench, version)
+        .interactive(SimDuration::from_secs(5), None)
+        .run()
+        .expect("benchmark is registered");
     let hog = res.hog.unwrap();
     let int = res.interactive.unwrap();
     (
@@ -38,9 +39,10 @@ fn identical_runs_are_bit_identical() {
 #[test]
 fn breakdown_categories_are_reproducible() {
     let get = || {
-        let mut s = Scenario::new(MachineConfig::origin200());
-        s.bench(workloads::benchmark("CGM").unwrap(), Version::Release);
-        let res = s.run();
+        let res = RunRequest::on(MachineConfig::origin200())
+            .bench("CGM", Version::Release)
+            .run()
+            .expect("CGM is registered");
         let b = res.hog.unwrap().breakdown;
         TimeCategory::ALL.map(|c| b.get(c).as_nanos())
     };
@@ -64,11 +66,12 @@ fn faulted_runs_are_bit_identical() {
         io: IoFaults::flaky(0.05),
     };
     let run = || {
-        let mut s = Scenario::new(MachineConfig::origin200());
-        s.bench(workloads::benchmark("MATVEC").unwrap(), Version::Buffered);
-        s.interactive(SimDuration::from_secs(5), None);
-        s.fault_plan(plan);
-        let res = s.run();
+        let res = RunRequest::on(MachineConfig::origin200())
+            .bench("MATVEC", Version::Buffered)
+            .interactive(SimDuration::from_secs(5), None)
+            .fault_plan(plan)
+            .run()
+            .expect("MATVEC is registered");
         let hog = res.hog.unwrap();
         let int = res.interactive.unwrap();
         (

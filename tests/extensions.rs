@@ -9,13 +9,14 @@ fn run_with(
     bench: &str,
     version: Version,
     tweak: impl FnOnce(&mut MachineConfig),
-) -> hogtame::ScenarioResult {
+) -> hogtame::RunOutcome {
     let mut machine = MachineConfig::origin200();
     tweak(&mut machine);
-    let mut s = Scenario::new(machine);
-    s.bench(workloads::benchmark(bench).unwrap(), version);
-    s.interactive(SimDuration::from_secs(5), None);
-    s.run()
+    RunRequest::on(machine)
+        .bench(bench, version)
+        .interactive(SimDuration::from_secs(5), None)
+        .run()
+        .expect("benchmark is registered")
 }
 
 /// §6: with hardware reference bits the daemon's sampling produces no soft
@@ -125,11 +126,12 @@ fn stencil_textbook_behaviour() {
 fn timeline_captures_free_pool_collapse() {
     let mut machine = MachineConfig::origin200();
     machine.tunables.hardware_refbits = false;
-    let mut s = Scenario::new(machine);
-    s.bench(workloads::benchmark("MATVEC").unwrap(), Version::Prefetch);
-    s.interactive(SimDuration::from_secs(5), None);
-    s.timeline(SimDuration::from_millis(500));
-    let res = s.run();
+    let res = RunRequest::on(machine)
+        .bench("MATVEC", Version::Prefetch)
+        .interactive(SimDuration::from_secs(5), None)
+        .timeline(SimDuration::from_millis(500))
+        .run()
+        .expect("MATVEC is registered");
     let tl = res.run.timeline.expect("timeline enabled");
     assert!(tl.samples.len() > 50, "samples: {}", tl.samples.len());
     // Under P the free pool collapses below min_freemem territory at some

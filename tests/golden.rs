@@ -8,11 +8,12 @@
 use hogtame::prelude::*;
 use sim_core::stats::TimeCategory;
 
-fn matvec_buffered() -> hogtame::ScenarioResult {
-    let mut s = Scenario::new(MachineConfig::origin200());
-    s.bench(workloads::benchmark("MATVEC").unwrap(), Version::Buffered);
-    s.interactive(SimDuration::from_secs(5), None);
-    s.run()
+fn matvec_buffered() -> hogtame::RunOutcome {
+    RunRequest::on(MachineConfig::origin200())
+        .bench("MATVEC", Version::Buffered)
+        .interactive(SimDuration::from_secs(5), None)
+        .run()
+        .expect("MATVEC is registered")
 }
 
 #[test]
@@ -65,9 +66,10 @@ fn matvec_buffered_reference_run() {
 
 #[test]
 fn interactive_alone_reference_run() {
-    let mut s = Scenario::new(MachineConfig::origin200());
-    s.interactive(SimDuration::from_secs(5), Some(12));
-    let res = s.run();
+    let res = RunRequest::on(MachineConfig::origin200())
+        .interactive(SimDuration::from_secs(5), Some(12))
+        .run()
+        .expect("interactive task installed");
     let zero_fills = res.vm_stats_zero_fills();
     let int = res.interactive.unwrap();
     // 64 pages of 15 µs work + 65 hits ≈ 1.0075 ms warm response.
@@ -83,7 +85,7 @@ fn interactive_alone_reference_run() {
 trait ZeroFills {
     fn vm_stats_zero_fills(&self) -> u64;
 }
-impl ZeroFills for hogtame::ScenarioResult {
+impl ZeroFills for hogtame::RunOutcome {
     fn vm_stats_zero_fills(&self) -> u64 {
         let pid = self.interactive.as_ref().unwrap().pid.0 as usize;
         self.run.vm_stats.proc(pid).zero_fills.get()

@@ -38,9 +38,10 @@ fn every_benchmark_every_version_conserves_frames() {
 fn versions_perform_identical_work() {
     let mut totals = Vec::new();
     for version in Version::ALL {
-        let mut s = Scenario::new(MachineConfig::origin200());
-        s.bench(workloads::benchmark("EMBAR").unwrap(), version);
-        let res = s.run();
+        let res = RunRequest::on(MachineConfig::origin200())
+            .bench("EMBAR", version)
+            .run()
+            .expect("EMBAR is registered");
         let hog = res.hog.unwrap();
         totals.push(hog.breakdown.get(TimeCategory::User).as_secs_f64());
     }
@@ -59,9 +60,10 @@ fn versions_perform_identical_work() {
 /// breakdown sums to its completion time (it never sleeps).
 #[test]
 fn breakdown_accounts_for_all_time() {
-    let mut s = Scenario::new(MachineConfig::origin200());
-    s.bench(workloads::benchmark("MGRID").unwrap(), Version::Release);
-    let res = s.run();
+    let res = RunRequest::on(MachineConfig::origin200())
+        .bench("MGRID", Version::Release)
+        .run()
+        .expect("MGRID is registered");
     let hog = res.hog.unwrap();
     let total = hog.breakdown.total().as_secs_f64();
     let finish = hog.finish_time.as_secs_f64();
@@ -74,9 +76,10 @@ fn breakdown_accounts_for_all_time() {
 /// Disk traffic is consistent with fault/prefetch counts.
 #[test]
 fn swap_reads_match_page_in_activity() {
-    let mut s = Scenario::new(MachineConfig::origin200());
-    s.bench(workloads::benchmark("EMBAR").unwrap(), Version::Prefetch);
-    let res = s.run();
+    let res = RunRequest::on(MachineConfig::origin200())
+        .bench("EMBAR", Version::Prefetch)
+        .run()
+        .expect("EMBAR is registered");
     let hog = res.hog.unwrap();
     let stats = res.run.vm_stats.proc(hog.pid.0 as usize);
     let page_ins = stats.hard_faults.get() + stats.prefetch_requests.get()
@@ -104,9 +107,10 @@ fn bitmap_consistency_via_prefetch_filtering() {
     // would either double-prefetch resident pages (wasted I/O we can see)
     // or skip needed ones (hard faults under R). A clean R run of MATVEC
     // shows neither.
-    let mut s = Scenario::new(MachineConfig::origin200());
-    s.bench(workloads::benchmark("MATVEC").unwrap(), Version::Release);
-    let res = s.run();
+    let res = RunRequest::on(MachineConfig::origin200())
+        .bench("MATVEC", Version::Release)
+        .run()
+        .expect("MATVEC is registered");
     let hog = res.hog.unwrap();
     let stats = res.run.vm_stats.proc(hog.pid.0 as usize);
     assert_eq!(

@@ -8,18 +8,19 @@ use hogtame::experiments::suite;
 use hogtame::prelude::*;
 use sim_core::stats::TimeCategory;
 
-fn run_cell(bench: &str, version: Version) -> hogtame::ScenarioResult {
-    let mut s = Scenario::new(MachineConfig::origin200());
-    s.bench(workloads::benchmark(bench).unwrap(), version);
-    s.interactive(SimDuration::from_secs(5), None);
-    s.run()
+fn run_cell(bench: &str, version: Version) -> hogtame::RunOutcome {
+    RunRequest::on(MachineConfig::origin200())
+        .bench(bench, version)
+        .interactive(SimDuration::from_secs(5), None)
+        .run()
+        .expect("benchmark is registered")
 }
 
-fn hog_total(res: &hogtame::ScenarioResult) -> f64 {
+fn hog_total(res: &hogtame::RunOutcome) -> f64 {
     res.hog.as_ref().unwrap().breakdown.total().as_secs_f64()
 }
 
-fn int_resp(res: &hogtame::ScenarioResult) -> f64 {
+fn int_resp(res: &hogtame::RunOutcome) -> f64 {
     res.interactive
         .as_ref()
         .unwrap()
@@ -38,7 +39,7 @@ fn prefetching_hides_most_io_stall() {
         let o = run_cell(bench, Version::Original);
         let p = run_cell(bench, Version::Prefetch);
         let r = run_cell(bench, Version::Release);
-        let io = |res: &hogtame::ScenarioResult| {
+        let io = |res: &hogtame::RunOutcome| {
             res.hog
                 .as_ref()
                 .unwrap()
@@ -131,11 +132,10 @@ fn prefetching_hurts_interactive_more_than_original() {
 /// when it is run alone on the machine."
 #[test]
 fn releasing_restores_interactive_response_for_every_benchmark() {
-    let machine = MachineConfig::origin200();
-    let mut alone_sc = Scenario::new(machine);
-    alone_sc.interactive(SimDuration::from_secs(5), Some(12));
-    let alone = alone_sc
+    let alone = RunRequest::on(MachineConfig::origin200())
+        .interactive(SimDuration::from_secs(5), Some(12))
         .run()
+        .expect("interactive task installed")
         .interactive
         .unwrap()
         .mean_response()
@@ -217,7 +217,7 @@ fn buk_random_array_stays_resident_under_releasing() {
     let r = run_cell("BUK", Version::Release);
     // Under releasing the hog's hard faults (dominated by the random
     // array) drop sharply.
-    let hf = |res: &hogtame::ScenarioResult| {
+    let hf = |res: &hogtame::RunOutcome| {
         let pid = res.hog.as_ref().unwrap().pid.0 as usize;
         res.run.vm_stats.proc(pid).hard_faults.get()
     };

@@ -1,0 +1,138 @@
+//! The executor's core promise, end to end: parallel suite runs are
+//! bit-identical to the serial reference order, and the on-disk suite
+//! cache hands back byte-identical artifacts on a hit.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use hogtame::experiments::suite::{self, SuiteHandle, SUITE_TABLES};
+use hogtame::prelude::*;
+
+/// A fresh, process-unique scratch directory (no timestamps: tests must
+/// stay deterministic and runnable in parallel).
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "hogtame-parallel-exec-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn small_suite(jobs: usize) -> suite::Suite {
+    suite::run_with_jobs(
+        &MachineConfig::small(),
+        Some(&["MATVEC"]),
+        SimDuration::from_secs(1),
+        jobs,
+    )
+    .expect("suite runs")
+}
+
+/// Every suite table renders byte-identically whether the grid ran on one
+/// worker (the serial reference) or on four.
+#[test]
+fn parallel_suite_matches_serial_byte_for_byte() {
+    let serial = small_suite(1);
+    let parallel = small_suite(4);
+    for (name, _) in SUITE_TABLES {
+        let a = serial.table(name).expect("known table").to_csv();
+        let b = parallel.table(name).expect("known table").to_csv();
+        assert_eq!(a, b, "{name} diverged between 1 and 4 workers");
+    }
+}
+
+/// A cache miss followed by a cache hit yields byte-identical tables, and
+/// the hit never re-runs the grid (same fingerprint, `from_cache` flips).
+#[test]
+fn suite_cache_hit_reproduces_miss_artifacts() {
+    let cache = scratch("cache");
+    let machine = MachineConfig::small();
+    let benches = Some(&["MATVEC"][..]);
+    let sleep = SimDuration::from_secs(1);
+
+    let miss = SuiteHandle::obtain_in(Some(&cache), &machine, benches, sleep, 2)
+        .expect("first obtain runs the grid");
+    assert!(!miss.from_cache(), "first obtain must be a miss");
+
+    let hit = SuiteHandle::obtain_in(Some(&cache), &machine, benches, sleep, 2)
+        .expect("second obtain loads the cache");
+    assert!(hit.from_cache(), "second obtain must hit the cache");
+    assert_eq!(miss.key(), hit.key(), "same grid, same fingerprint");
+
+    for (name, _) in SUITE_TABLES {
+        let a = miss.table(name).expect("known table").to_csv();
+        let b = hit.table(name).expect("known table").to_csv();
+        assert_eq!(a, b, "{name} differs between cache miss and hit");
+    }
+    std::fs::remove_dir_all(&cache).ok();
+}
+
+/// Emitted artifacts are byte-identical between a cache miss and a hit:
+/// the full write-out path, not just the in-memory tables.
+#[test]
+fn emitted_files_identical_across_cache_states() {
+    let cache = scratch("emit-cache");
+    let machine = MachineConfig::small();
+    let benches = Some(&["MATVEC"][..]);
+    let sleep = SimDuration::from_secs(1);
+
+    let mut dumps: Vec<Vec<(String, String)>> = Vec::new();
+    for round in 0..2 {
+        let h = SuiteHandle::obtain_in(Some(&cache), &machine, benches, sleep, 2).expect("obtain");
+        assert_eq!(h.from_cache(), round == 1);
+        let out = scratch(&format!("emit-{round}"));
+        let mut files = Vec::new();
+        for (name, title) in SUITE_TABLES {
+            let table = h.table(name).expect("known table");
+            Artifact::new(name, title)
+                .in_dir(&out)
+                .write_table(table)
+                .expect("artifact write");
+            let path = out.join(format!("{name}.csv"));
+            files.push((
+                name.to_string(),
+                std::fs::read_to_string(&path).expect("artifact written"),
+            ));
+        }
+        std::fs::remove_dir_all(&out).ok();
+        dumps.push(files);
+    }
+    assert_eq!(
+        dumps[0], dumps[1],
+        "artifact bytes differ across cache states"
+    );
+    std::fs::remove_dir_all(&cache).ok();
+}
+
+/// The executor preserves request identity: outcomes land at their
+/// request's index regardless of which worker ran them, so a shuffled
+/// grid read back in order equals a serial run of the same grid.
+#[test]
+fn outcomes_indexed_by_request_not_completion_order() {
+    let grid: Vec<RunRequest> = ["MATVEC", "MATVEC", "MATVEC", "MATVEC"]
+        .iter()
+        .zip(Version::ALL)
+        .map(|(b, v)| {
+            RunRequest::on(MachineConfig::small())
+                .bench(*b, v)
+                .interactive(SimDuration::from_secs(1), None)
+        })
+        .collect();
+    let serial: Vec<u64> = exec::run_all_with(grid.clone(), 1)
+        .into_iter()
+        .map(|o| o.expect("runs").hog.unwrap().finish_time.as_nanos())
+        .collect();
+    let parallel: Vec<u64> = exec::run_all_with(grid, 4)
+        .into_iter()
+        .map(|o| o.expect("runs").hog.unwrap().finish_time.as_nanos())
+        .collect();
+    assert_eq!(serial, parallel);
+    // The four versions genuinely differ, so an index swap cannot hide.
+    let mut distinct = serial.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    assert!(distinct.len() >= 3, "versions too similar to detect swaps");
+}
