@@ -122,15 +122,32 @@ impl Artifact {
     }
 }
 
+/// The checksum line for one cached table: `<name> <fingerprint:016x>
+/// <byte-length>` over the exact CSV bytes.
+fn checksum_line(name: &str, csv: &str) -> String {
+    format!(
+        "{name} {:016x} {}",
+        crate::journal::content_fingerprint("cache-table/v1", csv),
+        csv.len()
+    )
+}
+
 /// Loads a set of named tables from the cache entry `key`, or `None` if
-/// any table is missing or unparseable (treated as a cache miss).
+/// any table is missing, unparseable, or fails verification against the
+/// entry's `checksums.txt` (all treated as a cache miss — the caller
+/// silently recomputes). A half-written, truncated, or hand-edited entry
+/// can therefore never poison downstream figures.
 pub fn cache_load(cache: &Path, key: u64, names: &[&str]) -> Option<Vec<TextTable>> {
     let entry = cache.join(format!("{key:016x}"));
+    let checksums = fs::read_to_string(entry.join("checksums.txt")).ok()?;
     names
         .iter()
         .map(|name| {
             let csv = fs::read_to_string(entry.join(format!("{name}.csv"))).ok()?;
-            TextTable::from_csv(&csv)
+            checksums
+                .lines()
+                .any(|line| line == checksum_line(name, &csv))
+                .then(|| TextTable::from_csv(&csv))?
         })
         .collect()
 }
@@ -152,9 +169,14 @@ pub fn cache_store(
     let scratch = cache.join(format!(".tmp-{key:016x}-{}", std::process::id()));
     fs::create_dir_all(&scratch)?;
     let write_all = || -> io::Result<()> {
+        let mut checksums = String::new();
         for (name, table) in tables {
-            fs::write(scratch.join(format!("{name}.csv")), table.to_csv())?;
+            let csv = table.to_csv();
+            checksums.push_str(&checksum_line(name, &csv));
+            checksums.push('\n');
+            fs::write(scratch.join(format!("{name}.csv")), csv)?;
         }
+        fs::write(scratch.join("checksums.txt"), checksums)?;
         fs::write(scratch.join("manifest.txt"), manifest)?;
         Ok(())
     };
@@ -239,6 +261,40 @@ mod tests {
             "partial = miss"
         );
         assert!(cache_load(&dir, 43, &["x"]).is_none(), "other key misses");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A corrupted, truncated, or tampered entry is a silent miss — the
+    /// suite recomputes instead of rendering garbage.
+    #[test]
+    fn corrupted_cache_entries_are_silent_misses() {
+        let t = sample_table();
+        let entry_csv = |dir: &Path| dir.join(format!("{:016x}", 9u64)).join("x.csv");
+
+        // Tampered payload: the CSV no longer matches its checksum.
+        let dir = scratch("tamper");
+        cache_store(&dir, 9, "m", &[("x", &t)]).unwrap();
+        assert!(cache_load(&dir, 9, &["x"]).is_some(), "sanity: clean hit");
+        fs::write(entry_csv(&dir), "k,v\nevil,1.5\n").unwrap();
+        assert!(cache_load(&dir, 9, &["x"]).is_none(), "tampered = miss");
+        let _ = fs::remove_dir_all(&dir);
+
+        // Truncated payload: the stored length no longer matches.
+        let dir = scratch("truncate");
+        cache_store(&dir, 9, "m", &[("x", &t)]).unwrap();
+        let full = fs::read_to_string(entry_csv(&dir)).unwrap();
+        fs::write(entry_csv(&dir), &full[..full.len() - 3]).unwrap();
+        assert!(cache_load(&dir, 9, &["x"]).is_none(), "truncated = miss");
+        let _ = fs::remove_dir_all(&dir);
+
+        // Missing or mangled checksums file: nothing can be verified.
+        let dir = scratch("nosums");
+        cache_store(&dir, 9, "m", &[("x", &t)]).unwrap();
+        let sums = dir.join(format!("{:016x}", 9u64)).join("checksums.txt");
+        fs::write(&sums, "x 0000000000000bad 3\n").unwrap();
+        assert!(cache_load(&dir, 9, &["x"]).is_none(), "bad sums = miss");
+        fs::remove_file(&sums).unwrap();
+        assert!(cache_load(&dir, 9, &["x"]).is_none(), "no sums = miss");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -8,8 +8,9 @@
 //! so causality between processes, daemons and I/O is preserved exactly.
 
 use runtime::prefetcher::PrefetchPool;
+use runtime::supervisor::{RestartOutcome, Supervisor};
 use runtime::{Mark, Op, OpStream, RuntimeLayer};
-use sim_core::fault::{FaultDomain, FaultKind, FaultLog, FaultPlan};
+use sim_core::fault::{CrashComponent, FaultDomain, FaultKind, FaultLog, FaultPlan};
 use sim_core::rng::Pcg32;
 use sim_core::stats::{TimeBreakdown, TimeCategory};
 use sim_core::{EventQueue, SimDuration, SimTime};
@@ -61,6 +62,13 @@ enum Ev {
     Sample,
     /// Fault injection: the upper memory limit shrinks at this instant.
     Shrink,
+    /// Fault injection: the component dies at this instant.
+    Crash(CrashComponent),
+    /// Supervisor probe: down components miss one beat; detections
+    /// schedule restarts.
+    Heartbeat,
+    /// One supervised restart attempt for the component.
+    Restart(CrashComponent),
 }
 
 struct EngineProc {
@@ -195,6 +203,12 @@ pub struct Engine {
     faults: FaultPlan,
     daemon_rng: Option<Pcg32>,
     fault_log: FaultLog,
+    supervisor: Option<Supervisor>,
+    /// The run-time hint layers accept ops (dead → hints are no-ops).
+    hint_layer_alive: bool,
+    /// The prefetch pthread pools accept work (dead → demand faulting and
+    /// main-thread PM release calls).
+    prefetch_alive: bool,
     /// Safety valve: stop even if primaries never finish.
     pub max_time: SimTime,
 }
@@ -225,6 +239,9 @@ impl Engine {
             faults: FaultPlan::default(),
             daemon_rng: None,
             fault_log: FaultLog::default(),
+            supervisor: None,
+            hint_layer_alive: true,
+            prefetch_alive: true,
             max_time: SimTime::from_nanos(u64::MAX / 2),
         }
     }
@@ -264,6 +281,9 @@ impl Engine {
         }
         if plan.daemons.any() {
             self.daemon_rng = Some(plan.rng_for(FaultDomain::Daemons));
+        }
+        if plan.crashes.any() {
+            self.supervisor = Some(Supervisor::new(&plan.crashes));
         }
     }
 
@@ -358,6 +378,15 @@ impl Engine {
         if let Some(at) = self.faults.daemons.shrink_limit_at {
             self.queue.schedule(at, Ev::Shrink);
         }
+        if let Some(sup) = &self.supervisor {
+            // Crashes are scheduled before the first heartbeat so a crash
+            // and a probe landing on the same instant order crash-first.
+            for (component, at) in sup.crash_times() {
+                self.queue.schedule(at, Ev::Crash(component));
+            }
+            let period = sup.config().heartbeat_period;
+            self.queue.schedule(SimTime::ZERO + period, Ev::Heartbeat);
+        }
         while !self.primaries_done() {
             let Some(ev) = self.queue.pop() else { break };
             if ev.time > self.max_time {
@@ -376,6 +405,11 @@ impl Engine {
                 }
                 Ev::Releaser => {
                     self.releaser_scheduled = false;
+                    if !self.vm.releaser_alive() {
+                        // The daemon died while this wakeup was in flight;
+                        // its queue waits for restart reconciliation.
+                        continue;
+                    }
                     if let Some(next) = self.vm.service_releaser(ev.time) {
                         self.releaser_scheduled = true;
                         let next = next + self.releaser_fault_delay(ev.time);
@@ -398,6 +432,100 @@ impl Engine {
                         });
                         let next = ev.time + *period;
                         self.queue.schedule(next, Ev::Sample);
+                    }
+                }
+                Ev::Crash(component) => {
+                    self.set_component_alive(component, false);
+                    if let Some(sup) = self.supervisor.as_mut() {
+                        sup.on_crash(component);
+                    }
+                    self.fault_log
+                        .record(ev.time, FaultKind::ComponentCrashed { component });
+                }
+                Ev::Heartbeat => {
+                    let Some(sup) = self.supervisor.as_mut() else {
+                        continue;
+                    };
+                    for det in sup.on_heartbeat() {
+                        self.fault_log.record(
+                            ev.time,
+                            FaultKind::CrashDetected {
+                                component: det.component,
+                                missed: det.missed,
+                            },
+                        );
+                        self.queue
+                            .schedule(ev.time + det.backoff, Ev::Restart(det.component));
+                    }
+                    let sup = self.supervisor.as_ref().expect("checked above");
+                    if sup.active() {
+                        let period = sup.config().heartbeat_period;
+                        self.queue.schedule(ev.time + period, Ev::Heartbeat);
+                    }
+                }
+                Ev::Restart(component) => {
+                    let Some(sup) = self.supervisor.as_mut() else {
+                        continue;
+                    };
+                    match sup.on_restart_attempt(component) {
+                        RestartOutcome::Failed {
+                            attempt,
+                            next_backoff,
+                        } => {
+                            self.fault_log.record(
+                                ev.time,
+                                FaultKind::RestartFailed {
+                                    component,
+                                    attempt,
+                                    backoff: next_backoff,
+                                },
+                            );
+                            self.queue
+                                .schedule(ev.time + next_backoff, Ev::Restart(component));
+                        }
+                        RestartOutcome::Restarted { attempt } => {
+                            self.fault_log.record(
+                                ev.time,
+                                FaultKind::ComponentRestarted { component, attempt },
+                            );
+                            let (orphaned, bitmap_fixups) =
+                                self.reconcile_component(component, ev.time);
+                            self.fault_log.record(
+                                ev.time,
+                                FaultKind::StateReconciled {
+                                    component,
+                                    orphaned,
+                                    bitmap_fixups,
+                                },
+                            );
+                            self.set_component_alive(component, true);
+                            self.wake_daemons(ev.time);
+                        }
+                        RestartOutcome::Abandoned { attempts } => {
+                            self.fault_log.record(
+                                ev.time,
+                                FaultKind::ComponentAbandoned {
+                                    component,
+                                    attempts,
+                                },
+                            );
+                            if component == CrashComponent::Releaser {
+                                // Permanently dead releaser: revalidate the
+                                // stranded release-pending pages so the run
+                                // degrades cleanly to stock reactive paging.
+                                let (orphaned, bitmap_fixups) =
+                                    self.reconcile_component(component, ev.time);
+                                self.fault_log.record(
+                                    ev.time,
+                                    FaultKind::StateReconciled {
+                                        component,
+                                        orphaned,
+                                        bitmap_fixups,
+                                    },
+                                );
+                                self.wake_daemons(ev.time);
+                            }
+                        }
                     }
                 }
             }
@@ -458,6 +586,42 @@ impl Engine {
             timeline,
             kernel_trace: self.vm.trace().records().cloned().collect(),
             fault_log,
+        }
+    }
+
+    /// Flips the liveness switch for one crashable component.
+    fn set_component_alive(&mut self, component: CrashComponent, alive: bool) {
+        match component {
+            CrashComponent::Releaser => self.vm.set_releaser_alive(alive),
+            CrashComponent::PrefetchPool => self.prefetch_alive = alive,
+            CrashComponent::HintLayer => self.hint_layer_alive = alive,
+        }
+    }
+
+    /// Rebuilds the component's state after a restart: drop orphaned
+    /// queues, re-derive shared-bitmap residency from the page table, and
+    /// re-arm the one-behind filters. Returns `(orphaned, bitmap_fixups)`.
+    fn reconcile_component(&mut self, component: CrashComponent, now: SimTime) -> (u64, u64) {
+        match component {
+            CrashComponent::Releaser => self.vm.reconcile_releaser(now),
+            CrashComponent::HintLayer => {
+                let mut orphaned = 0;
+                for p in &mut self.procs {
+                    if let Some(rt) = p.rt.as_mut() {
+                        orphaned += rt.reconcile_after_crash();
+                    }
+                }
+                (orphaned, 0)
+            }
+            CrashComponent::PrefetchPool => {
+                // A fresh pool: in-flight assignment timelines died with
+                // the threads; the I/O they started completes in the disk
+                // model regardless.
+                for p in &mut self.procs {
+                    p.pool = PrefetchPool::new(self.config.prefetch_threads);
+                }
+                (0, 0)
+            }
         }
     }
 
@@ -555,6 +719,9 @@ impl Engine {
     }
 
     fn op_prefetch(&mut self, i: usize, vpn: Vpn, npages: u64, tag: u32) {
+        if !self.hint_layer_alive {
+            return;
+        }
         let (pid, now) = (self.procs[i].pid, self.procs[i].local);
         let Some(rt) = self.procs[i].rt.as_mut() else {
             return;
@@ -564,6 +731,12 @@ impl Engine {
         p.breakdown.add(TimeCategory::User, cost);
         p.local += cost;
         let local = p.local;
+        if !self.prefetch_alive {
+            // The pthread pool is dead: the filtered pages are simply not
+            // prefetched and will demand-fault later.
+            self.wake_daemons(local);
+            return;
+        }
         for page in pages {
             // The prefetch pthread makes the PM call and waits for the I/O;
             // none of that lands on the main thread's clock.
@@ -583,6 +756,9 @@ impl Engine {
     }
 
     fn op_release(&mut self, i: usize, vpn: Vpn, priority: u32, tag: u32) {
+        if !self.hint_layer_alive {
+            return;
+        }
         let (pid, now) = (self.procs[i].pid, self.procs[i].local);
         let Some(rt) = self.procs[i].rt.as_mut() else {
             return;
@@ -612,6 +788,9 @@ impl Engine {
     }
 
     fn op_retire_tag(&mut self, i: usize, tag: u32) {
+        if !self.hint_layer_alive {
+            return;
+        }
         let (pid, now) = (self.procs[i].pid, self.procs[i].local);
         let Some(rt) = self.procs[i].rt.as_mut() else {
             return;
@@ -627,23 +806,38 @@ impl Engine {
     }
 
     fn issue_releases(&mut self, i: usize, pid: Pid, local: SimTime, pages: &[Vpn]) {
-        // Release requests ride the same pthread pool as prefetches.
-        let (thread, start) = self.procs[i].pool.assign(local);
-        self.vm.release(start, pid, pages);
         let call = self.vm.cost_params().pm_release_call;
-        self.procs[i].pool.complete(thread, start + call);
-        self.wake_daemons(start);
+        if self.prefetch_alive {
+            // Release requests ride the same pthread pool as prefetches.
+            let (thread, start) = self.procs[i].pool.assign(local);
+            self.vm.release(start, pid, pages);
+            self.procs[i].pool.complete(thread, start + call);
+            self.wake_daemons(start);
+        } else {
+            // Dead pthread pool: the main thread makes the PM call itself
+            // and pays for it on its own clock.
+            self.vm.release(local, pid, pages);
+            let p = &mut self.procs[i];
+            p.breakdown.add(TimeCategory::System, call);
+            p.local += call;
+            self.wake_daemons(local);
+        }
     }
 
     fn finish_proc(&mut self, i: usize) {
         let pid = self.procs[i].pid;
         let local = self.procs[i].local;
-        // Flush any still-buffered releases (end-of-program).
-        let flushed = self.procs[i]
-            .rt
-            .as_mut()
-            .map(|rt| rt.flush())
-            .unwrap_or_default();
+        // Flush any still-buffered releases (end-of-program); a dead hint
+        // layer has nothing trustworthy to flush.
+        let flushed = if self.hint_layer_alive {
+            self.procs[i]
+                .rt
+                .as_mut()
+                .map(|rt| rt.flush())
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
         if !flushed.is_empty() {
             self.issue_releases(i, pid, local, &flushed);
         }
@@ -1013,6 +1207,79 @@ mod tests {
         e.register(pid, "calc", Box::new(stream), None, true);
         let res = e.run();
         assert!(res.timeline.is_some(), "shim enabled the timeline");
+    }
+
+    #[test]
+    fn releaser_crash_is_detected_restarted_and_reconciled() {
+        use sim_core::fault::{CrashFaults, CrashSpec, FaultPlan};
+        let run = || {
+            let mut e = engine_small().with_fault_plan(FaultPlan {
+                seed: 7,
+                crashes: CrashFaults {
+                    releaser: Some(CrashSpec::at(SimTime::from_nanos(1_000_000))),
+                    ..CrashFaults::default()
+                },
+                ..FaultPlan::default()
+            });
+            let pid = e.vm_mut().add_process(false);
+            let stream = VecStream::new([Op::Compute(SimDuration::from_millis(100)), Op::End]);
+            e.register(pid, "calc", Box::new(stream), None, true);
+            let res = e.run();
+            (res.end_time, res.fault_log.summary())
+        };
+        let (end1, log1) = run();
+        assert!(log1.contains("component_crashed"), "log: {log1}");
+        assert!(log1.contains("crash_detected"), "log: {log1}");
+        assert!(log1.contains("component_restarted"), "log: {log1}");
+        assert!(log1.contains("state_reconciled"), "log: {log1}");
+        assert!(!log1.contains("component_abandoned"), "log: {log1}");
+        let (end2, log2) = run();
+        assert_eq!(end1, end2, "crash-plan runs must reproduce exactly");
+        assert_eq!(log1, log2);
+    }
+
+    #[test]
+    fn permanent_crash_exhausts_restarts_and_is_abandoned() {
+        use sim_core::fault::{CrashFaults, CrashSpec, FaultPlan};
+        let mut e = engine_small().with_fault_plan(FaultPlan {
+            seed: 9,
+            crashes: CrashFaults {
+                releaser: Some(CrashSpec::permanent(SimTime::from_nanos(1_000_000))),
+                ..CrashFaults::default()
+            },
+            ..FaultPlan::default()
+        });
+        let pid = e.vm_mut().add_process(false);
+        // Long enough that the full backoff ladder (10..500 ms, six
+        // attempts) plays out before the primary finishes.
+        let stream = VecStream::new([Op::Compute(SimDuration::from_secs(1)), Op::End]);
+        e.register(pid, "calc", Box::new(stream), None, true);
+        let res = e.run();
+        assert_eq!(res.fault_log.count("component_crashed"), 1);
+        assert_eq!(res.fault_log.count("component_abandoned"), 1);
+        assert_eq!(res.fault_log.count("restart_failed"), 5);
+        assert_eq!(res.fault_log.count("component_restarted"), 0);
+        // The abandoned releaser still gets one reconcile pass so the run
+        // degrades cleanly to stock paging.
+        assert_eq!(res.fault_log.count("state_reconciled"), 1);
+        assert!(res.procs[0].finish_time < SimTime::MAX, "run completed");
+    }
+
+    #[test]
+    fn crash_free_plans_schedule_no_heartbeats() {
+        use sim_core::fault::{FaultPlan, IoFaults};
+        // A plan without crash specs must not perturb event interleaving.
+        let mut e = engine_small().with_fault_plan(FaultPlan {
+            seed: 2,
+            io: IoFaults::flaky(0.1),
+            ..FaultPlan::default()
+        });
+        let pid = e.vm_mut().add_process(false);
+        let stream = VecStream::new([Op::Compute(SimDuration::from_millis(5)), Op::End]);
+        e.register(pid, "calc", Box::new(stream), None, true);
+        let res = e.run();
+        assert_eq!(res.fault_log.count("component_crashed"), 0);
+        assert_eq!(res.fault_log.count("crash_detected"), 0);
     }
 
     #[test]

@@ -64,6 +64,9 @@ pub enum SuiteError {
         /// Which process result was missing (`"hog"` or `"interactive"`).
         role: &'static str,
     },
+    /// A run in the grid failed outright — an invalid request or a worker
+    /// that crashed past its retry budget.
+    RunFailed(String),
 }
 
 impl std::fmt::Display for SuiteError {
@@ -73,6 +76,16 @@ impl std::fmt::Display for SuiteError {
             SuiteError::ProcessMissing { bench, role } => {
                 write!(f, "{bench} run produced no {role} result")
             }
+            SuiteError::RunFailed(why) => write!(f, "suite run failed: {why}"),
+        }
+    }
+}
+
+impl From<RunError> for SuiteError {
+    fn from(e: RunError) -> Self {
+        match e {
+            RunError::UnknownBenchmark(n) => SuiteError::UnknownBenchmark(n),
+            other => SuiteError::RunFailed(other.to_string()),
         }
     }
 }
@@ -134,6 +147,19 @@ fn grid(machine: &MachineConfig, names: &[String], sleep: SimDuration) -> Vec<Ru
     reqs
 }
 
+/// The suite's request grid, exactly as [`run`] executes it: the alone
+/// baseline first, then every benchmark × version cell in paper order.
+/// Exposed so crash-tolerance tests can drive the identical grid through
+/// the journaled executor directly (kill it mid-flight, resume it) and
+/// compare against a suite pass.
+pub fn requests(
+    machine: &MachineConfig,
+    benches: Option<&[&str]>,
+    sleep: SimDuration,
+) -> Vec<RunRequest> {
+    grid(machine, &names(benches), sleep)
+}
+
 /// The stable fingerprint of a request grid — the artifact-cache key.
 fn grid_key(reqs: &[RunRequest]) -> u64 {
     let mut h = Fnv1a::new();
@@ -168,30 +194,43 @@ pub fn run_with_jobs(
     jobs: usize,
 ) -> Result<Suite, SuiteError> {
     let names = names(benches);
-    let mut outcomes = exec::run_all_with(grid(machine, &names, sleep), jobs).into_iter();
+    let outcomes = exec::run_all_with(grid(machine, &names, sleep), jobs);
+    assemble(&names, sleep, outcomes)
+}
 
+/// [`run_with_jobs`], draining the grid through an explicit completion
+/// journal: previously journaled runs are replayed, fresh completions are
+/// recorded. Resuming a killed pass therefore re-simulates only the
+/// missing cells, and the assembled suite is bit-identical either way.
+pub fn run_journaled(
+    machine: &MachineConfig,
+    benches: Option<&[&str]>,
+    sleep: SimDuration,
+    jobs: usize,
+    journal: &crate::journal::Journal,
+) -> Result<Suite, SuiteError> {
+    let names = names(benches);
+    let outcomes = exec::run_all_journaled(grid(machine, &names, sleep), jobs, Some(journal));
+    assemble(&names, sleep, outcomes)
+}
+
+/// Assembles executor outcomes (in grid order) into a [`Suite`].
+fn assemble(
+    names: &[String],
+    sleep: SimDuration,
+    outcomes: Vec<Result<crate::request::RunOutcome, RunError>>,
+) -> Result<Suite, SuiteError> {
+    let mut outcomes = outcomes.into_iter();
     let baseline = outcomes.next().expect("grid holds the baseline");
-    let alone = baseline
-        .map_err(|e| match e {
-            RunError::UnknownBenchmark(n) => SuiteError::UnknownBenchmark(n),
-            RunError::Empty => unreachable!("baseline request has the interactive task"),
-        })?
-        .interactive
-        .ok_or(SuiteError::ProcessMissing {
-            bench: String::from("alone"),
-            role: "interactive",
-        })?;
+    let alone = baseline?.interactive.ok_or(SuiteError::ProcessMissing {
+        bench: String::from("alone"),
+        role: "interactive",
+    })?;
 
     let mut cells = Vec::new();
-    for name in &names {
+    for name in names {
         for &version in &Version::ALL {
-            let res = outcomes
-                .next()
-                .expect("grid holds one request per cell")
-                .map_err(|e| match e {
-                    RunError::UnknownBenchmark(n) => SuiteError::UnknownBenchmark(n),
-                    RunError::Empty => unreachable!("cell requests name a benchmark"),
-                })?;
+            let res = outcomes.next().expect("grid holds one request per cell")?;
             cells.push(SuiteCell {
                 bench: name.clone(),
                 version,

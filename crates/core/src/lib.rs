@@ -52,6 +52,7 @@ pub mod artifact;
 pub mod engine;
 pub mod exec;
 pub mod experiments;
+pub mod journal;
 pub mod machine;
 pub mod report;
 pub mod request;
@@ -60,6 +61,7 @@ pub mod timeline;
 
 pub use artifact::{results_dir, Artifact};
 pub use engine::{Engine, ProcResult, RunResult};
+pub use journal::Journal;
 pub use machine::MachineConfig;
 pub use request::{RunError, RunOutcome, RunRequest};
 pub use scenario::Version;
@@ -72,6 +74,7 @@ pub mod prelude {
     pub use crate::engine::{Engine, ProcResult, RunResult};
     pub use crate::exec;
     pub use crate::experiments::suite::{Suite, SuiteError, SuiteHandle, SUITE_TABLES};
+    pub use crate::journal::Journal;
     pub use crate::machine::MachineConfig;
     pub use crate::report::TextTable;
     pub use crate::request::{RunError, RunOutcome, RunRequest};
@@ -79,7 +82,10 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use crate::scenario::{Scenario, ScenarioResult};
     pub use runtime::HealthConfig;
-    pub use sim_core::fault::{DaemonFaults, FaultKind, FaultLog, FaultPlan, HintFaults, IoFaults};
+    pub use sim_core::fault::{
+        CrashComponent, CrashFaults, CrashSpec, DaemonFaults, ExecFaults, FaultKind, FaultLog,
+        FaultPlan, HintFaults, IoFaults, SupervisorConfig,
+    };
     pub use sim_core::stats::{TimeBreakdown, TimeCategory};
     pub use sim_core::{SimDuration, SimTime};
     pub use workloads;

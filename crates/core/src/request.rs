@@ -45,6 +45,14 @@ pub enum RunError {
     UnknownBenchmark(String),
     /// The request named neither a benchmark nor the interactive task.
     Empty,
+    /// The machine description cannot be simulated (zero page counts,
+    /// zero or inverted memory limits) — caught by [`RunRequest::validate`]
+    /// before it can surface as a deep engine panic.
+    InvalidMachine(String),
+    /// The worker executing the request panicked (after exhausting any
+    /// retries the fault plan's [`sim_core::fault::ExecFaults`] allowed).
+    /// Only this request is lost; the rest of the grid is unaffected.
+    Crashed(String),
 }
 
 impl std::fmt::Display for RunError {
@@ -52,6 +60,8 @@ impl std::fmt::Display for RunError {
         match self {
             RunError::UnknownBenchmark(name) => write!(f, "unknown benchmark {name}"),
             RunError::Empty => write!(f, "empty run request (no benchmark, no interactive task)"),
+            RunError::InvalidMachine(why) => write!(f, "invalid machine: {why}"),
+            RunError::Crashed(why) => write!(f, "worker crashed: {why}"),
         }
     }
 }
@@ -170,14 +180,73 @@ impl RunRequest {
         &self.machine
     }
 
+    /// The fault plan this request runs under.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Whether this request's successful outcome can be persisted to (and
+    /// replayed from) a completion journal: plain statistical runs only.
+    /// Timelines and kernel traces carry bulky observational state the
+    /// journal codec deliberately does not model.
+    pub fn journalable(&self) -> bool {
+        self.timeline.is_none() && !self.kernel_trace
+    }
+
+    /// Validates the request without running it: a malformed machine
+    /// description (zero page counts, zero or inverted memory limits)
+    /// surfaces as a typed [`RunError::InvalidMachine`] here instead of a
+    /// panic deep inside the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Empty`] for a request naming no workload at all, and
+    /// [`RunError::InvalidMachine`] for an unsimulatable machine.
+    pub fn validate(&self) -> Result<(), RunError> {
+        if self.bench.is_none() && self.interactive.is_none() {
+            return Err(RunError::Empty);
+        }
+        let m = &self.machine;
+        if m.frames == 0 {
+            return Err(RunError::InvalidMachine(String::from(
+                "zero physical frames",
+            )));
+        }
+        if m.page_size == 0 {
+            return Err(RunError::InvalidMachine(String::from("zero page size")));
+        }
+        if m.prefetch_threads == 0 {
+            return Err(RunError::InvalidMachine(String::from(
+                "zero prefetch threads",
+            )));
+        }
+        let t = &m.tunables;
+        if t.maxrss == 0 {
+            return Err(RunError::InvalidMachine(String::from(
+                "zero maxrss memory limit",
+            )));
+        }
+        if t.min_freemem > t.target_freemem {
+            return Err(RunError::InvalidMachine(format!(
+                "inverted free-memory limits (min {} > target {})",
+                t.min_freemem, t.target_freemem
+            )));
+        }
+        if t.target_freemem > m.frames as u64 {
+            return Err(RunError::InvalidMachine(format!(
+                "target_freemem {} exceeds the machine's {} frames",
+                t.target_freemem, m.frames
+            )));
+        }
+        Ok(())
+    }
+
     /// Executes the request. Borrows `self` so the executor can run the
     /// same request value from a queue without consuming it; every
     /// execution builds a fresh engine, which is what makes repeated and
     /// concurrent runs bit-identical.
     pub fn run(&self) -> Result<RunOutcome, RunError> {
-        if self.bench.is_none() && self.interactive.is_none() {
-            return Err(RunError::Empty);
-        }
+        self.validate()?;
         let mut engine = Engine::new(self.machine.clone());
         if let Some(period) = self.timeline {
             engine = engine.with_timeline(period);
@@ -304,6 +373,57 @@ mod tests {
     }
 
     #[test]
+    fn malformed_machines_are_typed_errors_not_panics() {
+        let base = |m: MachineConfig| {
+            RunRequest::on(m)
+                .bench("MATVEC", Version::Original)
+                .run()
+                .unwrap_err()
+        };
+        let mut zero_frames = MachineConfig::small();
+        zero_frames.frames = 0;
+        assert!(matches!(base(zero_frames), RunError::InvalidMachine(_)));
+
+        let mut zero_pages = MachineConfig::small();
+        zero_pages.page_size = 0;
+        assert!(matches!(base(zero_pages), RunError::InvalidMachine(_)));
+
+        let mut no_threads = MachineConfig::small();
+        no_threads.prefetch_threads = 0;
+        assert!(matches!(base(no_threads), RunError::InvalidMachine(_)));
+
+        let mut zero_limit = MachineConfig::small();
+        zero_limit.tunables.maxrss = 0;
+        assert!(matches!(base(zero_limit), RunError::InvalidMachine(_)));
+
+        let mut inverted = MachineConfig::small();
+        inverted.tunables.min_freemem = inverted.tunables.target_freemem + 1;
+        let err = base(inverted);
+        assert!(matches!(err, RunError::InvalidMachine(_)));
+        assert!(err.to_string().contains("inverted"), "err: {err}");
+
+        let mut oversize_target = MachineConfig::small();
+        oversize_target.tunables.target_freemem = oversize_target.frames as u64 + 1;
+        assert!(matches!(base(oversize_target), RunError::InvalidMachine(_)));
+
+        assert!(RunRequest::on(MachineConfig::small())
+            .interactive(SimDuration::from_secs(1), Some(1))
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn journalable_excludes_observational_runs() {
+        let base = RunRequest::on(MachineConfig::small()).bench("MATVEC", Version::Original);
+        assert!(base.clone().journalable());
+        assert!(!base
+            .clone()
+            .timeline(SimDuration::from_millis(1))
+            .journalable());
+        assert!(!base.kernel_trace().journalable());
+    }
+
+    #[test]
     fn interactive_alone_runs() {
         let outcome = RunRequest::on(MachineConfig::small())
             .interactive(SimDuration::from_secs(1), Some(5))
@@ -352,6 +472,21 @@ mod tests {
             base().fault_plan(FaultPlan {
                 seed: 1,
                 hints: sim_core::fault::HintFaults::poisoned(0.5),
+                ..FaultPlan::default()
+            }),
+            base().fault_plan(FaultPlan {
+                seed: 1,
+                crashes: sim_core::fault::CrashFaults {
+                    releaser: Some(sim_core::fault::CrashSpec::at(SimTime::from_nanos(
+                        1_000_000,
+                    ))),
+                    ..sim_core::fault::CrashFaults::default()
+                },
+                ..FaultPlan::default()
+            }),
+            base().fault_plan(FaultPlan {
+                seed: 1,
+                exec: sim_core::fault::ExecFaults::flaky(2),
                 ..FaultPlan::default()
             }),
             RunRequest::on(MachineConfig::origin200())

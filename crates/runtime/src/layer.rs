@@ -348,6 +348,28 @@ impl RuntimeLayer {
         out
     }
 
+    /// Rebuilds the layer's volatile state after a crash-restart of the
+    /// hint layer: the one-behind filter re-arms from scratch, buffered
+    /// releases are orphaned (the crashed layer's buffers are gone — the
+    /// pages stay resident and the OS reclaims them reactively), and every
+    /// delayed/stale/attribution map is dropped. Statistics and the fault
+    /// log survive — they belong to the run, not the component. Returns
+    /// the number of orphaned buffered releases.
+    pub fn reconcile_after_crash(&mut self) -> u64 {
+        let orphaned = (self.buffers.buffered()
+            + self.delayed_release.len()
+            + self.delayed_prefetch.len()) as u64;
+        self.tags = TagFilter::new();
+        self.buffers = ReleaseBuffers::new();
+        self.delayed_release.clear();
+        self.delayed_prefetch.clear();
+        self.stale.clear();
+        self.release_tags.clear();
+        self.prefetch_tags.clear();
+        self.degraded.clear();
+        orphaned
+    }
+
     /// Applies the fault front end to one hint, returning the copies to
     /// actually process (0 = dropped or delayed, 2 = duplicated). The
     /// third tuple slot is npages for prefetches, priority for releases.
@@ -797,6 +819,25 @@ mod tests {
         assert!(out.is_empty());
         assert_eq!(rt.degraded_pages(), before + 1);
         assert_eq!(rt.take_degraded(10).pop(), Some(r.start.offset(9)));
+    }
+
+    #[test]
+    fn reconcile_after_crash_drops_volatile_state_keeps_counters() {
+        let (vm, pid, r) = setup(1024, 8);
+        let mut rt = RuntimeLayer::new(ReleasePolicy::Buffered, RtConfig::default());
+        for i in 0..4 {
+            rt.on_release_hint(&vm, pid, t(2), r.start.offset(i), 1, 9);
+        }
+        assert_eq!(rt.buffered_pages(), 3, "one-behind keeps the newest");
+        let hints_before = rt.stats().release_hints;
+        let orphaned = rt.reconcile_after_crash();
+        assert_eq!(orphaned, 3, "buffered releases were orphaned");
+        assert_eq!(rt.buffered_pages(), 0);
+        assert_eq!(rt.stats().release_hints, hints_before, "stats survive");
+        // The one-behind filter re-armed: the next hint only records.
+        let (out, _) = rt.on_release_hint(&vm, pid, t(3), r.start.offset(5), 1, 9);
+        assert!(out.is_empty());
+        assert_eq!(rt.buffered_pages(), 0, "fresh filter held the page back");
     }
 
     #[test]

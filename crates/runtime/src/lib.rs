@@ -36,6 +36,7 @@ pub mod layer;
 pub mod ops;
 pub mod policy;
 pub mod prefetcher;
+pub mod supervisor;
 
 pub use bindings::{ArrayBinding, Bindings, IndirectGen, TripSpec};
 pub use exec::Executor;
@@ -43,3 +44,4 @@ pub use health::{HealthConfig, HealthStats, HintHealth};
 pub use layer::{RtConfig, RtStats, RuntimeLayer};
 pub use ops::{Mark, Op, OpStream};
 pub use policy::ReleasePolicy;
+pub use supervisor::{Detection, RestartOutcome, Supervisor};

@@ -1,0 +1,328 @@
+//! Deterministic component supervision.
+//!
+//! Crash tolerance for the guided path: the releaser daemon, the prefetch
+//! thread pool, and the run-time hint layer can each *die* mid-run
+//! ([`sim_core::fault::CrashFaults`]), and the supervisor modelled here
+//! brings them back — or gives up and leaves the run on the paging-daemon
+//! backstop, which is never crashable and makes a dead guided path
+//! degrade to stock reactive behaviour rather than a hang.
+//!
+//! The supervisor is a pure state machine with no clock and no RNG of its
+//! own: the simulation engine feeds it crash, heartbeat, and
+//! restart-attempt events at engine-scheduled instants, and it answers
+//! with what to do next. Detection is by missed heartbeats
+//! (`miss_threshold` consecutive probes after the death), restarts back
+//! off exponentially from `backoff_initial` doubling up to `backoff_cap`,
+//! and after `max_restarts` failed attempts the component is abandoned.
+//! Everything is a deterministic function of the
+//! [`SupervisorConfig`] and the per-component [`CrashSpec`], so crashed
+//! runs stay bit-reproducible.
+
+use sim_core::fault::{CrashComponent, CrashFaults, CrashSpec, SupervisorConfig};
+use sim_core::{SimDuration, SimTime};
+
+/// Where one supervised component is in its crash/recovery lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Phase {
+    /// Crash scheduled but not yet fired.
+    Armed,
+    /// Dead; the supervisor has not yet noticed.
+    Down {
+        /// Heartbeats missed so far.
+        missed: u32,
+    },
+    /// Dead and detected; a restart attempt is pending.
+    Restarting {
+        /// Restart attempts made so far.
+        attempt: u32,
+        /// Backoff that was charged before the next pending attempt.
+        backoff: SimDuration,
+    },
+    /// Restarted successfully (terminal).
+    Up,
+    /// The supervisor gave up (terminal). The paging daemon carries on.
+    Abandoned,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Lane {
+    component: CrashComponent,
+    spec: CrashSpec,
+    phase: Phase,
+}
+
+/// A crash detection produced by one heartbeat probe.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Detection {
+    /// The component declared dead.
+    pub component: CrashComponent,
+    /// Consecutive heartbeats missed before the declaration.
+    pub missed: u32,
+    /// Backoff to charge before the first restart attempt.
+    pub backoff: SimDuration,
+}
+
+/// The outcome of one restart attempt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RestartOutcome {
+    /// The component is back; reconcile its state and resume.
+    Restarted {
+        /// 1-based attempt number that succeeded.
+        attempt: u32,
+    },
+    /// The attempt failed; retry after `next_backoff`.
+    Failed {
+        /// 1-based attempt number that failed.
+        attempt: u32,
+        /// Backoff to charge before the next attempt (doubled, capped).
+        next_backoff: SimDuration,
+    },
+    /// The restart budget is exhausted; the component stays dead.
+    Abandoned {
+        /// Total attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+/// The deterministic supervisor for all crashable components of one run
+/// (see module docs).
+#[derive(Clone, Debug)]
+pub struct Supervisor {
+    config: SupervisorConfig,
+    lanes: Vec<Lane>,
+}
+
+impl Supervisor {
+    /// Builds a supervisor for the components `crashes` kills. Components
+    /// without a crash spec get no lane — they can never go down.
+    pub fn new(crashes: &CrashFaults) -> Self {
+        let mut lanes = Vec::new();
+        for component in [
+            CrashComponent::Releaser,
+            CrashComponent::PrefetchPool,
+            CrashComponent::HintLayer,
+        ] {
+            if let Some(spec) = crashes.spec_for(component) {
+                lanes.push(Lane {
+                    component,
+                    spec,
+                    phase: Phase::Armed,
+                });
+            }
+        }
+        Supervisor {
+            config: crashes.supervisor,
+            lanes,
+        }
+    }
+
+    /// The supervisor tuning in force.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    /// Whether any component is supervised at all.
+    pub fn has_lanes(&self) -> bool {
+        !self.lanes.is_empty()
+    }
+
+    /// The scheduled crash instants, for the engine to turn into events.
+    pub fn crash_times(&self) -> Vec<(CrashComponent, SimTime)> {
+        self.lanes
+            .iter()
+            .map(|l| (l.component, l.spec.at))
+            .collect()
+    }
+
+    /// Whether any lane still needs heartbeat probes (not yet terminal).
+    pub fn active(&self) -> bool {
+        self.lanes
+            .iter()
+            .any(|l| !matches!(l.phase, Phase::Up | Phase::Abandoned))
+    }
+
+    /// Marks `component` dead (its scheduled crash fired).
+    pub fn on_crash(&mut self, component: CrashComponent) {
+        if let Some(lane) = self.lane_mut(component) {
+            debug_assert_eq!(lane.phase, Phase::Armed, "a lane crashes once");
+            lane.phase = Phase::Down { missed: 0 };
+        }
+    }
+
+    /// One heartbeat probe: every down-but-undetected lane misses one
+    /// more beat; lanes reaching the miss threshold are declared dead and
+    /// returned so the engine can schedule their first restart attempt.
+    pub fn on_heartbeat(&mut self) -> Vec<Detection> {
+        let threshold = self.config.miss_threshold.max(1);
+        let backoff = self.config.backoff_initial;
+        let mut detections = Vec::new();
+        for lane in &mut self.lanes {
+            if let Phase::Down { missed } = lane.phase {
+                let missed = missed + 1;
+                if missed >= threshold {
+                    lane.phase = Phase::Restarting {
+                        attempt: 0,
+                        backoff,
+                    };
+                    detections.push(Detection {
+                        component: lane.component,
+                        missed,
+                        backoff,
+                    });
+                } else {
+                    lane.phase = Phase::Down { missed };
+                }
+            }
+        }
+        detections
+    }
+
+    /// One restart attempt for `component`. The attempt succeeds iff the
+    /// crash is not permanent and the spec's quota of deterministic
+    /// failures (`failed_restarts`) is spent; otherwise the backoff
+    /// doubles (capped) until the restart budget runs out.
+    pub fn on_restart_attempt(&mut self, component: CrashComponent) -> RestartOutcome {
+        let cap = self.config.backoff_cap;
+        let max_restarts = self.config.max_restarts.max(1);
+        let Some(lane) = self.lane_mut(component) else {
+            debug_assert!(false, "restart for an unsupervised component");
+            return RestartOutcome::Abandoned { attempts: 0 };
+        };
+        let Phase::Restarting { attempt, backoff } = lane.phase else {
+            debug_assert!(false, "restart outside the Restarting phase");
+            return RestartOutcome::Abandoned { attempts: 0 };
+        };
+        let attempt = attempt + 1;
+        if !lane.spec.permanent && attempt > lane.spec.failed_restarts {
+            lane.phase = Phase::Up;
+            return RestartOutcome::Restarted { attempt };
+        }
+        if attempt >= max_restarts {
+            lane.phase = Phase::Abandoned;
+            return RestartOutcome::Abandoned { attempts: attempt };
+        }
+        let next_backoff = backoff.saturating_mul(2).min(cap);
+        lane.phase = Phase::Restarting {
+            attempt,
+            backoff: next_backoff,
+        };
+        RestartOutcome::Failed {
+            attempt,
+            next_backoff,
+        }
+    }
+
+    fn lane_mut(&mut self, component: CrashComponent) -> Option<&mut Lane> {
+        self.lanes.iter_mut().find(|l| l.component == component)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crashes(spec: CrashSpec) -> CrashFaults {
+        CrashFaults {
+            releaser: Some(spec),
+            ..CrashFaults::default()
+        }
+    }
+
+    #[test]
+    fn detection_needs_threshold_misses() {
+        let mut sup = Supervisor::new(&crashes(CrashSpec::at(SimTime::from_nanos(1_000_000))));
+        assert!(sup.has_lanes() && sup.active());
+        sup.on_crash(CrashComponent::Releaser);
+        assert!(sup.on_heartbeat().is_empty(), "one miss is not enough");
+        let det = sup.on_heartbeat();
+        assert_eq!(det.len(), 1);
+        assert_eq!(det[0].component, CrashComponent::Releaser);
+        assert_eq!(det[0].missed, 2);
+        assert_eq!(det[0].backoff, SimDuration::from_millis(10));
+        assert!(sup.on_heartbeat().is_empty(), "detected lanes stay quiet");
+    }
+
+    #[test]
+    fn first_restart_succeeds_by_default() {
+        let mut sup = Supervisor::new(&crashes(CrashSpec::at(SimTime::ZERO)));
+        sup.on_crash(CrashComponent::Releaser);
+        sup.on_heartbeat();
+        sup.on_heartbeat();
+        assert_eq!(
+            sup.on_restart_attempt(CrashComponent::Releaser),
+            RestartOutcome::Restarted { attempt: 1 }
+        );
+        assert!(!sup.active(), "restarted lane is terminal");
+    }
+
+    #[test]
+    fn failed_restarts_double_backoff_up_to_cap() {
+        let spec = CrashSpec::at(SimTime::ZERO).with_failed_restarts(3);
+        let mut sup = Supervisor::new(&crashes(spec));
+        sup.on_crash(CrashComponent::Releaser);
+        sup.on_heartbeat();
+        sup.on_heartbeat();
+        let mut backoffs = Vec::new();
+        loop {
+            match sup.on_restart_attempt(CrashComponent::Releaser) {
+                RestartOutcome::Failed {
+                    attempt,
+                    next_backoff,
+                } => backoffs.push((attempt, next_backoff)),
+                RestartOutcome::Restarted { attempt } => {
+                    assert_eq!(attempt, 4, "three failures, fourth succeeds");
+                    break;
+                }
+                RestartOutcome::Abandoned { .. } => panic!("should recover"),
+            }
+        }
+        assert_eq!(
+            backoffs,
+            vec![
+                (1, SimDuration::from_millis(20)),
+                (2, SimDuration::from_millis(40)),
+                (3, SimDuration::from_millis(80)),
+            ]
+        );
+    }
+
+    #[test]
+    fn permanent_crash_is_abandoned_after_budget() {
+        let mut sup = Supervisor::new(&crashes(CrashSpec::permanent(SimTime::ZERO)));
+        sup.on_crash(CrashComponent::Releaser);
+        sup.on_heartbeat();
+        sup.on_heartbeat();
+        let mut attempts = 0;
+        loop {
+            match sup.on_restart_attempt(CrashComponent::Releaser) {
+                RestartOutcome::Failed { .. } => attempts += 1,
+                RestartOutcome::Abandoned { attempts: n } => {
+                    assert_eq!(n, 6, "default restart budget");
+                    assert_eq!(attempts, 5, "five failures then the give-up");
+                    break;
+                }
+                RestartOutcome::Restarted { .. } => panic!("permanent crash"),
+            }
+        }
+        assert!(!sup.active(), "abandoned lane is terminal");
+    }
+
+    #[test]
+    fn backoff_caps() {
+        let mut faults = crashes(CrashSpec::permanent(SimTime::ZERO));
+        faults.supervisor.max_restarts = 32;
+        let mut sup = Supervisor::new(&faults);
+        sup.on_crash(CrashComponent::Releaser);
+        sup.on_heartbeat();
+        sup.on_heartbeat();
+        let mut last = SimDuration::ZERO;
+        for _ in 0..12 {
+            if let RestartOutcome::Failed { next_backoff, .. } =
+                sup.on_restart_attempt(CrashComponent::Releaser)
+            {
+                last = next_backoff;
+            }
+        }
+        assert_eq!(last, SimDuration::from_millis(500), "capped");
+    }
+}

@@ -130,6 +130,159 @@ impl IoFaults {
     }
 }
 
+/// Which supervised component a crash fault kills.
+///
+/// Each of these is part of the *guided* path: the system must survive
+/// losing any of them because the paging daemon — the stock reactive
+/// backstop — is never crashable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CrashComponent {
+    /// The releaser daemon (the paper's new kernel daemon).
+    Releaser,
+    /// The run-time layer's prefetch thread pool.
+    PrefetchPool,
+    /// The run-time hint layer as a whole (filters, buffers, tag state).
+    HintLayer,
+}
+
+impl CrashComponent {
+    /// A short stable name for logs and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CrashComponent::Releaser => "releaser",
+            CrashComponent::PrefetchPool => "prefetch_pool",
+            CrashComponent::HintLayer => "hint_layer",
+        }
+    }
+}
+
+/// One scheduled component crash.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrashSpec {
+    /// The instant the component dies.
+    pub at: SimTime,
+    /// If true, every restart attempt fails and the supervisor eventually
+    /// abandons the component — the run degrades to stock behaviour.
+    pub permanent: bool,
+    /// Number of restart attempts that fail before one succeeds
+    /// (deterministically exercises the exponential backoff). Ignored when
+    /// `permanent` is set.
+    pub failed_restarts: u32,
+}
+
+impl CrashSpec {
+    /// A crash at `at` whose first restart attempt succeeds.
+    pub fn at(at: SimTime) -> Self {
+        CrashSpec {
+            at,
+            permanent: false,
+            failed_restarts: 0,
+        }
+    }
+
+    /// A permanent crash at `at` (the component never comes back).
+    pub fn permanent(at: SimTime) -> Self {
+        CrashSpec {
+            at,
+            permanent: true,
+            failed_restarts: 0,
+        }
+    }
+
+    /// A crash whose first `n` restart attempts fail.
+    #[must_use]
+    pub fn with_failed_restarts(mut self, n: u32) -> Self {
+        self.failed_restarts = n;
+        self
+    }
+}
+
+/// Supervisor tuning: heartbeat-based detection and bounded exponential
+/// restart backoff.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SupervisorConfig {
+    /// Period of the supervisor's heartbeat probe.
+    pub heartbeat_period: SimDuration,
+    /// Consecutive missed heartbeats before a crash is declared.
+    pub miss_threshold: u32,
+    /// Backoff before the first restart attempt.
+    pub backoff_initial: SimDuration,
+    /// Upper bound on the (doubling) backoff.
+    pub backoff_cap: SimDuration,
+    /// Restart attempts before the supervisor abandons the component.
+    pub max_restarts: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            heartbeat_period: SimDuration::from_millis(5),
+            miss_threshold: 2,
+            backoff_initial: SimDuration::from_millis(10),
+            backoff_cap: SimDuration::from_millis(500),
+            max_restarts: 6,
+        }
+    }
+}
+
+/// Component-crash faults: which supervised components die, and how the
+/// supervisor that watches them is tuned.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CrashFaults {
+    /// Crash of the releaser daemon.
+    pub releaser: Option<CrashSpec>,
+    /// Crash of the prefetch thread pool.
+    pub prefetch: Option<CrashSpec>,
+    /// Crash of the whole run-time hint layer.
+    pub hint_layer: Option<CrashSpec>,
+    /// Supervisor tuning shared by all supervised components.
+    pub supervisor: SupervisorConfig,
+}
+
+impl CrashFaults {
+    /// Whether any component crash is configured.
+    pub fn any(&self) -> bool {
+        self.releaser.is_some() || self.prefetch.is_some() || self.hint_layer.is_some()
+    }
+
+    /// The spec configured for `component`, if any.
+    pub fn spec_for(&self, component: CrashComponent) -> Option<CrashSpec> {
+        match component {
+            CrashComponent::Releaser => self.releaser,
+            CrashComponent::PrefetchPool => self.prefetch,
+            CrashComponent::HintLayer => self.hint_layer,
+        }
+    }
+}
+
+/// Executor-level faults: injected worker panics, handled *outside* the
+/// simulation by `hogtame::exec`'s panic isolation and retry machinery.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecFaults {
+    /// Number of times executing this request panics before it succeeds.
+    pub transient_panics: u32,
+    /// Bound on automatic retries the executor performs for the request.
+    /// With `max_retries < transient_panics` the request surfaces as a
+    /// crash error; otherwise a retry eventually succeeds.
+    pub max_retries: u32,
+}
+
+impl ExecFaults {
+    /// Whether any executor fault is configured.
+    pub fn any(&self) -> bool {
+        self.transient_panics > 0
+    }
+
+    /// A transiently-crashable request: panics `n` times, retried up to
+    /// `n` times, so the final attempt succeeds.
+    pub fn flaky(n: u32) -> Self {
+        ExecFaults {
+            transient_panics: n,
+            max_retries: n,
+        }
+    }
+}
+
 /// The complete, seeded description of what to inject into one run.
 ///
 /// A default plan injects nothing; `FaultPlan::default()` is the
@@ -144,6 +297,10 @@ pub struct FaultPlan {
     pub daemons: DaemonFaults,
     /// Disk perturbation (swap array).
     pub io: IoFaults,
+    /// Component crashes and supervisor tuning (engine).
+    pub crashes: CrashFaults,
+    /// Worker-panic injection (experiment executor).
+    pub exec: ExecFaults,
 }
 
 /// The independent random streams a plan feeds. Each domain draws from
@@ -171,7 +328,11 @@ impl FaultPlan {
 
     /// Whether the plan injects anything at all.
     pub fn any(&self) -> bool {
-        self.hints.any() || self.daemons.any() || self.io.any()
+        self.hints.any()
+            || self.daemons.any()
+            || self.io.any()
+            || self.crashes.any()
+            || self.exec.any()
     }
 
     /// Derives the deterministic RNG for one injection domain.
@@ -277,6 +438,51 @@ pub enum FaultKind {
     },
     /// The hint stream was restored after probation.
     StreamRestored,
+    /// A supervised component died (the injected crash itself).
+    ComponentCrashed {
+        /// The component that died.
+        component: CrashComponent,
+    },
+    /// The supervisor declared the component dead after missed heartbeats.
+    CrashDetected {
+        /// The component declared dead.
+        component: CrashComponent,
+        /// Consecutive heartbeats missed before the declaration.
+        missed: u32,
+    },
+    /// A restart attempt failed; the supervisor backs off and retries.
+    RestartFailed {
+        /// The component being restarted.
+        component: CrashComponent,
+        /// 1-based restart attempt number.
+        attempt: u32,
+        /// Backoff charged before the next attempt.
+        backoff: SimDuration,
+    },
+    /// A restart attempt succeeded and the component is back in service.
+    ComponentRestarted {
+        /// The component restored.
+        component: CrashComponent,
+        /// 1-based attempt number that succeeded.
+        attempt: u32,
+    },
+    /// The supervisor gave up restarting the component; the run continues
+    /// on the paging-daemon backstop (stock behaviour for that path).
+    ComponentAbandoned {
+        /// The component abandoned.
+        component: CrashComponent,
+        /// Restart attempts made before giving up.
+        attempts: u32,
+    },
+    /// Post-restart reconciliation: state rebuilt from the page table.
+    StateReconciled {
+        /// The component whose state was reconciled.
+        component: CrashComponent,
+        /// Orphaned queued entries dropped (release queue / buffers).
+        orphaned: u64,
+        /// Shared-bitmap bits re-derived from page-table residency.
+        bitmap_fixups: u64,
+    },
 }
 
 impl FaultKind {
@@ -297,11 +503,17 @@ impl FaultKind {
             FaultKind::TagProbation { .. } => "tag_probation",
             FaultKind::StreamDisabled { .. } => "stream_disabled",
             FaultKind::StreamRestored => "stream_restored",
+            FaultKind::ComponentCrashed { .. } => "component_crashed",
+            FaultKind::CrashDetected { .. } => "crash_detected",
+            FaultKind::RestartFailed { .. } => "restart_failed",
+            FaultKind::ComponentRestarted { .. } => "component_restarted",
+            FaultKind::ComponentAbandoned { .. } => "component_abandoned",
+            FaultKind::StateReconciled { .. } => "state_reconciled",
         }
     }
 
-    /// Whether this is a degradation transition (health-monitor state
-    /// change) rather than an injected fault.
+    /// Whether this is a degradation/supervision transition (health-monitor
+    /// or supervisor state change) rather than an injected fault.
     pub fn is_transition(&self) -> bool {
         matches!(
             self,
@@ -309,7 +521,42 @@ impl FaultKind {
                 | FaultKind::TagProbation { .. }
                 | FaultKind::StreamDisabled { .. }
                 | FaultKind::StreamRestored
+                | FaultKind::ComponentCrashed { .. }
+                | FaultKind::CrashDetected { .. }
+                | FaultKind::RestartFailed { .. }
+                | FaultKind::ComponentRestarted { .. }
+                | FaultKind::ComponentAbandoned { .. }
+                | FaultKind::StateReconciled { .. }
         )
+    }
+
+    /// Maps a kind name back to its `'static` interned form, for readers
+    /// that reconstruct [`FaultLog`] counts from serialized records.
+    /// Returns `None` for names no known kind produces.
+    pub fn intern_name(name: &str) -> Option<&'static str> {
+        const KNOWN: &[&str] = &[
+            "hint_dropped",
+            "hint_duplicated",
+            "hint_mistagged",
+            "hint_delayed",
+            "stale_shared_read",
+            "releaser_jitter",
+            "pagingd_skew",
+            "limit_shrunk",
+            "io_transient",
+            "io_tail",
+            "tag_disabled",
+            "tag_probation",
+            "stream_disabled",
+            "stream_restored",
+            "component_crashed",
+            "crash_detected",
+            "restart_failed",
+            "component_restarted",
+            "component_abandoned",
+            "state_reconciled",
+        ];
+        KNOWN.iter().find(|&&k| k == name).copied()
     }
 }
 
@@ -354,6 +601,28 @@ impl FaultLog {
             counts: BTreeMap::new(),
             total: 0,
         }
+    }
+
+    /// Reassembles a log from previously-recorded parts — the inverse of
+    /// reading `events()`/`counts()`/`total()`, used by readers replaying
+    /// serialized run records (e.g. the executor's resume journal).
+    pub fn from_parts(
+        cap: usize,
+        total: u64,
+        counts: impl IntoIterator<Item = (&'static str, u64)>,
+        events: Vec<FaultEvent>,
+    ) -> Self {
+        FaultLog {
+            events,
+            cap,
+            counts: counts.into_iter().collect(),
+            total,
+        }
+    }
+
+    /// The verbatim-event cap this log was built with.
+    pub fn cap(&self) -> usize {
+        self.cap
     }
 
     /// Records one event.
@@ -496,5 +765,97 @@ mod tests {
     fn transitions_are_classified() {
         assert!(FaultKind::StreamDisabled { disabled_tags: 3 }.is_transition());
         assert!(!FaultKind::HintDropped { tag: 0 }.is_transition());
+        assert!(FaultKind::ComponentCrashed {
+            component: CrashComponent::Releaser
+        }
+        .is_transition());
+        assert!(FaultKind::StateReconciled {
+            component: CrashComponent::HintLayer,
+            orphaned: 3,
+            bitmap_fixups: 0,
+        }
+        .is_transition());
+    }
+
+    #[test]
+    fn crash_plans_register() {
+        assert!(!CrashFaults::default().any());
+        assert!(!ExecFaults::default().any());
+        let plan = FaultPlan {
+            seed: 3,
+            crashes: CrashFaults {
+                releaser: Some(CrashSpec::permanent(SimTime::from_nanos(5))),
+                ..CrashFaults::default()
+            },
+            ..FaultPlan::default()
+        };
+        assert!(plan.any());
+        assert!(plan.crashes.any());
+        assert_eq!(
+            plan.crashes.spec_for(CrashComponent::Releaser),
+            Some(CrashSpec::permanent(SimTime::from_nanos(5)))
+        );
+        assert_eq!(plan.crashes.spec_for(CrashComponent::HintLayer), None);
+        let flaky = FaultPlan {
+            exec: ExecFaults::flaky(2),
+            ..FaultPlan::default()
+        };
+        assert!(flaky.any() && flaky.exec.any());
+    }
+
+    #[test]
+    fn crash_names_intern() {
+        for kind in [
+            FaultKind::ComponentCrashed {
+                component: CrashComponent::PrefetchPool,
+            },
+            FaultKind::CrashDetected {
+                component: CrashComponent::Releaser,
+                missed: 2,
+            },
+            FaultKind::RestartFailed {
+                component: CrashComponent::Releaser,
+                attempt: 1,
+                backoff: SimDuration::from_millis(10),
+            },
+            FaultKind::ComponentRestarted {
+                component: CrashComponent::HintLayer,
+                attempt: 2,
+            },
+            FaultKind::ComponentAbandoned {
+                component: CrashComponent::Releaser,
+                attempts: 6,
+            },
+            FaultKind::StateReconciled {
+                component: CrashComponent::Releaser,
+                orphaned: 1,
+                bitmap_fixups: 1,
+            },
+        ] {
+            assert_eq!(FaultKind::intern_name(kind.name()), Some(kind.name()));
+        }
+        assert_eq!(FaultKind::intern_name("no_such_kind"), None);
+    }
+
+    #[test]
+    fn log_from_parts_round_trips() {
+        let mut log = FaultLog::with_cap(8);
+        log.record(
+            SimTime::from_nanos(3),
+            FaultKind::ComponentCrashed {
+                component: CrashComponent::Releaser,
+            },
+        );
+        log.record(SimTime::from_nanos(9), FaultKind::StreamRestored);
+        let rebuilt = FaultLog::from_parts(
+            log.cap(),
+            log.total(),
+            log.counts().iter().map(|(&k, &v)| (k, v)),
+            log.events().to_vec(),
+        );
+        assert_eq!(rebuilt.total(), log.total());
+        assert_eq!(rebuilt.counts(), log.counts());
+        assert_eq!(rebuilt.events(), log.events());
+        assert_eq!(rebuilt.cap(), 8);
     }
 }

@@ -130,6 +130,26 @@ impl Fingerprint for crate::fault::FaultPlan {
         io.backoff.feed(h);
         h.write_f64(io.tail);
         h.write_u64(u64::from(io.tail_factor));
+        let crashes = &self.crashes;
+        for spec in [crashes.releaser, crashes.prefetch, crashes.hint_layer] {
+            match spec {
+                None => h.write_bool(false),
+                Some(s) => {
+                    h.write_bool(true);
+                    s.at.feed(h);
+                    h.write_bool(s.permanent);
+                    h.write_u64(u64::from(s.failed_restarts));
+                }
+            }
+        }
+        let sup = &crashes.supervisor;
+        sup.heartbeat_period.feed(h);
+        h.write_u64(u64::from(sup.miss_threshold));
+        sup.backoff_initial.feed(h);
+        sup.backoff_cap.feed(h);
+        h.write_u64(u64::from(sup.max_restarts));
+        h.write_u64(u64::from(self.exec.transient_panics));
+        h.write_u64(u64::from(self.exec.max_retries));
     }
 }
 

@@ -65,6 +65,14 @@ impl Releaser {
     pub fn len(&self) -> usize {
         self.queue.len()
     }
+
+    /// Drops all queued requests (crash reconciliation), returning how
+    /// many were orphaned.
+    pub fn clear(&mut self) -> usize {
+        let n = self.queue.len();
+        self.queue.clear();
+        n
+    }
 }
 
 /// Maximum pages the releaser processes per activation; more work yields a

@@ -145,6 +145,9 @@ pub struct VmSys {
     pub(crate) procs: Vec<ProcessMem>,
     pub(crate) pagingd: PagingDaemon,
     pub(crate) releaser: Releaser,
+    /// Crash injection can kill the releaser; while dead, release
+    /// requests are lost and the paging daemon is the only reclaimer.
+    releaser_alive: bool,
     pub(crate) stats: VmStats,
     /// Reactive-mode eviction candidates per process (VINO-style: the
     /// application tells the OS which of its pages to take when the OS
@@ -177,6 +180,7 @@ impl VmSys {
             procs: Vec::new(),
             pagingd: PagingDaemon::new(),
             releaser: Releaser::new(),
+            releaser_alive: true,
             stats: VmStats::default(),
             reactive: HashMap::new(),
             last_broadcast_free: total_frames as u64,
@@ -883,6 +887,12 @@ impl VmSys {
     /// daemon. Returns enqueue accounting; the caller charges
     /// [`CostParams::pm_release_call`] per batch to the issuing thread.
     pub fn release(&mut self, now: SimTime, pid: Pid, vpns: &[Vpn]) -> ReleaseEnqueue {
+        if !self.releaser_alive {
+            // Dead releaser: the request is lost before any PTE or bitmap
+            // state changes. Pages stay resident and valid; the paging
+            // daemon reclaims them reactively (stock behaviour).
+            return ReleaseEnqueue::default();
+        }
         let pidx = pid.0 as usize;
         let mut out = ReleaseEnqueue::default();
         for &vpn in vpns {
@@ -1009,9 +1019,58 @@ impl VmSys {
         }
     }
 
-    /// Whether the releaser has queued work.
+    /// Whether the releaser has queued work (always false while dead).
     pub fn releaser_pending(&self) -> bool {
-        !self.releaser.is_empty()
+        self.releaser_alive && !self.releaser.is_empty()
+    }
+
+    /// Whether the releaser daemon is alive (crash injection can kill it).
+    pub fn releaser_alive(&self) -> bool {
+        self.releaser_alive
+    }
+
+    /// Marks the releaser daemon dead (crash) or back in service
+    /// (restart). Killing it does not touch its queue; restart-time
+    /// reconciliation ([`VmSys::reconcile_releaser`]) decides what
+    /// survives.
+    pub fn set_releaser_alive(&mut self, alive: bool) {
+        self.releaser_alive = alive;
+    }
+
+    /// Reconciles releaser state after a supervised restart (or after the
+    /// supervisor abandons the daemon): the queue the dead daemon held is
+    /// dropped — its requests are stale — and every PTE still marked
+    /// release-pending is revalidated, with its shared-bitmap bit
+    /// re-derived from page-table residency. Returns `(orphaned queue
+    /// entries dropped, bitmap bits fixed up)`.
+    pub fn reconcile_releaser(&mut self, now: SimTime) -> (u64, u64) {
+        let orphaned = self.releaser.clear() as u64;
+        let mut fixups = 0u64;
+        for pidx in 0..self.procs.len() {
+            let stranded: Vec<Vpn> = self.procs[pidx]
+                .pt
+                .iter()
+                .filter(|(_, pte)| {
+                    pte.resident() && pte.invalid_reason == Some(InvalidReason::ReleasePending)
+                })
+                .map(|(&vpn, _)| vpn)
+                .collect();
+            if stranded.is_empty() {
+                continue;
+            }
+            for vpn in stranded {
+                self.procs[pidx].pt.entry(vpn).release_requested = None;
+                self.validate_pte(pidx, vpn, now);
+                if let Some(pm) = self.procs[pidx].pm.as_mut() {
+                    if !pm.shared.is_resident(vpn) {
+                        fixups += 1;
+                    }
+                    pm.shared.set_resident(vpn, true);
+                }
+            }
+            self.refresh_shared(Pid(pidx as u32));
+        }
+        (orphaned, fixups)
     }
 
     /// Enables/disables the kernel-activity trace ring.
@@ -1442,6 +1501,40 @@ mod tests {
             res.resource_wait > SimDuration::ZERO,
             "fault during the daemon's lock hold must wait"
         );
+    }
+
+    #[test]
+    fn dead_releaser_drops_requests_and_reconcile_restores_state() {
+        let mut vm = small_vm();
+        let pid = vm.add_process(true);
+        let r = vm.map_region(pid, 8, Backing::SwapPrefilled, true);
+        let mut now = t(1);
+        for i in 0..4 {
+            now = vm.touch(now, pid, r.start.offset(i), false).done_at;
+        }
+        // One release enqueued while alive, then the daemon dies.
+        let enq = vm.release(now, pid, &[r.start]);
+        assert_eq!(enq.accepted, 1);
+        vm.set_releaser_alive(false);
+        assert!(!vm.releaser_pending(), "dead daemon reports no work");
+        // Requests made while dead are lost before any state changes.
+        let lost = vm.release(now, pid, &[r.start.offset(1)]);
+        assert_eq!(lost.accepted, 0);
+        assert!(vm.page_resident_for_test(pid, r.start.offset(1)));
+        assert!(vm.pm_resident(pid, r.start.offset(1)), "bit untouched");
+        // Reconcile on restart: the orphaned queue entry is dropped and
+        // the stranded release-pending page is revalidated, bitmap fixed.
+        assert!(!vm.pm_resident(pid, r.start), "bit cleared pre-crash");
+        let (orphaned, fixups) = vm.reconcile_releaser(now + SimDuration::from_millis(1));
+        vm.set_releaser_alive(true);
+        assert_eq!(orphaned, 1);
+        assert_eq!(fixups, 1);
+        assert!(vm.pm_resident(pid, r.start), "bitmap re-derived");
+        assert!(!vm.release_pending_for_test(pid, r.start));
+        assert!(!vm.releaser_pending());
+        // The revalidated page hits normally again.
+        let res = vm.touch(now + SimDuration::from_millis(2), pid, r.start, false);
+        assert!(matches!(res.kind, TouchKind::Hit | TouchKind::TlbMiss));
     }
 
     #[test]

@@ -38,6 +38,7 @@ fn main() {
             shrink_to_frac: 0.8,
         },
         io: IoFaults::flaky(0.02),
+        ..FaultPlan::default()
     };
 
     let res = run(plan);

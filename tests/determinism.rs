@@ -64,6 +64,7 @@ fn faulted_runs_are_bit_identical() {
             shrink_to_frac: 0.75,
         },
         io: IoFaults::flaky(0.05),
+        ..FaultPlan::default()
     };
     let run = || {
         let res = RunRequest::on(MachineConfig::origin200())

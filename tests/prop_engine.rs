@@ -130,6 +130,132 @@ fn random_mixes_terminate_and_balance() {
     });
 }
 
+/// Robustness invariant: crash-and-restart plans are deterministic. A run
+/// whose fault plan kills and supervises arbitrary components — random
+/// crash instants, permanence, failed-restart counts, and supervisor
+/// tuning — is a pure function of the plan: repeating it is bit-identical
+/// in metrics and fault log alike.
+#[test]
+fn crash_plans_are_bit_identical_across_repeats() {
+    run_cases(0xC9A54, 8, |rng| {
+        let mut spec = |crashed: &mut bool| -> Option<CrashSpec> {
+            check::chance(rng, 0.6).then(|| {
+                *crashed = true;
+                let at = SimTime::from_nanos(check::int_in(rng, 0, 5_000_000) * 1_000);
+                let s = if check::chance(rng, 0.25) {
+                    CrashSpec::permanent(at)
+                } else {
+                    CrashSpec::at(at)
+                };
+                s.with_failed_restarts(check::int_in(rng, 0, 3) as u32)
+            })
+        };
+        let mut any = false;
+        let crashes = CrashFaults {
+            releaser: spec(&mut any),
+            prefetch: spec(&mut any),
+            hint_layer: spec(&mut any),
+            supervisor: SupervisorConfig {
+                heartbeat_period: SimDuration::from_millis(check::int_in(rng, 1, 10)),
+                miss_threshold: check::int_in(rng, 1, 3) as u32,
+                backoff_initial: SimDuration::from_millis(check::int_in(rng, 5, 20)),
+                backoff_cap: SimDuration::from_millis(check::int_in(rng, 100, 500)),
+                max_restarts: check::int_in(rng, 3, 6) as u32,
+            },
+        };
+        let plan = FaultPlan {
+            seed: rng.next_u64(),
+            crashes,
+            ..FaultPlan::default()
+        };
+        let run = || {
+            let res = RunRequest::on(MachineConfig::small())
+                .bench("MATVEC", Version::Release)
+                .fault_plan(plan)
+                .run()
+                .expect("MATVEC is registered");
+            let hog = res.hog.unwrap();
+            (
+                hog.finish_time.as_nanos(),
+                hog.breakdown.total().as_nanos(),
+                res.run.swap_reads,
+                res.run.vm_stats.pagingd.pages_stolen.get(),
+                res.run.vm_stats.releaser.pages_released.get(),
+                res.run.fault_log.total(),
+                res.run.fault_log.summary(),
+            )
+        };
+        let a = run();
+        assert_eq!(a, run(), "crash plan {plan:?} diverged between repeats");
+        if any {
+            assert!(
+                a.6.contains("component_crashed"),
+                "armed crashes must land in the fault log: {}",
+                a.6
+            );
+        }
+    });
+}
+
+/// The paper's safety argument, end to end: when the releaser daemon dies
+/// permanently — whatever the crash instant — the run still completes,
+/// the supervisor abandons the daemon after its restart budget, and the
+/// always-alive paging daemon reclaims in its stead, converging to the
+/// no-hints baseline's stealing activity within the 5% envelope
+/// established by `fault_matrix`. Killing the hint layer as well removes
+/// the remaining (prefetch) benefit and converges wall-clock to the
+/// no-hints baseline.
+#[test]
+fn permanently_dead_releaser_degrades_to_stock_reclamation() {
+    let baseline = RunRequest::on(MachineConfig::origin200())
+        .bench("MATVEC", Version::Original)
+        .run()
+        .expect("MATVEC is registered");
+    let stolen_o = baseline.run.vm_stats.pagingd.pages_stolen.get() as f64;
+    let finish_o = baseline.hog.unwrap().finish_time.as_secs_f64();
+
+    run_cases(0xDEAD9E1EA5E9, 4, |rng| {
+        let at = SimTime::from_nanos(check::int_in(rng, 0, 2_000_000) * 1_000);
+        let kill_hints = check::flip(rng);
+        let plan = FaultPlan {
+            seed: rng.next_u64(),
+            crashes: CrashFaults {
+                releaser: Some(CrashSpec::permanent(at)),
+                hint_layer: kill_hints.then_some(CrashSpec::permanent(at)),
+                ..CrashFaults::default()
+            },
+            ..FaultPlan::default()
+        };
+        let res = RunRequest::on(MachineConfig::origin200())
+            .bench("MATVEC", Version::Release)
+            .fault_plan(plan)
+            .run()
+            .expect("MATVEC is registered");
+        let hog = res.hog.unwrap();
+        assert!(
+            hog.finish_time < SimTime::MAX,
+            "the run must complete without its releaser"
+        );
+        assert!(
+            res.run.fault_log.count("component_abandoned") >= 1,
+            "a permanent crash must exhaust the restart budget: {}",
+            res.run.fault_log.summary()
+        );
+        let stolen = res.run.vm_stats.pagingd.pages_stolen.get() as f64;
+        assert!(
+            (stolen - stolen_o).abs() / stolen_o <= 0.05,
+            "daemon backstop must reclaim like stock IRIX: stole {stolen}, baseline {stolen_o}"
+        );
+        if kill_hints {
+            let finish = hog.finish_time.as_secs_f64();
+            assert!(
+                (finish - finish_o).abs() / finish_o <= 0.05,
+                "no hints at all must converge to the no-hints baseline: {finish:.2}s vs {finish_o:.2}s"
+            );
+        }
+    });
+}
+
 /// Robustness invariant (a): per tag, the one-behind filter never emits
 /// the same page twice in a row — the page a reference still occupies is
 /// never released out from under it, no matter the hint sequence (even

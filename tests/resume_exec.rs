@@ -1,0 +1,102 @@
+//! The crash-tolerance promise of the journaled executor, end to end: a
+//! suite grid killed mid-flight resumes from its completion journal and
+//! emits artifacts byte-identical to an uninterrupted pass.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use hogtame::experiments::suite::{self, SUITE_TABLES};
+use hogtame::prelude::*;
+
+/// A fresh, process-unique scratch directory (no timestamps: tests must
+/// stay deterministic and runnable in parallel).
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "hogtame-resume-exec-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+const SLEEP: SimDuration = SimDuration::from_secs(1);
+
+/// Two benchmarks: a 9-request grid, so a 4-worker pool stopped after two
+/// completions provably leaves work unclaimed (at most workers + budget
+/// requests are ever claimed before the stop trips).
+const BENCHES: Option<&[&str]> = Some(&["MATVEC", "EMBAR"]);
+
+fn small_grid() -> Vec<RunRequest> {
+    suite::requests(&MachineConfig::small(), BENCHES, SLEEP)
+}
+
+fn suite_csvs(suite: &suite::Suite) -> Vec<(&'static str, String)> {
+    SUITE_TABLES
+        .iter()
+        .map(|(name, _)| (*name, suite.table(name).expect("known table").to_csv()))
+        .collect()
+}
+
+/// Kill a 4-worker suite grid after two completions, resume it from the
+/// journal, and pin every suite CSV byte-identical to an uninterrupted
+/// run. The resumed pass must replay the journaled completions rather
+/// than redo them.
+#[test]
+fn killed_suite_grid_resumes_byte_identical() {
+    let dir = scratch("journal");
+    let journal = Journal::at(&dir).expect("journal opens");
+
+    // "Kill" the process mid-grid: workers stop claiming after two
+    // completions. Only those completions reach the journal.
+    let killed = exec::run_all_until(small_grid(), 4, &journal, 2);
+    assert!(killed >= 2, "the pool completed work before the kill");
+    let survived = journal.len();
+    assert!(
+        (2..small_grid().len()).contains(&survived),
+        "the kill must land mid-grid, journaled {survived} of {}",
+        small_grid().len()
+    );
+
+    // Resume: the full suite pass, replaying the journal.
+    let resumed = suite::run_journaled(&MachineConfig::small(), BENCHES, SLEEP, 4, &journal)
+        .expect("resumed suite runs");
+    assert_eq!(
+        journal.len(),
+        small_grid().len(),
+        "resume journals every remaining run"
+    );
+
+    // The reference: an uninterrupted, unjournaled pass.
+    let uninterrupted = suite::run_with_jobs(&MachineConfig::small(), BENCHES, SLEEP, 4)
+        .expect("uninterrupted suite runs");
+
+    for ((name, a), (_, b)) in suite_csvs(&resumed).iter().zip(&suite_csvs(&uninterrupted)) {
+        assert_eq!(a, b, "{name} differs between resumed and uninterrupted");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A fully journaled grid replays with zero re-simulation and the same
+/// bytes: running the suite twice against the same journal is the warm
+/// path a resumed campaign takes for its completed prefix.
+#[test]
+fn warm_journal_replays_the_whole_suite() {
+    let dir = scratch("warm");
+    let journal = Journal::at(&dir).expect("journal opens");
+    let m = MachineConfig::small();
+
+    let cold = suite::run_journaled(&m, BENCHES, SLEEP, 2, &journal).expect("cold pass");
+    let recorded = journal.len();
+    assert_eq!(recorded, small_grid().len(), "every run is journaled");
+
+    let warm = suite::run_journaled(&m, BENCHES, SLEEP, 2, &journal).expect("warm pass");
+    assert_eq!(journal.len(), recorded, "a warm pass writes nothing new");
+    assert_eq!(
+        suite_csvs(&cold),
+        suite_csvs(&warm),
+        "replayed suite must be byte-identical"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
