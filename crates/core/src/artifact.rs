@@ -120,6 +120,21 @@ impl Artifact {
             format!("{}\n\n{body}", self.title),
         )
     }
+
+    /// Persists `body` verbatim as `<dir>/<name>.<ext>` — machine-readable
+    /// exports (Chrome trace JSON, JSONL event streams, Prometheus text)
+    /// where a title prefix would corrupt the format. Returns the path
+    /// written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_raw(&self, ext: &str, body: &str) -> io::Result<PathBuf> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.dir.join(format!("{}.{ext}", self.name));
+        fs::write(&path, body)?;
+        Ok(path)
+    }
 }
 
 /// The checksum line for one cached table: `<name> <fingerprint:016x>

@@ -6,6 +6,8 @@
 //! hogtame compile MATVEC               # Figure 5-style annotated listing
 //! hogtame run MATVEC B --sleep 5       # run a scenario, print the report
 //! hogtame run CGM P --timeline         # ... with the occupancy chart
+//! hogtame trace MATVEC R               # Chrome/Perfetto trace + JSONL export
+//! hogtame stats MATVEC R               # hint-outcome table + Prometheus metrics
 //! ```
 
 use hogtame::prelude::*;
@@ -13,7 +15,9 @@ use hogtame::prelude::*;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  hogtame list\n  hogtame machine\n  hogtame compile <BENCH> [O|P|R|B|V] [--explain]\n  \
-         hogtame run <BENCH> [O|P|R|B|V] [--sleep SECS] [--timeline] [--trace] [--no-interactive]"
+         hogtame run <BENCH> [O|P|R|B|V] [--sleep SECS] [--timeline] [--trace] [--no-interactive]\n  \
+         hogtame trace <BENCH> [O|P|R|B|V] [--sleep SECS] [--no-interactive]\n  \
+         hogtame stats <BENCH> [O|P|R|B|V] [--sleep SECS] [--no-interactive]"
     );
     std::process::exit(2);
 }
@@ -171,6 +175,101 @@ fn cmd_run(bench: &str, version: Version, opts: RunOpts) {
     }
 }
 
+/// Executes an observed run for `trace`/`stats`: origin200 machine, the
+/// requested benchmark/version, the interactive task unless disabled, and
+/// the full structured-observability instrumentation.
+fn observed_run(bench: &str, version: Version, sleep: f64, interactive: bool) -> RunOutcome {
+    let mut request = RunRequest::on(MachineConfig::origin200())
+        .bench(bench, version)
+        .observe();
+    if interactive {
+        request = request.interactive(SimDuration::from_secs_f64(sleep), None);
+    }
+    match request.run() {
+        Ok(result) => result,
+        Err(RunError::UnknownBenchmark(_)) => {
+            eprintln!("unknown benchmark {bench} (try `hogtame list`)");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_trace(bench: &str, version: Version, sleep: f64, interactive: bool) {
+    let result = observed_run(bench, version, sleep, interactive);
+    let events = &result.run.events;
+    let stem = format!(
+        "trace_{}_{}",
+        bench.to_ascii_lowercase(),
+        version.label().to_ascii_lowercase()
+    );
+    let proc_names: Vec<String> = result.run.procs.iter().map(|p| p.name.clone()).collect();
+    let artifact = Artifact::new(&stem, format!("{bench}-{} event trace", version.label()));
+    println!("{bench}-{}: {}", version.label(), stream_summary(events));
+    println!("{}", outcome_table(events).render());
+    println!("last events:");
+    print!("{}", events.render_text(15));
+    match artifact.write_raw("trace.json", &events.to_chrome_trace(&proc_names)) {
+        Ok(path) => println!(
+            "\nwrote {} (open in Perfetto / chrome://tracing)",
+            path.display()
+        ),
+        Err(e) => eprintln!("warning: could not persist {stem}.trace.json: {e}"),
+    }
+    match artifact.write_raw("jsonl", &events.to_jsonl()) {
+        Ok(path) => println!("wrote {} (one JSON event per line)", path.display()),
+        Err(e) => eprintln!("warning: could not persist {stem}.jsonl: {e}"),
+    }
+}
+
+fn cmd_stats(bench: &str, version: Version, sleep: f64, interactive: bool) {
+    let result = observed_run(bench, version, sleep, interactive);
+    let stem = format!(
+        "stats_{}_{}",
+        bench.to_ascii_lowercase(),
+        version.label().to_ascii_lowercase()
+    );
+    let artifact = Artifact::new(
+        &stem,
+        format!("{bench}-{} hint-outcome attribution", version.label()),
+    );
+    artifact.table(&outcome_table(&result.run.events));
+    let prom = result.run.metrics.to_prometheus();
+    print!("{prom}");
+    if let Err(e) = artifact.write_raw("prom", &prom) {
+        eprintln!("warning: could not persist {stem}.prom: {e}");
+    }
+}
+
+/// Parses the shared `<BENCH> [version] [--sleep S] [--no-interactive]`
+/// argument tail of `trace` and `stats`.
+fn parse_observe_args(args: &[String]) -> (String, Version, f64, bool) {
+    let bench = args.first().unwrap_or_else(|| usage()).clone();
+    let mut version = Version::Release;
+    let mut sleep = 5.0;
+    let mut interactive = true;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sleep" => {
+                i += 1;
+                sleep = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--no-interactive" => interactive = false,
+            v if !v.starts_with("--") => version = parse_version(v),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    (bench, version, sleep, interactive)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -214,6 +313,14 @@ fn main() {
                 i += 1;
             }
             cmd_run(&bench, version, opts);
+        }
+        Some("trace") => {
+            let (bench, version, sleep, interactive) = parse_observe_args(&args[1..]);
+            cmd_trace(&bench, version, sleep, interactive);
+        }
+        Some("stats") => {
+            let (bench, version, sleep, interactive) = parse_observe_args(&args[1..]);
+            cmd_stats(&bench, version, sleep, interactive);
         }
         _ => usage(),
     }

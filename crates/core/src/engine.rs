@@ -11,8 +11,10 @@ use runtime::prefetcher::PrefetchPool;
 use runtime::supervisor::{RestartOutcome, Supervisor};
 use runtime::{Mark, Op, OpStream, RuntimeLayer};
 use sim_core::fault::{CrashComponent, FaultDomain, FaultKind, FaultLog, FaultPlan};
+use sim_core::obs::{EventKind, EventStream, MetricsRegistry, Recorder};
 use sim_core::rng::Pcg32;
 use sim_core::stats::{TimeBreakdown, TimeCategory};
+use sim_core::trace::TraceRecord;
 use sim_core::{EventQueue, SimDuration, SimTime};
 use vm::{Pid, VmSys, Vpn};
 
@@ -161,11 +163,20 @@ pub struct RunResult {
     pub end_time: SimTime,
     /// The occupancy timeline, when sampling was enabled.
     pub timeline: Option<Timeline>,
-    /// Kernel-activity trace records, when tracing was enabled.
-    pub kernel_trace: Vec<sim_core::trace::TraceRecord>,
+    /// Kernel-activity trace records, when tracing was enabled. Derived
+    /// from the structured event stream (daemon-summary events rendered in
+    /// the legacy `vhand`/`releaser` text format).
+    pub kernel_trace: Vec<TraceRecord>,
     /// Every fault injected and degradation transition taken, merged
     /// across the engine, the swap array, and each run-time layer.
     pub fault_log: FaultLog,
+    /// The merged, time-sorted structured event stream (empty unless the
+    /// run observed via [`Engine::with_observability`] or the kernel
+    /// trace).
+    pub events: EventStream,
+    /// Scalar metrics snapshotted from every subsystem at end of run
+    /// (always populated; exportable as Prometheus text).
+    pub metrics: MetricsRegistry,
 }
 
 /// The simulation engine (see module docs).
@@ -204,6 +215,9 @@ pub struct Engine {
     daemon_rng: Option<Pcg32>,
     fault_log: FaultLog,
     supervisor: Option<Supervisor>,
+    /// Structured instrumentation is on: every subsystem's flight recorder
+    /// captures events and the run result carries the merged stream.
+    observe: bool,
     /// The run-time hint layers accept ops (dead → hints are no-ops).
     hint_layer_alive: bool,
     /// The prefetch pthread pools accept work (dead → demand faulting and
@@ -240,6 +254,7 @@ impl Engine {
             daemon_rng: None,
             fault_log: FaultLog::default(),
             supervisor: None,
+            observe: false,
             hint_layer_alive: true,
             prefetch_alive: true,
             max_time: SimTime::from_nanos(u64::MAX / 2),
@@ -269,6 +284,19 @@ impl Engine {
     #[must_use]
     pub fn with_kernel_trace(mut self) -> Self {
         self.vm.set_trace_enabled(true);
+        self
+    }
+
+    /// Enables full structured observability, chainably: every subsystem's
+    /// flight recorder (VM, swap array, and each run-time layer registered
+    /// afterwards) captures typed events, and the run result carries the
+    /// merged stream in [`RunResult::events`]. Purely observational — sim
+    /// outcomes are byte-identical with or without it.
+    #[must_use]
+    pub fn with_observability(mut self) -> Self {
+        self.observe = true;
+        self.vm.set_trace_enabled(true);
+        self.vm.swap_mut().set_obs_enabled(true);
         self
     }
 
@@ -338,6 +366,11 @@ impl Engine {
         mut rt: Option<RuntimeLayer>,
         primary: bool,
     ) {
+        if self.observe {
+            if let Some(rt) = rt.as_mut() {
+                rt.set_obs_enabled(true);
+            }
+        }
         if self.faults.hints.any() {
             if let Some(rt) = rt.as_mut() {
                 // Each process perturbs its hint stream from its own RNG
@@ -368,7 +401,22 @@ impl Engine {
     }
 
     /// Runs until every primary process finishes (or `max_time`).
+    ///
+    /// If the engine panics mid-run (an engine bug, or an injected
+    /// executor fault), the subsystem flight recorders dump their last
+    /// events to stderr before the panic resumes, so the crash report
+    /// carries what each subsystem saw leading up to it.
     pub fn run(mut self) -> RunResult {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_inner())) {
+            Ok(result) => result,
+            Err(payload) => {
+                self.dump_flight_recorders();
+                std::panic::resume_unwind(payload)
+            }
+        }
+    }
+
+    fn run_inner(&mut self) -> RunResult {
         for i in 0..self.procs.len() {
             self.queue.schedule(SimTime::ZERO, Ev::Run(i));
         }
@@ -561,21 +609,33 @@ impl Engine {
                 fault_log.merge(rt.fault_log());
             }
         }
+        // One merged, time-sorted event stream: the VM's recorder, each
+        // run-time layer's (in registration order), the swap array's, then
+        // the fault log — a fixed absorb order so the sealed stream is
+        // byte-identical however the grid was scheduled.
+        let mut events = EventStream::new();
+        events.absorb(self.vm.recorder());
+        for p in &self.procs {
+            if let Some(rt) = &p.rt {
+                events.absorb(rt.recorder());
+            }
+        }
+        events.absorb(self.vm.swap().recorder());
+        events.absorb_faults(&fault_log);
+        events.seal();
         // Degradation transitions (and the limit shrink) annotate the
-        // occupancy timeline so plots show *when* the system backed off.
-        let marks: Vec<_> = fault_log
-            .events()
-            .iter()
-            .filter(|e| e.kind.is_transition() || matches!(e.kind, FaultKind::LimitShrunk { .. }))
-            .copied()
-            .collect();
+        // occupancy timeline so plots show *when* the system backed off —
+        // derived from the single event stream, not a second bookkeeping
+        // path.
+        let marks = events.timeline_marks();
         let timeline = self.timeline.take().map(|(period, samples)| Timeline {
             period,
             total_frames: self.vm.total_frames(),
             proc_names: self.procs.iter().map(|p| p.name.clone()).collect(),
             samples,
-            marks: marks.clone(),
+            marks,
         });
+        let metrics = self.export_metrics(end_time, &fault_log);
         RunResult {
             procs,
             vm_stats: self.vm.stats().clone(),
@@ -584,9 +644,213 @@ impl Engine {
             final_free: self.vm.free_pages(),
             end_time,
             timeline,
-            kernel_trace: self.vm.trace().records().cloned().collect(),
+            kernel_trace: derive_kernel_trace(self.vm.recorder()),
             fault_log,
+            events,
+            metrics,
         }
+    }
+
+    /// Dumps the tail of every subsystem flight recorder to stderr (the
+    /// crash path: called when a run panics, before the panic resumes).
+    fn dump_flight_recorders(&self) {
+        const TAIL: usize = 32;
+        eprintln!("==== hogtame flight recorder (run aborted) ====");
+        let dump = |label: &str, rec: &Recorder| {
+            if rec.total() == 0 {
+                return;
+            }
+            eprintln!("-- {label}: {} events captured --", rec.total());
+            eprint!("{}", rec.dump_tail(TAIL));
+        };
+        dump("vm", self.vm.recorder());
+        for p in &self.procs {
+            if let Some(rt) = &p.rt {
+                dump(&format!("rt/{}", p.name), rt.recorder());
+            }
+        }
+        dump("swap", self.vm.swap().recorder());
+        if !self.fault_log.events().is_empty() {
+            eprintln!("-- faults: {}", self.fault_log.summary());
+        }
+        eprintln!("==== end flight recorder ====");
+    }
+
+    /// Snapshots every subsystem's counters into a metrics registry
+    /// (always run — the registry is scalar and cheap, independent of the
+    /// event recorders).
+    fn export_metrics(&self, end_time: SimTime, fault_log: &FaultLog) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        let vm = self.vm.stats();
+        m.gauge(
+            "hogtame_sim_end_seconds",
+            "Simulated clock when the run ended",
+            end_time.as_secs_f64(),
+        );
+        m.gauge(
+            "hogtame_frames_free",
+            "Frames on the free list at end of run",
+            self.vm.free_pages() as f64,
+        );
+        let pd = &vm.pagingd;
+        m.counter(
+            "hogtame_pagingd_activations_total",
+            "Paging-daemon activations",
+            pd.activations.get(),
+        );
+        m.counter(
+            "hogtame_pagingd_frames_scanned_total",
+            "Frames examined by the paging daemon",
+            pd.frames_scanned.get(),
+        );
+        m.counter(
+            "hogtame_pagingd_pages_stolen_total",
+            "Pages reclaimed by the paging daemon",
+            pd.pages_stolen.get(),
+        );
+        m.counter(
+            "hogtame_pagingd_invalidations_total",
+            "Mappings invalidated by the scan",
+            pd.invalidations.get(),
+        );
+        m.counter(
+            "hogtame_pagingd_writebacks_total",
+            "Dirty pages written back by the daemon",
+            pd.writebacks.get(),
+        );
+        m.counter(
+            "hogtame_pagingd_reactive_steals_total",
+            "Steals guided by reactive eviction candidates",
+            pd.reactive_steals.get(),
+        );
+        m.gauge(
+            "hogtame_pagingd_busy_seconds",
+            "Total paging-daemon busy time",
+            pd.busy.as_secs_f64(),
+        );
+        let rl = &vm.releaser;
+        m.counter(
+            "hogtame_releaser_activations_total",
+            "Releaser-daemon activations",
+            rl.activations.get(),
+        );
+        m.counter(
+            "hogtame_releaser_requests_total",
+            "Release requests accepted onto the queue",
+            rl.requests.get(),
+        );
+        m.counter(
+            "hogtame_releaser_pages_released_total",
+            "Pages freed by the releaser",
+            rl.pages_released.get(),
+        );
+        m.counter(
+            "hogtame_releaser_skipped_reref_total",
+            "Requests cancelled by a re-reference",
+            rl.skipped_reref.get(),
+        );
+        m.counter(
+            "hogtame_releaser_skipped_nonresident_total",
+            "Requests dropped because the page was gone",
+            rl.skipped_nonresident.get(),
+        );
+        m.counter(
+            "hogtame_releaser_writebacks_total",
+            "Dirty pages written back by the releaser",
+            rl.writebacks.get(),
+        );
+        m.gauge(
+            "hogtame_releaser_busy_seconds",
+            "Total releaser busy time",
+            rl.busy.as_secs_f64(),
+        );
+        let fr = &vm.freed;
+        m.counter(
+            "hogtame_freed_by_daemon_total",
+            "Pages freed by the paging daemon",
+            fr.freed_by_daemon.get(),
+        );
+        m.counter(
+            "hogtame_freed_by_release_total",
+            "Pages freed by compiler-inserted releases",
+            fr.freed_by_release.get(),
+        );
+        m.counter(
+            "hogtame_rescued_daemon_total",
+            "Daemon-freed pages rescued from the free list",
+            fr.rescued_daemon.get(),
+        );
+        m.counter(
+            "hogtame_rescued_release_total",
+            "Released pages rescued from the free list",
+            fr.rescued_release.get(),
+        );
+        let sw = self.vm.swap().stats();
+        m.counter(
+            "hogtame_swap_reads_total",
+            "Completed swap page reads",
+            sw.page_reads.get(),
+        );
+        m.counter(
+            "hogtame_swap_writes_total",
+            "Completed swap page writes",
+            sw.page_writes.get(),
+        );
+        m.counter(
+            "hogtame_swap_transient_retries_total",
+            "Transient I/O failures retried",
+            sw.transient_retries.get(),
+        );
+        m.counter(
+            "hogtame_swap_tail_delays_total",
+            "Requests hit by the injected slow tail",
+            sw.tail_delays.get(),
+        );
+        m.histogram(
+            "hogtame_swap_latency",
+            "Swap I/O completion latency",
+            self.vm.swap().latency_histogram(),
+        );
+        m.counter(
+            "hogtame_fault_log_entries_total",
+            "Entries in the merged fault/degradation log",
+            fault_log.events().len() as u64,
+        );
+        for p in &self.procs {
+            let ps = vm.proc(p.pid.0 as usize);
+            let base = format!("hogtame_proc_{}", metric_slug(&p.name));
+            m.counter(
+                format!("{base}_hard_faults_total"),
+                "Hard page faults taken by this process",
+                ps.hard_faults.get(),
+            );
+            m.counter(
+                format!("{base}_soft_faults_total"),
+                "Free-list rescues (daemon- or release-freed) by this process",
+                ps.soft_faults_daemon.get() + ps.soft_faults_release.get(),
+            );
+            m.counter(
+                format!("{base}_prefetch_validates_total"),
+                "Prefetched pages later used by this process",
+                ps.prefetch_validates.get(),
+            );
+            m.counter(
+                format!("{base}_pages_released_total"),
+                "Pages this process released via hints",
+                ps.pages_released.get(),
+            );
+            m.gauge(
+                format!("{base}_peak_rss_frames"),
+                "Peak resident-set size in frames",
+                ps.peak_rss as f64,
+            );
+            m.counter(
+                format!("{base}_ops_total"),
+                "Simulated ops executed by this process",
+                p.ops_executed,
+            );
+        }
+        m
     }
 
     /// Flips the liveness switch for one crashable component.
@@ -833,7 +1097,7 @@ impl Engine {
             self.procs[i]
                 .rt
                 .as_mut()
-                .map(|rt| rt.flush())
+                .map(|rt| rt.flush(local, pid))
                 .unwrap_or_default()
         } else {
             Vec::new()
@@ -918,6 +1182,41 @@ impl Engine {
         }
         extra
     }
+}
+
+/// Lowercases a process name into a Prometheus-safe metric-name segment
+/// (every non-alphanumeric byte becomes `_`).
+fn metric_slug(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Renders the legacy `vhand`/`releaser` kernel-trace text from the VM
+/// recorder's daemon-summary events — the exact format the old trace ring
+/// wrote, now derived from the one structured stream.
+fn derive_kernel_trace(rec: &Recorder) -> Vec<TraceRecord> {
+    rec.events()
+        .filter_map(|ev| match ev.kind {
+            EventKind::PagingdScan { scanned, free } => Some(TraceRecord {
+                time: ev.at,
+                tag: "vhand",
+                message: format!("activation: scanned {scanned} frames, free now {free}"),
+            }),
+            EventKind::ReleaserBatch { handled, .. } => Some(TraceRecord {
+                time: ev.at,
+                tag: "releaser",
+                message: format!("activation: handled {handled} queued requests"),
+            }),
+            _ => None,
+        })
+        .collect()
 }
 
 #[cfg(test)]

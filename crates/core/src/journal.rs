@@ -580,6 +580,11 @@ fn decode(payload: &str) -> Option<RunOutcome> {
             timeline: None,
             kernel_trace: Vec::new(),
             fault_log: FaultLog::from_parts(cap as usize, 0, std::iter::empty(), Vec::new()),
+            // Observability payloads are never journaled: observational
+            // requests are not journalable at all, and the scalar metrics
+            // of a plain run are cheap to regenerate by re-running.
+            events: sim_core::obs::EventStream::new(),
+            metrics: sim_core::obs::MetricsRegistry::new(),
         },
     })
 }

@@ -54,6 +54,7 @@ pub mod exec;
 pub mod experiments;
 pub mod journal;
 pub mod machine;
+pub mod obs_report;
 pub mod report;
 pub mod request;
 pub mod scenario;
@@ -76,6 +77,7 @@ pub mod prelude {
     pub use crate::experiments::suite::{Suite, SuiteError, SuiteHandle, SUITE_TABLES};
     pub use crate::journal::Journal;
     pub use crate::machine::MachineConfig;
+    pub use crate::obs_report::{outcome_table, stream_summary};
     pub use crate::report::TextTable;
     pub use crate::request::{RunError, RunOutcome, RunRequest};
     pub use crate::scenario::Version;
@@ -86,6 +88,7 @@ pub mod prelude {
         CrashComponent, CrashFaults, CrashSpec, DaemonFaults, ExecFaults, FaultKind, FaultLog,
         FaultPlan, HintFaults, IoFaults, SupervisorConfig,
     };
+    pub use sim_core::obs::{Event, EventKind, EventStream, MetricsRegistry, OutcomeRow, Recorder};
     pub use sim_core::stats::{TimeBreakdown, TimeCategory};
     pub use sim_core::{SimDuration, SimTime};
     pub use workloads;

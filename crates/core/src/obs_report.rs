@@ -1,0 +1,84 @@
+//! Human-readable views of a run's observability payload: the
+//! hint-lifecycle outcome table and the combined stats report printed by
+//! `hogtame stats`.
+//!
+//! The outcome table attributes every release and prefetch hint to how it
+//! ended up — *good* (it did the job the paper intends: the page was
+//! freed by a release and stayed freed, or a prefetched page was used),
+//! *wasted* (the hint cost work but helped nobody: cancelled by a
+//! re-reference, rescued back, redundant, discarded unused), or
+//! *filtered* (the run-time layer absorbed it before it ever reached the
+//! kernel). The rows are computed from the structured event stream and
+//! reconcile exactly with the `vm::stats` counters —
+//! `tests/obs_stream.rs` pins that equality.
+
+use sim_core::obs::{EventStream, OutcomeRow};
+
+use crate::report::TextTable;
+
+/// Renders the hint-outcome attribution table for a sealed event stream.
+///
+/// ```
+/// use hogtame::obs_report::outcome_table;
+/// use sim_core::obs::EventStream;
+///
+/// let table = outcome_table(&EventStream::new());
+/// assert!(table.render().contains("release"));
+/// ```
+pub fn outcome_table(events: &EventStream) -> TextTable {
+    let mut t = TextTable::new(vec!["hint class", "good", "wasted", "filtered", "total"]);
+    let row = |t: &mut TextTable, label: &str, r: OutcomeRow| {
+        t.row(vec![
+            label.to_string(),
+            r.good.to_string(),
+            r.wasted.to_string(),
+            r.filtered.to_string(),
+            r.total().to_string(),
+        ]);
+    };
+    row(&mut t, "release", events.release_outcome());
+    row(&mut t, "prefetch", events.prefetch_outcome());
+    t
+}
+
+/// One-paragraph summary of a stream for CLI output: totals, per-kind
+/// counts and the drop count of the bounded flight recorders.
+pub fn stream_summary(events: &EventStream) -> String {
+    let mut out = format!(
+        "{} events recorded ({} retained, {} beyond ring capacity)\n",
+        events.total(),
+        events.events().len(),
+        events.dropped()
+    );
+    for (name, n) in events.counts() {
+        out.push_str(&format!("  {name:<28} {n}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use crate::request::RunRequest;
+    use crate::scenario::Version;
+    use sim_core::SimDuration;
+
+    #[test]
+    fn outcome_table_renders_and_totals_add_up() {
+        let out = RunRequest::on(MachineConfig::small())
+            .bench("MATVEC", Version::Release)
+            .interactive(SimDuration::from_secs(1), None)
+            .observe()
+            .run()
+            .unwrap();
+        let events = &out.run.events;
+        assert!(events.total() > 0, "an observed run records events");
+        let t = outcome_table(events);
+        assert_eq!(t.len(), 2);
+        let rendered = t.render();
+        assert!(rendered.contains("release") && rendered.contains("prefetch"));
+        let summary = stream_summary(events);
+        assert!(summary.contains("events recorded"), "got: {summary}");
+    }
+}

@@ -85,6 +85,7 @@ pub struct RunRequest {
     rt_config: RtConfig,
     timeline: Option<SimDuration>,
     kernel_trace: bool,
+    observe: bool,
     fault_plan: FaultPlan,
     reseed: Option<u64>,
 }
@@ -110,6 +111,7 @@ impl RunRequest {
             rt_config: RtConfig::default(),
             timeline: None,
             kernel_trace: false,
+            observe: false,
             fault_plan: FaultPlan::default(),
             reseed: None,
         }
@@ -160,6 +162,17 @@ impl RunRequest {
         self
     }
 
+    /// Enables full structured observability: every subsystem's flight
+    /// recorder captures typed events and the outcome carries the merged
+    /// stream in `RunOutcome::run.events` (see
+    /// [`crate::engine::Engine::with_observability`]). Purely
+    /// observational — sim outcomes are byte-identical with or without it.
+    #[must_use]
+    pub fn observe(mut self) -> Self {
+        self.observe = true;
+        self
+    }
+
     /// Installs a seeded fault-injection plan for the run.
     #[must_use]
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
@@ -187,10 +200,10 @@ impl RunRequest {
 
     /// Whether this request's successful outcome can be persisted to (and
     /// replayed from) a completion journal: plain statistical runs only.
-    /// Timelines and kernel traces carry bulky observational state the
-    /// journal codec deliberately does not model.
+    /// Timelines, kernel traces and structured event streams carry bulky
+    /// observational state the journal codec deliberately does not model.
     pub fn journalable(&self) -> bool {
-        self.timeline.is_none() && !self.kernel_trace
+        self.timeline.is_none() && !self.kernel_trace && !self.observe
     }
 
     /// Validates the request without running it: a malformed machine
@@ -254,6 +267,9 @@ impl RunRequest {
         if self.kernel_trace {
             engine = engine.with_kernel_trace();
         }
+        if self.observe {
+            engine = engine.with_observability();
+        }
         // Before registration: hint-emitting layers draw their per-process
         // fault streams at registration time.
         if self.fault_plan.any() {
@@ -295,7 +311,7 @@ impl RunRequest {
     /// Two requests that would simulate identically fingerprint
     /// identically; any field that could change the results is included.
     pub fn feed(&self, h: &mut Fnv1a) {
-        h.write_str("run_request/v1");
+        h.write_str("run_request/v2");
         // MachineConfig holds only plain scalar/struct fields, so its
         // `Debug` rendering is a deterministic value encoding (no
         // randomized map iteration anywhere in it).
@@ -340,6 +356,7 @@ impl RunRequest {
             }
         }
         h.write_bool(self.kernel_trace);
+        h.write_bool(self.observe);
         self.fault_plan.feed(h);
         h.write_u64(self.reseed.map_or(u64::MAX, |s| s));
     }
@@ -420,7 +437,8 @@ mod tests {
             .clone()
             .timeline(SimDuration::from_millis(1))
             .journalable());
-        assert!(!base.kernel_trace().journalable());
+        assert!(!base.clone().kernel_trace().journalable());
+        assert!(!base.observe().journalable());
     }
 
     #[test]
@@ -468,6 +486,7 @@ mod tests {
             base().interactive(SimDuration::from_secs(5), Some(12)),
             base().timeline(SimDuration::from_millis(250)),
             base().kernel_trace(),
+            base().observe(),
             base().reseed(7),
             base().fault_plan(FaultPlan {
                 seed: 1,

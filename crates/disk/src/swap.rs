@@ -7,6 +7,7 @@
 //! page-ins — the effect the paper's prefetch results depend on.
 
 use sim_core::fault::{FaultKind, FaultLog, IoFaults};
+use sim_core::obs::{EventKind, Recorder};
 use sim_core::rng::Pcg32;
 use sim_core::stats::{Counter, Histogram};
 use sim_core::{SimDuration, SimTime};
@@ -101,6 +102,7 @@ pub struct SwapDevice {
     faults: IoFaults,
     fault_rng: Option<Pcg32>,
     fault_log: FaultLog,
+    obs: Recorder,
 }
 
 impl SwapDevice {
@@ -129,7 +131,19 @@ impl SwapDevice {
             faults: IoFaults::default(),
             fault_rng: None,
             fault_log: FaultLog::default(),
+            obs: Recorder::default(),
         }
+    }
+
+    /// Enables or disables structured I/O-span recording.
+    pub fn set_obs_enabled(&mut self, enabled: bool) {
+        self.obs.set_enabled(enabled);
+    }
+
+    /// The device's flight recorder (one [`EventKind::Io`] span per
+    /// completed request when enabled).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
     }
 
     /// Arms deterministic I/O fault injection: transient errors with
@@ -212,6 +226,13 @@ impl SwapDevice {
             IoKind::Write => self.stats.page_writes.bump(),
         }
         self.latency_hist.record(completion.since(now));
+        self.obs.emit(
+            now,
+            EventKind::Io {
+                write: kind == IoKind::Write,
+                dur: completion.since(now),
+            },
+        );
         completion
     }
 

@@ -25,6 +25,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use sim_core::fault::{FaultKind, FaultLog, HintFaults};
+use sim_core::obs::{EventKind, Recorder};
 use sim_core::rng::Pcg32;
 use sim_core::{SimDuration, SimTime};
 use vm::{Pid, VmSys, Vpn};
@@ -126,6 +127,7 @@ pub struct RuntimeLayer {
     faults: HintFaults,
     fault_rng: Option<Pcg32>,
     fault_log: FaultLog,
+    obs: Recorder,
     delayed_release: VecDeque<(Vpn, u32, u32)>,
     delayed_prefetch: VecDeque<(Vpn, u64, u32)>,
     /// Stale shared-bitmap cache: page → (sampled at, resident then).
@@ -152,6 +154,7 @@ impl RuntimeLayer {
             faults: HintFaults::default(),
             fault_rng: None,
             fault_log: FaultLog::default(),
+            obs: Recorder::default(),
             delayed_release: VecDeque::new(),
             delayed_prefetch: VecDeque::new(),
             stale: HashMap::new(),
@@ -179,6 +182,17 @@ impl RuntimeLayer {
     /// Faults injected and degradation transitions taken so far.
     pub fn fault_log(&self) -> &FaultLog {
         &self.fault_log
+    }
+
+    /// Enables or disables structured hint-lifecycle recording.
+    pub fn set_obs_enabled(&mut self, enabled: bool) {
+        self.obs.set_enabled(enabled);
+    }
+
+    /// The layer's flight recorder: one typed event per hint-pipeline
+    /// stage (received, suppressed, filtered, issued, buffered, drained).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
     }
 
     /// Pages currently sitting in the release buffers.
@@ -271,6 +285,12 @@ impl RuntimeLayer {
         }
         if !self.resident(vm, pid, now, trailing) {
             self.stats.release_filtered_bitmap += 1;
+            self.obs.emit_page(
+                now,
+                pid.0,
+                trailing.0,
+                EventKind::ReleaseFilteredBitmap { tag },
+            );
             return (Vec::new(), cost);
         }
         self.release_tags.insert(trailing, tag);
@@ -278,10 +298,18 @@ impl RuntimeLayer {
             ReleasePolicy::Reactive => {
                 self.buffers.buffer(tag, 1, trailing);
                 self.stats.release_buffered += 1;
+                self.obs.emit_page(
+                    now,
+                    pid.0,
+                    trailing.0,
+                    EventKind::ReleaseBuffered { tag, priority: 1 },
+                );
                 (Vec::new(), cost + self.config.buffer_op)
             }
             _ => {
                 self.stats.release_issued_direct += 1;
+                self.obs
+                    .emit_page(now, pid.0, trailing.0, EventKind::ReleaseIssued { tag });
                 (vec![trailing], cost)
             }
         }
@@ -342,9 +370,13 @@ impl RuntimeLayer {
     }
 
     /// End-of-program flush: everything still buffered is released.
-    pub fn flush(&mut self) -> Vec<Vpn> {
+    pub fn flush(&mut self, now: SimTime, pid: Pid) -> Vec<Vpn> {
         let out = self.buffers.drain_all();
         self.stats.release_drained += out.len() as u64;
+        for page in &out {
+            self.obs
+                .emit_page(now, pid.0, page.0, EventKind::ReleaseDrained);
+        }
         out
     }
 
@@ -352,9 +384,9 @@ impl RuntimeLayer {
     /// hint layer: the one-behind filter re-arms from scratch, buffered
     /// releases are orphaned (the crashed layer's buffers are gone — the
     /// pages stay resident and the OS reclaims them reactively), and every
-    /// delayed/stale/attribution map is dropped. Statistics and the fault
-    /// log survive — they belong to the run, not the component. Returns
-    /// the number of orphaned buffered releases.
+    /// delayed/stale/attribution map is dropped. Statistics, the fault
+    /// log and the flight recorder survive — they belong to the run, not
+    /// the component. Returns the number of orphaned buffered releases.
     pub fn reconcile_after_crash(&mut self) -> u64 {
         let orphaned = (self.buffers.buffered()
             + self.delayed_release.len()
@@ -463,10 +495,28 @@ impl RuntimeLayer {
     ) -> (Vec<Vpn>, SimDuration) {
         let cost = self.config.hint_check.saturating_mul(npages);
         self.stats.prefetch_hints += npages;
+        self.obs.emit_page(
+            now,
+            pid.0,
+            vpn.0,
+            EventKind::PrefetchHint {
+                tag,
+                pages: npages as u32,
+            },
+        );
         if let Some(h) = self.health.as_mut() {
             if !h.on_hint(tag, now, &mut self.fault_log) {
                 // Degraded: fall back to demand faulting.
                 self.stats.hints_suppressed += 1;
+                self.obs.emit_page(
+                    now,
+                    pid.0,
+                    vpn.0,
+                    EventKind::PrefetchSuppressed {
+                        tag,
+                        pages: npages as u32,
+                    },
+                );
                 return (Vec::new(), cost);
             }
         }
@@ -475,8 +525,12 @@ impl RuntimeLayer {
             let page = Vpn(vpn.0 + i);
             if self.resident(vm, pid, now, page) {
                 self.stats.prefetch_filtered += 1;
+                self.obs
+                    .emit_page(now, pid.0, page.0, EventKind::PrefetchFiltered { tag });
             } else {
                 self.stats.prefetch_issued += 1;
+                self.obs
+                    .emit_page(now, pid.0, page.0, EventKind::PrefetchIssued { tag });
                 self.prefetch_tags.insert(page, tag);
                 to_issue.push(page);
             }
@@ -494,6 +548,8 @@ impl RuntimeLayer {
         tag: u32,
     ) -> (Vec<Vpn>, SimDuration) {
         self.stats.release_hints += 1;
+        self.obs
+            .emit_page(now, pid.0, vpn.0, EventKind::ReleaseHint { tag, pages: 1 });
         let mut cost = self.config.hint_check;
 
         if let Some(h) = self.health.as_mut() {
@@ -501,6 +557,12 @@ impl RuntimeLayer {
                 // Degraded: the page becomes a reactive eviction
                 // candidate instead of a trusted release.
                 self.stats.hints_suppressed += 1;
+                self.obs.emit_page(
+                    now,
+                    pid.0,
+                    vpn.0,
+                    EventKind::ReleaseSuppressed { tag, pages: 1 },
+                );
                 self.push_degraded(vpn);
                 return (Vec::new(), cost);
             }
@@ -513,6 +575,12 @@ impl RuntimeLayer {
                 Some(prev) => prev,
                 None => {
                     self.stats.release_same_page = self.tags.dropped_same_page();
+                    self.obs.emit_page(
+                        now,
+                        pid.0,
+                        vpn.0,
+                        EventKind::ReleaseFilteredSamePage { tag },
+                    );
                     return (Vec::new(), cost);
                 }
             }
@@ -523,6 +591,8 @@ impl RuntimeLayer {
         // Bitmap check: the page must still be in memory.
         if !self.resident(vm, pid, now, prev) {
             self.stats.release_filtered_bitmap += 1;
+            self.obs
+                .emit_page(now, pid.0, prev.0, EventKind::ReleaseFilteredBitmap { tag });
             return (Vec::new(), cost);
         }
 
@@ -530,6 +600,8 @@ impl RuntimeLayer {
         match self.policy {
             ReleasePolicy::Aggressive => {
                 self.stats.release_issued_direct += 1;
+                self.obs
+                    .emit_page(now, pid.0, prev.0, EventKind::ReleaseIssued { tag });
                 (vec![prev], cost)
             }
             ReleasePolicy::Reactive => {
@@ -537,23 +609,44 @@ impl RuntimeLayer {
                 cost += self.config.buffer_op;
                 self.buffers.buffer(tag, priority.max(1), prev);
                 self.stats.release_buffered += 1;
+                self.obs.emit_page(
+                    now,
+                    pid.0,
+                    prev.0,
+                    EventKind::ReleaseBuffered {
+                        tag,
+                        priority: priority.max(1),
+                    },
+                );
                 (Vec::new(), cost)
             }
             ReleasePolicy::Buffered => {
                 if priority == 0 {
                     // No expected reuse: issue after the simple checks.
                     self.stats.release_issued_direct += 1;
+                    self.obs
+                        .emit_page(now, pid.0, prev.0, EventKind::ReleaseIssued { tag });
                     return (vec![prev], cost);
                 }
                 cost += self.config.buffer_op;
                 self.buffers.buffer(tag, priority, prev);
                 self.stats.release_buffered += 1;
+                self.obs.emit_page(
+                    now,
+                    pid.0,
+                    prev.0,
+                    EventKind::ReleaseBuffered { tag, priority },
+                );
                 // Near the OS-suggested limit? Drain the lowest priorities.
                 let mut out = Vec::new();
                 if let Some(view) = vm.shared_view(pid) {
                     if view.usage + self.config.limit_slack_pages >= view.limit {
                         out = self.buffers.drain_lowest(self.config.release_batch_target);
                         self.stats.release_drained += out.len() as u64;
+                        for page in &out {
+                            self.obs
+                                .emit_page(now, pid.0, page.0, EventKind::ReleaseDrained);
+                        }
                     }
                 }
                 (out, cost)
@@ -675,7 +768,7 @@ mod tests {
             rt.on_release_hint(&vm, pid, t(2), r.start.offset(i), 2, 9);
         }
         assert_eq!(rt.buffered_pages(), 3, "one-behind keeps the newest");
-        let out = rt.flush();
+        let out = rt.flush(t(3), pid);
         assert_eq!(out.len(), 3);
         assert_eq!(rt.buffered_pages(), 0);
     }

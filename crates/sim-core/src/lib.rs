@@ -12,7 +12,11 @@
 //!   [`rng::SplitMix64`]).
 //! * [`stats`] — counters, histograms and per-process time breakdowns used to
 //!   regenerate the paper's tables and figures.
-//! * [`trace`] — a bounded in-memory trace ring for debugging simulations.
+//! * [`obs`] — structured observability: typed sim-time-stamped events, a
+//!   bounded flight recorder, the merged per-run event stream with JSONL /
+//!   Chrome-trace / Prometheus exporters, and the metrics registry.
+//! * [`trace`] — the legacy free-form trace ring (deprecated in favour of
+//!   [`obs`]).
 //!
 //! The engine is intentionally *not* multi-threaded: determinism (same seed →
 //! same result, bit for bit) is a core requirement so that every figure in
@@ -25,6 +29,7 @@ pub mod check;
 pub mod event;
 pub mod fault;
 pub mod fingerprint;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -1,9 +1,14 @@
-//! Bounded in-memory trace ring.
+//! Bounded in-memory trace ring (legacy).
 //!
 //! Simulations can emit human-readable trace records (page steals, daemon
 //! activations, fault outcomes) into a fixed-capacity ring. The ring is cheap
 //! when disabled and never grows without bound, so it can be left wired into
 //! hot paths.
+//!
+//! **Deprecated:** the workspace has migrated to structured events
+//! ([`crate::obs`]); [`TraceRing`] remains as a string-formatting shim so
+//! external callers keep compiling. [`TraceRecord`] is still current — the
+//! engine derives legacy kernel-trace records from the structured stream.
 
 use std::collections::VecDeque;
 
@@ -33,6 +38,10 @@ pub struct TraceRecord {
 /// ring.emit(SimTime::ZERO, "fault", || "hard fault vpn=3".to_string());
 /// assert_eq!(ring.records().count(), 1);
 /// ```
+#[deprecated(
+    since = "0.5.0",
+    note = "emit typed events through `sim_core::obs::Recorder` instead"
+)]
 #[derive(Debug)]
 pub struct TraceRing {
     records: VecDeque<TraceRecord>,
@@ -41,6 +50,7 @@ pub struct TraceRing {
     dropped: u64,
 }
 
+#[allow(deprecated)]
 impl TraceRing {
     /// Creates a disabled ring with the given capacity.
     pub fn new(capacity: usize) -> Self {
@@ -96,6 +106,7 @@ impl TraceRing {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

@@ -21,6 +21,7 @@
 //! A page is stolen on the pass *after* it was sampled, if nothing touched
 //! it in between (`clock_sampled` still set).
 
+use sim_core::obs::EventKind;
 use sim_core::{SimDuration, SimTime};
 
 use crate::addr::{Pfn, Pid, Vpn};
@@ -276,12 +277,13 @@ impl VmSys {
             i = j;
         }
         self.stats.pagingd.busy += t.since(now);
-        if self.trace.is_enabled() {
-            let (scanned, free) = (scanned, self.free.live());
-            self.trace.emit(now, "vhand", || {
-                format!("activation: scanned {scanned} frames, free now {free}")
-            });
-        }
+        self.obs.emit(
+            now,
+            EventKind::PagingdScan {
+                scanned: scanned as u64,
+                free: self.free.live() as u64,
+            },
+        );
         t
     }
 

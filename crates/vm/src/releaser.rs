@@ -18,6 +18,7 @@
 
 use std::collections::VecDeque;
 
+use sim_core::obs::EventKind;
 use sim_core::SimTime;
 
 use crate::addr::{Pid, Vpn};
@@ -140,8 +141,16 @@ impl VmSys {
                     let pte = self.procs[pid.0 as usize].pt.get(req.vpn);
                     if pte.resident() && pte.last_ref > req.requested_at {
                         self.stats.releaser.skipped_reref.bump();
+                        self.obs
+                            .emit_page(t, req.pid.0, req.vpn.0, EventKind::ReleaseSkippedReref);
                     } else {
                         self.stats.releaser.skipped_nonresident.bump();
+                        self.obs.emit_page(
+                            t,
+                            req.pid.0,
+                            req.vpn.0,
+                            EventKind::ReleaseSkippedNonresident,
+                        );
                     }
                     continue;
                 }
@@ -153,6 +162,8 @@ impl VmSys {
                     && pte.last_ref <= req.requested_at)
                 {
                     self.stats.releaser.skipped_reref.bump();
+                    self.obs
+                        .emit_page(t, req.pid.0, req.vpn.0, EventKind::ReleaseSkippedReref);
                     continue;
                 }
                 let dirty = pte.dirty;
@@ -166,12 +177,13 @@ impl VmSys {
         }
 
         self.stats.releaser.busy += t.since(now);
-        if self.trace.is_enabled() {
-            let freed = processed;
-            self.trace.emit(now, "releaser", || {
-                format!("activation: handled {freed} queued requests")
-            });
-        }
+        self.obs.emit(
+            now,
+            EventKind::ReleaserBatch {
+                handled: processed as u64,
+                queued: self.releaser.queue.len() as u64,
+            },
+        );
         if self.releaser.queue.is_empty() {
             None
         } else {

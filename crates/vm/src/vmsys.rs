@@ -17,7 +17,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use disk::{IoKind, SwapConfig, SwapDevice, SwapSlot};
-use sim_core::trace::TraceRing;
+use sim_core::obs::{EventKind, Recorder};
 use sim_core::{SimDuration, SimTime};
 
 use crate::addr::{PageRange, Pfn, Pid, Vpn};
@@ -155,8 +155,8 @@ pub struct VmSys {
     pub(crate) reactive: HashMap<Pid, VecDeque<Vpn>>,
     /// Free-memory level at the last threshold-notification broadcast.
     last_broadcast_free: u64,
-    /// Optional diagnostic trace of kernel activity.
-    pub(crate) trace: TraceRing,
+    /// Structured kernel-activity flight recorder (disabled by default).
+    pub(crate) obs: Recorder,
     next_swap_slot: u64,
 }
 
@@ -184,7 +184,7 @@ impl VmSys {
             stats: VmStats::default(),
             reactive: HashMap::new(),
             last_broadcast_free: total_frames as u64,
-            trace: TraceRing::new(4096),
+            obs: Recorder::default(),
             next_swap_slot: 0,
         }
     }
@@ -478,6 +478,8 @@ impl VmSys {
                 self.validate_pte(pidx, vpn, now);
                 self.procs[pidx].tlb.touch(vpn);
                 self.stats.proc_mut(pidx).prefetch_validates.bump();
+                self.obs
+                    .emit_page(now, pid.0, vpn.0, EventKind::PrefetchValidated);
                 TouchResult {
                     kind: TouchKind::PrefetchValidate,
                     system,
@@ -492,6 +494,8 @@ impl VmSys {
                 self.validate_pte(pidx, vpn, now);
                 self.procs[pidx].tlb.touch(vpn);
                 self.stats.proc_mut(pidx).soft_faults_daemon.bump();
+                self.obs
+                    .emit_page(now, pid.0, vpn.0, EventKind::SoftFaultDaemon);
                 self.refresh_shared(pid);
                 TouchResult {
                     kind: TouchKind::SoftFaultDaemon,
@@ -516,6 +520,8 @@ impl VmSys {
                     pm.shared.set_resident(vpn, true);
                 }
                 self.stats.proc_mut(pidx).soft_faults_release.bump();
+                self.obs
+                    .emit_page(now, pid.0, vpn.0, EventKind::ReleaseCancelled);
                 self.refresh_shared(pid);
                 TouchResult {
                     kind: TouchKind::SoftFaultRelease,
@@ -576,8 +582,16 @@ impl VmSys {
         let stats = self.stats.proc_mut(pidx);
         stats.rescues.bump();
         match source {
-            FreeSource::Daemon => self.stats.freed.rescued_daemon.bump(),
-            FreeSource::Release => self.stats.freed.rescued_release.bump(),
+            FreeSource::Daemon => {
+                self.stats.freed.rescued_daemon.bump();
+                self.obs
+                    .emit_page(now, pid.0, vpn.0, EventKind::RescueDaemon);
+            }
+            FreeSource::Release => {
+                self.stats.freed.rescued_release.bump();
+                self.obs
+                    .emit_page(now, pid.0, vpn.0, EventKind::RescueRelease);
+            }
             _ => {}
         }
         self.update_peak_rss(pidx);
@@ -607,6 +621,7 @@ impl VmSys {
         let system = params.zero_fill_fault;
         self.install_page(pidx, pid, vpn, pfn, now, write);
         self.stats.proc_mut(pidx).zero_fills.bump();
+        self.obs.emit_page(now, pid.0, vpn.0, EventKind::ZeroFill);
         self.refresh_shared(pid);
         Ok(TouchResult {
             kind: TouchKind::ZeroFill,
@@ -650,6 +665,7 @@ impl VmSys {
             e.swap_slot = Some(slot);
         }
         self.stats.proc_mut(pidx).hard_faults.bump();
+        self.obs.emit_page(now, pid.0, vpn.0, EventKind::HardFault);
         self.refresh_shared(pid);
         Ok(TouchResult {
             kind: TouchKind::HardFault,
@@ -796,6 +812,8 @@ impl VmSys {
 
         if pte.resident() {
             self.stats.proc_mut(pidx).prefetch_redundant.bump();
+            self.obs
+                .emit_page(now, pid.0, vpn.0, EventKind::PrefetchRedundant);
             return (PrefetchOutcome::AlreadyResident, cost);
         }
 
@@ -806,11 +824,21 @@ impl VmSys {
                 self.frames.get_mut(pfn).owner = Some((pid, vpn));
                 self.install_prefetched(pidx, pid, vpn, pfn, now, now);
                 match source {
-                    FreeSource::Daemon => self.stats.freed.rescued_daemon.bump(),
-                    FreeSource::Release => self.stats.freed.rescued_release.bump(),
+                    FreeSource::Daemon => {
+                        self.stats.freed.rescued_daemon.bump();
+                        self.obs
+                            .emit_page(now, pid.0, vpn.0, EventKind::RescueDaemon);
+                    }
+                    FreeSource::Release => {
+                        self.stats.freed.rescued_release.bump();
+                        self.obs
+                            .emit_page(now, pid.0, vpn.0, EventKind::RescueRelease);
+                    }
                     _ => {}
                 }
                 self.stats.proc_mut(pidx).rescues.bump();
+                self.obs
+                    .emit_page(now, pid.0, vpn.0, EventKind::PrefetchRescued);
                 self.refresh_shared(pid);
                 return (PrefetchOutcome::Rescued, cost);
             }
@@ -820,11 +848,15 @@ impl VmSys {
         // prefetches never trigger stealing.
         if self.tun.prefetch_discard_when_low && (self.free.live() as u64) <= self.tun.min_freemem {
             self.stats.proc_mut(pidx).prefetch_discarded.bump();
+            self.obs
+                .emit_page(now, pid.0, vpn.0, EventKind::PrefetchDiscarded);
             self.refresh_shared(pid);
             return (PrefetchOutcome::Discarded, cost);
         }
         let Some(pfn) = self.free.alloc(&mut self.frames) else {
             self.stats.proc_mut(pidx).prefetch_discarded.bump();
+            self.obs
+                .emit_page(now, pid.0, vpn.0, EventKind::PrefetchDiscarded);
             return (PrefetchOutcome::Discarded, cost);
         };
         if (self.free.live() as u64) < self.tun.min_freemem {
@@ -837,6 +869,8 @@ impl VmSys {
         let arrives_at = self.swap.submit(io_start, slot, IoKind::Read);
         self.frames.get_mut(pfn).owner = Some((pid, vpn));
         self.install_prefetched(pidx, pid, vpn, pfn, now, arrives_at);
+        self.obs
+            .emit_page(now, pid.0, vpn.0, EventKind::PrefetchStarted);
         self.refresh_shared(pid);
         (PrefetchOutcome::Started { arrives_at }, cost)
     }
@@ -900,12 +934,16 @@ impl VmSys {
             if !pte.resident() || pte.release_requested.is_some() {
                 out.skipped_nonresident += 1;
                 self.stats.releaser.skipped_nonresident.bump();
+                self.obs
+                    .emit_page(now, pid.0, vpn.0, EventKind::ReleaseSkippedNonresident);
                 continue;
             }
             // Releasing an in-flight prefetch would race its I/O; skip.
             if pte.invalid_reason == Some(InvalidReason::Prefetched) && pte.arrives_at > now {
                 out.skipped_nonresident += 1;
                 self.stats.releaser.skipped_nonresident.bump();
+                self.obs
+                    .emit_page(now, pid.0, vpn.0, EventKind::ReleaseSkippedNonresident);
                 continue;
             }
             {
@@ -920,6 +958,8 @@ impl VmSys {
             }
             self.releaser.enqueue(pid, vpn, now);
             self.stats.releaser.requests.bump();
+            self.obs
+                .emit_page(now, pid.0, vpn.0, EventKind::ReleaseAccepted);
             out.accepted += 1;
         }
         self.refresh_shared(pid);
@@ -972,10 +1012,14 @@ impl VmSys {
             FreeSource::Daemon => {
                 self.stats.freed.freed_by_daemon.bump();
                 self.stats.proc_mut(pidx).pages_stolen.bump();
+                self.obs
+                    .emit_page(t, pid.0, vpn.0, EventKind::FreedByDaemon);
             }
             FreeSource::Release => {
                 self.stats.freed.freed_by_release.bump();
                 self.stats.proc_mut(pidx).pages_released.bump();
+                self.obs
+                    .emit_page(t, pid.0, vpn.0, EventKind::FreedByRelease);
             }
             _ => {}
         }
@@ -1073,14 +1117,14 @@ impl VmSys {
         (orphaned, fixups)
     }
 
-    /// Enables/disables the kernel-activity trace ring.
+    /// Enables/disables the kernel-activity flight recorder.
     pub fn set_trace_enabled(&mut self, enabled: bool) {
-        self.trace.set_enabled(enabled);
+        self.obs.set_enabled(enabled);
     }
 
-    /// Read access to the kernel-activity trace ring.
-    pub fn trace(&self) -> &TraceRing {
-        &self.trace
+    /// Read access to the kernel-activity flight recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
     }
 
     /// Tears down a finished process: every resident page returns to the
@@ -1372,7 +1416,7 @@ mod tests {
     }
 
     #[test]
-    fn trace_ring_records_daemon_activity() {
+    fn recorder_captures_daemon_activity() {
         let mut vm = small_vm();
         vm.set_trace_enabled(true);
         let pid = vm.add_process(true);
@@ -1385,9 +1429,50 @@ mod tests {
         vm.service_pagingd(now);
         vm.release(now, pid, &[r.start, r.start.offset(1)]);
         vm.service_releaser(now + SimDuration::from_millis(1));
-        let tags: Vec<&str> = vm.trace().records().map(|rec| rec.tag).collect();
-        assert!(tags.contains(&"vhand"), "tags: {tags:?}");
-        assert!(tags.contains(&"releaser"), "tags: {tags:?}");
+        let rec = vm.recorder();
+        assert!(rec.count("pagingd_scan") >= 1, "counts: {:?}", rec.counts());
+        assert_eq!(rec.count("releaser_batch"), 1, "counts: {:?}", rec.counts());
+        assert_eq!(rec.count("hard_fault"), 62);
+        assert_eq!(rec.count("release_accepted"), 2);
+        assert_eq!(
+            rec.count("freed_by_release"),
+            vm.stats().releaser.pages_released.get()
+        );
+        assert_eq!(
+            rec.count("freed_by_daemon"),
+            vm.stats().freed.freed_by_daemon.get()
+        );
+    }
+
+    #[test]
+    fn disabled_recorder_stays_empty_and_changes_nothing() {
+        let run = |observed: bool| {
+            let mut vm = small_vm();
+            vm.set_trace_enabled(observed);
+            let pid = vm.add_process(true);
+            let r = vm.map_region(pid, 64, Backing::SwapPrefilled, true);
+            let mut now = t(1);
+            for i in 0..62 {
+                now = vm.touch(now, pid, r.start.offset(i), false).done_at;
+            }
+            vm.service_pagingd(now);
+            vm.release(now, pid, &[r.start]);
+            let end = vm.service_releaser(now + SimDuration::from_millis(1));
+            (
+                end,
+                vm.free_pages(),
+                vm.stats().freed.freed_by_daemon.get(),
+                vm.recorder().total(),
+            )
+        };
+        let (end_a, free_a, daemon_a, total_a) = run(false);
+        let (end_b, free_b, daemon_b, total_b) = run(true);
+        assert_eq!(total_a, 0, "disabled recorder records nothing");
+        assert!(total_b > 0);
+        // Observation must not perturb the simulation.
+        assert_eq!(end_a, end_b);
+        assert_eq!(free_a, free_b);
+        assert_eq!(daemon_a, daemon_b);
     }
 
     #[test]
