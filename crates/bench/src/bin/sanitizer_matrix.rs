@@ -1,0 +1,174 @@
+//! Mutation self-test matrix for checked mode.
+//!
+//! Injects every deliberate corruption in `Mutation::all()` into a checked
+//! run mid-flight and asserts the sanitizer catches it with the *intended*
+//! invariant — proving the probes are live, not just present. Each mutation
+//! runs the smallest scenario that exercises its subsystem: MATVEC-R on the
+//! small machine by default, MATVEC-B for the release-queue mutation (the
+//! priority buffers only exist under buffered releasing), and MATVEC-O for
+//! the clock-hand mutation (the paging daemon only scans when nothing
+//! releases memory). A clean checked run of each scenario must also pass,
+//! and must be bit-identical in simulated outcome to its unchecked twin.
+//!
+//! Exits non-zero if any cell misbehaves.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use hogtame::prelude::*;
+
+/// When the corruption is injected: late enough that the hog is deep in
+/// steady state, early enough that the remaining run exercises the probes.
+const MUTATE_AT: SimTime = SimTime::from_nanos(50_000_000);
+
+fn scenario(m: Mutation) -> (&'static str, Version) {
+    match m {
+        Mutation::ReorderReleaseQueue => ("MATVEC", Version::Buffered),
+        Mutation::WarpClockHand => ("MATVEC", Version::Original),
+        _ => ("MATVEC", Version::Release),
+    }
+}
+
+fn request(bench: &str, version: Version) -> RunRequest {
+    RunRequest::on(MachineConfig::small())
+        .bench(bench, version)
+        .interactive(SimDuration::from_secs(5), None)
+}
+
+/// Runs the mutated scenario and extracts the violation it dies with.
+fn violation_of(m: Mutation) -> Result<InvariantViolation, String> {
+    let (bench, version) = scenario(m);
+    let req = request(bench, version).checked().mutate(MUTATE_AT, m);
+    match catch_unwind(AssertUnwindSafe(move || req.run())) {
+        Ok(Ok(res)) => Err(format!(
+            "run completed clean (hog finished at {:?})",
+            res.hog.map(|h| h.finish_time)
+        )),
+        Ok(Err(e)) => Err(format!("run refused to start: {e}")),
+        Err(payload) => payload
+            .downcast::<InvariantViolation>()
+            .map(|v| *v)
+            .map_err(|_| "panicked with a non-violation payload".to_string()),
+    }
+}
+
+fn outcome_digest(res: &hogtame::RunOutcome) -> (u64, u64, u64, u64, u64) {
+    (
+        res.hog.as_ref().map_or(0, |h| h.finish_time.as_nanos()),
+        res.run.swap_reads,
+        res.run.swap_writes,
+        res.run.vm_stats.releaser.pages_released.get(),
+        res.run.end_time.as_nanos(),
+    )
+}
+
+fn main() {
+    // Every mutated run ends in a deliberate panic whose payload we
+    // inspect; silence the default hook so the matrix output stays
+    // readable. (The engine still dumps flight recorders to stderr.)
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut t = TextTable::new(vec![
+        "mutation",
+        "target",
+        "scenario",
+        "expected invariant",
+        "raised",
+        "at (ms)",
+        "verdict",
+    ]);
+    let mut failures = 0u32;
+    for m in Mutation::all() {
+        let (bench, version) = scenario(m);
+        let expected = m.expected_invariant();
+        let (raised, at_ms, verdict) = match violation_of(m) {
+            Ok(v) if v.invariant == expected => (
+                v.invariant.to_string(),
+                format!("{:.1}", v.at.as_nanos() as f64 / 1e6),
+                "CAUGHT",
+            ),
+            Ok(v) => {
+                failures += 1;
+                (
+                    format!("{} ({})", v.invariant, v.detail),
+                    format!("{:.1}", v.at.as_nanos() as f64 / 1e6),
+                    "WRONG INVARIANT",
+                )
+            }
+            Err(why) => {
+                failures += 1;
+                (why, "-".into(), "MISSED")
+            }
+        };
+        t.row(vec![
+            m.label().into(),
+            format!("{:?}", m.target()).to_lowercase(),
+            format!("{bench}-{}", version.label()),
+            expected.into(),
+            raised,
+            at_ms,
+            verdict.into(),
+        ]);
+    }
+
+    // Control row: each scenario, checked but unmutated, completes clean
+    // and lands on exactly the simulated outcome of its unchecked twin.
+    for (bench, version) in [
+        ("MATVEC", Version::Release),
+        ("MATVEC", Version::Buffered),
+        ("MATVEC", Version::Original),
+    ] {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            request(bench, version).checked().run().expect("registered")
+        }));
+        let (raised, verdict) = match &outcome {
+            Ok(checked) => {
+                let plain = request(bench, version).run().expect("registered");
+                if outcome_digest(checked) == outcome_digest(&plain) {
+                    ("-".to_string(), "CLEAN")
+                } else {
+                    failures += 1;
+                    (
+                        format!(
+                            "{:?} != {:?}",
+                            outcome_digest(checked),
+                            outcome_digest(&plain)
+                        ),
+                        "DIVERGED",
+                    )
+                }
+            }
+            Err(payload) => {
+                failures += 1;
+                let why = payload
+                    .downcast_ref::<InvariantViolation>()
+                    .map_or("non-violation panic".to_string(), |v| v.to_string());
+                (why, "FALSE POSITIVE")
+            }
+        };
+        t.row(vec![
+            "(none)".into(),
+            "-".into(),
+            format!("{bench}-{}", version.label()),
+            "-".into(),
+            raised,
+            "-".into(),
+            verdict.into(),
+        ]);
+    }
+
+    Artifact::new(
+        "sanitizer_matrix",
+        "Mutation self-test matrix: every deliberate corruption caught by its intended invariant",
+    )
+    .table(&t);
+
+    let n = Mutation::all().len();
+    println!(
+        "mutation matrix: {}/{n} caught by the intended invariant, 3/3 clean controls: {}",
+        n as u32 - failures.min(n as u32),
+        if failures == 0 { "PASS" } else { "FAIL" }
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

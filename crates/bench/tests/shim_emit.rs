@@ -1,0 +1,67 @@
+//! The deprecated `bench::emit` / `bench::emit_text` shims must persist
+//! byte-identical artifacts to the `hogtame::Artifact` sink that replaced
+//! them.
+
+#![allow(deprecated)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use hogtame::report::TextTable;
+use hogtame::Artifact;
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("hogtame-emit-shim-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+fn sample_table() -> TextTable {
+    let mut t = TextTable::new(vec!["bench", "speedup"]);
+    t.row(vec!["MATVEC".into(), "1.42".into()]);
+    t.row(vec!["with, comma".into(), "quote \"q\"".into()]);
+    t
+}
+
+// One test function on purpose: both paths read the process-wide
+// `HOGTAME_RESULTS` variable, so the comparisons must run sequentially in
+// a single thread.
+#[test]
+fn emit_shims_write_byte_identical_artifacts() {
+    let t = sample_table();
+
+    // Table artifact: legacy emit vs Artifact::table.
+    let (shim_dir, new_dir) = (scratch("shim"), scratch("new"));
+    std::env::set_var("HOGTAME_RESULTS", &shim_dir);
+    bench::emit("fig", "Figure 7: normalized execution time", &t);
+    std::env::set_var("HOGTAME_RESULTS", &new_dir);
+    Artifact::new("fig", "Figure 7: normalized execution time").table(&t);
+    std::env::remove_var("HOGTAME_RESULTS");
+    for file in ["fig.txt", "fig.csv"] {
+        assert_eq!(
+            fs::read(shim_dir.join(file)).expect("shim artifact"),
+            fs::read(new_dir.join(file)).expect("replacement artifact"),
+            "{file} must match byte for byte"
+        );
+    }
+
+    // Free-form text artifact: legacy emit_text vs Artifact::text.
+    std::env::set_var("HOGTAME_RESULTS", &shim_dir);
+    bench::emit_text("listing", "Figure 5", "pf(&a[i]);\nrel(&a[i]);");
+    std::env::set_var("HOGTAME_RESULTS", &new_dir);
+    Artifact::new("listing", "Figure 5").text("pf(&a[i]);\nrel(&a[i]);");
+    std::env::remove_var("HOGTAME_RESULTS");
+    assert_eq!(
+        fs::read(shim_dir.join("listing.txt")).expect("shim artifact"),
+        fs::read(new_dir.join("listing.txt")).expect("replacement artifact")
+    );
+
+    // And the deprecated results_dir forwarder agrees with its target.
+    std::env::set_var("HOGTAME_RESULTS", &shim_dir);
+    assert_eq!(bench::results_dir(), hogtame::results_dir());
+    std::env::remove_var("HOGTAME_RESULTS");
+    assert_eq!(bench::results_dir(), hogtame::results_dir());
+
+    let _ = fs::remove_dir_all(&shim_dir);
+    let _ = fs::remove_dir_all(&new_dir);
+}

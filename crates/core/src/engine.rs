@@ -13,6 +13,7 @@ use runtime::{Mark, Op, OpStream, RuntimeLayer};
 use sim_core::fault::{CrashComponent, FaultDomain, FaultKind, FaultLog, FaultPlan};
 use sim_core::obs::{EventKind, EventStream, MetricsRegistry, Recorder};
 use sim_core::rng::Pcg32;
+use sim_core::sanitizer::{Mutation, MutationTarget};
 use sim_core::stats::{TimeBreakdown, TimeCategory};
 use sim_core::trace::TraceRecord;
 use sim_core::{EventQueue, SimDuration, SimTime};
@@ -71,6 +72,8 @@ enum Ev {
     Heartbeat,
     /// One supervised restart attempt for the component.
     Restart(CrashComponent),
+    /// Checked-mode self test: apply a deliberate state corruption.
+    Mutate(Mutation),
 }
 
 struct EngineProc {
@@ -218,6 +221,11 @@ pub struct Engine {
     /// Structured instrumentation is on: every subsystem's flight recorder
     /// captures events and the run result carries the merged stream.
     observe: bool,
+    /// Checked mode is on: subsystems run their invariant probes and the
+    /// VM diffs against the lockstep oracle.
+    checked: bool,
+    /// Checked-mode self test: one scheduled state corruption.
+    mutation: Option<(SimTime, Mutation)>,
     /// The run-time hint layers accept ops (dead → hints are no-ops).
     hint_layer_alive: bool,
     /// The prefetch pthread pools accept work (dead → demand faulting and
@@ -255,6 +263,8 @@ impl Engine {
             fault_log: FaultLog::default(),
             supervisor: None,
             observe: false,
+            checked: false,
+            mutation: None,
             hint_layer_alive: true,
             prefetch_alive: true,
             max_time: SimTime::from_nanos(u64::MAX / 2),
@@ -297,6 +307,33 @@ impl Engine {
         self.observe = true;
         self.vm.set_trace_enabled(true);
         self.vm.swap_mut().set_obs_enabled(true);
+        self
+    }
+
+    /// Enables checked mode, chainably: every subsystem (VM, swap array,
+    /// and each run-time layer registered afterwards) arms its invariant
+    /// probes, and the VM diffs its live state against the lockstep
+    /// reference oracle. The first disagreement raises a typed
+    /// [`sim_core::sanitizer::InvariantViolation`]. Flight recorders are
+    /// enabled so violations carry their subsystem's event tail. A checked
+    /// run's simulated outcome is bit-identical to an unchecked run.
+    #[must_use]
+    pub fn with_checked(mut self) -> Self {
+        self.checked = true;
+        self.vm.set_checked(true);
+        self.vm.set_trace_enabled(true);
+        self.vm.swap_mut().set_obs_enabled(true);
+        self.vm.swap_mut().set_checked(true);
+        self
+    }
+
+    /// Schedules one deliberate state corruption at `at`, chainably — the
+    /// checked-mode mutation self test. Routed to the corrupted subsystem
+    /// when the event fires; a clean run schedules nothing.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_mutation(mut self, at: SimTime, m: Mutation) -> Self {
+        self.mutation = Some((at, m));
         self
     }
 
@@ -366,9 +403,14 @@ impl Engine {
         mut rt: Option<RuntimeLayer>,
         primary: bool,
     ) {
-        if self.observe {
+        if self.observe || self.checked {
             if let Some(rt) = rt.as_mut() {
                 rt.set_obs_enabled(true);
+            }
+        }
+        if self.checked {
+            if let Some(rt) = rt.as_mut() {
+                rt.set_checked(true);
             }
         }
         if self.faults.hints.any() {
@@ -426,6 +468,9 @@ impl Engine {
         if let Some(at) = self.faults.daemons.shrink_limit_at {
             self.queue.schedule(at, Ev::Shrink);
         }
+        if let Some((at, m)) = self.mutation {
+            self.queue.schedule(at, Ev::Mutate(m));
+        }
         if let Some(sup) = &self.supervisor {
             // Crashes are scheduled before the first heartbeat so a crash
             // and a probe landing on the same instant order crash-first.
@@ -463,6 +508,25 @@ impl Engine {
                         let next = next + self.releaser_fault_delay(ev.time);
                         self.queue.schedule(next, Ev::Releaser);
                     }
+                }
+                Ev::Mutate(m) => {
+                    match m.target() {
+                        MutationTarget::Vm => {
+                            let pid = self
+                                .procs
+                                .iter()
+                                .find(|p| p.primary)
+                                .map_or(Pid(0), |p| p.pid);
+                            self.vm.apply_mutation(ev.time, m, pid);
+                        }
+                        MutationTarget::Runtime => {
+                            if let Some(rt) = self.procs.iter_mut().find_map(|p| p.rt.as_mut()) {
+                                rt.apply_mutation(m);
+                            }
+                        }
+                        MutationTarget::Disk => self.vm.swap_mut().apply_mutation(m),
+                    }
+                    self.wake_daemons(ev.time);
                 }
                 Ev::Shrink => {
                     let frac = self.faults.daemons.shrink_to_frac;

@@ -68,6 +68,8 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if let Some(v) = payload.downcast_ref::<sim_core::sanitizer::InvariantViolation>() {
+        v.to_string()
     } else {
         String::from("non-string panic payload")
     }

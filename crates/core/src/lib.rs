@@ -89,6 +89,8 @@ pub mod prelude {
         FaultPlan, HintFaults, IoFaults, SupervisorConfig,
     };
     pub use sim_core::obs::{Event, EventKind, EventStream, MetricsRegistry, OutcomeRow, Recorder};
+    pub use sim_core::oracle::Oracle;
+    pub use sim_core::sanitizer::{InvariantViolation, Mutation, MutationTarget};
     pub use sim_core::stats::{TimeBreakdown, TimeCategory};
     pub use sim_core::{SimDuration, SimTime};
     pub use workloads;

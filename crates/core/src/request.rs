@@ -31,7 +31,8 @@
 use runtime::RtConfig;
 use sim_core::fault::FaultPlan;
 use sim_core::fingerprint::{Fingerprint, Fnv1a};
-use sim_core::SimDuration;
+use sim_core::sanitizer::{self, Mutation};
+use sim_core::{SimDuration, SimTime};
 use workloads::BenchSpec;
 
 use crate::engine::{Engine, ProcResult, RunResult};
@@ -86,6 +87,8 @@ pub struct RunRequest {
     timeline: Option<SimDuration>,
     kernel_trace: bool,
     observe: bool,
+    checked: bool,
+    mutation: Option<(SimTime, Mutation)>,
     fault_plan: FaultPlan,
     reseed: Option<u64>,
 }
@@ -112,6 +115,8 @@ impl RunRequest {
             timeline: None,
             kernel_trace: false,
             observe: false,
+            checked: sanitizer::env_checked(),
+            mutation: None,
             fault_plan: FaultPlan::default(),
             reseed: None,
         }
@@ -173,6 +178,34 @@ impl RunRequest {
         self
     }
 
+    /// Enables checked mode: every subsystem arms its invariant probes
+    /// and the VM diffs against the lockstep reference oracle (see
+    /// [`crate::engine::Engine::with_checked`]). Also enabled for every
+    /// request when the `HOGTAME_CHECKED` environment variable is set.
+    /// A checked run's simulated outcome is bit-identical to an unchecked
+    /// run; the first invariant disagreement raises a typed
+    /// [`sim_core::sanitizer::InvariantViolation`].
+    #[must_use]
+    pub fn checked(mut self) -> Self {
+        self.checked = true;
+        self
+    }
+
+    /// Whether this request runs in checked mode.
+    pub fn is_checked(&self) -> bool {
+        self.checked
+    }
+
+    /// Schedules one deliberate state corruption at `at` — the
+    /// checked-mode mutation self test (see
+    /// [`crate::engine::Engine::with_mutation`]).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn mutate(mut self, at: SimTime, m: Mutation) -> Self {
+        self.mutation = Some((at, m));
+        self
+    }
+
     /// Installs a seeded fault-injection plan for the run.
     #[must_use]
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
@@ -203,7 +236,11 @@ impl RunRequest {
     /// Timelines, kernel traces and structured event streams carry bulky
     /// observational state the journal codec deliberately does not model.
     pub fn journalable(&self) -> bool {
-        self.timeline.is_none() && !self.kernel_trace && !self.observe
+        self.timeline.is_none()
+            && !self.kernel_trace
+            && !self.observe
+            && !self.checked
+            && self.mutation.is_none()
     }
 
     /// Validates the request without running it: a malformed machine
@@ -270,6 +307,12 @@ impl RunRequest {
         if self.observe {
             engine = engine.with_observability();
         }
+        if self.checked {
+            engine = engine.with_checked();
+        }
+        if let Some((at, m)) = self.mutation {
+            engine = engine.with_mutation(at, m);
+        }
         // Before registration: hint-emitting layers draw their per-process
         // fault streams at registration time.
         if self.fault_plan.any() {
@@ -311,7 +354,7 @@ impl RunRequest {
     /// Two requests that would simulate identically fingerprint
     /// identically; any field that could change the results is included.
     pub fn feed(&self, h: &mut Fnv1a) {
-        h.write_str("run_request/v2");
+        h.write_str("run_request/v3");
         // MachineConfig holds only plain scalar/struct fields, so its
         // `Debug` rendering is a deterministic value encoding (no
         // randomized map iteration anywhere in it).
@@ -357,6 +400,15 @@ impl RunRequest {
         }
         h.write_bool(self.kernel_trace);
         h.write_bool(self.observe);
+        h.write_bool(self.checked);
+        match self.mutation {
+            None => h.write_bool(false),
+            Some((at, m)) => {
+                h.write_bool(true);
+                h.write_u64(at.as_nanos());
+                h.write_str(m.label());
+            }
+        }
         self.fault_plan.feed(h);
         h.write_u64(self.reseed.map_or(u64::MAX, |s| s));
     }
@@ -438,7 +490,11 @@ mod tests {
             .timeline(SimDuration::from_millis(1))
             .journalable());
         assert!(!base.clone().kernel_trace().journalable());
-        assert!(!base.observe().journalable());
+        assert!(!base.clone().observe().journalable());
+        assert!(!base.clone().checked().journalable());
+        assert!(!base
+            .mutate(SimTime::from_nanos(1), Mutation::LeakFrame)
+            .journalable());
     }
 
     #[test]
@@ -487,6 +543,8 @@ mod tests {
             base().timeline(SimDuration::from_millis(250)),
             base().kernel_trace(),
             base().observe(),
+            base().checked(),
+            base().mutate(SimTime::from_nanos(1), Mutation::LeakFrame),
             base().reseed(7),
             base().fault_plan(FaultPlan {
                 seed: 1,

@@ -9,6 +9,7 @@
 use sim_core::fault::{FaultKind, FaultLog, IoFaults};
 use sim_core::obs::{EventKind, Recorder};
 use sim_core::rng::Pcg32;
+use sim_core::sanitizer::{InvariantViolation, Mutation};
 use sim_core::stats::{Counter, Histogram};
 use sim_core::{SimDuration, SimTime};
 
@@ -103,6 +104,14 @@ pub struct SwapDevice {
     fault_rng: Option<Pcg32>,
     fault_log: FaultLog,
     obs: Recorder,
+    /// Checked mode: run the I/O completion/retry invariant probes.
+    checked: bool,
+    /// Requests submitted, for the double-complete conservation probe.
+    submitted: u64,
+    /// Mutation matrix: complete each request twice (stats-wise).
+    mut_double: bool,
+    /// Mutation matrix: retry transient failures past the budget.
+    mut_bust: bool,
 }
 
 impl SwapDevice {
@@ -132,12 +141,46 @@ impl SwapDevice {
             fault_rng: None,
             fault_log: FaultLog::default(),
             obs: Recorder::default(),
+            checked: false,
+            submitted: 0,
+            mut_double: false,
+            mut_bust: false,
         }
     }
 
     /// Enables or disables structured I/O-span recording.
     pub fn set_obs_enabled(&mut self, enabled: bool) {
         self.obs.set_enabled(enabled);
+    }
+
+    /// Enables or disables the checked-mode I/O probes (no request
+    /// completes twice, retry budgets are respected).
+    pub fn set_checked(&mut self, enabled: bool) {
+        self.checked = enabled;
+    }
+
+    /// Applies a seeded state corruption from the checked-mode mutation
+    /// matrix. Mutations targeting other subsystems are ignored.
+    #[doc(hidden)]
+    pub fn apply_mutation(&mut self, m: Mutation) {
+        match m {
+            Mutation::DoubleCompleteIo => self.mut_double = true,
+            Mutation::BustRetryBudget => self.mut_bust = true,
+            _ => {}
+        }
+    }
+
+    /// Raises a disk-subsystem invariant violation with this device's
+    /// flight-recorder tail attached.
+    fn checked_fail(&self, at: SimTime, invariant: &'static str, detail: String) -> ! {
+        InvariantViolation {
+            at,
+            subsystem: "disk",
+            invariant,
+            detail,
+            tail: self.obs.dump_tail(16),
+        }
+        .raise()
     }
 
     /// The device's flight recorder (one [`EventKind::Io`] span per
@@ -194,6 +237,20 @@ impl SwapDevice {
                 failures += 1;
             }
         }
+        if self.mut_bust {
+            failures = self.faults.max_retries + 1;
+        }
+        if self.checked && failures > self.faults.max_retries {
+            self.checked_fail(
+                now,
+                "io_retry_budget",
+                format!(
+                    "request for {slot:?} drew {failures} transient failures, \
+                     past the retry budget of {}",
+                    self.faults.max_retries
+                ),
+            );
+        }
 
         let mut start = now;
         if tail {
@@ -224,6 +281,26 @@ impl SwapDevice {
         match kind {
             IoKind::Read => self.stats.page_reads.bump(),
             IoKind::Write => self.stats.page_writes.bump(),
+        }
+        if self.mut_double {
+            match kind {
+                IoKind::Read => self.stats.page_reads.bump(),
+                IoKind::Write => self.stats.page_writes.bump(),
+            }
+        }
+        self.submitted += 1;
+        if self.checked {
+            let done = self.stats.page_reads.get() + self.stats.page_writes.get();
+            if done != self.submitted {
+                self.checked_fail(
+                    now,
+                    "io_double_complete",
+                    format!(
+                        "{done} completions recorded for {} submitted requests",
+                        self.submitted
+                    ),
+                );
+            }
         }
         self.latency_hist.record(completion.since(now));
         self.obs.emit(

@@ -20,6 +20,7 @@ use vm::Vpn;
 pub struct TagFilter {
     last: HashMap<u32, Vpn>,
     dropped_same_page: u64,
+    echo_same_page: bool,
 }
 
 impl TagFilter {
@@ -34,6 +35,12 @@ impl TagFilter {
     /// previously recorded page for this tag), or `None` if the hint names
     /// the same page as before (dropped) or is the first for its tag.
     pub fn observe(&mut self, tag: u32, vpn: Vpn) -> Option<Vpn> {
+        if self.echo_same_page {
+            // Corrupted (mutation matrix): the still-in-use page leaks
+            // straight through instead of being held back one hint.
+            self.last.insert(tag, vpn);
+            return Some(vpn);
+        }
         match self.last.get_mut(&tag) {
             Some(prev) if *prev == vpn => {
                 self.dropped_same_page += 1;
@@ -83,6 +90,14 @@ impl TagFilter {
     /// run length, once retirement is wired in).
     pub fn tracked_tags(&self) -> usize {
         self.last.len()
+    }
+
+    /// Test-only corruption: makes every observation echo the just-used
+    /// page instead of holding it back one hint. Exists solely for the
+    /// checked-mode mutation matrix.
+    #[doc(hidden)]
+    pub fn corrupt_echo_same_page(&mut self) {
+        self.echo_same_page = true;
     }
 }
 

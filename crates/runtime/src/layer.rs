@@ -27,6 +27,7 @@ use std::collections::{HashMap, VecDeque};
 use sim_core::fault::{FaultKind, FaultLog, HintFaults};
 use sim_core::obs::{EventKind, Recorder};
 use sim_core::rng::Pcg32;
+use sim_core::sanitizer::{InvariantViolation, Mutation};
 use sim_core::{SimDuration, SimTime};
 use vm::{Pid, VmSys, Vpn};
 
@@ -139,6 +140,8 @@ pub struct RuntimeLayer {
     prefetch_tags: HashMap<Vpn, u32>,
     /// Suppressed release hints, kept as reactive eviction candidates.
     degraded: VecDeque<Vpn>,
+    /// Checked mode: run the hint-path invariant probes.
+    checked: bool,
 }
 
 impl RuntimeLayer {
@@ -161,7 +164,38 @@ impl RuntimeLayer {
             release_tags: HashMap::new(),
             prefetch_tags: HashMap::new(),
             degraded: VecDeque::new(),
+            checked: false,
         }
+    }
+
+    /// Enables or disables the checked-mode invariant probes (one-behind
+    /// filter safety, release-buffer priority coherence).
+    pub fn set_checked(&mut self, enabled: bool) {
+        self.checked = enabled;
+    }
+
+    /// Applies a seeded state corruption from the checked-mode mutation
+    /// matrix. Mutations targeting other subsystems are ignored.
+    #[doc(hidden)]
+    pub fn apply_mutation(&mut self, m: Mutation) {
+        match m {
+            Mutation::ReorderReleaseQueue => self.buffers.corrupt_priority_order(),
+            Mutation::FilterPassthrough => self.tags.corrupt_echo_same_page(),
+            _ => {}
+        }
+    }
+
+    /// Raises a runtime-subsystem invariant violation with this layer's
+    /// flight-recorder tail attached.
+    fn checked_fail(&self, at: SimTime, invariant: &'static str, detail: String) -> ! {
+        InvariantViolation {
+            at,
+            subsystem: "runtime",
+            invariant,
+            detail,
+            tail: self.obs.dump_tail(16),
+        }
+        .raise()
     }
 
     /// The release policy in force.
@@ -550,6 +584,11 @@ impl RuntimeLayer {
         self.stats.release_hints += 1;
         self.obs
             .emit_page(now, pid.0, vpn.0, EventKind::ReleaseHint { tag, pages: 1 });
+        if self.checked {
+            if let Err(why) = self.buffers.check_coherent() {
+                self.checked_fail(now, "release_queue_priority", why);
+            }
+        }
         let mut cost = self.config.hint_check;
 
         if let Some(h) = self.health.as_mut() {
@@ -572,7 +611,19 @@ impl RuntimeLayer {
         // With the filter ablated, act on the hinted page directly.
         let prev = if self.config.one_behind {
             match self.tags.observe(tag, vpn) {
-                Some(prev) => prev,
+                Some(prev) => {
+                    if self.checked && prev == vpn {
+                        self.checked_fail(
+                            now,
+                            "one_behind_filter",
+                            format!(
+                                "one-behind filter passed just-hinted {vpn} for \
+                                 tag {tag} straight through"
+                            ),
+                        );
+                    }
+                    prev
+                }
                 None => {
                     self.stats.release_same_page = self.tags.dropped_same_page();
                     self.obs.emit_page(

@@ -128,6 +128,93 @@ impl ReleaseBuffers {
     pub fn drain_all(&mut self) -> Vec<Vpn> {
         self.drain_lowest(usize::MAX)
     }
+
+    /// Checked-mode coherence audit of the buffering structure: the
+    /// buffered count equals the queue sizes, every priolist tag carries
+    /// exactly its registered Eq. 2 priority, and the coalescing sets
+    /// mirror the queues. Returns the first disagreement found.
+    pub fn check_coherent(&self) -> Result<(), String> {
+        let queued: usize = self.queues.values().map(VecDeque::len).sum();
+        if queued != self.buffered {
+            return Err(format!(
+                "buffered count {} != pages actually queued {}",
+                self.buffered, queued
+            ));
+        }
+        for (&prio, tags) in &self.priolist {
+            for &tag in tags {
+                match self.tag_priority.get(&tag) {
+                    Some(&p) if p == prio => {}
+                    Some(&p) => {
+                        return Err(format!(
+                            "tag {tag} sits in priority-{prio} bucket but is \
+                             registered at Eq. 2 priority {p}"
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "tag {tag} sits in priority-{prio} bucket but has \
+                             no registered priority"
+                        ));
+                    }
+                }
+            }
+        }
+        for (&tag, &prio) in &self.tag_priority {
+            if !self
+                .priolist
+                .get(&prio)
+                .is_some_and(|tags| tags.contains(&tag))
+            {
+                return Err(format!(
+                    "tag {tag} registered at priority {prio} but missing from \
+                     that priority's bucket"
+                ));
+            }
+        }
+        for (tag, q) in &self.queues {
+            let set_len = self.queued_pages.get(tag).map_or(0, HashSet::len);
+            if q.len() != set_len {
+                return Err(format!(
+                    "tag {tag} queue holds {} pages but its coalescing set \
+                     holds {set_len}",
+                    q.len()
+                ));
+            }
+            if let Some(set) = self.queued_pages.get(tag) {
+                if let Some(vpn) = q.iter().find(|v| !set.contains(v)) {
+                    return Err(format!(
+                        "tag {tag} queue holds {vpn} absent from its \
+                         coalescing set"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Test-only corruption: moves one tag into the wrong priority bucket
+    /// (or plants an orphan bucket entry when nothing is buffered yet).
+    /// Exists solely for the checked-mode mutation matrix.
+    #[doc(hidden)]
+    pub fn corrupt_priority_order(&mut self) {
+        let victim = self
+            .priolist
+            .iter()
+            .find(|(_, tags)| !tags.is_empty())
+            .map(|(&prio, tags)| (prio, tags[0]));
+        match victim {
+            Some((prio, tag)) => {
+                if let Some(tags) = self.priolist.get_mut(&prio) {
+                    tags.retain(|&t| t != tag);
+                }
+                self.priolist.entry(prio + 1).or_default().push(tag);
+            }
+            None => {
+                self.priolist.entry(1).or_default().push(999_983);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,10 @@
 //!   Chrome-trace / Prometheus exporters, and the metrics registry.
 //! * [`trace`] — the legacy free-form trace ring (deprecated in favour of
 //!   [`obs`]).
+//! * [`sanitizer`] / [`oracle`] — checked mode: typed invariant
+//!   violations raised by in-sim probes, the mutation self-test matrix,
+//!   and the naive lockstep reference model the live state is diffed
+//!   against.
 //!
 //! The engine is intentionally *not* multi-threaded: determinism (same seed →
 //! same result, bit for bit) is a core requirement so that every figure in
@@ -30,7 +34,9 @@ pub mod event;
 pub mod fault;
 pub mod fingerprint;
 pub mod obs;
+pub mod oracle;
 pub mod rng;
+pub mod sanitizer;
 pub mod stats;
 pub mod time;
 pub mod trace;

@@ -120,6 +120,24 @@ impl FreeList {
     pub fn is_rescuable(&self, pid: Pid, vpn: Vpn) -> bool {
         self.rescue_index.contains_key(&(pid, vpn))
     }
+
+    /// Test-only corruption: silently drops one live frame from the list
+    /// while the frame table still believes it is free (a leaked frame).
+    /// Exists solely for the checked-mode mutation matrix. Returns false
+    /// when the list has no live entry to leak.
+    #[doc(hidden)]
+    pub fn corrupt_leak_frame(&mut self, frames: &FrameTable) -> bool {
+        let Some(idx) = self
+            .queue
+            .iter()
+            .position(|&pfn| frames.get(pfn).on_free_list)
+        else {
+            return false;
+        };
+        self.queue.remove(idx);
+        self.live -= 1;
+        true
+    }
 }
 
 #[cfg(test)]

@@ -178,6 +178,14 @@ impl PageTable {
     pub fn iter(&self) -> impl Iterator<Item = (&Vpn, &Pte)> {
         self.entries.iter()
     }
+
+    /// Test-only corruption: desynchronizes the cached resident counter
+    /// from the entries (models a skipped Eq. 1 usage decrement). Exists
+    /// solely for the checked-mode mutation matrix.
+    #[doc(hidden)]
+    pub fn corrupt_resident_count(&mut self) {
+        self.resident += 1;
+    }
 }
 
 #[cfg(test)]

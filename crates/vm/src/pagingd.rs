@@ -77,6 +77,13 @@ impl PagingDaemon {
     pub fn hand(&self) -> usize {
         self.hand
     }
+
+    /// Deliberately warps the clock hand outside an activation — the
+    /// sanitizer self-test's `WarpClockHand` mutation. Test plumbing only.
+    #[doc(hidden)]
+    pub fn corrupt_warp_hand(&mut self, total: usize) {
+        self.hand = (self.hand + 1) % total.max(2);
+    }
 }
 
 impl VmSys {
@@ -109,6 +116,10 @@ impl VmSys {
     /// if free memory is nominally above the low-water mark and keep going
     /// until at least one frame is freed or the scan budget is exhausted.
     pub(crate) fn pagingd_activation(&mut self, now: SimTime, forced: bool) -> SimTime {
+        // Checked mode: the hand must be where the last activation parked
+        // it, and the whole system must be self-consistent before the scan
+        // moves anything.
+        self.checked_sweep(now);
         self.stats.pagingd.activations.bump();
         let trim_target = self.over_limit_pid();
         let total = self.frames.len();
@@ -271,19 +282,20 @@ impl VmSys {
             if stole_from_pid {
                 // Having memory stolen is memory-system activity: the OS
                 // refreshes the victim's shared page.
-                self.refresh_shared(pid);
+                self.refresh_shared(now, pid);
             }
             t = acq.end;
             i = j;
         }
         self.stats.pagingd.busy += t.since(now);
-        self.obs.emit(
+        self.note(
             now,
             EventKind::PagingdScan {
                 scanned: scanned as u64,
                 free: self.free.live() as u64,
             },
         );
+        self.checked_park_hand();
         t
     }
 

@@ -23,6 +23,7 @@ use sim_core::SimTime;
 
 use crate::addr::{Pid, Vpn};
 use crate::frame::FreeSource;
+use crate::pagetable::InvalidReason;
 use crate::vmsys::VmSys;
 
 /// A queued release request for one page.
@@ -88,6 +89,7 @@ impl VmSys {
         if self.releaser.queue.is_empty() {
             return None;
         }
+        self.checked_sweep(now);
         self.stats.releaser.activations.bump();
         let batch = self.tun.releaser_batch.max(1) as usize;
         let mut t = now;
@@ -167,6 +169,22 @@ impl VmSys {
                     continue;
                 }
                 let dirty = pte.dirty;
+                if self.checked()
+                    && pte.invalid_reason == Some(InvalidReason::Prefetched)
+                    && pte.arrives_at > acq.end
+                {
+                    self.checked_fail(
+                        acq.end,
+                        "inflight_prefetch_release",
+                        format!(
+                            "releaser freeing {} of {} while its prefetch is in \
+                             flight until t={}ns",
+                            req.vpn,
+                            req.pid,
+                            pte.arrives_at.as_nanos()
+                        ),
+                    );
+                }
                 self.free_page(acq.end, req.pid, req.vpn, FreeSource::Release);
                 self.stats.releaser.pages_released.bump();
                 if dirty {

@@ -18,6 +18,8 @@ use std::collections::{HashMap, VecDeque};
 
 use disk::{IoKind, SwapConfig, SwapDevice, SwapSlot};
 use sim_core::obs::{EventKind, Recorder};
+use sim_core::oracle::{naive_limit, Oracle};
+use sim_core::sanitizer::{InvariantViolation, Mutation};
 use sim_core::{SimDuration, SimTime};
 
 use crate::addr::{PageRange, Pfn, Pid, Vpn};
@@ -158,6 +160,21 @@ pub struct VmSys {
     /// Structured kernel-activity flight recorder (disabled by default).
     pub(crate) obs: Recorder,
     next_swap_slot: u64,
+    /// Checked mode: invariant probes fire at state-mutation sites.
+    checked: bool,
+    /// The lockstep reference oracle (present only in checked mode).
+    oracle: Option<Oracle>,
+    /// Shadow copy of each PM process's shared usage/limit words taken at
+    /// the last legitimate refresh; out-of-band tampering is caught by
+    /// comparison at the next probe sweep.
+    checked_shadow: HashMap<u32, (u64, u64)>,
+    /// Clock-hand position recorded at the end of the last paging-daemon
+    /// activation (checked mode): the hand must not move between
+    /// activations.
+    checked_hand: Option<usize>,
+    /// Suppresses oracle feeding for one operation (the `StealthFree`
+    /// self-test mutation: a legitimate free the oracle never hears of).
+    oracle_mute: bool,
 }
 
 impl VmSys {
@@ -186,6 +203,11 @@ impl VmSys {
             last_broadcast_free: total_frames as u64,
             obs: Recorder::default(),
             next_swap_slot: 0,
+            checked: false,
+            oracle: None,
+            checked_shadow: HashMap::new(),
+            checked_hand: None,
+            oracle_mute: false,
         }
     }
 
@@ -349,13 +371,43 @@ impl VmSys {
 
     /// Refreshes the shared page's usage/limit words (the OS does this on
     /// every memory-system activity of the owning process).
-    pub(crate) fn refresh_shared(&mut self, pid: Pid) {
+    pub(crate) fn refresh_shared(&mut self, now: SimTime, pid: Pid) {
         let free = self.free.live() as u64;
-        let p = &mut self.procs[pid.0 as usize];
+        let pidx = pid.0 as usize;
+        let usage = self.procs[pidx].pt.resident_pages();
+        let limit = upper_limit(self.tun.maxrss, usage, free, self.tun.min_freemem);
+        if self.checked && self.procs[pidx].pm.is_some() {
+            // Probe *before* overwriting: a tampered word must be caught
+            // here, not silently repaired by this refresh. And diff the
+            // optimized Eq. 1 against the oracle's naive arithmetic.
+            let p = &self.procs[pidx];
+            if let (Some(pm), Some(&(u, l))) = (p.pm.as_ref(), self.checked_shadow.get(&pid.0)) {
+                if (pm.shared.usage_word, pm.shared.limit_word) != (u, l) {
+                    self.checked_fail(
+                        now,
+                        "eq1_accounting",
+                        format!(
+                            "pid {}: shared words ({}, {}) diverged from the last refresh ({u}, {l})",
+                            pid.0, pm.shared.usage_word, pm.shared.limit_word
+                        ),
+                    );
+                }
+            }
+            let naive = naive_limit(self.tun.maxrss, usage, free, self.tun.min_freemem);
+            if naive != limit {
+                self.checked_fail(
+                    now,
+                    "oracle_eq1",
+                    format!("Eq. 1 disagreement: optimized limit {limit}, naive spec {naive}"),
+                );
+            }
+        }
+        let p = &mut self.procs[pidx];
         if let Some(pm) = p.pm.as_mut() {
-            let usage = p.pt.resident_pages();
-            let limit = upper_limit(self.tun.maxrss, usage, free, self.tun.min_freemem);
             pm.shared.refresh(usage, limit);
+            if self.checked {
+                self.checked_shadow.insert(pid.0, (usage, limit));
+            }
         }
         self.maybe_broadcast(free);
     }
@@ -372,11 +424,14 @@ impl VmSys {
             return;
         }
         self.last_broadcast_free = free;
-        for p in &mut self.procs {
+        for (pidx, p) in self.procs.iter_mut().enumerate() {
             if let Some(pm) = p.pm.as_mut() {
                 let usage = p.pt.resident_pages();
                 let limit = upper_limit(self.tun.maxrss, usage, free, self.tun.min_freemem);
                 pm.shared.refresh(usage, limit);
+                if self.checked {
+                    self.checked_shadow.insert(pidx as u32, (usage, limit));
+                }
             }
         }
     }
@@ -478,8 +533,7 @@ impl VmSys {
                 self.validate_pte(pidx, vpn, now);
                 self.procs[pidx].tlb.touch(vpn);
                 self.stats.proc_mut(pidx).prefetch_validates.bump();
-                self.obs
-                    .emit_page(now, pid.0, vpn.0, EventKind::PrefetchValidated);
+                self.note_page(now, pid.0, vpn.0, EventKind::PrefetchValidated);
                 TouchResult {
                     kind: TouchKind::PrefetchValidate,
                     system,
@@ -494,9 +548,8 @@ impl VmSys {
                 self.validate_pte(pidx, vpn, now);
                 self.procs[pidx].tlb.touch(vpn);
                 self.stats.proc_mut(pidx).soft_faults_daemon.bump();
-                self.obs
-                    .emit_page(now, pid.0, vpn.0, EventKind::SoftFaultDaemon);
-                self.refresh_shared(pid);
+                self.note_page(now, pid.0, vpn.0, EventKind::SoftFaultDaemon);
+                self.refresh_shared(now, pid);
                 TouchResult {
                     kind: TouchKind::SoftFaultDaemon,
                     system,
@@ -520,9 +573,8 @@ impl VmSys {
                     pm.shared.set_resident(vpn, true);
                 }
                 self.stats.proc_mut(pidx).soft_faults_release.bump();
-                self.obs
-                    .emit_page(now, pid.0, vpn.0, EventKind::ReleaseCancelled);
-                self.refresh_shared(pid);
+                self.note_page(now, pid.0, vpn.0, EventKind::ReleaseCancelled);
+                self.refresh_shared(now, pid);
                 TouchResult {
                     kind: TouchKind::SoftFaultRelease,
                     system,
@@ -584,18 +636,16 @@ impl VmSys {
         match source {
             FreeSource::Daemon => {
                 self.stats.freed.rescued_daemon.bump();
-                self.obs
-                    .emit_page(now, pid.0, vpn.0, EventKind::RescueDaemon);
+                self.note_page(now, pid.0, vpn.0, EventKind::RescueDaemon);
             }
             FreeSource::Release => {
                 self.stats.freed.rescued_release.bump();
-                self.obs
-                    .emit_page(now, pid.0, vpn.0, EventKind::RescueRelease);
+                self.note_page(now, pid.0, vpn.0, EventKind::RescueRelease);
             }
             _ => {}
         }
         self.update_peak_rss(pidx);
-        self.refresh_shared(pid);
+        self.refresh_shared(now, pid);
         Some(TouchResult {
             kind: TouchKind::Rescue(source),
             system,
@@ -621,8 +671,8 @@ impl VmSys {
         let system = params.zero_fill_fault;
         self.install_page(pidx, pid, vpn, pfn, now, write);
         self.stats.proc_mut(pidx).zero_fills.bump();
-        self.obs.emit_page(now, pid.0, vpn.0, EventKind::ZeroFill);
-        self.refresh_shared(pid);
+        self.note_page(now, pid.0, vpn.0, EventKind::ZeroFill);
+        self.refresh_shared(now, pid);
         Ok(TouchResult {
             kind: TouchKind::ZeroFill,
             system,
@@ -665,8 +715,8 @@ impl VmSys {
             e.swap_slot = Some(slot);
         }
         self.stats.proc_mut(pidx).hard_faults.bump();
-        self.obs.emit_page(now, pid.0, vpn.0, EventKind::HardFault);
-        self.refresh_shared(pid);
+        self.note_page(now, pid.0, vpn.0, EventKind::HardFault);
+        self.refresh_shared(now, pid);
         Ok(TouchResult {
             kind: TouchKind::HardFault,
             system: params.hard_fault_setup + params.hard_fault_finish,
@@ -812,8 +862,7 @@ impl VmSys {
 
         if pte.resident() {
             self.stats.proc_mut(pidx).prefetch_redundant.bump();
-            self.obs
-                .emit_page(now, pid.0, vpn.0, EventKind::PrefetchRedundant);
+            self.note_page(now, pid.0, vpn.0, EventKind::PrefetchRedundant);
             return (PrefetchOutcome::AlreadyResident, cost);
         }
 
@@ -826,20 +875,17 @@ impl VmSys {
                 match source {
                     FreeSource::Daemon => {
                         self.stats.freed.rescued_daemon.bump();
-                        self.obs
-                            .emit_page(now, pid.0, vpn.0, EventKind::RescueDaemon);
+                        self.note_page(now, pid.0, vpn.0, EventKind::RescueDaemon);
                     }
                     FreeSource::Release => {
                         self.stats.freed.rescued_release.bump();
-                        self.obs
-                            .emit_page(now, pid.0, vpn.0, EventKind::RescueRelease);
+                        self.note_page(now, pid.0, vpn.0, EventKind::RescueRelease);
                     }
                     _ => {}
                 }
                 self.stats.proc_mut(pidx).rescues.bump();
-                self.obs
-                    .emit_page(now, pid.0, vpn.0, EventKind::PrefetchRescued);
-                self.refresh_shared(pid);
+                self.note_page(now, pid.0, vpn.0, EventKind::PrefetchRescued);
+                self.refresh_shared(now, pid);
                 return (PrefetchOutcome::Rescued, cost);
             }
         }
@@ -848,15 +894,13 @@ impl VmSys {
         // prefetches never trigger stealing.
         if self.tun.prefetch_discard_when_low && (self.free.live() as u64) <= self.tun.min_freemem {
             self.stats.proc_mut(pidx).prefetch_discarded.bump();
-            self.obs
-                .emit_page(now, pid.0, vpn.0, EventKind::PrefetchDiscarded);
-            self.refresh_shared(pid);
+            self.note_page(now, pid.0, vpn.0, EventKind::PrefetchDiscarded);
+            self.refresh_shared(now, pid);
             return (PrefetchOutcome::Discarded, cost);
         }
         let Some(pfn) = self.free.alloc(&mut self.frames) else {
             self.stats.proc_mut(pidx).prefetch_discarded.bump();
-            self.obs
-                .emit_page(now, pid.0, vpn.0, EventKind::PrefetchDiscarded);
+            self.note_page(now, pid.0, vpn.0, EventKind::PrefetchDiscarded);
             return (PrefetchOutcome::Discarded, cost);
         };
         if (self.free.live() as u64) < self.tun.min_freemem {
@@ -869,9 +913,8 @@ impl VmSys {
         let arrives_at = self.swap.submit(io_start, slot, IoKind::Read);
         self.frames.get_mut(pfn).owner = Some((pid, vpn));
         self.install_prefetched(pidx, pid, vpn, pfn, now, arrives_at);
-        self.obs
-            .emit_page(now, pid.0, vpn.0, EventKind::PrefetchStarted);
-        self.refresh_shared(pid);
+        self.note_page(now, pid.0, vpn.0, EventKind::PrefetchStarted);
+        self.refresh_shared(now, pid);
         (PrefetchOutcome::Started { arrives_at }, cost)
     }
 
@@ -934,16 +977,14 @@ impl VmSys {
             if !pte.resident() || pte.release_requested.is_some() {
                 out.skipped_nonresident += 1;
                 self.stats.releaser.skipped_nonresident.bump();
-                self.obs
-                    .emit_page(now, pid.0, vpn.0, EventKind::ReleaseSkippedNonresident);
+                self.note_page(now, pid.0, vpn.0, EventKind::ReleaseSkippedNonresident);
                 continue;
             }
             // Releasing an in-flight prefetch would race its I/O; skip.
             if pte.invalid_reason == Some(InvalidReason::Prefetched) && pte.arrives_at > now {
                 out.skipped_nonresident += 1;
                 self.stats.releaser.skipped_nonresident.bump();
-                self.obs
-                    .emit_page(now, pid.0, vpn.0, EventKind::ReleaseSkippedNonresident);
+                self.note_page(now, pid.0, vpn.0, EventKind::ReleaseSkippedNonresident);
                 continue;
             }
             {
@@ -958,11 +999,11 @@ impl VmSys {
             }
             self.releaser.enqueue(pid, vpn, now);
             self.stats.releaser.requests.bump();
-            self.obs
-                .emit_page(now, pid.0, vpn.0, EventKind::ReleaseAccepted);
+            self.note_page(now, pid.0, vpn.0, EventKind::ReleaseAccepted);
             out.accepted += 1;
         }
-        self.refresh_shared(pid);
+        self.refresh_shared(now, pid);
+        self.checked_sweep(now);
         out
     }
 
@@ -1012,14 +1053,12 @@ impl VmSys {
             FreeSource::Daemon => {
                 self.stats.freed.freed_by_daemon.bump();
                 self.stats.proc_mut(pidx).pages_stolen.bump();
-                self.obs
-                    .emit_page(t, pid.0, vpn.0, EventKind::FreedByDaemon);
+                self.note_page(t, pid.0, vpn.0, EventKind::FreedByDaemon);
             }
             FreeSource::Release => {
                 self.stats.freed.freed_by_release.bump();
                 self.stats.proc_mut(pidx).pages_released.bump();
-                self.obs
-                    .emit_page(t, pid.0, vpn.0, EventKind::FreedByRelease);
+                self.note_page(t, pid.0, vpn.0, EventKind::FreedByRelease);
             }
             _ => {}
         }
@@ -1112,7 +1151,7 @@ impl VmSys {
                     pm.shared.set_resident(vpn, true);
                 }
             }
-            self.refresh_shared(Pid(pidx as u32));
+            self.refresh_shared(now, Pid(pidx as u32));
         }
         (orphaned, fixups)
     }
@@ -1125,6 +1164,323 @@ impl VmSys {
     /// Read access to the kernel-activity flight recorder.
     pub fn recorder(&self) -> &Recorder {
         &self.obs
+    }
+
+    // ------------------------------------------------------------------
+    // Checked mode: invariant probes + lockstep oracle.
+    // ------------------------------------------------------------------
+
+    /// Enables checked mode: invariant probes fire at every daemon
+    /// activation and release batch, and a fresh lockstep
+    /// [`Oracle`] starts consuming the kernel event stream. Purely
+    /// observational — a checked run's simulated outcome is bit-identical
+    /// to an unchecked one. Call before any process is registered (the
+    /// oracle models the machine from its pristine state).
+    pub fn set_checked(&mut self, enabled: bool) {
+        self.checked = enabled;
+        if enabled {
+            self.oracle =
+                Some(Oracle::new(self.frames.len() as u64).with_interval(Oracle::env_interval()));
+            self.checked_hand = Some(self.pagingd.hand());
+        } else {
+            self.oracle = None;
+            self.checked_hand = None;
+            self.checked_shadow.clear();
+        }
+    }
+
+    /// Whether checked mode is enabled.
+    pub fn checked(&self) -> bool {
+        self.checked
+    }
+
+    /// Records a page-attributed kernel event; in checked mode the same
+    /// event feeds the lockstep oracle's residency model.
+    pub(crate) fn note_page(&mut self, at: SimTime, pid: u32, vpn: u64, kind: EventKind) {
+        if self.checked && !self.oracle_mute {
+            if let Some(o) = self.oracle.as_mut() {
+                o.apply_page(pid, vpn, &kind);
+            }
+        }
+        self.obs.emit_page(at, pid, vpn, kind);
+    }
+
+    /// Records a kernel event with no page attribution; in checked mode
+    /// the oracle tracks the clock hand from the paging daemon's scans.
+    pub(crate) fn note(&mut self, at: SimTime, kind: EventKind) {
+        if self.checked {
+            if let Some(o) = self.oracle.as_mut() {
+                o.apply(&kind);
+            }
+        }
+        self.obs.emit(at, kind);
+    }
+
+    /// Remembers where the clock hand parked at the end of an activation
+    /// (the monotonicity probe asserts nothing else moves it).
+    pub(crate) fn checked_park_hand(&mut self) {
+        if self.checked {
+            self.checked_hand = Some(self.pagingd.hand());
+        }
+    }
+
+    /// Raises a checked-mode violation with this subsystem's
+    /// flight-recorder tail attached.
+    pub(crate) fn checked_fail(&self, at: SimTime, invariant: &'static str, detail: String) -> ! {
+        InvariantViolation {
+            at,
+            subsystem: "vm",
+            invariant,
+            detail,
+            tail: self.obs.dump_tail(16),
+        }
+        .raise()
+    }
+
+    /// Runs every whole-system invariant probe: clock-hand position,
+    /// frame conservation, per-process page-table ⇄ frame ⇄ bitmap ⇄
+    /// Eq. 1 agreement, and — when a lockstep diff is due — the oracle's
+    /// residency and clock models. One branch when checked mode is off.
+    pub(crate) fn checked_sweep(&mut self, now: SimTime) {
+        if !self.checked {
+            return;
+        }
+        if let Some(hand) = self.checked_hand {
+            let live = self.pagingd.hand();
+            if hand != live {
+                self.checked_fail(
+                    now,
+                    "clock_hand_monotonic",
+                    format!(
+                        "clock hand moved outside an activation: parked at {hand}, live {live}"
+                    ),
+                );
+            }
+        }
+        let free = self.free.live();
+        let allocated = self.frames.allocated_count();
+        let total = self.frames.len();
+        if free + allocated != total {
+            self.checked_fail(
+                now,
+                "frame_conservation",
+                format!("free {free} + allocated {allocated} != total {total}"),
+            );
+        }
+        for pidx in 0..self.procs.len() {
+            self.checked_sweep_proc(now, pidx);
+        }
+        if self.oracle.as_mut().is_some_and(Oracle::due) {
+            self.checked_diff_oracle(now);
+        }
+    }
+
+    /// Per-process probes of one sweep (see [`VmSys::checked_sweep`]).
+    fn checked_sweep_proc(&self, now: SimTime, pidx: usize) {
+        let p = &self.procs[pidx];
+        let cached = p.pt.resident_pages();
+        let recount = p.pt.iter().filter(|(_, pte)| pte.resident()).count() as u64;
+        if cached != recount {
+            self.checked_fail(
+                now,
+                "eq1_usage_recount",
+                format!(
+                    "pid {pidx}: cached resident count {cached} != page-table recount {recount}"
+                ),
+            );
+        }
+        for (&vpn, pte) in p.pt.iter() {
+            if let Some(pfn) = pte.pfn {
+                let f = self.frames.get(pfn);
+                if f.on_free_list {
+                    self.checked_fail(
+                        now,
+                        "frame_ownership",
+                        format!(
+                            "pid {pidx} vpn {} maps frame {} that sits on the free list",
+                            vpn.0, pfn.0
+                        ),
+                    );
+                }
+                if f.owner != Some((Pid(pidx as u32), vpn)) {
+                    self.checked_fail(
+                        now,
+                        "frame_ownership",
+                        format!(
+                            "pid {pidx} vpn {} maps frame {} owned by {:?}",
+                            vpn.0, pfn.0, f.owner
+                        ),
+                    );
+                }
+            }
+            if let Some(pm) = p.pm.as_ref() {
+                if pm.shared.covers(vpn) {
+                    let want = pte.resident() && pte.release_requested.is_none();
+                    if pm.shared.is_resident(vpn) != want {
+                        self.checked_fail(
+                            now,
+                            "bitmap_agreement",
+                            format!(
+                                "pid {pidx} vpn {}: bitmap bit {} but page table implies {}",
+                                vpn.0,
+                                pm.shared.is_resident(vpn),
+                                want
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        if let Some(pm) = p.pm.as_ref() {
+            if let Some(&(u, l)) = self.checked_shadow.get(&(pidx as u32)) {
+                if (pm.shared.usage_word, pm.shared.limit_word) != (u, l) {
+                    self.checked_fail(
+                        now,
+                        "eq1_accounting",
+                        format!(
+                            "pid {pidx}: shared words ({}, {}) diverged from the last refresh ({u}, {l})",
+                            pm.shared.usage_word, pm.shared.limit_word
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Diffs the live state against the lockstep oracle.
+    fn checked_diff_oracle(&self, now: SimTime) {
+        let Some(o) = self.oracle.as_ref() else {
+            return;
+        };
+        for pidx in 0..self.procs.len() {
+            let live = self.procs[pidx].pt.resident_pages();
+            let model = o.resident_count(pidx as u32);
+            if live != model {
+                self.checked_fail(
+                    now,
+                    "oracle_residency",
+                    format!("pid {pidx}: live resident pages {live} != oracle model {model}"),
+                );
+            }
+        }
+        let live_free = self.free.live() as u64;
+        if o.free_frames() != live_free {
+            self.checked_fail(
+                now,
+                "oracle_residency",
+                format!(
+                    "oracle free-frame model {} != live free list {live_free}",
+                    o.free_frames()
+                ),
+            );
+        }
+        let live_hand = self.pagingd.hand() as u64;
+        if o.hand() != live_hand {
+            self.checked_fail(
+                now,
+                "oracle_clock",
+                format!(
+                    "oracle clock-hand model {} != live hand {live_hand}",
+                    o.hand()
+                ),
+            );
+        }
+    }
+
+    /// Applies a VM-targeted seeded state corruption (the sanitizer
+    /// self-test matrix; see [`Mutation`]). `pid` is the process whose
+    /// state gets corrupted. Mutations targeting other subsystems are
+    /// ignored here. Test plumbing only — no production path calls this.
+    pub fn apply_mutation(&mut self, now: SimTime, m: Mutation, pid: Pid) {
+        let pidx = pid.0 as usize;
+        match m {
+            Mutation::FlipBitmapBit => {
+                let p = &self.procs[pidx];
+                let target =
+                    p.pt.iter()
+                        .filter(|(_, pte)| pte.resident() && pte.release_requested.is_none())
+                        .map(|(&v, _)| v)
+                        .filter(|&v| p.pm.as_ref().is_some_and(|pm| pm.shared.covers(v)))
+                        .min();
+                if let (Some(vpn), Some(pm)) = (target, self.procs[pidx].pm.as_mut()) {
+                    let bit = pm.shared.is_resident(vpn);
+                    pm.shared.set_resident(vpn, !bit);
+                }
+            }
+            Mutation::TamperUsageWord => {
+                if let Some(pm) = self.procs[pidx].pm.as_mut() {
+                    pm.shared.usage_word = pm.shared.usage_word.wrapping_add(7);
+                }
+            }
+            Mutation::TamperLimitWord => {
+                if let Some(pm) = self.procs[pidx].pm.as_mut() {
+                    pm.shared.limit_word = pm.shared.limit_word.wrapping_add(7);
+                }
+            }
+            Mutation::SkipUsageDecrement => {
+                self.procs[pidx].pt.corrupt_resident_count();
+            }
+            Mutation::LeakFrame => {
+                self.free.corrupt_leak_frame(&self.frames);
+            }
+            Mutation::DoubleFreeFrame => {
+                let target = self.procs[pidx]
+                    .pt
+                    .iter()
+                    .filter(|(_, pte)| pte.resident())
+                    .map(|(&v, pte)| (v, pte.pfn))
+                    .min();
+                if let Some((_, Some(pfn))) = target {
+                    self.free.push_freed(&mut self.frames, pfn, false);
+                }
+            }
+            Mutation::WarpClockHand => {
+                self.pagingd.corrupt_warp_hand(self.frames.len());
+            }
+            Mutation::ReleaseInflightPrefetch => {
+                let target = self.procs[pidx]
+                    .pt
+                    .iter()
+                    .filter(|(_, pte)| pte.resident() && pte.release_requested.is_none())
+                    .map(|(&v, _)| v)
+                    .min();
+                if let Some(vpn) = target {
+                    {
+                        let e = self.procs[pidx].pt.entry(vpn);
+                        e.valid = false;
+                        e.invalid_reason = Some(InvalidReason::Prefetched);
+                        e.arrives_at = now + SimDuration::from_secs(1000);
+                        e.release_requested = Some(now);
+                        e.last_ref = SimTime::ZERO;
+                    }
+                    // Keep the bitmap consistent so only the in-flight
+                    // probe (not bitmap_agreement) can fire.
+                    if let Some(pm) = self.procs[pidx].pm.as_mut() {
+                        pm.shared.set_resident(vpn, false);
+                    }
+                    self.releaser.enqueue(pid, vpn, now);
+                }
+            }
+            Mutation::StealthFree => {
+                let target = self.procs[pidx]
+                    .pt
+                    .iter()
+                    .filter(|(_, pte)| pte.resident() && pte.release_requested.is_none())
+                    .map(|(&v, _)| v)
+                    .min();
+                if let Some(vpn) = target {
+                    self.oracle_mute = true;
+                    self.free_page(now, pid, vpn, FreeSource::Daemon);
+                    self.oracle_mute = false;
+                }
+            }
+            // Runtime- and disk-targeted mutations are applied by their
+            // own subsystems.
+            Mutation::ReorderReleaseQueue
+            | Mutation::FilterPassthrough
+            | Mutation::DoubleCompleteIo
+            | Mutation::BustRetryBudget => {}
+        }
     }
 
     /// Tears down a finished process: every resident page returns to the
@@ -1153,7 +1509,10 @@ impl VmSys {
             self.free.push_freed(&mut self.frames, pfn, false);
         }
         self.reactive.remove(&pid);
-        let _ = now;
+        if let Some(o) = self.oracle.as_mut() {
+            o.exit(pid.0);
+        }
+        self.checked_sweep(now);
     }
 
     /// Registers pages the application is willing to surrender when the OS

@@ -1,0 +1,66 @@
+//! Helpers shared by the integration-test suites.
+//!
+//! Each `[[test]]` target compiles this module independently, so any one
+//! suite uses only a subset of the helpers.
+#![allow(dead_code)]
+
+use hogtame::prelude::*;
+
+/// Runs `bench` in `version` on the paper's Origin 200 machine with the
+/// interactive task alongside — the standard experiment cell.
+pub fn run_cell(bench: &str, version: Version) -> hogtame::RunOutcome {
+    RunRequest::on(MachineConfig::origin200())
+        .bench(bench, version)
+        .interactive(SimDuration::from_secs(5), None)
+        .run()
+        .expect("benchmark is registered")
+}
+
+/// The same cell on the scaled-down small machine, as a request so callers
+/// can stack more knobs (checked mode, fault plans) before running.
+pub fn small_request(bench: &str, version: Version) -> RunRequest {
+    RunRequest::on(MachineConfig::small())
+        .bench(bench, version)
+        .interactive(SimDuration::from_secs(5), None)
+}
+
+/// Runs the small-machine cell directly.
+pub fn run_cell_small(bench: &str, version: Version) -> hogtame::RunOutcome {
+    small_request(bench, version)
+        .run()
+        .expect("benchmark is registered")
+}
+
+/// Total hog wall-clock in seconds.
+pub fn hog_total(res: &hogtame::RunOutcome) -> f64 {
+    res.hog.as_ref().unwrap().breakdown.total().as_secs_f64()
+}
+
+/// Mean interactive response in seconds.
+pub fn int_resp(res: &hogtame::RunOutcome) -> f64 {
+    res.interactive
+        .as_ref()
+        .unwrap()
+        .mean_response()
+        .unwrap()
+        .as_secs_f64()
+}
+
+/// Digest of everything the *simulation* determines about a run — the
+/// fields that must be bit-identical between runs that differ only in
+/// observability or checking.
+pub fn outcome_digest(
+    res: &hogtame::RunOutcome,
+) -> (u64, u64, u64, u64, u64, u64, Option<Vec<u64>>) {
+    (
+        res.hog.as_ref().map_or(0, |h| h.finish_time.as_nanos()),
+        res.run.swap_reads,
+        res.run.swap_writes,
+        res.run.vm_stats.releaser.pages_released.get(),
+        res.run.final_free,
+        res.run.end_time.as_nanos(),
+        res.interactive
+            .as_ref()
+            .map(|i| i.sweeps.iter().map(|d| d.as_nanos()).collect()),
+    )
+}

@@ -3,15 +3,13 @@
 //! EXPERIMENTS.md promises bit-exact regeneration of every figure; these
 //! tests enforce it.
 
+mod common;
+
 use hogtame::prelude::*;
 use sim_core::stats::TimeCategory;
 
 fn run_once(bench: &str, version: Version) -> (u64, u64, u64, u64, Vec<u64>) {
-    let res = RunRequest::on(MachineConfig::origin200())
-        .bench(bench, version)
-        .interactive(SimDuration::from_secs(5), None)
-        .run()
-        .expect("benchmark is registered");
+    let res = common::run_cell(bench, version);
     let hog = res.hog.unwrap();
     let int = res.interactive.unwrap();
     (

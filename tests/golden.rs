@@ -5,15 +5,13 @@
 //! a behaviour change: either a bug, or an intentional calibration change
 //! that must update this file **and** EXPERIMENTS.md together.
 
+mod common;
+
 use hogtame::prelude::*;
 use sim_core::stats::TimeCategory;
 
 fn matvec_buffered() -> hogtame::RunOutcome {
-    RunRequest::on(MachineConfig::origin200())
-        .bench("MATVEC", Version::Buffered)
-        .interactive(SimDuration::from_secs(5), None)
-        .run()
-        .expect("MATVEC is registered")
+    common::run_cell("MATVEC", Version::Buffered)
 }
 
 #[test]

@@ -4,30 +4,12 @@
 //! from. Absolute numbers are simulator-specific; the assertions pin the
 //! *shapes*: orderings, approximate factors, and crossovers.
 
+mod common;
+
+use common::{hog_total, int_resp, run_cell};
 use hogtame::experiments::suite;
 use hogtame::prelude::*;
 use sim_core::stats::TimeCategory;
-
-fn run_cell(bench: &str, version: Version) -> hogtame::RunOutcome {
-    RunRequest::on(MachineConfig::origin200())
-        .bench(bench, version)
-        .interactive(SimDuration::from_secs(5), None)
-        .run()
-        .expect("benchmark is registered")
-}
-
-fn hog_total(res: &hogtame::RunOutcome) -> f64 {
-    res.hog.as_ref().unwrap().breakdown.total().as_secs_f64()
-}
-
-fn int_resp(res: &hogtame::RunOutcome) -> f64 {
-    res.interactive
-        .as_ref()
-        .unwrap()
-        .mean_response()
-        .unwrap()
-        .as_secs_f64()
-}
 
 /// §4.3: "All prefetching versions of the benchmarks achieve similar
 /// reductions in the I/O stall time, with over 85% of the I/O stall

@@ -1,0 +1,124 @@
+//! Deprecation shims must stay *exactly* equivalent to their replacements.
+//!
+//! The workspace keeps `Scenario` (superseded by `RunRequest`) and
+//! `TraceRing` (superseded by `sim_core::obs::Recorder`) compiling for
+//! external callers. A shim that drifts from its replacement is worse than
+//! no shim, so these tests pin byte-identical behaviour, not mere
+//! similarity.
+
+#![allow(deprecated)]
+
+mod common;
+
+use hogtame::prelude::*;
+use sim_core::obs::{EventKind, Recorder};
+use sim_core::trace::TraceRing;
+
+#[test]
+fn scenario_shim_runs_the_same_simulation_as_run_request() {
+    let spec = workloads::benchmark("MATVEC").expect("MATVEC is registered");
+    let mut s = Scenario::new(MachineConfig::small());
+    s.bench(spec, Version::Buffered);
+    s.interactive(SimDuration::from_secs(5), None);
+    s.kernel_trace();
+    let shim: ScenarioResult = s.run();
+
+    let direct = common::small_request("MATVEC", Version::Buffered)
+        .kernel_trace()
+        .run()
+        .expect("MATVEC is registered");
+
+    assert_eq!(
+        common::outcome_digest(&shim),
+        common::outcome_digest(&direct),
+        "Scenario must be a pure veneer over RunRequest"
+    );
+    // The derived kernel trace is byte-identical record for record
+    // (`TraceRecord` is `Eq`; any drift in time, tag or message fails).
+    assert_eq!(shim.run.kernel_trace, direct.run.kernel_trace);
+    assert!(
+        !shim.run.kernel_trace.is_empty(),
+        "kernel_trace() must actually record"
+    );
+}
+
+#[test]
+fn scenario_shim_forwards_fault_plans() {
+    let plan = FaultPlan {
+        seed: 3,
+        hints: HintFaults::poisoned(0.5),
+        ..FaultPlan::default()
+    };
+    let spec = workloads::benchmark("MATVEC").expect("MATVEC is registered");
+    let mut s = Scenario::new(MachineConfig::small());
+    s.bench(spec, Version::Release);
+    s.fault_plan(plan);
+    let shim = s.run();
+    let direct = RunRequest::on(MachineConfig::small())
+        .bench("MATVEC", Version::Release)
+        .fault_plan(plan)
+        .run()
+        .expect("MATVEC is registered");
+    assert_eq!(
+        shim.run.fault_log.summary(),
+        direct.run.fault_log.summary(),
+        "the shim must thread the fault plan through unchanged"
+    );
+    assert_eq!(
+        common::outcome_digest(&shim),
+        common::outcome_digest(&direct)
+    );
+}
+
+#[test]
+fn trace_ring_shim_matches_recorder_ring_semantics() {
+    // Same capacity, same over-full emission sequence: the legacy string
+    // ring and the structured recorder must agree on what a bounded ring
+    // *is* — retained window, eviction order, dropped accounting, and
+    // enable gating.
+    const CAP: usize = 4;
+    const EMITS: u64 = 11;
+
+    let mut ring = TraceRing::new(CAP);
+    let mut rec = Recorder::new(CAP);
+    ring.set_enabled(true);
+    rec.set_enabled(true);
+    for i in 0..EMITS {
+        let at = SimTime::from_nanos(i);
+        ring.emit(at, "vhand", || format!("scan {i}"));
+        rec.emit(
+            at,
+            EventKind::PagingdScan {
+                scanned: i,
+                free: 0,
+            },
+        );
+    }
+
+    let ring_times: Vec<u64> = ring.records().map(|r| r.time.as_nanos()).collect();
+    let rec_times: Vec<u64> = rec.events().map(|e| e.at.as_nanos()).collect();
+    assert_eq!(ring_times, rec_times, "retained windows must line up");
+    assert_eq!(ring_times.len(), CAP);
+    assert_eq!(
+        ring.dropped(),
+        rec.dropped(),
+        "both sides must count evictions identically"
+    );
+    assert_eq!(ring.dropped(), EMITS - CAP as u64);
+
+    // Disabled emits are free on both sides: not recorded, not counted
+    // as dropped, and (for the ring) the message closure never runs.
+    let mut ring = TraceRing::new(CAP);
+    let mut rec = Recorder::new(CAP);
+    ring.emit(SimTime::ZERO, "x", || unreachable!("lazy when disabled"));
+    rec.emit(
+        SimTime::ZERO,
+        EventKind::PagingdScan {
+            scanned: 0,
+            free: 0,
+        },
+    );
+    assert_eq!(ring.records().count(), 0);
+    assert_eq!(rec.events().count(), 0);
+    assert_eq!((ring.dropped(), rec.dropped()), (0, 0));
+}
