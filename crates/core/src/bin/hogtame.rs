@@ -179,8 +179,14 @@ fn cmd_run(bench: &str, version: Version, opts: RunOpts) {
 /// requested benchmark/version, the interactive task unless disabled, and
 /// the full structured-observability instrumentation.
 fn observed_run(bench: &str, version: Version, sleep: f64, interactive: bool) -> RunOutcome {
+    // Health monitoring on: it is passive for honest hint streams but
+    // lets `stats` attribute misfires per kind.
     let mut request = RunRequest::on(MachineConfig::origin200())
         .bench(bench, version)
+        .rt_config(runtime::RtConfig {
+            health: Some(runtime::HealthConfig::default()),
+            ..runtime::RtConfig::default()
+        })
         .observe();
     if interactive {
         request = request.interactive(SimDuration::from_secs_f64(sleep), None);
@@ -237,6 +243,27 @@ fn cmd_stats(bench: &str, version: Version, sleep: f64, interactive: bool) {
         format!("{bench}-{} hint-outcome attribution", version.label()),
     );
     artifact.table(&outcome_table(&result.run.events));
+    if let Some(h) = result.hog.as_ref().and_then(|h| h.health_stats.as_ref()) {
+        println!(
+            "misfires: {} total ({} cancelled-release, {} rescued-release, {} useless-prefetch)",
+            h.misfires,
+            h.misfires_cancelled_release,
+            h.misfires_rescued_release,
+            h.misfires_useless_prefetch
+        );
+    }
+    if let Some(a) = result.hog.as_ref().and_then(|h| h.admission_stats) {
+        println!(
+            "admission: {} admitted, {} rejected, {} advisory ({} dropped), {} demotions, {} restores, {} releases verified",
+            a.admitted,
+            a.rejected,
+            a.advisory,
+            a.advisory_dropped,
+            a.demotions,
+            a.restores,
+            a.releases_verified
+        );
+    }
     let prom = result.run.metrics.to_prometheus();
     print!("{prom}");
     if let Err(e) = artifact.write_raw("prom", &prom) {

@@ -92,6 +92,9 @@ struct EngineProc {
     finished: bool,
     finish_time: SimTime,
     ops_executed: u64,
+    /// Releaser-verified frees already credited to the admission trust
+    /// score (high-water mark of the VM's per-proc `pages_released`).
+    released_seen: u64,
 }
 
 /// Per-process results of a run.
@@ -111,6 +114,11 @@ pub struct ProcResult {
     pub finish_time: SimTime,
     /// Run-time layer statistics, if the process had one.
     pub rt_stats: Option<runtime::RtStats>,
+    /// Hint-health monitor statistics (per-kind misfire counts), if the
+    /// layer ran with health monitoring.
+    pub health_stats: Option<runtime::HealthStats>,
+    /// Admission-control statistics, if the layer ran with admission.
+    pub admission_stats: Option<runtime::AdmissionStats>,
     /// Address-space lock statistics (acquisitions, contention, waits).
     pub lock_stats: vm::lock::LockStats,
     /// Total ops executed.
@@ -439,6 +447,7 @@ impl Engine {
             finished: false,
             finish_time: SimTime::MAX,
             ops_executed: 0,
+            released_seen: 0,
         });
     }
 
@@ -508,6 +517,7 @@ impl Engine {
                         let next = next + self.releaser_fault_delay(ev.time);
                         self.queue.schedule(next, Ev::Releaser);
                     }
+                    self.credit_verified_releases(ev.time);
                 }
                 Ev::Mutate(m) => {
                     match m.target() {
@@ -662,6 +672,8 @@ impl Engine {
                 sweep_faults: p.sweep_faults.clone(),
                 finish_time: p.finish_time,
                 rt_stats: p.rt.as_ref().map(|rt| *rt.stats()),
+                health_stats: p.rt.as_ref().and_then(|rt| rt.health_stats()).cloned(),
+                admission_stats: p.rt.as_ref().and_then(|rt| rt.admission_stats()).copied(),
                 lock_stats: self.vm.lock_stats(p.pid),
                 ops_executed: p.ops_executed,
             })
@@ -1040,8 +1052,9 @@ impl Engine {
         p.local = res.done_at;
         // Hint-effectiveness feedback: a cancelled release or free-list
         // rescue here charges a misfire to the hinting tag.
+        let touch_now = self.procs[i].local;
         if let Some(rt) = self.procs[i].rt.as_mut() {
-            rt.note_touch_outcome(vpn, res.kind);
+            rt.note_touch_outcome(touch_now, vpn, res.kind);
         }
         self.wake_daemons(self.procs[i].local);
     }
@@ -1077,7 +1090,7 @@ impl Engine {
             self.procs[i].pool.complete(thread, busy_until);
             let already = matches!(outcome, vm::PrefetchOutcome::AlreadyResident);
             if let Some(rt) = self.procs[i].rt.as_mut() {
-                rt.note_prefetch_outcome(page, already);
+                rt.note_prefetch_outcome(local, page, already);
             }
         }
         self.wake_daemons(local);
@@ -1189,6 +1202,24 @@ impl Engine {
             let delay = self.vm.tunables().releaser_delay;
             let jitter = self.releaser_fault_delay(at);
             self.queue.schedule(at + delay + jitter, Ev::Releaser);
+        }
+    }
+
+    /// Credits releaser-verified frees to each process's admission trust
+    /// score. This is the only path by which a low-trust tenant's
+    /// releases earn good-behaviour credit: the VM's per-proc
+    /// `pages_released` counter only moves when the releaser daemon
+    /// actually freed a frame, so a tenant cannot launder trust by
+    /// issuing releases for pages it never gives back.
+    fn credit_verified_releases(&mut self, now: SimTime) {
+        for p in &mut self.procs {
+            let Some(rt) = p.rt.as_mut() else { continue };
+            let released = self.vm.stats().proc(p.pid.0 as usize).pages_released.get();
+            let delta = released.saturating_sub(p.released_seen);
+            if delta > 0 {
+                p.released_seen = released;
+                rt.note_releases_verified(now, delta);
+            }
         }
     }
 

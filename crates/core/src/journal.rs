@@ -230,6 +230,9 @@ fn rt_stats_from(v: &[u64]) -> Option<runtime::RtStats> {
         misfires_rescued: v[16],
         misfires_useless_prefetch: v[17],
         tags_retired: v[18],
+        // Admission counters are not round-tripped: journalled runs never
+        // enable admission control (observational fields stay default).
+        ..Default::default()
     })
 }
 
@@ -455,6 +458,7 @@ fn decode(payload: &str) -> Option<RunOutcome> {
             writebacks: counter(pwb),
             reactive_steals: counter(pre),
             busy: SimDuration::from_nanos(pbusy),
+            ..Default::default()
         },
         releaser: ReleaserStats {
             activations: counter(ra),
@@ -494,6 +498,9 @@ fn decode(payload: &str) -> Option<RunOutcome> {
                     prefetch_requests: counter(pfq),
                     prefetch_discarded: counter(pfd),
                     prefetch_redundant: counter(pfr),
+                    // Quota denials are only possible in tenant-quota
+                    // runs, which are never journalable.
+                    prefetch_quota_denied: counter(0),
                     tlb_misses: counter(tlb),
                     allocations: counter(alloc),
                     peak_rss: peak,
@@ -542,6 +549,10 @@ fn decode(payload: &str) -> Option<RunOutcome> {
             sweep_faults,
             finish_time: SimTime::from_nanos(finish),
             rt_stats,
+            // Health/admission breakdowns are observational; journalled
+            // runs never carry them.
+            health_stats: None,
+            admission_stats: None,
             lock_stats: LockStats {
                 acquisitions: counter(acq),
                 contended: counter(cont),

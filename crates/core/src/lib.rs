@@ -83,15 +83,16 @@ pub mod prelude {
     pub use crate::scenario::Version;
     #[allow(deprecated)]
     pub use crate::scenario::{Scenario, ScenarioResult};
-    pub use runtime::HealthConfig;
+    pub use runtime::{AdmissionConfig, AdmissionStats, HealthConfig};
     pub use sim_core::fault::{
-        CrashComponent, CrashFaults, CrashSpec, DaemonFaults, ExecFaults, FaultKind, FaultLog,
-        FaultPlan, HintFaults, IoFaults, SupervisorConfig,
+        AdversaryPlan, AdversaryStrategy, CrashComponent, CrashFaults, CrashSpec, DaemonFaults,
+        ExecFaults, FaultKind, FaultLog, FaultPlan, HintFaults, IoFaults, SupervisorConfig,
     };
     pub use sim_core::obs::{Event, EventKind, EventStream, MetricsRegistry, OutcomeRow, Recorder};
     pub use sim_core::oracle::Oracle;
     pub use sim_core::sanitizer::{InvariantViolation, Mutation, MutationTarget};
     pub use sim_core::stats::{TimeBreakdown, TimeCategory};
     pub use sim_core::{SimDuration, SimTime};
+    pub use vm::TenantQuota;
     pub use workloads;
 }

@@ -26,18 +26,48 @@ use crate::report::TextTable;
 /// assert!(table.render().contains("release"));
 /// ```
 pub fn outcome_table(events: &EventStream) -> TextTable {
-    let mut t = TextTable::new(vec!["hint class", "good", "wasted", "filtered", "total"]);
-    let row = |t: &mut TextTable, label: &str, r: OutcomeRow| {
+    let mut t = TextTable::new(vec![
+        "hint class",
+        "good",
+        "wasted",
+        "filtered",
+        "rejected",
+        "total",
+    ]);
+    let row = |t: &mut TextTable, label: &str, r: OutcomeRow, rejected: u64| {
         t.row(vec![
             label.to_string(),
             r.good.to_string(),
             r.wasted.to_string(),
             r.filtered.to_string(),
-            r.total().to_string(),
+            rejected.to_string(),
+            (r.total() + rejected).to_string(),
         ]);
     };
-    row(&mut t, "release", events.release_outcome());
-    row(&mut t, "prefetch", events.prefetch_outcome());
+    row(&mut t, "release", events.release_outcome(), 0);
+    row(&mut t, "prefetch", events.prefetch_outcome(), 0);
+    // Per-tenant attribution (exact counts, immune to ring eviction) —
+    // one release and one prefetch row per tenant that hinted at all.
+    for pid in events.pids() {
+        let rel = events.release_outcome_for(pid);
+        if rel.any() {
+            row(
+                &mut t,
+                &format!("  tenant {pid} release"),
+                rel.row,
+                rel.rejected,
+            );
+        }
+        let pre = events.prefetch_outcome_for(pid);
+        if pre.any() {
+            row(
+                &mut t,
+                &format!("  tenant {pid} prefetch"),
+                pre.row,
+                pre.rejected,
+            );
+        }
+    }
     t
 }
 
@@ -75,9 +105,20 @@ mod tests {
         let events = &out.run.events;
         assert!(events.total() > 0, "an observed run records events");
         let t = outcome_table(events);
-        assert_eq!(t.len(), 2);
+        // Two aggregate rows plus per-tenant rows for the hog (the
+        // interactive task never hints, so it contributes none).
+        assert!(t.len() >= 4, "rows: {}", t.len());
         let rendered = t.render();
         assert!(rendered.contains("release") && rendered.contains("prefetch"));
+        assert!(rendered.contains("tenant 0 release"), "got:\n{rendered}");
+        // Per-tenant counts must reconcile with the aggregate rows.
+        let agg = events.release_outcome();
+        let per: u64 = events
+            .pids()
+            .iter()
+            .map(|&p| events.release_outcome_for(p).row.good)
+            .sum();
+        assert_eq!(agg.good, per, "per-tenant good releases sum to the total");
         let summary = stream_summary(events);
         assert!(summary.contains("events recorded"), "got: {summary}");
     }

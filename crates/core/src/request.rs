@@ -29,15 +29,16 @@
 //! ```
 
 use runtime::RtConfig;
-use sim_core::fault::FaultPlan;
+use sim_core::fault::{AdversaryPlan, FaultPlan};
 use sim_core::fingerprint::{Fingerprint, Fnv1a};
 use sim_core::sanitizer::{self, Mutation};
 use sim_core::{SimDuration, SimTime};
+use vm::{Pid, TenantQuota};
 use workloads::BenchSpec;
 
 use crate::engine::{Engine, ProcResult, RunResult};
 use crate::machine::MachineConfig;
-use crate::scenario::{install_bench, install_interactive, Version};
+use crate::scenario::{install_adversaries, install_bench, install_interactive, Version};
 
 /// Why a [`RunRequest`] could not be executed.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -50,6 +51,14 @@ pub enum RunError {
     /// zero or inverted memory limits) — caught by [`RunRequest::validate`]
     /// before it can surface as a deep engine panic.
     InvalidMachine(String),
+    /// The per-tenant quota configuration is malformed (a zero guaranteed
+    /// share, or guarantees that together exceed physical memory) —
+    /// caught by [`RunRequest::validate`].
+    InvalidTenants(String),
+    /// The adversary plan references tenant slots that don't line up with
+    /// the processes the request actually registers, or slots with no
+    /// declared quota.
+    InvalidAdversary(String),
     /// The worker executing the request panicked (after exhausting any
     /// retries the fault plan's [`sim_core::fault::ExecFaults`] allowed).
     /// Only this request is lost; the rest of the grid is unaffected.
@@ -62,6 +71,8 @@ impl std::fmt::Display for RunError {
             RunError::UnknownBenchmark(name) => write!(f, "unknown benchmark {name}"),
             RunError::Empty => write!(f, "empty run request (no benchmark, no interactive task)"),
             RunError::InvalidMachine(why) => write!(f, "invalid machine: {why}"),
+            RunError::InvalidTenants(why) => write!(f, "invalid tenant quotas: {why}"),
+            RunError::InvalidAdversary(why) => write!(f, "invalid adversary plan: {why}"),
             RunError::Crashed(why) => write!(f, "worker crashed: {why}"),
         }
     }
@@ -91,6 +102,8 @@ pub struct RunRequest {
     mutation: Option<(SimTime, Mutation)>,
     fault_plan: FaultPlan,
     reseed: Option<u64>,
+    tenants: Vec<TenantQuota>,
+    adversary: AdversaryPlan,
 }
 
 /// Results of executing one [`RunRequest`].
@@ -119,6 +132,8 @@ impl RunRequest {
             mutation: None,
             fault_plan: FaultPlan::default(),
             reseed: None,
+            tenants: Vec::new(),
+            adversary: AdversaryPlan::default(),
         }
     }
 
@@ -221,6 +236,29 @@ impl RunRequest {
         self
     }
 
+    /// Declares per-tenant memory quotas, indexed by registration order
+    /// (tenant 0 is the benchmark if present, then the interactive task,
+    /// then adversaries). Installing quotas generalizes the Eq. 1 shared
+    /// limit: each tenant's upper limit is additionally clamped to its
+    /// guaranteed share plus burstable slack, the slack is debited by
+    /// wasteful hints, and the paging daemon will not steal a tenant
+    /// below its guarantee while another tenant sits above its own.
+    #[must_use]
+    pub fn tenants(mut self, quotas: Vec<TenantQuota>) -> Self {
+        self.tenants = quotas;
+        self
+    }
+
+    /// Installs a seeded adversary plan: `plan.count` byzantine processes
+    /// running `plan.strategy`, registered after the well-behaved
+    /// processes starting at tenant slot `plan.tenant` (see
+    /// [`sim_core::fault::AdversaryPlan`]).
+    #[must_use]
+    pub fn adversary(mut self, plan: AdversaryPlan) -> Self {
+        self.adversary = plan;
+        self
+    }
+
     /// The machine this request runs on.
     pub fn machine(&self) -> &MachineConfig {
         &self.machine
@@ -241,6 +279,8 @@ impl RunRequest {
             && !self.observe
             && !self.checked
             && self.mutation.is_none()
+            && self.tenants.is_empty()
+            && !self.adversary.any()
     }
 
     /// Validates the request without running it: a malformed machine
@@ -287,6 +327,43 @@ impl RunRequest {
                 "target_freemem {} exceeds the machine's {} frames",
                 t.target_freemem, m.frames
             )));
+        }
+        for (i, q) in self.tenants.iter().enumerate() {
+            if q.guaranteed == 0 {
+                return Err(RunError::InvalidTenants(format!(
+                    "tenant {i} has a zero guaranteed share (it could never hold a page)"
+                )));
+            }
+        }
+        let guarantees: u64 = self.tenants.iter().map(|q| q.guaranteed).sum();
+        if guarantees > m.frames as u64 {
+            return Err(RunError::InvalidTenants(format!(
+                "guaranteed shares sum to {guarantees} frames but the machine has only {}",
+                m.frames
+            )));
+        }
+        if self.adversary.any() {
+            // Pids are assigned in registration order (bench, interactive,
+            // then adversaries), so the plan's starting slot is statically
+            // checkable.
+            let well_behaved =
+                usize::from(self.bench.is_some()) + usize::from(self.interactive.is_some());
+            if self.adversary.tenant as usize != well_behaved {
+                return Err(RunError::InvalidAdversary(format!(
+                    "plan starts at tenant slot {} but this request registers {} well-behaved \
+                     process(es), so adversaries occupy slots {well_behaved}..",
+                    self.adversary.tenant, well_behaved
+                )));
+            }
+            let end = self.adversary.tenant as usize + self.adversary.count as usize;
+            if !self.tenants.is_empty() && end > self.tenants.len() {
+                return Err(RunError::InvalidAdversary(format!(
+                    "adversaries occupy tenant slots {}..{end} but only {} tenant quota(s) \
+                     are declared",
+                    self.adversary.tenant,
+                    self.tenants.len()
+                )));
+            }
         }
         Ok(())
     }
@@ -339,6 +416,15 @@ impl RunRequest {
             let primary = hog_idx.is_none();
             install_interactive(&mut engine, sleep, max_sweeps, primary);
             int_idx = Some(hog_idx.map_or(0, |_| 1));
+        }
+        install_adversaries(
+            &mut engine,
+            &self.adversary,
+            self.rt_config,
+            &self.fault_plan,
+        );
+        for (i, q) in self.tenants.iter().enumerate() {
+            engine.vm_mut().set_tenant_quota(Pid(i as u32), *q);
         }
 
         let run = engine.run();
@@ -411,6 +497,24 @@ impl RunRequest {
         }
         self.fault_plan.feed(h);
         h.write_u64(self.reseed.map_or(u64::MAX, |s| s));
+        // Appended after the v3 fields, and ONLY when set, so every
+        // pre-existing request keeps its cached fingerprint.
+        if !self.tenants.is_empty() {
+            h.write_str("tenants");
+            h.write_u64(self.tenants.len() as u64);
+            for q in &self.tenants {
+                h.write_u64(q.guaranteed);
+                h.write_u64(q.burst);
+            }
+        }
+        if self.adversary.any() {
+            h.write_str("adversary");
+            h.write_str(self.adversary.strategy.map_or("none", |s| s.name()));
+            h.write_u64(u64::from(self.adversary.count));
+            h.write_u64(u64::from(self.adversary.tenant));
+            h.write_u64(self.adversary.pages);
+            h.write_u64(u64::from(self.adversary.intensity));
+        }
     }
 
     /// The 64-bit fingerprint of this request alone.
@@ -569,9 +673,110 @@ mod tests {
             RunRequest::on(MachineConfig::origin200())
                 .bench("MATVEC", Version::Release)
                 .interactive(SimDuration::from_secs(5), None),
+            base().tenants(vec![TenantQuota::new(100, 20), TenantQuota::new(50, 10)]),
+            base().adversary(AdversaryPlan::new(
+                sim_core::fault::AdversaryStrategy::HintFlood,
+                2,
+                2,
+            )),
         ];
         for (i, v) in variants.iter().enumerate() {
             assert_ne!(fp, v.fingerprint(), "variant {i} must change the key");
         }
+        // Quota amounts and adversary strategy are themselves axes.
+        let q = base().tenants(vec![TenantQuota::new(100, 20)]);
+        assert_ne!(
+            q.fingerprint(),
+            base()
+                .tenants(vec![TenantQuota::new(100, 21)])
+                .fingerprint()
+        );
+        let a = |s| base().adversary(AdversaryPlan::new(s, 2, 2));
+        assert_ne!(
+            a(sim_core::fault::AdversaryStrategy::HintFlood).fingerprint(),
+            a(sim_core::fault::AdversaryStrategy::QuotaProbing).fingerprint()
+        );
+    }
+
+    #[test]
+    fn malformed_tenant_configs_are_typed_errors() {
+        let base = || {
+            RunRequest::on(MachineConfig::small()).interactive(SimDuration::from_secs(1), Some(1))
+        };
+        let err = base()
+            .tenants(vec![TenantQuota::new(0, 10)])
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, RunError::InvalidTenants(_)), "err: {err}");
+        assert!(err.to_string().contains("zero guaranteed"), "err: {err}");
+
+        let frames = MachineConfig::small().frames as u64;
+        let err = base()
+            .tenants(vec![
+                TenantQuota::new(frames, 0),
+                TenantQuota::new(frames, 0),
+            ])
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, RunError::InvalidTenants(_)), "err: {err}");
+
+        // A valid quota passes.
+        assert!(base()
+            .tenants(vec![TenantQuota::new(64, 16)])
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn malformed_adversary_plans_are_typed_errors() {
+        use sim_core::fault::AdversaryStrategy;
+        let base = || {
+            RunRequest::on(MachineConfig::small()).interactive(SimDuration::from_secs(1), Some(1))
+        };
+        // Slot 2, but only the interactive task registers (slot 0).
+        let err = base()
+            .adversary(AdversaryPlan::new(AdversaryStrategy::HintFlood, 1, 2))
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, RunError::InvalidAdversary(_)), "err: {err}");
+
+        // Two adversaries at slots 1..3, but quotas declared only for 1.
+        let err = base()
+            .tenants(vec![TenantQuota::new(64, 8)])
+            .adversary(AdversaryPlan::new(AdversaryStrategy::HintFlood, 2, 1))
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, RunError::InvalidAdversary(_)), "err: {err}");
+
+        // Properly covered: interactive at 0, adversaries at 1..3.
+        assert!(base()
+            .tenants(vec![
+                TenantQuota::new(64, 8),
+                TenantQuota::new(32, 8),
+                TenantQuota::new(32, 8),
+            ])
+            .adversary(AdversaryPlan::new(AdversaryStrategy::HintFlood, 2, 1))
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn adversary_run_completes_and_is_bit_identical() {
+        use sim_core::fault::AdversaryStrategy;
+        let req = RunRequest::on(MachineConfig::small())
+            .interactive(SimDuration::from_millis(50), Some(8))
+            .tenants(vec![TenantQuota::new(80, 16), TenantQuota::new(100, 16)])
+            .adversary(AdversaryPlan::new(AdversaryStrategy::HintFlood, 1, 1));
+        assert!(!req.journalable(), "adversary runs are not journalable");
+        let a = req.run().unwrap();
+        let b = req.run().unwrap();
+        let int = a.interactive.as_ref().unwrap();
+        assert_eq!(int.sweeps.len(), 8, "victim finished all sweeps");
+        assert_eq!(a.run.procs.len(), 2, "interactive + 1 adversary");
+        assert_eq!(
+            a.interactive.unwrap().finish_time,
+            b.interactive.unwrap().finish_time,
+            "adversary runs are bit-reproducible"
+        );
     }
 }

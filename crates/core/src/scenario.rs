@@ -15,10 +15,10 @@
 
 use compiler::{compile, CompileOptions};
 use runtime::{Executor, ReleasePolicy, RtConfig, RuntimeLayer};
-use sim_core::fault::FaultPlan;
+use sim_core::fault::{AdversaryPlan, FaultDomain, FaultPlan};
 use sim_core::SimDuration;
 use vm::{Backing, Pid, Vpn};
-use workloads::{BenchSpec, InteractiveTask};
+use workloads::{AdversaryTask, BenchSpec, InteractiveTask};
 
 use crate::engine::Engine;
 use crate::machine::MachineConfig;
@@ -202,6 +202,44 @@ pub fn install_interactive(
     let task = InteractiveTask::new(range.start, sleep, max_sweeps);
     engine.register(pid, "interactive", Box::new(task), None, primary);
     pid
+}
+
+/// Maps and registers the adversary processes described by `plan`. Each
+/// adversary gets its own paged region, its own seeded RNG stream
+/// (`FaultDomain::Adversary`, stream `k` — independent of every fault
+/// stream, so adding an adversary never perturbs fault injection), and
+/// its own run-time layer: adversaries attack *through* the hint API, so
+/// they go through the same filters and admission control as everyone
+/// else. None are primary — the run still ends when the well-behaved
+/// processes finish.
+pub fn install_adversaries(
+    engine: &mut Engine,
+    plan: &AdversaryPlan,
+    rt_config: RtConfig,
+    faults: &FaultPlan,
+) -> Vec<Pid> {
+    let Some(strategy) = plan.strategy else {
+        return Vec::new();
+    };
+    let mut pids = Vec::with_capacity(plan.count as usize);
+    for k in 0..plan.count {
+        let pid = engine.vm_mut().add_process(true);
+        let range = engine
+            .vm_mut()
+            .map_region(pid, plan.pages, Backing::SwapPrefilled, true);
+        let rng = faults.stream_rng(FaultDomain::Adversary, u64::from(k));
+        let task = AdversaryTask::new(range.start, plan.pages, strategy, plan.intensity, rng);
+        let rt = RuntimeLayer::new(ReleasePolicy::Aggressive, rt_config);
+        engine.register(
+            pid,
+            format!("adversary{k}-{}", strategy.name()),
+            Box::new(task),
+            Some(rt),
+            false,
+        );
+        pids.push(pid);
+    }
+    pids
 }
 
 #[cfg(test)]

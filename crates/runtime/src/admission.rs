@@ -1,0 +1,336 @@
+//! Hint admission control: per-tenant rate limits and a trust score.
+//!
+//! The health monitor ([`crate::health`]) asks "are this tag's hints
+//! *effective*?" — an accuracy question. Admission control asks the
+//! robustness questions in front of it: "is this tenant allowed to spend
+//! kernel time on hints at this rate at all?" and "has this tenant
+//! earned the right to have its hints *trusted*?". A byzantine tenant
+//! can keep every individual tag under the health thresholds while still
+//! flooding the hint path; the admission controller is the backstop.
+//!
+//! Two mechanisms, both deterministic and integer-exact:
+//!
+//! * a **token bucket** — `rate_per_sec` sustained hints with `burst`
+//!   headroom, refilled from elapsed simulated time in nano-hint units
+//!   (`u128` math, no floats, no drift). A hint arriving to an empty
+//!   bucket is **rejected** outright: it costs the tenant its own
+//!   hint-check time but never reaches the filters or the OS.
+//! * a **trust score** with hysteresis, extending the health monitor's
+//!   disable/probation pattern from tags to whole tenants. VM feedback
+//!   (misfires bad; validated prefetches and *verified* releases good)
+//!   accumulates in windows; a window whose waste fraction crosses
+//!   `demote_threshold` drops the tenant to low trust, and only a
+//!   window back under the stricter `restore_threshold` restores it.
+//!   While a tenant is low-trust its prefetches are demoted to
+//!   **advisory** — honoured only when free memory is comfortably above
+//!   the paging daemon's target, so they can never create pressure —
+//!   and its releases earn good-behaviour credit only after the engine
+//!   *verifies* a frame actually came back (see
+//!   [`crate::layer::RuntimeLayer::note_releases_verified`]).
+
+use sim_core::fault::{FaultKind, FaultLog};
+use sim_core::SimTime;
+
+/// Nano-hints per hint (the token bucket's internal unit).
+const UNIT: u128 = 1_000_000_000;
+
+/// Admission-control tunables for one tenant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdmissionConfig {
+    /// Sustained hint rate (hints per simulated second).
+    pub rate_per_sec: u64,
+    /// Bucket capacity: hints a tenant may burst above the rate.
+    pub burst: u64,
+    /// Feedback events per trust evaluation window.
+    pub trust_window: u32,
+    /// Waste fraction at which a trusted tenant is demoted.
+    pub demote_threshold: f64,
+    /// Waste fraction a low-trust tenant must get back under to be
+    /// restored (stricter than `demote_threshold`: hysteresis).
+    pub restore_threshold: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            rate_per_sec: 2_000,
+            burst: 256,
+            trust_window: 128,
+            demote_threshold: 0.5,
+            restore_threshold: 0.2,
+        }
+    }
+}
+
+/// What the controller decided about one hint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AdmissionVerdict {
+    /// Process normally.
+    Admit,
+    /// Process, but the tenant is low-trust: a prefetch may only be
+    /// honoured when free memory is comfortably above target.
+    AdmitAdvisory,
+    /// Over the rate limit: drop before the filters.
+    Reject,
+}
+
+/// Aggregate admission counters (exposed through run results).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Hints admitted at full trust.
+    pub admitted: u64,
+    /// Hints rejected by the rate limiter.
+    pub rejected: u64,
+    /// Prefetch hints admitted only as advisory (low trust).
+    pub advisory: u64,
+    /// Advisory prefetches dropped because free memory was not
+    /// comfortably above target.
+    pub advisory_dropped: u64,
+    /// Trusted → low-trust transitions.
+    pub demotions: u64,
+    /// Low-trust → trusted transitions.
+    pub restores: u64,
+    /// Release completions verified by the engine (frames actually
+    /// freed) and credited as good behaviour.
+    pub releases_verified: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Trust {
+    Trusted,
+    Low,
+}
+
+/// Per-tenant admission state (see module docs).
+#[derive(Clone, Debug)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    /// Nano-hints available; starts (and caps) at `burst * UNIT`.
+    tokens: u128,
+    last_refill: SimTime,
+    trust: Trust,
+    window_good: u32,
+    window_bad: u32,
+    stats: AdmissionStats,
+}
+
+impl AdmissionController {
+    /// A controller starting with a full bucket and full trust.
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionController {
+            config,
+            tokens: u128::from(config.burst) * UNIT,
+            last_refill: SimTime::ZERO,
+            trust: Trust::Trusted,
+            window_good: 0,
+            window_bad: 0,
+            stats: AdmissionStats::default(),
+        }
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> &AdmissionStats {
+        &self.stats
+    }
+
+    /// Whether the tenant currently sits at low trust.
+    pub fn low_trust(&self) -> bool {
+        self.trust == Trust::Low
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if now > self.last_refill {
+            let elapsed = (now - self.last_refill).as_nanos() as u128;
+            let cap = u128::from(self.config.burst) * UNIT;
+            self.tokens = (self.tokens + elapsed * u128::from(self.config.rate_per_sec)).min(cap);
+            self.last_refill = now;
+        }
+    }
+
+    /// Decides one hint arriving at `now`. `is_prefetch` selects the
+    /// advisory demotion (releases are never demoted — freeing memory is
+    /// safe — only deferred-credited).
+    pub fn admit(&mut self, now: SimTime, is_prefetch: bool) -> AdmissionVerdict {
+        self.refill(now);
+        if self.tokens < UNIT {
+            self.stats.rejected += 1;
+            return AdmissionVerdict::Reject;
+        }
+        self.tokens -= UNIT;
+        if self.trust == Trust::Low && is_prefetch {
+            self.stats.advisory += 1;
+            AdmissionVerdict::AdmitAdvisory
+        } else {
+            self.stats.admitted += 1;
+            AdmissionVerdict::Admit
+        }
+    }
+
+    /// Records an advisory prefetch that was dropped for lack of free
+    /// headroom (bookkeeping only).
+    pub fn note_advisory_dropped(&mut self) {
+        self.stats.advisory_dropped += 1;
+    }
+
+    /// Good-behaviour feedback: a validated prefetch, or (for trusted
+    /// tenants) a release at issue time.
+    pub fn note_good(&mut self, now: SimTime, log: &mut FaultLog) {
+        self.window_good += 1;
+        self.evaluate(now, log);
+    }
+
+    /// Bad-behaviour feedback: any misfire.
+    pub fn note_bad(&mut self, now: SimTime, log: &mut FaultLog) {
+        self.window_bad += 1;
+        self.evaluate(now, log);
+    }
+
+    /// Engine-verified release completions: `n` frames actually freed by
+    /// this tenant's releases. The only way a low-trust tenant earns
+    /// release credit.
+    pub fn note_releases_verified(&mut self, n: u64, now: SimTime, log: &mut FaultLog) {
+        self.stats.releases_verified += n;
+        for _ in 0..n.min(u64::from(self.config.trust_window)) {
+            self.note_good(now, log);
+        }
+    }
+
+    fn evaluate(&mut self, now: SimTime, log: &mut FaultLog) {
+        let total = self.window_good + self.window_bad;
+        if total < self.config.trust_window {
+            return;
+        }
+        let rate = f64::from(self.window_bad) / f64::from(total);
+        match self.trust {
+            Trust::Trusted if rate >= self.config.demote_threshold => {
+                self.trust = Trust::Low;
+                self.stats.demotions += 1;
+                log.record(
+                    now,
+                    FaultKind::TrustDemoted {
+                        bad: self.window_bad,
+                        window: total,
+                    },
+                );
+            }
+            Trust::Low if rate <= self.config.restore_threshold => {
+                self.trust = Trust::Trusted;
+                self.stats.restores += 1;
+                log.record(now, FaultKind::TrustRestored);
+            }
+            _ => {}
+        }
+        self.window_good = 0;
+        self.window_bad = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn cfg() -> AdmissionConfig {
+        AdmissionConfig {
+            rate_per_sec: 1_000,
+            burst: 4,
+            trust_window: 4,
+            demote_threshold: 0.5,
+            restore_threshold: 0.25,
+        }
+    }
+
+    #[test]
+    fn bucket_rejects_a_burst_past_capacity() {
+        let mut a = AdmissionController::new(cfg());
+        let mut ok = 0;
+        for _ in 0..10 {
+            if a.admit(t(0), false) == AdmissionVerdict::Admit {
+                ok += 1;
+            }
+        }
+        assert_eq!(ok, 4, "burst capacity bounds instantaneous admits");
+        assert_eq!(a.stats().rejected, 6);
+    }
+
+    #[test]
+    fn bucket_refills_at_the_configured_rate() {
+        let mut a = AdmissionController::new(cfg());
+        for _ in 0..4 {
+            a.admit(t(0), false);
+        }
+        assert_eq!(a.admit(t(0), false), AdmissionVerdict::Reject);
+        // 2 ms at 1000/s = 2 tokens.
+        assert_eq!(a.admit(t(2), false), AdmissionVerdict::Admit);
+        assert_eq!(a.admit(t(2), false), AdmissionVerdict::Admit);
+        assert_eq!(a.admit(t(2), false), AdmissionVerdict::Reject);
+    }
+
+    #[test]
+    fn refill_never_overflows_the_cap() {
+        let mut a = AdmissionController::new(cfg());
+        // A long idle period must not bank more than `burst` tokens.
+        assert_eq!(a.admit(t(60_000), false), AdmissionVerdict::Admit);
+        let mut ok = 1;
+        while a.admit(t(60_000), false) == AdmissionVerdict::Admit {
+            ok += 1;
+        }
+        assert_eq!(ok, 4);
+    }
+
+    #[test]
+    fn misfires_demote_and_clean_windows_restore() {
+        let mut a = AdmissionController::new(cfg());
+        let mut log = FaultLog::default();
+        for _ in 0..4 {
+            a.note_bad(t(1), &mut log);
+        }
+        assert!(a.low_trust());
+        assert_eq!(a.stats().demotions, 1);
+        assert_eq!(log.count("trust_demoted"), 1);
+        // Low trust: prefetches demote to advisory, releases still admit.
+        assert_eq!(a.admit(t(1), true), AdmissionVerdict::AdmitAdvisory);
+        assert_eq!(a.admit(t(1), false), AdmissionVerdict::Admit);
+        // A clean window restores trust (0 < 0.25).
+        for _ in 0..4 {
+            a.note_good(t(2), &mut log);
+        }
+        assert!(!a.low_trust());
+        assert_eq!(log.count("trust_restored"), 1);
+    }
+
+    #[test]
+    fn hysteresis_holds_a_marginal_tenant_down() {
+        let mut a = AdmissionController::new(cfg());
+        let mut log = FaultLog::default();
+        for _ in 0..4 {
+            a.note_bad(t(1), &mut log);
+        }
+        assert!(a.low_trust());
+        // 1 bad in 4 = 0.25 ≤ restore? restore_threshold = 0.25, so a
+        // window at exactly the threshold restores; one notch above
+        // (2/4 = 0.5) must NOT.
+        a.note_bad(t(2), &mut log);
+        a.note_bad(t(2), &mut log);
+        a.note_good(t(2), &mut log);
+        a.note_good(t(2), &mut log);
+        assert!(a.low_trust(), "0.5 waste keeps the tenant demoted");
+    }
+
+    #[test]
+    fn verified_releases_credit_trust() {
+        let mut a = AdmissionController::new(cfg());
+        let mut log = FaultLog::default();
+        for _ in 0..4 {
+            a.note_bad(t(1), &mut log);
+        }
+        assert!(a.low_trust());
+        a.note_releases_verified(4, t(3), &mut log);
+        assert!(!a.low_trust(), "verified frees restored trust");
+        assert_eq!(a.stats().releases_verified, 4);
+    }
+}

@@ -99,6 +99,12 @@ pub struct HealthStats {
     pub suppressed: u64,
     /// Misfires attributed to a tag.
     pub misfires: u64,
+    /// Misfires that were releases cancelled by a re-reference.
+    pub misfires_cancelled_release: u64,
+    /// Misfires that were released pages rescued off the free list.
+    pub misfires_rescued_release: u64,
+    /// Misfires that were prefetches of already-resident pages.
+    pub misfires_useless_prefetch: u64,
     /// Tag-disable transitions taken.
     pub tag_disables: u64,
     /// Probation retries granted.
@@ -223,13 +229,18 @@ impl HintHealth {
     /// Attributes one misfire to `tag`. Disabled tags take no further
     /// blame (their hints are already suppressed; late feedback from
     /// earlier hints must not push probation further away).
-    pub fn on_misfire(&mut self, tag: u32, _kind: Misfire) {
+    pub fn on_misfire(&mut self, tag: u32, kind: Misfire) {
         let t = self.tags.entry(tag).or_default();
         if matches!(t.state, TagState::Disabled { .. }) {
             return;
         }
         t.misfires += 1;
         self.stats.misfires += 1;
+        match kind {
+            Misfire::CancelledRelease => self.stats.misfires_cancelled_release += 1,
+            Misfire::RescuedRelease => self.stats.misfires_rescued_release += 1,
+            Misfire::UselessPrefetch => self.stats.misfires_useless_prefetch += 1,
+        }
     }
 }
 
@@ -342,5 +353,20 @@ mod tests {
         let before = h.stats().misfires;
         h.on_misfire(7, Misfire::RescuedRelease);
         assert_eq!(h.stats().misfires, before, "late feedback ignored");
+        assert_eq!(h.stats().misfires_rescued_release, 0);
+    }
+
+    #[test]
+    fn misfires_are_counted_per_kind() {
+        let mut h = HintHealth::new(cfg());
+        h.on_misfire(1, Misfire::CancelledRelease);
+        h.on_misfire(1, Misfire::CancelledRelease);
+        h.on_misfire(2, Misfire::RescuedRelease);
+        h.on_misfire(3, Misfire::UselessPrefetch);
+        let s = h.stats();
+        assert_eq!(s.misfires, 4);
+        assert_eq!(s.misfires_cancelled_release, 2);
+        assert_eq!(s.misfires_rescued_release, 1);
+        assert_eq!(s.misfires_useless_prefetch, 1);
     }
 }

@@ -31,6 +31,7 @@ use sim_core::sanitizer::{InvariantViolation, Mutation};
 use sim_core::{SimDuration, SimTime};
 use vm::{Pid, VmSys, Vpn};
 
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionStats, AdmissionVerdict};
 use crate::filter::TagFilter;
 use crate::health::{HealthConfig, HealthStats, HintHealth, Misfire};
 use crate::policy::{ReleaseBuffers, ReleasePolicy};
@@ -58,6 +59,10 @@ pub struct RtConfig {
     /// Hint health monitoring thresholds; `None` disables the monitor
     /// (hints are trusted unconditionally, as in the paper's baseline).
     pub health: Option<HealthConfig>,
+    /// Hint admission control (per-tenant rate limit + trust score);
+    /// `None` disables it — any tenant may hint at any rate, as in the
+    /// paper's single-job setting.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for RtConfig {
@@ -69,6 +74,7 @@ impl Default for RtConfig {
             buffer_op: SimDuration::from_nanos(400),
             one_behind: true,
             health: None,
+            admission: None,
         }
     }
 }
@@ -114,6 +120,15 @@ pub struct RtStats {
     pub misfires_useless_prefetch: u64,
     /// Directive tags retired on loop-nest exit.
     pub tags_retired: u64,
+    /// Prefetch pages rejected by the admission rate limiter.
+    pub prefetch_rejected: u64,
+    /// Release hints rejected by the admission rate limiter.
+    pub release_rejected: u64,
+    /// Advisory (low-trust) prefetch pages dropped for lack of free
+    /// headroom.
+    pub prefetch_advisory_dropped: u64,
+    /// Release completions the engine verified (frames actually freed).
+    pub releases_verified: u64,
 }
 
 /// The run-time layer for one process (see module docs).
@@ -125,6 +140,7 @@ pub struct RuntimeLayer {
     buffers: ReleaseBuffers,
     stats: RtStats,
     health: Option<HintHealth>,
+    admission: Option<AdmissionController>,
     faults: HintFaults,
     fault_rng: Option<Pcg32>,
     fault_log: FaultLog,
@@ -154,6 +170,7 @@ impl RuntimeLayer {
             buffers: ReleaseBuffers::new(),
             stats: RtStats::default(),
             health: config.health.map(HintHealth::new),
+            admission: config.admission.map(AdmissionController::new),
             faults: HintFaults::default(),
             fault_rng: None,
             fault_log: FaultLog::default(),
@@ -211,6 +228,30 @@ impl RuntimeLayer {
     /// Health-monitor counters, if the monitor is enabled.
     pub fn health_stats(&self) -> Option<&HealthStats> {
         self.health.as_ref().map(|h| h.stats())
+    }
+
+    /// Admission-controller counters, if admission control is enabled.
+    pub fn admission_stats(&self) -> Option<&AdmissionStats> {
+        self.admission.as_ref().map(|a| a.stats())
+    }
+
+    /// Whether the admission controller currently holds this tenant at
+    /// low trust.
+    pub fn low_trust(&self) -> bool {
+        self.admission.as_ref().is_some_and(|a| a.low_trust())
+    }
+
+    /// Engine feedback: `n` of this tenant's releases were *verified* —
+    /// the releaser actually freed the frames. The only path by which a
+    /// low-trust tenant earns release credit back.
+    pub fn note_releases_verified(&mut self, now: SimTime, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.stats.releases_verified += n;
+        if let Some(a) = self.admission.as_mut() {
+            a.note_releases_verified(n, now, &mut self.fault_log);
+        }
     }
 
     /// Faults injected and degradation transitions taken so far.
@@ -351,7 +392,7 @@ impl RuntimeLayer {
 
     /// Feedback from the VM about a touch on `vpn`: attributes release
     /// misfires (cancellations, free-list rescues) to the hinting tag.
-    pub fn note_touch_outcome(&mut self, vpn: Vpn, kind: vm::TouchKind) {
+    pub fn note_touch_outcome(&mut self, now: SimTime, vpn: Vpn, kind: vm::TouchKind) {
         use vm::frame::FreeSource;
         use vm::TouchKind;
         let misfire = match kind {
@@ -368,6 +409,9 @@ impl RuntimeLayer {
             Some(Misfire::RescuedRelease) => self.stats.misfires_rescued += 1,
             _ => {}
         }
+        if let (Some(a), Some(_)) = (self.admission.as_mut(), misfire) {
+            a.note_bad(now, &mut self.fault_log);
+        }
         if let (Some(h), Some(m)) = (self.health.as_mut(), misfire) {
             h.on_misfire(tag, m);
         }
@@ -375,15 +419,21 @@ impl RuntimeLayer {
 
     /// Feedback from the VM about an issued prefetch: an already-resident
     /// outcome is a useless-prefetch misfire for the hinting tag.
-    pub fn note_prefetch_outcome(&mut self, vpn: Vpn, already_resident: bool) {
+    pub fn note_prefetch_outcome(&mut self, now: SimTime, vpn: Vpn, already_resident: bool) {
         let Some(tag) = self.prefetch_tags.remove(&vpn) else {
             return;
         };
         if already_resident {
             self.stats.misfires_useless_prefetch += 1;
+            if let Some(a) = self.admission.as_mut() {
+                a.note_bad(now, &mut self.fault_log);
+            }
             if let Some(h) = self.health.as_mut() {
                 h.on_misfire(tag, Misfire::UselessPrefetch);
             }
+        } else if let Some(a) = self.admission.as_mut() {
+            // A prefetch the OS accepted is provisional good behaviour.
+            a.note_good(now, &mut self.fault_log);
         }
     }
 
@@ -538,6 +588,29 @@ impl RuntimeLayer {
                 pages: npages as u32,
             },
         );
+        // Admission control runs ahead of everything else — including
+        // the health monitor — so a flooding tenant cannot even buy tag
+        // evaluations with its excess hints.
+        let mut advisory = false;
+        if let Some(a) = self.admission.as_mut() {
+            match a.admit(now, true) {
+                AdmissionVerdict::Reject => {
+                    self.stats.prefetch_rejected += npages;
+                    self.obs.emit_page(
+                        now,
+                        pid.0,
+                        vpn.0,
+                        EventKind::PrefetchRejected {
+                            tag,
+                            pages: npages as u32,
+                        },
+                    );
+                    return (Vec::new(), cost);
+                }
+                AdmissionVerdict::AdmitAdvisory => advisory = true,
+                AdmissionVerdict::Admit => {}
+            }
+        }
         if let Some(h) = self.health.as_mut() {
             if !h.on_hint(tag, now, &mut self.fault_log) {
                 // Degraded: fall back to demand faulting.
@@ -547,6 +620,28 @@ impl RuntimeLayer {
                     pid.0,
                     vpn.0,
                     EventKind::PrefetchSuppressed {
+                        tag,
+                        pages: npages as u32,
+                    },
+                );
+                return (Vec::new(), cost);
+            }
+        }
+        // A low-trust tenant's prefetch is advisory: it may only consume
+        // free memory the paging daemon considers surplus, so it can
+        // never create pressure for the neighbours.
+        if advisory {
+            let surplus = vm.free_pages().saturating_sub(vm.tunables().target_freemem);
+            if surplus <= npages {
+                self.stats.prefetch_advisory_dropped += npages;
+                if let Some(a) = self.admission.as_mut() {
+                    a.note_advisory_dropped();
+                }
+                self.obs.emit_page(
+                    now,
+                    pid.0,
+                    vpn.0,
+                    EventKind::PrefetchAdvisoryDropped {
                         tag,
                         pages: npages as u32,
                     },
@@ -584,6 +679,17 @@ impl RuntimeLayer {
         self.stats.release_hints += 1;
         self.obs
             .emit_page(now, pid.0, vpn.0, EventKind::ReleaseHint { tag, pages: 1 });
+        if let Some(a) = self.admission.as_mut() {
+            // Releases are rate-limited but never demoted: freeing
+            // memory is always safe, so AdmitAdvisory processes normally
+            // (the *credit* for it waits for engine verification).
+            if a.admit(now, false) == AdmissionVerdict::Reject {
+                self.stats.release_rejected += 1;
+                self.obs
+                    .emit_page(now, pid.0, vpn.0, EventKind::ReleaseRejected { tag });
+                return (Vec::new(), self.config.hint_check);
+            }
+        }
         if self.checked {
             if let Err(why) = self.buffers.check_coherent() {
                 self.checked_fail(now, "release_queue_priority", why);
@@ -952,7 +1058,7 @@ mod tests {
         for i in 0..4 {
             let (out, _) = rt.on_release_hint(&vm, pid, t(2), r.start.offset(i), 0, 7);
             if !out.is_empty() {
-                rt.note_touch_outcome(out[0], vm::TouchKind::SoftFaultRelease);
+                rt.note_touch_outcome(t(2), out[0], vm::TouchKind::SoftFaultRelease);
             }
         }
         assert!(rt.fault_log().count("tag_disabled") == 1, "tag 7 disabled");

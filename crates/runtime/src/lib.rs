@@ -23,11 +23,15 @@
 //!   queues round-robin).
 //! * [`prefetcher`] — the pthread-pool model used to issue prefetches
 //!   asynchronously.
+//! * [`admission`] — untrusted-hint admission control: per-tenant token
+//!   buckets and a trust score with hysteresis; low-trust tenants get
+//!   prefetches demoted to advisory and releases verified before credit.
 //! * [`layer`] — the per-process facade gluing the above together.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod bindings;
 pub mod exec;
 pub mod filter;
@@ -38,6 +42,7 @@ pub mod policy;
 pub mod prefetcher;
 pub mod supervisor;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionStats, AdmissionVerdict};
 pub use bindings::{ArrayBinding, Bindings, IndirectGen, TripSpec};
 pub use exec::Executor;
 pub use health::{HealthConfig, HealthStats, HintHealth};

@@ -283,6 +283,96 @@ impl ExecFaults {
     }
 }
 
+/// One byzantine hint-abuse strategy a hostile tenant runs.
+///
+/// Faults model *accidents*; an adversary models *malice*: a tenant
+/// deliberately shaping its hint stream to steal memory or kernel time
+/// from its neighbours. Each strategy targets a different seam of the
+/// guided-paging machinery.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AdversaryStrategy {
+    /// Saturate the hint path with maximum-rate prefetch+release churn,
+    /// burning kernel hint-check time and daemon activations.
+    HintFlood,
+    /// Prefetch huge ranges it never touches, draining the free list so
+    /// neighbours' allocations force paging-daemon scans.
+    FalsePrefetchStorm,
+    /// Grow a large resident set and never release, touching pages just
+    /// often enough to defeat the clock — a classic memory hog that
+    /// ignores the cooperative protocol entirely.
+    ReleaseWithholding,
+    /// Issue releases for pages it immediately re-touches, farming
+    /// rescue/cancellation work while looking cooperative (inflating its
+    /// apparent hint "priority").
+    PriorityInflation,
+    /// Alternate bursts that probe the quota ceiling with idle cool-downs,
+    /// trying to time allocation spikes between daemon activations.
+    QuotaProbing,
+}
+
+impl AdversaryStrategy {
+    /// All strategies, in matrix order.
+    pub const ALL: [AdversaryStrategy; 5] = [
+        AdversaryStrategy::HintFlood,
+        AdversaryStrategy::FalsePrefetchStorm,
+        AdversaryStrategy::ReleaseWithholding,
+        AdversaryStrategy::PriorityInflation,
+        AdversaryStrategy::QuotaProbing,
+    ];
+
+    /// A short stable name for reports and fingerprints.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdversaryStrategy::HintFlood => "hint_flood",
+            AdversaryStrategy::FalsePrefetchStorm => "false_prefetch_storm",
+            AdversaryStrategy::ReleaseWithholding => "release_withholding",
+            AdversaryStrategy::PriorityInflation => "priority_inflation",
+            AdversaryStrategy::QuotaProbing => "quota_probing",
+        }
+    }
+}
+
+/// A seeded description of the hostile tenants in one run.
+///
+/// `count` adversaries all run `strategy`, occupying the tenant slots
+/// `[tenant, tenant + count)` of the run's tenant table (so quota
+/// validation can check the references). Adversary `k` draws from
+/// `stream_rng(FaultDomain::Adversary, k)` — adding an adversary never
+/// shifts the draws another one sees.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdversaryPlan {
+    /// The abuse strategy every adversary in this plan runs.
+    pub strategy: Option<AdversaryStrategy>,
+    /// Number of hostile tenants (0 = no adversaries; the default).
+    pub count: u32,
+    /// Index of the first adversary's slot in the run's tenant table.
+    pub tenant: u32,
+    /// Pages each adversary grazes over (its attack working set).
+    pub pages: u64,
+    /// Aggression knob: hints per burst for the hint strategies, touch
+    /// fraction for the withholding strategy, burst length for probing.
+    pub intensity: u32,
+}
+
+impl AdversaryPlan {
+    /// A plan running `count` adversaries of `strategy` starting at
+    /// tenant slot `tenant`, with a default working set and intensity.
+    pub fn new(strategy: AdversaryStrategy, count: u32, tenant: u32) -> Self {
+        AdversaryPlan {
+            strategy: Some(strategy),
+            count,
+            tenant,
+            pages: 256,
+            intensity: 32,
+        }
+    }
+
+    /// Whether the plan fields any adversary at all.
+    pub fn any(&self) -> bool {
+        self.strategy.is_some() && self.count > 0
+    }
+}
+
 /// The complete, seeded description of what to inject into one run.
 ///
 /// A default plan injects nothing; `FaultPlan::default()` is the
@@ -314,6 +404,8 @@ pub enum FaultDomain {
     Daemons,
     /// Disk I/O perturbation.
     Io,
+    /// Hostile-tenant behaviour scripts (one stream per adversary).
+    Adversary,
 }
 
 impl FaultPlan {
@@ -348,6 +440,7 @@ impl FaultPlan {
             FaultDomain::Hints => 0x48_49_4e_54,
             FaultDomain::Daemons => 0x44_41_45_4d,
             FaultDomain::Io => 0x44_49_53_4b,
+            FaultDomain::Adversary => 0x41_44_56_53,
         };
         let mut mix =
             SplitMix64::new(self.seed ^ salt ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15));
@@ -474,6 +567,17 @@ pub enum FaultKind {
         /// Restart attempts made before giving up.
         attempts: u32,
     },
+    /// The admission controller demoted a tenant to low trust: its
+    /// prefetches become advisory and its releases must be verified
+    /// before earning credit.
+    TrustDemoted {
+        /// Bad-behaviour events in the evaluation window.
+        bad: u32,
+        /// Size of the evaluation window.
+        window: u32,
+    },
+    /// The admission controller restored a tenant to full trust.
+    TrustRestored,
     /// Post-restart reconciliation: state rebuilt from the page table.
     StateReconciled {
         /// The component whose state was reconciled.
@@ -508,6 +612,8 @@ impl FaultKind {
             FaultKind::RestartFailed { .. } => "restart_failed",
             FaultKind::ComponentRestarted { .. } => "component_restarted",
             FaultKind::ComponentAbandoned { .. } => "component_abandoned",
+            FaultKind::TrustDemoted { .. } => "trust_demoted",
+            FaultKind::TrustRestored => "trust_restored",
             FaultKind::StateReconciled { .. } => "state_reconciled",
         }
     }
@@ -526,6 +632,8 @@ impl FaultKind {
                 | FaultKind::RestartFailed { .. }
                 | FaultKind::ComponentRestarted { .. }
                 | FaultKind::ComponentAbandoned { .. }
+                | FaultKind::TrustDemoted { .. }
+                | FaultKind::TrustRestored
                 | FaultKind::StateReconciled { .. }
         )
     }
@@ -554,6 +662,8 @@ impl FaultKind {
             "restart_failed",
             "component_restarted",
             "component_abandoned",
+            "trust_demoted",
+            "trust_restored",
             "state_reconciled",
         ];
         KNOWN.iter().find(|&&k| k == name).copied()
@@ -680,6 +790,27 @@ impl FaultLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn default_adversary_plan_is_benign() {
+        let a = AdversaryPlan::default();
+        assert!(!a.any());
+        let a = AdversaryPlan::new(AdversaryStrategy::HintFlood, 2, 1);
+        assert!(a.any());
+        assert_eq!(a.strategy.unwrap().name(), "hint_flood");
+    }
+
+    #[test]
+    fn adversary_streams_are_independent() {
+        let p = FaultPlan::seeded(7);
+        let mut a0 = p.stream_rng(FaultDomain::Adversary, 0);
+        let mut a1 = p.stream_rng(FaultDomain::Adversary, 1);
+        let mut h0 = p.stream_rng(FaultDomain::Hints, 0);
+        assert_ne!(a0.next_u32(), a1.next_u32());
+        // Same seed, different domain salt: different draws.
+        let mut a0b = p.stream_rng(FaultDomain::Adversary, 0);
+        assert_ne!(a0b.next_u32(), h0.next_u32());
+    }
 
     #[test]
     fn default_plan_is_fault_free() {

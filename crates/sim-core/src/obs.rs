@@ -133,6 +133,11 @@ pub enum EventKind {
         /// Pages degraded to reactive candidates.
         pages: u32,
     },
+    /// The admission controller's rate limiter rejected a release hint.
+    ReleaseRejected {
+        /// Directive tag.
+        tag: u32,
+    },
     /// The one-behind filter absorbed a same-page release.
     ReleaseFilteredSamePage {
         /// Directive tag.
@@ -171,6 +176,21 @@ pub enum EventKind {
         /// Pages not prefetched.
         pages: u32,
     },
+    /// The admission controller's rate limiter rejected a prefetch hint.
+    PrefetchRejected {
+        /// Directive tag.
+        tag: u32,
+        /// Pages not prefetched.
+        pages: u32,
+    },
+    /// A low-trust tenant's advisory prefetch was dropped for lack of
+    /// free-memory headroom.
+    PrefetchAdvisoryDropped {
+        /// Directive tag.
+        tag: u32,
+        /// Pages not prefetched.
+        pages: u32,
+    },
     /// The shared-page bitmap filtered one prefetch page.
     PrefetchFiltered {
         /// Directive tag.
@@ -204,6 +224,8 @@ pub enum EventKind {
     PrefetchRedundant,
     /// A prefetch was discarded (no frames / not worthwhile).
     PrefetchDiscarded,
+    /// A prefetch was denied because the tenant was at its quota cap.
+    PrefetchQuotaDenied,
     /// A prefetch rescued the page from the free list instead of doing
     /// I/O.
     PrefetchRescued,
@@ -236,6 +258,7 @@ impl EventKind {
             EventKind::ReleaserBatch { .. } => "releaser_batch",
             EventKind::ReleaseHint { .. } => "release_hint",
             EventKind::ReleaseSuppressed { .. } => "release_suppressed",
+            EventKind::ReleaseRejected { .. } => "release_rejected",
             EventKind::ReleaseFilteredSamePage { .. } => "release_filtered_same_page",
             EventKind::ReleaseFilteredBitmap { .. } => "release_filtered_bitmap",
             EventKind::ReleaseIssued { .. } => "release_issued",
@@ -243,6 +266,8 @@ impl EventKind {
             EventKind::ReleaseDrained => "release_drained",
             EventKind::PrefetchHint { .. } => "prefetch_hint",
             EventKind::PrefetchSuppressed { .. } => "prefetch_suppressed",
+            EventKind::PrefetchRejected { .. } => "prefetch_rejected",
+            EventKind::PrefetchAdvisoryDropped { .. } => "prefetch_advisory_dropped",
             EventKind::PrefetchFiltered { .. } => "prefetch_filtered",
             EventKind::PrefetchIssued { .. } => "prefetch_issued",
             EventKind::ReleaseAccepted => "release_accepted",
@@ -256,6 +281,7 @@ impl EventKind {
             EventKind::PrefetchStarted => "prefetch_started",
             EventKind::PrefetchRedundant => "prefetch_redundant",
             EventKind::PrefetchDiscarded => "prefetch_discarded",
+            EventKind::PrefetchQuotaDenied => "prefetch_quota_denied",
             EventKind::PrefetchRescued => "prefetch_rescued",
             EventKind::PrefetchValidated => "prefetch_validated",
             EventKind::HardFault => "hard_fault",
@@ -278,6 +304,7 @@ impl EventKind {
             | EventKind::FreedByRelease => Subsystem::Releaser,
             EventKind::ReleaseHint { .. }
             | EventKind::ReleaseSuppressed { .. }
+            | EventKind::ReleaseRejected { .. }
             | EventKind::ReleaseFilteredSamePage { .. }
             | EventKind::ReleaseFilteredBitmap { .. }
             | EventKind::ReleaseIssued { .. }
@@ -285,6 +312,8 @@ impl EventKind {
             | EventKind::ReleaseDrained
             | EventKind::PrefetchHint { .. }
             | EventKind::PrefetchSuppressed { .. }
+            | EventKind::PrefetchRejected { .. }
+            | EventKind::PrefetchAdvisoryDropped { .. }
             | EventKind::PrefetchFiltered { .. }
             | EventKind::PrefetchIssued { .. } => Subsystem::Hint,
             EventKind::ReleaseCancelled
@@ -293,6 +322,7 @@ impl EventKind {
             | EventKind::PrefetchStarted
             | EventKind::PrefetchRedundant
             | EventKind::PrefetchDiscarded
+            | EventKind::PrefetchQuotaDenied
             | EventKind::PrefetchRescued
             | EventKind::PrefetchValidated
             | EventKind::HardFault
@@ -317,12 +347,15 @@ impl EventKind {
             EventKind::ReleaseHint { tag, pages }
             | EventKind::ReleaseSuppressed { tag, pages }
             | EventKind::PrefetchHint { tag, pages }
-            | EventKind::PrefetchSuppressed { tag, pages } => {
+            | EventKind::PrefetchSuppressed { tag, pages }
+            | EventKind::PrefetchRejected { tag, pages }
+            | EventKind::PrefetchAdvisoryDropped { tag, pages } => {
                 vec![("tag", U(tag.into())), ("pages", U(pages.into()))]
             }
             EventKind::ReleaseFilteredSamePage { tag }
             | EventKind::ReleaseFilteredBitmap { tag }
             | EventKind::ReleaseIssued { tag }
+            | EventKind::ReleaseRejected { tag }
             | EventKind::PrefetchFiltered { tag }
             | EventKind::PrefetchIssued { tag } => vec![("tag", U(tag.into()))],
             EventKind::ReleaseBuffered { tag, priority } => {
@@ -371,6 +404,10 @@ fn fault_args(kind: &FaultKind) -> Vec<(&'static str, ArgVal)> {
             vec![("disabled_tags", U(disabled_tags as u64))]
         }
         FaultKind::StreamRestored => Vec::new(),
+        FaultKind::TrustDemoted { bad, window } => {
+            vec![("bad", U(bad.into())), ("window", U(window.into()))]
+        }
+        FaultKind::TrustRestored => Vec::new(),
         FaultKind::ComponentCrashed { component } => vec![("component", S(component.name()))],
         FaultKind::CrashDetected { component, missed } => vec![
             ("component", S(component.name())),
@@ -537,6 +574,9 @@ pub struct Recorder {
     enabled: bool,
     dropped: u64,
     counts: BTreeMap<&'static str, u64>,
+    /// Exact per-process counts for pid-attributed events. Kept outside
+    /// the ring so eviction never loses tenant attribution.
+    pid_counts: BTreeMap<(u32, &'static str), u64>,
     total: u64,
 }
 
@@ -555,6 +595,7 @@ impl Recorder {
             enabled: false,
             dropped: 0,
             counts: BTreeMap::new(),
+            pid_counts: BTreeMap::new(),
             total: 0,
         }
     }
@@ -613,6 +654,9 @@ impl Recorder {
 
     fn push(&mut self, ev: Event) {
         *self.counts.entry(ev.kind.name()).or_insert(0) += 1;
+        if let Some(pid) = ev.pid {
+            *self.pid_counts.entry((pid, ev.kind.name())).or_insert(0) += 1;
+        }
         self.total += 1;
         if self.cap == 0 {
             self.dropped += 1;
@@ -638,6 +682,11 @@ impl Recorder {
     /// Exact count for one event name.
     pub fn count(&self, name: &str) -> u64 {
         self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Exact per-process counts for pid-attributed events.
+    pub fn pid_counts(&self) -> &BTreeMap<(u32, &'static str), u64> {
+        &self.pid_counts
     }
 
     /// Total events emitted while enabled.
@@ -683,6 +732,28 @@ impl OutcomeRow {
     }
 }
 
+/// A per-tenant outcome row: the good/wasted/filtered taxonomy plus the
+/// hints the admission controller rejected before the filters saw them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantOutcomeRow {
+    /// The good/wasted/filtered taxonomy for this tenant.
+    pub row: OutcomeRow,
+    /// Hints rejected by admission control (rate limit or advisory drop).
+    pub rejected: u64,
+}
+
+impl TenantOutcomeRow {
+    /// good + wasted + filtered + rejected.
+    pub fn total(&self) -> u64 {
+        self.row.total() + self.rejected
+    }
+
+    /// Whether the tenant produced any hint activity at all.
+    pub fn any(&self) -> bool {
+        self.total() > 0
+    }
+}
+
 /// The merged, time-sorted event stream of one run.
 ///
 /// Built by the engine at the end of a run: it absorbs every subsystem's
@@ -695,6 +766,7 @@ impl OutcomeRow {
 pub struct EventStream {
     events: Vec<Event>,
     counts: BTreeMap<&'static str, u64>,
+    pid_counts: BTreeMap<(u32, &'static str), u64>,
     total: u64,
     dropped: u64,
 }
@@ -710,6 +782,9 @@ impl EventStream {
         self.events.extend(rec.events().copied());
         for (k, v) in rec.counts() {
             *self.counts.entry(k).or_insert(0) += v;
+        }
+        for (&(pid, k), v) in rec.pid_counts() {
+            *self.pid_counts.entry((pid, k)).or_insert(0) += v;
         }
         self.total += rec.total();
         self.dropped += rec.dropped();
@@ -781,6 +856,49 @@ impl EventStream {
                 _ => None,
             })
             .collect()
+    }
+
+    /// Exact count of `name` events attributed to `pid`.
+    pub fn pid_count(&self, pid: u32, name: &str) -> u64 {
+        self.pid_counts.get(&(pid, name)).copied().unwrap_or(0)
+    }
+
+    /// Every pid with at least one attributed event, ascending.
+    pub fn pids(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self.pid_counts.keys().map(|&(pid, _)| pid).collect();
+        out.dedup();
+        out
+    }
+
+    /// The release-hint outcome row for one tenant (see
+    /// [`EventStream::release_outcome`]; `rejected` adds the admission
+    /// controller's rate-limit drops).
+    pub fn release_outcome_for(&self, pid: u32) -> TenantOutcomeRow {
+        let c = |name: &str| self.pid_count(pid, name);
+        let rescued = c("rescue_release");
+        TenantOutcomeRow {
+            row: OutcomeRow {
+                good: c("freed_by_release").saturating_sub(rescued),
+                wasted: c("release_skipped_reref") + c("release_cancelled") + rescued,
+                filtered: c("release_filtered_same_page")
+                    + c("release_filtered_bitmap")
+                    + c("release_suppressed"),
+            },
+            rejected: c("release_rejected"),
+        }
+    }
+
+    /// The prefetch-hint outcome row for one tenant.
+    pub fn prefetch_outcome_for(&self, pid: u32) -> TenantOutcomeRow {
+        let c = |name: &str| self.pid_count(pid, name);
+        TenantOutcomeRow {
+            row: OutcomeRow {
+                good: c("prefetch_validated"),
+                wasted: c("prefetch_redundant") + c("prefetch_discarded"),
+                filtered: c("prefetch_filtered") + c("prefetch_suppressed"),
+            },
+            rejected: c("prefetch_rejected") + c("prefetch_advisory_dropped"),
+        }
     }
 
     /// The release-hint outcome row. Every term is an exact event count,

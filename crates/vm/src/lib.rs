@@ -48,6 +48,7 @@ pub mod pagetable;
 pub mod pagingd;
 pub mod params;
 pub mod policy;
+pub mod quota;
 pub mod releaser;
 pub mod shared_page;
 pub mod stats;
@@ -58,5 +59,6 @@ pub use addr::{PageRange, Pfn, Pid, Vpn};
 pub use outcome::{PrefetchOutcome, TouchKind, TouchResult};
 pub use pagetable::PageTableError;
 pub use params::{CostParams, Tunables};
+pub use quota::{QuotaSet, TenantQuota};
 pub use stats::{ProcStats, VmStats};
 pub use vmsys::{Backing, SharedView, VmError, VmSys};

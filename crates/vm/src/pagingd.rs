@@ -109,6 +109,25 @@ impl VmSys {
         None
     }
 
+    /// Whether the quota contract shields `pid` from a steal right now:
+    /// the victim sits at or below its guaranteed share while some other
+    /// process is above its own guarantee — the clock should trim that
+    /// one instead. When *nobody* is above a guarantee the shield yields,
+    /// so a fully-guaranteed machine can still reclaim under pressure
+    /// instead of livelocking into OOM.
+    fn quota_shields(&self, pid: Pid) -> bool {
+        if !self.quota.any() {
+            return false;
+        }
+        let resident = self.procs[pid.0 as usize].pt.resident_pages();
+        if resident > self.quota.guaranteed(pid.0) {
+            return false;
+        }
+        self.procs.iter().enumerate().any(|(i, p)| {
+            i as u32 != pid.0 && p.pt.resident_pages() > self.quota.guaranteed(i as u32)
+        })
+    }
+
     /// Runs one daemon activation starting at `now`; returns the instant the
     /// daemon finished its work.
     ///
@@ -268,6 +287,17 @@ impl VmSys {
                         let e = self.procs[pid.0 as usize].pt.get(vpn);
                         if e.pfn != Some(pfn) || !e.clock_sampled {
                             continue; // rescued or touched meanwhile
+                        }
+                        // Quota isolation: never steal below a tenant's
+                        // guaranteed share while some other tenant is
+                        // above its own guarantee (trim that one instead).
+                        // Re-checked at apply time because residency
+                        // drifts within the batch. The over-cap trim
+                        // target is exempt: over cap implies over
+                        // guarantee.
+                        if trim_target != Some(pid) && self.quota_shields(pid) {
+                            self.stats.pagingd.quota_protected.bump();
+                            continue;
                         }
                         let dirty = e.dirty;
                         self.free_page(acq.end, pid, vpn, FreeSource::Daemon);

@@ -1,0 +1,244 @@
+//! Per-tenant memory quotas: guaranteed share + burstable slack.
+//!
+//! The paper's Eq. 1 gives every process the same global view: its upper
+//! limit is `min(maxrss, usage + free - min_freemem)`. That is fine for
+//! one cooperative job but gives a byzantine tenant the whole machine to
+//! graze on. [`QuotaSet`] generalizes the limit into a per-tenant
+//! contract:
+//!
+//! * a **guaranteed** share — frames the tenant can always hold; the
+//!   paging daemon never steals below it while any other tenant is above
+//!   its own guarantee;
+//! * a **burstable** slack — frames above the guarantee the tenant may
+//!   use while the machine has room, *rented against good behaviour*:
+//!   every hint that wastes kernel work (a cancelled release, a rescued
+//!   release, a redundant prefetch) debits the slack, and every hint that
+//!   does its job (a validated prefetch, a release that actually freed a
+//!   frame) credits it back.
+//!
+//! The effective per-tenant cap is
+//! `min(maxrss, guaranteed + burst - debt)`; debt saturates at `burst`,
+//! so the cap can never drop below the guarantee. Tenants without a
+//! registered quota keep the stock Eq. 1 behaviour, and a [`QuotaSet`]
+//! with no registrations is a complete no-op — existing single-tenant
+//! runs are bit-identical.
+//!
+//! Independently of quotas, the set keeps an exact per-tenant **charged**
+//! frame count, incremented/decremented at the same sites that map/unmap
+//! resident pages. Checked mode asserts it equals each page table's
+//! resident count — the conservation property the adversary tests lean
+//! on.
+
+use std::collections::BTreeMap;
+
+/// One tenant's memory contract (pages).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TenantQuota {
+    /// Frames the tenant can always hold (never stolen below this while
+    /// another tenant is above its own guarantee).
+    pub guaranteed: u64,
+    /// Burstable slack above the guarantee, debited by wasteful hints.
+    pub burst: u64,
+}
+
+impl TenantQuota {
+    /// A quota of `guaranteed` pages plus `burst` pages of slack.
+    pub fn new(guaranteed: u64, burst: u64) -> Self {
+        TenantQuota { guaranteed, burst }
+    }
+
+    /// The cap with zero debt: `guaranteed + burst`.
+    pub fn ceiling(&self) -> u64 {
+        self.guaranteed + self.burst
+    }
+}
+
+/// The per-machine registry of tenant quotas plus the frame-charge and
+/// hint-debt ledgers (see module docs). Deterministic by construction:
+/// all state lives in `BTreeMap`s keyed by pid.
+#[derive(Clone, Debug, Default)]
+pub struct QuotaSet {
+    quotas: BTreeMap<u32, TenantQuota>,
+    /// Burst slack consumed by wasteful hints, per tenant (≤ burst).
+    debt: BTreeMap<u32, u64>,
+    /// Exact resident-frame count per process (kept for *all* pids, not
+    /// just quota'd tenants, so conservation is checkable machine-wide).
+    charged: BTreeMap<u32, u64>,
+    debits: u64,
+    credits: u64,
+}
+
+impl QuotaSet {
+    /// An empty set (every operation a no-op until a quota is registered).
+    pub fn new() -> Self {
+        QuotaSet::default()
+    }
+
+    /// Whether any tenant has a registered quota.
+    pub fn any(&self) -> bool {
+        !self.quotas.is_empty()
+    }
+
+    /// Registers (or replaces) `pid`'s quota.
+    pub fn set(&mut self, pid: u32, quota: TenantQuota) {
+        self.quotas.insert(pid, quota);
+    }
+
+    /// The quota registered for `pid`, if any.
+    pub fn quota(&self, pid: u32) -> Option<TenantQuota> {
+        self.quotas.get(&pid).copied()
+    }
+
+    /// `pid`'s guaranteed share (0 for tenants without a quota).
+    pub fn guaranteed(&self, pid: u32) -> u64 {
+        self.quotas.get(&pid).map_or(0, |q| q.guaranteed)
+    }
+
+    /// `pid`'s current hint debt against its burst slack.
+    pub fn debt(&self, pid: u32) -> u64 {
+        self.debt.get(&pid).copied().unwrap_or(0)
+    }
+
+    /// The effective per-tenant cap: `min(maxrss, guaranteed + burst -
+    /// debt)` for quota'd tenants, `maxrss` otherwise. Debt saturates at
+    /// `burst`, so the cap never drops below the guarantee.
+    pub fn cap(&self, pid: u32, maxrss: u64) -> u64 {
+        match self.quotas.get(&pid) {
+            None => maxrss,
+            Some(q) => maxrss.min(q.guaranteed + q.burst - self.debt(pid)),
+        }
+    }
+
+    /// Debits `pages` of burst slack for a wasteful hint (saturating at
+    /// the tenant's burst). No-op for tenants without a quota.
+    pub fn debit(&mut self, pid: u32, pages: u64) {
+        let Some(q) = self.quotas.get(&pid) else {
+            return;
+        };
+        let d = self.debt.entry(pid).or_insert(0);
+        *d = (*d + pages).min(q.burst);
+        self.debits += pages;
+    }
+
+    /// Credits `pages` of burst slack back for a hint that did its job
+    /// (saturating at zero). No-op for tenants without a quota.
+    pub fn credit(&mut self, pid: u32, pages: u64) {
+        if !self.quotas.contains_key(&pid) {
+            return;
+        }
+        let d = self.debt.entry(pid).or_insert(0);
+        *d = d.saturating_sub(pages);
+        self.credits += pages;
+    }
+
+    /// Records one frame becoming resident for `pid`.
+    pub fn charge(&mut self, pid: u32) {
+        *self.charged.entry(pid).or_insert(0) += 1;
+    }
+
+    /// Records one frame leaving residency for `pid`.
+    pub fn uncharge(&mut self, pid: u32) {
+        let c = self.charged.entry(pid).or_insert(0);
+        debug_assert!(*c > 0, "uncharge below zero for pid {pid}");
+        *c = c.saturating_sub(1);
+    }
+
+    /// Exact frames currently charged to `pid`.
+    pub fn charged(&self, pid: u32) -> u64 {
+        self.charged.get(&pid).copied().unwrap_or(0)
+    }
+
+    /// Sum of charged frames across every process.
+    pub fn total_charged(&self) -> u64 {
+        self.charged.values().sum()
+    }
+
+    /// Sum of all registered guarantees.
+    pub fn total_guaranteed(&self) -> u64 {
+        self.quotas.values().map(|q| q.guaranteed).sum()
+    }
+
+    /// Total debit events applied (diagnostics).
+    pub fn total_debits(&self) -> u64 {
+        self.debits
+    }
+
+    /// Total credit events applied (diagnostics).
+    pub fn total_credits(&self) -> u64 {
+        self.credits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_is_transparent() {
+        let q = QuotaSet::new();
+        assert!(!q.any());
+        assert_eq!(q.cap(0, 1000), 1000);
+        assert_eq!(q.guaranteed(0), 0);
+        assert_eq!(q.debt(0), 0);
+    }
+
+    #[test]
+    fn debit_and_credit_never_leave_the_burst_band() {
+        let mut q = QuotaSet::new();
+        q.set(1, TenantQuota::new(100, 40));
+        assert_eq!(q.cap(1, 1000), 140);
+        q.debit(1, 25);
+        assert_eq!(q.cap(1, 1000), 115);
+        // Debt saturates at burst: the cap never dips below the guarantee.
+        q.debit(1, 1000);
+        assert_eq!(q.debt(1), 40);
+        assert_eq!(q.cap(1, 1000), 100);
+        // Credits restore slack, saturating at zero debt.
+        q.credit(1, 10);
+        assert_eq!(q.cap(1, 1000), 110);
+        q.credit(1, 1000);
+        assert_eq!(q.debt(1), 0);
+        assert_eq!(q.cap(1, 1000), 140);
+        assert_eq!(q.total_debits(), 1025);
+        assert_eq!(q.total_credits(), 1010);
+    }
+
+    #[test]
+    fn cap_is_still_bounded_by_maxrss() {
+        let mut q = QuotaSet::new();
+        q.set(0, TenantQuota::new(50, 500));
+        assert_eq!(q.cap(0, 64), 64, "maxrss still binds");
+        assert_eq!(q.cap(0, 10_000), 550);
+    }
+
+    #[test]
+    fn debits_on_unquotad_tenants_are_noops() {
+        let mut q = QuotaSet::new();
+        q.set(1, TenantQuota::new(10, 10));
+        q.debit(0, 5);
+        q.credit(0, 5);
+        assert_eq!(q.debt(0), 0);
+        assert_eq!(q.total_debits(), 0);
+    }
+
+    #[test]
+    fn charge_ledger_tracks_all_pids() {
+        let mut q = QuotaSet::new();
+        q.charge(0);
+        q.charge(0);
+        q.charge(3);
+        q.uncharge(0);
+        assert_eq!(q.charged(0), 1);
+        assert_eq!(q.charged(3), 1);
+        assert_eq!(q.charged(7), 0);
+        assert_eq!(q.total_charged(), 2);
+    }
+
+    #[test]
+    fn totals_sum_guarantees() {
+        let mut q = QuotaSet::new();
+        q.set(0, TenantQuota::new(10, 5));
+        q.set(1, TenantQuota::new(20, 0));
+        assert_eq!(q.total_guaranteed(), 30);
+    }
+}

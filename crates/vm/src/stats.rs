@@ -20,6 +20,9 @@ pub struct PagingdStats {
     /// Steals satisfied by application-chosen (reactive) candidates
     /// instead of clock victims.
     pub reactive_steals: Counter,
+    /// Steals skipped because the victim sat at or below its guaranteed
+    /// tenant quota while another tenant was above its own guarantee.
+    pub quota_protected: Counter,
     /// Total daemon busy time.
     pub busy: SimDuration,
 }
@@ -82,6 +85,8 @@ pub struct ProcStats {
     pub prefetch_discarded: Counter,
     /// Prefetch requests that found the page already resident.
     pub prefetch_redundant: Counter,
+    /// Prefetch requests denied because the tenant was at its quota cap.
+    pub prefetch_quota_denied: Counter,
     /// TLB misses.
     pub tlb_misses: Counter,
     /// Total frame allocations performed for this process (page

@@ -31,6 +31,7 @@ use crate::pagetable::{InvalidReason, PageTable};
 use crate::pagingd::PagingDaemon;
 use crate::params::{CostParams, Tunables};
 use crate::policy::PagingDirected;
+use crate::quota::{QuotaSet, TenantQuota};
 use crate::releaser::Releaser;
 use crate::shared_page::upper_limit;
 use crate::stats::VmStats;
@@ -155,6 +156,9 @@ pub struct VmSys {
     /// application tells the OS which of its pages to take when the OS
     /// decides to reclaim from it).
     pub(crate) reactive: HashMap<Pid, VecDeque<Vpn>>,
+    /// Per-tenant quota contracts plus the frame-charge / hint-debt
+    /// ledgers. Empty = stock Eq. 1 behaviour for everyone.
+    pub(crate) quota: QuotaSet,
     /// Free-memory level at the last threshold-notification broadcast.
     last_broadcast_free: u64,
     /// Structured kernel-activity flight recorder (disabled by default).
@@ -200,6 +204,7 @@ impl VmSys {
             releaser_alive: true,
             stats: VmStats::default(),
             reactive: HashMap::new(),
+            quota: QuotaSet::new(),
             last_broadcast_free: total_frames as u64,
             obs: Recorder::default(),
             next_swap_slot: 0,
@@ -331,6 +336,26 @@ impl VmSys {
         *self.procs[pid.0 as usize].lock.stats()
     }
 
+    /// Registers (or replaces) a tenant's memory quota. Tenants without a
+    /// quota keep the stock Eq. 1 behaviour.
+    pub fn set_tenant_quota(&mut self, pid: Pid, quota: TenantQuota) {
+        self.quota.set(pid.0, quota);
+        // A tighter cap may make the tenant over-limit immediately.
+        self.pagingd.request_wake();
+    }
+
+    /// Read access to the quota registry and its ledgers.
+    pub fn quotas(&self) -> &QuotaSet {
+        &self.quota
+    }
+
+    /// The effective page cap for `pid`:
+    /// `min(maxrss, guaranteed + burst - debt)` for quota'd tenants,
+    /// `maxrss` otherwise.
+    pub fn tenant_cap(&self, pid: Pid) -> u64 {
+        self.quota.cap(pid.0, self.tun.maxrss)
+    }
+
     // ------------------------------------------------------------------
     // Shared-page access (what the run-time layer reads).
     // ------------------------------------------------------------------
@@ -350,7 +375,8 @@ impl VmSys {
                 usage,
                 self.free.live() as u64,
                 self.tun.min_freemem,
-            );
+            )
+            .min(self.quota.cap(pid.0, self.tun.maxrss));
             Some(SharedView { usage, limit })
         } else {
             Some(SharedView {
@@ -402,6 +428,10 @@ impl VmSys {
                 );
             }
         }
+        // Per-tenant quota clamp, applied *after* the oracle comparison:
+        // the oracle models the paper's raw Eq. 1; the quota is this
+        // reproduction's multi-tenant extension layered on top of it.
+        let limit = limit.min(self.quota.cap(pid.0, self.tun.maxrss));
         let p = &mut self.procs[pidx];
         if let Some(pm) = p.pm.as_mut() {
             pm.shared.refresh(usage, limit);
@@ -427,7 +457,8 @@ impl VmSys {
         for (pidx, p) in self.procs.iter_mut().enumerate() {
             if let Some(pm) = p.pm.as_mut() {
                 let usage = p.pt.resident_pages();
-                let limit = upper_limit(self.tun.maxrss, usage, free, self.tun.min_freemem);
+                let limit = upper_limit(self.tun.maxrss, usage, free, self.tun.min_freemem)
+                    .min(self.quota.cap(pidx as u32, self.tun.maxrss));
                 pm.shared.refresh(usage, limit);
                 if self.checked {
                     self.checked_shadow.insert(pidx as u32, (usage, limit));
@@ -533,6 +564,7 @@ impl VmSys {
                 self.validate_pte(pidx, vpn, now);
                 self.procs[pidx].tlb.touch(vpn);
                 self.stats.proc_mut(pidx).prefetch_validates.bump();
+                self.quota.credit(pid.0, 1);
                 self.note_page(now, pid.0, vpn.0, EventKind::PrefetchValidated);
                 TouchResult {
                     kind: TouchKind::PrefetchValidate,
@@ -573,6 +605,8 @@ impl VmSys {
                     pm.shared.set_resident(vpn, true);
                 }
                 self.stats.proc_mut(pidx).soft_faults_release.bump();
+                // A cancelled release wasted kernel work on both ends.
+                self.quota.debit(pid.0, 1);
                 self.note_page(now, pid.0, vpn.0, EventKind::ReleaseCancelled);
                 self.refresh_shared(now, pid);
                 TouchResult {
@@ -633,13 +667,17 @@ impl VmSys {
         }
         let stats = self.stats.proc_mut(pidx);
         stats.rescues.bump();
+        self.quota.charge(pid.0);
         match source {
             FreeSource::Daemon => {
                 self.stats.freed.rescued_daemon.bump();
                 self.note_page(now, pid.0, vpn.0, EventKind::RescueDaemon);
             }
             FreeSource::Release => {
+                // A rescued release wasted the releaser's work: the hint
+                // named a page the tenant still needed.
                 self.stats.freed.rescued_release.bump();
+                self.quota.debit(pid.0, 1);
                 self.note_page(now, pid.0, vpn.0, EventKind::RescueRelease);
             }
             _ => {}
@@ -758,6 +796,7 @@ impl VmSys {
             pm.shared.set_resident(vpn, true);
         }
         self.stats.proc_mut(pidx).allocations.bump();
+        self.quota.charge(pid.0);
         self.update_peak_rss(pidx);
     }
 
@@ -842,6 +881,37 @@ impl VmSys {
                 t += step;
             }
         }
+        if std::env::var_os("HOGTAME_DBG_OOM").is_some() {
+            eprintln!("OOM for {pid}: free={}", self.free.live());
+            for (i, p) in self.procs.iter().enumerate() {
+                let mut pending = 0u64;
+                let mut inflight = 0u64;
+                let mut sampled = 0u64;
+                let mut valid = 0u64;
+                for (_vpn, e) in p.pt.iter() {
+                    if e.release_requested.is_some() {
+                        pending += 1;
+                    }
+                    if e.invalid_reason == Some(crate::pagetable::InvalidReason::Prefetched)
+                        && e.arrives_at > t
+                    {
+                        inflight += 1;
+                    }
+                    if e.clock_sampled {
+                        sampled += 1;
+                    }
+                    if e.valid {
+                        valid += 1;
+                    }
+                }
+                eprintln!(
+                    "  pid{i}: rss={} cap={} guaranteed={} pending={pending} inflight={inflight} sampled={sampled} valid={valid}",
+                    p.pt.resident_pages(),
+                    self.quota.cap(i as u32, self.tun.maxrss),
+                    self.quota.guaranteed(i as u32),
+                );
+            }
+        }
         Err(VmError::OutOfMemory { pid })
     }
 
@@ -862,8 +932,26 @@ impl VmSys {
 
         if pte.resident() {
             self.stats.proc_mut(pidx).prefetch_redundant.bump();
+            // Redundant prefetch: kernel work spent checking a page the
+            // tenant already had. Debit its burst slack.
+            self.quota.debit(pid.0, 1);
             self.note_page(now, pid.0, vpn.0, EventKind::PrefetchRedundant);
             return (PrefetchOutcome::AlreadyResident, cost);
+        }
+
+        // Quota gate: a tenant at or above its cap may not occupy more
+        // frames asynchronously. Demand faults still succeed (the daemon
+        // trims the tenant back afterwards), but prefetch — the cheap way
+        // to graze the whole machine — stops at the contract line. Only
+        // tenants with a registered quota are affected.
+        if self.quota.quota(pid.0).is_some()
+            && self.quota.charged(pid.0) >= self.quota.cap(pid.0, self.tun.maxrss)
+        {
+            self.stats.proc_mut(pidx).prefetch_quota_denied.bump();
+            self.quota.debit(pid.0, 1);
+            self.note_page(now, pid.0, vpn.0, EventKind::PrefetchQuotaDenied);
+            self.refresh_shared(now, pid);
+            return (PrefetchOutcome::Discarded, cost);
         }
 
         // A free-list rescue satisfies the prefetch without I/O.
@@ -878,7 +966,10 @@ impl VmSys {
                         self.note_page(now, pid.0, vpn.0, EventKind::RescueDaemon);
                     }
                     FreeSource::Release => {
+                        // Releasing a page and prefetching it right back
+                        // wasted both hints' kernel work.
                         self.stats.freed.rescued_release.bump();
+                        self.quota.debit(pid.0, 1);
                         self.note_page(now, pid.0, vpn.0, EventKind::RescueRelease);
                     }
                     _ => {}
@@ -954,6 +1045,7 @@ impl VmSys {
             pm.shared.set_resident(vpn, true);
         }
         self.stats.proc_mut(pidx).allocations.bump();
+        self.quota.charge(pid.0);
         self.update_peak_rss(pidx);
     }
 
@@ -1049,6 +1141,7 @@ impl VmSys {
         let rescuable = self.tun.rescue_enabled
             && (source != FreeSource::Release || self.tun.released_pages_rescuable);
         self.free.push_freed(&mut self.frames, pfn, rescuable);
+        self.quota.uncharge(pid.0);
         match source {
             FreeSource::Daemon => {
                 self.stats.freed.freed_by_daemon.bump();
@@ -1058,6 +1151,8 @@ impl VmSys {
             FreeSource::Release => {
                 self.stats.freed.freed_by_release.bump();
                 self.stats.proc_mut(pidx).pages_released.bump();
+                // The release did its job: a frame actually came back.
+                self.quota.credit(pid.0, 1);
                 self.note_page(t, pid.0, vpn.0, EventKind::FreedByRelease);
             }
             _ => {}
@@ -1077,12 +1172,13 @@ impl VmSys {
             || self.over_limit_pid().is_some()
     }
 
-    /// The process exceeding `maxrss`, if any (the daemon trims it first).
+    /// The process exceeding its cap (`maxrss`, tightened by any tenant
+    /// quota), if any (the daemon trims it first).
     pub(crate) fn over_limit_pid(&self) -> Option<Pid> {
         self.procs
             .iter()
             .enumerate()
-            .find(|(_, p)| p.pt.resident_pages() > self.tun.maxrss)
+            .find(|(i, p)| p.pt.resident_pages() > self.quota.cap(*i as u32, self.tun.maxrss))
             .map(|(i, _)| Pid(i as u32))
     }
 
@@ -1286,6 +1382,16 @@ impl VmSys {
                 "eq1_usage_recount",
                 format!(
                     "pid {pidx}: cached resident count {cached} != page-table recount {recount}"
+                ),
+            );
+        }
+        let charged = self.quota.charged(pidx as u32);
+        if charged != recount {
+            self.checked_fail(
+                now,
+                "quota_conservation",
+                format!(
+                    "pid {pidx}: quota ledger charges {charged} frames but page-table recount is {recount}"
                 ),
             );
         }
@@ -1507,6 +1613,7 @@ impl VmSys {
                 f.source = FreeSource::Unmap;
             }
             self.free.push_freed(&mut self.frames, pfn, false);
+            self.quota.uncharge(pid.0);
         }
         self.reactive.remove(&pid);
         if let Some(o) = self.oracle.as_mut() {

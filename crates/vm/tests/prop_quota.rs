@@ -1,0 +1,217 @@
+//! Property tests for per-tenant quota accounting: the charge ledger is
+//! conserved (the sum of per-tenant charged frames always equals the
+//! frames actually resident), and the paging daemon never steals a
+//! tenant below its guaranteed share while another tenant sits above its
+//! own — no matter the operation interleaving.
+
+use sim_core::check::{self, run_cases};
+use sim_core::rng::Pcg32;
+use sim_core::{SimDuration, SimTime};
+use vm::{Backing, CostParams, Pid, TenantQuota, Tunables, VmSys};
+
+const TOTAL: usize = 96;
+const VICTIM_PAGES: u64 = 16;
+const HOG_PAGES: u64 = 120;
+
+#[derive(Clone, Debug)]
+enum Act {
+    VictimTouch { page: u16 },
+    HogTouch { hog: u8, page: u16, write: bool },
+    HogPrefetch { hog: u8, page: u16 },
+    HogRelease { hog: u8, page: u16, len: u8 },
+    ServiceReleaser,
+    ServicePagingd,
+    Advance(u32),
+}
+
+fn random_act(rng: &mut Pcg32) -> Act {
+    match rng.next_below(12) {
+        0..=1 => Act::VictimTouch {
+            page: check::int_in(rng, 0, VICTIM_PAGES - 1) as u16,
+        },
+        2..=4 => Act::HogTouch {
+            hog: rng.next_below(2) as u8,
+            page: check::int_in(rng, 0, HOG_PAGES - 1) as u16,
+            write: check::flip(rng),
+        },
+        5 => Act::HogPrefetch {
+            hog: rng.next_below(2) as u8,
+            page: check::int_in(rng, 0, HOG_PAGES - 1) as u16,
+        },
+        6..=7 => Act::HogRelease {
+            hog: rng.next_below(2) as u8,
+            page: check::int_in(rng, 0, HOG_PAGES - 1) as u16,
+            len: check::int_in(rng, 1, 8) as u8,
+        },
+        8 => Act::ServiceReleaser,
+        9 => Act::ServicePagingd,
+        _ => Act::Advance(check::int_in(rng, 1, 5_000_000) as u32),
+    }
+}
+
+/// Builds the standard three-tenant machine: a small victim plus two
+/// oversubscribing hogs, all with declared quotas.
+fn setup() -> (VmSys, Pid, [Pid; 2], vm::PageRange, [vm::PageRange; 2]) {
+    let mut tun = Tunables::for_memory(TOTAL as u64);
+    tun.min_freemem = 8;
+    tun.target_freemem = 16;
+    tun.daemon_scan_batch = 32;
+    let mut vm = VmSys::new(
+        TOTAL,
+        tun,
+        CostParams::default(),
+        disk::SwapConfig::test_array(),
+    );
+    let victim = vm.add_process(false);
+    let h0 = vm.add_process(true);
+    let h1 = vm.add_process(true);
+    let rv = vm.map_region(victim, VICTIM_PAGES, Backing::ZeroFill, false);
+    let r0 = vm.map_region(h0, HOG_PAGES, Backing::SwapPrefilled, true);
+    let r1 = vm.map_region(h1, HOG_PAGES, Backing::SwapPrefilled, true);
+    vm.set_tenant_quota(victim, TenantQuota::new(VICTIM_PAGES, 4));
+    vm.set_tenant_quota(h0, TenantQuota::new(24, 8));
+    vm.set_tenant_quota(h1, TenantQuota::new(24, 8));
+    (vm, victim, [h0, h1], rv, [r0, r1])
+}
+
+/// The quota ledger is conserved at every step: summed per-tenant
+/// charges equal the frames resident, and each tenant's charge equals
+/// its page-table residency exactly.
+#[test]
+fn charged_frames_are_conserved() {
+    run_cases(0x51_4f_54_41, 64, |rng| {
+        let n = check::int_in(rng, 1, 300);
+        let acts: Vec<Act> = (0..n).map(|_| random_act(rng)).collect();
+        let (mut vm, victim, hogs, rv, regions) = setup();
+        let mut now = SimTime::from_nanos(1);
+        for act in acts {
+            match act {
+                Act::VictimTouch { page } => {
+                    let res = vm.touch(now, victim, rv.start.offset(u64::from(page)), false);
+                    now = now.max(res.done_at);
+                }
+                Act::HogTouch { hog, page, write } => {
+                    let i = usize::from(hog);
+                    let res = vm.touch(
+                        now,
+                        hogs[i],
+                        regions[i].start.offset(u64::from(page)),
+                        write,
+                    );
+                    now = now.max(res.done_at);
+                }
+                Act::HogPrefetch { hog, page } => {
+                    let i = usize::from(hog);
+                    vm.prefetch(now, hogs[i], regions[i].start.offset(u64::from(page)));
+                }
+                Act::HogRelease { hog, page, len } => {
+                    let i = usize::from(hog);
+                    let vpns: Vec<_> = (0..u64::from(len))
+                        .map(|k| regions[i].start.offset((u64::from(page) + k) % HOG_PAGES))
+                        .collect();
+                    vm.release(now, hogs[i], &vpns);
+                }
+                Act::ServiceReleaser => {
+                    vm.service_releaser(now);
+                }
+                Act::ServicePagingd => {
+                    vm.service_pagingd(now);
+                }
+                Act::Advance(ns) => {
+                    now += SimDuration::from_nanos(u64::from(ns));
+                }
+            }
+            // Conservation: the ledger never drifts from residency.
+            let resident = vm.rss(victim) + vm.rss(hogs[0]) + vm.rss(hogs[1]);
+            assert_eq!(
+                vm.quotas().total_charged(),
+                resident,
+                "ledger charges {} frames but {} are resident",
+                vm.quotas().total_charged(),
+                resident
+            );
+            assert_eq!(resident + vm.free_pages(), TOTAL as u64, "frames leaked");
+            for pid in [victim, hogs[0], hogs[1]] {
+                assert_eq!(
+                    vm.quotas().charged(pid.0),
+                    vm.rss(pid),
+                    "tenant {} charged {} but holds {}",
+                    pid.0,
+                    vm.quotas().charged(pid.0),
+                    vm.rss(pid)
+                );
+            }
+        }
+    });
+}
+
+/// The guaranteed share is never stolen: while any hog sits above its
+/// own guarantee, a paging-daemon activation must not push the victim
+/// below (or further below) its guaranteed share.
+#[test]
+fn guaranteed_share_survives_pagingd_pressure() {
+    run_cases(0x47_55_41_52, 64, |rng| {
+        let n = check::int_in(rng, 20, 200);
+        let acts: Vec<Act> = (0..n).map(|_| random_act(rng)).collect();
+        let (mut vm, victim, hogs, rv, regions) = setup();
+        let mut now = SimTime::from_nanos(1);
+        // Fault the whole victim working set in first.
+        for i in 0..VICTIM_PAGES {
+            now = vm.touch(now, victim, rv.start.offset(i), true).done_at;
+        }
+        for act in acts {
+            match act {
+                Act::VictimTouch { page } => {
+                    let res = vm.touch(now, victim, rv.start.offset(u64::from(page)), false);
+                    now = now.max(res.done_at);
+                }
+                Act::HogTouch { hog, page, write } => {
+                    let i = usize::from(hog);
+                    let res = vm.touch(
+                        now,
+                        hogs[i],
+                        regions[i].start.offset(u64::from(page)),
+                        write,
+                    );
+                    now = now.max(res.done_at);
+                }
+                Act::HogPrefetch { hog, page } => {
+                    let i = usize::from(hog);
+                    vm.prefetch(now, hogs[i], regions[i].start.offset(u64::from(page)));
+                }
+                Act::HogRelease { hog, page, len } => {
+                    let i = usize::from(hog);
+                    let vpns: Vec<_> = (0..u64::from(len))
+                        .map(|k| regions[i].start.offset((u64::from(page) + k) % HOG_PAGES))
+                        .collect();
+                    vm.release(now, hogs[i], &vpns);
+                }
+                Act::ServiceReleaser => {
+                    vm.service_releaser(now);
+                }
+                Act::ServicePagingd => {
+                    let before = vm.rss(victim);
+                    vm.service_pagingd(now);
+                    // If a hog is still over its guarantee after the
+                    // sweep, it was over throughout (steals only shrink
+                    // it), so the shield covered the victim the whole
+                    // time: at or below its guarantee, it loses nothing.
+                    let hog_still_over = hogs
+                        .iter()
+                        .any(|&h| vm.rss(h) > vm.quotas().guaranteed(h.0));
+                    if hog_still_over && before <= VICTIM_PAGES {
+                        assert!(
+                            vm.rss(victim) >= before,
+                            "victim stolen from {} to {} while a hog was over quota",
+                            before,
+                            vm.rss(victim)
+                        );
+                    }
+                }
+                Act::Advance(ns) => {
+                    now += SimDuration::from_nanos(u64::from(ns));
+                }
+            }
+        }
+    });
+}

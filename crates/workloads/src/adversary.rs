@@ -1,0 +1,286 @@
+//! Hostile-tenant op streams (the adversary model's workload half).
+//!
+//! [`sim_core::fault::AdversaryPlan`] describes *which* abuse strategies
+//! run; this module is the driver that actually emits them as ordinary
+//! [`Op`]s, so an adversary goes through exactly the same engine, runtime
+//! layer, and VM paths as an honest tenant — there is no side door. Every
+//! random draw comes from the plan's `FaultDomain::Adversary` stream for
+//! that adversary index, so adversarial runs stay bit-reproducible.
+//!
+//! The strategies (see [`AdversaryStrategy`]):
+//!
+//! * **HintFlood** — maximum-rate prefetch/release churn to burn hint-path
+//!   kernel time.
+//! * **FalsePrefetchStorm** — prefetch ranges it never touches, draining
+//!   the free list.
+//! * **ReleaseWithholding** — a classic hog: grow and re-touch a big
+//!   resident set, never release.
+//! * **PriorityInflation** — release pages it immediately re-touches,
+//!   farming rescue/cancellation work while claiming top Eq. 2 priority.
+//! * **QuotaProbing** — allocation bursts timed between idle cool-downs,
+//!   probing for unguarded headroom.
+
+use runtime::{Op, OpStream};
+use sim_core::fault::AdversaryStrategy;
+use sim_core::rng::Pcg32;
+use sim_core::SimDuration;
+use vm::Vpn;
+
+/// Tag base for adversary-issued hints (distinct per strategy so health
+/// monitoring and reports can attribute them).
+pub const ADVERSARY_TAG_BASE: u32 = 9000;
+
+/// A hostile tenant's op stream. Runs until the simulation stops.
+#[derive(Debug)]
+pub struct AdversaryTask {
+    base: Vpn,
+    pages: u64,
+    strategy: AdversaryStrategy,
+    intensity: u64,
+    rng: Pcg32,
+    cursor: u64,
+    phase: u64,
+    touched_once: bool,
+}
+
+impl AdversaryTask {
+    /// Creates one adversary grazing `pages` pages starting at `base`.
+    ///
+    /// `rng` must be the plan's `FaultDomain::Adversary` stream for this
+    /// adversary's index; `intensity` is the plan's aggression knob
+    /// (clamped to at least 1).
+    pub fn new(
+        base: Vpn,
+        pages: u64,
+        strategy: AdversaryStrategy,
+        intensity: u32,
+        rng: Pcg32,
+    ) -> Self {
+        AdversaryTask {
+            base,
+            pages: pages.max(1),
+            strategy,
+            intensity: u64::from(intensity.max(1)),
+            rng,
+            cursor: 0,
+            phase: 0,
+            touched_once: false,
+        }
+    }
+
+    /// The hint tag this adversary stamps on its hints.
+    pub fn tag(&self) -> u32 {
+        ADVERSARY_TAG_BASE
+            + match self.strategy {
+                AdversaryStrategy::HintFlood => 0,
+                AdversaryStrategy::FalsePrefetchStorm => 1,
+                AdversaryStrategy::ReleaseWithholding => 2,
+                AdversaryStrategy::PriorityInflation => 3,
+                AdversaryStrategy::QuotaProbing => 4,
+            }
+    }
+
+    fn random_vpn(&mut self) -> Vpn {
+        Vpn(self.base.0 + u64::from(self.rng.next_u32()) % self.pages)
+    }
+
+    fn hint_flood(&mut self) -> Op {
+        // Alternate prefetch and release hints over random pages at the
+        // maximum rate the engine permits, with a token touch every
+        // `intensity` hints so the process stays a live memory consumer.
+        let step = self.phase;
+        self.phase += 1;
+        let tag = self.tag();
+        if step % (2 * self.intensity) == 2 * self.intensity - 1 {
+            let vpn = self.random_vpn();
+            return Op::Touch { vpn, write: false };
+        }
+        let vpn = self.random_vpn();
+        if step.is_multiple_of(2) {
+            Op::PrefetchHint {
+                vpn,
+                npages: 1,
+                tag,
+            }
+        } else {
+            Op::ReleaseHint {
+                vpn,
+                priority: 1,
+                tag,
+            }
+        }
+    }
+
+    fn false_prefetch_storm(&mut self) -> Op {
+        // Prefetch disjoint chunks it will never touch. A short compute
+        // between chunks lets the I/O land, keeping the free list drained
+        // rather than the requests merely discarded.
+        let step = self.phase;
+        self.phase += 1;
+        if step % 2 == 1 {
+            return Op::Compute(SimDuration::from_micros(50));
+        }
+        let chunk = self.intensity.min(self.pages);
+        let start = self.cursor % self.pages;
+        self.cursor += chunk;
+        let npages = chunk.min(self.pages - start);
+        Op::PrefetchHint {
+            vpn: Vpn(self.base.0 + start),
+            npages,
+            tag: self.tag(),
+        }
+    }
+
+    fn release_withholding(&mut self) -> Op {
+        // Round-robin touches over the whole span: grows RSS to the span
+        // size and keeps every page recently-referenced so the clock
+        // never finds an unsampled victim. No hints, ever.
+        let vpn = Vpn(self.base.0 + self.cursor % self.pages);
+        self.cursor += 1;
+        if self.cursor.is_multiple_of(self.pages) {
+            self.touched_once = true;
+        }
+        Op::Touch {
+            vpn,
+            write: !self.touched_once,
+        }
+    }
+
+    fn priority_inflation(&mut self) -> Op {
+        // Release a page at the maximum Eq. 2 priority, then immediately
+        // touch it back: every honoured release becomes a rescue or a
+        // cancellation — pure wasted kernel work that *looks* cooperative.
+        let step = self.phase;
+        self.phase += 1;
+        let vpn = Vpn(self.base.0 + (step / 2) % self.pages);
+        if step.is_multiple_of(2) {
+            Op::ReleaseHint {
+                vpn,
+                priority: u32::MAX,
+                tag: self.tag(),
+            }
+        } else {
+            Op::Touch { vpn, write: false }
+        }
+    }
+
+    fn quota_probing(&mut self) -> Op {
+        // Burst `intensity` fresh touches, then go idle for a beat —
+        // probing for allocation headroom between daemon activations.
+        let burst = self.intensity;
+        let step = self.phase % (burst + 1);
+        self.phase += 1;
+        if step == burst {
+            return Op::Sleep(SimDuration::from_millis(20));
+        }
+        let vpn = Vpn(self.base.0 + self.cursor % self.pages);
+        self.cursor += 1;
+        Op::Touch { vpn, write: false }
+    }
+}
+
+impl OpStream for AdversaryTask {
+    fn next_op(&mut self) -> Op {
+        match self.strategy {
+            AdversaryStrategy::HintFlood => self.hint_flood(),
+            AdversaryStrategy::FalsePrefetchStorm => self.false_prefetch_storm(),
+            AdversaryStrategy::ReleaseWithholding => self.release_withholding(),
+            AdversaryStrategy::PriorityInflation => self.priority_inflation(),
+            AdversaryStrategy::QuotaProbing => self.quota_probing(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::fault::{FaultDomain, FaultPlan};
+
+    fn task(strategy: AdversaryStrategy) -> AdversaryTask {
+        let plan = FaultPlan::seeded(42);
+        AdversaryTask::new(
+            Vpn(1000),
+            64,
+            strategy,
+            8,
+            plan.stream_rng(FaultDomain::Adversary, 0),
+        )
+    }
+
+    fn ops(t: &mut AdversaryTask, n: usize) -> Vec<Op> {
+        (0..n).map(|_| t.next_op()).collect()
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        for s in AdversaryStrategy::ALL {
+            let a = ops(&mut task(s), 500);
+            let b = ops(&mut task(s), 500);
+            assert_eq!(a, b, "{} not reproducible", s.name());
+        }
+    }
+
+    #[test]
+    fn adversaries_never_end() {
+        for s in AdversaryStrategy::ALL {
+            let t = ops(&mut task(s), 2000);
+            assert!(t.iter().all(|o| *o != Op::End), "{} ended", s.name());
+        }
+    }
+
+    #[test]
+    fn hint_flood_is_mostly_hints() {
+        let t = ops(&mut task(AdversaryStrategy::HintFlood), 1000);
+        let hints = t
+            .iter()
+            .filter(|o| matches!(o, Op::PrefetchHint { .. } | Op::ReleaseHint { .. }))
+            .count();
+        assert!(hints > 900, "only {hints} hints in 1000 ops");
+    }
+
+    #[test]
+    fn false_prefetch_storm_never_touches() {
+        let t = ops(&mut task(AdversaryStrategy::FalsePrefetchStorm), 1000);
+        assert!(t.iter().all(|o| !matches!(o, Op::Touch { .. })));
+        assert!(t.iter().any(|o| matches!(o, Op::PrefetchHint { .. })));
+    }
+
+    #[test]
+    fn release_withholding_never_hints() {
+        let t = ops(&mut task(AdversaryStrategy::ReleaseWithholding), 1000);
+        assert!(t
+            .iter()
+            .all(|o| !matches!(o, Op::PrefetchHint { .. } | Op::ReleaseHint { .. })));
+    }
+
+    #[test]
+    fn priority_inflation_pairs_release_with_retouch() {
+        let mut t = task(AdversaryStrategy::PriorityInflation);
+        let a = t.next_op();
+        let b = t.next_op();
+        let Op::ReleaseHint { vpn, priority, .. } = a else {
+            panic!("expected release first, got {a:?}");
+        };
+        assert_eq!(priority, u32::MAX);
+        assert_eq!(b, Op::Touch { vpn, write: false });
+    }
+
+    #[test]
+    fn quota_probing_alternates_bursts_and_sleeps() {
+        let t = ops(&mut task(AdversaryStrategy::QuotaProbing), 90);
+        let sleeps = t.iter().filter(|o| matches!(o, Op::Sleep(_))).count();
+        assert_eq!(sleeps, 10, "8-touch bursts separated by sleeps");
+    }
+
+    #[test]
+    fn tags_are_distinct_per_strategy() {
+        let tags: Vec<u32> = AdversaryStrategy::ALL
+            .iter()
+            .map(|&s| task(s).tag())
+            .collect();
+        let mut dedup = tags.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), tags.len());
+    }
+}

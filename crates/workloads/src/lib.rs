@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod buk;
 pub mod cgm;
 pub mod embar;
@@ -35,6 +36,7 @@ pub mod mgrid;
 pub mod spec;
 pub mod stencil;
 
+pub use adversary::AdversaryTask;
 pub use interactive::InteractiveTask;
 pub use spec::{ArraySpec, BenchSpec, Table2Row};
 

@@ -1,0 +1,159 @@
+//! Adversary isolation, end to end.
+//!
+//! Three properties, each load-bearing for DESIGN.md §15:
+//!
+//! 1. **Isolation** — with per-tenant quotas and hint admission control
+//!    on, no adversary strategy degrades a well-behaved interactive
+//!    tenant's mean response beyond a bounded factor of the
+//!    no-adversary baseline.
+//! 2. **Sensitivity** — the bound is not vacuous: without the defenses
+//!    the same attack visibly blows it.
+//! 3. **Determinism & cleanliness** — adversarial runs are seeded and
+//!    bit-reproducible, and checked mode (sanitizer + oracle) stays
+//!    clean under every strategy.
+
+mod common;
+
+use hogtame::prelude::*;
+
+const ADVERSARIES: u32 = 3;
+const ADV_PAGES: u64 = 300;
+/// Long think time so the victim's pages age while it sleeps — the
+/// paper's Figure 10 interactive scenario, and the window an adversary
+/// needs to do damage.
+const SLEEP: SimDuration = SimDuration::from_millis(250);
+const SWEEPS: u32 = 18;
+const BOUND: f64 = 1.10;
+
+fn quotas() -> Vec<TenantQuota> {
+    vec![
+        TenantQuota::new(80, 16),
+        TenantQuota::new(128, 32),
+        TenantQuota::new(128, 32),
+        TenantQuota::new(128, 32),
+    ]
+}
+
+fn defended(strategy: Option<AdversaryStrategy>) -> RunRequest {
+    let mut req = RunRequest::on(MachineConfig::small())
+        .interactive(SLEEP, Some(SWEEPS))
+        .tenants(quotas())
+        .rt_config(runtime::RtConfig {
+            health: Some(HealthConfig::default()),
+            admission: Some(AdmissionConfig::default()),
+            ..runtime::RtConfig::default()
+        });
+    if let Some(s) = strategy {
+        let mut plan = AdversaryPlan::new(s, ADVERSARIES, 1);
+        plan.pages = ADV_PAGES;
+        req = req.adversary(plan);
+    }
+    req
+}
+
+fn victim_response(res: &hogtame::RunOutcome) -> f64 {
+    res.interactive
+        .as_ref()
+        .expect("interactive tenant ran")
+        .mean_response()
+        .expect("victim completed sweeps")
+        .as_secs_f64()
+}
+
+/// With the defenses on, every strategy is contained: the victim's mean
+/// response stays within `BOUND` of the no-adversary baseline, and the
+/// adversaries really ran (they are not contained by being absent).
+#[test]
+fn defended_victim_is_isolated_under_every_strategy() {
+    let baseline = victim_response(&defended(None).run().expect("baseline runs"));
+    for s in AdversaryStrategy::ALL {
+        let res = defended(Some(s)).run().expect("adversary run is valid");
+        let adversaries: Vec<_> = res
+            .run
+            .procs
+            .iter()
+            .filter(|p| p.name.starts_with("adversary"))
+            .collect();
+        assert_eq!(adversaries.len(), ADVERSARIES as usize, "{}", s.name());
+        assert!(
+            adversaries.iter().all(|p| p.ops_executed > 0),
+            "{}: adversaries must actually run",
+            s.name()
+        );
+        let norm = victim_response(&res) / baseline;
+        assert!(
+            norm <= BOUND,
+            "{}: defended victim degraded {norm:.3}x (bound {BOUND})",
+            s.name()
+        );
+    }
+}
+
+/// The isolation bound is not vacuous: the same attack without the
+/// defenses blows it wide open.
+#[test]
+fn undefended_prefetch_storm_blows_the_bound() {
+    let mk = |strategy: Option<AdversaryStrategy>| {
+        let mut req = RunRequest::on(MachineConfig::small())
+            .interactive(SimDuration::from_millis(100), Some(8));
+        if let Some(s) = strategy {
+            let mut plan = AdversaryPlan::new(s, ADVERSARIES, 1);
+            plan.pages = ADV_PAGES;
+            req = req.adversary(plan);
+        }
+        req
+    };
+    let baseline = victim_response(&mk(None).run().expect("baseline runs"));
+    let attacked = victim_response(
+        &mk(Some(AdversaryStrategy::FalsePrefetchStorm))
+            .run()
+            .expect("attack runs"),
+    );
+    assert!(
+        attacked / baseline > BOUND,
+        "undefended storm only reached {:.3}x — the isolation tests prove nothing",
+        attacked / baseline
+    );
+}
+
+/// Adversarial runs are seeded: the same request twice is bit-identical,
+/// down to the fault log and per-sweep response times.
+#[test]
+fn adversary_runs_are_bit_reproducible() {
+    let run = || {
+        defended(Some(AdversaryStrategy::FalsePrefetchStorm))
+            .run()
+            .expect("adversary run is valid")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(common::outcome_digest(&a), common::outcome_digest(&b));
+    assert_eq!(a.run.fault_log.total(), b.run.fault_log.total());
+    assert_eq!(
+        a.run.vm_stats.pagingd.quota_protected.get(),
+        b.run.vm_stats.pagingd.quota_protected.get()
+    );
+}
+
+/// Checked mode stays clean under every adversary: quota conservation,
+/// free-list accounting, and the lockstep oracle all hold while the
+/// defenses deflect the attack. (A violation panics the run.)
+#[test]
+fn checked_mode_is_clean_under_every_adversary() {
+    for s in AdversaryStrategy::ALL {
+        let mut plan = AdversaryPlan::new(s, ADVERSARIES, 1);
+        plan.pages = ADV_PAGES;
+        let res = RunRequest::on(MachineConfig::small())
+            .interactive(SLEEP, Some(6))
+            .tenants(quotas())
+            .rt_config(runtime::RtConfig {
+                health: Some(HealthConfig::default()),
+                admission: Some(AdmissionConfig::default()),
+                ..runtime::RtConfig::default()
+            })
+            .adversary(plan)
+            .checked()
+            .run()
+            .unwrap_or_else(|e| panic!("{}: checked adversary run failed: {e}", s.name()));
+        assert!(res.interactive.is_some(), "{}", s.name());
+    }
+}
