@@ -1,0 +1,87 @@
+//! Throughput benchmark: simulator ops/sec and wall-clock time for the
+//! small reproduction run and one fleet-scale scenario, exported as
+//! machine-readable `BENCH_fleet.json` (the repo's performance
+//! baseline; CI and future optimization PRs diff against it).
+//!
+//! Wall-clock time is the only nondeterministic number in the file —
+//! the simulated outcomes it annotates are bit-reproducible, and each
+//! scenario's simulated end time and op count are recorded alongside so
+//! a regression in *work done* is distinguishable from a slow host.
+use std::time::Instant;
+
+use hogtame::prelude::*;
+
+struct Sample {
+    name: &'static str,
+    wall_ms: f64,
+    sim_s: f64,
+    ops: u64,
+    procs: usize,
+}
+
+fn measure(name: &'static str, req: RunRequest) -> Sample {
+    let t0 = Instant::now();
+    let out = req.run().expect("benchmark request runs");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    Sample {
+        name,
+        wall_ms,
+        sim_s: out.run.end_time.as_secs_f64(),
+        ops: out.run.procs.iter().map(|p| p.ops_executed).sum(),
+        procs: out.run.procs.len(),
+    }
+}
+
+fn main() {
+    let samples = [
+        // The paper's small reproduction: one compiled out-of-core hog
+        // beside one interactive task on the scaled-down machine.
+        measure(
+            "small_repro",
+            RunRequest::on(MachineConfig::small())
+                .bench("MATVEC", Version::Release)
+                .interactive(SimDuration::from_millis(100), Some(20)),
+        ),
+        // The fleet storm: hundreds of processes, the pressure monitor
+        // sampling at 2 ms, and the brownout ladder riding the surge.
+        measure(
+            "fleet_storm",
+            RunRequest::on(MachineConfig::small()).fleet(FleetSpec::storm_demo(true)),
+        ),
+    ];
+
+    let mut t = TextTable::new(vec![
+        "scenario", "procs", "ops", "sim(s)", "wall(ms)", "ops/sec",
+    ]);
+    let mut json = String::from("{\n  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let ops_per_sec = s.ops as f64 / (s.wall_ms / 1e3).max(1e-9);
+        t.row(vec![
+            s.name.into(),
+            s.procs.to_string(),
+            s.ops.to_string(),
+            format!("{:.3}", s.sim_s),
+            format!("{:.1}", s.wall_ms),
+            format!("{:.0}", ops_per_sec),
+        ]);
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"procs\": {}, \"ops\": {}, \"sim_seconds\": {:.6}, \
+             \"wall_ms\": {:.3}, \"ops_per_sec\": {:.1}}}{}\n",
+            s.name,
+            s.procs,
+            s.ops,
+            s.sim_s,
+            s.wall_ms,
+            ops_per_sec,
+            if i + 1 < samples.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let artifact = Artifact::new("BENCH_fleet", "Simulator throughput (ops/sec, wall-clock)");
+    artifact.table(&t);
+    let path = artifact
+        .write_raw("json", &json)
+        .expect("BENCH_fleet.json written");
+    println!("wrote {}", path.display());
+}

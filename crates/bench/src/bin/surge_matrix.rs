@@ -1,0 +1,212 @@
+//! Surge matrix: arrival mix × storm intensity × brownout ladder.
+//!
+//! Every cell runs the demonstration fleet (`FleetSpec::storm_demo`) on
+//! the small machine: twelve disk-paced baseline hogs and hundreds of
+//! closed-loop interactive tasks, with the task arrival process swapped
+//! between memoryless Poisson and bursty ON/OFF, and the storm swapped
+//! between none, the tuned six-wave surge, and a heavier variant. With
+//! the ladder armed, every stormed cell must hold the interactive SLO:
+//! fleet-wide p999 within the bound, nothing OOM-killed, no tenant at
+//! or below its guaranteed share shed, and post-surge throughput within
+//! 5% of pre-surge. With the ladder disarmed the matrix must show the
+//! storms are real: at least two cells blow the SLO outright.
+//! Everything is seeded and bit-reproducible.
+use hogtame::prelude::*;
+
+/// The interactive SLO: fleet-wide p999, in milliseconds. The defended
+//  storm sits near 20 ms; the undefended one past 10 s.
+const SLO_MS: f64 = 100.0;
+/// Post-surge throughput must recover to this fraction of pre-surge.
+const RECOVERY: f64 = 0.95;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mix {
+    Poisson,
+    OnOff,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Storm {
+    None,
+    Surge,
+    Heavy,
+}
+
+struct Cell {
+    p99_ms: f64,
+    p999_ms: f64,
+    sweeps: u64,
+    shed: u64,
+    oom: u64,
+    transitions: u64,
+    pre_rate: f64,
+    post_rate: f64,
+    /// True when some shed victim was at or below its guarantee, or an
+    /// interactive task was evicted — must never happen in any cell.
+    unfair: bool,
+    end_ns: u64,
+    shifts: u64,
+}
+
+fn spec(mix: Mix, storm: Storm, ladder: bool) -> FleetSpec {
+    let mut s = FleetSpec::storm_demo(ladder);
+    if mix == Mix::OnOff {
+        // Bursty tasks at the same mean rate: 40/s inside alternating
+        // 250 ms ON windows instead of 20/s memoryless.
+        s.task_arrivals = ArrivalProcess::OnOff {
+            on: SimDuration::from_millis(250),
+            off: SimDuration::from_millis(250),
+            rate_per_sec: 40.0,
+        };
+    }
+    match storm {
+        Storm::None => s.surge = None,
+        Storm::Surge => {}
+        Storm::Heavy => {
+            let surge = s.surge.as_mut().expect("storm_demo carries a surge");
+            surge.hogs = 36;
+        }
+    }
+    s
+}
+
+fn run_cell(mix: Mix, storm: Storm, ladder: bool) -> Cell {
+    let out = RunRequest::on(MachineConfig::small())
+        .fleet(spec(mix, storm, ladder))
+        .run()
+        .expect("valid fleet request");
+    let f = out.run.fleet.as_ref().expect("fleet stats");
+    let shed_names_ok = f.sheds.iter().all(|s| {
+        out.run
+            .procs
+            .iter()
+            .find(|p| p.pid.0 == s.pid)
+            .is_some_and(|p| !p.name.starts_with("fleet-task"))
+    });
+    Cell {
+        p99_ms: f.overall.p99.as_millis_f64(),
+        p999_ms: f.overall.p999.as_millis_f64(),
+        sweeps: f.overall.count,
+        shed: f.tenants_shed,
+        oom: f.oom_kills,
+        transitions: f.brownout_transitions,
+        pre_rate: f.pre_surge_rate,
+        post_rate: f.post_surge_rate,
+        unfair: f.sheds.iter().any(|s| s.rss <= s.guaranteed) || !shed_names_ok,
+        end_ns: out.run.end_time.as_nanos(),
+        shifts: f.pressure_shifts,
+    }
+}
+
+fn main() {
+    let mut t = TextTable::new(vec![
+        "arrivals", "storm", "ladder", "sweeps", "p99(ms)", "p999(ms)", "shed", "oom", "moves",
+        "pre(/s)", "post(/s)", "SLO",
+    ]);
+    let mut slo_held = true;
+    let mut fair = true;
+    let mut recovered = true;
+    let mut defended_oom = 0u64;
+    let mut undefended_blown = 0u32;
+    for mix in [Mix::Poisson, Mix::OnOff] {
+        for storm in [Storm::None, Storm::Surge, Storm::Heavy] {
+            for ladder in [true, false] {
+                let c = run_cell(mix, storm, ladder);
+                let ok = c.p999_ms <= SLO_MS;
+                if ladder && !ok {
+                    slo_held = false;
+                }
+                if !ladder && !ok {
+                    undefended_blown += 1;
+                }
+                if c.unfair {
+                    fair = false;
+                }
+                if ladder && storm != Storm::None {
+                    defended_oom += c.oom;
+                    if c.post_rate < RECOVERY * c.pre_rate {
+                        recovered = false;
+                    }
+                }
+                t.row(vec![
+                    match mix {
+                        Mix::Poisson => "poisson",
+                        Mix::OnOff => "on/off",
+                    }
+                    .into(),
+                    match storm {
+                        Storm::None => "none",
+                        Storm::Surge => "surge",
+                        Storm::Heavy => "heavy",
+                    }
+                    .into(),
+                    if ladder { "on" } else { "off" }.into(),
+                    c.sweeps.to_string(),
+                    format!("{:.3}", c.p99_ms),
+                    format!("{:.3}", c.p999_ms),
+                    c.shed.to_string(),
+                    c.oom.to_string(),
+                    c.transitions.to_string(),
+                    format!("{:.1}", c.pre_rate),
+                    format!("{:.1}", c.post_rate),
+                    if ok { "ok" } else { "BLOWN" }.into(),
+                ]);
+            }
+        }
+    }
+    Artifact::new(
+        "surge_matrix",
+        "Surge matrix: arrival mix x storm x brownout ladder (fleet p999 SLO)",
+    )
+    .table(&t);
+
+    // Bit reproducibility: the same seeded storm cell twice.
+    let a = run_cell(Mix::Poisson, Storm::Surge, true);
+    let b = run_cell(Mix::Poisson, Storm::Surge, true);
+    let reproducible = a.end_ns == b.end_ns
+        && a.p999_ms == b.p999_ms
+        && a.shed == b.shed
+        && a.shifts == b.shifts
+        && a.sweeps == b.sweeps;
+    println!(
+        "bit reproducibility (poisson/surge/ladder, twice): {}",
+        if reproducible { "PASS" } else { "FAIL" }
+    );
+
+    // SLO: every defended cell holds the p999 bound.
+    println!(
+        "SLO (every ladder-on cell p999 <= {SLO_MS:.0} ms): {}",
+        if slo_held { "PASS" } else { "FAIL" }
+    );
+
+    // Typed outcomes: defended storms shed, they never kill.
+    println!(
+        "no OOM kills under the ladder ({defended_oom} seen): {}",
+        if defended_oom == 0 { "PASS" } else { "FAIL" }
+    );
+
+    // Fairness: nothing at or below its guaranteed share is ever shed,
+    // and no interactive task is evicted, in any cell.
+    println!(
+        "guarantee-respecting sheds (all cells): {}",
+        if fair { "PASS" } else { "FAIL" }
+    );
+
+    // Recovery: defended storms are absorbed, not survived in name only.
+    println!(
+        "post-surge throughput >= {:.0}% of pre-surge (ladder-on storms): {}",
+        100.0 * RECOVERY,
+        if recovered { "PASS" } else { "FAIL" }
+    );
+
+    // Sensitivity: the storms are real — without the ladder at least two
+    // cells blow the SLO (otherwise the defense result is vacuous).
+    let sensitive = undefended_blown >= 2;
+    println!(
+        "sensitivity ({undefended_blown} ladder-off cells blow the SLO, need >= 2): {}",
+        if sensitive { "PASS" } else { "FAIL" }
+    );
+    if !reproducible || !slo_held || defended_oom != 0 || !fair || !recovered || !sensitive {
+        std::process::exit(1);
+    }
+}

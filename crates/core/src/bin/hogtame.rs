@@ -8,6 +8,9 @@
 //! hogtame run CGM P --timeline         # ... with the occupancy chart
 //! hogtame trace MATVEC R               # Chrome/Perfetto trace + JSONL export
 //! hogtame stats MATVEC R               # hint-outcome table + Prometheus metrics
+//! hogtame fleet                        # defended storm: tails, sheds, ladder record
+//! hogtame fleet --no-ladder            # the same storm undefended
+//! hogtame fleet --datacenter           # 200 hogs + 2000 tasks on the full machine
 //! ```
 
 use hogtame::prelude::*;
@@ -17,7 +20,8 @@ fn usage() -> ! {
         "usage:\n  hogtame list\n  hogtame machine\n  hogtame compile <BENCH> [O|P|R|B|V] [--explain]\n  \
          hogtame run <BENCH> [O|P|R|B|V] [--sleep SECS] [--timeline] [--trace] [--no-interactive]\n  \
          hogtame trace <BENCH> [O|P|R|B|V] [--sleep SECS] [--no-interactive]\n  \
-         hogtame stats <BENCH> [O|P|R|B|V] [--sleep SECS] [--no-interactive]"
+         hogtame stats <BENCH> [O|P|R|B|V] [--sleep SECS] [--no-interactive]\n  \
+         hogtame fleet [--calm] [--no-ladder] [--datacenter] [--seed N]"
     );
     std::process::exit(2);
 }
@@ -264,8 +268,79 @@ fn cmd_stats(bench: &str, version: Version, sleep: f64, interactive: bool) {
             a.releases_verified
         );
     }
+    if let Some(f) = result.run.fleet.as_ref() {
+        println!("{}", fleet_table(f).render());
+        print!("{}", fleet_summary(f));
+    }
     let prom = result.run.metrics.to_prometheus();
     print!("{prom}");
+    if let Err(e) = artifact.write_raw("prom", &prom) {
+        eprintln!("warning: could not persist {stem}.prom: {e}");
+    }
+}
+
+/// `hogtame fleet`: one fleet-scale run — hundreds of hogs and
+/// interactive tasks through the arrival machinery, the pressure monitor
+/// sampling, and (unless `--no-ladder`) the brownout ladder defending —
+/// rendered as the per-tenant tail table plus the overload-control
+/// record.
+fn cmd_fleet(args: &[String]) {
+    let mut spec = FleetSpec::storm_demo(true);
+    let mut machine = MachineConfig::small();
+    let mut stem = "fleet_storm";
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--calm" => {
+                spec.surge = None;
+                stem = "fleet_calm";
+            }
+            "--no-ladder" => spec.ladder = false,
+            "--datacenter" => {
+                let ladder = spec.ladder;
+                let surged = spec.surge.is_some();
+                spec = FleetSpec::datacenter(200, 2000);
+                spec.ladder = ladder;
+                if !surged {
+                    spec.surge = None;
+                }
+                machine = MachineConfig::origin200();
+                stem = "fleet_datacenter";
+            }
+            "--seed" => {
+                i += 1;
+                spec.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let result = match RunRequest::on(machine).fleet(spec.clone()).run() {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let f = result.run.fleet.as_ref().expect("fleet runs carry stats");
+    println!(
+        "fleet: {} processes, {} tenants, ladder {}, ended at {:.3} s (simulated)",
+        result.run.procs.len(),
+        spec.tenants,
+        if spec.ladder { "on" } else { "off" },
+        result.run.end_time.as_secs_f64()
+    );
+    let table = fleet_table(f);
+    println!("{}", table.render());
+    print!("{}", fleet_summary(f));
+    let artifact = Artifact::new(stem, "Fleet run: per-tenant tails and overload control");
+    if let Err(e) = artifact.write_table(&table) {
+        eprintln!("warning: could not persist {stem}.txt: {e}");
+    }
+    let prom = result.run.metrics.to_prometheus();
     if let Err(e) = artifact.write_raw("prom", &prom) {
         eprintln!("warning: could not persist {stem}.prom: {e}");
     }
@@ -349,6 +424,7 @@ fn main() {
             let (bench, version, sleep, interactive) = parse_observe_args(&args[1..]);
             cmd_stats(&bench, version, sleep, interactive);
         }
+        Some("fleet") => cmd_fleet(&args[1..]),
         _ => usage(),
     }
 }

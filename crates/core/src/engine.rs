@@ -7,17 +7,19 @@
 //! local clock does not pass the next queued event, then re-queues itself —
 //! so causality between processes, daemons and I/O is preserved exactly.
 
+use std::collections::BTreeMap;
+
 use runtime::prefetcher::PrefetchPool;
 use runtime::supervisor::{RestartOutcome, Supervisor};
-use runtime::{Mark, Op, OpStream, RuntimeLayer};
+use runtime::{BrownoutConfig, BrownoutController, Mark, Op, OpStream, RuntimeLayer};
 use sim_core::fault::{CrashComponent, FaultDomain, FaultKind, FaultLog, FaultPlan};
 use sim_core::obs::{EventKind, EventStream, MetricsRegistry, Recorder};
 use sim_core::rng::Pcg32;
 use sim_core::sanitizer::{Mutation, MutationTarget};
-use sim_core::stats::{TimeBreakdown, TimeCategory};
+use sim_core::stats::{jain, TailDigest, TimeBreakdown, TimeCategory};
 use sim_core::trace::TraceRecord;
-use sim_core::{EventQueue, SimDuration, SimTime};
-use vm::{Pid, VmSys, Vpn};
+use sim_core::{EventQueue, PressureLevel, SimDuration, SimTime};
+use vm::{Pid, PressureMonitor, VmSys, Vpn};
 
 use crate::machine::MachineConfig;
 use crate::timeline::{Timeline, TimelineSample};
@@ -74,6 +76,9 @@ enum Ev {
     Restart(CrashComponent),
     /// Checked-mode self test: apply a deliberate state corruption.
     Mutate(Mutation),
+    /// Periodic memory-pressure sample feeding the brownout ladder
+    /// (self-rescheduling, like `Sample`).
+    Pressure,
 }
 
 struct EngineProc {
@@ -95,6 +100,15 @@ struct EngineProc {
     /// Releaser-verified frees already credited to the admission trust
     /// score (high-water mark of the VM's per-proc `pages_released`).
     released_seen: u64,
+    /// When the process starts executing (fleet arrival instant;
+    /// `SimTime::ZERO` for classic runs).
+    start_at: SimTime,
+    /// The logical fleet tenant this process belongs to, if any.
+    tenant: Option<u32>,
+    /// The brownout ladder shed this process at `Emergency`.
+    shed: bool,
+    /// The process died on an unsatisfiable allocation (typed OOM kill).
+    oom_killed: bool,
 }
 
 /// Per-process results of a run.
@@ -123,6 +137,16 @@ pub struct ProcResult {
     pub lock_stats: vm::lock::LockStats,
     /// Total ops executed.
     pub ops_executed: u64,
+    /// The logical fleet tenant, if the process was tenant-tagged.
+    pub tenant: Option<u32>,
+    /// The brownout ladder shed this process (a typed outcome — the run
+    /// completed; this tenant was evicted at `Emergency`).
+    pub shed: bool,
+    /// The process died because an allocation could not be satisfied
+    /// even by forced reclaims (a typed outcome — the run completed;
+    /// this is what uncontrolled overload does to a machine with no
+    /// ladder defending it).
+    pub oom_killed: bool,
 }
 
 impl ProcResult {
@@ -157,6 +181,84 @@ impl ProcResult {
     }
 }
 
+/// Exact tail-latency summary for one tenant's interactive sweeps
+/// (nearest-rank percentiles over every recorded response).
+#[derive(Clone, Copy, Debug)]
+pub struct TenantTail {
+    /// The logical tenant (`u32::MAX` for the fleet-wide aggregate).
+    pub tenant: u32,
+    /// Responses recorded.
+    pub count: u64,
+    /// Mean response time.
+    pub mean: SimDuration,
+    /// Median response time.
+    pub p50: SimDuration,
+    /// 99th-percentile response time.
+    pub p99: SimDuration,
+    /// 99.9th-percentile response time.
+    pub p999: SimDuration,
+    /// Worst response time.
+    pub max: SimDuration,
+}
+
+/// One tenant shed by the brownout ladder (also in the fault log as
+/// [`FaultKind::TenantShed`]; carried here with its tenant tag for the
+/// fairness proofs in `bench --bin surge_matrix`).
+#[derive(Clone, Copy, Debug)]
+pub struct ShedRecord {
+    /// VM pid of the shed process.
+    pub pid: u32,
+    /// Its logical tenant.
+    pub tenant: u32,
+    /// When it was shed.
+    pub at: SimTime,
+    /// Its resident set at shed time (always above `guaranteed` — the
+    /// ladder never sheds a tenant at or below its guaranteed share).
+    pub rss: u64,
+    /// Its guaranteed share.
+    pub guaranteed: u64,
+}
+
+/// Fleet-level results: per-tenant tail latency, fairness, and the
+/// overload-control record. Present when the run had tenant-tagged
+/// processes or the pressure monitor armed; `None` for classic
+/// two-process runs.
+#[derive(Clone, Debug)]
+pub struct FleetStats {
+    /// Per-tenant tail summaries, ordered by tenant id.
+    pub tenants: Vec<TenantTail>,
+    /// The fleet-wide aggregate (`tenant == u32::MAX`).
+    pub overall: TenantTail,
+    /// Jain's fairness index over the per-tenant mean response times
+    /// (1.0 = perfectly fair).
+    pub jain: f64,
+    /// Tenants shed by the ladder.
+    pub tenants_shed: u64,
+    /// Processes killed on unsatisfiable allocations (typed OOM kills;
+    /// the undefended machine's failure mode).
+    pub oom_kills: u64,
+    /// Every shed, in order.
+    pub sheds: Vec<ShedRecord>,
+    /// Brownout ladder moves (either direction).
+    pub brownout_transitions: u64,
+    /// Simulated time at each ladder rung, indexed by
+    /// [`PressureLevel::index`] (all-zero when the ladder was off).
+    pub time_at_level: [SimDuration; 4],
+    /// The ladder rung (or, with the ladder off, raw pressure level) at
+    /// end of run.
+    pub final_level: PressureLevel,
+    /// Raw pressure-level changes seen by the monitor.
+    pub pressure_shifts: u64,
+    /// Sweeps completed before the surge window opened.
+    pub pre_surge_sweeps: u64,
+    /// Sweeps completed after the surge window closed.
+    pub post_surge_sweeps: u64,
+    /// Pre-surge throughput, sweeps per simulated second.
+    pub pre_surge_rate: f64,
+    /// Post-surge throughput, sweeps per simulated second.
+    pub post_surge_rate: f64,
+}
+
 /// The results of one engine run.
 #[derive(Debug)]
 pub struct RunResult {
@@ -188,6 +290,10 @@ pub struct RunResult {
     /// Scalar metrics snapshotted from every subsystem at end of run
     /// (always populated; exportable as Prometheus text).
     pub metrics: MetricsRegistry,
+    /// Fleet overload-control results (tail latency, fairness, brownout
+    /// record) — `None` unless the run was tenant-tagged or pressure-
+    /// monitored.
+    pub fleet: Option<FleetStats>,
 }
 
 /// The simulation engine (see module docs).
@@ -239,6 +345,21 @@ pub struct Engine {
     /// The prefetch pthread pools accept work (dead → demand faulting and
     /// main-thread PM release calls).
     prefetch_alive: bool,
+    /// The memory-pressure monitor and its sampling period, when armed.
+    pressure: Option<(SimDuration, PressureMonitor)>,
+    /// The brownout overload controller, when the ladder is armed.
+    brownout: Option<BrownoutController>,
+    /// Surge window `[start, end)` for pre/post throughput accounting.
+    surge_window: Option<(SimTime, SimTime)>,
+    /// Tenant-tagged sweep completions: `(at, tenant, response)`.
+    sweep_log: Vec<(SimTime, u32, SimDuration)>,
+    /// Wall-clock spent at each *monitor* level (used for
+    /// `time_at_level` when no brownout controller is doing its own,
+    /// hysteresis-aware accounting): the accumulator plus the instant
+    /// and level of the last pressure sample.
+    level_clock: ([SimDuration; 4], SimTime, PressureLevel),
+    /// Every tenant shed by the ladder, in order.
+    shed_log: Vec<ShedRecord>,
     /// Safety valve: stop even if primaries never finish.
     pub max_time: SimTime,
 }
@@ -275,7 +396,52 @@ impl Engine {
             mutation: None,
             hint_layer_alive: true,
             prefetch_alive: true,
+            pressure: None,
+            brownout: None,
+            surge_window: None,
+            sweep_log: Vec::new(),
+            level_clock: ([SimDuration::ZERO; 4], SimTime::ZERO, PressureLevel::Normal),
+            shed_log: Vec::new(),
             max_time: SimTime::from_nanos(u64::MAX / 2),
+        }
+    }
+
+    /// Arms the memory-pressure monitor: the free-memory slope, steal
+    /// rate and quota-shield signals are sampled every `period` (see
+    /// [`vm::PressureMonitor`]) and the graded level drives the brownout
+    /// ladder when one is armed via [`Engine::enable_brownout`].
+    pub fn enable_pressure(&mut self, period: SimDuration) {
+        self.pressure = Some((period, PressureMonitor::new()));
+    }
+
+    /// Arms the brownout overload controller (no effect unless the
+    /// pressure monitor is also armed — the ladder only moves on
+    /// pressure samples).
+    pub fn enable_brownout(&mut self, config: BrownoutConfig) {
+        self.brownout = Some(BrownoutController::new(config));
+    }
+
+    /// Declares the surge window `[start, end)` for the fleet result's
+    /// pre/post-surge throughput accounting.
+    pub fn set_surge_window(&mut self, start: SimTime, end: SimTime) {
+        self.surge_window = Some((start, end));
+    }
+
+    /// Defers an already-registered process's first instruction to `at`
+    /// (its fleet arrival instant).
+    pub fn set_start(&mut self, pid: Pid, at: SimTime) {
+        if let Some(p) = self.procs.iter_mut().find(|p| p.pid == pid) {
+            p.start_at = at;
+            p.local = at;
+        }
+    }
+
+    /// Tags an already-registered process with its logical fleet tenant
+    /// (enables per-tenant tail accounting and makes it sheddable at
+    /// `Emergency` when above its guaranteed share).
+    pub fn tag_tenant(&mut self, pid: Pid, tenant: u32) {
+        if let Some(p) = self.procs.iter_mut().find(|p| p.pid == pid) {
+            p.tenant = Some(tenant);
         }
     }
 
@@ -448,6 +614,10 @@ impl Engine {
             finish_time: SimTime::MAX,
             ops_executed: 0,
             released_seen: 0,
+            start_at: SimTime::ZERO,
+            tenant: None,
+            shed: false,
+            oom_killed: false,
         });
     }
 
@@ -469,10 +639,14 @@ impl Engine {
 
     fn run_inner(&mut self) -> RunResult {
         for i in 0..self.procs.len() {
-            self.queue.schedule(SimTime::ZERO, Ev::Run(i));
+            let at = self.procs[i].start_at;
+            self.queue.schedule(at, Ev::Run(i));
         }
         if self.timeline.is_some() {
             self.queue.schedule(SimTime::ZERO, Ev::Sample);
+        }
+        if let Some((period, _)) = &self.pressure {
+            self.queue.schedule(SimTime::ZERO + *period, Ev::Pressure);
         }
         if let Some(at) = self.faults.daemons.shrink_limit_at {
             self.queue.schedule(at, Ev::Shrink);
@@ -545,6 +719,7 @@ impl Engine {
                         .record(ev.time, FaultKind::LimitShrunk { from, to });
                     self.wake_daemons(ev.time);
                 }
+                Ev::Pressure => self.on_pressure_sample(ev.time),
                 Ev::Sample => {
                     if let Some((period, samples)) = self.timeline.as_mut() {
                         samples.push(TimelineSample {
@@ -661,6 +836,10 @@ impl Engine {
                 end_time = end_time.max(p.finish_time);
             }
         }
+        if let Some(ctrl) = self.brownout.as_mut() {
+            ctrl.finish(end_time);
+        }
+        let fleet = self.compute_fleet(end_time);
         let procs = self
             .procs
             .iter()
@@ -676,6 +855,9 @@ impl Engine {
                 admission_stats: p.rt.as_ref().and_then(|rt| rt.admission_stats()).copied(),
                 lock_stats: self.vm.lock_stats(p.pid),
                 ops_executed: p.ops_executed,
+                tenant: p.tenant,
+                shed: p.shed,
+                oom_killed: p.oom_killed,
             })
             .collect();
         let mut fault_log = self.fault_log.clone();
@@ -711,7 +893,11 @@ impl Engine {
             samples,
             marks,
         });
-        let metrics = self.export_metrics(end_time, &fault_log);
+        let mut metrics = self.export_metrics(end_time, &fault_log);
+        let fleet = fleet.map(|(stats, mut overall)| {
+            export_fleet_metrics(&mut metrics, &stats, &mut overall);
+            stats
+        });
         RunResult {
             procs,
             vm_stats: self.vm.stats().clone(),
@@ -724,6 +910,7 @@ impl Engine {
             fault_log,
             events,
             metrics,
+            fleet,
         }
     }
 
@@ -892,7 +1079,11 @@ impl Engine {
             "Entries in the merged fault/degradation log",
             fault_log.events().len() as u64,
         );
-        for p in &self.procs {
+        // Per-process metric families are only useful at human scale; a
+        // 2000-process fleet would explode the registry, so those runs
+        // keep the machine-level families plus the fleet aggregates.
+        let per_proc = self.procs.len() <= 64;
+        for p in self.procs.iter().filter(|_| per_proc) {
             let ps = vm.proc(p.pid.0 as usize);
             let base = format!("hogtame_proc_{}", metric_slug(&p.name));
             m.counter(
@@ -1009,7 +1200,13 @@ impl Engine {
                     p.breakdown.add(TimeCategory::User, d);
                     p.local = start + d;
                 }
-                Op::Touch { vpn, write } => self.op_touch(i, vpn, write),
+                Op::Touch { vpn, write } => {
+                    self.op_touch(i, vpn, write);
+                    if self.procs[i].finished {
+                        // The touch OOM-killed the process.
+                        return;
+                    }
+                }
                 Op::PrefetchHint { vpn, npages, tag } => self.op_prefetch(i, vpn, npages, tag),
                 Op::ReleaseHint { vpn, priority, tag } => self.op_release(i, vpn, priority, tag),
                 Op::RetireTag { tag } => self.op_retire_tag(i, tag),
@@ -1029,8 +1226,12 @@ impl Engine {
                     };
                     let p = &mut self.procs[i];
                     if let Some(start) = p.sweep_start.take() {
-                        p.sweeps.push(p.local.since(start));
+                        let resp = p.local.since(start);
+                        p.sweeps.push(resp);
                         p.sweep_faults.push(now_faults - p.sweep_fault_base);
+                        if let Some(tenant) = p.tenant {
+                            self.sweep_log.push((p.local, tenant, resp));
+                        }
                     }
                 }
                 Op::End => {
@@ -1043,7 +1244,22 @@ impl Engine {
 
     fn op_touch(&mut self, i: usize, vpn: Vpn, write: bool) {
         let (pid, local) = (self.procs[i].pid, self.procs[i].local);
-        let res = self.vm.touch(local, pid, vpn, write);
+        let res = match self.vm.try_touch(local, pid, vpn, write) {
+            Ok(res) => res,
+            Err(vm::VmError::OutOfMemory { .. }) => {
+                // The allocation could not be satisfied even by repeated
+                // forced reclaims: kill the process with a typed outcome
+                // instead of panicking the run. On a defended machine
+                // the ladder sheds over-guarantee tenants long before
+                // this point; an undefended machine under a storm gets
+                // here, and the kill is indiscriminate — which is
+                // exactly the contrast the fleet results record.
+                self.oom_kill(i, local);
+                return;
+            }
+            // Unmapped addresses are a programming error, not overload.
+            Err(e) => panic!("{e}"),
+        };
         let p = &mut self.procs[i];
         p.breakdown.add(TimeCategory::System, res.system);
         p.breakdown
@@ -1205,6 +1421,216 @@ impl Engine {
         }
     }
 
+    /// One `Ev::Pressure` tick: grade the machine, walk the brownout
+    /// ladder, fan the rung out to every hinting tenant, and shed at
+    /// `Emergency` — then reschedule.
+    fn on_pressure_sample(&mut self, now: SimTime) {
+        let (level, next) = {
+            let Some((period, mon)) = self.pressure.as_mut() else {
+                return;
+            };
+            (mon.sample(now, &mut self.vm), now + *period)
+        };
+        self.queue.schedule(next, Ev::Pressure);
+        {
+            let (acc, since, at) = &mut self.level_clock;
+            acc[*at as usize] += now.since(*since);
+            (*since, *at) = (now, level);
+        }
+        let mut applied = None;
+        let mut budget = 0;
+        if let Some(ctrl) = self.brownout.as_mut() {
+            ctrl.observe(now, level, &mut self.fault_log);
+            // Fan out the *current* rung every sample, not just on
+            // transitions: fleet processes keep arriving mid-run, and a
+            // wave that lands while the ladder is engaged must inherit
+            // the rung within one sample, not at the next transition.
+            applied = Some((ctrl.level(), ctrl.clamp_shift()));
+            budget = ctrl.shed_budget();
+        }
+        if let Some((to, shift)) = applied {
+            for p in &mut self.procs {
+                if let Some(rt) = p.rt.as_mut() {
+                    rt.set_brownout(now, to, shift);
+                }
+            }
+        }
+        if budget > 0 {
+            let shed = self.shed_tenants(now, budget);
+            if shed > 0 {
+                if let Some(ctrl) = self.brownout.as_mut() {
+                    ctrl.note_shed(shed);
+                }
+            }
+        }
+        self.wake_daemons(now);
+    }
+
+    /// Sheds up to `budget` tenants at `Emergency`: only processes whose
+    /// resident set exceeds their guaranteed share are candidates (a
+    /// tenant at or below its guarantee is never shed), newest arrival
+    /// first. Each shed is a typed [`FaultKind::TenantShed`] outcome and
+    /// an ordinary process teardown — never a panic. Returns the number
+    /// shed.
+    fn shed_tenants(&mut self, now: SimTime, budget: u32) -> u64 {
+        let mut victims: Vec<(SimTime, usize)> = Vec::new();
+        for (i, p) in self.procs.iter().enumerate() {
+            if p.finished || p.tenant.is_none() || p.start_at > now {
+                continue;
+            }
+            let rss = self.vm.rss(p.pid);
+            if rss > self.vm.quotas().guaranteed(p.pid.0) {
+                victims.push((p.start_at, i));
+            }
+        }
+        // Newest arrival first; registration order breaks ties.
+        victims.sort_by(|a, b| b.cmp(a));
+        let mut shed = 0;
+        for (_, i) in victims.into_iter().take(budget as usize) {
+            let pid = self.procs[i].pid;
+            let tenant = self.procs[i].tenant.unwrap_or(u32::MAX);
+            let rss = self.vm.rss(pid);
+            let guaranteed = self.vm.quotas().guaranteed(pid.0);
+            self.fault_log.record(
+                now,
+                FaultKind::TenantShed {
+                    pid: pid.0,
+                    rss,
+                    guaranteed,
+                },
+            );
+            self.shed_log.push(ShedRecord {
+                pid: pid.0,
+                tenant,
+                at: now,
+                rss,
+                guaranteed,
+            });
+            self.shed_proc(i, now);
+            shed += 1;
+        }
+        shed
+    }
+
+    /// Kills process `i` at `now` because an allocation was
+    /// unsatisfiable: records the typed [`FaultKind::OomKill`] and tears
+    /// the process down like a shed, freeing everything it held.
+    fn oom_kill(&mut self, i: usize, now: SimTime) {
+        let pid = self.procs[i].pid;
+        let rss = self.vm.rss(pid);
+        self.fault_log
+            .record(now, FaultKind::OomKill { pid: pid.0, rss });
+        let p = &mut self.procs[i];
+        p.oom_killed = true;
+        p.finished = true;
+        p.local = p.local.max(now);
+        p.finish_time = p.local;
+        let local = p.local;
+        self.vm.exit_process(local, pid);
+        self.wake_daemons(local);
+    }
+
+    /// Tears one process down mid-run (the `Emergency` shed). Buffered
+    /// hints are dropped on the floor — the tenant is being evicted
+    /// precisely because memory is scarce — and its memory returns to
+    /// the system exactly as on a normal exit.
+    fn shed_proc(&mut self, i: usize, now: SimTime) {
+        let p = &mut self.procs[i];
+        p.shed = true;
+        p.finished = true;
+        p.local = p.local.max(now);
+        p.finish_time = p.local;
+        let (pid, local) = (p.pid, p.local);
+        self.vm.exit_process(local, pid);
+    }
+
+    /// Aggregates the fleet section of the results: per-tenant exact
+    /// tail digests, Jain's fairness over per-tenant means, the shed and
+    /// brownout record, and pre/post-surge throughput. `None` when the
+    /// run had neither tenant tags nor a pressure monitor (classic runs
+    /// carry no fleet section). Also returns the fleet-wide digest so
+    /// the metrics exporter can register its percentile family.
+    fn compute_fleet(&mut self, end_time: SimTime) -> Option<(FleetStats, TailDigest)> {
+        if self.pressure.is_none() && self.procs.iter().all(|p| p.tenant.is_none()) {
+            return None;
+        }
+        let mut per_tenant: BTreeMap<u32, TailDigest> = BTreeMap::new();
+        let mut overall = TailDigest::new();
+        for &(_, tenant, resp) in &self.sweep_log {
+            per_tenant.entry(tenant).or_default().record(resp);
+            overall.record(resp);
+        }
+        let tenants: Vec<TenantTail> = per_tenant
+            .iter_mut()
+            .map(|(&tenant, d)| tenant_tail(tenant, d))
+            .collect();
+        let means: Vec<f64> = tenants.iter().map(|t| t.mean.as_secs_f64()).collect();
+        let (pre, post, pre_rate, post_rate) = match self.surge_window {
+            Some((start, end)) => {
+                // Equal-width windows on either side of the storm, so the
+                // two rates are directly comparable: `[start - w, start)`
+                // against `[end, end + w)`.
+                let w = end.since(start).min(start.since(SimTime::ZERO));
+                let pre_from = SimTime::ZERO + start.since(SimTime::ZERO).saturating_sub(w);
+                let post_to = end + w;
+                let pre = self
+                    .sweep_log
+                    .iter()
+                    .filter(|&&(t, ..)| t >= pre_from && t < start)
+                    .count() as u64;
+                let post = self
+                    .sweep_log
+                    .iter()
+                    .filter(|&&(t, ..)| t >= end && t < post_to)
+                    .count() as u64;
+                let secs = w.as_secs_f64();
+                let rate = |n: u64, secs: f64| if secs > 0.0 { n as f64 / secs } else { 0.0 };
+                (pre, post, rate(pre, secs), rate(post, secs))
+            }
+            None => {
+                let all = self.sweep_log.len() as u64;
+                let secs = end_time.as_secs_f64();
+                let rate = if secs > 0.0 { all as f64 / secs } else { 0.0 };
+                (all, 0, rate, 0.0)
+            }
+        };
+        let (transitions, time_at_level) = match self.brownout.as_ref() {
+            Some(c) => (c.stats().transitions, c.stats().time_at_level),
+            None => {
+                // No controller accounting: close out the raw monitor
+                // clock instead.
+                let (mut acc, since, at) = self.level_clock;
+                acc[at as usize] += end_time.since(since);
+                (0, acc)
+            }
+        };
+        let final_level = self.brownout.as_ref().map_or_else(
+            || {
+                self.pressure
+                    .as_ref()
+                    .map_or(PressureLevel::Normal, |(_, m)| m.level())
+            },
+            BrownoutController::level,
+        );
+        let stats = FleetStats {
+            tenants,
+            overall: tenant_tail(u32::MAX, &mut overall),
+            jain: jain(&means),
+            tenants_shed: self.shed_log.len() as u64,
+            oom_kills: self.procs.iter().filter(|p| p.oom_killed).count() as u64,
+            sheds: self.shed_log.clone(),
+            brownout_transitions: transitions,
+            time_at_level,
+            final_level,
+            pressure_shifts: self.pressure.as_ref().map_or(0, |(_, m)| m.shifts()),
+            pre_surge_sweeps: pre,
+            post_surge_sweeps: post,
+            pre_surge_rate: pre_rate,
+            post_surge_rate: post_rate,
+        };
+        Some((stats, overall))
+    }
+
     /// Credits releaser-verified frees to each process's admission trust
     /// score. This is the only path by which a low-trust tenant's
     /// releases earn good-behaviour credit: the VM's per-proc
@@ -1276,6 +1702,61 @@ impl Engine {
                 .record(now, FaultKind::PagingdSkew { delay: extra });
         }
         extra
+    }
+}
+
+/// Summarizes one tail digest (exact nearest-rank percentiles).
+fn tenant_tail(tenant: u32, d: &mut TailDigest) -> TenantTail {
+    let (p50, p99, p999) = d.tail();
+    TenantTail {
+        tenant,
+        count: d.count(),
+        mean: d.mean(),
+        p50,
+        p99,
+        p999,
+        max: d.max(),
+    }
+}
+
+/// Registers the fleet aggregates as metric families.
+fn export_fleet_metrics(m: &mut MetricsRegistry, f: &FleetStats, overall: &mut TailDigest) {
+    m.tail(
+        "hogtame_fleet_response",
+        "Interactive response time across all tenants",
+        overall,
+    );
+    m.gauge(
+        "hogtame_fleet_jain",
+        "Jain fairness index over per-tenant mean response times",
+        f.jain,
+    );
+    m.counter(
+        "hogtame_fleet_tenants_shed_total",
+        "Tenants shed by the brownout ladder",
+        f.tenants_shed,
+    );
+    m.counter(
+        "hogtame_fleet_oom_kills_total",
+        "Processes killed on unsatisfiable allocations",
+        f.oom_kills,
+    );
+    m.counter(
+        "hogtame_fleet_brownout_transitions_total",
+        "Brownout ladder moves in either direction",
+        f.brownout_transitions,
+    );
+    m.counter(
+        "hogtame_fleet_pressure_shifts_total",
+        "Raw pressure-level changes seen by the monitor",
+        f.pressure_shifts,
+    );
+    for level in PressureLevel::ALL {
+        m.gauge(
+            format!("hogtame_fleet_time_at_{}_seconds", level.name()),
+            "Simulated time spent at this brownout rung",
+            f.time_at_level[level.index()].as_secs_f64(),
+        );
     }
 }
 

@@ -560,6 +560,11 @@ fn decode(payload: &str) -> Option<RunOutcome> {
                 total_hold: SimDuration::from_nanos(hold),
             },
             ops_executed: ops,
+            // Fleet runs are never journalable, so replayed processes
+            // carry no tenant tag and were never shed.
+            tenant: None,
+            shed: false,
+            oom_killed: false,
         });
     }
     if !lines.rest.is_empty() {
@@ -596,6 +601,7 @@ fn decode(payload: &str) -> Option<RunOutcome> {
             // of a plain run are cheap to regenerate by re-running.
             events: sim_core::obs::EventStream::new(),
             metrics: sim_core::obs::MetricsRegistry::new(),
+            fleet: None,
         },
     })
 }

@@ -61,7 +61,7 @@ pub mod scenario;
 pub mod timeline;
 
 pub use artifact::{results_dir, Artifact};
-pub use engine::{Engine, ProcResult, RunResult};
+pub use engine::{Engine, FleetStats, ProcResult, RunResult, ShedRecord, TenantTail};
 pub use journal::Journal;
 pub use machine::MachineConfig;
 pub use request::{RunError, RunOutcome, RunRequest};
@@ -72,18 +72,20 @@ pub use scenario::{Scenario, ScenarioResult};
 /// Convenient re-exports for examples and binaries.
 pub mod prelude {
     pub use crate::artifact::{results_dir, Artifact};
-    pub use crate::engine::{Engine, ProcResult, RunResult};
+    pub use crate::engine::{Engine, FleetStats, ProcResult, RunResult, ShedRecord, TenantTail};
     pub use crate::exec;
     pub use crate::experiments::suite::{Suite, SuiteError, SuiteHandle, SUITE_TABLES};
     pub use crate::journal::Journal;
     pub use crate::machine::MachineConfig;
-    pub use crate::obs_report::{outcome_table, stream_summary};
+    pub use crate::obs_report::{fleet_summary, fleet_table, outcome_table, stream_summary};
     pub use crate::report::TextTable;
     pub use crate::request::{RunError, RunOutcome, RunRequest};
     pub use crate::scenario::Version;
     #[allow(deprecated)]
     pub use crate::scenario::{Scenario, ScenarioResult};
-    pub use runtime::{AdmissionConfig, AdmissionStats, HealthConfig};
+    pub use runtime::{
+        AdmissionConfig, AdmissionStats, BrownoutConfig, BrownoutStats, HealthConfig,
+    };
     pub use sim_core::fault::{
         AdversaryPlan, AdversaryStrategy, CrashComponent, CrashFaults, CrashSpec, DaemonFaults,
         ExecFaults, FaultKind, FaultLog, FaultPlan, HintFaults, IoFaults, SupervisorConfig,
@@ -91,8 +93,9 @@ pub mod prelude {
     pub use sim_core::obs::{Event, EventKind, EventStream, MetricsRegistry, OutcomeRow, Recorder};
     pub use sim_core::oracle::Oracle;
     pub use sim_core::sanitizer::{InvariantViolation, Mutation, MutationTarget};
-    pub use sim_core::stats::{TimeBreakdown, TimeCategory};
-    pub use sim_core::{SimDuration, SimTime};
+    pub use sim_core::stats::{jain, TailDigest, TimeBreakdown, TimeCategory};
+    pub use sim_core::{PressureLevel, SimDuration, SimTime};
     pub use vm::TenantQuota;
     pub use workloads;
+    pub use workloads::{ArrivalProcess, FleetSpec, SurgeSpec, ZipfTenants};
 }

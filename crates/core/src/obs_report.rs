@@ -13,7 +13,9 @@
 //! `tests/obs_stream.rs` pins that equality.
 
 use sim_core::obs::{EventStream, OutcomeRow};
+use sim_core::PressureLevel;
 
+use crate::engine::FleetStats;
 use crate::report::TextTable;
 
 /// Renders the hint-outcome attribution table for a sealed event stream.
@@ -82,6 +84,71 @@ pub fn stream_summary(events: &EventStream) -> String {
     );
     for (name, n) in events.counts() {
         out.push_str(&format!("  {name:<28} {n}\n"));
+    }
+    out
+}
+
+/// Renders the per-tenant tail-latency table of a fleet run: one row per
+/// tenant plus the fleet-wide aggregate, exact nearest-rank percentiles
+/// throughout. Shared by `hogtame fleet`, `hogtame stats`, and the
+/// surge benchmarks.
+pub fn fleet_table(f: &FleetStats) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "tenant", "sweeps", "mean(ms)", "p50(ms)", "p99(ms)", "p999(ms)", "max(ms)",
+    ]);
+    let ms = |d: sim_core::SimDuration| format!("{:.3}", d.as_millis_f64());
+    for tail in f.tenants.iter().chain(std::iter::once(&f.overall)) {
+        t.row(vec![
+            if tail.tenant == u32::MAX {
+                "(all)".to_string()
+            } else {
+                tail.tenant.to_string()
+            },
+            tail.count.to_string(),
+            ms(tail.mean),
+            ms(tail.p50),
+            ms(tail.p99),
+            ms(tail.p999),
+            ms(tail.max),
+        ]);
+    }
+    t
+}
+
+/// One-paragraph overload-control summary of a fleet run: fairness,
+/// sheds, OOM kills, ladder movement, time at each pressure level, and
+/// pre/post-surge throughput.
+pub fn fleet_summary(f: &FleetStats) -> String {
+    let mut out = format!(
+        "fairness (Jain over per-tenant means): {:.3}\n\
+         tenants shed: {}   oom kills: {}   brownout transitions: {}   pressure shifts: {}\n",
+        f.jain, f.tenants_shed, f.oom_kills, f.brownout_transitions, f.pressure_shifts
+    );
+    out.push_str("time at level:");
+    for level in [
+        PressureLevel::Normal,
+        PressureLevel::Elevated,
+        PressureLevel::Critical,
+        PressureLevel::Emergency,
+    ] {
+        out.push_str(&format!(
+            "  {:?} {:.3}s",
+            level,
+            f.time_at_level[level as usize].as_secs_f64()
+        ));
+    }
+    out.push('\n');
+    if f.pre_surge_sweeps > 0 || f.post_surge_sweeps > 0 {
+        out.push_str(&format!(
+            "surge window: pre {} sweeps ({:.1}/s), post {} sweeps ({:.1}/s)\n",
+            f.pre_surge_sweeps, f.pre_surge_rate, f.post_surge_sweeps, f.post_surge_rate
+        ));
+    }
+    for s in &f.sheds {
+        out.push_str(&format!(
+            "  shed pid {} (tenant {}) at {}: rss {} > guaranteed {}\n",
+            s.pid, s.tenant, s.at, s.rss, s.guaranteed
+        ));
     }
     out
 }

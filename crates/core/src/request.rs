@@ -34,11 +34,13 @@ use sim_core::fingerprint::{Fingerprint, Fnv1a};
 use sim_core::sanitizer::{self, Mutation};
 use sim_core::{SimDuration, SimTime};
 use vm::{Pid, TenantQuota};
-use workloads::BenchSpec;
+use workloads::{BenchSpec, FleetSpec};
 
 use crate::engine::{Engine, ProcResult, RunResult};
 use crate::machine::MachineConfig;
-use crate::scenario::{install_adversaries, install_bench, install_interactive, Version};
+use crate::scenario::{
+    install_adversaries, install_bench, install_fleet, install_interactive, Version,
+};
 
 /// Why a [`RunRequest`] could not be executed.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -59,6 +61,10 @@ pub enum RunError {
     /// the processes the request actually registers, or slots with no
     /// declared quota.
     InvalidAdversary(String),
+    /// The fleet spec is malformed (zero tenants, an empty working-set
+    /// range, a zero pressure period, an out-of-range surge shrink) —
+    /// caught by [`RunRequest::validate`].
+    InvalidFleet(String),
     /// The worker executing the request panicked (after exhausting any
     /// retries the fault plan's [`sim_core::fault::ExecFaults`] allowed).
     /// Only this request is lost; the rest of the grid is unaffected.
@@ -73,6 +79,7 @@ impl std::fmt::Display for RunError {
             RunError::InvalidMachine(why) => write!(f, "invalid machine: {why}"),
             RunError::InvalidTenants(why) => write!(f, "invalid tenant quotas: {why}"),
             RunError::InvalidAdversary(why) => write!(f, "invalid adversary plan: {why}"),
+            RunError::InvalidFleet(why) => write!(f, "invalid fleet spec: {why}"),
             RunError::Crashed(why) => write!(f, "worker crashed: {why}"),
         }
     }
@@ -104,6 +111,7 @@ pub struct RunRequest {
     reseed: Option<u64>,
     tenants: Vec<TenantQuota>,
     adversary: AdversaryPlan,
+    fleet: Option<FleetSpec>,
 }
 
 /// Results of executing one [`RunRequest`].
@@ -134,6 +142,7 @@ impl RunRequest {
             reseed: None,
             tenants: Vec::new(),
             adversary: AdversaryPlan::default(),
+            fleet: None,
         }
     }
 
@@ -259,6 +268,21 @@ impl RunRequest {
         self
     }
 
+    /// Installs a seeded fleet: arrival-process-driven hogs and
+    /// interactive tasks, per-tenant quotas derived from the plan (hogs
+    /// get `hog_guarantee` plus their working set as burst; tasks get
+    /// their working set as guarantee), the pressure monitor, the
+    /// brownout ladder when `spec.ladder`, and the surge window when a
+    /// storm is scheduled. A surge's `shrink_to_frac < 1.0` is routed
+    /// through the fault plan's daemon machinery (unless the plan
+    /// already schedules its own shrink). Fleet results land in
+    /// `RunOutcome::run.fleet`.
+    #[must_use]
+    pub fn fleet(mut self, spec: FleetSpec) -> Self {
+        self.fleet = Some(spec);
+        self
+    }
+
     /// The machine this request runs on.
     pub fn machine(&self) -> &MachineConfig {
         &self.machine
@@ -281,6 +305,7 @@ impl RunRequest {
             && self.mutation.is_none()
             && self.tenants.is_empty()
             && !self.adversary.any()
+            && self.fleet.is_none()
     }
 
     /// Validates the request without running it: a malformed machine
@@ -293,7 +318,7 @@ impl RunRequest {
     /// [`RunError::Empty`] for a request naming no workload at all, and
     /// [`RunError::InvalidMachine`] for an unsimulatable machine.
     pub fn validate(&self) -> Result<(), RunError> {
-        if self.bench.is_none() && self.interactive.is_none() {
+        if self.bench.is_none() && self.interactive.is_none() && self.fleet.is_none() {
             return Err(RunError::Empty);
         }
         let m = &self.machine;
@@ -365,6 +390,50 @@ impl RunRequest {
                 )));
             }
         }
+        if let Some(f) = &self.fleet {
+            if f.tenants == 0 {
+                return Err(RunError::InvalidFleet(String::from("zero tenants")));
+            }
+            if f.task_pages_min == 0 || f.task_pages_min > f.task_pages_max {
+                return Err(RunError::InvalidFleet(format!(
+                    "empty task working-set range {}..={}",
+                    f.task_pages_min, f.task_pages_max
+                )));
+            }
+            if f.hogs > 0 && f.hog_pages == 0 {
+                return Err(RunError::InvalidFleet(String::from(
+                    "hogs with a zero-page working set",
+                )));
+            }
+            if f.pressure_period == SimDuration::ZERO {
+                // A zero period would reschedule `Ev::Pressure` at the
+                // same instant forever.
+                return Err(RunError::InvalidFleet(String::from(
+                    "zero pressure-sampling period",
+                )));
+            }
+            if let Some(s) = f.surge {
+                if !(s.shrink_to_frac > 0.0 && s.shrink_to_frac <= 1.0) {
+                    return Err(RunError::InvalidFleet(format!(
+                        "surge shrink_to_frac {} outside (0, 1]",
+                        s.shrink_to_frac
+                    )));
+                }
+                if s.hogs > 0 && s.hog_pages == 0 {
+                    return Err(RunError::InvalidFleet(String::from(
+                        "surge hogs with a zero-page working set",
+                    )));
+                }
+                if s.waves == 0 {
+                    return Err(RunError::InvalidFleet(String::from("zero surge waves")));
+                }
+                if s.waves > 1 && s.wave_gap == SimDuration::ZERO {
+                    return Err(RunError::InvalidFleet(String::from(
+                        "multi-wave surge with a zero wave gap",
+                    )));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -390,10 +459,19 @@ impl RunRequest {
         if let Some((at, m)) = self.mutation {
             engine = engine.with_mutation(at, m);
         }
+        // A fleet surge's limit shrink rides the fault plan's existing
+        // daemon machinery; an explicitly-scheduled shrink wins.
+        let mut fault_plan = self.fault_plan;
+        if let Some(surge) = self.fleet.as_ref().and_then(|f| f.surge) {
+            if surge.shrink_to_frac < 1.0 && fault_plan.daemons.shrink_limit_at.is_none() {
+                fault_plan.daemons.shrink_limit_at = Some(surge.at);
+                fault_plan.daemons.shrink_to_frac = surge.shrink_to_frac;
+            }
+        }
         // Before registration: hint-emitting layers draw their per-process
         // fault streams at registration time.
-        if self.fault_plan.any() {
-            engine = engine.with_fault_plan(self.fault_plan);
+        if fault_plan.any() {
+            engine = engine.with_fault_plan(fault_plan);
         }
         let mut hog_idx = None;
         let mut int_idx = None;
@@ -417,14 +495,44 @@ impl RunRequest {
             install_interactive(&mut engine, sleep, max_sweeps, primary);
             int_idx = Some(hog_idx.map_or(0, |_| 1));
         }
-        install_adversaries(
-            &mut engine,
-            &self.adversary,
-            self.rt_config,
-            &self.fault_plan,
-        );
+        install_adversaries(&mut engine, &self.adversary, self.rt_config, &fault_plan);
         for (i, q) in self.tenants.iter().enumerate() {
             engine.vm_mut().set_tenant_quota(Pid(i as u32), *q);
+        }
+        if let Some(spec) = &self.fleet {
+            let pids = install_fleet(&mut engine, spec, self.rt_config);
+            // Quotas derived from the plan: hogs may burst past their
+            // guarantee (that is what makes them sheddable at
+            // `Emergency`); a task's whole working set is guaranteed, so
+            // the ladder can never shed it.
+            for (pid, a) in pids.iter().zip(spec.plan()) {
+                let q = if a.hog {
+                    TenantQuota::new(spec.hog_guarantee.max(1), a.pages)
+                } else {
+                    TenantQuota::new(a.pages, 0)
+                };
+                engine.vm_mut().set_tenant_quota(*pid, q);
+            }
+            engine.enable_pressure(spec.pressure_period);
+            if spec.ladder {
+                // Scale the step-down dwell to wall-clock rather than
+                // sample count: ~250 ms of strictly-calmer samples
+                // (never fewer than the stock 3) before the ladder
+                // unwinds one rung. At fast sampling periods the stock
+                // count would unwind in single-digit milliseconds —
+                // before a storm's next wave — defeating the hysteresis.
+                let stock = runtime::BrownoutConfig::default();
+                let dwell = SimDuration::from_millis(250).as_nanos();
+                let per = spec.pressure_period.as_nanos().max(1);
+                let calm = u32::try_from(dwell.div_ceil(per)).unwrap_or(u32::MAX);
+                engine.enable_brownout(runtime::BrownoutConfig {
+                    calm_samples: calm.max(stock.calm_samples),
+                    ..stock
+                });
+            }
+            if let Some(s) = spec.surge {
+                engine.set_surge_window(s.at, s.at + s.duration);
+            }
         }
 
         let run = engine.run();
@@ -514,6 +622,12 @@ impl RunRequest {
             h.write_u64(u64::from(self.adversary.tenant));
             h.write_u64(self.adversary.pages);
             h.write_u64(u64::from(self.adversary.intensity));
+        }
+        if let Some(f) = &self.fleet {
+            h.write_str("fleet");
+            // Like MachineConfig above: plain scalar fields only, so the
+            // `Debug` rendering is a deterministic value encoding.
+            h.write_str(&format!("{f:?}"));
         }
     }
 
@@ -725,6 +839,105 @@ mod tests {
             .tenants(vec![TenantQuota::new(64, 16)])
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn fleet_run_completes_with_tail_stats() {
+        use workloads::{FleetSpec, SurgeSpec};
+        let spec = FleetSpec {
+            hogs: 4,
+            tasks: 12,
+            horizon: SimDuration::from_secs(3),
+            surge: Some(SurgeSpec {
+                hogs: 3,
+                ..SurgeSpec::default()
+            }),
+            ..FleetSpec::default()
+        };
+        let req = RunRequest::on(MachineConfig::small()).fleet(spec);
+        assert!(!req.journalable(), "fleet runs are not journalable");
+        let out = req.run().unwrap();
+        let fleet = out.run.fleet.as_ref().expect("fleet section present");
+        assert!(fleet.overall.count > 0, "tasks recorded sweeps");
+        assert!(fleet.overall.p50 <= fleet.overall.p99);
+        assert!(fleet.overall.p99 <= fleet.overall.p999);
+        assert!(fleet.jain > 0.0 && fleet.jain <= 1.0, "jain {}", fleet.jain);
+        assert!(!fleet.tenants.is_empty());
+        // Every process terminated (finished or shed) — never a panic.
+        assert!(out.run.procs.iter().all(|p| p.finish_time < SimTime::MAX));
+        // The pre/post throughput accounting saw the surge window.
+        assert!(fleet.pre_surge_sweeps > 0);
+        // Percentile metric families registered.
+        assert!(out
+            .run
+            .metrics
+            .get("hogtame_fleet_response_p99_seconds")
+            .is_some());
+    }
+
+    #[test]
+    fn fleet_runs_are_bit_identical() {
+        use workloads::FleetSpec;
+        let spec = FleetSpec {
+            hogs: 3,
+            tasks: 10,
+            horizon: SimDuration::from_secs(2),
+            ..FleetSpec::default()
+        };
+        let req = RunRequest::on(MachineConfig::small()).fleet(spec);
+        let a = req.run().unwrap();
+        let b = req.run().unwrap();
+        let key = |o: &RunOutcome| {
+            let f = o.run.fleet.as_ref().unwrap();
+            (
+                o.run.end_time,
+                f.overall.count,
+                f.overall.p999,
+                f.tenants_shed,
+                f.brownout_transitions,
+            )
+        };
+        assert_eq!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn malformed_fleet_specs_are_typed_errors() {
+        use workloads::{FleetSpec, SurgeSpec};
+        let base = || RunRequest::on(MachineConfig::small());
+        let err = |spec: FleetSpec| base().fleet(spec).validate().unwrap_err();
+        assert!(matches!(
+            err(FleetSpec {
+                tenants: 0,
+                ..FleetSpec::default()
+            }),
+            RunError::InvalidFleet(_)
+        ));
+        assert!(matches!(
+            err(FleetSpec {
+                task_pages_min: 8,
+                task_pages_max: 4,
+                ..FleetSpec::default()
+            }),
+            RunError::InvalidFleet(_)
+        ));
+        assert!(matches!(
+            err(FleetSpec {
+                pressure_period: SimDuration::ZERO,
+                ..FleetSpec::default()
+            }),
+            RunError::InvalidFleet(_)
+        ));
+        assert!(matches!(
+            err(FleetSpec {
+                surge: Some(SurgeSpec {
+                    shrink_to_frac: 0.0,
+                    ..SurgeSpec::default()
+                }),
+                ..FleetSpec::default()
+            }),
+            RunError::InvalidFleet(_)
+        ));
+        assert!(base().fleet(FleetSpec::default()).validate().is_ok());
     }
 
     #[test]

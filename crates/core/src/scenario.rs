@@ -18,7 +18,8 @@ use runtime::{Executor, ReleasePolicy, RtConfig, RuntimeLayer};
 use sim_core::fault::{AdversaryPlan, FaultDomain, FaultPlan};
 use sim_core::SimDuration;
 use vm::{Backing, Pid, Vpn};
-use workloads::{AdversaryTask, BenchSpec, InteractiveTask};
+use workloads::arrivals::FLEET_TAG_BASE;
+use workloads::{AdversaryTask, BenchSpec, FleetHog, FleetSpec, InteractiveTask};
 
 use crate::engine::Engine;
 use crate::machine::MachineConfig;
@@ -237,6 +238,70 @@ pub fn install_adversaries(
             Some(rt),
             false,
         );
+        pids.push(pid);
+    }
+    pids
+}
+
+/// Expands a [`FleetSpec`]'s arrival plan into registered processes:
+/// hogs get a swap-backed region and a `Buffered` run-time layer (the
+/// release-behind idiom the brownout ladder escalates), tasks get a
+/// zero-fill region and no layer — exactly what the OS must protect.
+/// Every process is deferred to its arrival instant
+/// ([`Engine::set_start`]) and tagged with its logical tenant
+/// ([`Engine::tag_tenant`]); all are primary, so the run ends when the
+/// whole fleet has drained (or been shed). Returns the pids in plan
+/// order.
+pub fn install_fleet(engine: &mut Engine, spec: &FleetSpec, rt_config: RtConfig) -> Vec<Pid> {
+    let plan = spec.plan();
+    let mut pids = Vec::with_capacity(plan.len());
+    for (k, a) in plan.iter().enumerate() {
+        let pid = if a.hog {
+            let pid = engine.vm_mut().add_process(true);
+            // Baseline hogs re-read prefilled swap (out-of-core compute,
+            // disk-paced). Surge hogs inflate *fresh* working sets: their
+            // first touches are zero-fill allocations, which drain the
+            // free list at CPU speed — faster than buffered releases can
+            // cooperate. That asymmetry is what pushes the machine into
+            // the graded-pressure regime the brownout ladder exists for.
+            let backing = if a.surge {
+                Backing::ZeroFill
+            } else {
+                Backing::SwapPrefilled
+            };
+            let range = engine.vm_mut().map_region(pid, a.pages, backing, true);
+            let sweeps = match (a.surge, spec.surge) {
+                (true, Some(s)) => s.hog_sweeps,
+                _ => spec.hog_sweeps,
+            };
+            let tag = FLEET_TAG_BASE + k as u32;
+            let hog = FleetHog::new(range.start, a.pages, sweeps, tag);
+            let rt = RuntimeLayer::new(ReleasePolicy::Buffered, rt_config);
+            let kind = if a.surge { "surge" } else { "hog" };
+            engine.register(
+                pid,
+                format!("fleet-{kind}{k}"),
+                Box::new(hog),
+                Some(rt),
+                true,
+            );
+            pid
+        } else {
+            let pid = engine.vm_mut().add_process(false);
+            let range = engine
+                .vm_mut()
+                .map_region(pid, a.pages, Backing::ZeroFill, false);
+            let task = InteractiveTask::with_pages(
+                range.start,
+                a.pages,
+                spec.think,
+                Some(spec.task_sweeps),
+            );
+            engine.register(pid, format!("fleet-task{k}"), Box::new(task), None, true);
+            pid
+        };
+        engine.set_start(pid, a.start);
+        engine.tag_tenant(pid, a.tenant);
         pids.push(pid);
     }
     pids

@@ -111,6 +111,10 @@ pub struct AdmissionController {
     trust: Trust,
     window_good: u32,
     window_bad: u32,
+    /// Brownout clamp: the effective refill rate is
+    /// `rate_per_sec >> clamp_shift` (power-of-two steps keep the math
+    /// integer-exact and the clamp trivially monotone).
+    clamp_shift: u32,
     stats: AdmissionStats,
 }
 
@@ -124,6 +128,7 @@ impl AdmissionController {
             trust: Trust::Trusted,
             window_good: 0,
             window_bad: 0,
+            clamp_shift: 0,
             stats: AdmissionStats::default(),
         }
     }
@@ -138,11 +143,31 @@ impl AdmissionController {
         self.trust == Trust::Low
     }
 
+    /// Clamps the effective refill rate to `rate_per_sec >> shift`
+    /// (brownout ladder hook); `0` removes the clamp. Settling the
+    /// bucket at the *old* rate first keeps the clamp change itself
+    /// deterministic and order-independent of the next `admit`.
+    pub fn set_clamp_shift(&mut self, now: SimTime, shift: u32) {
+        self.refill(now);
+        self.clamp_shift = shift.min(63);
+    }
+
+    /// The brownout clamp currently applied to the refill rate.
+    pub fn clamp_shift(&self) -> u32 {
+        self.clamp_shift
+    }
+
     fn refill(&mut self, now: SimTime) {
         if now > self.last_refill {
-            let elapsed = (now - self.last_refill).as_nanos() as u128;
-            let cap = u128::from(self.config.burst) * UNIT;
-            self.tokens = (self.tokens + elapsed * u128::from(self.config.rate_per_sec)).min(cap);
+            let elapsed = u128::from((now - self.last_refill).as_nanos());
+            let rate = u128::from(self.config.rate_per_sec >> self.clamp_shift);
+            let cap = u128::from(self.config.burst).saturating_mul(UNIT);
+            // Fleet scale: elapsed (ns) times an adversarially large
+            // configured rate can exceed u128 — saturate, then cap.
+            self.tokens = self
+                .tokens
+                .saturating_add(elapsed.saturating_mul(rate))
+                .min(cap);
             self.last_refill = now;
         }
     }
@@ -175,13 +200,13 @@ impl AdmissionController {
     /// Good-behaviour feedback: a validated prefetch, or (for trusted
     /// tenants) a release at issue time.
     pub fn note_good(&mut self, now: SimTime, log: &mut FaultLog) {
-        self.window_good += 1;
+        self.window_good = self.window_good.saturating_add(1);
         self.evaluate(now, log);
     }
 
     /// Bad-behaviour feedback: any misfire.
     pub fn note_bad(&mut self, now: SimTime, log: &mut FaultLog) {
-        self.window_bad += 1;
+        self.window_bad = self.window_bad.saturating_add(1);
         self.evaluate(now, log);
     }
 
@@ -196,7 +221,7 @@ impl AdmissionController {
     }
 
     fn evaluate(&mut self, now: SimTime, log: &mut FaultLog) {
-        let total = self.window_good + self.window_bad;
+        let total = self.window_good.saturating_add(self.window_bad);
         if total < self.config.trust_window {
             return;
         }
@@ -319,6 +344,76 @@ mod tests {
         a.note_good(t(2), &mut log);
         a.note_good(t(2), &mut log);
         assert!(a.low_trust(), "0.5 waste keeps the tenant demoted");
+    }
+
+    #[test]
+    fn extreme_rates_never_overflow() {
+        // Fleet-scale regression: u32::MAX-adjacent (and far beyond)
+        // configured rates with a huge idle gap must saturate, not wrap.
+        for rate in [
+            u64::from(u32::MAX) - 1,
+            u64::from(u32::MAX),
+            u64::from(u32::MAX) + 1,
+            u64::MAX,
+        ] {
+            let mut a = AdmissionController::new(AdmissionConfig {
+                rate_per_sec: rate,
+                burst: u64::MAX,
+                trust_window: u32::MAX,
+                ..AdmissionConfig::default()
+            });
+            // ~584 years of simulated idle: elapsed * rate overflows
+            // u128 for rate = u64::MAX unless the refill saturates.
+            assert_eq!(
+                a.admit(SimTime::from_nanos(u64::MAX), false),
+                AdmissionVerdict::Admit
+            );
+            assert_eq!(
+                a.admit(SimTime::from_nanos(u64::MAX), true),
+                AdmissionVerdict::Admit
+            );
+        }
+    }
+
+    #[test]
+    fn saturated_trust_windows_never_overflow() {
+        let mut a = AdmissionController::new(AdmissionConfig {
+            trust_window: u32::MAX,
+            ..cfg()
+        });
+        let mut log = FaultLog::default();
+        a.window_good = u32::MAX - 1;
+        a.window_bad = u32::MAX - 1;
+        // The counters and their sum sit at the u32 rim; further
+        // feedback must saturate rather than wrap. The saturated total
+        // reaches the u32::MAX window, so it evaluates and resets —
+        // half bad keeps the tenant trusted (0.5 not >= ... demotes).
+        a.note_good(t(1), &mut log);
+        assert_eq!((a.window_good, a.window_bad), (0, 0), "window evaluated");
+        // And a second saturated round from the bad side.
+        a.window_good = u32::MAX;
+        a.window_bad = u32::MAX - 1;
+        a.note_bad(t(1), &mut log);
+        assert_eq!((a.window_good, a.window_bad), (0, 0));
+    }
+
+    #[test]
+    fn clamp_shift_cuts_the_refill_rate() {
+        let mut a = AdmissionController::new(cfg());
+        for _ in 0..4 {
+            a.admit(t(0), false);
+        }
+        assert_eq!(a.admit(t(0), false), AdmissionVerdict::Reject);
+        // Clamped by 2 (rate/4 = 250/s): 4 ms banks exactly 1 token
+        // instead of 4.
+        a.set_clamp_shift(t(0), 2);
+        assert_eq!(a.clamp_shift(), 2);
+        assert_eq!(a.admit(t(4), false), AdmissionVerdict::Admit);
+        assert_eq!(a.admit(t(4), false), AdmissionVerdict::Reject);
+        // Unclamping restores the full rate.
+        a.set_clamp_shift(t(4), 0);
+        assert_eq!(a.admit(t(8), false), AdmissionVerdict::Admit);
+        assert_eq!(a.admit(t(8), false), AdmissionVerdict::Admit);
     }
 
     #[test]

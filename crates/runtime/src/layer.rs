@@ -28,7 +28,7 @@ use sim_core::fault::{FaultKind, FaultLog, HintFaults};
 use sim_core::obs::{EventKind, Recorder};
 use sim_core::rng::Pcg32;
 use sim_core::sanitizer::{InvariantViolation, Mutation};
-use sim_core::{SimDuration, SimTime};
+use sim_core::{PressureLevel, SimDuration, SimTime};
 use vm::{Pid, VmSys, Vpn};
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionStats, AdmissionVerdict};
@@ -129,6 +129,9 @@ pub struct RtStats {
     pub prefetch_advisory_dropped: u64,
     /// Release completions the engine verified (frames actually freed).
     pub releases_verified: u64,
+    /// Prefetch pages dropped because the brownout ladder sits at
+    /// `Critical` or worse (machine-wide stand-down, not tenant fault).
+    pub prefetch_browned_out: u64,
 }
 
 /// The run-time layer for one process (see module docs).
@@ -156,6 +159,8 @@ pub struct RuntimeLayer {
     prefetch_tags: HashMap<Vpn, u32>,
     /// Suppressed release hints, kept as reactive eviction candidates.
     degraded: VecDeque<Vpn>,
+    /// Brownout ladder rung in force (engine-applied, machine-wide).
+    brownout: PressureLevel,
     /// Checked mode: run the hint-path invariant probes.
     checked: bool,
 }
@@ -181,6 +186,7 @@ impl RuntimeLayer {
             release_tags: HashMap::new(),
             prefetch_tags: HashMap::new(),
             degraded: VecDeque::new(),
+            brownout: PressureLevel::Normal,
             checked: false,
         }
     }
@@ -218,6 +224,34 @@ impl RuntimeLayer {
     /// The release policy in force.
     pub fn policy(&self) -> ReleasePolicy {
         self.policy
+    }
+
+    /// Applies a brownout ladder rung: at `Elevated`+ buffered/reactive
+    /// releases escalate to aggressive, at `Critical`+ prefetches are
+    /// disabled, and the admission refill rate is clamped by
+    /// `clamp_shift`. `Normal` (shift 0) restores stock behaviour — the
+    /// hysteresis unwind is exactly this call with a calmer rung.
+    pub fn set_brownout(&mut self, now: SimTime, level: PressureLevel, clamp_shift: u32) {
+        self.brownout = level;
+        if let Some(a) = self.admission.as_mut() {
+            a.set_clamp_shift(now, clamp_shift);
+        }
+    }
+
+    /// The brownout rung currently applied to this layer.
+    pub fn brownout(&self) -> PressureLevel {
+        self.brownout
+    }
+
+    /// The policy after brownout overrides: under pressure, buffered and
+    /// reactive releases escalate to aggressive so held pages reach the
+    /// free list now instead of at the next drain.
+    fn effective_policy(&self) -> ReleasePolicy {
+        if self.brownout >= PressureLevel::Elevated {
+            ReleasePolicy::Aggressive
+        } else {
+            self.policy
+        }
     }
 
     /// Accumulated statistics.
@@ -369,7 +403,7 @@ impl RuntimeLayer {
             return (Vec::new(), cost);
         }
         self.release_tags.insert(trailing, tag);
-        match self.policy {
+        match self.effective_policy() {
             ReleasePolicy::Reactive => {
                 self.buffers.buffer(tag, 1, trailing);
                 self.stats.release_buffered += 1;
@@ -588,6 +622,22 @@ impl RuntimeLayer {
                 pages: npages as u32,
             },
         );
+        // Brownout at Critical or worse: prefetches are disabled
+        // machine-wide, ahead of admission so the stand-down does not
+        // charge the tenant's token bucket.
+        if self.brownout >= PressureLevel::Critical {
+            self.stats.prefetch_browned_out += npages;
+            self.obs.emit_page(
+                now,
+                pid.0,
+                vpn.0,
+                EventKind::PrefetchSuppressed {
+                    tag,
+                    pages: npages as u32,
+                },
+            );
+            return (Vec::new(), cost);
+        }
         // Admission control runs ahead of everything else — including
         // the health monitor — so a flooding tenant cannot even buy tag
         // evaluations with its excess hints.
@@ -754,7 +804,7 @@ impl RuntimeLayer {
         }
 
         self.release_tags.insert(prev, tag);
-        match self.policy {
+        match self.effective_policy() {
             ReleasePolicy::Aggressive => {
                 self.stats.release_issued_direct += 1;
                 self.obs
@@ -856,6 +906,45 @@ mod tests {
         assert_eq!(rt.stats().prefetch_filtered, 2);
         assert_eq!(rt.stats().prefetch_issued, 2);
         assert!(cost > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn brownout_critical_disables_prefetch_without_charging_admission() {
+        let (vm, pid, r) = setup(128, 2);
+        let mut rt = RuntimeLayer::new(
+            ReleasePolicy::Aggressive,
+            RtConfig {
+                admission: Some(AdmissionConfig::default()),
+                ..RtConfig::default()
+            },
+        );
+        rt.set_brownout(t(1), PressureLevel::Critical, 2);
+        let (issue, _) = rt.on_prefetch_hint(&vm, pid, t(2), r.start, 4, 0);
+        assert!(issue.is_empty(), "prefetches stand down at Critical");
+        assert_eq!(rt.stats().prefetch_browned_out, 4);
+        assert_eq!(
+            rt.admission_stats().unwrap().admitted,
+            0,
+            "the stand-down never reaches the token bucket"
+        );
+        // Unwinding to Normal restores the prefetch path.
+        rt.set_brownout(t(3), PressureLevel::Normal, 0);
+        let (issue, _) = rt.on_prefetch_hint(&vm, pid, t(4), r.start, 4, 0);
+        assert_eq!(issue.len(), 2);
+    }
+
+    #[test]
+    fn brownout_elevated_escalates_buffered_releases() {
+        let (vm, pid, r) = setup(128, 3);
+        let mut rt = RuntimeLayer::new(ReleasePolicy::Buffered, RtConfig::default());
+        rt.set_brownout(t(1), PressureLevel::Elevated, 0);
+        // Priority > 0 would normally buffer; under brownout the release
+        // goes straight out (one-behind still applies).
+        rt.on_release_hint(&vm, pid, t(2), r.start, 3, 7);
+        let (second, _) = rt.on_release_hint(&vm, pid, t(2), r.start.offset(1), 3, 7);
+        assert_eq!(second, vec![r.start], "escalated to aggressive");
+        assert_eq!(rt.stats().release_buffered, 0);
+        assert_eq!(rt.stats().release_issued_direct, 1);
     }
 
     #[test]

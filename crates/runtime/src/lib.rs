@@ -33,6 +33,7 @@
 
 pub mod admission;
 pub mod bindings;
+pub mod brownout;
 pub mod exec;
 pub mod filter;
 pub mod health;
@@ -44,6 +45,7 @@ pub mod supervisor;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionStats, AdmissionVerdict};
 pub use bindings::{ArrayBinding, Bindings, IndirectGen, TripSpec};
+pub use brownout::{BrownoutConfig, BrownoutController, BrownoutStats};
 pub use exec::Executor;
 pub use health::{HealthConfig, HealthStats, HintHealth};
 pub use layer::{RtConfig, RtStats, RuntimeLayer};

@@ -587,6 +587,35 @@ pub enum FaultKind {
         /// Shared-bitmap bits re-derived from page-table residency.
         bitmap_fixups: u64,
     },
+    /// The brownout ladder moved (escalation or hysteresis unwind).
+    BrownoutShift {
+        /// Ladder level before the shift.
+        from: crate::PressureLevel,
+        /// Ladder level after the shift.
+        to: crate::PressureLevel,
+    },
+    /// The overload controller shed a tenant process entirely (typed
+    /// outcome — never a panic). Only tenants holding more than their
+    /// guaranteed share are eligible.
+    TenantShed {
+        /// Pid of the shed process.
+        pid: u32,
+        /// Resident pages the tenant held when shed.
+        rss: u64,
+        /// The tenant's guaranteed share (always < `rss` at shed time).
+        guaranteed: u64,
+    },
+    /// A process was killed because an allocation could not be satisfied
+    /// even after repeated forced reclaims (typed outcome — never a
+    /// panic). The uncontrolled counterpart of [`FaultKind::TenantShed`]:
+    /// this is what overload looks like when no ladder is defending the
+    /// machine, and it can hit *any* process, guaranteed share or not.
+    OomKill {
+        /// Pid of the killed process.
+        pid: u32,
+        /// Resident pages it held when killed.
+        rss: u64,
+    },
 }
 
 impl FaultKind {
@@ -615,6 +644,9 @@ impl FaultKind {
             FaultKind::TrustDemoted { .. } => "trust_demoted",
             FaultKind::TrustRestored => "trust_restored",
             FaultKind::StateReconciled { .. } => "state_reconciled",
+            FaultKind::BrownoutShift { .. } => "brownout_shift",
+            FaultKind::TenantShed { .. } => "tenant_shed",
+            FaultKind::OomKill { .. } => "oom_kill",
         }
     }
 
@@ -635,6 +667,9 @@ impl FaultKind {
                 | FaultKind::TrustDemoted { .. }
                 | FaultKind::TrustRestored
                 | FaultKind::StateReconciled { .. }
+                | FaultKind::BrownoutShift { .. }
+                | FaultKind::TenantShed { .. }
+                | FaultKind::OomKill { .. }
         )
     }
 
@@ -665,6 +700,9 @@ impl FaultKind {
             "trust_demoted",
             "trust_restored",
             "state_reconciled",
+            "brownout_shift",
+            "tenant_shed",
+            "oom_kill",
         ];
         KNOWN.iter().find(|&&k| k == name).copied()
     }

@@ -35,6 +35,7 @@ pub mod fault;
 pub mod fingerprint;
 pub mod obs;
 pub mod oracle;
+pub mod pressure;
 pub mod rng;
 pub mod sanitizer;
 pub mod stats;
@@ -42,4 +43,5 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventId, EventQueue, ScheduledEvent};
+pub use pressure::PressureLevel;
 pub use time::{SimDuration, SimTime};

@@ -244,6 +244,14 @@ pub enum EventKind {
         /// Submit-to-completion latency.
         dur: SimDuration,
     },
+    /// The graded memory-pressure signal changed level (emitted by the
+    /// VM pressure monitor; input to the brownout ladder).
+    PressureShift {
+        /// Level before the change.
+        from: crate::PressureLevel,
+        /// Level after the change.
+        to: crate::PressureLevel,
+    },
     /// An injected fault or degradation transition (from the fault log).
     Fault(FaultKind),
 }
@@ -289,6 +297,7 @@ impl EventKind {
             EventKind::ZeroFill => "zero_fill",
             EventKind::Io { write: false, .. } => "io_read",
             EventKind::Io { write: true, .. } => "io_write",
+            EventKind::PressureShift { .. } => "pressure_shift",
             EventKind::Fault(kind) => kind.name(),
         }
     }
@@ -327,7 +336,8 @@ impl EventKind {
             | EventKind::PrefetchValidated
             | EventKind::HardFault
             | EventKind::SoftFaultDaemon
-            | EventKind::ZeroFill => Subsystem::Vm,
+            | EventKind::ZeroFill
+            | EventKind::PressureShift { .. } => Subsystem::Vm,
             EventKind::Io { .. } => Subsystem::Disk,
             EventKind::Fault(_) => Subsystem::Fault,
         }
@@ -362,6 +372,10 @@ impl EventKind {
                 vec![("tag", U(tag.into())), ("priority", U(priority.into()))]
             }
             EventKind::Io { dur, .. } => vec![("dur_ns", U(dur.as_nanos()))],
+            EventKind::PressureShift { from, to } => vec![
+                ("from", ArgVal::S(from.name())),
+                ("to", ArgVal::S(to.name())),
+            ],
             EventKind::Fault(kind) => fault_args(&kind),
             _ => Vec::new(),
         }
@@ -442,6 +456,19 @@ fn fault_args(kind: &FaultKind) -> Vec<(&'static str, ArgVal)> {
             ("orphaned", U(orphaned)),
             ("bitmap_fixups", U(bitmap_fixups)),
         ],
+        FaultKind::BrownoutShift { from, to } => {
+            vec![("from", S(from.name())), ("to", S(to.name()))]
+        }
+        FaultKind::TenantShed {
+            pid,
+            rss,
+            guaranteed,
+        } => vec![
+            ("pid", U(pid.into())),
+            ("rss", U(rss)),
+            ("guaranteed", U(guaranteed)),
+        ],
+        FaultKind::OomKill { pid, rss } => vec![("pid", U(pid.into())), ("rss", U(rss))],
     }
 }
 
@@ -1128,6 +1155,27 @@ impl MetricsRegistry {
             format!("{prefix}_max_seconds"),
             help,
             hist.max().as_secs_f64(),
+        );
+    }
+
+    /// Registers an exact-tail summary under `prefix`: `_count`, plus
+    /// `_p50`/`_p99`/`_p999`/`_max` gauges (seconds) from nearest-rank
+    /// percentiles — the SLO surface, exact rather than bucketed.
+    pub fn tail(
+        &mut self,
+        prefix: &str,
+        help: &'static str,
+        digest: &mut crate::stats::TailDigest,
+    ) {
+        self.counter(format!("{prefix}_count"), help, digest.count());
+        let (p50, p99, p999) = digest.tail();
+        self.gauge(format!("{prefix}_p50_seconds"), help, p50.as_secs_f64());
+        self.gauge(format!("{prefix}_p99_seconds"), help, p99.as_secs_f64());
+        self.gauge(format!("{prefix}_p999_seconds"), help, p999.as_secs_f64());
+        self.gauge(
+            format!("{prefix}_max_seconds"),
+            help,
+            digest.max().as_secs_f64(),
         );
     }
 

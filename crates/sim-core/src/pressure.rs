@@ -1,0 +1,95 @@
+//! Graded memory-pressure levels shared by the VM monitor and the
+//! runtime brownout ladder.
+//!
+//! The level itself lives in `sim-core` because both ends of the
+//! overload-control loop speak it: `vm::pressure` derives it from
+//! free-memory slope, steal rate and quota-shield hits, and
+//! `runtime::brownout` keys its degradation ladder on it. The fault log
+//! ([`crate::fault::FaultKind::BrownoutShift`]) and the typed event
+//! stream ([`crate::obs::EventKind::PressureShift`]) both carry it, so
+//! it has to sit below both crates in the dependency graph.
+
+/// A graded memory-pressure signal, ordered from calm to collapse.
+///
+/// The ordering is load-bearing: the brownout ladder escalates
+/// immediately to any higher level and unwinds one rung at a time, so
+/// `PartialOrd`/`Ord` follow declaration order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default, Hash)]
+pub enum PressureLevel {
+    /// Free memory comfortably above target; no daemon activity.
+    #[default]
+    Normal,
+    /// Free memory below target or the paging daemon has started
+    /// stealing — the fleet should stop hoarding (aggressive releases).
+    Elevated,
+    /// Free memory falling under active stealing; discretionary
+    /// consumers (prefetches, hint bursts) must stand down.
+    Critical,
+    /// The machine is at the free-memory wall; only shedding load can
+    /// keep the survivors' tails bounded.
+    Emergency,
+}
+
+impl PressureLevel {
+    /// All levels, calmest first.
+    pub const ALL: [PressureLevel; 4] = [
+        PressureLevel::Normal,
+        PressureLevel::Elevated,
+        PressureLevel::Critical,
+        PressureLevel::Emergency,
+    ];
+
+    /// Stable lower-case name for logs, metrics and event args.
+    pub fn name(self) -> &'static str {
+        match self {
+            PressureLevel::Normal => "normal",
+            PressureLevel::Elevated => "elevated",
+            PressureLevel::Critical => "critical",
+            PressureLevel::Emergency => "emergency",
+        }
+    }
+
+    /// Ladder rung index (0..4), used for time-at-level accounting.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The level one rung calmer (saturating at [`PressureLevel::Normal`]).
+    pub fn step_down(self) -> PressureLevel {
+        match self {
+            PressureLevel::Normal | PressureLevel::Elevated => PressureLevel::Normal,
+            PressureLevel::Critical => PressureLevel::Elevated,
+            PressureLevel::Emergency => PressureLevel::Critical,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_severity() {
+        assert!(PressureLevel::Normal < PressureLevel::Elevated);
+        assert!(PressureLevel::Elevated < PressureLevel::Critical);
+        assert!(PressureLevel::Critical < PressureLevel::Emergency);
+    }
+
+    #[test]
+    fn step_down_is_one_rung_and_saturates() {
+        assert_eq!(
+            PressureLevel::Emergency.step_down(),
+            PressureLevel::Critical
+        );
+        assert_eq!(PressureLevel::Critical.step_down(), PressureLevel::Elevated);
+        assert_eq!(PressureLevel::Elevated.step_down(), PressureLevel::Normal);
+        assert_eq!(PressureLevel::Normal.step_down(), PressureLevel::Normal);
+    }
+
+    #[test]
+    fn indices_match_all() {
+        for (i, l) in PressureLevel::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i);
+        }
+    }
+}

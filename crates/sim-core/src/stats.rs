@@ -254,6 +254,100 @@ impl Histogram {
     }
 }
 
+/// An exact-tail latency digest: retains every recorded sample so
+/// p50/p99/p999 are *exact* nearest-rank percentiles, not bucket upper
+/// bounds like [`Histogram::quantile`]. Fleet-scale SLO enforcement
+/// (surge_matrix, `RunResult::fleet`) needs the exact tail because a
+/// power-of-two bucket near a bound can be off by almost 2x.
+///
+/// Nearest-rank definition: for `0 < p <= 1` over `n` sorted samples,
+/// the percentile is the sample at rank `ceil(p * n)` (1-based).
+#[derive(Clone, Debug, Default)]
+pub struct TailDigest {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl TailDigest {
+    /// An empty digest.
+    pub fn new() -> Self {
+        TailDigest::default()
+    }
+
+    /// Records one response-time sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Mean of the samples (zero if empty).
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| u128::from(s)).sum();
+        SimDuration::from_nanos((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// Largest sample (zero if empty).
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Exact nearest-rank percentile for `p` in `(0, 1]` (zero if empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1]`.
+    pub fn percentile(&mut self, p: f64) -> SimDuration {
+        assert!(p > 0.0 && p <= 1.0, "percentile out of range: {p}");
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.ensure_sorted();
+        let rank = ((p * self.samples.len() as f64).ceil() as usize).max(1);
+        SimDuration::from_nanos(self.samples[rank - 1])
+    }
+
+    /// The SLO trio: exact (p50, p99, p999).
+    pub fn tail(&mut self) -> (SimDuration, SimDuration, SimDuration) {
+        (
+            self.percentile(0.5),
+            self.percentile(0.99),
+            self.percentile(0.999),
+        )
+    }
+}
+
+/// Jain's fairness index over non-negative allocations:
+/// `(Σx)² / (n·Σx²)`. Ranges from `1/n` (one party gets everything) to
+/// `1.0` (perfect equality). Empty or all-zero inputs report `1.0`
+/// (nothing is being divided unfairly).
+pub fn jain(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sq)
+}
+
 /// A labelled (x, y) series, used for response-time sweeps (Figures 1, 10a).
 #[derive(Clone, Debug, Default)]
 pub struct Series {
@@ -498,5 +592,39 @@ mod tests {
         s.push(2.0, 5.0);
         s.push(3.0, 1.0);
         assert_eq!(s.max_y(), 5.0);
+    }
+
+    #[test]
+    fn tail_digest_nearest_rank() {
+        let mut d = TailDigest::new();
+        for ns in [30, 10, 20, 40] {
+            d.record(SimDuration::from_nanos(ns));
+        }
+        // ceil(0.5*4)=2 -> 20; ceil(0.99*4)=4 -> 40; p25 -> rank 1 -> 10.
+        assert_eq!(d.percentile(0.5).as_nanos(), 20);
+        assert_eq!(d.percentile(0.99).as_nanos(), 40);
+        assert_eq!(d.percentile(0.25).as_nanos(), 10);
+        assert_eq!(d.max().as_nanos(), 40);
+        assert_eq!(d.mean().as_nanos(), 25);
+        assert_eq!(d.count(), 4);
+    }
+
+    #[test]
+    fn tail_digest_empty_is_zero() {
+        let mut d = TailDigest::new();
+        assert_eq!(d.percentile(0.999), SimDuration::ZERO);
+        assert_eq!(
+            d.tail(),
+            (SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO)
+        );
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert_eq!(jain(&[]), 1.0);
+        assert_eq!(jain(&[0.0, 0.0]), 1.0);
+        assert!((jain(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One party gets everything: 1/n.
+        assert!((jain(&[9.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
     }
 }

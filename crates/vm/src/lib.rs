@@ -48,6 +48,7 @@ pub mod pagetable;
 pub mod pagingd;
 pub mod params;
 pub mod policy;
+pub mod pressure;
 pub mod quota;
 pub mod releaser;
 pub mod shared_page;
@@ -59,6 +60,7 @@ pub use addr::{PageRange, Pfn, Pid, Vpn};
 pub use outcome::{PrefetchOutcome, TouchKind, TouchResult};
 pub use pagetable::PageTableError;
 pub use params::{CostParams, Tunables};
+pub use pressure::PressureMonitor;
 pub use quota::{QuotaSet, TenantQuota};
 pub use stats::{ProcStats, VmStats};
 pub use vmsys::{Backing, SharedView, VmError, VmSys};

@@ -140,6 +140,9 @@ impl VmSys {
         // moves anything.
         self.checked_sweep(now);
         self.stats.pagingd.activations.bump();
+        if forced {
+            self.stats.pagingd.forced_activations.bump();
+        }
         let trim_target = self.over_limit_pid();
         let total = self.frames.len();
         if total == 0 {

@@ -8,6 +8,11 @@ use sim_core::SimDuration;
 pub struct PagingdStats {
     /// Activations ("number of times the paging daemon needs to operate").
     pub activations: Counter,
+    /// Forced activations: an allocation found the free list *empty* and
+    /// had to run the daemon inline. Nonzero deltas are the strongest
+    /// overload signal the machine produces (the pressure monitor grades
+    /// them straight to `Emergency`).
+    pub forced_activations: Counter,
     /// Frames examined across all clock passes.
     pub frames_scanned: Counter,
     /// Pages invalidated to sample references (each may later produce a

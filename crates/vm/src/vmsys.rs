@@ -1594,12 +1594,18 @@ impl VmSys {
     /// reactive candidates are dropped. RSS becomes zero.
     pub fn exit_process(&mut self, now: SimTime, pid: Pid) {
         let pidx = pid.0 as usize;
-        let vpns: Vec<Vpn> = self.procs[pidx]
+        let mut vpns: Vec<Vpn> = self.procs[pidx]
             .pt
             .iter()
             .filter(|(_, pte)| pte.resident())
             .map(|(&vpn, _)| vpn)
             .collect();
+        // The page table is a HashMap; freeing in its iteration order
+        // would push frames onto the free list in a run-to-run random
+        // sequence, and under memory pressure the pfn order leaks into
+        // which frames later steals visit first. Sort so exits (normal,
+        // shed, or OOM kill) leave bit-reproducible state behind.
+        vpns.sort_unstable();
         for vpn in vpns {
             let pfn = self.procs[pidx].pt.unmap(vpn);
             self.procs[pidx].tlb.invalidate(vpn);

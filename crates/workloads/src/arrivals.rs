@@ -1,0 +1,629 @@
+//! Fleet-scale seeded arrival processes and memory-pressure storms.
+//!
+//! The paper proves releases protect *one* interactive task beside *one*
+//! hog; the ROADMAP's datacenter setting is hundreds of hogs and
+//! thousands of latency-sensitive tasks. This module generates that
+//! fleet deterministically:
+//!
+//! * [`ArrivalProcess`] — open-loop interarrival generators: Poisson
+//!   (exponential gaps by inverse CDF) and ON/OFF bursty (Poisson gaps
+//!   confined to periodic ON windows). Every draw comes from a
+//!   [`Pcg32`] stream salted per concern, so the processes are
+//!   bit-identical across repeats and worker counts, and adding hogs
+//!   never perturbs the task arrivals.
+//! * [`ZipfTenants`] — zipfian tenant popularity: tenant `k` (1-based)
+//!   carries weight `1/k^s`, so a few tenants dominate the fleet the
+//!   way production multi-tenancy does.
+//! * [`FleetSpec`] — the whole fleet in one value: hog and task
+//!   populations, arrival processes, per-request working-set ranges,
+//!   closed-loop think time, an optional [`SurgeSpec`] storm, and the
+//!   brownout-ladder switch. [`FleetSpec::plan`] expands it into a flat
+//!   arrival table the scenario installer walks.
+//! * [`FleetHog`] — a terminating out-of-core hog op stream: sweeps its
+//!   working set with release hints one page behind (the paper's "R"/"B"
+//!   idiom), so the brownout ladder has buffered releases to escalate.
+//!   Interactive tasks reuse
+//!   [`InteractiveTask::with_pages`](crate::InteractiveTask) — the
+//!   closed-loop half: each task re-sweeps only after its think time.
+//!
+//! A [`SurgeSpec`] is the deterministic memory-pressure storm: a batch
+//! of synchronized hog arrivals with inflated working sets at a chosen
+//! instant, optionally combined with a mid-run `memory_limit` shrink
+//! routed through the existing `FaultPlan` daemon machinery
+//! (`shrink_limit_at` / `shrink_to_frac`).
+
+use runtime::{Op, OpStream};
+use sim_core::rng::Pcg32;
+use sim_core::{SimDuration, SimTime};
+use vm::Vpn;
+
+/// First directive tag used by fleet hogs (clear of the benchmarks' and
+/// adversaries' tag spaces).
+pub const FLEET_TAG_BASE: u32 = 20_000;
+
+// Per-concern Pcg32 stream salts: each draw sequence is independent, so
+// e.g. growing the hog population never shifts the task arrivals.
+const STREAM_HOG_ARRIVALS: u64 = 0x464c_4841; // "FLHA"
+const STREAM_TASK_ARRIVALS: u64 = 0x464c_5441; // "FLTA"
+const STREAM_HOG_TENANTS: u64 = 0x464c_4854; // "FLHT"
+const STREAM_TASK_TENANTS: u64 = 0x464c_5454; // "FLTT"
+const STREAM_TASK_PAGES: u64 = 0x464c_5457; // "FLTW"
+const STREAM_SURGE_TENANTS: u64 = 0x464c_5348; // "FLSH"
+
+/// An open-loop interarrival generator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at `rate_per_sec` (exponential gaps).
+    Poisson {
+        /// Mean arrival rate, per simulated second.
+        rate_per_sec: f64,
+    },
+    /// Bursty arrivals: Poisson at `rate_per_sec` inside periodic ON
+    /// windows, silence in the OFF windows. Models synchronized diurnal
+    /// or batch-triggered load.
+    OnOff {
+        /// Length of each ON window.
+        on: SimDuration,
+        /// Length of each OFF window following it.
+        off: SimDuration,
+        /// Arrival rate inside ON windows, per simulated second.
+        rate_per_sec: f64,
+    },
+}
+
+/// One exponential gap by inverse CDF, floored at 1 ns so time always
+/// advances.
+fn exp_gap_ns(rng: &mut Pcg32, rate_per_sec: f64) -> u64 {
+    let u = rng.next_f64();
+    let secs = -(1.0 - u).ln() / rate_per_sec;
+    ((secs * 1e9) as u64).max(1)
+}
+
+impl ArrivalProcess {
+    /// The first `max` arrival instants inside `[0, horizon)`,
+    /// deterministically from `rng`.
+    pub fn times(&self, rng: &mut Pcg32, horizon: SimDuration, max: usize) -> Vec<SimTime> {
+        let mut out = Vec::with_capacity(max);
+        match *self {
+            ArrivalProcess::Poisson { rate_per_sec } => {
+                let mut t = 0u64;
+                while out.len() < max {
+                    t += exp_gap_ns(rng, rate_per_sec);
+                    if t >= horizon.as_nanos() {
+                        break;
+                    }
+                    out.push(SimTime::from_nanos(t));
+                }
+            }
+            ArrivalProcess::OnOff {
+                on,
+                off,
+                rate_per_sec,
+            } => {
+                // Draw in *active* time (ON windows only), then map the
+                // active instant onto the wall clock by re-inserting the
+                // OFF windows: active `a` lands in ON window `a / on` at
+                // offset `a % on`.
+                let (on_ns, cycle_ns) = (on.as_nanos(), (on + off).as_nanos());
+                let mut active = 0u64;
+                while out.len() < max {
+                    active += exp_gap_ns(rng, rate_per_sec);
+                    let wall = (active / on_ns) * cycle_ns + active % on_ns;
+                    if wall >= horizon.as_nanos() {
+                        break;
+                    }
+                    out.push(SimTime::from_nanos(wall));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Zipfian tenant popularity: tenant `k` (0-based) has weight
+/// `1/(k+1)^s`. Draws are by precomputed-CDF inversion — one `next_f64`
+/// per draw, deterministic.
+#[derive(Clone, Debug)]
+pub struct ZipfTenants {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTenants {
+    /// A distribution over `n >= 1` tenants with exponent `s` (`0.0` is
+    /// uniform; `~1.0` is the classic web/tenant skew).
+    pub fn new(n: u32, s: f64) -> Self {
+        assert!(n >= 1, "at least one tenant");
+        let weights: Vec<f64> = (1..=n).map(|k| (f64::from(k)).powf(-s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        ZipfTenants { cdf }
+    }
+
+    /// Draws one tenant index in `0..n`.
+    pub fn draw(&self, rng: &mut Pcg32) -> u32 {
+        let u = rng.next_f64();
+        self.cdf
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.cdf.len() - 1) as u32
+    }
+}
+
+/// A deterministic memory-pressure storm scheduled inside a fleet run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SurgeSpec {
+    /// When the storm hits: all surge hogs of the first wave arrive at
+    /// this instant.
+    pub at: SimTime,
+    /// Synchronized hog arrivals per wave.
+    pub hogs: u32,
+    /// Number of synchronized waves (`>= 1`). A reactive ladder cannot
+    /// prevent the first wave's allocation stalls — its value shows in
+    /// how it absorbs the *later* waves, so storms worth demonstrating
+    /// on send several.
+    pub waves: u32,
+    /// Gap between consecutive wave fronts.
+    pub wave_gap: SimDuration,
+    /// The storm hogs' (inflated) working set, in pages.
+    pub hog_pages: u64,
+    /// Sweeps each storm hog performs before terminating (bounds the
+    /// storm; the post-storm recovery window starts once they drain).
+    pub hog_sweeps: u32,
+    /// Mid-run `memory_limit` shrink to this fraction at `at`, routed
+    /// through the FaultPlan daemon machinery. `1.0` = no shrink.
+    pub shrink_to_frac: f64,
+    /// Nominal storm window, used only for pre/post throughput
+    /// accounting (`RunResult::fleet`): pre-surge ends at `at`,
+    /// post-surge starts at `at + duration`.
+    pub duration: SimDuration,
+}
+
+impl Default for SurgeSpec {
+    fn default() -> Self {
+        SurgeSpec {
+            at: SimTime::from_nanos(2_000_000_000),
+            hogs: 8,
+            waves: 1,
+            wave_gap: SimDuration::from_millis(500),
+            hog_pages: 96,
+            hog_sweeps: 2,
+            shrink_to_frac: 1.0,
+            duration: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// A whole fleet, as one seeded value. Expanded by [`FleetSpec::plan`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetSpec {
+    /// Master seed: every stream below derives from it.
+    pub seed: u64,
+    /// Number of logical tenants sharing the machine.
+    pub tenants: u32,
+    /// Zipf popularity exponent over those tenants.
+    pub zipf_s: f64,
+    /// Baseline (non-surge) hog population.
+    pub hogs: u32,
+    /// Baseline hogs' working set, in pages.
+    pub hog_pages: u64,
+    /// Sweeps each baseline hog performs before terminating.
+    pub hog_sweeps: u32,
+    /// Guaranteed share (pages) each hog's tenant quota carries.
+    pub hog_guarantee: u64,
+    /// Open-loop arrival process for the baseline hogs.
+    pub hog_arrivals: ArrivalProcess,
+    /// Interactive task population.
+    pub tasks: u32,
+    /// Smallest per-request working set, in pages (inclusive).
+    pub task_pages_min: u64,
+    /// Largest per-request working set, in pages (inclusive).
+    pub task_pages_max: u64,
+    /// Sweeps each task performs before terminating (closed loop: each
+    /// sweep waits out the think time first).
+    pub task_sweeps: u32,
+    /// Closed-loop think time between a task's sweeps.
+    pub think: SimDuration,
+    /// Open-loop arrival process for the tasks.
+    pub task_arrivals: ArrivalProcess,
+    /// Arrivals are only generated inside `[0, horizon)`.
+    pub horizon: SimDuration,
+    /// The scheduled storm, if any.
+    pub surge: Option<SurgeSpec>,
+    /// Whether the brownout ladder (pressure monitor + overload
+    /// controller) is armed for this run.
+    pub ladder: bool,
+    /// Pressure-monitor sampling period (the ladder's control-loop
+    /// tick; the monitor itself is always armed for fleet runs).
+    pub pressure_period: SimDuration,
+}
+
+impl Default for FleetSpec {
+    fn default() -> Self {
+        FleetSpec {
+            seed: 42,
+            tenants: 4,
+            zipf_s: 1.0,
+            hogs: 8,
+            hog_pages: 64,
+            hog_sweeps: 2,
+            hog_guarantee: 16,
+            hog_arrivals: ArrivalProcess::Poisson { rate_per_sec: 4.0 },
+            tasks: 40,
+            task_pages_min: 4,
+            task_pages_max: 16,
+            task_sweeps: 3,
+            think: SimDuration::from_millis(50),
+            task_arrivals: ArrivalProcess::Poisson { rate_per_sec: 20.0 },
+            horizon: SimDuration::from_secs(8),
+            surge: None,
+            ladder: true,
+            pressure_period: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// One planned fleet process arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FleetArrival {
+    /// When the process starts.
+    pub start: SimTime,
+    /// The logical tenant it belongs to.
+    pub tenant: u32,
+    /// Its working set, in pages.
+    pub pages: u64,
+    /// Hog (open-loop, release-behind) or interactive task
+    /// (closed-loop, Mark-bracketed sweeps).
+    pub hog: bool,
+    /// Whether it belongs to the surge storm.
+    pub surge: bool,
+}
+
+impl FleetSpec {
+    /// The tuned demonstration storm for the scaled-down 600-frame
+    /// machine (`MachineConfig::small`): twelve disk-paced baseline hogs
+    /// and four hundred interactive tasks, hit at t=2 s by six
+    /// synchronized waves of 30 zero-fill hogs with inflated working
+    /// sets, 400 ms apart, while `memory_limit` shrinks to half.
+    ///
+    /// The regime is chosen so the defended and undefended runs diverge
+    /// sharply: with the ladder armed the fleet-wide p999 stays in the
+    /// low tens of milliseconds (a handful of over-guarantee hogs are
+    /// shed, nothing is OOM-killed); undefended, the same storm pushes
+    /// p999 past ten seconds and OOM-kills processes outright. Shared by
+    /// `tests/fleet.rs`, `bench --bin surge_matrix`, and
+    /// `hogtame fleet`.
+    pub fn storm_demo(ladder: bool) -> Self {
+        FleetSpec {
+            hogs: 12,
+            hog_pages: 96,
+            hog_sweeps: 3,
+            hog_guarantee: 8,
+            tasks: 400,
+            task_sweeps: 5,
+            horizon: SimDuration::from_secs(10),
+            pressure_period: SimDuration::from_millis(2),
+            surge: Some(SurgeSpec {
+                at: SimTime::from_nanos(2_000_000_000),
+                hogs: 30,
+                waves: 6,
+                wave_gap: SimDuration::from_millis(400),
+                hog_pages: 160,
+                hog_sweeps: 4,
+                shrink_to_frac: 0.5,
+                duration: SimDuration::from_secs(3),
+            }),
+            ladder,
+            ..FleetSpec::default()
+        }
+    }
+
+    /// A datacenter-scale population for the full 4800-frame machine
+    /// (`MachineConfig::origin200`): `hogs` out-of-core hogs and `tasks`
+    /// interactive tasks across sixteen zipf-weighted tenants. Working
+    /// sets are kept small so the scenario stresses *population* (event
+    /// volume, tenant accounting, tail bookkeeping) rather than
+    /// footprint; arrival rates are high enough that every planned
+    /// process lands inside the horizon.
+    pub fn datacenter(hogs: u32, tasks: u32) -> Self {
+        FleetSpec {
+            tenants: 16,
+            hogs,
+            hog_pages: 24,
+            hog_sweeps: 2,
+            hog_guarantee: 8,
+            hog_arrivals: ArrivalProcess::Poisson {
+                rate_per_sec: f64::from(hogs.max(1)) / 2.0,
+            },
+            tasks,
+            task_pages_min: 2,
+            task_pages_max: 6,
+            task_sweeps: 3,
+            task_arrivals: ArrivalProcess::Poisson {
+                rate_per_sec: f64::from(tasks.max(1)) / 2.0,
+            },
+            horizon: SimDuration::from_secs(8),
+            ..FleetSpec::default()
+        }
+    }
+
+    /// Expands the spec into the flat, deterministic arrival table:
+    /// baseline hogs, then surge hogs (all at `surge.at`), then tasks.
+    /// A pure function of the spec — no ambient state, no wall clock.
+    pub fn plan(&self) -> Vec<FleetArrival> {
+        let zipf = ZipfTenants::new(self.tenants, self.zipf_s);
+        let mut out = Vec::new();
+
+        let mut arr = Pcg32::new(self.seed, STREAM_HOG_ARRIVALS);
+        let mut ten = Pcg32::new(self.seed, STREAM_HOG_TENANTS);
+        for start in self
+            .hog_arrivals
+            .times(&mut arr, self.horizon, self.hogs as usize)
+        {
+            out.push(FleetArrival {
+                start,
+                tenant: zipf.draw(&mut ten),
+                pages: self.hog_pages,
+                hog: true,
+                surge: false,
+            });
+        }
+
+        if let Some(surge) = self.surge {
+            let mut ten = Pcg32::new(self.seed, STREAM_SURGE_TENANTS);
+            for wave in 0..surge.waves.max(1) {
+                let front =
+                    surge.at + SimDuration::from_nanos(surge.wave_gap.as_nanos() * u64::from(wave));
+                for _ in 0..surge.hogs {
+                    out.push(FleetArrival {
+                        start: front,
+                        tenant: zipf.draw(&mut ten),
+                        pages: surge.hog_pages,
+                        hog: true,
+                        surge: true,
+                    });
+                }
+            }
+        }
+
+        let mut arr = Pcg32::new(self.seed, STREAM_TASK_ARRIVALS);
+        let mut ten = Pcg32::new(self.seed, STREAM_TASK_TENANTS);
+        let mut pg = Pcg32::new(self.seed, STREAM_TASK_PAGES);
+        let span = self.task_pages_max - self.task_pages_min + 1;
+        for start in self
+            .task_arrivals
+            .times(&mut arr, self.horizon, self.tasks as usize)
+        {
+            out.push(FleetArrival {
+                start,
+                tenant: zipf.draw(&mut ten),
+                pages: self.task_pages_min + pg.next_below(span as u32) as u64,
+                hog: false,
+                surge: false,
+            });
+        }
+        out
+    }
+}
+
+/// A terminating out-of-core hog: sweeps `pages` sequentially `sweeps`
+/// times, releasing each page one behind the touch cursor (the paper's
+/// release-behind idiom), then retires its tag and ends. With a
+/// `Buffered` policy its releases sit in the priority queues — exactly
+/// what the brownout ladder escalates to aggressive under pressure.
+#[derive(Debug)]
+pub struct FleetHog {
+    base: Vpn,
+    pages: u64,
+    sweeps: u32,
+    tag: u32,
+    work_per_page: SimDuration,
+    sweep: u32,
+    cursor: u64,
+    phase: HogPhase,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum HogPhase {
+    Touch,
+    Release,
+    Retire,
+    Done,
+}
+
+impl FleetHog {
+    /// A hog over an already-mapped region starting at `base`.
+    pub fn new(base: Vpn, pages: u64, sweeps: u32, tag: u32) -> Self {
+        FleetHog {
+            base,
+            pages,
+            sweeps: sweeps.max(1),
+            tag,
+            // Out-of-core compute: ~25 µs of work per 16 KB page.
+            work_per_page: SimDuration::from_micros(25),
+            sweep: 0,
+            cursor: 0,
+            phase: HogPhase::Touch,
+        }
+    }
+}
+
+impl OpStream for FleetHog {
+    fn next_op(&mut self) -> Op {
+        match self.phase {
+            HogPhase::Touch => {
+                if self.cursor >= self.pages {
+                    self.cursor = 0;
+                    self.sweep += 1;
+                    if self.sweep >= self.sweeps {
+                        self.phase = HogPhase::Retire;
+                    }
+                    return Op::Compute(SimDuration::from_nanos(
+                        self.work_per_page.as_nanos() * self.pages,
+                    ));
+                }
+                self.phase = HogPhase::Release;
+                Op::Touch {
+                    vpn: Vpn(self.base.0 + self.cursor),
+                    write: self.sweep == 0,
+                }
+            }
+            HogPhase::Release => {
+                self.phase = HogPhase::Touch;
+                let vpn = Vpn(self.base.0 + self.cursor);
+                self.cursor += 1;
+                // Priority 1: expected reuse on the next sweep, so a
+                // Buffered policy holds it (and brownout can drain
+                // it); the one-behind filter keeps it safe.
+                Op::ReleaseHint {
+                    vpn,
+                    priority: 1,
+                    tag: self.tag,
+                }
+            }
+            HogPhase::Retire => {
+                self.phase = HogPhase::Done;
+                Op::RetireTag { tag: self.tag }
+            }
+            HogPhase::Done => Op::End,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_deterministic_and_inside_horizon() {
+        let p = ArrivalProcess::Poisson {
+            rate_per_sec: 100.0,
+        };
+        let h = SimDuration::from_secs(1);
+        let a = p.times(&mut Pcg32::new(7, 1), h, 1000);
+        let b = p.times(&mut Pcg32::new(7, 1), h, 1000);
+        assert_eq!(a, b, "same seed, same arrivals");
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|t| t.as_nanos() < h.as_nanos()));
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        // ~100 arrivals expected in 1 s at 100/s.
+        assert!(a.len() > 50 && a.len() <= 150, "got {}", a.len());
+    }
+
+    #[test]
+    fn on_off_confines_arrivals_to_on_windows() {
+        let p = ArrivalProcess::OnOff {
+            on: SimDuration::from_millis(100),
+            off: SimDuration::from_millis(400),
+            rate_per_sec: 500.0,
+        };
+        let arrivals = p.times(&mut Pcg32::new(3, 9), SimDuration::from_secs(2), 10_000);
+        assert!(!arrivals.is_empty());
+        for t in &arrivals {
+            let phase = t.as_nanos() % 500_000_000;
+            assert!(
+                phase < 100_000_000,
+                "arrival at {phase} ns is in an OFF window"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_tenants() {
+        let z = ZipfTenants::new(8, 1.2);
+        let mut rng = Pcg32::new(11, 4);
+        let mut counts = [0u32; 8];
+        for _ in 0..4000 {
+            counts[z.draw(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[3], "tenant 0 beats tenant 3: {counts:?}");
+        assert!(counts[0] > counts[7], "tenant 0 beats tenant 7: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "all tenants drawn: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let z = ZipfTenants::new(4, 0.0);
+        let mut rng = Pcg32::new(5, 5);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[z.draw(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "uniform-ish: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn plan_is_pure_and_respects_populations() {
+        let spec = FleetSpec {
+            surge: Some(SurgeSpec::default()),
+            ..FleetSpec::default()
+        };
+        let a = spec.plan();
+        let b = spec.plan();
+        assert_eq!(a, b, "plan is a pure function of the spec");
+        let hogs = a.iter().filter(|p| p.hog && !p.surge).count();
+        let surge = a.iter().filter(|p| p.surge).count();
+        let tasks = a.iter().filter(|p| !p.hog).count();
+        assert!(hogs <= spec.hogs as usize);
+        assert_eq!(surge, 8);
+        assert!(tasks <= spec.tasks as usize);
+        let at = SurgeSpec::default().at;
+        assert!(a.iter().filter(|p| p.surge).all(|p| p.start == at));
+        for p in &a {
+            if !p.hog {
+                assert!((spec.task_pages_min..=spec.task_pages_max).contains(&p.pages));
+            }
+        }
+    }
+
+    #[test]
+    fn growing_the_hog_population_leaves_tasks_untouched() {
+        let small = FleetSpec::default();
+        let big = FleetSpec {
+            hogs: small.hogs * 4,
+            ..small.clone()
+        };
+        let tasks_small: Vec<_> = small.plan().into_iter().filter(|p| !p.hog).collect();
+        let tasks_big: Vec<_> = big.plan().into_iter().filter(|p| !p.hog).collect();
+        assert_eq!(tasks_small, tasks_big, "independent streams per concern");
+    }
+
+    #[test]
+    fn fleet_hog_terminates_with_release_behind() {
+        let mut hog = FleetHog::new(Vpn(100), 4, 2, 77);
+        let mut touches = 0;
+        let mut releases = 0;
+        let mut retired = false;
+        for _ in 0..200 {
+            match hog.next_op() {
+                Op::Touch { .. } => touches += 1,
+                Op::ReleaseHint { tag, priority, .. } => {
+                    assert_eq!(tag, 77);
+                    assert_eq!(priority, 1);
+                    releases += 1;
+                }
+                Op::RetireTag { tag } => {
+                    assert_eq!(tag, 77);
+                    retired = true;
+                }
+                Op::End => break,
+                _ => {}
+            }
+        }
+        assert_eq!(touches, 8, "4 pages x 2 sweeps");
+        assert_eq!(releases, 8, "one release per touch");
+        assert!(retired);
+        assert_eq!(hog.next_op(), Op::End, "End repeats");
+    }
+}

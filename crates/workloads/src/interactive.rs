@@ -46,11 +46,17 @@ impl InteractiveTask {
     /// `sleep` is the think time between sweeps; `max_sweeps` bounds the
     /// run (`None` = run until the simulation stops).
     pub fn new(base: Vpn, sleep: SimDuration, max_sweeps: Option<u32>) -> Self {
+        InteractiveTask::with_pages(base, PAGES, sleep, max_sweeps)
+    }
+
+    /// The same task shape with a parametric working set — the fleet
+    /// arrival processes ([`crate::arrivals`]) draw a per-request size.
+    pub fn with_pages(base: Vpn, pages: u64, sleep: SimDuration, max_sweeps: Option<u32>) -> Self {
         InteractiveTask {
             base,
-            pages: PAGES,
+            pages,
             sleep,
-            // Touching 1 MB at memory speed: ~15 µs per 16 KB page.
+            // Touching the set at memory speed: ~15 µs per 16 KB page.
             work_per_page: SimDuration::from_micros(15),
             max_sweeps,
             state: State::StartSweep,

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod arrivals;
 pub mod buk;
 pub mod cgm;
 pub mod embar;
@@ -37,6 +38,7 @@ pub mod spec;
 pub mod stencil;
 
 pub use adversary::AdversaryTask;
+pub use arrivals::{ArrivalProcess, FleetArrival, FleetHog, FleetSpec, SurgeSpec, ZipfTenants};
 pub use interactive::InteractiveTask;
 pub use spec::{ArraySpec, BenchSpec, Table2Row};
 

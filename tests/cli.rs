@@ -235,6 +235,43 @@ fn stats_output_is_stable_across_runs() {
     let _ = fs::remove_dir_all(&db);
 }
 
+#[test]
+fn fleet_renders_tails_and_overload_record() {
+    let dir = scratch("fleet");
+    // `--calm` drops the storm: the run exercises the whole fleet path
+    // (arrivals, pressure sampling, per-tenant tails) in seconds.
+    let out = hogtame(&["fleet", "--calm"], &dir);
+    assert!(
+        out.status.success(),
+        "fleet failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "(all)",
+        "fairness (Jain over per-tenant means):",
+        "tenants shed:",
+        "brownout transitions:",
+        "time at level:",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in: {stdout}");
+    }
+    let prom = fs::read_to_string(dir.join("fleet_calm.prom")).expect(".prom artifact");
+    assert!(prom.contains("# TYPE"), "Prometheus exposition format");
+    assert!(
+        fs::read_to_string(dir.join("fleet_calm.txt"))
+            .expect(".txt artifact")
+            .contains("tenant"),
+        "tail table persisted"
+    );
+
+    // Bad flags exit 2 with usage, like every other subcommand.
+    let bad = hogtame(&["fleet", "--bogus"], &dir);
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("usage:"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
 // The JSON checker itself is load-bearing for the assertions above; pin
 // its judgement on both sides.
 #[test]
