@@ -47,6 +47,25 @@ fn time_grid(observe: bool) -> (f64, Vec<(u64, u64, u64)>) {
     let t = Instant::now();
     let outs = exec::run_all_journaled(grid(observe), 1, None);
     let wall = t.elapsed().as_secs_f64();
+    // The span tracker's opt-in contract (checked outside the timed
+    // region): observed runs carry a span report and span events;
+    // unobserved runs carry neither — the disabled path is one Option
+    // check per op, which is exactly what this binary prices.
+    for r in &outs {
+        let out = r.as_ref().expect("MATVEC runs");
+        let n = out.run.events.count("span_request");
+        if observe {
+            assert!(
+                out.run.spans.is_some() && n > 0,
+                "observed runs must carry span requests (got {n})"
+            );
+        } else {
+            assert!(
+                out.run.spans.is_none() && n == 0,
+                "unobserved runs must carry no spans (got {n})"
+            );
+        }
+    }
     let sims = outs
         .iter()
         .map(|r| {

@@ -32,6 +32,51 @@ fn measure(name: &'static str, req: RunRequest) -> Sample {
     }
 }
 
+/// Extracts `"ops_per_sec"` for `scenario` from the baseline JSON (one
+/// sample object per line, exactly as this binary writes it). `None`
+/// when the scenario or field is missing — the comparison is skipped.
+fn baseline_ops_per_sec(json: &str, scenario: &str) -> Option<f64> {
+    let needle = format!("\"scenario\": \"{scenario}\"");
+    let line = json.lines().find(|l| l.contains(&needle))?;
+    let field = "\"ops_per_sec\": ";
+    let at = line.find(field)? + field.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '.')
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Soft-fail regression gate: compares each sample against the committed
+/// baseline (`HOGTAME_BASELINE`, default `BENCH_fleet.json` in the
+/// working directory) and prints a GitHub `::warning::` annotation when
+/// throughput falls below 75% of it. Wall-clock is hostile to hard
+/// gates — shared CI runners jitter far more than the simulator — so
+/// this warns instead of failing, and the fresh JSON is archived for
+/// human comparison.
+fn check_baseline(samples: &[Sample]) {
+    let path = std::env::var("HOGTAME_BASELINE").unwrap_or_else(|_| "BENCH_fleet.json".to_string());
+    let Ok(base) = std::fs::read_to_string(&path) else {
+        println!("no baseline at {path}; comparison skipped");
+        return;
+    };
+    for s in samples {
+        let cur = s.ops as f64 / (s.wall_ms / 1e3).max(1e-9);
+        match baseline_ops_per_sec(&base, s.name) {
+            Some(b) if cur < 0.75 * b => println!(
+                "::warning file={path}::perf regression: {} at {cur:.0} ops/sec, \
+                 below 75% of the committed baseline ({b:.0})",
+                s.name
+            ),
+            Some(b) => println!(
+                "baseline check: {} {cur:.0} ops/sec vs committed {b:.0} (ok)",
+                s.name
+            ),
+            None => println!("baseline check: {} not in {path}; skipped", s.name),
+        }
+    }
+}
+
 fn main() {
     let samples = [
         // The paper's small reproduction: one compiled out-of-core hog
@@ -84,4 +129,5 @@ fn main() {
         .write_raw("json", &json)
         .expect("BENCH_fleet.json written");
     println!("wrote {}", path.display());
+    check_baseline(&samples);
 }

@@ -11,6 +11,7 @@
 //! hogtame fleet                        # defended storm: tails, sheds, ladder record
 //! hogtame fleet --no-ladder            # the same storm undefended
 //! hogtame fleet --datacenter           # 200 hogs + 2000 tasks on the full machine
+//! hogtame why                          # "why is my p999 slow?" — blame table + exemplars
 //! ```
 
 use hogtame::prelude::*;
@@ -21,7 +22,8 @@ fn usage() -> ! {
          hogtame run <BENCH> [O|P|R|B|V] [--sleep SECS] [--timeline] [--trace] [--no-interactive]\n  \
          hogtame trace <BENCH> [O|P|R|B|V] [--sleep SECS] [--no-interactive]\n  \
          hogtame stats <BENCH> [O|P|R|B|V] [--sleep SECS] [--no-interactive]\n  \
-         hogtame fleet [--calm] [--no-ladder] [--datacenter] [--seed N]"
+         hogtame fleet [--calm] [--no-ladder] [--datacenter] [--seed N]\n  \
+         hogtame why [--calm] [--no-ladder] [--datacenter] [--seed N]"
     );
     std::process::exit(2);
 }
@@ -268,6 +270,22 @@ fn cmd_stats(bench: &str, version: Version, sleep: f64, interactive: bool) {
             a.releases_verified
         );
     }
+    // Quota-defense counters: how often the paging daemon was forced
+    // past the quota shield, how many steals the shield deflected, and
+    // how many prefetch pages tenant quotas denied.
+    let vm = &result.run.vm_stats;
+    let denied: u64 = result
+        .run
+        .procs
+        .iter()
+        .map(|p| vm.proc(p.pid.0 as usize).prefetch_quota_denied.get())
+        .sum();
+    println!(
+        "quota defenses: {} forced activations, {} quota-protected steals, {} prefetch pages denied by quota",
+        vm.pagingd.forced_activations.get(),
+        vm.pagingd.quota_protected.get(),
+        denied
+    );
     if let Some(f) = result.run.fleet.as_ref() {
         println!("{}", fleet_table(f).render());
         print!("{}", fleet_summary(f));
@@ -284,16 +302,18 @@ fn cmd_stats(bench: &str, version: Version, sleep: f64, interactive: bool) {
 /// sampling, and (unless `--no-ladder`) the brownout ladder defending —
 /// rendered as the per-tenant tail table plus the overload-control
 /// record.
-fn cmd_fleet(args: &[String]) {
+/// Parses the shared `fleet`/`why` flags into a fleet spec, the machine
+/// to run it on, and an artifact-stem suffix.
+fn parse_fleet_args(args: &[String]) -> (FleetSpec, MachineConfig, &'static str) {
     let mut spec = FleetSpec::storm_demo(true);
     let mut machine = MachineConfig::small();
-    let mut stem = "fleet_storm";
+    let mut stem = "storm";
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--calm" => {
                 spec.surge = None;
-                stem = "fleet_calm";
+                stem = "calm";
             }
             "--no-ladder" => spec.ladder = false,
             "--datacenter" => {
@@ -305,7 +325,7 @@ fn cmd_fleet(args: &[String]) {
                     spec.surge = None;
                 }
                 machine = MachineConfig::origin200();
-                stem = "fleet_datacenter";
+                stem = "datacenter";
             }
             "--seed" => {
                 i += 1;
@@ -318,6 +338,12 @@ fn cmd_fleet(args: &[String]) {
         }
         i += 1;
     }
+    (spec, machine, stem)
+}
+
+fn cmd_fleet(args: &[String]) {
+    let (spec, machine, suffix) = parse_fleet_args(args);
+    let stem = format!("fleet_{suffix}");
     let result = match RunRequest::on(machine).fleet(spec.clone()).run() {
         Ok(result) => result,
         Err(e) => {
@@ -336,13 +362,89 @@ fn cmd_fleet(args: &[String]) {
     let table = fleet_table(f);
     println!("{}", table.render());
     print!("{}", fleet_summary(f));
-    let artifact = Artifact::new(stem, "Fleet run: per-tenant tails and overload control");
+    let artifact = Artifact::new(&stem, "Fleet run: per-tenant tails and overload control");
     if let Err(e) = artifact.write_table(&table) {
         eprintln!("warning: could not persist {stem}.txt: {e}");
     }
     let prom = result.run.metrics.to_prometheus();
     if let Err(e) = artifact.write_raw("prom", &prom) {
         eprintln!("warning: could not persist {stem}.prom: {e}");
+    }
+}
+
+/// `hogtame why`: the tail debugger. Re-runs the fleet scenario with the
+/// span tracker armed and answers "why is my p999 slow?" — the exact
+/// tenant × pressure-level × state blame table, the per-state latency
+/// totals, and the p999/slowest request exemplars as critical-path
+/// timelines. Also exports the span-augmented Chrome trace.
+fn cmd_why(args: &[String]) {
+    let (spec, machine, suffix) = parse_fleet_args(args);
+    let stem = format!("why_{suffix}");
+    let result = match RunRequest::on(machine).fleet(spec.clone()).observe().run() {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let f = result.run.fleet.as_ref().expect("fleet runs carry stats");
+    let spans = result
+        .run
+        .spans
+        .as_ref()
+        .expect("observed runs carry spans");
+    println!(
+        "why: {} processes, {} tenants, ladder {}, ended at {:.3} s (simulated)",
+        result.run.procs.len(),
+        spec.tenants,
+        if spec.ladder { "on" } else { "off" },
+        result.run.end_time.as_secs_f64()
+    );
+    let mut text = String::new();
+    text.push_str(&fleet_table(f).render());
+    text.push('\n');
+    text.push_str(&span_summary(spans));
+    text.push_str(
+        "blame table (tenant x pressure level x state; reconciles to total tracked latency):\n",
+    );
+    let blame = blame_table(spans);
+    text.push_str(&blame.render());
+    text.push('\n');
+    if let Some(ex) = spans.p999_exemplar() {
+        text.push_str(&exemplar_timeline(
+            &format!(
+                "p999 exemplar (rank {} of {})",
+                spans.p999_rank(),
+                spans.sweeps_closed
+            ),
+            ex,
+        ));
+        text.push_str(&format!(
+            "fleet digest p999 cross-check: {:.3} ms\n",
+            f.overall.p999.as_millis_f64()
+        ));
+    }
+    if let (Some(p999), Some(slow)) = (spans.p999_exemplar(), spans.slowest()) {
+        if p999.summary.req != slow.summary.req {
+            text.push('\n');
+            text.push_str(&exemplar_timeline("slowest request", slow));
+        }
+    }
+    print!("{text}");
+    let artifact = Artifact::new(&stem, "Tail debugger: span blame table and exemplars");
+    if let Err(e) = artifact.write_raw("txt", &text) {
+        eprintln!("warning: could not persist {stem}.txt: {e}");
+    }
+    let proc_names: Vec<String> = result.run.procs.iter().map(|p| p.name.clone()).collect();
+    match artifact.write_raw(
+        "trace.json",
+        &result.run.events.to_chrome_trace(&proc_names),
+    ) {
+        Ok(path) => println!(
+            "wrote {} (span-augmented; open in Perfetto / chrome://tracing)",
+            path.display()
+        ),
+        Err(e) => eprintln!("warning: could not persist {stem}.trace.json: {e}"),
     }
 }
 
@@ -425,6 +527,7 @@ fn main() {
             cmd_stats(&bench, version, sleep, interactive);
         }
         Some("fleet") => cmd_fleet(&args[1..]),
+        Some("why") => cmd_why(&args[1..]),
         _ => usage(),
     }
 }

@@ -13,6 +13,7 @@ use runtime::prefetcher::PrefetchPool;
 use runtime::supervisor::{RestartOutcome, Supervisor};
 use runtime::{BrownoutConfig, BrownoutController, Mark, Op, OpStream, RuntimeLayer};
 use sim_core::fault::{CrashComponent, FaultDomain, FaultKind, FaultLog, FaultPlan};
+use sim_core::obs::span::{SpanKind, SpanReport, SpanState, SpanTracker};
 use sim_core::obs::{EventKind, EventStream, MetricsRegistry, Recorder};
 use sim_core::rng::Pcg32;
 use sim_core::sanitizer::{Mutation, MutationTarget};
@@ -109,6 +110,14 @@ struct EngineProc {
     shed: bool,
     /// The process died on an unsatisfiable allocation (typed OOM kill).
     oom_killed: bool,
+    /// The open span request this process is executing under, when the
+    /// span tracker is armed: a `Sweep` request between sweep marks, or
+    /// a provisional whole-process `Batch` request for sweepless streams.
+    span_req: Option<sim_core::obs::span::ReqId>,
+    /// The stream has produced at least one `SweepStart`: request
+    /// identity is per-sweep, so no `Batch` request may open between
+    /// sweeps.
+    saw_sweep: bool,
 }
 
 /// Per-process results of a run.
@@ -294,6 +303,10 @@ pub struct RunResult {
     /// record) — `None` unless the run was tenant-tagged or pressure-
     /// monitored.
     pub fleet: Option<FleetStats>,
+    /// Per-request causal span report (state blame table, critical
+    /// paths, top-k exemplars) — `None` unless the run observed via
+    /// [`Engine::with_observability`].
+    pub spans: Option<SpanReport>,
 }
 
 /// The simulation engine (see module docs).
@@ -360,6 +373,9 @@ pub struct Engine {
     level_clock: ([SimDuration; 4], SimTime, PressureLevel),
     /// Every tenant shed by the ladder, in order.
     shed_log: Vec<ShedRecord>,
+    /// The per-request span tracker, when the run observes (armed by
+    /// [`Engine::with_observability`]).
+    spans: Option<SpanTracker>,
     /// Safety valve: stop even if primaries never finish.
     pub max_time: SimTime,
 }
@@ -402,6 +418,7 @@ impl Engine {
             sweep_log: Vec::new(),
             level_clock: ([SimDuration::ZERO; 4], SimTime::ZERO, PressureLevel::Normal),
             shed_log: Vec::new(),
+            spans: None,
             max_time: SimTime::from_nanos(u64::MAX / 2),
         }
     }
@@ -481,6 +498,7 @@ impl Engine {
         self.observe = true;
         self.vm.set_trace_enabled(true);
         self.vm.swap_mut().set_obs_enabled(true);
+        self.spans = Some(SpanTracker::new());
         self
     }
 
@@ -618,6 +636,8 @@ impl Engine {
             tenant: None,
             shed: false,
             oom_killed: false,
+            span_req: None,
+            saw_sweep: false,
         });
     }
 
@@ -867,10 +887,14 @@ impl Engine {
                 fault_log.merge(rt.fault_log());
             }
         }
+        // Seal the span tracker first: requests still open at end of run
+        // are counted as unfinished, everything closed becomes the report.
+        let spans = self.spans.take().map(SpanTracker::finish);
         // One merged, time-sorted event stream: the VM's recorder, each
-        // run-time layer's (in registration order), the swap array's, then
-        // the fault log — a fixed absorb order so the sealed stream is
-        // byte-identical however the grid was scheduled.
+        // run-time layer's (in registration order), the swap array's, the
+        // span tracker's, then the fault log — a fixed absorb order so
+        // the sealed stream is byte-identical however the grid was
+        // scheduled.
         let mut events = EventStream::new();
         events.absorb(self.vm.recorder());
         for p in &self.procs {
@@ -879,6 +903,9 @@ impl Engine {
             }
         }
         events.absorb(self.vm.swap().recorder());
+        if let Some((rec, _)) = spans.as_ref() {
+            events.absorb(rec);
+        }
         events.absorb_faults(&fault_log);
         events.seal();
         // Degradation transitions (and the limit shrink) annotate the
@@ -911,6 +938,7 @@ impl Engine {
             events,
             metrics,
             fleet,
+            spans: spans.map(|(_, report)| report),
         }
     }
 
@@ -1079,6 +1107,22 @@ impl Engine {
             "Entries in the merged fault/degradation log",
             fault_log.events().len() as u64,
         );
+        // The overload-control state the run ended in, exported whenever
+        // the corresponding subsystem is armed (fleet or not).
+        if let Some((_, mon)) = self.pressure.as_ref() {
+            m.gauge(
+                "hogtame_pressure_level",
+                "Final graded memory-pressure level (0=normal .. 3=emergency)",
+                mon.level().index() as f64,
+            );
+        }
+        if let Some(ctrl) = self.brownout.as_ref() {
+            m.gauge(
+                "hogtame_brownout_rung",
+                "Final brownout-ladder rung (0=normal .. 3=emergency)",
+                ctrl.level().index() as f64,
+            );
+        }
         // Per-process metric families are only useful at human scale; a
         // 2000-process fleet would explode the registry, so those runs
         // keep the machine-level families plus the fleet aggregates.
@@ -1169,6 +1213,35 @@ impl Engine {
         saw_primary
     }
 
+    /// Lazily opens a whole-process `Batch` span request: a sweepless
+    /// process becomes one request spanning its first timed op to its
+    /// finish. Sweep streams are opened per-sweep by `SweepStart`
+    /// instead, and a provisional batch request is discarded without a
+    /// trace if a sweep mark does arrive.
+    fn span_ensure(&mut self, i: usize) {
+        let Some(tracker) = self.spans.as_mut() else {
+            return;
+        };
+        let p = &mut self.procs[i];
+        if p.span_req.is_none() && !p.saw_sweep {
+            let tenant = p.tenant.unwrap_or(u32::MAX);
+            p.span_req = Some(tracker.open(p.pid.0, tenant, SpanKind::Batch, p.local));
+        }
+    }
+
+    /// Attributes `[start, start + dur)` of process `i`'s open span
+    /// request to `state`. A no-op when the tracker is off, the process
+    /// has no open request, or the interval is empty.
+    fn span_add(&mut self, i: usize, state: SpanState, start: SimTime, dur: SimDuration) {
+        let Some(tracker) = self.spans.as_mut() else {
+            return;
+        };
+        let Some(req) = self.procs[i].span_req else {
+            return;
+        };
+        tracker.add(req, state, start, dur);
+    }
+
     fn run_proc(&mut self, i: usize) {
         if self.procs[i].finished {
             return;
@@ -1191,6 +1264,12 @@ impl Engine {
             let op = self.procs[i].stream.next_op();
             executed += 1;
             self.procs[i].ops_executed += 1;
+            // Every timed op belongs to a request: open the lazy batch
+            // request before dispatch (marks manage their own identity,
+            // and `End` closes in `finish_proc`).
+            if self.spans.is_some() && !matches!(op, Op::Mark(_) | Op::End) {
+                self.span_ensure(i);
+            }
             match op {
                 Op::Compute(d) => {
                     let at = self.procs[i].local;
@@ -1199,6 +1278,8 @@ impl Engine {
                     p.breakdown.add(TimeCategory::StallResource, wait);
                     p.breakdown.add(TimeCategory::User, d);
                     p.local = start + d;
+                    self.span_add(i, SpanState::Queued, at, wait);
+                    self.span_add(i, SpanState::Running, start, d);
                 }
                 Op::Touch { vpn, write } => {
                     self.op_touch(i, vpn, write);
@@ -1212,12 +1293,26 @@ impl Engine {
                 Op::RetireTag { tag } => self.op_retire_tag(i, tag),
                 Op::Sleep(d) => {
                     // Think time: wall-clock passes without execution.
+                    let at = self.procs[i].local;
                     self.procs[i].local += d;
+                    self.span_add(i, SpanState::Idle, at, d);
                 }
                 Op::Mark(Mark::SweepStart) => {
                     let p = &mut self.procs[i];
                     p.sweep_start = Some(p.local);
                     p.sweep_fault_base = self.vm.stats().proc(p.pid.0 as usize).hard_faults.get();
+                    // Request identity becomes per-sweep: a provisional
+                    // batch request (or an unterminated earlier sweep)
+                    // is discarded, and this sweep opens fresh.
+                    if let Some(tracker) = self.spans.as_mut() {
+                        let p = &mut self.procs[i];
+                        if let Some(req) = p.span_req.take() {
+                            tracker.discard(req);
+                        }
+                        p.saw_sweep = true;
+                        let tenant = p.tenant.unwrap_or(u32::MAX);
+                        p.span_req = Some(tracker.open(p.pid.0, tenant, SpanKind::Sweep, p.local));
+                    }
                 }
                 Op::Mark(Mark::SweepEnd) => {
                     let now_faults = {
@@ -1225,6 +1320,7 @@ impl Engine {
                         self.vm.stats().proc(p.pid.0 as usize).hard_faults.get()
                     };
                     let p = &mut self.procs[i];
+                    let mut span_close = None;
                     if let Some(start) = p.sweep_start.take() {
                         let resp = p.local.since(start);
                         p.sweeps.push(resp);
@@ -1232,6 +1328,10 @@ impl Engine {
                         if let Some(tenant) = p.tenant {
                             self.sweep_log.push((p.local, tenant, resp));
                         }
+                        span_close = p.span_req.take().map(|req| (req, p.local));
+                    }
+                    if let (Some(tracker), Some((req, at))) = (self.spans.as_mut(), span_close) {
+                        tracker.close(req, at, false);
                     }
                 }
                 Op::End => {
@@ -1266,6 +1366,26 @@ impl Engine {
             .add(TimeCategory::StallResource, res.resource_wait);
         p.breakdown.add(TimeCategory::StallIo, res.io_wait);
         p.local = res.done_at;
+        if self.spans.is_some() && self.procs[i].span_req.is_some() {
+            // Tile `[local, done_at]` exactly: the TouchResult invariant
+            // (`done_at - now == system + resource_wait + io_wait`, with
+            // `lock_wait ⊆ resource_wait` and `io_queue ⊆ io_wait`)
+            // guarantees the four tiles sum to the touch's latency.
+            let fault = res.system + res.resource_wait.saturating_sub(res.lock_wait);
+            let queue = res.io_queue.min(res.io_wait);
+            let xfer = res.io_wait.saturating_sub(queue);
+            let mut at = local;
+            for (state, d) in [
+                (SpanState::HardFaultStall, fault),
+                (SpanState::LockWait, res.lock_wait),
+                (SpanState::SwapQueue, queue),
+                (SpanState::SwapTransfer, xfer),
+            ] {
+                self.span_add(i, state, at, d);
+                at += d;
+            }
+            debug_assert_eq!(at, res.done_at);
+        }
         // Hint-effectiveness feedback: a cancelled release or free-list
         // rescue here charges a misfire to the hinting tag.
         let touch_now = self.procs[i].local;
@@ -1280,14 +1400,38 @@ impl Engine {
             return;
         }
         let (pid, now) = (self.procs[i].pid, self.procs[i].local);
+        let track = self.spans.is_some() && self.procs[i].span_req.is_some();
         let Some(rt) = self.procs[i].rt.as_mut() else {
             return;
         };
+        let rejected_before = if track {
+            let s = rt.stats();
+            s.prefetch_rejected + s.prefetch_advisory_dropped
+        } else {
+            0
+        };
         let (pages, cost) = rt.on_prefetch_hint(&self.vm, pid, now, vpn, npages, tag);
+        // The hint call's CPU cost is Running unless the admission
+        // limiter rejected pages (AdmissionWait) or the brownout ladder
+        // is engaged (Throttled) — classified by counter deltas so the
+        // attribution is exact, not heuristic.
+        let state = if track {
+            let s = rt.stats();
+            if s.prefetch_rejected + s.prefetch_advisory_dropped > rejected_before {
+                SpanState::AdmissionWait
+            } else if rt.brownout() != PressureLevel::Normal {
+                SpanState::Throttled
+            } else {
+                SpanState::Running
+            }
+        } else {
+            SpanState::Running
+        };
         let p = &mut self.procs[i];
         p.breakdown.add(TimeCategory::User, cost);
         p.local += cost;
         let local = p.local;
+        self.span_add(i, state, now, cost);
         if !self.prefetch_alive {
             // The pthread pool is dead: the filtered pages are simply not
             // prefetched and will demand-fault later.
@@ -1317,14 +1461,32 @@ impl Engine {
             return;
         }
         let (pid, now) = (self.procs[i].pid, self.procs[i].local);
+        let track = self.spans.is_some() && self.procs[i].span_req.is_some();
         let Some(rt) = self.procs[i].rt.as_mut() else {
             return;
         };
+        let rejected_before = if track {
+            rt.stats().release_rejected
+        } else {
+            0
+        };
         let (pages, cost) = rt.on_release_hint(&self.vm, pid, now, vpn, priority, tag);
+        let state = if track {
+            if rt.stats().release_rejected > rejected_before {
+                SpanState::AdmissionWait
+            } else if rt.brownout() != PressureLevel::Normal {
+                SpanState::Throttled
+            } else {
+                SpanState::Running
+            }
+        } else {
+            SpanState::Running
+        };
         let p = &mut self.procs[i];
         p.breakdown.add(TimeCategory::User, cost);
         p.local += cost;
         let local = p.local;
+        self.span_add(i, state, now, cost);
         if !pages.is_empty() {
             self.issue_releases(i, pid, local, &pages);
         }
@@ -1349,14 +1511,32 @@ impl Engine {
             return;
         }
         let (pid, now) = (self.procs[i].pid, self.procs[i].local);
+        let track = self.spans.is_some() && self.procs[i].span_req.is_some();
         let Some(rt) = self.procs[i].rt.as_mut() else {
             return;
         };
+        let rejected_before = if track {
+            rt.stats().release_rejected
+        } else {
+            0
+        };
         let (pages, cost) = rt.on_retire_tag(&self.vm, pid, now, tag);
+        let state = if track {
+            if rt.stats().release_rejected > rejected_before {
+                SpanState::AdmissionWait
+            } else if rt.brownout() != PressureLevel::Normal {
+                SpanState::Throttled
+            } else {
+                SpanState::Running
+            }
+        } else {
+            SpanState::Running
+        };
         let p = &mut self.procs[i];
         p.breakdown.add(TimeCategory::User, cost);
         p.local += cost;
         let local = p.local;
+        self.span_add(i, state, now, cost);
         if !pages.is_empty() {
             self.issue_releases(i, pid, local, &pages);
         }
@@ -1377,6 +1557,7 @@ impl Engine {
             let p = &mut self.procs[i];
             p.breakdown.add(TimeCategory::System, call);
             p.local += call;
+            self.span_add(i, SpanState::Running, local, call);
             self.wake_daemons(local);
         }
     }
@@ -1403,7 +1584,12 @@ impl Engine {
         p.finish_time = p.local;
         // The process exits: its memory returns to the system.
         let (pid, local) = (p.pid, p.local);
+        let span_req = p.span_req.take();
         self.vm.exit_process(local, pid);
+        // A batch request spans to the process's final instant.
+        if let (Some(tracker), Some(req)) = (self.spans.as_mut(), span_req) {
+            tracker.close(req, local, false);
+        }
     }
 
     fn wake_daemons(&mut self, at: SimTime) {
@@ -1454,6 +1640,12 @@ impl Engine {
                     rt.set_brownout(now, to, shift);
                 }
             }
+        }
+        // The blame table buckets by the *applied* rung when a ladder is
+        // armed (what the tenants actually experienced), the raw monitor
+        // grade otherwise.
+        if let Some(tracker) = self.spans.as_mut() {
+            tracker.set_level(applied.map(|(l, _)| l).unwrap_or(level));
         }
         if budget > 0 {
             let shed = self.shed_tenants(now, budget);
@@ -1523,11 +1715,19 @@ impl Engine {
         let p = &mut self.procs[i];
         p.oom_killed = true;
         p.finished = true;
+        let was_at = p.local;
         p.local = p.local.max(now);
         p.finish_time = p.local;
         let local = p.local;
+        let span_req = p.span_req.take();
         self.vm.exit_process(local, pid);
         self.wake_daemons(local);
+        // The kill lands as a `Shed` interval covering any jump to `now`,
+        // and the request closes shed so it never pollutes the tail.
+        if let (Some(tracker), Some(req)) = (self.spans.as_mut(), span_req) {
+            tracker.add(req, SpanState::Shed, was_at, local.since(was_at));
+            tracker.close(req, local, true);
+        }
     }
 
     /// Tears one process down mid-run (the `Emergency` shed). Buffered
@@ -1538,10 +1738,16 @@ impl Engine {
         let p = &mut self.procs[i];
         p.shed = true;
         p.finished = true;
+        let was_at = p.local;
         p.local = p.local.max(now);
         p.finish_time = p.local;
         let (pid, local) = (p.pid, p.local);
+        let span_req = p.span_req.take();
         self.vm.exit_process(local, pid);
+        if let (Some(tracker), Some(req)) = (self.spans.as_mut(), span_req) {
+            tracker.add(req, SpanState::Shed, was_at, local.since(was_at));
+            tracker.close(req, local, true);
+        }
     }
 
     /// Aggregates the fleet section of the results: per-tenant exact
@@ -1756,6 +1962,14 @@ fn export_fleet_metrics(m: &mut MetricsRegistry, f: &FleetStats, overall: &mut T
             format!("hogtame_fleet_time_at_{}_seconds", level.name()),
             "Simulated time spent at this brownout rung",
             f.time_at_level[level.index()].as_secs_f64(),
+        );
+        // The same clock as an exact counter (nanoseconds), so scrapes
+        // can be reconciled against `FleetStats::time_at_level` without
+        // float rounding.
+        m.counter(
+            format!("hogtame_fleet_time_at_{}_nanos_total", level.name()),
+            "Simulated nanoseconds spent at this brownout rung",
+            f.time_at_level[level.index()].as_nanos(),
         );
     }
 }

@@ -602,6 +602,7 @@ fn decode(payload: &str) -> Option<RunOutcome> {
             events: sim_core::obs::EventStream::new(),
             metrics: sim_core::obs::MetricsRegistry::new(),
             fleet: None,
+            spans: None,
         },
     })
 }

@@ -77,7 +77,10 @@ pub mod prelude {
     pub use crate::experiments::suite::{Suite, SuiteError, SuiteHandle, SUITE_TABLES};
     pub use crate::journal::Journal;
     pub use crate::machine::MachineConfig;
-    pub use crate::obs_report::{fleet_summary, fleet_table, outcome_table, stream_summary};
+    pub use crate::obs_report::{
+        blame_table, exemplar_timeline, fleet_summary, fleet_table, outcome_table, span_summary,
+        stream_summary,
+    };
     pub use crate::report::TextTable;
     pub use crate::request::{RunError, RunOutcome, RunRequest};
     pub use crate::scenario::Version;
@@ -89,6 +92,9 @@ pub mod prelude {
     pub use sim_core::fault::{
         AdversaryPlan, AdversaryStrategy, CrashComponent, CrashFaults, CrashSpec, DaemonFaults,
         ExecFaults, FaultKind, FaultLog, FaultPlan, HintFaults, IoFaults, SupervisorConfig,
+    };
+    pub use sim_core::obs::span::{
+        BlameKey, Exemplar, Interval, ReqId, RequestSummary, SpanKind, SpanReport, SpanState,
     };
     pub use sim_core::obs::{Event, EventKind, EventStream, MetricsRegistry, OutcomeRow, Recorder};
     pub use sim_core::oracle::Oracle;

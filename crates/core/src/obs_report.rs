@@ -12,11 +12,21 @@
 //! reconcile exactly with the `vm::stats` counters —
 //! `tests/obs_stream.rs` pins that equality.
 
+use sim_core::obs::span::{Exemplar, SpanReport, SpanState};
 use sim_core::obs::{EventStream, OutcomeRow};
 use sim_core::PressureLevel;
 
 use crate::engine::FleetStats;
 use crate::report::TextTable;
+
+/// Formats a tenant id for tables (`u32::MAX` marks untagged spans).
+fn tenant_label(tenant: u32) -> String {
+    if tenant == u32::MAX {
+        "(untagged)".to_string()
+    } else {
+        tenant.to_string()
+    }
+}
 
 /// Renders the hint-outcome attribution table for a sealed event stream.
 ///
@@ -153,6 +163,111 @@ pub fn fleet_summary(f: &FleetStats) -> String {
     out
 }
 
+/// Renders the tenant × pressure-level × state blame table of an
+/// observed run: one row per nonzero cell, in deterministic (tenant,
+/// level, state) order, with each cell's share of the total tracked
+/// request latency. The cell durations are exact — summed over rows
+/// they reconcile to the total latency to the simulated nanosecond.
+pub fn blame_table(spans: &SpanReport) -> TextTable {
+    let mut t = TextTable::new(vec!["tenant", "level", "state", "time(ms)", "share(%)"]);
+    let total = spans.total_latency().as_nanos();
+    for (k, d) in spans.blame_rows() {
+        let share = if total > 0 {
+            100.0 * d.as_nanos() as f64 / total as f64
+        } else {
+            0.0
+        };
+        t.row(vec![
+            tenant_label(k.tenant),
+            k.level.name().to_string(),
+            k.state.name().to_string(),
+            format!("{:.3}", d.as_millis_f64()),
+            format!("{share:.2}"),
+        ]);
+    }
+    t
+}
+
+/// One-paragraph summary of a span report: request counts and the
+/// per-state latency totals (exact, summed over every closed request).
+pub fn span_summary(spans: &SpanReport) -> String {
+    let mut out = format!(
+        "{} requests closed ({} interactive sweeps), {} provisional discarded, {} unfinished at end of run\n",
+        spans.requests(),
+        spans.sweeps_closed,
+        spans.discarded,
+        spans.unfinished
+    );
+    let totals = spans.total_by_state();
+    let all = spans.total_latency().as_nanos();
+    out.push_str("latency by state:\n");
+    for state in SpanState::ALL {
+        let d = totals[state.idx()];
+        if d == sim_core::SimDuration::ZERO {
+            continue;
+        }
+        let share = if all > 0 {
+            100.0 * d.as_nanos() as f64 / all as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  {:<18} {:>12.3} ms  ({share:>5.2} %)\n",
+            state.name(),
+            d.as_millis_f64()
+        ));
+    }
+    out
+}
+
+/// Renders one slow-request exemplar as a critical-path timeline:
+/// every merged state interval with its offset from the request's open
+/// instant, plus the single biggest stall and the combined swap I/O
+/// wait (queue + transfer — distinct in the blame table because the
+/// paper's remedies differ, combined here for readability).
+pub fn exemplar_timeline(label: &str, ex: &Exemplar) -> String {
+    let s = &ex.summary;
+    let mut out = format!(
+        "{label}: request {} (pid {}, tenant {}, {} span): {:.3} ms total, dominant state {}\n",
+        s.req,
+        s.pid,
+        tenant_label(s.tenant),
+        s.kind.name(),
+        s.latency.as_millis_f64(),
+        s.dominant_state().name()
+    );
+    for iv in ex.critical_path() {
+        out.push_str(&format!(
+            "  +{:>10.3} ms  {:<18} {:>10.3} ms\n",
+            iv.start.since(s.open_at).as_millis_f64(),
+            iv.state.name(),
+            iv.dur.as_millis_f64()
+        ));
+    }
+    let swap = s.by_state[SpanState::SwapQueue.idx()] + s.by_state[SpanState::SwapTransfer.idx()];
+    if swap > sim_core::SimDuration::ZERO {
+        out.push_str(&format!(
+            "  swap I/O wait (queue + transfer): {:.3} ms\n",
+            swap.as_millis_f64()
+        ));
+    }
+    if let Some(stall) = ex.longest_stall() {
+        out.push_str(&format!(
+            "  biggest stall: {} for {:.3} ms at +{:.3} ms\n",
+            stall.state.name(),
+            stall.dur.as_millis_f64(),
+            stall.start.since(s.open_at).as_millis_f64()
+        ));
+    }
+    if ex.truncated > 0 {
+        out.push_str(&format!(
+            "  ({} intervals beyond the per-request cap not shown; durations above remain exact)\n",
+            ex.truncated
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +303,30 @@ mod tests {
         assert_eq!(agg.good, per, "per-tenant good releases sum to the total");
         let summary = stream_summary(events);
         assert!(summary.contains("events recorded"), "got: {summary}");
+    }
+
+    #[test]
+    fn span_report_renders_blame_summary_and_timeline() {
+        use sim_core::obs::span::{SpanKind, SpanTracker};
+        use sim_core::SimTime;
+        let t = |ns| SimTime::from_nanos(ns);
+        let d = |ns| SimDuration::from_nanos(ns);
+        let mut tr = SpanTracker::new();
+        let r = tr.open(3, 1, SpanKind::Sweep, t(0));
+        tr.add(r, SpanState::Running, t(0), d(600_000));
+        tr.add(r, SpanState::SwapQueue, t(600_000), d(250_000));
+        tr.add(r, SpanState::SwapTransfer, t(850_000), d(150_000));
+        tr.close(r, t(1_000_000), false);
+        let (_, rep) = tr.finish();
+        let blame = blame_table(&rep).render();
+        assert!(blame.contains("swap_queue"), "got:\n{blame}");
+        assert!(blame.contains("normal"), "got:\n{blame}");
+        let summary = span_summary(&rep);
+        assert!(summary.contains("1 requests closed"), "got: {summary}");
+        assert!(summary.contains("running"), "got: {summary}");
+        let tl = exemplar_timeline("p999", rep.slowest().unwrap());
+        assert!(tl.contains("swap I/O wait"), "got: {tl}");
+        assert!(tl.contains("biggest stall"), "got: {tl}");
+        assert!(tl.contains("dominant state running"), "got: {tl}");
     }
 }

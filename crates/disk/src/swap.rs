@@ -108,6 +108,10 @@ pub struct SwapDevice {
     checked: bool,
     /// Requests submitted, for the double-complete conservation probe.
     submitted: u64,
+    /// Positioning + transfer of the most recent request's final
+    /// attempt; `submit` subtracts it from end-to-end latency to report
+    /// the queue/backoff share of each I/O.
+    last_service: SimDuration,
     /// Mutation matrix: complete each request twice (stats-wise).
     mut_double: bool,
     /// Mutation matrix: retry transient failures past the budget.
@@ -143,6 +147,7 @@ impl SwapDevice {
             obs: Recorder::default(),
             checked: false,
             submitted: 0,
+            last_service: SimDuration::ZERO,
             mut_double: false,
             mut_bust: false,
         }
@@ -303,14 +308,24 @@ impl SwapDevice {
             }
         }
         self.latency_hist.record(completion.since(now));
+        let dur = completion.since(now);
         self.obs.emit(
             now,
             EventKind::Io {
                 write: kind == IoKind::Write,
-                dur: completion.since(now),
+                dur,
+                queue: dur.saturating_sub(self.last_service),
             },
         );
         completion
+    }
+
+    /// Positioning + transfer time of the most recently submitted
+    /// request's final attempt. The rest of that request's end-to-end
+    /// latency was queueing: FIFO waits, bus arbitration, injected tail
+    /// delays, and transient-retry backoffs.
+    pub fn last_service(&self) -> SimDuration {
+        self.last_service
     }
 
     /// One pass through the disk + adapter mechanics (no fault handling,
@@ -326,6 +341,7 @@ impl SwapDevice {
             self.adapters[adapter_idx].arbitrate(mech_ready, transfer);
         disk.commit(now, block, kind == IoKind::Write, queue_start, completion);
         let _ = transfer_start;
+        self.last_service = positioning + transfer;
         completion
     }
 

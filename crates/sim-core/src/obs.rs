@@ -25,6 +25,8 @@
 //! merged in a fixed subsystem order with a stable sort — so the exported
 //! bytes are identical across worker counts and journal resumes.
 
+pub mod span;
+
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 
@@ -51,6 +53,8 @@ pub enum Subsystem {
     Disk,
     /// Injected faults and degradation transitions.
     Fault,
+    /// Per-request causal spans (see [`span`]).
+    Span,
 }
 
 impl Subsystem {
@@ -63,6 +67,7 @@ impl Subsystem {
             Subsystem::Vm => "vm",
             Subsystem::Disk => "disk",
             Subsystem::Fault => "fault",
+            Subsystem::Span => "span",
         }
     }
 
@@ -75,11 +80,12 @@ impl Subsystem {
             Subsystem::Vm => 3,
             Subsystem::Disk => 4,
             Subsystem::Fault => 5,
+            Subsystem::Span => 6,
         }
     }
 
     /// All subsystems, in rank order (for export metadata).
-    pub fn all() -> [Subsystem; 6] {
+    pub fn all() -> [Subsystem; 7] {
         [
             Subsystem::Pagingd,
             Subsystem::Releaser,
@@ -87,6 +93,7 @@ impl Subsystem {
             Subsystem::Vm,
             Subsystem::Disk,
             Subsystem::Fault,
+            Subsystem::Span,
         ]
     }
 }
@@ -243,6 +250,10 @@ pub enum EventKind {
         write: bool,
         /// Submit-to-completion latency.
         dur: SimDuration,
+        /// The portion of `dur` spent queued (behind other requests,
+        /// transient-retry backoffs, bus waits) before the final
+        /// positioning + transfer began.
+        queue: SimDuration,
     },
     /// The graded memory-pressure signal changed level (emitted by the
     /// VM pressure monitor; input to the brownout ladder).
@@ -254,6 +265,25 @@ pub enum EventKind {
     },
     /// An injected fault or degradation transition (from the fault log).
     Fault(FaultKind),
+    /// One tracked request's full span, emitted at close (see
+    /// [`span::SpanTracker`]). Stamped at the request's open time.
+    SpanRequest {
+        /// Request id (open order within the run).
+        req: u64,
+        /// Open-to-close latency.
+        dur: SimDuration,
+        /// True when the request was shed or OOM-killed.
+        shed: bool,
+    },
+    /// One coalesced state interval inside a tracked request's span.
+    SpanState {
+        /// Owning request id.
+        req: u64,
+        /// Stable state name ([`span::SpanState::name`]).
+        state: &'static str,
+        /// Interval length.
+        dur: SimDuration,
+    },
 }
 
 impl EventKind {
@@ -299,6 +329,8 @@ impl EventKind {
             EventKind::Io { write: true, .. } => "io_write",
             EventKind::PressureShift { .. } => "pressure_shift",
             EventKind::Fault(kind) => kind.name(),
+            EventKind::SpanRequest { .. } => "span_request",
+            EventKind::SpanState { .. } => "span_state",
         }
     }
 
@@ -340,6 +372,7 @@ impl EventKind {
             | EventKind::PressureShift { .. } => Subsystem::Vm,
             EventKind::Io { .. } => Subsystem::Disk,
             EventKind::Fault(_) => Subsystem::Fault,
+            EventKind::SpanRequest { .. } | EventKind::SpanState { .. } => Subsystem::Span,
         }
     }
 
@@ -371,12 +404,25 @@ impl EventKind {
             EventKind::ReleaseBuffered { tag, priority } => {
                 vec![("tag", U(tag.into())), ("priority", U(priority.into()))]
             }
-            EventKind::Io { dur, .. } => vec![("dur_ns", U(dur.as_nanos()))],
+            EventKind::Io { dur, queue, .. } => vec![
+                ("dur_ns", U(dur.as_nanos())),
+                ("queue_ns", U(queue.as_nanos())),
+            ],
             EventKind::PressureShift { from, to } => vec![
                 ("from", ArgVal::S(from.name())),
                 ("to", ArgVal::S(to.name())),
             ],
             EventKind::Fault(kind) => fault_args(&kind),
+            EventKind::SpanRequest { req, dur, shed } => vec![
+                ("req", U(req)),
+                ("dur_ns", U(dur.as_nanos())),
+                ("shed", U(u64::from(shed))),
+            ],
+            EventKind::SpanState { req, state, dur } => vec![
+                ("req", U(req)),
+                ("state", ArgVal::S(state)),
+                ("dur_ns", U(dur.as_nanos())),
+            ],
             _ => Vec::new(),
         }
     }
@@ -786,9 +832,10 @@ impl TenantOutcomeRow {
 /// Built by the engine at the end of a run: it absorbs every subsystem's
 /// [`Recorder`] in a fixed order (pagingd/releaser/VM first, then each
 /// process's hint layer in registration order, then the disk, then the
-/// fault log) and stably sorts by time — equal-time events keep their
-/// absorb order, so the merge is a pure function of the run and its
-/// exports are byte-identical across worker counts and resumes.
+/// span tracker, then the fault log) and stably sorts by time —
+/// equal-time events keep their absorb order, so the merge is a pure
+/// function of the run and its exports are byte-identical across worker
+/// counts and resumes.
 #[derive(Clone, Debug, Default)]
 pub struct EventStream {
     events: Vec<Event>,
@@ -1036,6 +1083,29 @@ impl EventStream {
                      \"pid\":{},\"tid\":{},\"args\":{{{}}}}}",
                     ev.kind.name(),
                     ev.kind.subsystem().name(),
+                    ts_us(ev.at.as_nanos()),
+                    ts_us(dur.as_nanos()),
+                    pid,
+                    tid,
+                    args
+                ),
+                // Span events render as Perfetto duration slices so each
+                // request nests visually: the whole request is one slice
+                // named "request" and every state interval a slice named
+                // after the state, all on the span thread of its process.
+                EventKind::SpanRequest { dur, .. } => format!(
+                    "{{\"ph\":\"X\",\"name\":\"request\",\"cat\":\"span\",\"ts\":{},\"dur\":{},\
+                     \"pid\":{},\"tid\":{},\"args\":{{{}}}}}",
+                    ts_us(ev.at.as_nanos()),
+                    ts_us(dur.as_nanos()),
+                    pid,
+                    tid,
+                    args
+                ),
+                EventKind::SpanState { state, dur, .. } => format!(
+                    "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"span\",\"ts\":{},\"dur\":{},\
+                     \"pid\":{},\"tid\":{},\"args\":{{{}}}}}",
+                    state,
                     ts_us(ev.at.as_nanos()),
                     ts_us(dur.as_nanos()),
                     pid,
@@ -1352,6 +1422,16 @@ mod tests {
             EventKind::Io {
                 write: false,
                 dur: SimDuration::from_nanos(8123),
+                queue: SimDuration::from_nanos(1000),
+            },
+        );
+        rec.emit_proc(
+            SimTime::from_nanos(2100),
+            0,
+            EventKind::SpanState {
+                req: 0,
+                state: "swap_transfer",
+                dur: SimDuration::from_nanos(400),
             },
         );
         let mut stream = EventStream::new();
@@ -1367,6 +1447,13 @@ mod tests {
                 "\"ph\":\"X\",\"name\":\"io_read\",\"cat\":\"disk\",\"ts\":2.500,\"dur\":8.123"
             ),
             "span with deterministic µs: {json}"
+        );
+        assert!(
+            json.contains(
+                "\"ph\":\"X\",\"name\":\"swap_transfer\",\"cat\":\"span\",\"ts\":2.100,\
+                 \"dur\":0.400"
+            ),
+            "span-state duration slice: {json}"
         );
         // Balanced braces/brackets (cheap well-formedness check).
         let opens = json.matches('{').count();

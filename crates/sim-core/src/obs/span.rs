@@ -1,0 +1,672 @@
+//! Per-request causal spans: typed state intervals, exact blame
+//! attribution, and tail exemplars.
+//!
+//! The event stream (`sim_core::obs`) records *what happened*; this
+//! module records *where each request's latency went*. Every fleet
+//! request (one interactive sweep) and every batch process is tracked
+//! as a span: an ordered sequence of state intervals that tile the
+//! request's lifetime exactly — the per-state durations sum to the
+//! measured latency to the simulated nanosecond, by construction
+//! rather than by sampling.
+//!
+//! The tracker is purely observational: it never influences the
+//! simulation, and when a run is not observed (`RunRequest::observe()`
+//! absent) it does not exist at all, so the disabled path costs one
+//! `Option` check per op. Span events are emitted only when a request
+//! *closes* (stamped with their original sim times; the stream's
+//! stable sort restores order), so a discarded provisional request
+//! leaves no trace in the stream and reconstruction is deterministic
+//! across worker counts and journal resume.
+
+use std::collections::BTreeMap;
+
+use crate::pressure::PressureLevel;
+use crate::time::{SimDuration, SimTime};
+
+use super::{EventKind, Recorder};
+
+/// Identifier of one tracked request, unique within a run.
+pub type ReqId = u64;
+
+/// Maximum retained state intervals per in-flight request. Adjacent
+/// intervals in the same state coalesce first, so the cap is only hit
+/// by pathological requests; the summary durations stay exact and the
+/// exemplar records how many intervals were dropped.
+pub const INTERVAL_CAP: usize = 256;
+
+/// Number of slowest-request exemplars retained with full span dumps.
+pub const TOP_K: usize = 16;
+
+/// Ring capacity of the span recorder (events survive as exact counts
+/// past this bound, like every other flight recorder).
+const SPAN_EVENT_CAP: usize = 65_536;
+
+/// The typed state a request occupies at a point in simulated time.
+///
+/// States are mutually exclusive and collectively exhaustive: the
+/// engine attributes every nanosecond of a tracked request's lifetime
+/// to exactly one of them. `SwapQueue` and `SwapTransfer` are reported
+/// together as "swap I/O wait" in tree renderings but kept distinct in
+/// the blame table because the paper's remedy differs (queue waits
+/// shrink with release hints, transfer time only with faster disks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanState {
+    /// Waiting for a CPU in the run queue.
+    Queued,
+    /// A hint was rejected or demoted by admission control while the
+    /// request paid its syscall cost.
+    AdmissionWait,
+    /// Executing user or system code on a CPU.
+    Running,
+    /// Fault-service time outside lock and swap waits: page-table
+    /// walks, frame waits, zero-fill, daemon rescue.
+    HardFaultStall,
+    /// Queued behind other I/O at the swap device (plus positioning
+    /// retries) before the final transfer began.
+    SwapQueue,
+    /// The final disk positioning + transfer itself.
+    SwapTransfer,
+    /// Waiting to acquire the address-space lock.
+    LockWait,
+    /// Hint cost paid while the brownout ladder was degrading service.
+    Throttled,
+    /// Voluntarily off-CPU (interactive think time).
+    Idle,
+    /// Terminal jump: the process was shed or OOM-killed and its clock
+    /// advanced to the kill instant.
+    Shed,
+}
+
+impl SpanState {
+    /// Number of distinct states (array dimension for blame vectors).
+    pub const COUNT: usize = 10;
+
+    /// Every state, in blame-table column order.
+    pub const ALL: [SpanState; SpanState::COUNT] = [
+        SpanState::Queued,
+        SpanState::AdmissionWait,
+        SpanState::Running,
+        SpanState::HardFaultStall,
+        SpanState::SwapQueue,
+        SpanState::SwapTransfer,
+        SpanState::LockWait,
+        SpanState::Throttled,
+        SpanState::Idle,
+        SpanState::Shed,
+    ];
+
+    /// Stable dense index (blame-vector position).
+    pub fn idx(self) -> usize {
+        self as usize
+    }
+
+    /// The state at dense index `i` (inverse of [`SpanState::idx`]).
+    pub fn from_idx(i: usize) -> SpanState {
+        SpanState::ALL[i]
+    }
+
+    /// Lower-case stable name used in events, tables, and traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanState::Queued => "queued",
+            SpanState::AdmissionWait => "admission_wait",
+            SpanState::Running => "running",
+            SpanState::HardFaultStall => "hard_fault_stall",
+            SpanState::SwapQueue => "swap_queue",
+            SpanState::SwapTransfer => "swap_transfer",
+            SpanState::LockWait => "lock_wait",
+            SpanState::Throttled => "throttled",
+            SpanState::Idle => "idle",
+            SpanState::Shed => "shed",
+        }
+    }
+}
+
+/// Whether a span covers one interactive sweep or a whole batch
+/// process. Tail exemplars rank sweeps only, so the "p999 exemplar"
+/// aligns with the fleet response-time digests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One `SweepStart..SweepEnd` interactive request.
+    Sweep,
+    /// A whole batch process from first op to exit.
+    Batch,
+}
+
+impl SpanKind {
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Sweep => "sweep",
+            SpanKind::Batch => "batch",
+        }
+    }
+}
+
+/// One contiguous state interval inside a request's span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// State occupied over the interval.
+    pub state: SpanState,
+    /// Simulated start time.
+    pub start: SimTime,
+    /// Interval length (never zero; zero-length enters are dropped).
+    pub dur: SimDuration,
+}
+
+/// Blame-table row key: which tenant, under which pressure level, in
+/// which state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BlameKey {
+    /// Tenant id, or `u32::MAX` for untagged processes.
+    pub tenant: u32,
+    /// Fleet pressure level in force when the time accrued.
+    pub level: PressureLevel,
+    /// The state the time was spent in.
+    pub state: SpanState,
+}
+
+/// Closed-request record: identity plus the exact per-state latency
+/// decomposition. `by_state` sums to `latency` to the nanosecond.
+#[derive(Debug, Clone)]
+pub struct RequestSummary {
+    /// Request id (open order within the run).
+    pub req: ReqId,
+    /// Owning process id.
+    pub pid: u32,
+    /// Tenant id, or `u32::MAX` when untagged.
+    pub tenant: u32,
+    /// Sweep or batch span.
+    pub kind: SpanKind,
+    /// True when the request ended by shedding or an OOM kill rather
+    /// than completing.
+    pub shed: bool,
+    /// Simulated open time.
+    pub open_at: SimTime,
+    /// Close time minus open time.
+    pub latency: SimDuration,
+    /// Exact time per state, indexed by [`SpanState::idx`].
+    pub by_state: [SimDuration; SpanState::COUNT],
+}
+
+impl RequestSummary {
+    /// Sum of all state durations (equals `latency` by construction).
+    pub fn total(&self) -> SimDuration {
+        let mut t = SimDuration::ZERO;
+        for d in &self.by_state {
+            t += *d;
+        }
+        t
+    }
+
+    /// The state this request spent the most time in (ties break
+    /// toward the lower state index).
+    pub fn dominant_state(&self) -> SpanState {
+        let mut best = 0usize;
+        for (i, d) in self.by_state.iter().enumerate() {
+            if *d > self.by_state[best] {
+                best = i;
+            }
+        }
+        SpanState::from_idx(best)
+    }
+}
+
+/// A slow-request exemplar: the summary plus its full interval dump.
+#[derive(Debug, Clone)]
+pub struct Exemplar {
+    /// The closed request's summary record.
+    pub summary: RequestSummary,
+    /// Chronological state intervals (adjacent same-state intervals
+    /// coalesced at record time).
+    pub intervals: Vec<Interval>,
+    /// Intervals dropped past [`INTERVAL_CAP`] (durations stay exact
+    /// in `summary.by_state` regardless).
+    pub truncated: u64,
+}
+
+impl Exemplar {
+    /// The critical path: chronological intervals with consecutive
+    /// same-state runs merged. For a single-threaded request every
+    /// interval is on the critical path, so this is the span tree's
+    /// one root-to-leaf chain.
+    pub fn critical_path(&self) -> Vec<Interval> {
+        let mut out: Vec<Interval> = Vec::new();
+        for iv in &self.intervals {
+            match out.last_mut() {
+                Some(last) if last.state == iv.state => last.dur += iv.dur,
+                _ => out.push(*iv),
+            }
+        }
+        out
+    }
+
+    /// The longest non-running, non-idle merged interval — the single
+    /// biggest stall on the critical path, if any.
+    pub fn longest_stall(&self) -> Option<Interval> {
+        self.critical_path()
+            .into_iter()
+            .filter(|iv| !matches!(iv.state, SpanState::Running | SpanState::Idle))
+            .max_by_key(|iv| iv.dur)
+    }
+}
+
+/// End-of-run span reconstruction: every closed request's exact blame
+/// decomposition, the tenant × pressure-level × state blame table, and
+/// the slowest-sweep exemplars.
+#[derive(Debug, Clone, Default)]
+pub struct SpanReport {
+    /// Every closed request, in close order.
+    pub summaries: Vec<RequestSummary>,
+    /// Slowest sweep requests, slowest first, with full span dumps
+    /// (at most [`TOP_K`]; batch spans are excluded so the ranking
+    /// matches the fleet response-time digests).
+    pub exemplars: Vec<Exemplar>,
+    /// Provisional requests discarded before close (e.g. a batch span
+    /// superseded by the process's first sweep marker).
+    pub discarded: u64,
+    /// Requests still open when the run ended (not summarized).
+    pub unfinished: u64,
+    /// Closed, non-shed sweep requests — the population the exemplar
+    /// percentile rank is computed over (equals the fleet digest's
+    /// response count).
+    pub sweeps_closed: u64,
+    blame: BTreeMap<(u32, u8, u8), SimDuration>,
+}
+
+impl SpanReport {
+    /// Number of closed requests.
+    pub fn requests(&self) -> usize {
+        self.summaries.len()
+    }
+
+    /// Blame-table rows in deterministic (tenant, level, state) order.
+    pub fn blame_rows(&self) -> impl Iterator<Item = (BlameKey, SimDuration)> + '_ {
+        self.blame.iter().map(|(&(tenant, level, state), &d)| {
+            (
+                BlameKey {
+                    tenant,
+                    level: PressureLevel::ALL[level as usize],
+                    state: SpanState::from_idx(state as usize),
+                },
+                d,
+            )
+        })
+    }
+
+    /// Total tracked time per state, summed over tenants and levels.
+    /// Reconciles exactly with the summaries' per-state sums.
+    pub fn total_by_state(&self) -> [SimDuration; SpanState::COUNT] {
+        let mut out = [SimDuration::ZERO; SpanState::COUNT];
+        for (&(_, _, state), &d) in &self.blame {
+            out[state as usize] += d;
+        }
+        out
+    }
+
+    /// Sum of every closed request's latency.
+    pub fn total_latency(&self) -> SimDuration {
+        let mut t = SimDuration::ZERO;
+        for s in &self.summaries {
+            t += s.latency;
+        }
+        t
+    }
+
+    /// Nearest-rank position (1 = slowest) of the 99.9th-percentile
+    /// sweep among `sweeps_closed` closed sweeps.
+    pub fn p999_rank(&self) -> u64 {
+        let n = self.sweeps_closed;
+        if n == 0 {
+            return 0;
+        }
+        // Nearest-rank from the top: n - ceil(0.999 * n) + 1.
+        n - (999 * n).div_ceil(1000) + 1
+    }
+
+    /// The exemplar at the p999 rank (clamped to the retained top-k),
+    /// matching the fleet digest's nearest-rank p999 whenever the rank
+    /// is within [`TOP_K`].
+    pub fn p999_exemplar(&self) -> Option<&Exemplar> {
+        let rank = self.p999_rank();
+        if rank == 0 || self.exemplars.is_empty() {
+            return None;
+        }
+        let i = (rank as usize - 1).min(self.exemplars.len() - 1);
+        Some(&self.exemplars[i])
+    }
+
+    /// The single slowest sweep exemplar.
+    pub fn slowest(&self) -> Option<&Exemplar> {
+        self.exemplars.first()
+    }
+}
+
+/// One in-flight request's accumulating state.
+#[derive(Debug)]
+struct InFlight {
+    pid: u32,
+    tenant: u32,
+    kind: SpanKind,
+    open_at: SimTime,
+    by_state: [SimDuration; SpanState::COUNT],
+    /// Per-(level, state) time, merged into the global blame table
+    /// only at close so discarded requests never pollute it.
+    by_level_state: BTreeMap<(u8, u8), SimDuration>,
+    intervals: Vec<Interval>,
+    truncated: u64,
+}
+
+/// Engine-side span tracker: opens requests, attributes state
+/// intervals as ops execute, and folds everything into a
+/// [`SpanReport`] (plus span events for the trace) at run end.
+#[derive(Debug)]
+pub struct SpanTracker {
+    next_req: ReqId,
+    level: PressureLevel,
+    inflight: BTreeMap<ReqId, InFlight>,
+    summaries: Vec<RequestSummary>,
+    /// Sweep exemplars, slowest first, capped at [`TOP_K`].
+    exemplars: Vec<Exemplar>,
+    blame: BTreeMap<(u32, u8, u8), SimDuration>,
+    discarded: u64,
+    unfinished: u64,
+    sweeps_closed: u64,
+    recorder: Recorder,
+}
+
+impl Default for SpanTracker {
+    fn default() -> Self {
+        SpanTracker::new()
+    }
+}
+
+impl SpanTracker {
+    /// A fresh tracker with an enabled span-event recorder.
+    pub fn new() -> Self {
+        let mut recorder = Recorder::new(SPAN_EVENT_CAP);
+        recorder.set_enabled(true);
+        SpanTracker {
+            next_req: 0,
+            level: PressureLevel::Normal,
+            inflight: BTreeMap::new(),
+            summaries: Vec::new(),
+            exemplars: Vec::new(),
+            blame: BTreeMap::new(),
+            discarded: 0,
+            unfinished: 0,
+            sweeps_closed: 0,
+            recorder,
+        }
+    }
+
+    /// Records the fleet pressure level now in force; subsequent state
+    /// time is blamed at this level.
+    pub fn set_level(&mut self, level: PressureLevel) {
+        self.level = level;
+    }
+
+    /// Opens a request for `(pid, tenant)` at `at` and returns its id.
+    /// Pass `u32::MAX` as the tenant for untagged processes.
+    pub fn open(&mut self, pid: u32, tenant: u32, kind: SpanKind, at: SimTime) -> ReqId {
+        let req = self.next_req;
+        self.next_req += 1;
+        self.inflight.insert(
+            req,
+            InFlight {
+                pid,
+                tenant,
+                kind,
+                open_at: at,
+                by_state: [SimDuration::ZERO; SpanState::COUNT],
+                by_level_state: BTreeMap::new(),
+                intervals: Vec::new(),
+                truncated: 0,
+            },
+        );
+        req
+    }
+
+    /// Attributes `dur` of `state` starting at `start` to request
+    /// `req`. Zero-length intervals are dropped; adjacent contiguous
+    /// same-state intervals coalesce.
+    pub fn add(&mut self, req: ReqId, state: SpanState, start: SimTime, dur: SimDuration) {
+        if dur == SimDuration::ZERO {
+            return;
+        }
+        let Some(f) = self.inflight.get_mut(&req) else {
+            return;
+        };
+        f.by_state[state.idx()] += dur;
+        *f.by_level_state
+            .entry((self.level.index() as u8, state.idx() as u8))
+            .or_insert(SimDuration::ZERO) += dur;
+        match f.intervals.last_mut() {
+            Some(last) if last.state == state && last.start + last.dur == start => {
+                last.dur += dur;
+            }
+            _ => {
+                if f.intervals.len() < INTERVAL_CAP {
+                    f.intervals.push(Interval { state, start, dur });
+                } else {
+                    f.truncated += 1;
+                }
+            }
+        }
+    }
+
+    /// Closes request `req` at `at`, emitting its span events and
+    /// folding its blame into the report. `shed` marks abnormal
+    /// termination (load shedding or an OOM kill).
+    pub fn close(&mut self, req: ReqId, at: SimTime, shed: bool) {
+        let Some(f) = self.inflight.remove(&req) else {
+            return;
+        };
+        let latency = at.since(f.open_at);
+        let summary = RequestSummary {
+            req,
+            pid: f.pid,
+            tenant: f.tenant,
+            kind: f.kind,
+            shed,
+            open_at: f.open_at,
+            latency,
+            by_state: f.by_state,
+        };
+        debug_assert_eq!(
+            summary.total(),
+            latency,
+            "span states must tile request {req} (pid {}) exactly",
+            f.pid
+        );
+        for (&(level, state), &d) in &f.by_level_state {
+            *self
+                .blame
+                .entry((f.tenant, level, state))
+                .or_insert(SimDuration::ZERO) += d;
+        }
+        self.recorder.emit_proc(
+            f.open_at,
+            f.pid,
+            EventKind::SpanRequest {
+                req,
+                dur: latency,
+                shed,
+            },
+        );
+        for iv in &f.intervals {
+            self.recorder.emit_proc(
+                iv.start,
+                f.pid,
+                EventKind::SpanState {
+                    req,
+                    state: iv.state.name(),
+                    dur: iv.dur,
+                },
+            );
+        }
+        if f.kind == SpanKind::Sweep && !shed {
+            self.sweeps_closed += 1;
+            self.offer_exemplar(&summary, f.intervals, f.truncated);
+        }
+        self.summaries.push(summary);
+    }
+
+    fn offer_exemplar(
+        &mut self,
+        summary: &RequestSummary,
+        intervals: Vec<Interval>,
+        truncated: u64,
+    ) {
+        // Rank by latency descending, then req ascending for stability.
+        let key = (summary.latency, std::cmp::Reverse(summary.req));
+        let pos = self
+            .exemplars
+            .partition_point(|e| (e.summary.latency, std::cmp::Reverse(e.summary.req)) > key);
+        if pos >= TOP_K {
+            return;
+        }
+        self.exemplars.insert(
+            pos,
+            Exemplar {
+                summary: summary.clone(),
+                intervals,
+                truncated,
+            },
+        );
+        self.exemplars.truncate(TOP_K);
+    }
+
+    /// Drops a provisional request without summarizing it; it leaves
+    /// no events and no blame.
+    pub fn discard(&mut self, req: ReqId) {
+        if self.inflight.remove(&req).is_some() {
+            self.discarded += 1;
+        }
+    }
+
+    /// Finishes the run: requests still open are counted as unfinished
+    /// and dropped, and the tracker dissolves into its span-event
+    /// recorder and the final [`SpanReport`].
+    pub fn finish(mut self) -> (Recorder, SpanReport) {
+        self.unfinished += self.inflight.len() as u64;
+        self.inflight.clear();
+        let report = SpanReport {
+            summaries: self.summaries,
+            exemplars: self.exemplars,
+            discarded: self.discarded,
+            unfinished: self.unfinished,
+            sweeps_closed: self.sweeps_closed,
+            blame: self.blame,
+        };
+        (self.recorder, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn d(ns: u64) -> SimDuration {
+        SimDuration::from_nanos(ns)
+    }
+
+    #[test]
+    fn states_tile_and_blame_reconciles() {
+        let mut tr = SpanTracker::new();
+        let r = tr.open(7, 1, SpanKind::Sweep, t(100));
+        tr.add(r, SpanState::Queued, t(100), d(10));
+        tr.add(r, SpanState::Running, t(110), d(40));
+        tr.set_level(PressureLevel::Critical);
+        tr.add(r, SpanState::HardFaultStall, t(150), d(25));
+        tr.add(r, SpanState::Running, t(175), d(25));
+        tr.close(r, t(200), false);
+        let (rec, rep) = tr.finish();
+        assert_eq!(rec.count("span_request"), 1);
+        assert_eq!(rep.summaries.len(), 1);
+        let s = &rep.summaries[0];
+        assert_eq!(s.latency, d(100));
+        assert_eq!(s.total(), s.latency);
+        assert_eq!(s.dominant_state(), SpanState::Running);
+        let mut blame_total = SimDuration::ZERO;
+        for (_, dur) in rep.blame_rows() {
+            blame_total += dur;
+        }
+        assert_eq!(blame_total, rep.total_latency());
+        // Pre-shift time blamed at Normal, post-shift at Critical.
+        let crit: SimDuration = rep
+            .blame_rows()
+            .filter(|(k, _)| k.level == PressureLevel::Critical)
+            .map(|(_, d)| d)
+            .fold(SimDuration::ZERO, |a, b| a + b);
+        assert_eq!(crit, d(50));
+    }
+
+    #[test]
+    fn discard_leaves_no_trace() {
+        let mut tr = SpanTracker::new();
+        let r = tr.open(1, u32::MAX, SpanKind::Batch, t(0));
+        tr.add(r, SpanState::Running, t(0), d(5));
+        tr.discard(r);
+        let r2 = tr.open(1, u32::MAX, SpanKind::Sweep, t(10));
+        tr.close(r2, t(10), false);
+        let (rec, rep) = tr.finish();
+        assert_eq!(rep.discarded, 1);
+        assert_eq!(rec.count("span_state"), 0);
+        assert_eq!(rep.summaries.len(), 1);
+        assert_eq!(rep.total_latency(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn intervals_coalesce_and_critical_path_merges() {
+        let mut tr = SpanTracker::new();
+        let r = tr.open(2, 0, SpanKind::Sweep, t(0));
+        tr.add(r, SpanState::Running, t(0), d(5));
+        tr.add(r, SpanState::Running, t(5), d(5)); // contiguous: coalesces
+        tr.add(r, SpanState::SwapQueue, t(10), d(3));
+        tr.add(r, SpanState::Running, t(13), d(7));
+        tr.close(r, t(20), false);
+        let (_, rep) = tr.finish();
+        let ex = rep.slowest().unwrap();
+        assert_eq!(ex.intervals.len(), 3);
+        assert_eq!(ex.intervals[0].dur, d(10));
+        assert_eq!(ex.critical_path().len(), 3);
+        assert_eq!(ex.longest_stall().unwrap().state, SpanState::SwapQueue);
+    }
+
+    #[test]
+    fn exemplars_rank_sweeps_only_and_cap_at_top_k() {
+        let mut tr = SpanTracker::new();
+        let b = tr.open(99, u32::MAX, SpanKind::Batch, t(0));
+        tr.add(b, SpanState::Running, t(0), d(1_000_000));
+        tr.close(b, t(1_000_000), false);
+        for i in 0..(TOP_K as u64 + 4) {
+            let r = tr.open(i as u32, 0, SpanKind::Sweep, t(0));
+            tr.add(r, SpanState::Running, t(0), d(i + 1));
+            tr.close(r, t(i + 1), false);
+        }
+        let (_, rep) = tr.finish();
+        assert_eq!(rep.exemplars.len(), TOP_K);
+        // Slowest sweep, not the much longer batch span.
+        assert_eq!(rep.slowest().unwrap().summary.latency, d(TOP_K as u64 + 4));
+        assert_eq!(rep.sweeps_closed, TOP_K as u64 + 4);
+        assert_eq!(rep.p999_rank(), 1);
+    }
+
+    #[test]
+    fn p999_rank_nearest_rank_matches_digest_convention() {
+        let mut rep = SpanReport {
+            sweeps_closed: 500,
+            ..SpanReport::default()
+        };
+        assert_eq!(rep.p999_rank(), 1);
+        rep.sweeps_closed = 1000;
+        assert_eq!(rep.p999_rank(), 2);
+        rep.sweeps_closed = 2000;
+        assert_eq!(rep.p999_rank(), 3);
+    }
+}

@@ -40,6 +40,13 @@ impl TouchKind {
 }
 
 /// Timed result of a touch.
+///
+/// Always satisfies `done_at - now == system + resource_wait + io_wait`,
+/// and the two sub-attributions nest exactly: `lock_wait <=
+/// resource_wait` (the rest was waiting for free memory or fault setup)
+/// and `io_queue <= io_wait` (the rest was the disk's positioning +
+/// transfer). The span layer relies on both invariants to tile each
+/// request's latency without gaps or overlaps.
 #[derive(Clone, Copy, Debug)]
 pub struct TouchResult {
     /// What happened.
@@ -50,6 +57,13 @@ pub struct TouchResult {
     pub resource_wait: SimDuration,
     /// Time stalled waiting for disk I/O.
     pub io_wait: SimDuration,
+    /// The portion of `resource_wait` spent acquiring the address-space
+    /// lock.
+    pub lock_wait: SimDuration,
+    /// The portion of `io_wait` the request spent queued at the swap
+    /// device (FIFO, bus arbitration, retries) rather than in the final
+    /// positioning + transfer.
+    pub io_queue: SimDuration,
     /// Instant at which the touch completes and the process may continue.
     pub done_at: SimTime,
 }
@@ -62,6 +76,8 @@ impl TouchResult {
             system: SimDuration::ZERO,
             resource_wait: SimDuration::ZERO,
             io_wait: SimDuration::ZERO,
+            lock_wait: SimDuration::ZERO,
+            io_queue: SimDuration::ZERO,
             done_at: now,
         }
     }

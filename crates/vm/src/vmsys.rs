@@ -550,6 +550,8 @@ impl VmSys {
                 system: params.tlb_refill,
                 resource_wait: SimDuration::ZERO,
                 io_wait: SimDuration::ZERO,
+                lock_wait: SimDuration::ZERO,
+                io_queue: SimDuration::ZERO,
                 done_at: now + params.tlb_refill,
             };
         }
@@ -571,6 +573,8 @@ impl VmSys {
                     system,
                     resource_wait: SimDuration::ZERO,
                     io_wait,
+                    lock_wait: SimDuration::ZERO,
+                    io_queue: SimDuration::ZERO,
                     done_at: t_arrived + system,
                 }
             }
@@ -587,6 +591,8 @@ impl VmSys {
                     system,
                     resource_wait: acq.wait,
                     io_wait: SimDuration::ZERO,
+                    lock_wait: acq.wait,
+                    io_queue: SimDuration::ZERO,
                     done_at: acq.start + system,
                 }
             }
@@ -614,6 +620,8 @@ impl VmSys {
                     system,
                     resource_wait: acq.wait,
                     io_wait: SimDuration::ZERO,
+                    lock_wait: acq.wait,
+                    io_queue: SimDuration::ZERO,
                     done_at: acq.start + system,
                 }
             }
@@ -689,6 +697,8 @@ impl VmSys {
             system,
             resource_wait: acq.wait,
             io_wait: SimDuration::ZERO,
+            lock_wait: acq.wait,
+            io_queue: SimDuration::ZERO,
             done_at: acq.start + system,
         })
     }
@@ -716,6 +726,8 @@ impl VmSys {
             system,
             resource_wait: mem_wait + acq.wait,
             io_wait: SimDuration::ZERO,
+            lock_wait: acq.wait,
+            io_queue: SimDuration::ZERO,
             done_at: acq.start + system,
         })
     }
@@ -755,11 +767,17 @@ impl VmSys {
         self.stats.proc_mut(pidx).hard_faults.bump();
         self.note_page(now, pid.0, vpn.0, EventKind::HardFault);
         self.refresh_shared(now, pid);
+        let io_wait = io_done.since(t_setup_done);
         Ok(TouchResult {
             kind: TouchKind::HardFault,
             system: params.hard_fault_setup + params.hard_fault_finish,
             resource_wait: mem_wait + acq.wait,
-            io_wait: io_done.since(t_setup_done),
+            io_wait,
+            lock_wait: acq.wait,
+            // Everything past the disk's own positioning + transfer was
+            // queueing: any writeback wait before the read could start,
+            // plus FIFO/bus/retry/tail delays inside the device.
+            io_queue: io_wait.saturating_sub(self.swap.last_service()),
             done_at,
         })
     }

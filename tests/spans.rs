@@ -1,0 +1,209 @@
+//! The span layer's load-bearing promises, end to end:
+//!
+//! 1. **Exactness** — every closed request's per-state durations sum to
+//!    its measured latency to the simulated nanosecond; the blame table
+//!    reconciles to the summaries; the p999 exemplar *is* the fleet
+//!    digest's p999 sweep (same multiset, same nearest-rank convention).
+//! 2. **Determinism** — the rendered blame table, span summary, and
+//!    exemplar timelines are byte-identical whether a grid runs
+//!    serially, on a multi-worker pool, or resumes from a
+//!    kill-then-resume journal pass.
+//! 3. **Opt-in** — a run without `.observe()` carries no span report
+//!    and no span events at all.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+use hogtame::prelude::*;
+
+/// A fresh, process-unique scratch directory (no timestamps: tests must
+/// stay deterministic and runnable in parallel).
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "hogtame-spans-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// The observed surge storm every exactness test interrogates — run
+/// once per test binary, shared read-only.
+fn storm() -> &'static RunOutcome {
+    static OUT: OnceLock<RunOutcome> = OnceLock::new();
+    OUT.get_or_init(|| {
+        RunRequest::on(MachineConfig::small())
+            .fleet(FleetSpec::storm_demo(true))
+            .observe()
+            .run()
+            .expect("storm runs")
+    })
+}
+
+/// A mixed grid for the determinism passes: the observed storm, one
+/// observed classic run, and a plain run that must stay span-free.
+fn grid() -> Vec<RunRequest> {
+    let m = MachineConfig::small;
+    vec![
+        RunRequest::on(m())
+            .fleet(FleetSpec::storm_demo(true))
+            .observe(),
+        RunRequest::on(m())
+            .bench("MATVEC", Version::Release)
+            .interactive(SimDuration::from_secs(1), None)
+            .observe(),
+        RunRequest::on(m()).bench("MATVEC", Version::Prefetch),
+    ]
+}
+
+/// The bytes we pin: the full human rendering of each outcome's span
+/// report (summary + blame table + every exemplar timeline), or the
+/// empty string for span-free runs.
+fn span_bytes(outcomes: &[Result<RunOutcome, RunError>]) -> Vec<String> {
+    outcomes
+        .iter()
+        .map(|r| {
+            let out = r.as_ref().expect("grid request succeeds");
+            match out.run.spans.as_ref() {
+                None => String::new(),
+                Some(sp) => {
+                    let mut s = span_summary(sp);
+                    s.push_str(&blame_table(sp).render());
+                    for (i, ex) in sp.exemplars.iter().enumerate() {
+                        s.push_str(&exemplar_timeline(&format!("exemplar {i}"), ex));
+                    }
+                    s
+                }
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn every_request_tiles_exactly_and_blame_reconciles() {
+    let out = storm();
+    let spans = out.run.spans.as_ref().expect("observed run carries spans");
+    assert!(spans.requests() > 100, "a storm tracks many requests");
+    // Property: per-request state durations sum exactly to the measured
+    // latency — no gaps, no overlaps, for every request in the run.
+    for s in &spans.summaries {
+        assert_eq!(
+            s.total(),
+            s.latency,
+            "request {} (pid {}) must tile its latency exactly",
+            s.req,
+            s.pid
+        );
+    }
+    // The blame table is the same time re-bucketed: its cells sum to
+    // the total latency, per state and overall.
+    let blame_total = spans
+        .blame_rows()
+        .map(|(_, d)| d)
+        .fold(SimDuration::ZERO, |a, b| a + b);
+    assert_eq!(blame_total, spans.total_latency());
+    let mut per_state = [SimDuration::ZERO; SpanState::COUNT];
+    for s in &spans.summaries {
+        for (i, d) in s.by_state.iter().enumerate() {
+            per_state[i] += *d;
+        }
+    }
+    assert_eq!(per_state, spans.total_by_state());
+    // Nothing went missing: every request closed or was accounted for.
+    assert_eq!(spans.unfinished, 0, "the storm drains every request");
+}
+
+#[test]
+fn exemplars_align_with_the_fleet_digest() {
+    let out = storm();
+    let spans = out.run.spans.as_ref().expect("spans");
+    let fleet = out.run.fleet.as_ref().expect("fleet stats");
+    // The exemplar population is exactly the digest population.
+    assert_eq!(spans.sweeps_closed, fleet.overall.count);
+    // Same multiset + same nearest-rank convention ⇒ the p999 exemplar's
+    // latency equals the fleet digest's p999 exactly, not approximately.
+    let p999 = spans.p999_exemplar().expect("storm has sweeps");
+    assert_eq!(p999.summary.latency, fleet.overall.p999);
+    let slow = spans.slowest().expect("storm has sweeps");
+    assert_eq!(slow.summary.latency, fleet.overall.max);
+    // Exemplars carry usable critical paths: chronological, merged, and
+    // the dominant state of the p999 sweep is identified.
+    let path = p999.critical_path();
+    assert!(!path.is_empty());
+    for w in path.windows(2) {
+        assert!(w[0].start + w[0].dur <= w[1].start, "chronological");
+        assert_ne!(w[0].state, w[1].state, "consecutive states merged");
+    }
+    assert_eq!(
+        p999.summary.by_state[p999.summary.dominant_state().idx()],
+        SpanState::ALL
+            .iter()
+            .map(|s| p999.summary.by_state[s.idx()])
+            .max()
+            .unwrap()
+    );
+    // Shed requests never enter the sweep population.
+    let shed_sweeps = spans
+        .summaries
+        .iter()
+        .filter(|s| s.shed && matches!(s.kind, SpanKind::Sweep))
+        .count() as u64;
+    let clean_sweeps = spans
+        .summaries
+        .iter()
+        .filter(|s| !s.shed && matches!(s.kind, SpanKind::Sweep))
+        .count() as u64;
+    assert_eq!(clean_sweeps, spans.sweeps_closed);
+    let _ = shed_sweeps; // (may be zero for this seed; counted for clarity)
+}
+
+#[test]
+fn span_renderings_are_byte_identical_across_worker_counts() {
+    let serial = span_bytes(&exec::run_all_journaled(grid(), 1, None));
+    assert!(!serial[0].is_empty(), "the storm renders a span report");
+    assert!(!serial[1].is_empty(), "the observed classic run too");
+    assert!(serial[2].is_empty(), "the plain run carries no spans");
+    for jobs in [2, 4] {
+        let pooled = span_bytes(&exec::run_all_journaled(grid(), jobs, None));
+        assert_eq!(
+            serial, pooled,
+            "span renderings must not depend on jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn killed_span_grid_resumes_byte_identical() {
+    let straight = span_bytes(&exec::run_all_journaled(grid(), 1, None));
+    let dir = scratch("journal");
+    let journal = Journal::at(&dir).expect("journal opens");
+    let killed = exec::run_all_until(grid(), 2, &journal, 2);
+    assert!(killed >= 2, "the pool completed work before the kill");
+    let resumed = exec::run_all_journaled(grid(), 2, Some(&journal));
+    assert_eq!(
+        straight,
+        span_bytes(&resumed),
+        "kill-then-resume must reproduce the span renderings"
+    );
+}
+
+#[test]
+fn span_events_reach_the_chrome_trace() {
+    let out = storm();
+    let ev = &out.run.events;
+    let spans = out.run.spans.as_ref().expect("spans");
+    // One span_request event per closed request (exact counts survive
+    // ring eviction), plus at least one state interval each.
+    assert_eq!(ev.count("span_request"), spans.requests() as u64);
+    assert!(ev.count("span_state") >= spans.requests() as u64);
+    let names: Vec<String> = out.run.procs.iter().map(|p| p.name.clone()).collect();
+    let chrome = ev.to_chrome_trace(&names);
+    assert!(
+        chrome.contains("\"cat\":\"span\""),
+        "span duration events are exported"
+    );
+    assert!(chrome.contains("\"ph\":\"X\""), "as Perfetto X events");
+}
