@@ -1,0 +1,125 @@
+//! Compiler-fuzzer matrix: seeded generated programs × machine configs,
+//! differential-checked under checked mode.
+//!
+//! Sweeps `HOGTAME_FUZZ_SEEDS` seeds (default 168) across three configs —
+//! the small machine, a tight-memory machine (severe paging pressure),
+//! and the small machine under a seeded fault plan (poisoned hints, flaky
+//! I/O, jittery daemons) — pushing every generated program through the
+//! full pipeline and the engine via `fuzzing::check_case`: sanitizer +
+//! oracle stay clean, hinted ≡ unhinted computation, Eq. 2 metamorphic
+//! properties hold. ≥ 500 programs at the default seed count.
+//!
+//! Output is fully deterministic (CI runs the matrix twice and `diff -r`s
+//! the results). Any failure is auto-minimized by greedy nest/ref/loop
+//! deletion and written to `fuzz_min_<config>_<seed>.txt` in the results
+//! directory, then the process exits non-zero.
+
+use hogtame::fuzzing;
+use hogtame::prelude::*;
+use sim_core::fingerprint::Fnv1a;
+
+fn tight_memory() -> MachineConfig {
+    let mut m = MachineConfig::small();
+    m.frames = 160;
+    m.tunables = vm::Tunables::for_memory(160);
+    m.compiler_model.memory_pages = 160;
+    m
+}
+
+fn fault_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 2024,
+        hints: HintFaults::poisoned(0.2),
+        daemons: DaemonFaults {
+            releaser_jitter: SimDuration::from_micros(400),
+            releaser_stall: 0.05,
+            pagingd_skew: SimDuration::from_micros(150),
+            shrink_limit_at: None,
+            shrink_to_frac: 1.0,
+        },
+        io: IoFaults::flaky(0.01),
+        ..FaultPlan::default()
+    }
+}
+
+fn seed_count() -> u64 {
+    std::env::var("HOGTAME_FUZZ_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(168)
+}
+
+fn main() {
+    // Violations surface as panics we catch and report; keep the output
+    // readable by silencing the default hook.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let n = seed_count();
+    let configs: Vec<(&str, MachineConfig, Option<FaultPlan>)> = vec![
+        ("small", MachineConfig::small(), None),
+        ("tight-memory", tight_memory(), None),
+        ("faulted", MachineConfig::small(), Some(fault_plan())),
+    ];
+
+    let mut t = TextTable::new(vec!["config", "seeds", "programs", "failures", "digest"]);
+    let mut failures: Vec<String> = Vec::new();
+    let mut total_programs = 0u64;
+
+    for (name, machine, plan) in &configs {
+        let mut h = Fnv1a::new();
+        let mut config_failures = 0u64;
+        for seed in 0..n {
+            let spec = workloads::fuzz::spec(seed);
+            total_programs += 1;
+            match fuzzing::check_case(&spec, machine, plan.as_ref()) {
+                Ok(digest) => {
+                    h.write_u64(seed);
+                    h.write_u64(digest);
+                }
+                Err(failure) => {
+                    config_failures += 1;
+                    failures.push(format!("[{name}] seed {seed}: {failure}"));
+                    // Auto-minimize while the same failure class reproduces,
+                    // and write the repro for committing as a corpus case.
+                    let gp = compiler::gen::generate(seed);
+                    let min = fuzzing::minimize(&gp, |g| {
+                        fuzzing::check_case(
+                            &workloads::fuzz::from_gen(g.clone()),
+                            machine,
+                            plan.as_ref(),
+                        )
+                        .is_err()
+                    });
+                    let mut repro = format!("# FAILURE [{name}] seed {seed}\n# {failure}\n");
+                    repro.push_str(&fuzzing::render_case(&min, machine));
+                    let path = results_dir().join(format!("fuzz_min_{name}_{seed}.txt"));
+                    if let Err(e) = std::fs::write(&path, repro) {
+                        eprintln!("could not write {}: {e}", path.display());
+                    } else {
+                        eprintln!("minimized repro written to {}", path.display());
+                    }
+                }
+            }
+        }
+        t.row(vec![
+            (*name).to_string(),
+            format!("0..{n}"),
+            n.to_string(),
+            config_failures.to_string(),
+            format!("{:016x}", h.finish()),
+        ]);
+    }
+
+    Artifact::new("fuzz_matrix", "Compiler fuzzer: differential matrix").table(&t);
+    println!(
+        "\n{} generated programs through pipeline + checked engine; {} failure(s)",
+        total_programs,
+        failures.len()
+    );
+    for f in &failures {
+        eprintln!("FAIL {f}");
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

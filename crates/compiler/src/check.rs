@@ -126,6 +126,91 @@ impl fmt::Display for IrError {
 
 impl std::error::Error for IrError {}
 
+/// A typed error from the fallible IR construction/validation surface.
+///
+/// [`crate::ir::LoopNest::validate`] panics, which is right for
+/// hand-written builders and tests; code assembling IR mechanically (the
+/// fuzzer's minimizer, external front ends) uses
+/// [`crate::ir::LoopNest::try_validate`] /
+/// [`crate::ir::SourceProgram::try_nest`] and gets one of these instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The nest has no loops.
+    EmptyNest {
+        /// Nest name.
+        nest: String,
+    },
+    /// A loop's id does not equal its depth.
+    BadLoopId {
+        /// Nest name.
+        nest: String,
+        /// Loop position.
+        depth: usize,
+        /// The id found.
+        found: LoopId,
+    },
+    /// A reference names an undeclared array.
+    UnknownArray {
+        /// Nest name.
+        nest: String,
+        /// Reference position within the nest body.
+        reference: usize,
+        /// The offending id.
+        array: ArrayId,
+    },
+    /// A reference's index arity (runtime or `seen`) does not match the
+    /// array's declared rank.
+    WrongArity {
+        /// Nest name.
+        nest: String,
+        /// Array name.
+        array: String,
+        /// Indices supplied.
+        got: usize,
+        /// Rank declared.
+        expected: usize,
+    },
+    /// An array's element count or byte size overflows `i64`.
+    SizeOverflow {
+        /// Array name.
+        array: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::EmptyNest { nest } => write!(f, "{nest}: empty nest"),
+            CompileError::BadLoopId { nest, depth, found } => write!(
+                f,
+                "{nest}: loop ids must equal depth (depth {depth} has id {found:?})"
+            ),
+            CompileError::UnknownArray {
+                nest,
+                reference,
+                array,
+            } => write!(
+                f,
+                "{nest}: ref {reference} names undeclared array {array:?}"
+            ),
+            CompileError::WrongArity {
+                nest,
+                array,
+                got,
+                expected,
+            } => write!(
+                f,
+                "{nest}: ref to {array} has wrong arity ({got} indices for rank-{expected})"
+            ),
+            CompileError::SizeOverflow { array } => {
+                write!(f, "{array}: dimension product overflows i64")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
 fn check_affine_loops(
     a: &crate::expr::Affine,
     depth: usize,

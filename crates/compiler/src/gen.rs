@@ -1,0 +1,775 @@
+//! Seeded random loop-nest generator (the compiler fuzzer's front end).
+//!
+//! The six NAS kernels exercise only a narrow slice of the reuse /
+//! locality / priority analyses. This module machine-generates
+//! adversarially-shaped [`SourceProgram`]s — arbitrary-depth nests, affine
+//! *and* indirect indices, known/unknown bounds, stride changes across
+//! invocations, read/write aliasing, zero-trip loops, single-page arrays,
+//! depth-8 nests, arrays shared across nests — every one valid by
+//! construction against [`LoopNest::validate`] / [`crate::check_program`].
+//!
+//! Randomness discipline: each generator *concern* draws from its own
+//! [`GenDomain`]-salted [`Pcg32`] stream (the same pattern as fault
+//! injection's `FaultDomain`), so adding a draw to one concern never
+//! perturbs another concern's choices. The seed → program mapping is a
+//! pure function; [`generate`] asserts the result checks clean.
+//!
+//! The generator also emits the *runtime truth* a [`SourceProgram`] alone
+//! cannot carry — actual extents behind unknown bounds, actual trip counts
+//! (possibly cycling across invocations), indirection content seeds — as
+//! plain data ([`GenProgram`]) that the workloads crate assembles into a
+//! runnable `BenchSpec`.
+
+use sim_core::fingerprint::{Fingerprint, Fnv1a};
+use sim_core::rng::{GenDomain, Pcg32};
+
+use crate::check::check_program;
+use crate::expr::{Affine, Bound};
+use crate::ir::{ArrayId, ArrayRef, Index, Loop, LoopId, LoopNest, SourceProgram};
+
+/// Tunable limits for the generator.
+///
+/// Defaults are sized so a generated program runs through the engine in
+/// milliseconds while still reaching every degenerate shape the analyses
+/// must survive.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Maximum nests per program (at least 1 is always generated).
+    pub max_nests: usize,
+    /// Maximum nest depth (depth-`max` nests are generated with ~12%
+    /// probability; others are depth 1–3).
+    pub max_depth: usize,
+    /// Maximum declared arrays (at least 1).
+    pub max_arrays: usize,
+    /// Maximum references per nest (at least 1).
+    pub max_refs_per_nest: usize,
+    /// Cap on any one array's footprint, in pages.
+    pub max_pages_per_array: u64,
+    /// Page size used for footprint capping.
+    pub page_size: u64,
+    /// Cap on the product of actual trip counts of one nest.
+    pub max_iters_per_nest: i64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_nests: 3,
+            max_depth: 8,
+            max_arrays: 4,
+            max_refs_per_nest: 5,
+            max_pages_per_array: 48,
+            page_size: 16 * 1024,
+            max_iters_per_nest: 12_000,
+        }
+    }
+}
+
+/// Runtime trip plan for one loop (mirrors the runtime crate's `TripSpec`
+/// without depending on it — the compiler crate sits below runtime in the
+/// dependency DAG).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TripPlan {
+    /// Resolve from the compile-time bound (the bound is `Known`).
+    Static,
+    /// The actual trip count (the bound is `Unknown`; may be 0).
+    Actual(i64),
+    /// Trip count cycles across invocations (mid-run stride/shape change).
+    Cycle(Vec<i64>),
+}
+
+/// Runtime wiring for one indirection array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndirectPlan {
+    /// The index array being read through.
+    pub via: ArrayId,
+    /// Content seed for the synthetic index values.
+    pub seed: u64,
+    /// Generated values lie in `[0, range)`.
+    pub range: u64,
+}
+
+/// A generated program plus the runtime truth needed to execute it.
+#[derive(Clone, Debug)]
+pub struct GenProgram {
+    /// The seed this program was generated from.
+    pub seed: u64,
+    /// The valid-by-construction IR.
+    pub source: SourceProgram,
+    /// Actual extent of every array dimension (equals the declared bound
+    /// where the bound is `Known`).
+    pub actual_dims: Vec<Vec<i64>>,
+    /// Per-nest, per-loop trip plans (arity matches each nest's depth).
+    pub trips: Vec<Vec<TripPlan>>,
+    /// Indirection wiring, one entry per distinct `via` array.
+    pub indirect: Vec<IndirectPlan>,
+    /// Number of times the whole program body runs.
+    pub invocations: u32,
+}
+
+impl GenProgram {
+    /// Fingerprint of the generated IR plus its runtime truth.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        self.feed(&mut h);
+        h.finish()
+    }
+}
+
+impl Fingerprint for GenProgram {
+    fn feed(&self, h: &mut Fnv1a) {
+        h.write_u64(self.seed);
+        self.source.feed(h);
+        for dims in &self.actual_dims {
+            h.write_u64(dims.len() as u64);
+            for &d in dims {
+                h.write_i64(d);
+            }
+        }
+        for nest in &self.trips {
+            h.write_u64(nest.len() as u64);
+            for t in nest {
+                match t {
+                    TripPlan::Static => h.write_u64(0),
+                    TripPlan::Actual(v) => {
+                        h.write_u64(1);
+                        h.write_i64(*v);
+                    }
+                    TripPlan::Cycle(vs) => {
+                        h.write_u64(2);
+                        h.write_u64(vs.len() as u64);
+                        for &v in vs {
+                            h.write_i64(v);
+                        }
+                    }
+                }
+            }
+        }
+        for p in &self.indirect {
+            h.write_u64(p.via.0 as u64);
+            h.write_u64(p.seed);
+            h.write_u64(p.range);
+        }
+        h.write_u64(u64::from(self.invocations));
+    }
+}
+
+fn feed_bound(b: Bound, h: &mut Fnv1a) {
+    match b {
+        Bound::Known(v) => {
+            h.write_u64(0);
+            h.write_i64(v);
+        }
+        Bound::Unknown { estimate } => {
+            h.write_u64(1);
+            h.write_i64(estimate);
+        }
+    }
+}
+
+fn feed_affine(a: &Affine, h: &mut Fnv1a) {
+    h.write_i64(a.constant);
+    h.write_u64(a.terms.len() as u64);
+    for &(l, c) in &a.terms {
+        h.write_u64(l.0 as u64);
+        h.write_i64(c);
+    }
+}
+
+fn feed_index(ix: &Index, h: &mut Fnv1a) {
+    match ix {
+        Index::Affine(a) => {
+            h.write_u64(0);
+            feed_affine(a, h);
+        }
+        Index::Indirect { via, subscript } => {
+            h.write_u64(1);
+            h.write_u64(via.0 as u64);
+            feed_affine(subscript, h);
+        }
+    }
+}
+
+impl Fingerprint for SourceProgram {
+    fn feed(&self, h: &mut Fnv1a) {
+        h.write_str(&self.name);
+        h.write_u64(self.arrays.len() as u64);
+        for decl in &self.arrays {
+            h.write_str(&decl.name);
+            h.write_u64(decl.elem_size);
+            h.write_u64(decl.dims.len() as u64);
+            for &d in &decl.dims {
+                feed_bound(d, h);
+            }
+        }
+        h.write_u64(self.nests.len() as u64);
+        for nest in &self.nests {
+            h.write_str(&nest.name);
+            h.write_u64(nest.work_per_iter_ns);
+            h.write_u64(nest.loops.len() as u64);
+            for l in &nest.loops {
+                feed_bound(l.count, h);
+            }
+            h.write_u64(nest.refs.len() as u64);
+            for r in &nest.refs {
+                h.write_u64(r.array.0 as u64);
+                h.write_bool(r.is_write);
+                for ix in &r.indices {
+                    feed_index(ix, h);
+                }
+                h.write_bool(r.seen.is_some());
+                if let Some(seen) = &r.seen {
+                    for ix in seen {
+                        feed_index(ix, h);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One array's generated shape: actual extents plus declared bounds.
+struct GenArray {
+    dims: Vec<Bound>,
+    actual: Vec<i64>,
+    elem_size: u64,
+}
+
+fn gen_array(seed: u64, idx: usize, cfg: &GenConfig) -> GenArray {
+    let mut rng = GenDomain::Arrays.rng(seed, idx as u64);
+    let rank = match rng.next_f64() {
+        f if f < 0.50 => 1,
+        f if f < 0.85 => 2,
+        _ => 3,
+    };
+    let elem_size: u64 = if rng.next_f64() < 0.5 { 4 } else { 8 };
+    let elems_per_page = (cfg.page_size / elem_size).max(1) as i64;
+
+    let mut actual = Vec::with_capacity(rank);
+    for d in 0..rank {
+        let extent = if d + 1 == rank {
+            if rng.next_f64() < 0.20 {
+                // Single-page (or sub-page) array.
+                1 + rng.next_below(elems_per_page as u32) as i64
+            } else {
+                let lo = elems_per_page / 2;
+                lo + rng.next_below((elems_per_page * 16) as u32) as i64
+            }
+        } else {
+            1 + rng.next_below(6) as i64
+        };
+        actual.push(extent.max(1));
+    }
+    // Cap the footprint by shrinking the largest extent.
+    let cap_bytes = (cfg.max_pages_per_array * cfg.page_size) as i64;
+    loop {
+        let bytes = actual.iter().product::<i64>() * elem_size as i64;
+        if bytes <= cap_bytes {
+            break;
+        }
+        let (big, _) = actual
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .expect("rank >= 1");
+        actual[big] = (actual[big] / 2).max(1);
+    }
+
+    let dims = actual
+        .iter()
+        .map(|&v| {
+            if rng.next_f64() < 0.75 {
+                Bound::Known(v)
+            } else {
+                let estimate = match rng.next_f64() {
+                    f if f < 0.4 => v,
+                    f if f < 0.7 => v * 2 + 1,
+                    _ => (v / 2).max(1),
+                };
+                Bound::Unknown { estimate }
+            }
+        })
+        .collect();
+    GenArray {
+        dims,
+        actual,
+        elem_size,
+    }
+}
+
+/// One loop's generated bound + runtime trip.
+struct GenLoop {
+    bound: Bound,
+    plan: TripPlan,
+}
+
+fn gen_loops(seed: u64, nest_idx: usize, depth: usize, cfg: &GenConfig) -> Vec<GenLoop> {
+    let mut brng = GenDomain::Bounds.rng(seed, nest_idx as u64);
+    let mut rrng = GenDomain::Runtime.rng(seed, 1 + nest_idx as u64);
+    let mut budget = cfg.max_iters_per_nest.max(1);
+    let mut loops = Vec::with_capacity(depth);
+    for d in 0..depth {
+        let ceiling = if d + 1 == depth { 1024 } else { 24 };
+        let hi = ceiling.min(budget).max(1);
+        let mut actual = 1 + brng.next_below(hi as u32) as i64;
+        // Occasional zero-trip loop; runtime-only, so the compile-time
+        // bound must be Unknown (Known(0) would fail check_program).
+        let zero_trip = brng.next_f64() < 0.05;
+        if zero_trip {
+            actual = 0;
+        }
+        budget = (budget / actual.max(1)).max(1);
+
+        let unknown = zero_trip || brng.next_f64() < 0.30;
+        let (bound, plan) = if unknown {
+            let estimate = match brng.next_f64() {
+                f if f < 0.4 => actual.max(1),
+                f if f < 0.7 => actual * 2 + 1,
+                _ => (actual / 2).max(1),
+            };
+            let plan = if rrng.next_f64() < 0.30 {
+                // Trip count changes across invocations.
+                let alt = match rrng.next_f64() {
+                    f if f < 0.5 => (actual / 2).max(1),
+                    f if f < 0.8 => actual + 1,
+                    _ => 0,
+                };
+                TripPlan::Cycle(vec![actual, alt])
+            } else {
+                TripPlan::Actual(actual)
+            };
+            (Bound::Unknown { estimate }, plan)
+        } else {
+            (Bound::Known(actual), TripPlan::Static)
+        };
+        loops.push(GenLoop { bound, plan });
+    }
+    loops
+}
+
+fn gen_affine(rng: &mut Pcg32, depth: usize, last_dim: bool) -> Affine {
+    let f = rng.next_f64();
+    if f < 0.10 {
+        return Affine::constant(rng.next_below(4) as i64);
+    }
+    // Primary loop: the last array dimension prefers the innermost loop
+    // (spatial locality); other dimensions pick uniformly.
+    let l = if last_dim && rng.next_f64() < 0.60 {
+        LoopId(depth - 1)
+    } else {
+        LoopId(rng.index(depth))
+    };
+    let coeff = match rng.next_f64() {
+        c if c < 0.78 => 1,
+        c if c < 0.88 => 2,
+        c if c < 0.95 => 3,
+        _ => -1,
+    };
+    let mut a = Affine::constant(0).plus_term(l, coeff);
+    if f >= 0.80 && depth >= 2 {
+        // Two-term index (e.g. i + 2*k), second loop distinct.
+        let l2 = LoopId(rng.index(depth));
+        if l2 != l {
+            let c2 = if rng.next_f64() < 0.7 { 1 } else { 2 };
+            a = a.plus_term(l2, c2);
+        }
+    }
+    let off = match rng.next_f64() {
+        o if o < 0.55 => 0,
+        o if o < 0.75 => 1,
+        o if o < 0.85 => -1,
+        o if o < 0.95 => 2,
+        _ => -2,
+    };
+    a.plus_const(off)
+}
+
+/// Generates the program for `seed` under the default [`GenConfig`].
+pub fn generate(seed: u64) -> GenProgram {
+    generate_with(seed, &GenConfig::default())
+}
+
+/// Generates the program for `seed` under an explicit config.
+///
+/// Pure and deterministic: the same `(seed, cfg)` always yields the same
+/// [`GenProgram`]. The result is asserted to pass [`check_program`].
+pub fn generate_with(seed: u64, cfg: &GenConfig) -> GenProgram {
+    let mut shape = GenDomain::Shape.rng(seed, 0);
+    let n_arrays = 1 + shape.index(cfg.max_arrays.max(1));
+    let n_nests = 1 + shape.index(cfg.max_nests.max(1));
+
+    let mut src = SourceProgram::new(format!("fuzz-{seed}"));
+    let mut actual_dims = Vec::with_capacity(n_arrays);
+    for a in 0..n_arrays {
+        let ga = gen_array(seed, a, cfg);
+        let name = ((b'a' + (a % 26) as u8) as char).to_string();
+        src.array(name, ga.elem_size, ga.dims);
+        actual_dims.push(ga.actual);
+    }
+
+    let mut indirect: Vec<IndirectPlan> = Vec::new();
+    let mut trips = Vec::with_capacity(n_nests);
+    for ni in 0..n_nests {
+        let depth = if shape.next_f64() < 0.12 {
+            let lo = 4.min(cfg.max_depth);
+            lo + shape.index(cfg.max_depth - lo + 1)
+        } else {
+            1 + shape.index(3.min(cfg.max_depth))
+        };
+        let n_refs = 1 + shape.index(cfg.max_refs_per_nest.max(1));
+        let work_ns = 10 + shape.next_below(50) as u64;
+
+        let loops = gen_loops(seed, ni, depth, cfg);
+        let mut nest = LoopNest {
+            name: format!("n{ni}"),
+            loops: loops
+                .iter()
+                .enumerate()
+                .map(|(d, l)| Loop {
+                    id: LoopId(d),
+                    count: l.bound,
+                })
+                .collect(),
+            refs: Vec::new(),
+            work_per_iter_ns: work_ns,
+        };
+        trips.push(loops.iter().map(|l| l.plan.clone()).collect::<Vec<_>>());
+
+        let mut refs_rng = GenDomain::Refs.rng(seed, ni as u64);
+        let mut strides = GenDomain::Strides.rng(seed, ni as u64);
+        let mut ind_rng = GenDomain::Indirection.rng(seed, ni as u64);
+        for _ in 0..n_refs {
+            let array = ArrayId(refs_rng.index(n_arrays));
+            let rank = src.decl(array).dims.len();
+            let is_write = refs_rng.next_f64() < 0.25;
+
+            // Group locality: reuse an earlier affine index vector to the
+            // same array, shifted by a small constant in the last dim.
+            let prior: Vec<&ArrayRef> = nest
+                .refs
+                .iter()
+                .filter(|r| r.array == array && r.fully_affine() && r.seen.is_none())
+                .collect();
+            let mut indices: Vec<Index> = if !prior.is_empty() && refs_rng.next_f64() < 0.35 {
+                let donor = prior[refs_rng.index(prior.len())];
+                let mut ix = donor.indices.clone();
+                let shift = 1 + strides.next_below(2) as i64;
+                let sign = if strides.next_f64() < 0.5 { 1 } else { -1 };
+                if let Index::Affine(a) = &ix[rank - 1] {
+                    ix[rank - 1] = Index::Affine(a.clone().plus_const(sign * shift));
+                }
+                ix
+            } else {
+                (0..rank)
+                    .map(|d| Index::Affine(gen_affine(&mut strides, depth, d + 1 == rank)))
+                    .collect()
+            };
+
+            // Indirection: route one dimension through an index array.
+            if ind_rng.next_f64() < 0.18 {
+                let d = ind_rng.index(rank);
+                let via = ArrayId(ind_rng.index(n_arrays));
+                let subscript = Affine::constant(0).plus_term(LoopId(ind_rng.index(depth)), 1);
+                indices[d] = Index::Indirect { via, subscript };
+                if !indirect.iter().any(|p| p.via == via) {
+                    let range = actual_dims[array.0][d].max(1) as u64;
+                    indirect.push(IndirectPlan {
+                        via,
+                        seed: ind_rng.next_u64(),
+                        range,
+                    });
+                }
+            }
+
+            let mut r = if is_write {
+                ArrayRef::write(array, indices)
+            } else {
+                ArrayRef::read(array, indices)
+            };
+
+            // FFTPDE-style analysis/runtime divergence: the compiler sees
+            // a loop-invariant index where execution actually strides.
+            if refs_rng.next_f64() < 0.06 {
+                if let Some(d) = r.indices.iter().position(Index::is_affine) {
+                    let mut seen = r.indices.clone();
+                    seen[d] = Index::Affine(Affine::constant(0));
+                    r.seen = Some(seen);
+                }
+            }
+            nest.refs.push(r);
+        }
+        src.nest(nest);
+    }
+
+    let mut run_rng = GenDomain::Runtime.rng(seed, 0);
+    let invocations = 1 + run_rng.next_below(3);
+
+    let gp = GenProgram {
+        seed,
+        source: src,
+        actual_dims,
+        trips,
+        indirect,
+        invocations,
+    };
+    assert!(
+        check_program(&gp.source).is_ok(),
+        "generated program must be valid by construction (seed {seed})"
+    );
+    gp
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic transforms (differential check 3).
+// ---------------------------------------------------------------------------
+
+/// Renames the program, every array, and every nest. Analysis results must
+/// be invariant under relabeling.
+pub fn relabel(src: &SourceProgram) -> SourceProgram {
+    let mut out = src.clone();
+    out.name = format!("{}-relabeled", src.name);
+    for decl in &mut out.arrays {
+        decl.name = format!("ren_{}", decl.name);
+    }
+    for nest in &mut out.nests {
+        nest.name = format!("ren_{}", nest.name);
+    }
+    out
+}
+
+/// Reorders array declarations by `perm` (new position `i` holds old array
+/// `perm[i]`), remapping every reference and indirection. Directives must
+/// be unchanged per reference (modulo tag numbering).
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..arrays.len()`.
+pub fn renumber_arrays(src: &SourceProgram, perm: &[usize]) -> SourceProgram {
+    assert_eq!(perm.len(), src.arrays.len(), "perm must cover every array");
+    let mut new_id = vec![usize::MAX; perm.len()];
+    for (new, &old) in perm.iter().enumerate() {
+        new_id[old] = new;
+    }
+    assert!(
+        new_id.iter().all(|&n| n != usize::MAX),
+        "perm must be a permutation"
+    );
+    let mut out = src.clone();
+    out.arrays = perm
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| {
+            let mut d = src.arrays[old].clone();
+            d.id = ArrayId(new);
+            d
+        })
+        .collect();
+    let remap_ix = |ix: &mut Index| {
+        if let Index::Indirect { via, .. } = ix {
+            *via = ArrayId(new_id[via.0]);
+        }
+    };
+    for nest in &mut out.nests {
+        for r in &mut nest.refs {
+            r.array = ArrayId(new_id[r.array.0]);
+            r.indices.iter_mut().for_each(remap_ix);
+            if let Some(seen) = &mut r.seen {
+                seen.iter_mut().for_each(remap_ix);
+            }
+        }
+    }
+    out
+}
+
+/// Interchanges loops `a` and `b` of one nest, remapping every index
+/// expression. The transformed nest is valid whenever the original was;
+/// temporal reuse sets and Eq. 2 priorities must map under the same swap.
+pub fn interchange(nest: &LoopNest, a: LoopId, b: LoopId) -> LoopNest {
+    let mut out = nest.clone();
+    out.loops.swap(a.0, b.0);
+    for (d, l) in out.loops.iter_mut().enumerate() {
+        l.id = LoopId(d);
+    }
+    let swap = |l: LoopId| {
+        if l == a {
+            b
+        } else if l == b {
+            a
+        } else {
+            l
+        }
+    };
+    let swap_affine = |e: &mut Affine| {
+        let mut terms: Vec<(LoopId, i64)> = e.terms.iter().map(|&(l, c)| (swap(l), c)).collect();
+        terms.sort_by_key(|&(l, _)| l);
+        e.terms = terms;
+    };
+    let swap_ix = |ix: &mut Index| match ix {
+        Index::Affine(e) => swap_affine(e),
+        Index::Indirect { subscript, .. } => swap_affine(subscript),
+    };
+    for r in &mut out.refs {
+        r.indices.iter_mut().for_each(swap_ix);
+        if let Some(seen) = &mut r.seen {
+            seen.iter_mut().for_each(swap_ix);
+        }
+    }
+    out
+}
+
+/// Maps an Eq. 2 priority across a loop interchange: swaps bits `a` and
+/// `b` of the priority word (each temporal loop contributes `2^depth`).
+pub fn swap_priority_bits(priority: u32, a: LoopId, b: LoopId) -> u32 {
+    let (ba, bb) = (a.0.min(31) as u32, b.0.min(31) as u32);
+    let va = (priority >> ba) & 1;
+    let vb = (priority >> bb) & 1;
+    let mut p = priority & !(1 << ba) & !(1 << bb);
+    p |= va << bb;
+    p |= vb << ba;
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insert::{compile, CompileOptions};
+    use crate::reuse;
+    use crate::MachineModel;
+
+    #[test]
+    fn same_seed_same_program() {
+        for seed in [0u64, 1, 7, 1234, u64::MAX] {
+            let a = generate(seed);
+            let b = generate(seed);
+            assert_eq!(a.fingerprint(), b.fingerprint(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        assert_ne!(generate(1).fingerprint(), generate(2).fingerprint());
+    }
+
+    #[test]
+    fn hundred_seeds_check_clean_and_compile() {
+        for seed in 0..100u64 {
+            let gp = generate(seed);
+            assert!(check_program(&gp.source).is_ok());
+            for (ni, nest) in gp.source.nests.iter().enumerate() {
+                assert_eq!(gp.trips[ni].len(), nest.depth(), "seed {seed} nest {ni}");
+                for (d, l) in nest.loops.iter().enumerate() {
+                    // Known bounds are honest: the runtime plan is Static.
+                    if l.count.is_known() {
+                        assert_eq!(gp.trips[ni][d], TripPlan::Static, "seed {seed}");
+                    } else {
+                        assert_ne!(gp.trips[ni][d], TripPlan::Static, "seed {seed}");
+                    }
+                }
+            }
+            // The full pipeline accepts every generated program.
+            let prog = compile(
+                &gp.source,
+                &CompileOptions::prefetch_and_release(MachineModel::origin200()),
+            );
+            assert_eq!(prog.nests.len(), gp.source.nests.len());
+        }
+    }
+
+    #[test]
+    fn corners_are_reached_within_first_seeds() {
+        let mut zero_trip = false;
+        let mut deep = false;
+        let mut indirect = false;
+        let mut unknown = false;
+        let mut seen_divergence = false;
+        let mut write = false;
+        for seed in 0..256u64 {
+            let gp = generate(seed);
+            for trips in &gp.trips {
+                for t in trips {
+                    match t {
+                        TripPlan::Actual(0) => zero_trip = true,
+                        TripPlan::Cycle(vs) if vs.contains(&0) => zero_trip = true,
+                        _ => {}
+                    }
+                }
+            }
+            for nest in &gp.source.nests {
+                deep |= nest.depth() >= 6;
+                for r in &nest.refs {
+                    indirect |= !r.fully_affine();
+                    seen_divergence |= r.seen.is_some();
+                    write |= r.is_write;
+                }
+                unknown |= nest.loops.iter().any(|l| !l.count.is_known());
+            }
+        }
+        assert!(zero_trip, "no zero-trip loop in 256 seeds");
+        assert!(deep, "no deep nest in 256 seeds");
+        assert!(indirect, "no indirect ref in 256 seeds");
+        assert!(unknown, "no unknown bound in 256 seeds");
+        assert!(seen_divergence, "no seen-divergence in 256 seeds");
+        assert!(write, "no write ref in 256 seeds");
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let gp = generate(11);
+        let r = relabel(&gp.source);
+        assert!(check_program(&r).is_ok());
+        assert_eq!(r.nests.len(), gp.source.nests.len());
+    }
+
+    #[test]
+    fn renumber_roundtrip_is_identity() {
+        let gp = generate(12);
+        let n = gp.source.arrays.len();
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let fwd = renumber_arrays(&gp.source, &perm);
+        assert!(check_program(&fwd).is_ok());
+        let back = renumber_arrays(&fwd, &perm);
+        assert_eq!(back.fingerprint(), gp.source.fingerprint());
+    }
+
+    #[test]
+    fn interchange_swaps_temporal_sets() {
+        let gp = generate(13);
+        let (a, b) = (LoopId(0), LoopId(1));
+        for nest in gp.source.nests.iter().filter(|n| n.depth() >= 2) {
+            let swapped = interchange(nest, a, b);
+            swapped.validate(&gp.source.arrays);
+            let before = reuse::analyze_nest(nest, &gp.source.arrays, 16 * 1024);
+            let after = reuse::analyze_nest(&swapped, &gp.source.arrays, 16 * 1024);
+            for (x, y) in before.iter().zip(after.iter()) {
+                let mut mapped: Vec<LoopId> = x
+                    .temporal
+                    .iter()
+                    .map(|&l| {
+                        if l == a {
+                            b
+                        } else if l == b {
+                            a
+                        } else {
+                            l
+                        }
+                    })
+                    .collect();
+                mapped.sort();
+                let mut got = y.temporal.clone();
+                got.sort();
+                assert_eq!(mapped, got);
+            }
+        }
+    }
+
+    #[test]
+    fn priority_bit_swap() {
+        use crate::priority::release_priority;
+        let set = vec![LoopId(0), LoopId(2)];
+        let p = release_priority(&set);
+        assert_eq!(p, 0b101);
+        assert_eq!(swap_priority_bits(p, LoopId(0), LoopId(1)), 0b110);
+        assert_eq!(swap_priority_bits(p, LoopId(0), LoopId(2)), 0b101);
+        assert_eq!(swap_priority_bits(0, LoopId(3), LoopId(4)), 0);
+    }
+}

@@ -6,6 +6,7 @@
 //! Array references use per-dimension index expressions: affine in the loop
 //! induction variables, or one level of indirection (`a[b[i]]`).
 
+use crate::check::CompileError;
 use crate::expr::{Affine, Bound};
 
 /// Identifier of a loop within one nest (0 = outermost).
@@ -67,15 +68,53 @@ pub struct ArrayDecl {
 
 impl ArrayDecl {
     /// Total elements if all dimensions are known.
+    ///
+    /// Returns `None` for unknown dimensions *and* on `i64` overflow; use
+    /// [`ArrayDecl::try_total_elems`] to distinguish the two.
     pub fn total_elems(&self) -> Option<i64> {
-        self.dims
-            .iter()
-            .try_fold(1i64, |acc, d| d.known().map(|v| acc * v))
+        self.try_total_elems().ok().flatten()
     }
 
-    /// Total bytes if all dimensions are known.
+    /// Total bytes if all dimensions are known (`None` also on overflow).
     pub fn total_bytes(&self) -> Option<i64> {
-        self.total_elems().map(|e| e * self.elem_size as i64)
+        self.try_total_bytes().ok().flatten()
+    }
+
+    /// Total elements: `Ok(None)` if a dimension is unknown, a typed
+    /// [`CompileError::SizeOverflow`] if the product overflows `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::SizeOverflow`] when the element count does
+    /// not fit in `i64`.
+    pub fn try_total_elems(&self) -> Result<Option<i64>, CompileError> {
+        let mut acc = 1i64;
+        for d in &self.dims {
+            let Some(v) = d.known() else { return Ok(None) };
+            acc = acc.checked_mul(v).ok_or(CompileError::SizeOverflow {
+                array: self.name.clone(),
+            })?;
+        }
+        Ok(Some(acc))
+    }
+
+    /// Total bytes, with overflow reported as a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::SizeOverflow`] when the byte size does not
+    /// fit in `i64`.
+    pub fn try_total_bytes(&self) -> Result<Option<i64>, CompileError> {
+        match self.try_total_elems()? {
+            None => Ok(None),
+            Some(e) => {
+                e.checked_mul(self.elem_size as i64)
+                    .map(Some)
+                    .ok_or(CompileError::SizeOverflow {
+                        array: self.name.clone(),
+                    })
+            }
+        }
     }
 }
 
@@ -161,25 +200,63 @@ impl LoopNest {
     ///
     /// # Panics
     ///
-    /// Panics on malformed nests (used by builders and tests).
+    /// Panics on malformed nests (used by builders and tests). Mechanical
+    /// IR assembly should prefer [`LoopNest::try_validate`].
     pub fn validate(&self, arrays: &[ArrayDecl]) {
-        assert!(!self.loops.is_empty(), "{}: empty nest", self.name);
-        for (d, l) in self.loops.iter().enumerate() {
-            assert_eq!(l.id, LoopId(d), "{}: loop ids must equal depth", self.name);
+        if let Err(e) = self.try_validate(arrays) {
+            panic!("{e}");
         }
-        for r in &self.refs {
-            let decl = &arrays[r.array.0];
-            assert_eq!(
-                r.indices.len(),
-                decl.dims.len(),
-                "{}: ref to {} has wrong arity",
-                self.name,
-                decl.name
-            );
-            if let Some(seen) = &r.seen {
-                assert_eq!(seen.len(), decl.dims.len());
+    }
+
+    /// Fallible twin of [`LoopNest::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural problem found as a typed
+    /// [`CompileError`] instead of panicking.
+    pub fn try_validate(&self, arrays: &[ArrayDecl]) -> Result<(), CompileError> {
+        if self.loops.is_empty() {
+            return Err(CompileError::EmptyNest {
+                nest: self.name.clone(),
+            });
+        }
+        for (d, l) in self.loops.iter().enumerate() {
+            if l.id != LoopId(d) {
+                return Err(CompileError::BadLoopId {
+                    nest: self.name.clone(),
+                    depth: d,
+                    found: l.id,
+                });
             }
         }
+        for (ri, r) in self.refs.iter().enumerate() {
+            let Some(decl) = arrays.get(r.array.0) else {
+                return Err(CompileError::UnknownArray {
+                    nest: self.name.clone(),
+                    reference: ri,
+                    array: r.array,
+                });
+            };
+            if r.indices.len() != decl.dims.len() {
+                return Err(CompileError::WrongArity {
+                    nest: self.name.clone(),
+                    array: decl.name.clone(),
+                    got: r.indices.len(),
+                    expected: decl.dims.len(),
+                });
+            }
+            if let Some(seen) = &r.seen {
+                if seen.len() != decl.dims.len() {
+                    return Err(CompileError::WrongArity {
+                        nest: self.name.clone(),
+                        array: decl.name.clone(),
+                        got: seen.len(),
+                        expected: decl.dims.len(),
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -220,6 +297,19 @@ impl SourceProgram {
     pub fn nest(&mut self, nest: LoopNest) {
         nest.validate(&self.arrays);
         self.nests.push(nest);
+    }
+
+    /// Appends a nest, reporting malformed input as a typed error instead
+    /// of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CompileError`] from [`LoopNest::try_validate`]; the
+    /// nest is not appended on error.
+    pub fn try_nest(&mut self, nest: LoopNest) -> Result<(), CompileError> {
+        nest.try_validate(&self.arrays)?;
+        self.nests.push(nest);
+        Ok(())
     }
 
     /// Array declaration lookup.
@@ -298,6 +388,7 @@ impl NestBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::check::CompileError;
 
     #[test]
     fn program_builder() {
@@ -326,6 +417,97 @@ mod tests {
         let mut p = SourceProgram::new("t");
         let a = p.array("a", 4, vec![Bound::Unknown { estimate: 100 }]);
         assert_eq!(p.decl(a).total_elems(), None);
+        assert_eq!(p.decl(a).try_total_elems(), Ok(None));
+        assert_eq!(p.decl(a).try_total_bytes(), Ok(None));
+    }
+
+    #[test]
+    fn elem_overflow_is_typed_not_a_panic() {
+        let mut p = SourceProgram::new("t");
+        let a = p.array("huge", 8, vec![Bound::Known(i64::MAX), Bound::Known(3)]);
+        assert_eq!(p.decl(a).total_elems(), None);
+        assert_eq!(p.decl(a).total_bytes(), None);
+        assert!(matches!(
+            p.decl(a).try_total_elems(),
+            Err(CompileError::SizeOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn byte_overflow_is_typed_not_a_panic() {
+        // Element count fits in i64; the byte size does not.
+        let mut p = SourceProgram::new("t");
+        let a = p.array("wide", 1024, vec![Bound::Known(i64::MAX / 2)]);
+        assert_eq!(p.decl(a).try_total_elems(), Ok(Some(i64::MAX / 2)));
+        assert_eq!(p.decl(a).total_bytes(), None);
+        assert!(matches!(
+            p.decl(a).try_total_bytes(),
+            Err(CompileError::SizeOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn try_validate_reports_typed_errors() {
+        let mut p = SourceProgram::new("t");
+        let a = p.array("a", 8, vec![Bound::Known(10), Bound::Known(10)]);
+
+        let empty = NestBuilder::new("e").build();
+        assert!(matches!(
+            empty.try_validate(&p.arrays),
+            Err(CompileError::EmptyNest { .. })
+        ));
+
+        let bad_arity = NestBuilder::new("n")
+            .counted_loop(Bound::Known(10))
+            .reference(ArrayRef::read(a, vec![Index::aff(Affine::var(LoopId(0)))]))
+            .build();
+        let err = bad_arity.try_validate(&p.arrays).unwrap_err();
+        assert!(matches!(err, CompileError::WrongArity { got: 1, .. }));
+        assert!(err.to_string().contains("wrong arity"));
+        assert!(p.try_nest(bad_arity).is_err());
+        assert!(p.nests.is_empty(), "rejected nest must not be appended");
+
+        let ghost = NestBuilder::new("g")
+            .counted_loop(Bound::Known(10))
+            .reference(ArrayRef::read(
+                ArrayId(9),
+                vec![Index::aff(Affine::var(LoopId(0)))],
+            ))
+            .build();
+        assert!(matches!(
+            ghost.try_validate(&p.arrays),
+            Err(CompileError::UnknownArray {
+                array: ArrayId(9),
+                ..
+            })
+        ));
+
+        let mut twisted = NestBuilder::new("w")
+            .counted_loop(Bound::Known(4))
+            .counted_loop(Bound::Known(4))
+            .build();
+        twisted.loops.swap(0, 1);
+        assert!(matches!(
+            twisted.try_validate(&p.arrays),
+            Err(CompileError::BadLoopId { depth: 0, .. })
+        ));
+
+        let mut bad_seen = ArrayRef::read(
+            a,
+            vec![
+                Index::aff(Affine::var(LoopId(0))),
+                Index::aff(Affine::constant(0)),
+            ],
+        );
+        bad_seen.seen = Some(vec![Index::aff(Affine::constant(0))]);
+        let nest = NestBuilder::new("s")
+            .counted_loop(Bound::Known(4))
+            .reference(bad_seen)
+            .build();
+        assert!(matches!(
+            nest.try_validate(&p.arrays),
+            Err(CompileError::WrongArity { got: 1, .. })
+        ));
     }
 
     #[test]

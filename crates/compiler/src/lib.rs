@@ -37,6 +37,7 @@
 pub mod check;
 pub mod explain;
 pub mod expr;
+pub mod gen;
 pub mod group;
 pub mod insert;
 pub mod ir;
@@ -47,9 +48,10 @@ pub mod priority;
 pub mod program;
 pub mod reuse;
 
-pub use check::{check_program, IrError};
+pub use check::{check_program, CompileError, IrError};
 pub use explain::explain_program;
 pub use expr::{Affine, Bound};
+pub use gen::{generate, generate_with, GenConfig, GenProgram, IndirectPlan, TripPlan};
 pub use insert::{compile, CompileOptions};
 pub use ir::{ArrayDecl, ArrayId, ArrayRef, Index, Loop, LoopId, LoopNest, SourceProgram};
 pub use program::{AnnotatedNest, AnnotatedProgram, RefDirectives};

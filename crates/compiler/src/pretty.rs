@@ -115,6 +115,64 @@ pub fn render_program(prog: &AnnotatedProgram) -> String {
     out
 }
 
+/// Renders an uncompiled source program (declarations and loop bodies,
+/// no directives). Used by the fuzzer's determinism checks and corpus
+/// files: equal renderings mean equal IR, byte for byte.
+pub fn render_source(src: &crate::ir::SourceProgram) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "/* {} — source */", src.name);
+    for decl in &src.arrays {
+        let dims: Vec<String> = decl.dims.iter().map(|&d| fmt_bound(d)).collect();
+        let _ = writeln!(
+            out,
+            "double {}[{}]; /* {} B/elem */",
+            decl.name,
+            dims.join("]["),
+            decl.elem_size
+        );
+    }
+    for nest in &src.nests {
+        let _ = writeln!(
+            out,
+            "\n/* nest: {} (work {} ns/iter) */",
+            nest.name, nest.work_per_iter_ns
+        );
+        let mut indent = String::new();
+        for (d, l) in nest.loops.iter().enumerate() {
+            let var = (b'i' + d as u8) as char;
+            let _ = writeln!(
+                out,
+                "{indent}for ({var} = 0; {var} < {}; {var}++) {{",
+                fmt_bound(l.count)
+            );
+            indent.push_str("  ");
+        }
+        for r in &nest.refs {
+            let decl = &src.arrays[r.array.0];
+            let subs: Vec<String> = r
+                .indices
+                .iter()
+                .map(|ix| fmt_index(ix, &src.arrays))
+                .collect();
+            let rw = if r.is_write { "write" } else { "read " };
+            let _ = writeln!(out, "{indent}{rw} {}[{}];", decl.name, subs.join("]["));
+            if let Some(seen) = &r.seen {
+                let subs: Vec<String> = seen.iter().map(|ix| fmt_index(ix, &src.arrays)).collect();
+                let _ = writeln!(
+                    out,
+                    "{indent}/* compiler sees: {}[{}] */",
+                    decl.name,
+                    subs.join("][")
+                );
+            }
+        }
+        for d in (0..nest.loops.len()).rev() {
+            let _ = writeln!(out, "{}}}", "  ".repeat(d));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

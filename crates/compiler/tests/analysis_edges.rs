@@ -1,0 +1,231 @@
+//! Edge-case coverage for `compiler::locality` and `compiler::group` —
+//! the corners the fuzzer generator is built to reach (zero-trip loops,
+//! unknown bounds at every depth, all-indirect references), pinned down
+//! here as direct unit tests so a failure names the analysis instead of
+//! a seed.
+
+use compiler::expr::{Affine, Bound};
+use compiler::group::find_groups;
+use compiler::ir::{ArrayRef, Index, LoopId, NestBuilder, SourceProgram};
+use compiler::locality::{analyze, footprint_pages, nest_volume_pages, LocalityInfo};
+use compiler::reuse::analyze_nest;
+
+const PAGE: u64 = 16 * 1024;
+
+fn l(i: usize) -> LoopId {
+    LoopId(i)
+}
+
+/// Depth-3 nest `for i { for j { for k { a[i][j][k] } } }` with per-depth
+/// bounds supplied by the caller.
+fn cube(bounds: [Bound; 3]) -> (SourceProgram, compiler::ir::LoopNest) {
+    let mut p = SourceProgram::new("cube");
+    let a = p.array("a", 8, vec![bounds[0], bounds[1], bounds[2]]);
+    let nest = NestBuilder::new("main")
+        .counted_loop(bounds[0])
+        .counted_loop(bounds[1])
+        .counted_loop(bounds[2])
+        .reference(ArrayRef::read(
+            a,
+            vec![
+                Index::aff(Affine::var(l(0))),
+                Index::aff(Affine::var(l(1))),
+                Index::aff(Affine::var(l(2))),
+            ],
+        ))
+        .build();
+    (p, nest)
+}
+
+#[test]
+fn zero_trip_inner_loop_contributes_nothing_to_the_footprint() {
+    // `for i in 64 { for j in 0 { a[i][j] } }`: the j extent collapses to
+    // the single (never-reached) start element, not to zero or a panic.
+    let mut p = SourceProgram::new("zt");
+    let a = p.array("a", 8, vec![Bound::Known(64), Bound::Known(4096)]);
+    let nest = NestBuilder::new("main")
+        .counted_loop(Bound::Known(64))
+        .counted_loop(Bound::Known(0))
+        .reference(ArrayRef::read(
+            a,
+            vec![Index::aff(Affine::var(l(0))), Index::aff(Affine::var(l(1)))],
+        ))
+        .build();
+    let fp = footprint_pages(&nest, &p.arrays[0], &nest.refs[0], 0, PAGE);
+    assert_eq!(fp, Some(1), "zero-trip inner loop must not widen the box");
+    assert_eq!(nest_volume_pages(&nest, &p.arrays, 0, PAGE), Some(1));
+}
+
+#[test]
+fn unknown_bound_blocks_footprints_only_below_its_depth() {
+    // Move a single Unknown bound through every depth of a cube nest and
+    // check exactly which per-depth footprints become unknowable: the
+    // bounding box at depth d spans loops deeper than d, so an Unknown
+    // loop u poisons footprints at depths < u and leaves depths >= u
+    // computable.
+    for u in 0..3usize {
+        let mut bounds = [Bound::Known(8), Bound::Known(8), Bound::Known(8)];
+        bounds[u] = Bound::Unknown { estimate: 8 };
+        let (p, nest) = cube(bounds);
+        for d in 0..3usize {
+            let fp = footprint_pages(&nest, &p.arrays[0], &nest.refs[0], d, PAGE);
+            if d < u {
+                assert_eq!(fp, None, "unknown at depth {u}, footprint at {d}");
+                assert_eq!(nest_volume_pages(&nest, &p.arrays, d, PAGE), None);
+            } else {
+                assert!(fp.is_some(), "unknown at depth {u}, footprint at {d}");
+            }
+        }
+    }
+}
+
+#[test]
+fn unknown_volume_downgrades_temporal_reuse_to_no_locality() {
+    // `for i in 64 { for j in N? { x[j]; y[i] } }`: x has temporal reuse
+    // in i, but the intervening volume is unknown, so per the paper the
+    // compiler must assume it will NOT survive in memory.
+    let mut p = SourceProgram::new("unk");
+    let x = p.array("x", 8, vec![Bound::Unknown { estimate: 4096 }]);
+    let y = p.array("y", 8, vec![Bound::Known(64)]);
+    let nest = NestBuilder::new("main")
+        .counted_loop(Bound::Known(64))
+        .counted_loop(Bound::Unknown { estimate: 4096 })
+        .reference(ArrayRef::read(x, vec![Index::aff(Affine::var(l(1)))]))
+        .reference(ArrayRef::write(y, vec![Index::aff(Affine::var(l(0)))]))
+        .build();
+    let reuse = analyze_nest(&nest, &p.arrays, PAGE);
+    assert!(reuse[0].temporal.contains(&l(0)), "x reused across i");
+    let loc = analyze(&nest, &p.arrays, &reuse, PAGE, 1 << 20);
+    assert!(
+        loc[0].temporal_locality.is_empty(),
+        "unknown volume must not be assumed to fit, even in huge memory"
+    );
+    assert!(loc[0].temporal_no_locality.contains(&l(0)));
+}
+
+#[test]
+fn known_zero_trip_volume_still_fits_and_keeps_locality() {
+    // Degenerate sibling of the previous test: the inner loop is known and
+    // tiny, so the volume is computable and fits; the reuse keeps locality.
+    let mut p = SourceProgram::new("fit");
+    let x = p.array("x", 8, vec![Bound::Known(16)]);
+    let nest = NestBuilder::new("main")
+        .counted_loop(Bound::Known(64))
+        .counted_loop(Bound::Known(16))
+        .reference(ArrayRef::read(x, vec![Index::aff(Affine::var(l(1)))]))
+        .build();
+    let reuse = analyze_nest(&nest, &p.arrays, PAGE);
+    let loc = analyze(&nest, &p.arrays, &reuse, PAGE, 64);
+    assert!(loc[0].temporal_locality.contains(&l(0)));
+    assert!(loc[0].temporal_no_locality.is_empty());
+}
+
+#[test]
+fn all_indirect_refs_have_unknown_footprints_and_no_locality() {
+    // `a[b[i]]` three times over: nothing is analyzable — footprints are
+    // None, reuse is empty, locality is empty — but nothing panics either.
+    let mut p = SourceProgram::new("ind");
+    let a = p.array("a", 8, vec![Bound::Known(4096)]);
+    let b = p.array("b", 4, vec![Bound::Known(4096)]);
+    let mut bld = NestBuilder::new("main").counted_loop(Bound::Known(4096));
+    for _ in 0..3 {
+        bld = bld.reference(ArrayRef::read(
+            a,
+            vec![Index::Indirect {
+                via: b,
+                subscript: Affine::var(l(0)),
+            }],
+        ));
+    }
+    let nest = bld.build();
+    for r in &nest.refs {
+        assert_eq!(footprint_pages(&nest, &p.arrays[0], r, 0, PAGE), None);
+    }
+    assert_eq!(nest_volume_pages(&nest, &p.arrays, 0, PAGE), None);
+    let reuse = analyze_nest(&nest, &p.arrays, PAGE);
+    for info in &reuse {
+        assert!(!info.analyzable);
+        assert!(info.temporal.is_empty() && info.spatial.is_empty());
+    }
+    let loc = analyze(&nest, &p.arrays, &reuse, PAGE, 1 << 20);
+    assert!(loc.iter().all(|i| *i == LocalityInfo::default()));
+}
+
+#[test]
+fn indirect_refs_never_group_even_when_textually_identical() {
+    // Identical `a[b[i]]` references each stay a singleton group (their
+    // targets are unknowable), and each is its own leading AND trailing
+    // member.
+    let mut p = SourceProgram::new("indgrp");
+    let a = p.array("a", 8, vec![Bound::Known(1024)]);
+    let b = p.array("b", 4, vec![Bound::Known(1024)]);
+    let ind = || {
+        ArrayRef::read(
+            a,
+            vec![Index::Indirect {
+                via: b,
+                subscript: Affine::var(l(0)),
+            }],
+        )
+    };
+    // An affine pair on the same array sandwiched between indirect refs:
+    // the affine pair must still group with each other but never absorb
+    // the indirect members.
+    let nest = NestBuilder::new("main")
+        .counted_loop(Bound::Known(1024))
+        .reference(ind())
+        .reference(ArrayRef::read(a, vec![Index::aff(Affine::var(l(0)))]))
+        .reference(ind())
+        .reference(ArrayRef::read(
+            a,
+            vec![Index::aff(Affine::var(l(0)).plus_const(2))],
+        ))
+        .build();
+    let groups = find_groups(&nest);
+    assert_eq!(groups.len(), 3);
+    for g in &groups {
+        if g.members.len() == 1 {
+            assert_eq!(g.leading, g.members[0]);
+            assert_eq!(g.trailing, g.members[0]);
+        }
+    }
+    let pair = groups.iter().find(|g| g.members.len() == 2).expect("pair");
+    assert_eq!(pair.members, vec![1, 3]);
+    assert_eq!(pair.leading, 3, "a[i+2] touches new data first");
+    assert_eq!(pair.trailing, 1, "a[i] touches it last");
+}
+
+#[test]
+fn grouping_is_structural_and_ignores_unknown_bounds() {
+    // Group membership depends only on coefficients, so Unknown bounds at
+    // both depths change nothing about leading/trailing selection.
+    let mut p = SourceProgram::new("unkgrp");
+    let a = p.array(
+        "a",
+        8,
+        vec![
+            Bound::Unknown { estimate: 128 },
+            Bound::Unknown { estimate: 128 },
+        ],
+    );
+    let r = |di: i64, dj: i64| {
+        ArrayRef::read(
+            a,
+            vec![
+                Index::aff(Affine::var(l(0)).plus_const(di)),
+                Index::aff(Affine::var(l(1)).plus_const(dj)),
+            ],
+        )
+    };
+    let nest = NestBuilder::new("main")
+        .counted_loop(Bound::Unknown { estimate: 128 })
+        .counted_loop(Bound::Unknown { estimate: 128 })
+        .reference(r(0, -1))
+        .reference(r(0, 1))
+        .reference(r(0, 0))
+        .build();
+    let groups = find_groups(&nest);
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups[0].leading, 1, "a[i][j+1] leads");
+    assert_eq!(groups[0].trailing, 0, "a[i][j-1] trails");
+}

@@ -52,6 +52,7 @@ pub mod artifact;
 pub mod engine;
 pub mod exec;
 pub mod experiments;
+pub mod fuzzing;
 pub mod journal;
 pub mod machine;
 pub mod obs_report;

@@ -130,6 +130,55 @@ impl Pcg32 {
     }
 }
 
+/// One concern of the seeded program generator (`compiler::gen`).
+///
+/// Mirrors [`crate::fault::FaultDomain`]: each concern draws from its own
+/// salted stream, so a generator change that consumes more randomness for
+/// one concern (say, an extra array-shape draw) never shifts the draws any
+/// *other* concern sees. That keeps the seed → program mapping as stable
+/// as possible across generator evolution, which is what makes committed
+/// corpus seeds meaningful.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GenDomain {
+    /// Program shape: nest count, depths, reference counts.
+    Shape,
+    /// Array declarations: rank, extents, element sizes.
+    Arrays,
+    /// Compile-time bounds: known vs unknown, estimates.
+    Bounds,
+    /// Reference structure: target arrays, read/write, aliasing, `seen`.
+    Refs,
+    /// Affine coefficients and constant offsets (strides).
+    Strides,
+    /// Indirection wiring: via arrays, content seeds.
+    Indirection,
+    /// Run-time truth: actual trips for unknown bounds, invocations.
+    Runtime,
+}
+
+impl GenDomain {
+    /// ASCII salt, like `FaultDomain`'s.
+    fn salt(self) -> u64 {
+        match self {
+            GenDomain::Shape => 0x53_48_41_50,       // "SHAP"
+            GenDomain::Arrays => 0x41_52_52_53,      // "ARRS"
+            GenDomain::Bounds => 0x42_4e_44_53,      // "BNDS"
+            GenDomain::Refs => 0x52_45_46_53,        // "REFS"
+            GenDomain::Strides => 0x53_54_52_44,     // "STRD"
+            GenDomain::Indirection => 0x49_4e_44_52, // "INDR"
+            GenDomain::Runtime => 0x52_55_4e_54,     // "RUNT"
+        }
+    }
+
+    /// Derives the deterministic RNG for one generator concern of one
+    /// program `stream` (e.g. one stream per nest) under `seed`.
+    pub fn rng(self, seed: u64, stream: u64) -> Pcg32 {
+        let mut mix =
+            SplitMix64::new(seed ^ self.salt() ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        Pcg32::new(mix.next_u64(), mix.next_u64())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -31,6 +31,7 @@ pub mod buk;
 pub mod cgm;
 pub mod embar;
 pub mod fftpde;
+pub mod fuzz;
 pub mod interactive;
 pub mod matvec;
 pub mod mgrid;

@@ -1,0 +1,87 @@
+//! Corpus regression gate: the committed seed-0..31 fuzz corpus.
+//!
+//! Each `tests/corpus/seed_NNN.txt` is the full rendered case (runtime
+//! truth + source + compiled output) for one generator seed. The tests
+//! (1) regenerate each case from its seed and require byte-identity with
+//! the committed file — any generator or pipeline change that moves a
+//! case is surfaced as a diff to review, and (2) replay every corpus
+//! program through the engine under `HOGTAME_CHECKED=1`.
+//!
+//! To re-bless after an intentional generator/pipeline change:
+//! `HOGTAME_BLESS=1 cargo test --test fuzz_corpus`.
+
+use std::path::PathBuf;
+
+use hogtame::fuzzing;
+use hogtame::prelude::*;
+
+const CORPUS_SEEDS: u64 = 32;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+fn case_path(seed: u64) -> PathBuf {
+    corpus_dir().join(format!("seed_{seed:03}.txt"))
+}
+
+fn blessing() -> bool {
+    std::env::var_os("HOGTAME_BLESS").is_some_and(|v| v == "1")
+}
+
+#[test]
+fn corpus_matches_generator_byte_for_byte() {
+    let machine = MachineConfig::small();
+    if blessing() {
+        std::fs::create_dir_all(corpus_dir()).expect("create corpus dir");
+    }
+    let mut mismatches = Vec::new();
+    for seed in 0..CORPUS_SEEDS {
+        let rendered = fuzzing::render_case(&compiler::gen::generate(seed), &machine);
+        let path = case_path(seed);
+        if blessing() {
+            std::fs::write(&path, &rendered).expect("write corpus case");
+            continue;
+        }
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing corpus file {} ({e})", path.display()));
+        if committed != rendered {
+            mismatches.push(seed);
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "corpus cases {mismatches:?} no longer match the generator; \
+         re-bless with HOGTAME_BLESS=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn corpus_replays_clean_under_checked_mode() {
+    // The committed corpus is a regression gate: every case must still
+    // pass every differential check (sanitizer + oracle clean, hinted ≡
+    // unhinted, metamorphic properties). CI runs this under
+    // HOGTAME_CHECKED=1; calling check_case arms checked mode explicitly
+    // either way.
+    let machine = MachineConfig::small();
+    for seed in 0..CORPUS_SEEDS {
+        let spec = workloads::fuzz::spec(seed);
+        if let Err(failure) = fuzzing::check_case(&spec, &machine, None) {
+            panic!("corpus seed {seed} regressed: {failure}");
+        }
+    }
+}
+
+#[test]
+fn corpus_headers_carry_the_seed_and_fingerprint() {
+    if blessing() {
+        return;
+    }
+    for seed in 0..CORPUS_SEEDS {
+        let text = std::fs::read_to_string(case_path(seed)).expect("corpus file");
+        assert!(text.starts_with("# fuzz corpus case"), "seed {seed}");
+        assert!(text.contains(&format!("# seed: {seed}\n")), "seed {seed}");
+        assert!(text.contains("# ir-fingerprint: "), "seed {seed}");
+        assert!(text.contains("/* --- compiled"), "seed {seed}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Generator determinism properties (fuzzer satellite).
+//!
+//! Same seed → byte-identical `SourceProgram` (via `pretty.rs` rendering)
+//! and identical run digests across repeats and worker counts. The fuzz
+//! matrix's double-run `diff -r` in CI rests on exactly these properties.
+
+use hogtame::exec::run_all_with;
+use hogtame::fuzzing;
+use hogtame::prelude::*;
+use sim_core::fingerprint::Fnv1a;
+
+fn digest(results: &[Result<RunOutcome, RunError>]) -> u64 {
+    let mut h = Fnv1a::new();
+    for r in results {
+        match r {
+            Ok(out) => {
+                h.write_bool(true);
+                h.write_u64(out.hog.as_ref().map_or(0, |p| p.finish_time.as_nanos()));
+                h.write_u64(out.run.swap_reads);
+                h.write_u64(out.run.swap_writes);
+                h.write_u64(out.run.end_time.as_nanos());
+            }
+            Err(e) => {
+                h.write_bool(false);
+                h.write_str(&format!("{e:?}"));
+            }
+        }
+    }
+    h.finish()
+}
+
+fn fuzz_grid() -> Vec<RunRequest> {
+    let machine = MachineConfig::small();
+    (0..6u64)
+        .flat_map(|seed| {
+            [Version::Original, Version::Release].map(|v| {
+                RunRequest::on(machine.clone())
+                    .bench_spec(workloads::fuzz::spec(seed), v)
+                    .checked()
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn same_seed_renders_byte_identically() {
+    for seed in 0..64u64 {
+        let a = compiler::gen::generate(seed);
+        let b = compiler::gen::generate(seed);
+        assert_eq!(
+            compiler::pretty::render_source(&a.source),
+            compiler::pretty::render_source(&b.source),
+            "seed {seed}"
+        );
+        assert_eq!(a.fingerprint(), b.fingerprint(), "seed {seed}");
+    }
+}
+
+#[test]
+fn rendered_case_is_stable_across_repeats() {
+    let machine = MachineConfig::small();
+    for seed in [0u64, 9, 31] {
+        let a = fuzzing::render_case(&compiler::gen::generate(seed), &machine);
+        let b = fuzzing::render_case(&compiler::gen::generate(seed), &machine);
+        assert_eq!(a, b, "seed {seed}");
+    }
+}
+
+#[test]
+fn run_digest_identical_across_repeats_and_job_counts() {
+    let serial = digest(&run_all_with(fuzz_grid(), 1));
+    let serial_again = digest(&run_all_with(fuzz_grid(), 1));
+    assert_eq!(serial, serial_again, "serial repeat must be bit-identical");
+    let parallel = digest(&run_all_with(fuzz_grid(), 4));
+    assert_eq!(
+        serial, parallel,
+        "4-worker pool must be bit-identical to serial"
+    );
+}
+
+#[test]
+fn check_case_digest_is_reproducible() {
+    let machine = MachineConfig::small();
+    for seed in [2u64, 17] {
+        let spec = workloads::fuzz::spec(seed);
+        let a = fuzzing::check_case(&spec, &machine, None).expect("clean");
+        let b = fuzzing::check_case(&spec, &machine, None).expect("clean");
+        assert_eq!(a, b, "seed {seed}");
+    }
+}
